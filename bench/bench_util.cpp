@@ -1,0 +1,66 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+namespace eta2::bench {
+
+BenchEnv::BenchEnv(int argc, char** argv) : flags(argc, argv) {
+  quick = flags.get_bool("quick", false);
+  seeds = flags.seed_count(quick ? 2 : 3);
+}
+
+sim::DatasetFactory synthetic_factory(const BenchEnv& env, double tau,
+                                      double nonnormal_fraction) {
+  const std::size_t tasks = env.quick ? 250 : 1000;
+  return [tau, nonnormal_fraction, tasks](std::uint64_t seed) {
+    sim::SyntheticOptions options;
+    options.tasks = tasks;
+    options.mean_capacity = tau;
+    options.nonnormal_fraction = nonnormal_fraction;
+    return sim::make_synthetic(options, seed);
+  };
+}
+
+sim::DatasetFactory survey_factory(const BenchEnv& env, double tau) {
+  (void)env;  // the survey dataset is small already (150 tasks)
+  return [tau](std::uint64_t seed) {
+    sim::SurveyOptions options;
+    options.mean_capacity = tau;
+    return sim::make_survey_like(options, seed);
+  };
+}
+
+sim::DatasetFactory sfv_factory(const BenchEnv& env, double tau) {
+  const std::size_t properties = env.quick ? 3 : 6;
+  return [tau, properties](std::uint64_t seed) {
+    sim::SfvOptions options;
+    options.properties_per_entity = properties;
+    options.mean_capacity = tau;
+    return sim::make_sfv_like(options, seed);
+  };
+}
+
+sim::SimOptions default_options_with_embedder() {
+  sim::SimOptions options;
+  options.embedder = sim::shared_embedder();
+  return options;
+}
+
+void print_banner(std::string_view binary, std::string_view reproduces,
+                  const BenchEnv& env) {
+  std::printf("=== %.*s ===\n", static_cast<int>(binary.size()), binary.data());
+  std::printf("reproduces: %.*s\n", static_cast<int>(reproduces.size()),
+              reproduces.data());
+  std::printf("seeds: %d%s (paper uses 100; raise with --seeds/ETA2_SEEDS)\n\n",
+              env.seeds, env.quick ? ", --quick" : "");
+}
+
+std::span<const sim::Method> comparison_methods() {
+  static const sim::Method kMethods[] = {
+      sim::Method::kEta2,        sim::Method::kHubsAuthorities,
+      sim::Method::kAverageLog,  sim::Method::kTruthFinder,
+      sim::Method::kVarianceEm,  sim::Method::kBaseline};
+  return kMethods;
+}
+
+}  // namespace eta2::bench

@@ -1,0 +1,54 @@
+// Shared plumbing for the paper-reproduction bench binaries: standard
+// dataset factories at the paper's settings, seed handling, and headers.
+//
+// Every binary accepts:
+//   --seeds=N       Monte-Carlo repetitions (default 3; paper uses 100)
+//   --quick         cut workload sizes further for smoke runs
+// plus bench-specific flags documented in each file.
+#ifndef ETA2_BENCH_BENCH_UTIL_H
+#define ETA2_BENCH_BENCH_UTIL_H
+
+#include <string_view>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "sim/dataset.h"
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+
+namespace eta2::bench {
+
+struct BenchEnv {
+  Flags flags;
+  int seeds = 3;
+  bool quick = false;
+
+  BenchEnv(int argc, char** argv);
+};
+
+// Dataset factories at the paper's §6.1/§6.2 settings. `tau` is the average
+// processing capability; task counts shrink under --quick.
+[[nodiscard]] sim::DatasetFactory synthetic_factory(
+    const BenchEnv& env, double tau = 12.0, double nonnormal_fraction = 0.0);
+[[nodiscard]] sim::DatasetFactory survey_factory(const BenchEnv& env,
+                                                 double tau = 12.0);
+// SFV ships 18 "system" users, so its capacity scale differs (see
+// SfvOptions::mean_capacity); tau here is that higher-scale knob.
+[[nodiscard]] sim::DatasetFactory sfv_factory(const BenchEnv& env,
+                                              double tau = 40.0);
+
+// SimOptions with the shared trained embedder attached (needed whenever a
+// factory produces described tasks).
+[[nodiscard]] sim::SimOptions default_options_with_embedder();
+
+// Prints the bench banner: what figure/table of the paper this regenerates.
+void print_banner(std::string_view binary, std::string_view reproduces,
+                  const BenchEnv& env);
+
+// The comparison methods of §6.3 in the paper's presentation order, plus
+// the extra Gaussian-EM (CRH-style) baseline this library adds.
+[[nodiscard]] std::span<const sim::Method> comparison_methods();
+
+}  // namespace eta2::bench
+
+#endif  // ETA2_BENCH_BENCH_UTIL_H

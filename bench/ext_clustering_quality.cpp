@@ -1,0 +1,90 @@
+// Extension bench: quality of Module 1 (task expertise identification) in
+// isolation — cluster purity and adjusted Rand index against the latent
+// topics as γ and the embedding vary. Explains WHY the Fig. 4 error surface
+// is flat for γ below ~0.6 and collapses above.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "clustering/dynamic_clusterer.h"
+#include "clustering/metrics.h"
+#include "text/pairword.h"
+
+namespace {
+
+struct Quality {
+  double purity = 0.0;
+  double ari = 0.0;
+  double clusters = 0.0;
+};
+
+Quality evaluate(const eta2::sim::Dataset& dataset,
+                 const eta2::text::Embedder& embedder, double gamma) {
+  eta2::clustering::DynamicClusterer clusterer(gamma);
+  // Feed per-day batches like the live pipeline does.
+  std::vector<std::size_t> order;
+  for (int day = 0; day < dataset.day_count(); ++day) {
+    const auto ids = dataset.tasks_of_day(day);
+    std::vector<eta2::text::Embedding> vectors;
+    for (const auto j : ids) {
+      vectors.push_back(
+          eta2::text::semantic_vector(dataset.tasks[j].description, embedder));
+    }
+    clusterer.add_tasks(vectors);
+    order.insert(order.end(), ids.begin(), ids.end());
+  }
+  std::vector<std::size_t> predicted;
+  std::vector<std::size_t> truth;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    predicted.push_back(clusterer.domain_of(pos));
+    truth.push_back(dataset.tasks[order[pos]].true_domain);
+  }
+  Quality q;
+  q.purity = eta2::clustering::purity(predicted, truth);
+  q.ari = eta2::clustering::adjusted_rand_index(predicted, truth);
+  q.clusters = static_cast<double>(eta2::clustering::cluster_count(predicted));
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eta2::bench::BenchEnv env(argc, argv);
+  eta2::bench::print_banner(
+      "ext_clustering_quality",
+      "extension — Module 1 in isolation: cluster purity/ARI vs gamma and "
+      "embedding (survey dataset, 10 latent topics)",
+      env);
+
+  const auto trained = eta2::sim::shared_embedder();
+  const eta2::text::HashEmbedder hashed(32);
+
+  for (const auto& [label, embedder] :
+       std::vector<std::pair<const char*, const eta2::text::Embedder*>>{
+           {"skip-gram embeddings", trained.get()},
+           {"hash embeddings (no training)", &hashed}}) {
+    std::printf("--- %s ---\n", label);
+    eta2::Table table({"gamma", "clusters", "purity", "ARI"});
+    for (const double gamma : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
+      double purity = 0.0;
+      double ari = 0.0;
+      double clusters = 0.0;
+      for (int s = 0; s < env.seeds; ++s) {
+        const auto dataset = eta2::bench::survey_factory(env)(
+            static_cast<std::uint64_t>(s) + 1);
+        const Quality q = evaluate(dataset, *embedder, gamma);
+        purity += q.purity;
+        ari += q.ari;
+        clusters += q.clusters;
+      }
+      const double n = static_cast<double>(env.seeds);
+      table.add_numeric_row({gamma, clusters / n, purity / n, ari / n}, 3);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("expected shape: a plateau of ~10 pure clusters over a wide "
+              "gamma range, collapsing to a handful of mixed clusters once "
+              "gamma approaches 1; trained embeddings keep the plateau "
+              "wider than hash embeddings.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Extension bench (no paper counterpart): failure injection. A fraction of
+// allocated users never responds (abandoned tasks, dead connections); the
+// pipeline must degrade gracefully since fewer observations simply widen
+// the MLE's effective noise. Reports estimation error vs response rate for
+// ETA² and the mean baseline on the synthetic dataset.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const eta2::bench::BenchEnv env(argc, argv);
+  eta2::bench::print_banner(
+      "ext_dropout_robustness",
+      "extension — estimation error under user no-response (failure "
+      "injection), synthetic dataset",
+      env);
+
+  eta2::Table table({"response rate", "ETA2 error", "Baseline error"});
+  for (const double rate : {1.0, 0.9, 0.75, 0.5, 0.25}) {
+    eta2::sim::SimOptions options;
+    options.response_rate = rate;
+    const auto factory = eta2::bench::synthetic_factory(env);
+    const auto eta2_run = eta2::sim::sweep_seeds(
+        factory, eta2::sim::Method::kEta2, options, env.seeds);
+    const auto baseline_run = eta2::sim::sweep_seeds(
+        factory, eta2::sim::Method::kBaseline, options, env.seeds);
+    table.add_numeric_row({rate, eta2_run.overall_error.mean,
+                           baseline_run.overall_error.mean});
+  }
+  table.print();
+  std::printf("\nexpected shape: both errors grow smoothly as responses "
+              "thin out; ETA2 keeps its lead at every response rate.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 8 of the paper: sensitivity of ETA² to violations of the normality
+// assumption. A growing fraction of observations is drawn from a uniform
+// distribution (same mean/stddev) instead of the normal model; the paper
+// reports only a slight error increase.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const eta2::bench::BenchEnv env(argc, argv);
+  eta2::bench::print_banner(
+      "fig08_normality_bias",
+      "Fig. 8 — estimation error vs fraction of non-Gaussian observations "
+      "(synthetic dataset)",
+      env);
+
+  eta2::Table table({"non-normal fraction", "estimation error", "stderr"});
+  const eta2::sim::SimOptions options;
+  for (const double fraction : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto sweep = eta2::sim::sweep_seeds(
+        eta2::bench::synthetic_factory(env, 12.0, fraction),
+        eta2::sim::Method::kEta2, options, env.seeds);
+    table.add_numeric_row(
+        {fraction, sweep.overall_error.mean, sweep.overall_error.stderr_});
+  }
+  table.print();
+  std::printf("\nexpected shape: the error stays consistently low with only "
+              "a slight increase as the bias grows.\n");
+  return 0;
+}

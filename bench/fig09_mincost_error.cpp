@@ -1,0 +1,12 @@
+// Fig. 9 of the paper: estimation error of ETA² versus ETA²-mc (for several
+// per-iteration budgets c°) as the average processing capability grows, on
+// all three datasets, against the quality requirement error < ε̄ = 0.5 at
+// 95% confidence. See mincost_common.cpp for the driver.
+#include "mincost_common.h"
+
+int main(int argc, char** argv) {
+  return eta2::bench::run_mincost_bench(
+      argc, argv, /*report_cost=*/false, "fig09_mincost_error",
+      "Fig. 9(a-c) — estimation error: ETA2 vs ETA2-mc under several "
+      "per-iteration budgets c-degree");
+}

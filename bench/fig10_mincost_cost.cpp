@@ -1,0 +1,11 @@
+// Fig. 10 of the paper: task-allocation cost of ETA² versus ETA²-mc (for
+// several per-iteration budgets c°) as the average processing capability
+// grows, on all three datasets. See mincost_common.cpp for the driver.
+#include "mincost_common.h"
+
+int main(int argc, char** argv) {
+  return eta2::bench::run_mincost_bench(
+      argc, argv, /*report_cost=*/true, "fig10_mincost_cost",
+      "Fig. 10(a-c) — task-allocation cost: ETA2 vs ETA2-mc under several "
+      "per-iteration budgets c-degree");
+}

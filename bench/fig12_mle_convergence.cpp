@@ -1,0 +1,59 @@
+// Fig. 12 of the paper: CDF of the number of iterations the expertise-aware
+// MLE needs to converge, per dataset. The paper: most runs converge within
+// 10 iterations; survey/SFV within ~20, synthetic within ~60.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+std::vector<double> iteration_samples(const eta2::sim::DatasetFactory& factory,
+                                      const eta2::sim::SimOptions& options,
+                                      const eta2::bench::BenchEnv& env) {
+  const auto sweep = eta2::sim::sweep_seeds(factory, eta2::sim::Method::kEta2,
+                                            options, env.seeds);
+  std::vector<double> iters;
+  iters.reserve(sweep.truth_iteration_log.size());
+  for (const int it : sweep.truth_iteration_log) {
+    iters.push_back(static_cast<double>(it));
+  }
+  return iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eta2::bench::BenchEnv env(argc, argv);
+  eta2::bench::print_banner(
+      "fig12_mle_convergence",
+      "Fig. 12 — CDF of iterations needed before the truth-analysis MLE "
+      "converges",
+      env);
+
+  const auto options = eta2::bench::default_options_with_embedder();
+  const auto survey =
+      iteration_samples(eta2::bench::survey_factory(env), options, env);
+  const auto sfv = iteration_samples(eta2::bench::sfv_factory(env), options, env);
+  const auto synthetic =
+      iteration_samples(eta2::bench::synthetic_factory(env), options, env);
+
+  const std::vector<double> points = {1, 2, 5, 10, 20, 40, 60, 100};
+  const auto survey_cdf = eta2::stats::ecdf(survey, points);
+  const auto sfv_cdf = eta2::stats::ecdf(sfv, points);
+  const auto synthetic_cdf = eta2::stats::ecdf(synthetic, points);
+
+  eta2::Table table({"iterations", "survey CDF", "sfv CDF", "synthetic CDF"});
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    table.add_numeric_row(
+        {points[p], survey_cdf[p], sfv_cdf[p], synthetic_cdf[p]});
+  }
+  table.print();
+  std::printf("\nmax iterations observed: survey=%g sfv=%g synthetic=%g\n",
+              eta2::stats::max_value(survey), eta2::stats::max_value(sfv),
+              eta2::stats::max_value(synthetic));
+  std::printf("expected shape: the majority of runs converge within ~10 "
+              "iterations; virtually all within tens of iterations.\n");
+  return 0;
+}

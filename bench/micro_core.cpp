@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths:
+// the MLE truth analysis, average-linkage clustering, the max-quality
+// greedy, pair-word extraction, and skip-gram training throughput.
+#include <benchmark/benchmark.h>
+
+#include "alloc/max_quality.h"
+#include "clustering/linkage.h"
+#include "common/rng.h"
+#include "text/corpus.h"
+#include "text/pairword.h"
+#include "text/skipgram.h"
+#include "truth/eta2_mle.h"
+
+namespace {
+
+using eta2::Rng;
+
+void BM_MleEstimate(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const auto tasks = static_cast<std::size_t>(state.range(1));
+  const std::size_t domains = 8;
+  Rng rng(42);
+  eta2::truth::ObservationSet data(users, tasks);
+  std::vector<eta2::truth::DomainIndex> domain(tasks);
+  for (std::size_t j = 0; j < tasks; ++j) {
+    domain[j] = j % domains;
+    const double mu = rng.uniform(0.0, 20.0);
+    for (std::size_t i = 0; i < users; ++i) {
+      if (rng.bernoulli(0.3)) data.add(j, i, rng.normal(mu, 1.0));
+    }
+  }
+  const eta2::truth::Eta2Mle mle;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mle.estimate(data, domain, domains));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.total_observations()));
+}
+BENCHMARK(BM_MleEstimate)->Args({50, 200})->Args({100, 1000})->Args({200, 2000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UpgmaDendrogram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  eta2::clustering::SymmetricMatrix dist(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) dist.set(i, j, rng.uniform(0.0, 10.0));
+  }
+  const std::vector<double> sizes(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eta2::clustering::upgma_dendrogram(dist, sizes));
+  }
+}
+BENCHMARK(BM_UpgmaDendrogram)->Arg(100)->Arg(400)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MaxQualityGreedy(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const auto tasks = static_cast<std::size_t>(state.range(1));
+  Rng rng(5);
+  eta2::alloc::AllocationProblem p;
+  p.expertise.assign(users, std::vector<double>(tasks, 0.0));
+  for (auto& row : p.expertise) {
+    for (double& u : row) u = rng.uniform(0.1, 3.0);
+  }
+  p.task_time.resize(tasks);
+  for (double& t : p.task_time) t = rng.uniform(0.5, 1.5);
+  p.user_capacity.assign(users, 12.0);
+  const eta2::alloc::MaxQualityAllocator allocator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.allocate(p));
+  }
+}
+BENCHMARK(BM_MaxQualityGreedy)->Args({50, 100})->Args({100, 200})
+    ->Args({100, 500})->Unit(benchmark::kMillisecond);
+
+void BM_PairWordExtraction(benchmark::State& state) {
+  const std::string description =
+      "What is the average waiting time of the shuttle near the municipal "
+      "building during the morning commute?";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eta2::text::extract_pair(description));
+  }
+}
+BENCHMARK(BM_PairWordExtraction);
+
+void BM_SkipGramTraining(benchmark::State& state) {
+  eta2::text::CorpusOptions corpus_options;
+  corpus_options.sentences_per_topic =
+      static_cast<std::size_t>(state.range(0));
+  const auto corpus = eta2::text::generate_corpus(corpus_options, 3);
+  eta2::text::SkipGramOptions options;
+  options.dimension = 32;
+  options.epochs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eta2::text::SkipGramModel::train(corpus, options, 3));
+  }
+  std::size_t words = 0;
+  for (const auto& s : corpus) words += s.size();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words));
+}
+BENCHMARK(BM_SkipGramTraining)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TaskDistance(benchmark::State& state) {
+  Rng rng(11);
+  eta2::text::Embedding a(64);
+  eta2::text::Embedding b(64);
+  for (double& v : a) v = rng.normal();
+  for (double& v : b) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eta2::text::task_distance(a, b));
+  }
+}
+BENCHMARK(BM_TaskDistance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+#include "mincost_common.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace eta2::bench {
+namespace {
+
+using FactoryMaker = sim::DatasetFactory (*)(const BenchEnv&, double);
+
+void run_dataset(const char* name, FactoryMaker make_factory,
+                 const std::vector<double>& taus, double epsilon_bar,
+                 const BenchEnv& env, bool report_cost) {
+  std::printf("--- %s dataset: %s vs tau (quality requirement: error < "
+              "%.2f at 95%% confidence) ---\n",
+              name, report_cost ? "task-allocation cost" : "estimation error",
+              epsilon_bar);
+  std::vector<std::string> header = {"method"};
+  for (const double tau : taus) {
+    header.push_back("tau=" + Table::format(tau, 0));
+  }
+  Table table(header);
+
+  struct Variant {
+    std::string label;
+    bool min_cost;
+    double c_iter;
+  };
+  const std::vector<Variant> variants = {
+      {"ETA2", false, 0.0},
+      {"ETA2-mc c=30", true, 30.0},
+      {"ETA2-mc c=50", true, 50.0},
+      {"ETA2-mc c=100", true, 100.0},
+  };
+  for (const Variant& v : variants) {
+    std::vector<std::string> row = {v.label};
+    for (const double tau : taus) {
+      sim::SimOptions options = default_options_with_embedder();
+      options.config.epsilon_bar = epsilon_bar;
+      options.config.confidence_alpha = 0.05;
+      options.config.cost_per_iteration = v.min_cost ? v.c_iter : 50.0;
+      const auto method =
+          v.min_cost ? sim::Method::kEta2MinCost : sim::Method::kEta2;
+      const auto sweep =
+          sim::sweep_seeds(make_factory(env, tau), method, options, env.seeds);
+      row.push_back(Table::format(
+          report_cost ? sweep.total_cost.mean : sweep.overall_error.mean,
+          report_cost ? 0 : 4));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\n");
+}
+
+sim::DatasetFactory make_synth(const BenchEnv& env, double tau) {
+  return synthetic_factory(env, tau);
+}
+
+}  // namespace
+
+int run_mincost_bench(int argc, char** argv, bool report_cost,
+                      const char* binary, const char* reproduces) {
+  const BenchEnv env(argc, argv);
+  print_banner(binary, reproduces, env);
+  // The paper sets ε̄ = 0.5 everywhere. Eq. 24's pass test needs
+  // Σ û² > (z/ε̄)² per task; with this library's gauge-anchored expertise
+  // estimates (DESIGN.md §5), the survey and SFV user pools cannot reach
+  // that bound within any tested capacity (the paper's un-anchored û drift
+  // upward, implicitly loosening the bound), so those panels use the
+  // tightest ε̄ the pools can actually meet.
+  run_dataset("survey", &survey_factory, {9, 12, 15, 18}, 0.8, env,
+              report_cost);
+  run_dataset("SFV", &sfv_factory, {30, 40, 50}, 0.7, env, report_cost);
+  run_dataset("synthetic", &make_synth, {9, 12, 15, 18}, 0.5, env,
+              report_cost);
+  if (report_cost) {
+    std::printf("expected shape: ETA2's cost grows with tau (it fills all "
+                "capacity); ETA2-mc spends materially less once the quality "
+                "requirement is reachable; the choice of c-degree matters "
+                "little within a sane range.\n");
+  } else {
+    std::printf("expected shape: ETA2-mc keeps the error under the quality "
+                "requirement and close to ETA2 across c-degree values.\n");
+  }
+  return 0;
+}
+
+}  // namespace eta2::bench

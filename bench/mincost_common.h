@@ -1,0 +1,18 @@
+// Shared driver for the Fig. 9 (error) and Fig. 10 (cost) benches: ETA² vs
+// ETA²-mc under several per-iteration budgets c°, swept over the average
+// processing capability τ, on all three datasets.
+#ifndef ETA2_BENCH_MINCOST_COMMON_H
+#define ETA2_BENCH_MINCOST_COMMON_H
+
+#include "bench_util.h"
+
+namespace eta2::bench {
+
+// Runs the sweep and prints either the estimation-error tables (Fig. 9) or
+// the allocation-cost tables (Fig. 10).
+int run_mincost_bench(int argc, char** argv, bool report_cost,
+                      const char* binary, const char* reproduces);
+
+}  // namespace eta2::bench
+
+#endif  // ETA2_BENCH_MINCOST_COMMON_H

@@ -1,0 +1,73 @@
+// Table 1 of the paper: chi-square goodness-of-fit test of normality on the
+// per-task observation sets of the survey dataset. The paper reports a
+// non-rejection ("pass") rate of roughly 87–90% across significance levels
+// α ∈ {0.5, 0.25, 0.1, 0.05}.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "stats/chi_square.h"
+#include "stats/ks_test.h"
+
+int main(int argc, char** argv) {
+  const eta2::bench::BenchEnv env(argc, argv);
+  eta2::bench::print_banner(
+      "table1_normality_test",
+      "Table 1 — non-rejection rate of the chi-square normality test", env);
+
+  std::vector<eta2::stats::GofResult> results;
+  std::vector<eta2::stats::KsResult> ks_results;
+  const auto factory = eta2::bench::survey_factory(env);
+  for (int s = 0; s < env.seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(s) + 1;
+    const eta2::sim::Dataset dataset = factory(seed);
+    eta2::Rng rng(seed * 211);
+    for (std::size_t j = 0; j < dataset.task_count(); ++j) {
+      std::vector<double> values;
+      values.reserve(dataset.user_count());
+      for (std::size_t i = 0; i < dataset.user_count(); ++i) {
+        values.push_back(eta2::sim::observe(dataset, i, j, rng));
+      }
+      results.push_back(eta2::stats::normality_gof_test(values));
+      ks_results.push_back(eta2::stats::ks_normality_test(values));
+    }
+  }
+
+  eta2::Table table({"Significance Level", "a=0.5", "a=0.25", "a=0.1", "a=0.05"});
+  table.add_row({"Pass Rate",
+                 eta2::Table::format(
+                     100.0 * eta2::stats::non_rejection_rate(results, 0.5), 2) + "%",
+                 eta2::Table::format(
+                     100.0 * eta2::stats::non_rejection_rate(results, 0.25), 2) + "%",
+                 eta2::Table::format(
+                     100.0 * eta2::stats::non_rejection_rate(results, 0.1), 2) + "%",
+                 eta2::Table::format(
+                     100.0 * eta2::stats::non_rejection_rate(results, 0.05), 2) + "%"});
+  table.print();
+
+  // Second (binning-free) check, beyond the paper: Kolmogorov–Smirnov.
+  auto ks_rate = [&ks_results](double alpha) {
+    std::size_t valid = 0;
+    std::size_t passed = 0;
+    for (const auto& r : ks_results) {
+      if (!r.valid) continue;
+      ++valid;
+      if (r.p_value >= alpha) ++passed;
+    }
+    return valid == 0 ? 0.0
+                      : 100.0 * static_cast<double>(passed) /
+                            static_cast<double>(valid);
+  };
+  eta2::Table ks_table(
+      {"KS (extra)", "a=0.5", "a=0.25", "a=0.1", "a=0.05"});
+  ks_table.add_row({"Pass Rate",
+                    eta2::Table::format(ks_rate(0.5), 2) + "%",
+                    eta2::Table::format(ks_rate(0.25), 2) + "%",
+                    eta2::Table::format(ks_rate(0.1), 2) + "%",
+                    eta2::Table::format(ks_rate(0.05), 2) + "%"});
+  ks_table.print();
+
+  std::printf("\npaper reports (chi-square): 87.18%% / 88.46%% / 89.74%% / "
+              "89.74%% (rates rise as alpha falls; ~90%% at 0.05).\n");
+  return 0;
+}

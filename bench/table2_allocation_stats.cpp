@@ -1,0 +1,87 @@
+// Table 2 of the paper: for the max-quality heuristic, the distribution of
+// the number of users assigned per task, and the average (true) expertise
+// of the assigned users per bucket. The paper's pattern: tasks served by
+// few users have high-expertise users; tasks needing many users have
+// moderate-expertise users.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const eta2::bench::BenchEnv env(argc, argv);
+  eta2::bench::print_banner(
+      "table2_allocation_stats",
+      "Table 2 — number of users assigned per task and their average "
+      "expertise (max-quality allocation, synthetic dataset)",
+      env);
+
+  struct Bucket {
+    std::size_t lo;
+    std::size_t hi;
+    std::size_t tasks = 0;
+    double expertise_sum = 0.0;
+  };
+  std::vector<Bucket> buckets = {{0, 1}, {2, 5}, {6, 10}, {11, 15}, {16, 20},
+                                 {21, 1000}};
+  std::size_t total_tasks = 0;
+
+  eta2::sim::SimOptions options;
+  // Paper-faithful raw Eq. 5/6 estimates (no shrinkage prior, no gauge
+  // anchor): the paper's Table 2 pattern — expert-served tasks stopping at
+  // 2-5 users — relies on the raw expertise scale, where a single expert's
+  // p_ij already nearly saturates a task's success probability.
+  options.config.mle.prior_strength = 0.0;
+  options.config.mle.anchor_mean = 0.0;
+  // Specialist profile + modest capacity: the declining expertise-per-
+  // bucket pattern requires some domains' expert pools to run out of
+  // capacity, which the uniform i.i.d. expertise setting never produces.
+  const std::size_t tasks = env.quick ? 250 : 1000;
+  const auto factory = [tasks](std::uint64_t seed) {
+    eta2::sim::SyntheticOptions o;
+    o.tasks = tasks;
+    o.specialist_domains = 1;
+    o.mean_capacity = 10.0;
+    return eta2::sim::make_synthetic(o, seed);
+  };
+  const auto sweep = eta2::sim::sweep_seeds(factory, eta2::sim::Method::kEta2,
+                                            options, env.seeds);
+  for (const auto& run : sweep.runs) {
+    for (const auto& day : run.days) {
+      if (day.day == 0) continue;  // skip the random warm-up day
+      for (std::size_t t = 0; t < day.users_per_task.size(); ++t) {
+        const std::size_t n = day.users_per_task[t];
+        for (Bucket& b : buckets) {
+          if (n >= b.lo && n <= b.hi) {
+            ++b.tasks;
+            b.expertise_sum += day.mean_assigned_expertise[t];
+            break;
+          }
+        }
+        ++total_tasks;
+      }
+    }
+  }
+
+  eta2::Table table(
+      {"Number of users assigned", "Tasks", "Average expertise of users"});
+  for (const Bucket& b : buckets) {
+    if (b.tasks == 0) continue;
+    const std::string range =
+        b.hi >= 1000 ? "[" + std::to_string(b.lo) + "+]"
+                     : "[" + std::to_string(b.lo) + ", " + std::to_string(b.hi) + "]";
+    table.add_row({range,
+                   eta2::Table::format(
+                       100.0 * static_cast<double>(b.tasks) /
+                           static_cast<double>(total_tasks), 1) + "%",
+                   eta2::Table::format(
+                       b.expertise_sum / static_cast<double>(b.tasks), 2)});
+  }
+  table.print();
+  std::printf("\npaper reports (buckets [2,5] [6,10] [11,15] [16,20]): "
+              "20.9%% / 40.3%% / 20.9%% / 17.7%% of tasks with average "
+              "expertise 2.57 / 1.85 / 1.37 / 1.27.\n");
+  std::printf("expected shape: average expertise decreases as the bucket's "
+              "user count grows.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "alloc/baseline_allocators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace eta2::alloc {
+
+Allocation RandomAllocator::allocate(const AllocationProblem& problem,
+                                     Rng& rng) const {
+  problem.validate();
+  const std::size_t n = problem.user_count();
+  const std::size_t m = problem.task_count();
+  Allocation allocation(n, m);
+  std::vector<double> remaining = problem.user_capacity;
+  std::vector<std::size_t> per_task(m, 0);
+
+  // Candidate pair list in random order; a pass may unlock nothing further
+  // once capacities are exhausted, so a single shuffled pass over all pairs
+  // (n*m) with feasibility checks suffices: any pair skipped for capacity
+  // would also fail later since capacity only shrinks.
+  std::vector<std::pair<UserId, TaskId>> pairs;
+  pairs.reserve(n * m);
+  for (UserId i = 0; i < n; ++i) {
+    for (TaskId j = 0; j < m; ++j) pairs.emplace_back(i, j);
+  }
+  rng.shuffle(pairs);
+  for (const auto& [i, j] : pairs) {
+    if (options_.max_users_per_task != 0 &&
+        per_task[j] >= options_.max_users_per_task) {
+      continue;
+    }
+    if (remaining[i] < problem.task_time[j]) continue;
+    allocation.assign(i, j, problem.task_time[j], problem.cost_of(j));
+    remaining[i] -= problem.task_time[j];
+    ++per_task[j];
+  }
+  return allocation;
+}
+
+Allocation ReliabilityGreedyAllocator::allocate(
+    const AllocationProblem& problem, std::span<const double> reliability) const {
+  problem.validate();
+  const std::size_t n = problem.user_count();
+  const std::size_t m = problem.task_count();
+  require(reliability.size() == n,
+          "ReliabilityGreedyAllocator: reliability size != user count");
+  Allocation allocation(n, m);
+  std::vector<double> remaining = problem.user_capacity;
+  std::vector<std::size_t> per_task(m, 0);
+
+  // Users in descending reliability; ties broken by id for determinism.
+  std::vector<UserId> users(n);
+  std::iota(users.begin(), users.end(), UserId{0});
+  std::sort(users.begin(), users.end(), [&](UserId a, UserId b) {
+    if (reliability[a] != reliability[b]) return reliability[a] > reliability[b];
+    return a < b;
+  });
+  // Tasks in ascending processing time.
+  std::vector<TaskId> tasks(m);
+  std::iota(tasks.begin(), tasks.end(), TaskId{0});
+  std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
+    if (problem.task_time[a] != problem.task_time[b]) {
+      return problem.task_time[a] < problem.task_time[b];
+    }
+    return a < b;
+  });
+
+  // Coverage rounds: each round gives every task (shortest first) one more
+  // observer — the most reliable user that still fits it. Short tasks thus
+  // get first claim on the high-reliability users' capacity, while coverage
+  // stays even: no task reaches k+1 observers before every feasible task
+  // has k.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const TaskId j : tasks) {
+      if (options_.max_users_per_task != 0 &&
+          per_task[j] >= options_.max_users_per_task) {
+        continue;
+      }
+      for (const UserId i : users) {
+        if (allocation.is_assigned(i, j)) continue;
+        if (remaining[i] < problem.task_time[j]) continue;
+        allocation.assign(i, j, problem.task_time[j], problem.cost_of(j));
+        remaining[i] -= problem.task_time[j];
+        ++per_task[j];
+        progressed = true;
+        break;  // one new observer per task per round
+      }
+    }
+  }
+  return allocation;
+}
+
+}  // namespace eta2::alloc

@@ -1,0 +1,60 @@
+// Allocation strategies used by the comparison approaches (paper §6.3) and
+// by ETA²'s warm-up period:
+//
+//  * RandomAllocator — the warm-up / Baseline strategy: user-task pairs are
+//    drawn uniformly at random until no user can fit any remaining task.
+//    An optional per-task cap bounds redundancy.
+//  * ReliabilityGreedyAllocator — the strategy of the reliability-based
+//    baselines: in repeated coverage rounds each task (shortest processing
+//    time first, per "prioritize the tasks with lower sensing time to users
+//    with high reliability") receives one more observer — the most reliable
+//    user that still has capacity for it — so coverage stays even while the
+//    high-reliability users' hours go to the short tasks first.
+#ifndef ETA2_ALLOC_BASELINE_ALLOCATORS_H
+#define ETA2_ALLOC_BASELINE_ALLOCATORS_H
+
+#include <span>
+
+#include "alloc/allocation.h"
+#include "common/rng.h"
+
+namespace eta2::alloc {
+
+class RandomAllocator {
+ public:
+  struct Options {
+    // Maximum users per task; 0 = unbounded (fill all capacity).
+    std::size_t max_users_per_task = 0;
+  };
+
+  RandomAllocator() = default;
+  explicit RandomAllocator(Options options) : options_(options) {}
+
+  [[nodiscard]] Allocation allocate(const AllocationProblem& problem,
+                                    Rng& rng) const;
+
+ private:
+  Options options_{};
+};
+
+class ReliabilityGreedyAllocator {
+ public:
+  struct Options {
+    // Maximum users per task; 0 = unbounded.
+    std::size_t max_users_per_task = 0;
+  };
+
+  ReliabilityGreedyAllocator() = default;
+  explicit ReliabilityGreedyAllocator(Options options) : options_(options) {}
+
+  // `reliability` is the per-user score from the baseline truth method.
+  [[nodiscard]] Allocation allocate(const AllocationProblem& problem,
+                                    std::span<const double> reliability) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace eta2::alloc
+
+#endif  // ETA2_ALLOC_BASELINE_ALLOCATORS_H

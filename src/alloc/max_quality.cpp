@@ -1,0 +1,155 @@
+#include "alloc/max_quality.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/normal.h"
+
+namespace eta2::alloc {
+namespace {
+
+// Tracks the greedy working state: remaining capacities, per-task miss
+// probability Π(1 − p_ij), and the cached best pair per task.
+class GreedyState {
+ public:
+  GreedyState(const AllocationProblem& problem, const GreedyOptions& options,
+              const Allocation& allocation)
+      : problem_(problem), options_(options), allocation_(allocation) {
+    const std::size_t n = problem.user_count();
+    const std::size_t m = problem.task_count();
+    // p_ij matrix.
+    p_.assign(n, std::vector<double>(m, 0.0));
+    for (UserId i = 0; i < n; ++i) {
+      for (TaskId j = 0; j < m; ++j) {
+        p_[i][j] = stats::accuracy_probability(problem.expertise[i][j],
+                                               options.epsilon);
+      }
+    }
+    remaining_.resize(n);
+    for (UserId i = 0; i < n; ++i) {
+      remaining_[i] = problem.user_capacity[i] - allocation.used_time(i);
+    }
+    miss_.assign(m, 1.0);
+    for (TaskId j = 0; j < m; ++j) {
+      for (const UserId i : allocation.users_of(j)) miss_[j] *= 1.0 - p_[i][j];
+    }
+    best_eff_.assign(m, 0.0);
+    best_user_.assign(m, n);
+    for (TaskId j = 0; j < m; ++j) rescan_task(j);
+  }
+
+  // Efficiency of (i, j) under the current state (Definition 1).
+  [[nodiscard]] double efficiency(UserId i, TaskId j) const {
+    if (remaining_[i] < problem_.task_time[j]) return 0.0;
+    if (allocation_.is_assigned(i, j)) return 0.0;
+    const double gain = p_[i][j] * miss_[j];
+    return options_.efficiency_per_time ? gain / problem_.task_time[j] : gain;
+  }
+
+  void rescan_task(TaskId j) {
+    const std::size_t n = problem_.user_count();
+    best_eff_[j] = 0.0;
+    best_user_[j] = n;
+    for (UserId i = 0; i < n; ++i) {
+      const double e = efficiency(i, j);
+      if (e > best_eff_[j]) {
+        best_eff_[j] = e;
+        best_user_[j] = i;
+      }
+    }
+  }
+
+  // Picks the globally best pair; returns false when max efficiency is 0.
+  [[nodiscard]] bool best_pair(UserId& user, TaskId& task) const {
+    double best = 0.0;
+    TaskId best_task = problem_.task_count();
+    for (TaskId j = 0; j < problem_.task_count(); ++j) {
+      if (best_eff_[j] > best) {
+        best = best_eff_[j];
+        best_task = j;
+      }
+    }
+    if (best_task == problem_.task_count()) return false;
+    task = best_task;
+    user = best_user_[best_task];
+    return true;
+  }
+
+  // Applies the selection and refreshes the caches that it invalidated.
+  void select(UserId i, TaskId j, Allocation& allocation) {
+    allocation.assign(i, j, problem_.task_time[j], problem_.cost_of(j));
+    remaining_[i] -= problem_.task_time[j];
+    miss_[j] *= 1.0 - p_[i][j];
+    rescan_task(j);
+    // Other tasks' cached best may reference user i, whose remaining
+    // capacity shrank (or which is now assigned to j only — irrelevant for
+    // them). Rescan exactly those tasks.
+    for (TaskId other = 0; other < problem_.task_count(); ++other) {
+      if (other != j && best_user_[other] == i &&
+          remaining_[i] < problem_.task_time[other]) {
+        rescan_task(other);
+      }
+    }
+  }
+
+ private:
+  const AllocationProblem& problem_;
+  const GreedyOptions& options_;
+  const Allocation& allocation_;
+  std::vector<std::vector<double>> p_;
+  std::vector<double> remaining_;
+  std::vector<double> miss_;
+  std::vector<double> best_eff_;
+  std::vector<UserId> best_user_;
+};
+
+}  // namespace
+
+std::size_t greedy_extend(const AllocationProblem& problem,
+                          const GreedyOptions& options, Allocation& allocation) {
+  problem.validate();
+  require(options.epsilon > 0.0, "greedy_extend: epsilon must be > 0");
+  require(allocation.user_count() == problem.user_count() &&
+              allocation.task_count() == problem.task_count(),
+          "greedy_extend: allocation shape mismatch");
+
+  GreedyState state(problem, options, allocation);
+  std::size_t added = 0;
+  double spent = 0.0;
+  while (spent < options.cost_cap) {
+    UserId i = 0;
+    TaskId j = 0;
+    if (!state.best_pair(i, j)) break;  // max efficiency hit zero
+    state.select(i, j, allocation);
+    spent += problem.cost_of(j);
+    ++added;
+  }
+  return added;
+}
+
+MaxQualityAllocator::MaxQualityAllocator(Options options) : options_(options) {}
+
+Allocation MaxQualityAllocator::allocate(const AllocationProblem& problem) const {
+  problem.validate();
+  GreedyOptions per_time;
+  per_time.epsilon = options_.epsilon;
+  per_time.efficiency_per_time = true;
+
+  Allocation primary(problem.user_count(), problem.task_count());
+  greedy_extend(problem, per_time, primary);
+  if (!options_.half_approx_pass) return primary;
+
+  GreedyOptions value_only = per_time;
+  value_only.efficiency_per_time = false;
+  Allocation secondary(problem.user_count(), problem.task_count());
+  greedy_extend(problem, value_only, secondary);
+
+  const double obj_primary =
+      allocation_objective(problem, primary, options_.epsilon);
+  const double obj_secondary =
+      allocation_objective(problem, secondary, options_.epsilon);
+  return obj_secondary > obj_primary ? secondary : primary;
+}
+
+}  // namespace eta2::alloc

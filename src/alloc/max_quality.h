@@ -1,0 +1,57 @@
+// Max-quality task allocation (paper §5.1).
+//
+// The optimization problem (Eq. 14) maximizes Σ_j p_j subject to per-user
+// processing capacity; it is NP-hard (knapsack reduction), so Algorithm 1
+// greedily picks the user-task pair with the highest efficiency
+//   efficiency(i,j) = p_ij (1 − p_j) / t_j
+// until no pair has positive efficiency. Because pure greedy can be
+// arbitrarily bad when task times differ wildly, the allocator also runs the
+// cost-blind variant (efficiency = p_ij (1 − p_j), capacity still enforced)
+// and returns whichever of the two allocations scores higher — the classic
+// 1/2-approximation for monotone submodular maximization under a knapsack
+// constraint (§5.1.2, "extra step").
+#ifndef ETA2_ALLOC_MAX_QUALITY_H
+#define ETA2_ALLOC_MAX_QUALITY_H
+
+#include <limits>
+
+#include "alloc/allocation.h"
+
+namespace eta2::alloc {
+
+struct GreedyOptions {
+  double epsilon = 0.1;  // paper's accuracy threshold ε
+  // true: divide the value gain by t_j (Algorithm 1); false: the cost-blind
+  // second pass of the ½-approximation.
+  bool efficiency_per_time = true;
+  // Budget for the cost of pairs added by this call (Algorithm 2's c°):
+  // selection stops once the added cost reaches the cap.
+  double cost_cap = std::numeric_limits<double>::infinity();
+};
+
+// Greedily extends `allocation` (which may already contain assignments from
+// earlier iterations; those pairs are excluded and their p_j is accounted
+// for). Returns the number of newly added pairs.
+std::size_t greedy_extend(const AllocationProblem& problem,
+                          const GreedyOptions& options, Allocation& allocation);
+
+class MaxQualityAllocator {
+ public:
+  struct Options {
+    double epsilon = 0.1;
+    // Enables the ½-approximation extra pass (paper always enables it).
+    bool half_approx_pass = true;
+  };
+
+  MaxQualityAllocator() = default;
+  explicit MaxQualityAllocator(Options options);
+
+  [[nodiscard]] Allocation allocate(const AllocationProblem& problem) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace eta2::alloc
+
+#endif  // ETA2_ALLOC_MAX_QUALITY_H

@@ -1,0 +1,119 @@
+#include "alloc/min_cost.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/confidence.h"
+#include "stats/normal.h"
+
+namespace eta2::alloc {
+
+MinCostAllocator::MinCostAllocator() : MinCostAllocator(Options{}) {}
+
+MinCostAllocator::MinCostAllocator(Options options) : options_(options) {
+  require(options_.epsilon > 0.0, "MinCostAllocator: epsilon > 0");
+  require(options_.epsilon_bar > 0.0, "MinCostAllocator: epsilon_bar > 0");
+  require(options_.confidence_alpha > 0.0 && options_.confidence_alpha < 1.0,
+          "MinCostAllocator: confidence_alpha in (0,1)");
+  require(options_.cost_per_iteration > 0.0,
+          "MinCostAllocator: cost_per_iteration > 0");
+  require(options_.max_data_iterations >= 1,
+          "MinCostAllocator: max_data_iterations >= 1");
+}
+
+MinCostAllocator::Result MinCostAllocator::run(
+    const AllocationProblem& problem,
+    std::span<const truth::DomainIndex> task_domain, std::size_t domain_count,
+    const std::vector<std::vector<double>>& initial_expertise,
+    const truth::Eta2Mle& mle, const CollectFn& collect) const {
+  problem.validate();
+  const std::size_t n = problem.user_count();
+  const std::size_t m = problem.task_count();
+  require(task_domain.size() == m, "MinCostAllocator: task_domain size != m");
+  require(collect != nullptr, "MinCostAllocator: collect callback required");
+
+  Result result(n, m);
+  // The quality requirement z_{α/2}/sqrt(Σ u²) < ε̄ does not depend on σ_j
+  // (both sides of Eq. 21 scale with it), so the pass test reduces to a
+  // threshold on the allocated users' squared expertise.
+  const double z = stats::z_critical(options_.confidence_alpha);
+  const double required_info =
+      (z / options_.epsilon_bar) * (z / options_.epsilon_bar);
+
+  std::vector<std::vector<double>> expertise = initial_expertise;
+  if (expertise.empty()) {
+    expertise.assign(n, std::vector<double>(domain_count,
+                                            mle.options().initial_expertise));
+  }
+
+  // Tasks whose quality requirement is already met are excluded from
+  // further recruiting (their expertise column is zeroed, so the greedy's
+  // efficiency for them is 0): paying for extra observers on a passing
+  // task can only waste budget that a failing task needs.
+  AllocationProblem working = problem;
+  std::vector<bool> task_passed(m, false);
+  std::vector<bool> asked(n * m, false);
+
+  for (int iteration = 1; iteration <= options_.max_data_iterations;
+       ++iteration) {
+    result.data_iterations = iteration;
+
+    // --- Allocate up to c° of new pairs (Algorithm 1 with a cost cap). ---
+    const std::size_t pairs_before = result.allocation.pair_count();
+    GreedyOptions greedy;
+    greedy.epsilon = options_.epsilon;
+    greedy.efficiency_per_time = true;
+    greedy.cost_cap = options_.cost_per_iteration;
+    greedy_extend(working, greedy, result.allocation);
+    if (options_.half_approx_pass &&
+        result.allocation.pair_count() == pairs_before) {
+      // The per-time pass added nothing; try the value-only pass before
+      // concluding that capacities are exhausted.
+      greedy.efficiency_per_time = false;
+      greedy_extend(working, greedy, result.allocation);
+    }
+    const std::size_t pairs_after = result.allocation.pair_count();
+
+    // --- Collect data from the newly recruited users (each recruited pair
+    // is asked exactly once; non-responders contribute nothing). ---
+    for (TaskId j = 0; j < m; ++j) {
+      for (const UserId i : result.allocation.users_of(j)) {
+        if (asked[i * m + j]) continue;
+        asked[i * m + j] = true;
+        if (const auto value = collect(j, i)) {
+          result.observations.add(j, i, *value);
+        }
+      }
+    }
+
+    // --- Expertise-aware truth analysis over ALL collected data. ---
+    result.truth =
+        mle.estimate(result.observations, task_domain, domain_count, expertise);
+
+    // --- Probabilistic quality check per task (Eq. 24). ---
+    bool pass = true;
+    for (TaskId j = 0; j < m; ++j) {
+      if (task_passed[j]) continue;
+      double info = 0.0;
+      const truth::DomainIndex k = task_domain[j];
+      for (const UserId i : result.allocation.users_of(j)) {
+        const double u = result.truth.expertise[i][k];
+        info += u * u;
+      }
+      if (info > required_info) {
+        task_passed[j] = true;
+        for (UserId i = 0; i < n; ++i) working.expertise[i][j] = 0.0;
+      } else {
+        pass = false;
+      }
+    }
+    if (pass) {
+      result.quality_met = true;
+      break;
+    }
+    if (pairs_after == pairs_before) break;  // nothing left to allocate
+  }
+  return result;
+}
+
+}  // namespace eta2::alloc

@@ -1,0 +1,206 @@
+#include "clustering/dynamic_clusterer.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "clustering/linkage.h"
+#include "common/error.h"
+#include "text/pairword.h"
+
+namespace eta2::clustering {
+
+DynamicClusterer::DynamicClusterer(double gamma) : gamma_(gamma) {
+  require(gamma >= 0.0 && gamma <= 1.0, "DynamicClusterer: gamma in [0,1]");
+}
+
+std::size_t DynamicClusterer::domain_count() const {
+  return live_domains().size();
+}
+
+DomainId DynamicClusterer::domain_of(std::size_t task_index) const {
+  require(task_index < point_domain_.size(),
+          "DynamicClusterer::domain_of: index out of range");
+  return point_domain_[task_index];
+}
+
+std::vector<DomainId> DynamicClusterer::live_domains() const {
+  std::set<DomainId> ids(point_domain_.begin(), point_domain_.end());
+  return {ids.begin(), ids.end()};
+}
+
+void DynamicClusterer::save(std::ostream& out) const {
+  const auto write_number = [&out](double value) {
+    char buffer[64];
+    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+    ensure(ec == std::errc(), "DynamicClusterer::save: formatting failure");
+    out.write(buffer, ptr - buffer);
+  };
+  out << "dynamic-clusterer v1\n";
+  write_number(gamma_);
+  out << ' ';
+  write_number(dstar_);
+  out << ' ' << next_domain_ << ' ' << points_.size() << ' '
+      << (points_.empty() ? 0 : points_.front().size()) << '\n';
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    out << point_domain_[p];
+    for (const double v : points_[p]) {
+      out << ' ';
+      write_number(v);
+    }
+    out << '\n';
+  }
+}
+
+DynamicClusterer DynamicClusterer::load(std::istream& in) {
+  std::string tag;
+  std::string version;
+  require(static_cast<bool>(in >> tag >> version) &&
+              tag == "dynamic-clusterer" && version == "v1",
+          "DynamicClusterer::load: bad header");
+  double gamma = 0.0;
+  double dstar = 0.0;
+  DomainId next_domain = 0;
+  std::size_t point_count = 0;
+  std::size_t dim = 0;
+  require(static_cast<bool>(in >> gamma >> dstar >> next_domain >>
+                            point_count >> dim),
+          "DynamicClusterer::load: bad dimensions");
+  DynamicClusterer clusterer(gamma);
+  clusterer.dstar_ = dstar;
+  clusterer.next_domain_ = next_domain;
+  clusterer.points_.reserve(point_count);
+  clusterer.point_domain_.reserve(point_count);
+  for (std::size_t p = 0; p < point_count; ++p) {
+    DomainId domain = 0;
+    require(static_cast<bool>(in >> domain),
+            "DynamicClusterer::load: truncated points");
+    text::Embedding vec(dim, 0.0);
+    for (double& v : vec) {
+      require(static_cast<bool>(in >> v),
+              "DynamicClusterer::load: truncated vector");
+    }
+    clusterer.points_.push_back(std::move(vec));
+    clusterer.point_domain_.push_back(domain);
+  }
+  return clusterer;
+}
+
+ClusterUpdate DynamicClusterer::add_tasks(
+    std::span<const text::Embedding> vectors) {
+  ClusterUpdate update;
+  if (vectors.empty()) return update;
+  const std::size_t dim = vectors.front().size();
+  for (const auto& v : vectors) {
+    require(v.size() == dim, "DynamicClusterer: inconsistent vector dimension");
+  }
+  require(points_.empty() || points_.front().size() == dim,
+          "DynamicClusterer: dimension differs from previous batches");
+
+  const std::size_t old_count = points_.size();
+  for (const auto& v : vectors) points_.push_back(v);
+  const std::size_t total = points_.size();
+  point_domain_.resize(total, 0);
+
+  // Update d* with the new pairwise distances (new-vs-all).
+  for (std::size_t i = old_count; i < total; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      dstar_ = std::max(dstar_, text::task_distance(points_[i], points_[j]));
+    }
+  }
+  const double threshold = gamma_ * dstar_;
+
+  // Units for this round: one unit per existing live domain, plus one
+  // singleton unit per new task. (Existing domains are derived from the
+  // pre-batch points only — the resized placeholder labels of the new
+  // points must not leak in.)
+  std::set<DomainId> existing_set(point_domain_.begin(),
+                                  point_domain_.begin() +
+                                      static_cast<std::ptrdiff_t>(old_count));
+  const std::vector<DomainId> existing(existing_set.begin(), existing_set.end());
+  std::vector<std::vector<std::size_t>> unit_members;
+  unit_members.reserve(existing.size() + (total - old_count));
+  for (const DomainId d : existing) {
+    std::vector<std::size_t> members;
+    for (std::size_t p = 0; p < old_count; ++p) {
+      if (point_domain_[p] == d) members.push_back(p);
+    }
+    unit_members.push_back(std::move(members));
+  }
+  const std::size_t existing_units = unit_members.size();
+  for (std::size_t p = old_count; p < total; ++p) {
+    unit_members.push_back({p});
+  }
+  const std::size_t n_units = unit_members.size();
+
+  // Average pairwise distance between units.
+  SymmetricMatrix dist(n_units);
+  std::vector<double> sizes(n_units, 0.0);
+  for (std::size_t u = 0; u < n_units; ++u) {
+    sizes[u] = static_cast<double>(unit_members[u].size());
+  }
+  for (std::size_t u = 1; u < n_units; ++u) {
+    for (std::size_t v = 0; v < u; ++v) {
+      double sum = 0.0;
+      for (const std::size_t p : unit_members[u]) {
+        for (const std::size_t q : unit_members[v]) {
+          sum += text::task_distance(points_[p], points_[q]);
+        }
+      }
+      dist.set(u, v, sum / (sizes[u] * sizes[v]));
+    }
+  }
+
+  const auto dendrogram = upgma_dendrogram(dist, sizes);
+  const auto labels = cut_dendrogram(dendrogram, n_units, threshold);
+
+  // Map each final cluster to a domain id: reuse the id of the existing
+  // domain with most members; clusters of only-new units get fresh ids.
+  std::size_t label_count = 0;
+  for (const std::size_t l : labels) label_count = std::max(label_count, l + 1);
+
+  std::vector<DomainId> label_domain(label_count, 0);
+  std::vector<bool> label_has_domain(label_count, false);
+  // Pick the largest existing domain inside each label as the survivor.
+  std::vector<double> best_size(label_count, 0.0);
+  for (std::size_t u = 0; u < existing_units; ++u) {
+    const std::size_t l = labels[u];
+    if (!label_has_domain[l] || sizes[u] > best_size[l]) {
+      label_has_domain[l] = true;
+      label_domain[l] = existing[u];
+      best_size[l] = sizes[u];
+    }
+  }
+  // Absorbed existing domains produce merge events.
+  for (std::size_t u = 0; u < existing_units; ++u) {
+    const std::size_t l = labels[u];
+    if (label_domain[l] != existing[u]) {
+      update.merges.push_back(DomainMerge{label_domain[l], existing[u]});
+    }
+  }
+  // Only-new clusters get fresh domain ids.
+  for (std::size_t l = 0; l < label_count; ++l) {
+    if (!label_has_domain[l]) {
+      label_domain[l] = next_domain_++;
+      label_has_domain[l] = true;
+      update.new_domains.push_back(label_domain[l]);
+    }
+  }
+
+  // Relabel every point (absorbed domains move to the surviving id).
+  for (std::size_t u = 0; u < n_units; ++u) {
+    const DomainId d = label_domain[labels[u]];
+    for (const std::size_t p : unit_members[u]) point_domain_[p] = d;
+  }
+  update.assignments.reserve(total - old_count);
+  for (std::size_t p = old_count; p < total; ++p) {
+    update.assignments.push_back(point_domain_[p]);
+  }
+  return update;
+}
+
+}  // namespace eta2::clustering

@@ -1,0 +1,71 @@
+// Dynamic hierarchical clustering (paper §3.3.2). Maintains the expertise
+// domains discovered so far. Each round, the new tasks start as singleton
+// clusters next to the existing domain clusters, and the average-linkage
+// merging process runs until the closest pair of clusters is at distance
+// >= γ·d* (d* = the largest pairwise task distance observed so far).
+//
+// The round's outcome is reported as:
+//  * a domain id for every new task,
+//  * the list of freshly created domain ids, and
+//  * the list of (kept, absorbed) merges of pre-existing domains — the truth
+//    module uses these to merge expertise records (paper §4.2).
+#ifndef ETA2_CLUSTERING_DYNAMIC_CLUSTERER_H
+#define ETA2_CLUSTERING_DYNAMIC_CLUSTERER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "text/embedding.h"
+
+namespace eta2::clustering {
+
+using DomainId = std::uint32_t;
+
+struct DomainMerge {
+  DomainId kept = 0;
+  DomainId absorbed = 0;
+};
+
+struct ClusterUpdate {
+  std::vector<DomainId> assignments;  // one per new task, in input order
+  std::vector<DomainId> new_domains;
+  std::vector<DomainMerge> merges;
+};
+
+class DynamicClusterer {
+ public:
+  // gamma in [0, 1]: merge-stop threshold as a fraction of d*.
+  explicit DynamicClusterer(double gamma);
+
+  // Adds a batch of task semantic vectors (all with one fixed dimension) and
+  // runs the merging round. The first call plays the role of the paper's
+  // warm-up clustering (every task starts as a singleton).
+  ClusterUpdate add_tasks(std::span<const text::Embedding> vectors);
+
+  [[nodiscard]] double gamma() const { return gamma_; }
+  [[nodiscard]] double dstar() const { return dstar_; }
+  [[nodiscard]] std::size_t task_count() const { return points_.size(); }
+  // Number of currently live domains.
+  [[nodiscard]] std::size_t domain_count() const;
+  // Domain of the idx-th task ever added (insertion order).
+  [[nodiscard]] DomainId domain_of(std::size_t task_index) const;
+  // All live domain ids, ascending.
+  [[nodiscard]] std::vector<DomainId> live_domains() const;
+
+  // State persistence (points, labels, d*, id counter) as a text block.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static DynamicClusterer load(std::istream& in);
+
+ private:
+  double gamma_;
+  double dstar_ = 0.0;
+  std::vector<text::Embedding> points_;
+  std::vector<DomainId> point_domain_;
+  DomainId next_domain_ = 0;
+};
+
+}  // namespace eta2::clustering
+
+#endif  // ETA2_CLUSTERING_DYNAMIC_CLUSTERER_H

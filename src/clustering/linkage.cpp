@@ -1,0 +1,188 @@
+#include "clustering/linkage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace eta2::clustering {
+
+SymmetricMatrix::SymmetricMatrix(std::size_t n)
+    : n_(n), data_(n >= 2 ? n * (n - 1) / 2 : 0, 0.0) {}
+
+std::size_t SymmetricMatrix::index(std::size_t i, std::size_t j) const {
+  require(i < n_ && j < n_ && i != j, "SymmetricMatrix: bad index");
+  if (i < j) std::swap(i, j);
+  // Lower triangle, row i (i >= 1), column j < i.
+  return i * (i - 1) / 2 + j;
+}
+
+double SymmetricMatrix::at(std::size_t i, std::size_t j) const {
+  if (i == j) return 0.0;
+  return data_[index(i, j)];
+}
+
+void SymmetricMatrix::set(std::size_t i, std::size_t j, double value) {
+  data_[index(i, j)] = value;
+}
+
+std::vector<MergeStep> upgma_dendrogram(const SymmetricMatrix& distances,
+                                        std::vector<double> sizes) {
+  const std::size_t n = distances.size();
+  require(sizes.size() == n, "upgma_dendrogram: sizes/matrix size mismatch");
+  for (const double s : sizes) {
+    require(s > 0.0, "upgma_dendrogram: cluster sizes must be positive");
+  }
+  std::vector<MergeStep> steps;
+  if (n < 2) return steps;
+  steps.reserve(n - 1);
+
+  // Working distance matrix over "slots". Slot k initially holds cluster k;
+  // after a merge the combined cluster reuses one slot and the other slot is
+  // deactivated. `label[k]` is the dendrogram index the slot currently holds.
+  SymmetricMatrix dist = distances;
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> label(n);
+  std::iota(label.begin(), label.end(), std::size_t{0});
+
+  // Nearest-neighbor chain.
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+
+  auto nearest_active = [&](std::size_t slot, std::size_t exclude,
+                            bool has_exclude) -> std::size_t {
+    std::size_t best = n;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t other = 0; other < n; ++other) {
+      if (!active[other] || other == slot) continue;
+      if (has_exclude && other == exclude) continue;
+      const double d = dist.at(slot, other);
+      if (d < best_dist) {
+        best_dist = d;
+        best = other;
+      }
+    }
+    return best;
+  };
+
+  std::size_t next_label = n;
+  std::size_t remaining = n;
+  while (remaining > 1) {
+    if (chain.empty()) {
+      // Start the chain from any active slot.
+      for (std::size_t k = 0; k < n; ++k) {
+        if (active[k]) {
+          chain.push_back(k);
+          break;
+        }
+      }
+    }
+    while (true) {
+      const std::size_t tip = chain.back();
+      const bool has_prev = chain.size() >= 2;
+      const std::size_t prev = has_prev ? chain[chain.size() - 2] : 0;
+      std::size_t nn = nearest_active(tip, prev, has_prev);
+      // Prefer the chain predecessor on ties so mutual pairs terminate.
+      if (has_prev && nn != n) {
+        if (dist.at(tip, prev) <= dist.at(tip, nn)) nn = prev;
+      } else if (has_prev && nn == n) {
+        nn = prev;
+      }
+      ensure(nn != n, "upgma_dendrogram: no active neighbor found");
+      if (has_prev && nn == prev) {
+        // Mutual nearest neighbors: merge tip and prev.
+        const std::size_t a = prev;
+        const std::size_t b = tip;
+        const double d = dist.at(a, b);
+        steps.push_back(MergeStep{std::min(label[a], label[b]),
+                                  std::max(label[a], label[b]), d});
+        // Lance-Williams update for average linkage into slot a.
+        const double sa = sizes[a];
+        const double sb = sizes[b];
+        for (std::size_t other = 0; other < n; ++other) {
+          if (!active[other] || other == a || other == b) continue;
+          const double updated =
+              (sa * dist.at(a, other) + sb * dist.at(b, other)) / (sa + sb);
+          dist.set(a, other, updated);
+        }
+        sizes[a] = sa + sb;
+        active[b] = false;
+        label[a] = next_label++;
+        chain.pop_back();
+        chain.pop_back();
+        --remaining;
+        break;
+      }
+      chain.push_back(nn);
+    }
+  }
+
+  // Note: NN-chain may emit merges of independent branches out of height
+  // order, but average linkage is reducible, so heights are monotone along
+  // every tree path (children before parents, child height <= parent
+  // height). Cutting at a threshold therefore never needs a global sort.
+  return steps;
+}
+
+std::vector<std::size_t> cut_dendrogram(const std::vector<MergeStep>& dendrogram,
+                                        std::size_t n, double threshold) {
+  // Union-find over initial clusters; merged-cluster ids in `dendrogram`
+  // refer to dendrogram nodes, so map node id -> representative root.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  // node_root[k]: for dendrogram node id k (0..n-1 initial, then one per
+  // applied merge in order), the union-find root representing it.
+  std::vector<std::size_t> node_root(n + dendrogram.size(), 0);
+  std::iota(node_root.begin(), node_root.begin() + static_cast<std::ptrdiff_t>(n),
+            std::size_t{0});
+
+  std::size_t next_node = n;
+  for (const MergeStep& step : dendrogram) {
+    const std::size_t node_id = next_node++;
+    if (step.distance >= threshold) {
+      // Not merged; the node still needs a representative for parents that
+      // might reference it (their distances are >= this one, so they will
+      // also be skipped — any root works).
+      node_root[node_id] = node_root[step.a];
+      continue;
+    }
+    const std::size_t ra = find(node_root[step.a]);
+    const std::size_t rb = find(node_root[step.b]);
+    parent[rb] = ra;
+    node_root[node_id] = ra;
+  }
+
+  std::vector<std::size_t> labels(n, 0);
+  std::vector<std::size_t> root_to_label(n, static_cast<std::size_t>(-1));
+  std::size_t next_label = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = find(i);
+    if (root_to_label[r] == static_cast<std::size_t>(-1)) {
+      root_to_label[r] = next_label++;
+    }
+    labels[i] = root_to_label[r];
+  }
+  return labels;
+}
+
+std::vector<std::size_t> average_linkage_cluster(const SymmetricMatrix& distances,
+                                                 double threshold) {
+  const std::size_t n = distances.size();
+  if (n == 0) return {};
+  const auto dendrogram =
+      upgma_dendrogram(distances, std::vector<double>(n, 1.0));
+  return cut_dendrogram(dendrogram, n, threshold);
+}
+
+}  // namespace eta2::clustering

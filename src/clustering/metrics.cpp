@@ -1,0 +1,76 @@
+#include "clustering/metrics.h"
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace eta2::clustering {
+namespace {
+
+// Contingency table predicted-label -> truth-label -> count.
+std::map<std::size_t, std::map<std::size_t, std::size_t>> contingency(
+    std::span<const std::size_t> predicted, std::span<const std::size_t> truth) {
+  std::map<std::size_t, std::map<std::size_t, std::size_t>> table;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    ++table[predicted[i]][truth[i]];
+  }
+  return table;
+}
+
+double choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+double purity(std::span<const std::size_t> predicted,
+              std::span<const std::size_t> truth) {
+  require(!predicted.empty(), "purity: empty labels");
+  require(predicted.size() == truth.size(), "purity: size mismatch");
+  const auto table = contingency(predicted, truth);
+  std::size_t correct = 0;
+  for (const auto& [cluster, counts] : table) {
+    std::size_t best = 0;
+    for (const auto& [label, count] : counts) best = std::max(best, count);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+double adjusted_rand_index(std::span<const std::size_t> predicted,
+                           std::span<const std::size_t> truth) {
+  require(!predicted.empty(), "adjusted_rand_index: empty labels");
+  require(predicted.size() == truth.size(),
+          "adjusted_rand_index: size mismatch");
+  const auto table = contingency(predicted, truth);
+
+  std::map<std::size_t, std::size_t> row_sums;
+  std::map<std::size_t, std::size_t> col_sums;
+  double sum_cells = 0.0;
+  for (const auto& [cluster, counts] : table) {
+    for (const auto& [label, count] : counts) {
+      row_sums[cluster] += count;
+      col_sums[label] += count;
+      sum_cells += choose2(static_cast<double>(count));
+    }
+  }
+  double sum_rows = 0.0;
+  for (const auto& [cluster, count] : row_sums) {
+    sum_rows += choose2(static_cast<double>(count));
+  }
+  double sum_cols = 0.0;
+  for (const auto& [label, count] : col_sums) {
+    sum_cols += choose2(static_cast<double>(count));
+  }
+  const double total = choose2(static_cast<double>(predicted.size()));
+  if (total == 0.0) return 1.0;
+  const double expected = sum_rows * sum_cols / total;
+  const double maximum = 0.5 * (sum_rows + sum_cols);
+  if (maximum == expected) return 1.0;  // both partitions trivial
+  return (sum_cells - expected) / (maximum - expected);
+}
+
+std::size_t cluster_count(std::span<const std::size_t> labels) {
+  return std::set<std::size_t>(labels.begin(), labels.end()).size();
+}
+
+}  // namespace eta2::clustering

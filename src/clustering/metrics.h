@@ -1,0 +1,28 @@
+// External cluster-quality metrics: purity and the Adjusted Rand Index.
+// Used to evaluate Module 1 (task expertise identification) against the
+// dataset generators' latent topics, both in tests and in the
+// domain_discovery example.
+#ifndef ETA2_CLUSTERING_METRICS_H
+#define ETA2_CLUSTERING_METRICS_H
+
+#include <cstddef>
+#include <span>
+
+namespace eta2::clustering {
+
+// Fraction of points whose cluster's majority true label matches their own.
+// Requires equal-sized, non-empty label vectors.
+[[nodiscard]] double purity(std::span<const std::size_t> predicted,
+                            std::span<const std::size_t> truth);
+
+// Adjusted Rand Index in [-1, 1]; 1 = identical partitions, ~0 = random
+// agreement. Requires equal-sized, non-empty label vectors.
+[[nodiscard]] double adjusted_rand_index(std::span<const std::size_t> predicted,
+                                         std::span<const std::size_t> truth);
+
+// Number of distinct labels in a labeling.
+[[nodiscard]] std::size_t cluster_count(std::span<const std::size_t> labels);
+
+}  // namespace eta2::clustering
+
+#endif  // ETA2_CLUSTERING_METRICS_H

@@ -1,0 +1,53 @@
+// Minimal CSV writer/reader used to persist generated datasets and bench
+// series. Handles quoting of fields containing commas/quotes/newlines, which
+// is enough for task descriptions.
+#ifndef ETA2_COMMON_CSV_H
+#define ETA2_COMMON_CSV_H
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eta2 {
+
+// Streams rows to an std::ostream. The writer does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  // Convenience: formats arithmetic values with full round-trip precision.
+  template <typename... Ts>
+  void write(const Ts&... fields) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(fields));
+    (row.push_back(field_to_string(fields)), ...);
+    write_row(row);
+  }
+
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+ private:
+  static std::string field_to_string(const std::string& s) { return s; }
+  static std::string field_to_string(const char* s) { return s; }
+  static std::string field_to_string(std::string_view s) { return std::string(s); }
+  template <typename T>
+  static std::string field_to_string(const T& value) {
+    return format_number(static_cast<double>(value));
+  }
+  static std::string format_number(double value);
+
+  std::ostream* out_;
+};
+
+// Parses one CSV line into fields, honouring double-quote escaping.
+[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line);
+
+// Reads a whole CSV document (no header handling) from a string.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+}  // namespace eta2
+
+#endif  // ETA2_COMMON_CSV_H

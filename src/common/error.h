@@ -1,0 +1,32 @@
+// Error handling helpers. Library code validates its preconditions with
+// `require(...)`, which throws std::invalid_argument / std::logic_error with
+// a message that names the violated condition.
+#ifndef ETA2_COMMON_ERROR_H
+#define ETA2_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace eta2 {
+
+// Thrown when a numerical routine fails to make progress (e.g. an MLE loop
+// whose inputs are degenerate beyond what regularization can absorb).
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Precondition check: throws std::invalid_argument when `condition` is false.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw std::invalid_argument(std::string(message));
+}
+
+// Internal-invariant check: throws std::logic_error when `condition` is false.
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) throw std::logic_error(std::string(message));
+}
+
+}  // namespace eta2
+
+#endif  // ETA2_COMMON_ERROR_H

@@ -1,0 +1,39 @@
+// Tiny command-line flag parser for the bench/example binaries.
+// Accepts `--name=value` and `--name value`; `--name` alone is a boolean true.
+// Unrecognized positional arguments are collected separately.
+#ifndef ETA2_COMMON_FLAGS_H
+#define ETA2_COMMON_FLAGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eta2 {
+
+class Flags {
+ public:
+  Flags() = default;
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::string get(std::string_view name, std::string_view fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  // Environment-variable override used by the bench harness: the number of
+  // Monte-Carlo seeds defaults to `fallback`, can be raised via --seeds or
+  // the ETA2_SEEDS environment variable (flag wins).
+  [[nodiscard]] int seed_count(int fallback) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace eta2
+
+#endif  // ETA2_COMMON_FLAGS_H

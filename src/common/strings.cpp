@@ -1,0 +1,68 @@
+#include "common/strings.h"
+
+#include <cctype>
+
+namespace eta2 {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      break;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::vector<std::string> split_whitespace(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) == 0) ++i;
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(items[i]);
+  }
+  return out;
+}
+
+}  // namespace eta2

@@ -1,0 +1,32 @@
+// Small string utilities used by the text pipeline and the CSV reader.
+#ifndef ETA2_COMMON_STRINGS_H
+#define ETA2_COMMON_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eta2 {
+
+// Split `text` on `delimiter`; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delimiter);
+
+// Split on any run of ASCII whitespace; empty tokens are dropped.
+[[nodiscard]] std::vector<std::string> split_whitespace(std::string_view text);
+
+// ASCII lower-casing (the text pipeline only handles ASCII task descriptions).
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+// True when `text` starts with / ends with the given prefix or suffix.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+
+// Join items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items, std::string_view separator);
+
+}  // namespace eta2
+
+#endif  // ETA2_COMMON_STRINGS_H

@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+namespace eta2 {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_numeric_row(const std::vector<double>& row, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(row.size());
+  for (const double v : row) formatted.push_back(format(v, precision));
+  add_row(std::move(formatted));
+}
+
+std::string Table::format(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out.push_back('|');
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      out.push_back(' ');
+      out.append(cell);
+      out.append(widths[c] - cell.size(), ' ');
+      out.append(" |");
+    }
+    out.push_back('\n');
+  };
+  std::string out;
+  emit_row(header_, out);
+  out.push_back('|');
+  for (const std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out.push_back('|');
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void Table::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace eta2

@@ -1,0 +1,35 @@
+// Fixed-width console table printer used by the bench harness to emit
+// paper-style tables and figure series.
+#ifndef ETA2_COMMON_TABLE_H
+#define ETA2_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace eta2 {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience overload: numbers are formatted with `precision` decimals.
+  void add_numeric_row(const std::vector<double>& row, int precision = 4);
+
+  // Render with column alignment; returns the formatted table.
+  [[nodiscard]] std::string to_string() const;
+
+  // Print to stdout.
+  void print() const;
+
+  [[nodiscard]] static std::string format(double value, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eta2
+
+#endif  // ETA2_COMMON_TABLE_H

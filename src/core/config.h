@@ -1,0 +1,35 @@
+// Configuration of the full ETA² pipeline (Fig. 1 of the paper).
+#ifndef ETA2_CORE_CONFIG_H
+#define ETA2_CORE_CONFIG_H
+
+#include "truth/eta2_mle.h"
+
+namespace eta2::core {
+
+struct Eta2Config {
+  // Clustering: merge-stop threshold fraction γ of d* (paper §3.3).
+  double gamma = 0.5;
+  // Expertise decay factor α on historical accumulators (paper Eq. 7–8).
+  double alpha = 0.5;
+  // Accuracy threshold ε of Eq. 11 (paper sets 0.1).
+  double epsilon = 0.1;
+  // MLE engine knobs (convergence threshold, clamps, ...).
+  truth::MleOptions mle;
+  // Run the ½-approximation extra greedy pass (paper always does).
+  bool half_approx_pass = true;
+  // Use the pair-word <Query, Target> semantic vectors (paper §3.2). When
+  // false, the whole description's content words form one phrase embedding
+  // (the ablation the pair-word design is measured against).
+  bool use_pairword = true;
+
+  // --- min-cost allocation (ETA²-mc) ---
+  bool use_min_cost = false;
+  double epsilon_bar = 0.5;        // quality requirement ε̄
+  double confidence_alpha = 0.05;  // 1−α confidence level
+  double cost_per_iteration = 50;  // c°
+  int max_data_iterations = 100;
+};
+
+}  // namespace eta2::core
+
+#endif  // ETA2_CORE_CONFIG_H

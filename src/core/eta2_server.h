@@ -1,0 +1,117 @@
+// The ETA² crowdsourcing server (the paper's primary contribution, Fig. 1).
+//
+// Per time step the server: (1) identifies the expertise domains of the new
+// tasks — by dynamic hierarchical clustering of their pair-word semantic
+// vectors, or from externally supplied labels when domains are pre-known;
+// (2) allocates the tasks to users — randomly during the warm-up step,
+// afterwards by max-quality (Algorithm 1 + ½-approx pass) or min-cost
+// (Algorithm 2) allocation driven by the learned expertise; (3) collects the
+// data through a caller-supplied callback; and (4) runs expertise-aware
+// truth analysis, updating the per-user expertise store with decay α.
+//
+// The server never sees ground truth; evaluation happens outside (sim/).
+#ifndef ETA2_CORE_ETA2_SERVER_H
+#define ETA2_CORE_ETA2_SERVER_H
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "clustering/dynamic_clusterer.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "text/embedder.h"
+#include "truth/eta2_mle.h"
+#include "truth/expertise_store.h"
+
+namespace eta2::core {
+
+class Eta2Server {
+ public:
+  struct NewTask {
+    // Textual description (domains unknown); ignored when `known_domain` is
+    // set (the synthetic dataset's pre-known labels).
+    std::string description;
+    std::optional<std::size_t> known_domain;
+    double processing_time = 1.0;
+    double cost = 1.0;
+  };
+
+  // Observation callback: value user `user` reports for the step's
+  // `local_task` (0-based within this step's batch); std::nullopt when the
+  // user never responds (dropped connection, abandoned task, ...) — the
+  // pipeline then simply proceeds without that observation.
+  using CollectFn =
+      std::function<std::optional<double>(std::size_t local_task, std::size_t user)>;
+
+  struct StepResult {
+    std::vector<double> truth;   // per new task (NaN if never observed)
+    std::vector<double> sigma;   // per new task
+    alloc::Allocation allocation;  // over (users x new tasks)
+    double cost = 0.0;
+    int mle_iterations = 0;      // truth-analysis iterations this step
+    int data_iterations = 1;     // Algorithm 2 rounds (1 for max-quality)
+    bool warmup = false;         // true when random allocation was used
+    std::vector<truth::DomainIndex> task_domains;  // dense index per task
+  };
+
+  // `embedder` may be null when every step supplies known_domain labels.
+  Eta2Server(std::size_t user_count, Eta2Config config,
+             std::shared_ptr<const text::Embedder> embedder);
+
+  // Runs one time step of Fig. 1 on a batch of new tasks. `user_capacity`
+  // is this step's T_i (hours available per user).
+  StepResult step(std::span<const NewTask> tasks,
+                  std::span<const double> user_capacity,
+                  const CollectFn& collect, Rng& rng);
+
+  [[nodiscard]] const truth::ExpertiseStore& expertise_store() const {
+    return store_;
+  }
+  [[nodiscard]] const Eta2Config& config() const { return config_; }
+  [[nodiscard]] std::size_t user_count() const { return store_.user_count(); }
+  [[nodiscard]] bool warmed_up() const { return warmed_up_; }
+
+  // Dense domain index of an external (pre-known) domain label, if seen.
+  [[nodiscard]] std::optional<truth::DomainIndex> dense_of_external(
+      std::size_t external) const;
+
+  // The `k` users with the highest learned expertise in a dense domain
+  // (ties broken by user id), most expert first.
+  [[nodiscard]] std::vector<std::size_t> top_experts(truth::DomainIndex domain,
+                                                     std::size_t k) const;
+
+  // State persistence: everything learned so far (expertise accumulators,
+  // clustering state, domain maps, warm-up flag) as a text block. Config
+  // and embedder are supplied again at load time — persisting them is the
+  // caller's business (they may be code, not data).
+  void save(std::ostream& out) const;
+  [[nodiscard]] static Eta2Server load(
+      std::istream& in, Eta2Config config,
+      std::shared_ptr<const text::Embedder> embedder);
+
+ private:
+  // Resolves the dense domain index of every task in the batch, creating
+  // store domains and applying merges as needed.
+  std::vector<truth::DomainIndex> identify_domains(
+      std::span<const NewTask> tasks);
+
+  Eta2Config config_;
+  std::shared_ptr<const text::Embedder> embedder_;
+  truth::Eta2Mle mle_;
+  truth::ExpertiseStore store_;
+  clustering::DynamicClusterer clusterer_;
+  std::map<clustering::DomainId, truth::DomainIndex> cluster_to_dense_;
+  std::map<std::size_t, truth::DomainIndex> external_to_dense_;
+  bool warmed_up_ = false;
+};
+
+}  // namespace eta2::core
+
+#endif  // ETA2_CORE_ETA2_SERVER_H

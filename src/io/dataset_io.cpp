@@ -1,0 +1,145 @@
+#include "io/dataset_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace eta2::io {
+namespace {
+
+// Shortest round-trippable decimal representation.
+std::string format_full(double value) {
+  char buffer[64];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc() ? std::string(buffer, ptr) : std::string("0");
+}
+
+double parse_double(const std::string& field, std::string_view what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(field, &consumed);
+    require(consumed == field.size(), what);
+    return value;
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("dataset csv: bad number in " + std::string(what));
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("dataset csv: number out of range in " +
+                                std::string(what));
+  }
+}
+
+std::size_t parse_size(const std::string& field, std::string_view what) {
+  const double v = parse_double(field, what);
+  require(v >= 0.0, what);
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+void write_users_csv(const sim::Dataset& dataset, std::ostream& out) {
+  CsvWriter writer(out);
+  std::vector<std::string> header = {"user_id", "capacity"};
+  for (std::size_t k = 0; k < dataset.latent_domain_count; ++k) {
+    header.push_back("u_" + std::to_string(k));
+  }
+  writer.write_row(header);
+  for (std::size_t i = 0; i < dataset.user_count(); ++i) {
+    const sim::User& u = dataset.users[i];
+    std::vector<std::string> row = {std::to_string(i), format_full(u.capacity)};
+    for (const double e : u.true_expertise) {
+      row.push_back(format_full(e));
+    }
+    writer.write_row(row);
+  }
+}
+
+void write_tasks_csv(const sim::Dataset& dataset, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.write_row({"task_id", "day", "true_domain", "ground_truth",
+                    "base_number", "processing_time", "cost", "description"});
+  for (std::size_t j = 0; j < dataset.task_count(); ++j) {
+    const sim::Task& t = dataset.tasks[j];
+    writer.write_row({std::to_string(j), std::to_string(t.day),
+                      std::to_string(t.true_domain),
+                      format_full(t.ground_truth), format_full(t.base_number),
+                      format_full(t.processing_time), format_full(t.cost),
+                      t.description});
+  }
+}
+
+sim::Dataset read_dataset_csv(std::string_view users_csv,
+                              std::string_view tasks_csv, std::string name) {
+  const auto user_rows = parse_csv(users_csv);
+  const auto task_rows = parse_csv(tasks_csv);
+  require(user_rows.size() >= 2, "dataset csv: users document needs rows");
+  require(task_rows.size() >= 2, "dataset csv: tasks document needs rows");
+
+  sim::Dataset dataset;
+  dataset.name = std::move(name);
+  const std::size_t domain_cols = user_rows.front().size() - 2;
+  require(user_rows.front().size() >= 3, "dataset csv: users header too short");
+  dataset.latent_domain_count = domain_cols;
+
+  for (std::size_t r = 1; r < user_rows.size(); ++r) {
+    const auto& row = user_rows[r];
+    require(row.size() == domain_cols + 2, "dataset csv: users row width");
+    sim::User u;
+    u.capacity = parse_double(row[1], "capacity");
+    for (std::size_t k = 0; k < domain_cols; ++k) {
+      u.true_expertise.push_back(parse_double(row[2 + k], "expertise"));
+    }
+    dataset.users.push_back(std::move(u));
+  }
+
+  require(task_rows.front().size() == 8, "dataset csv: tasks header width");
+  bool any_description = false;
+  for (std::size_t r = 1; r < task_rows.size(); ++r) {
+    const auto& row = task_rows[r];
+    require(row.size() == 8, "dataset csv: tasks row width");
+    sim::Task t;
+    t.day = static_cast<int>(parse_size(row[1], "day"));
+    t.true_domain = parse_size(row[2], "true_domain");
+    require(t.true_domain < dataset.latent_domain_count,
+            "dataset csv: true_domain out of range");
+    t.ground_truth = parse_double(row[3], "ground_truth");
+    t.base_number = parse_double(row[4], "base_number");
+    t.processing_time = parse_double(row[5], "processing_time");
+    t.cost = parse_double(row[6], "cost");
+    t.description = row[7];
+    any_description = any_description || !t.description.empty();
+    dataset.tasks.push_back(std::move(t));
+  }
+  dataset.has_descriptions = any_description;
+  return dataset;
+}
+
+void save_dataset(const sim::Dataset& dataset, const std::string& prefix) {
+  std::ofstream users(prefix + ".users.csv");
+  std::ofstream tasks(prefix + ".tasks.csv");
+  if (!users || !tasks) {
+    throw std::runtime_error("save_dataset: cannot open output files at " +
+                             prefix);
+  }
+  write_users_csv(dataset, users);
+  write_tasks_csv(dataset, tasks);
+  if (!users.flush() || !tasks.flush()) {
+    throw std::runtime_error("save_dataset: write failed at " + prefix);
+  }
+}
+
+sim::Dataset load_dataset(const std::string& prefix) {
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  return read_dataset_csv(slurp(prefix + ".users.csv"),
+                          slurp(prefix + ".tasks.csv"), prefix);
+}
+
+}  // namespace eta2::io

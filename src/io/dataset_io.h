@@ -1,0 +1,37 @@
+// Dataset persistence: serialize a sim::Dataset to a pair of CSV documents
+// (users, tasks) and read it back. Lets generated datasets be inspected,
+// versioned, or swapped for real data with the same schema.
+//
+// users.csv:  user_id, capacity, u_0, u_1, ..., u_{D-1}
+// tasks.csv:  task_id, day, true_domain, ground_truth, base_number,
+//             processing_time, cost, description
+#ifndef ETA2_IO_DATASET_IO_H
+#define ETA2_IO_DATASET_IO_H
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "sim/dataset.h"
+
+namespace eta2::io {
+
+// Serialization to streams (header row included).
+void write_users_csv(const sim::Dataset& dataset, std::ostream& out);
+void write_tasks_csv(const sim::Dataset& dataset, std::ostream& out);
+
+// Parsing from CSV text (as produced by the writers). Throws
+// std::invalid_argument on malformed input. The two documents must agree on
+// the latent domain count.
+[[nodiscard]] sim::Dataset read_dataset_csv(std::string_view users_csv,
+                                            std::string_view tasks_csv,
+                                            std::string name = "loaded");
+
+// Convenience file round-trip (two files <prefix>.users.csv and
+// <prefix>.tasks.csv). Throws std::runtime_error on IO failure.
+void save_dataset(const sim::Dataset& dataset, const std::string& prefix);
+[[nodiscard]] sim::Dataset load_dataset(const std::string& prefix);
+
+}  // namespace eta2::io
+
+#endif  // ETA2_IO_DATASET_IO_H

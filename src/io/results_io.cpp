@@ -1,0 +1,31 @@
+#include "io/results_io.h"
+
+#include <ostream>
+
+#include "common/csv.h"
+
+namespace eta2::io {
+
+void write_day_metrics_csv(const sim::SimulationResult& result,
+                           std::ostream& out) {
+  CsvWriter writer(out);
+  writer.write_row({"day", "task_count", "pair_count", "estimation_error",
+                    "cost", "truth_iterations", "data_iterations"});
+  for (const sim::DayMetrics& day : result.days) {
+    writer.write(day.day, day.task_count, day.pair_count,
+                 day.estimation_error, day.cost, day.truth_iterations,
+                 day.data_iterations);
+  }
+}
+
+void write_sweep_csv(const sim::SweepResult& sweep, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.write_row(
+      {"seed_index", "overall_error", "total_cost", "expertise_mae"});
+  for (std::size_t s = 0; s < sweep.runs.size(); ++s) {
+    const sim::SimulationResult& run = sweep.runs[s];
+    writer.write(s, run.overall_error, run.total_cost, run.expertise_mae);
+  }
+}
+
+}  // namespace eta2::io

@@ -1,0 +1,23 @@
+// Experiment result export: simulation runs and seed sweeps as CSV series
+// ready for external plotting (one row per day / per seed).
+#ifndef ETA2_IO_RESULTS_IO_H
+#define ETA2_IO_RESULTS_IO_H
+
+#include <iosfwd>
+
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+
+namespace eta2::io {
+
+// day, task_count, pair_count, estimation_error, cost, truth_iterations,
+// data_iterations
+void write_day_metrics_csv(const sim::SimulationResult& result,
+                           std::ostream& out);
+
+// seed_index, overall_error, total_cost, expertise_mae
+void write_sweep_csv(const sim::SweepResult& sweep, std::ostream& out);
+
+}  // namespace eta2::io
+
+#endif  // ETA2_IO_RESULTS_IO_H

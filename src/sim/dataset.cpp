@@ -1,0 +1,229 @@
+#include "sim/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "text/lexicon.h"
+
+namespace eta2::sim {
+namespace {
+
+constexpr double kSqrt3 = 1.7320508075688772;
+
+double sample_capacity(Rng& rng, double mean, double spread) {
+  return std::max(0.5, rng.uniform(mean - spread, mean + spread));
+}
+
+// Assigns tasks evenly over days (paper §6.2: "generated and evenly
+// distributed during five days"), in a random order.
+void assign_days(std::vector<Task>& tasks, int days, Rng& rng) {
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    tasks[order[pos]].day = static_cast<int>(pos % static_cast<std::size_t>(days));
+  }
+}
+
+// Latent expertise profile: `strong` randomly chosen topics get high
+// expertise, the rest low. Models the paper's observation that a user has
+// expertise in some domains but not others.
+std::vector<double> expertise_profile(Rng& rng, std::size_t domains,
+                                      std::size_t strong, double strong_lo,
+                                      double strong_hi, double weak_lo,
+                                      double weak_hi) {
+  std::vector<double> u(domains, 0.0);
+  std::vector<std::size_t> idx(domains);
+  for (std::size_t k = 0; k < domains; ++k) idx[k] = k;
+  rng.shuffle(idx);
+  const std::size_t s = std::min(strong, domains);
+  for (std::size_t k = 0; k < domains; ++k) {
+    u[idx[k]] = k < s ? rng.uniform(strong_lo, strong_hi)
+                      : rng.uniform(weak_lo, weak_hi);
+  }
+  return u;
+}
+
+std::string make_description(const text::Topic& topic, Rng& rng) {
+  const auto pick = [&rng](std::span<const std::string_view> words) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(words.size()) - 1));
+    return std::string(words[i]);
+  };
+  const std::string q = pick(topic.query_words);
+  const std::string t = pick(topic.target_words);
+  switch (rng.uniform_int(0, 3)) {
+    case 0: return "What is the " + q + " near the " + t + "?";
+    case 1: return "How many " + q + " at the " + t + "?";
+    case 2: return "Report the " + q + " around the " + t + ".";
+    default: return "Estimate the " + q + " of the " + t + ".";
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> Dataset::tasks_of_day(int day) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    if (tasks[j].day == day) out.push_back(j);
+  }
+  return out;
+}
+
+int Dataset::day_count() const {
+  int last = -1;
+  for (const Task& t : tasks) last = std::max(last, t.day);
+  return last + 1;
+}
+
+double observe(const Dataset& dataset, std::size_t user, std::size_t task,
+               Rng& rng, double u_floor) {
+  require(user < dataset.users.size(), "observe: user out of range");
+  require(task < dataset.tasks.size(), "observe: task out of range");
+  const Task& t = dataset.tasks[task];
+  const sim::User& reporter = dataset.users[user];
+  if (reporter.adversarial) {
+    // Fabricated data: a persistent offset with token noise, independent of
+    // the user's nominal expertise.
+    return rng.normal(t.ground_truth + reporter.bias * t.base_number,
+                      0.1 * t.base_number);
+  }
+  const double u = std::max(u_floor, reporter.true_expertise[t.true_domain]);
+  const double stddev = t.base_number / u;
+  if (dataset.nonnormal_fraction > 0.0 &&
+      rng.bernoulli(dataset.nonnormal_fraction)) {
+    // Uniform with matching mean and standard deviation (Fig. 8's bias).
+    return rng.uniform(t.ground_truth - kSqrt3 * stddev,
+                       t.ground_truth + kSqrt3 * stddev);
+  }
+  return rng.normal(t.ground_truth, stddev);
+}
+
+Dataset make_synthetic(const SyntheticOptions& options, std::uint64_t seed) {
+  require(options.users >= 1 && options.tasks >= 1 && options.domains >= 1,
+          "make_synthetic: empty dataset");
+  require(options.days >= 1, "make_synthetic: days >= 1");
+  Rng rng(seed);
+  Dataset d;
+  d.name = "synthetic";
+  d.latent_domain_count = options.domains;
+  d.has_descriptions = false;
+  d.nonnormal_fraction = options.nonnormal_fraction;
+
+  d.users.reserve(options.users);
+  for (std::size_t i = 0; i < options.users; ++i) {
+    User u;
+    u.capacity = sample_capacity(rng, options.mean_capacity, options.capacity_spread);
+    if (options.specialist_domains > 0) {
+      u.true_expertise = expertise_profile(
+          rng, options.domains, options.specialist_domains,
+          options.specialist_lo, options.specialist_hi, options.novice_lo,
+          options.novice_hi);
+    } else {
+      u.true_expertise.reserve(options.domains);
+      for (std::size_t k = 0; k < options.domains; ++k) {
+        u.true_expertise.push_back(
+            rng.uniform(options.expertise_lo, options.expertise_hi));
+      }
+    }
+    if (options.adversarial_fraction > 0.0 &&
+        rng.bernoulli(options.adversarial_fraction)) {
+      u.adversarial = true;
+      u.bias = (rng.bernoulli(0.5) ? 1.0 : -1.0) *
+               rng.uniform(options.bias_lo, options.bias_hi);
+    }
+    d.users.push_back(std::move(u));
+  }
+
+  d.tasks.reserve(options.tasks);
+  for (std::size_t j = 0; j < options.tasks; ++j) {
+    Task t;
+    t.ground_truth = rng.uniform(options.truth_lo, options.truth_hi);
+    t.base_number = rng.uniform(options.base_lo, options.base_hi);
+    t.processing_time = rng.uniform(options.time_lo, options.time_hi);
+    t.true_domain = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(options.domains) - 1));
+    d.tasks.push_back(std::move(t));
+  }
+  assign_days(d.tasks, options.days, rng);
+  return d;
+}
+
+Dataset make_survey_like(const SurveyOptions& options, std::uint64_t seed) {
+  require(options.users >= 1 && options.tasks >= 1, "make_survey_like: empty");
+  require(options.topics >= 1 && options.topics <= text::topic_count(),
+          "make_survey_like: topics must fit the built-in lexicon");
+  Rng rng(seed);
+  Dataset d;
+  d.name = "survey";
+  d.latent_domain_count = options.topics;
+  d.has_descriptions = true;
+
+  d.users.reserve(options.users);
+  for (std::size_t i = 0; i < options.users; ++i) {
+    User u;
+    u.capacity = sample_capacity(rng, options.mean_capacity, options.capacity_spread);
+    u.true_expertise = expertise_profile(
+        rng, options.topics, options.strong_topics, options.strong_lo,
+        options.strong_hi, options.weak_lo, options.weak_hi);
+    d.users.push_back(std::move(u));
+  }
+
+  const auto all_topics = text::topics();
+  d.tasks.reserve(options.tasks);
+  for (std::size_t j = 0; j < options.tasks; ++j) {
+    Task t;
+    t.true_domain = j % options.topics;  // even topical coverage
+    t.description = make_description(all_topics[t.true_domain], rng);
+    t.ground_truth = rng.uniform(options.truth_lo, options.truth_hi);
+    t.base_number = t.ground_truth *
+                    rng.uniform(options.base_frac_lo, options.base_frac_hi);
+    t.processing_time = rng.uniform(options.time_lo, options.time_hi);
+    d.tasks.push_back(std::move(t));
+  }
+  assign_days(d.tasks, options.days, rng);
+  return d;
+}
+
+Dataset make_sfv_like(const SfvOptions& options, std::uint64_t seed) {
+  require(options.systems >= 1 && options.entities >= 1 &&
+              options.properties_per_entity >= 1,
+          "make_sfv_like: empty");
+  require(options.topics >= 1 && options.topics <= text::topic_count(),
+          "make_sfv_like: topics must fit the built-in lexicon");
+  Rng rng(seed);
+  Dataset d;
+  d.name = "sfv";
+  d.latent_domain_count = options.topics;
+  d.has_descriptions = true;
+
+  d.users.reserve(options.systems);
+  for (std::size_t i = 0; i < options.systems; ++i) {
+    User u;
+    u.capacity = sample_capacity(rng, options.mean_capacity, options.capacity_spread);
+    u.true_expertise = expertise_profile(
+        rng, options.topics, options.strong_topics, options.strong_lo,
+        options.strong_hi, options.weak_lo, options.weak_hi);
+    d.users.push_back(std::move(u));
+  }
+
+  const auto all_topics = text::topics();
+  d.tasks.reserve(options.entities * options.properties_per_entity);
+  for (std::size_t e = 0; e < options.entities; ++e) {
+    for (std::size_t p = 0; p < options.properties_per_entity; ++p) {
+      Task t;
+      t.true_domain = (e + p) % options.topics;  // property family
+      t.description = make_description(all_topics[t.true_domain], rng);
+      t.ground_truth = rng.uniform(options.truth_lo, options.truth_hi);
+      t.base_number = t.ground_truth *
+                      rng.uniform(options.base_frac_lo, options.base_frac_hi);
+      t.processing_time = rng.uniform(options.time_lo, options.time_hi);
+      d.tasks.push_back(std::move(t));
+    }
+  }
+  assign_days(d.tasks, options.days, rng);
+  return d;
+}
+
+}  // namespace eta2::sim

@@ -1,0 +1,120 @@
+#include "sim/experiment.h"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+#include "text/corpus.h"
+#include "text/skipgram.h"
+
+namespace eta2::sim {
+namespace {
+
+stats::MeanStderr summarize(const std::vector<double>& values) {
+  std::vector<double> finite;
+  finite.reserve(values.size());
+  for (const double v : values) {
+    if (!std::isnan(v)) finite.push_back(v);
+  }
+  if (finite.empty()) {
+    stats::MeanStderr empty;
+    empty.mean = std::numeric_limits<double>::quiet_NaN();
+    return empty;
+  }
+  return stats::mean_stderr(finite);
+}
+
+}  // namespace
+
+SweepResult sweep_seeds(const DatasetFactory& factory, Method method,
+                        const SimOptions& options, int seeds,
+                        std::uint64_t base_seed) {
+  require(seeds >= 1, "sweep_seeds: seeds >= 1");
+  require(factory != nullptr, "sweep_seeds: factory required");
+
+  SweepResult result;
+
+  // Seeds are embarrassingly parallel; keep the aggregation order fixed so
+  // output is bit-identical regardless of the thread count.
+  std::vector<SimulationResult> runs(static_cast<std::size_t>(seeds));
+  {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t workers =
+        std::min<std::size_t>(hw, static_cast<std::size_t>(seeds));
+    std::atomic<int> next{0};
+    auto worker = [&]() {
+      while (true) {
+        const int s = next.fetch_add(1);
+        if (s >= seeds) break;
+        const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s);
+        const Dataset dataset = factory(seed);
+        runs[static_cast<std::size_t>(s)] =
+            simulate(dataset, method, options, seed);
+      }
+    };
+    if (workers <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
+      for (std::thread& t : threads) t.join();
+    }
+  }
+
+  std::vector<double> errors;
+  std::vector<double> costs;
+  std::vector<double> maes;
+  std::vector<std::vector<double>> day_errors;
+  for (SimulationResult& run : runs) {
+    errors.push_back(run.overall_error);
+    costs.push_back(run.total_cost);
+    maes.push_back(run.expertise_mae);
+    if (day_errors.size() < run.days.size()) day_errors.resize(run.days.size());
+    for (std::size_t d = 0; d < run.days.size(); ++d) {
+      if (!std::isnan(run.days[d].estimation_error)) {
+        day_errors[d].push_back(run.days[d].estimation_error);
+      }
+    }
+    result.truth_iteration_log.insert(result.truth_iteration_log.end(),
+                                      run.truth_iteration_log.begin(),
+                                      run.truth_iteration_log.end());
+    result.runs.push_back(std::move(run));
+  }
+
+  result.overall_error = summarize(errors);
+  result.total_cost = summarize(costs);
+  result.expertise_mae = summarize(maes);
+  result.per_day_error.reserve(day_errors.size());
+  for (const auto& day : day_errors) {
+    result.per_day_error.push_back(
+        day.empty() ? std::numeric_limits<double>::quiet_NaN()
+                    : stats::mean(day));
+  }
+  return result;
+}
+
+std::shared_ptr<const text::Embedder> make_trained_embedder(
+    std::uint64_t seed, std::size_t dimension,
+    std::size_t sentences_per_topic) {
+  text::CorpusOptions corpus_options;
+  corpus_options.sentences_per_topic = sentences_per_topic;
+  const auto corpus = text::generate_corpus(corpus_options, seed);
+  text::SkipGramOptions options;
+  options.dimension = dimension;
+  return std::make_shared<text::SkipGramModel>(
+      text::SkipGramModel::train(corpus, options, seed));
+}
+
+std::shared_ptr<const text::Embedder> shared_embedder() {
+  static std::mutex mutex;
+  static std::shared_ptr<const text::Embedder> cached;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (cached == nullptr) cached = make_trained_embedder();
+  return cached;
+}
+
+}  // namespace eta2::sim

@@ -1,0 +1,47 @@
+// Monte-Carlo seed-sweep harness used by the bench binaries: every paper
+// figure averages over repeated runs with different seeds (the paper uses
+// 100; the bench default is smaller and adjustable via --seeds/ETA2_SEEDS).
+#ifndef ETA2_SIM_EXPERIMENT_H
+#define ETA2_SIM_EXPERIMENT_H
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulation.h"
+#include "stats/descriptive.h"
+
+namespace eta2::sim {
+
+// Builds the dataset for one seed (generators are deterministic per seed).
+using DatasetFactory = std::function<Dataset(std::uint64_t seed)>;
+
+struct SweepResult {
+  stats::MeanStderr overall_error;
+  stats::MeanStderr total_cost;
+  stats::MeanStderr expertise_mae;          // NaN-mean skipped when absent
+  std::vector<double> per_day_error;        // mean across seeds, per day
+  std::vector<int> truth_iteration_log;     // concatenated across seeds
+  std::vector<SimulationResult> runs;       // raw per-seed results
+};
+
+// Runs `seeds` simulations (seed = base_seed + s) and aggregates. Seeds are
+// independent, so they run on a small thread pool (bounded by the hardware
+// concurrency); results are identical to the sequential order.
+[[nodiscard]] SweepResult sweep_seeds(const DatasetFactory& factory,
+                                      Method method, const SimOptions& options,
+                                      int seeds, std::uint64_t base_seed = 1);
+
+// Trains a skip-gram embedder on the built-in synthetic corpus (the
+// Wikipedia stand-in). Deterministic per seed; the default arguments give
+// the configuration used across benches and examples.
+[[nodiscard]] std::shared_ptr<const text::Embedder> make_trained_embedder(
+    std::uint64_t seed = 7, std::size_t dimension = 32,
+    std::size_t sentences_per_topic = 300);
+
+// Process-wide lazily trained embedder shared by benches (training once per
+// process keeps the figure harness fast).
+[[nodiscard]] std::shared_ptr<const text::Embedder> shared_embedder();
+
+}  // namespace eta2::sim
+
+#endif  // ETA2_SIM_EXPERIMENT_H

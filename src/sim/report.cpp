@@ -1,0 +1,89 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.h"
+#include "stats/descriptive.h"
+
+namespace eta2::sim {
+
+void write_markdown_report(const SimulationResult& result,
+                           const ReportContext& context, std::ostream& out) {
+  out << "# Campaign report — " << context.method << " on "
+      << context.dataset_name << " (seed " << context.seed << ")\n\n";
+
+  out << "## Headline\n\n";
+  out << "* overall normalized estimation error: **"
+      << Table::format(result.overall_error, 4) << "**\n";
+  out << "* total allocation cost: **" << Table::format(result.total_cost, 0)
+      << "**\n";
+  if (!std::isnan(result.expertise_mae)) {
+    out << "* expertise MAE (gauge-corrected): **"
+        << Table::format(result.expertise_mae, 4) << "**\n";
+  }
+  if (!result.truth_iteration_log.empty()) {
+    int max_iters = 0;
+    double sum = 0.0;
+    for (const int it : result.truth_iteration_log) {
+      max_iters = std::max(max_iters, it);
+      sum += it;
+    }
+    out << "* truth-analysis iterations: mean "
+        << Table::format(sum / static_cast<double>(
+                                   result.truth_iteration_log.size()), 1)
+        << ", max " << max_iters << "\n";
+  }
+  out << "\n## Per-day metrics\n\n";
+  Table table({"day", "tasks", "pairs", "error", "cost", "iters"});
+  for (const DayMetrics& day : result.days) {
+    table.add_row({std::to_string(day.day), std::to_string(day.task_count),
+                   std::to_string(day.pair_count),
+                   Table::format(day.estimation_error, 4),
+                   Table::format(day.cost, 0),
+                   std::to_string(day.truth_iterations)});
+  }
+  out << table.to_string();
+
+  // Allocation redundancy profile over non-warm-up days (Table 2 style).
+  std::vector<double> users_per_task;
+  for (const DayMetrics& day : result.days) {
+    if (day.day == 0) continue;
+    for (const std::size_t n : day.users_per_task) {
+      users_per_task.push_back(static_cast<double>(n));
+    }
+  }
+  if (!users_per_task.empty()) {
+    const auto box = stats::box_stats(users_per_task);
+    out << "\n## Allocation redundancy (days 1+)\n\n";
+    out << "* observers per task: min " << Table::format(box.minimum, 0)
+        << ", median " << Table::format(box.median, 0) << ", max "
+        << Table::format(box.maximum, 0) << "\n";
+  }
+
+  // Trend summary.
+  if (result.days.size() >= 2) {
+    const double first = result.days.front().estimation_error;
+    const double last = result.days.back().estimation_error;
+    out << "\n## Trend\n\n";
+    if (!std::isnan(first) && !std::isnan(last) && first > 0.0) {
+      out << "* estimation error moved from "
+          << Table::format(first, 4) << " (day 0) to "
+          << Table::format(last, 4) << " (day "
+          << result.days.back().day << "): "
+          << Table::format(100.0 * (first - last) / first, 1)
+          << "% improvement over the campaign\n";
+    }
+  }
+}
+
+std::string markdown_report(const SimulationResult& result,
+                            const ReportContext& context) {
+  std::ostringstream out;
+  write_markdown_report(result, context, out);
+  return out.str();
+}
+
+}  // namespace eta2::sim

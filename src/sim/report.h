@@ -1,0 +1,32 @@
+// Human-readable campaign reports: renders a SimulationResult (and
+// optionally the dataset context) as a small markdown document — per-day
+// table, headline numbers, allocation statistics. Used by the CLI's
+// `simulate --report=FILE.md`.
+#ifndef ETA2_SIM_REPORT_H
+#define ETA2_SIM_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "sim/simulation.h"
+
+namespace eta2::sim {
+
+struct ReportContext {
+  std::string_view dataset_name;
+  std::string_view method;
+  std::uint64_t seed = 0;
+};
+
+// Writes the markdown report to `out`.
+void write_markdown_report(const SimulationResult& result,
+                           const ReportContext& context, std::ostream& out);
+
+// Convenience: report as a string.
+[[nodiscard]] std::string markdown_report(const SimulationResult& result,
+                                          const ReportContext& context);
+
+}  // namespace eta2::sim
+
+#endif  // ETA2_SIM_REPORT_H

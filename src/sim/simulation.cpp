@@ -1,0 +1,298 @@
+#include "sim/simulation.h"
+
+#include <cmath>
+
+#include "alloc/baseline_allocators.h"
+#include "common/error.h"
+#include "core/eta2_server.h"
+#include "truth/variance_em.h"
+
+namespace eta2::sim {
+namespace {
+
+// Per-day Table-2 style assignment stats shared by both drivers.
+void fill_assignment_stats(const Dataset& dataset,
+                           std::span<const std::size_t> task_ids,
+                           const alloc::Allocation& allocation,
+                           DayMetrics& metrics) {
+  metrics.users_per_task.reserve(task_ids.size());
+  metrics.mean_assigned_expertise.reserve(task_ids.size());
+  for (std::size_t local = 0; local < task_ids.size(); ++local) {
+    const auto users = allocation.users_of(local);
+    metrics.users_per_task.push_back(users.size());
+    double sum = 0.0;
+    for (const std::size_t i : users) {
+      sum += dataset.users[i]
+                 .true_expertise[dataset.tasks[task_ids[local]].true_domain];
+    }
+    metrics.mean_assigned_expertise.push_back(
+        users.empty() ? std::numeric_limits<double>::quiet_NaN()
+                      : sum / static_cast<double>(users.size()));
+  }
+}
+
+std::unique_ptr<truth::TruthMethod> make_baseline(
+    Method method, const truth::BaselineOptions& options) {
+  switch (method) {
+    case Method::kHubsAuthorities:
+      return std::make_unique<truth::HubsAuthorities>(options);
+    case Method::kAverageLog:
+      return std::make_unique<truth::AverageLog>(options);
+    case Method::kTruthFinder:
+      return std::make_unique<truth::TruthFinder>(options);
+    case Method::kVarianceEm:
+      return std::make_unique<truth::VarianceEm>();
+    case Method::kMedian:
+      return std::make_unique<truth::MedianBaseline>();
+    case Method::kBaseline:
+      return std::make_unique<truth::MeanBaseline>();
+    default:
+      throw std::invalid_argument("make_baseline: not a baseline method");
+  }
+}
+
+SimulationResult simulate_eta2(const Dataset& dataset, Method method,
+                               const SimOptions& options, std::uint64_t seed) {
+  Rng rng(seed);
+  core::Eta2Config config = options.config;
+  config.use_min_cost = method == Method::kEta2MinCost;
+  if (dataset.has_descriptions) {
+    require(options.embedder != nullptr,
+            "simulate: dataset has descriptions but no embedder given");
+  }
+  core::Eta2Server server(dataset.user_count(), config, options.embedder);
+
+  std::vector<double> capacities(dataset.user_count(), 0.0);
+  for (std::size_t i = 0; i < dataset.user_count(); ++i) {
+    capacities[i] = dataset.users[i].capacity;
+  }
+
+  SimulationResult result;
+  double error_sum = 0.0;
+  std::size_t error_count = 0;
+
+  const int days = dataset.day_count();
+  for (int day = 0; day < days; ++day) {
+    const std::vector<std::size_t> ids = dataset.tasks_of_day(day);
+    std::vector<core::Eta2Server::NewTask> batch;
+    batch.reserve(ids.size());
+    for (const std::size_t j : ids) {
+      core::Eta2Server::NewTask t;
+      const Task& task = dataset.tasks[j];
+      if (dataset.has_descriptions) {
+        t.description = task.description;
+      } else {
+        t.known_domain = options.collapse_domains ? 0 : task.true_domain;
+      }
+      t.processing_time = task.processing_time;
+      t.cost = task.cost;
+      batch.push_back(std::move(t));
+    }
+
+    Rng observe_rng = rng.fork(static_cast<std::uint64_t>(day) + 1);
+    const auto step = server.step(
+        batch, capacities,
+        [&](std::size_t local, std::size_t user) -> std::optional<double> {
+          if (options.response_rate < 1.0 &&
+              !observe_rng.bernoulli(options.response_rate)) {
+            return std::nullopt;
+          }
+          return observe(dataset, user, ids[local], observe_rng);
+        },
+        rng);
+
+    DayMetrics metrics;
+    metrics.day = day;
+    metrics.task_count = ids.size();
+    metrics.pair_count = step.allocation.pair_count();
+    metrics.cost = step.cost;
+    metrics.truth_iterations = step.mle_iterations;
+    metrics.data_iterations = step.data_iterations;
+    std::size_t skipped = 0;
+    metrics.estimation_error = estimation_error(dataset, ids, step.truth, &skipped);
+    fill_assignment_stats(dataset, ids, step.allocation, metrics);
+
+    for (std::size_t local = 0; local < ids.size(); ++local) {
+      if (std::isnan(step.truth[local])) continue;
+      error_sum += std::fabs(step.truth[local] -
+                             dataset.tasks[ids[local]].ground_truth) /
+                   dataset.tasks[ids[local]].base_number;
+      ++error_count;
+    }
+    result.total_cost += step.cost;
+    result.truth_iteration_log.push_back(step.mle_iterations);
+    result.days.push_back(std::move(metrics));
+  }
+  result.overall_error =
+      error_count > 0 ? error_sum / static_cast<double>(error_count)
+                      : std::numeric_limits<double>::quiet_NaN();
+
+  // Expertise estimation error (synthetic / pre-known domains only).
+  // The model identifies expertise only up to a global gauge (see
+  // MleOptions::anchor_mean), so estimates are first rescaled by the
+  // least-squares gauge factor c* = Σ(û·u)/Σ(û²) before the MAE.
+  if (!dataset.has_descriptions) {
+    std::vector<std::pair<double, double>> pairs;  // (estimated, true)
+    for (std::size_t k = 0; k < dataset.latent_domain_count; ++k) {
+      const auto dense = server.dense_of_external(k);
+      if (!dense.has_value()) continue;
+      for (std::size_t i = 0; i < dataset.user_count(); ++i) {
+        pairs.emplace_back(server.expertise_store().expertise(i, *dense),
+                           dataset.users[i].true_expertise[k]);
+      }
+    }
+    if (!pairs.empty()) {
+      double num = 0.0;
+      double den = 0.0;
+      for (const auto& [est, tru] : pairs) {
+        num += est * tru;
+        den += est * est;
+      }
+      const double gauge = den > 0.0 ? num / den : 1.0;
+      double mae_sum = 0.0;
+      for (const auto& [est, tru] : pairs) {
+        mae_sum += std::fabs(gauge * est - tru);
+      }
+      result.expertise_mae = mae_sum / static_cast<double>(pairs.size());
+    }
+  }
+  return result;
+}
+
+SimulationResult simulate_baseline(const Dataset& dataset, Method method,
+                                   const SimOptions& options,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = dataset.user_count();
+  const std::size_t m = dataset.task_count();
+  const std::unique_ptr<truth::TruthMethod> truth_method =
+      make_baseline(method, options.baseline_options);
+
+  truth::ObservationSet global(n, m);
+  std::vector<double> reliability(n, 1.0);
+  truth::TruthResult latest;
+  latest.truth.assign(m, std::numeric_limits<double>::quiet_NaN());
+
+  std::vector<double> capacities(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) capacities[i] = dataset.users[i].capacity;
+
+  SimulationResult result;
+  const int days = dataset.day_count();
+  for (int day = 0; day < days; ++day) {
+    const std::vector<std::size_t> ids = dataset.tasks_of_day(day);
+
+    alloc::AllocationProblem problem;
+    problem.expertise.assign(n, std::vector<double>(ids.size(), 0.0));
+    problem.user_capacity = capacities;
+    problem.task_time.reserve(ids.size());
+    problem.task_cost.reserve(ids.size());
+    for (const std::size_t j : ids) {
+      problem.task_time.push_back(dataset.tasks[j].processing_time);
+      problem.task_cost.push_back(dataset.tasks[j].cost);
+    }
+
+    alloc::Allocation allocation;
+    const bool random_day =
+        day == 0 || method == Method::kBaseline || method == Method::kMedian;
+    if (random_day) {
+      alloc::RandomAllocator::Options ro;
+      ro.max_users_per_task = options.baseline_max_users_per_task;
+      allocation = alloc::RandomAllocator(ro).allocate(problem, rng);
+    } else {
+      alloc::ReliabilityGreedyAllocator::Options ro;
+      ro.max_users_per_task = options.baseline_max_users_per_task;
+      allocation =
+          alloc::ReliabilityGreedyAllocator(ro).allocate(problem, reliability);
+    }
+
+    Rng observe_rng = rng.fork(static_cast<std::uint64_t>(day) + 1);
+    for (std::size_t local = 0; local < ids.size(); ++local) {
+      for (const std::size_t i : allocation.users_of(local)) {
+        if (options.response_rate < 1.0 &&
+            !observe_rng.bernoulli(options.response_rate)) {
+          continue;
+        }
+        global.add(ids[local], i, observe(dataset, i, ids[local], observe_rng));
+      }
+    }
+
+    latest = truth_method->estimate(global);
+    reliability = latest.reliability;
+
+    DayMetrics metrics;
+    metrics.day = day;
+    metrics.task_count = ids.size();
+    metrics.pair_count = allocation.pair_count();
+    metrics.cost = allocation.total_cost();
+    metrics.truth_iterations = latest.iterations;
+    std::vector<double> day_estimates;
+    day_estimates.reserve(ids.size());
+    for (const std::size_t j : ids) day_estimates.push_back(latest.truth[j]);
+    metrics.estimation_error = estimation_error(dataset, ids, day_estimates);
+    fill_assignment_stats(dataset, ids, allocation, metrics);
+
+    result.total_cost += metrics.cost;
+    result.truth_iteration_log.push_back(latest.iterations);
+    result.days.push_back(std::move(metrics));
+  }
+
+  // Overall error: final estimate over every task (baselines re-estimate
+  // old tasks every day, so the last fit is their best).
+  std::vector<std::size_t> all_ids(m);
+  for (std::size_t j = 0; j < m; ++j) all_ids[j] = j;
+  result.overall_error = estimation_error(dataset, all_ids, latest.truth);
+  return result;
+}
+
+}  // namespace
+
+std::string_view method_name(Method method) {
+  switch (method) {
+    case Method::kEta2: return "ETA2";
+    case Method::kEta2MinCost: return "ETA2-mc";
+    case Method::kHubsAuthorities: return "Hubs and Authorities";
+    case Method::kAverageLog: return "Average-Log";
+    case Method::kTruthFinder: return "TruthFinder";
+    case Method::kVarianceEm: return "Gaussian EM";
+    case Method::kMedian: return "Median";
+    case Method::kBaseline: return "Baseline";
+  }
+  return "unknown";
+}
+
+bool is_eta2(Method method) {
+  return method == Method::kEta2 || method == Method::kEta2MinCost;
+}
+
+double estimation_error(const Dataset& dataset,
+                        std::span<const std::size_t> task_ids,
+                        std::span<const double> estimates,
+                        std::size_t* skipped) {
+  require(task_ids.size() == estimates.size(),
+          "estimation_error: size mismatch");
+  double sum = 0.0;
+  std::size_t count = 0;
+  std::size_t nan_count = 0;
+  for (std::size_t idx = 0; idx < task_ids.size(); ++idx) {
+    if (std::isnan(estimates[idx])) {
+      ++nan_count;
+      continue;
+    }
+    const Task& t = dataset.tasks[task_ids[idx]];
+    sum += std::fabs(estimates[idx] - t.ground_truth) / t.base_number;
+    ++count;
+  }
+  if (skipped != nullptr) *skipped = nan_count;
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(count);
+}
+
+SimulationResult simulate(const Dataset& dataset, Method method,
+                          const SimOptions& options, std::uint64_t seed) {
+  require(dataset.user_count() >= 1 && dataset.task_count() >= 1,
+          "simulate: empty dataset");
+  if (is_eta2(method)) return simulate_eta2(dataset, method, options, seed);
+  return simulate_baseline(dataset, method, options, seed);
+}
+
+}  // namespace eta2::sim

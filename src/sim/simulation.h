@@ -1,0 +1,94 @@
+// Multi-day simulation driver: plays a generated Dataset against the ETA²
+// server or one of the comparison approaches, collects per-day metrics, and
+// evaluates estimation errors against the (hidden) ground truth. This is
+// the harness behind every figure of the paper's §6.
+#ifndef ETA2_SIM_SIMULATION_H
+#define ETA2_SIM_SIMULATION_H
+
+#include <limits>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/dataset.h"
+#include "text/embedder.h"
+#include "truth/baselines.h"
+
+namespace eta2::sim {
+
+enum class Method {
+  kEta2,          // max-quality allocation (the paper's ETA²)
+  kEta2MinCost,   // min-cost allocation (ETA²-mc)
+  kHubsAuthorities,
+  kAverageLog,
+  kTruthFinder,
+  kVarianceEm,    // Gaussian EM / CRH-style (expertise-unaware, extra)
+  kMedian,        // per-task median + random allocation (robust, extra)
+  kBaseline,      // mean truth + random allocation
+};
+
+[[nodiscard]] std::string_view method_name(Method method);
+[[nodiscard]] bool is_eta2(Method method);
+
+struct SimOptions {
+  core::Eta2Config config;  // ETA² variants
+  // Embedder for described tasks; required for datasets with descriptions
+  // when running ETA² (baselines never use descriptions).
+  std::shared_ptr<const text::Embedder> embedder;
+  truth::BaselineOptions baseline_options;  // baseline truth methods
+  // Cap on users per task for the random/reliability allocators (0 = none).
+  std::size_t baseline_max_users_per_task = 0;
+  // Ablation: present every task to the server under ONE domain label, so
+  // learned "expertise" degenerates to a single global reliability per user
+  // (the expertise-unaware variant the paper argues against). Only affects
+  // pre-known-domain datasets.
+  bool collapse_domains = false;
+  // Probability that an allocated user actually reports (failure injection:
+  // abandoned tasks, dead connections). 1.0 = everyone responds.
+  double response_rate = 1.0;
+};
+
+struct DayMetrics {
+  int day = 0;
+  std::size_t task_count = 0;
+  std::size_t pair_count = 0;       // user-task assignments
+  double estimation_error = 0.0;    // mean |μ̂−μ|/σ over the day's tasks
+  double cost = 0.0;                // Σ c_j over assignments
+  int truth_iterations = 0;         // truth-analysis iterations
+  int data_iterations = 1;          // Algorithm 2 rounds (min-cost)
+  // Per-task assignment stats (Table 2): #users and the mean TRUE expertise
+  // of assigned users in the task's latent domain.
+  std::vector<std::size_t> users_per_task;
+  std::vector<double> mean_assigned_expertise;
+};
+
+struct SimulationResult {
+  std::vector<DayMetrics> days;
+  double overall_error = 0.0;  // mean over all estimated tasks
+  double total_cost = 0.0;
+  std::vector<int> truth_iteration_log;  // per truth-analysis run (Fig. 12)
+  // Synthetic dataset only: mean absolute error between the estimated and
+  // true expertise over every (user, latent-domain) pair (Fig. 11), after
+  // least-squares gauge correction (the model identifies expertise only up
+  // to a global scale — see MleOptions::anchor_mean).
+  // NaN when unavailable (unknown-domain datasets or baseline methods).
+  double expertise_mae = std::numeric_limits<double>::quiet_NaN();
+};
+
+// Runs the full multi-day loop. Observation draws, warm-up randomness and
+// allocation randomness all derive from `seed`.
+[[nodiscard]] SimulationResult simulate(const Dataset& dataset, Method method,
+                                        const SimOptions& options,
+                                        std::uint64_t seed);
+
+// Mean of |estimate − truth| / base_number over the given tasks; tasks with
+// NaN estimates are skipped (counted in `skipped` when non-null).
+[[nodiscard]] double estimation_error(const Dataset& dataset,
+                                      std::span<const std::size_t> task_ids,
+                                      std::span<const double> estimates,
+                                      std::size_t* skipped = nullptr);
+
+}  // namespace eta2::sim
+
+#endif  // ETA2_SIM_SIMULATION_H

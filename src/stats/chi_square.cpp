@@ -1,0 +1,123 @@
+#include "stats/chi_square.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+#include "stats/normal.h"
+
+namespace eta2::stats {
+namespace {
+
+// Series expansion of P(a, x), converges quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  const double gln = std::lgamma(a);
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - gln);
+}
+
+// Continued fraction for Q(a, x) = 1 - P(a, x), for x >= a + 1.
+double gamma_q_contfrac(double a, double x) {
+  const double gln = std::lgamma(a);
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - gln) * h;
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  require(a > 0.0, "regularized_gamma_p: a must be positive");
+  require(x >= 0.0, "regularized_gamma_p: x must be non-negative");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_contfrac(a, x);
+}
+
+double chi_square_cdf(double x, double dof) {
+  require(dof > 0.0, "chi_square_cdf: dof must be positive");
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(0.5 * dof, 0.5 * x);
+}
+
+double chi_square_pvalue(double statistic, double dof) {
+  return 1.0 - chi_square_cdf(statistic, dof);
+}
+
+GofResult normality_gof_test(std::span<const double> observations) {
+  GofResult result;
+  if (observations.size() < 5) return result;
+  const double m = mean(observations);
+  const double sd = stddev(observations);
+  // Degenerate spread (identical values up to rounding) cannot be tested.
+  if (sd <= 1e-12 * (std::fabs(m) + 1.0)) return result;
+
+  const std::size_t n = observations.size();
+  const std::size_t cells = std::clamp<std::size_t>(n / 5, 3, 10);
+  // Equiprobable cell edges under the fitted normal.
+  std::vector<double> edges;
+  edges.reserve(cells - 1);
+  for (std::size_t i = 1; i < cells; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(cells);
+    edges.push_back(m + sd * normal_quantile(q));
+  }
+  std::vector<std::size_t> observed(cells, 0);
+  for (const double x : observations) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+    ++observed[static_cast<std::size_t>(it - edges.begin())];
+  }
+  const double expected = static_cast<double>(n) / static_cast<double>(cells);
+  double statistic = 0.0;
+  for (const std::size_t o : observed) {
+    const double diff = static_cast<double>(o) - expected;
+    statistic += diff * diff / expected;
+  }
+  // cells − 1 constraints, minus 2 estimated parameters (mean, stddev);
+  // floor at 1 degree of freedom.
+  const double dof = std::max(1.0, static_cast<double>(cells) - 3.0);
+  result.statistic = statistic;
+  result.dof = dof;
+  result.p_value = chi_square_pvalue(statistic, dof);
+  result.valid = true;
+  return result;
+}
+
+double non_rejection_rate(std::span<const GofResult> results, double alpha) {
+  require(alpha > 0.0 && alpha < 1.0, "non_rejection_rate: alpha in (0,1)");
+  std::size_t valid = 0;
+  std::size_t passed = 0;
+  for (const GofResult& r : results) {
+    if (!r.valid) continue;
+    ++valid;
+    if (r.p_value >= alpha) ++passed;
+  }
+  if (valid == 0) return 0.0;
+  return static_cast<double>(passed) / static_cast<double>(valid);
+}
+
+}  // namespace eta2::stats

@@ -1,0 +1,44 @@
+// Chi-square distribution and the goodness-of-fit normality test used by the
+// paper's §2.3 (Table 1): per-task observation sets are tested against the
+// null hypothesis "drawn from a normal distribution" at several significance
+// levels, and the non-rejection rate is reported.
+#ifndef ETA2_STATS_CHI_SQUARE_H
+#define ETA2_STATS_CHI_SQUARE_H
+
+#include <cstddef>
+#include <span>
+
+namespace eta2::stats {
+
+// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+// CDF of the chi-square distribution with `dof` degrees of freedom.
+[[nodiscard]] double chi_square_cdf(double x, double dof);
+
+// Upper-tail p-value for a chi-square statistic.
+[[nodiscard]] double chi_square_pvalue(double statistic, double dof);
+
+struct GofResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 1.0;
+  bool valid = false;  // false when too few observations to run the test
+};
+
+// Chi-square goodness-of-fit test of normality. Mean and stddev are
+// estimated from the sample (costing two degrees of freedom); cells are
+// equiprobable under the fitted normal, with the cell count chosen as
+// max(3, floor(n/5)) capped at 10 so expected counts stay reasonable.
+// Returns valid=false when fewer than 5 observations or zero variance.
+[[nodiscard]] GofResult normality_gof_test(std::span<const double> observations);
+
+// Fraction of observation sets whose normality hypothesis is NOT rejected at
+// significance level alpha (the paper's Table 1 "pass rate"). Sets for which
+// the test is invalid are skipped.
+[[nodiscard]] double non_rejection_rate(
+    std::span<const GofResult> results, double alpha);
+
+}  // namespace eta2::stats
+
+#endif  // ETA2_STATS_CHI_SQUARE_H

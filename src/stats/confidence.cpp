@@ -1,0 +1,39 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/normal.h"
+
+namespace eta2::stats {
+
+double truth_fisher_information(std::span<const double> expertise, double sigma) {
+  require(sigma > 0.0, "truth_fisher_information: sigma must be positive");
+  double sum_u2 = 0.0;
+  for (const double u : expertise) {
+    require(u >= 0.0, "truth_fisher_information: expertise must be >= 0");
+    sum_u2 += u * u;
+  }
+  return sum_u2 / (sigma * sigma);
+}
+
+Interval truth_confidence_interval(double estimate,
+                                   std::span<const double> expertise,
+                                   double sigma, double alpha) {
+  const double info = truth_fisher_information(expertise, sigma);
+  require(info > 0.0,
+          "truth_confidence_interval: need at least one observer with u > 0");
+  const double half = z_critical(alpha) / std::sqrt(info);
+  return Interval{estimate - half, estimate + half};
+}
+
+bool quality_requirement_met(std::span<const double> expertise, double sigma,
+                             double epsilon_bar, double alpha) {
+  require(epsilon_bar > 0.0, "quality_requirement_met: epsilon_bar > 0");
+  const double info = truth_fisher_information(expertise, sigma);
+  if (info <= 0.0) return false;  // no usable observation yet
+  const double half = z_critical(alpha) / std::sqrt(info);
+  return 2.0 * half < 2.0 * epsilon_bar * sigma;
+}
+
+}  // namespace eta2::stats

@@ -1,0 +1,39 @@
+// Confidence-interval helpers for the MLE truth estimator (paper Eq. 23–24).
+// The asymptotic variance of the MLE truth estimate is the inverse Fisher
+// information  var(μ̂_j) ≈ σ_j² / Σ_i s_ij u_ij².
+#ifndef ETA2_STATS_CONFIDENCE_H
+#define ETA2_STATS_CONFIDENCE_H
+
+#include <span>
+
+namespace eta2::stats {
+
+struct Interval {
+  double lower = 0.0;
+  double upper = 0.0;
+  [[nodiscard]] double length() const { return upper - lower; }
+  [[nodiscard]] double half_width() const { return 0.5 * (upper - lower); }
+  [[nodiscard]] bool contains(double x) const { return x >= lower && x <= upper; }
+};
+
+// Fisher information of μ_j given the expertise values of the users whose
+// data was collected for the task: I(μ) = Σ u² / σ².  Requires sigma > 0.
+[[nodiscard]] double truth_fisher_information(
+    std::span<const double> expertise, double sigma);
+
+// The 1−α confidence interval of Eq. 24:
+//   μ̂ ± z_{α/2} · σ / sqrt(Σ u²).
+// Requires at least one expertise value with u > 0.
+[[nodiscard]] Interval truth_confidence_interval(
+    double estimate, std::span<const double> expertise, double sigma,
+    double alpha);
+
+// True when the quality requirement |μ̂−μ|/σ < ε̄ holds with confidence 1−α,
+// i.e. the CI length is below 2·ε̄·σ (Algorithm 2, lines 12–15).
+[[nodiscard]] bool quality_requirement_met(
+    std::span<const double> expertise, double sigma, double epsilon_bar,
+    double alpha);
+
+}  // namespace eta2::stats
+
+#endif  // ETA2_STATS_CONFIDENCE_H

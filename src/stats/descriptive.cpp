@@ -1,0 +1,100 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eta2::stats {
+
+double mean(std::span<const double> values) {
+  require(!values.empty(), "mean: empty input");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  require(!values.empty(), "variance: empty input");
+  const double m = mean(values);
+  double sum = 0.0;
+  for (const double v : values) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(values.size());
+}
+
+double sample_variance(std::span<const double> values) {
+  require(values.size() >= 2, "sample_variance: need at least two values");
+  const double m = mean(values);
+  double sum = 0.0;
+  for (const double v : values) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double sample_stddev(std::span<const double> values) {
+  return std::sqrt(sample_variance(values));
+}
+
+double quantile(std::span<const double> values, double q) {
+  require(!values.empty(), "quantile: empty input");
+  require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double min_value(std::span<const double> values) {
+  require(!values.empty(), "min_value: empty input");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  require(!values.empty(), "max_value: empty input");
+  return *std::max_element(values.begin(), values.end());
+}
+
+BoxStats box_stats(std::span<const double> values) {
+  require(!values.empty(), "box_stats: empty input");
+  BoxStats b;
+  b.minimum = min_value(values);
+  b.q1 = quantile(values, 0.25);
+  b.median = median(values);
+  b.q3 = quantile(values, 0.75);
+  b.maximum = max_value(values);
+  return b;
+}
+
+MeanStderr mean_stderr(std::span<const double> values) {
+  require(!values.empty(), "mean_stderr: empty input");
+  MeanStderr out;
+  out.n = values.size();
+  out.mean = mean(values);
+  if (values.size() >= 2) {
+    out.stderr_ = sample_stddev(values) / std::sqrt(static_cast<double>(values.size()));
+  }
+  return out;
+}
+
+std::vector<double> ecdf(std::span<const double> values, std::span<const double> points) {
+  require(!values.empty(), "ecdf: empty input");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const double p : points) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), p);
+    out.push_back(static_cast<double>(it - sorted.begin()) /
+                  static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+}  // namespace eta2::stats

@@ -1,0 +1,55 @@
+// Descriptive statistics over spans of doubles: moments, order statistics,
+// and five-number box summaries (used to reproduce the paper's Fig. 7 box
+// plot of observation error versus expertise).
+#ifndef ETA2_STATS_DESCRIPTIVE_H
+#define ETA2_STATS_DESCRIPTIVE_H
+
+#include <span>
+#include <vector>
+
+namespace eta2::stats {
+
+[[nodiscard]] double mean(std::span<const double> values);
+
+// Population variance (divides by n). Requires non-empty input.
+[[nodiscard]] double variance(std::span<const double> values);
+
+// Sample variance (divides by n−1). Requires at least two values.
+[[nodiscard]] double sample_variance(std::span<const double> values);
+
+[[nodiscard]] double stddev(std::span<const double> values);
+[[nodiscard]] double sample_stddev(std::span<const double> values);
+
+// Linear-interpolated quantile, q in [0, 1]. Requires non-empty input.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+[[nodiscard]] double median(std::span<const double> values);
+
+[[nodiscard]] double min_value(std::span<const double> values);
+[[nodiscard]] double max_value(std::span<const double> values);
+
+// Five-number summary for box plots.
+struct BoxStats {
+  double minimum = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double maximum = 0.0;
+};
+[[nodiscard]] BoxStats box_stats(std::span<const double> values);
+
+// Mean ± sample-stddev/sqrt(n) summary used for Monte-Carlo seed sweeps.
+struct MeanStderr {
+  double mean = 0.0;
+  double stderr_ = 0.0;  // standard error of the mean; 0 when n < 2
+  std::size_t n = 0;
+};
+[[nodiscard]] MeanStderr mean_stderr(std::span<const double> values);
+
+// Empirical CDF evaluated at each of `points` (fraction of values <= point).
+[[nodiscard]] std::vector<double> ecdf(std::span<const double> values,
+                                       std::span<const double> points);
+
+}  // namespace eta2::stats
+
+#endif  // ETA2_STATS_DESCRIPTIVE_H

@@ -1,0 +1,58 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eta2::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bin_count)),
+      counts_(bin_count, 0) {
+  require(lo < hi, "Histogram: lo must be < hi");
+  require(bin_count >= 1, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_ || value >= hi_ || std::isnan(value)) {
+    ++outliers_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // guard fp rounding
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (const double v : values) add(v);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  require(bin < counts_.size(), "Histogram::count: bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_left(std::size_t bin) const {
+  require(bin < counts_.size(), "Histogram::bin_left: bin out of range");
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return bin_left(bin) + 0.5 * width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  require(bin < counts_.size(), "Histogram::density: bin out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) /
+         (static_cast<double>(total_) * width_);
+}
+
+std::vector<double> Histogram::densities() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = density(i);
+  return out;
+}
+
+}  // namespace eta2::stats

@@ -1,0 +1,48 @@
+// Fixed-range uniform-bin histogram, used to reproduce the paper's Fig. 2
+// (observation-error distribution vs the standard normal pdf).
+#ifndef ETA2_STATS_HISTOGRAM_H
+#define ETA2_STATS_HISTOGRAM_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eta2::stats {
+
+class Histogram {
+ public:
+  // Bins [lo, hi) split uniformly into `bin_count` bins.
+  // Requires lo < hi and bin_count >= 1.
+  Histogram(double lo, double hi, std::size_t bin_count);
+
+  // Adds one value; values outside [lo, hi) are counted as outliers.
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t outliers() const { return outliers_; }
+  [[nodiscard]] double bin_width() const { return width_; }
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  [[nodiscard]] double bin_left(std::size_t bin) const;
+
+  // Density estimate for the bin: count / (total * bin_width); the integral
+  // over all bins is <= 1 (equality when there are no outliers).
+  [[nodiscard]] double density(std::size_t bin) const;
+
+  // All densities, in bin order.
+  [[nodiscard]] std::vector<double> densities() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t outliers_ = 0;
+};
+
+}  // namespace eta2::stats
+
+#endif  // ETA2_STATS_HISTOGRAM_H

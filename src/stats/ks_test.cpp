@@ -1,0 +1,53 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/normal.h"
+
+namespace eta2::stats {
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_normality_test(std::span<const double> observations) {
+  KsResult result;
+  const std::size_t n = observations.size();
+  if (n < 8) return result;
+  const double m = mean(observations);
+  const double sd = stddev(observations);
+  if (sd <= 1e-12 * (std::fabs(m) + 1.0)) return result;
+
+  std::vector<double> z(observations.begin(), observations.end());
+  for (double& x : z) x = (x - m) / sd;
+  std::sort(z.begin(), z.end());
+
+  double d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cdf = normal_cdf(z[i]);
+    const double upper = static_cast<double>(i + 1) / static_cast<double>(n);
+    const double lower = static_cast<double>(i) / static_cast<double>(n);
+    d = std::max({d, std::fabs(upper - cdf), std::fabs(cdf - lower)});
+  }
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  // Stephens' small-sample correction for the asymptotic distribution.
+  const double lambda = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+  result.statistic = d;
+  result.p_value = kolmogorov_q(lambda);
+  result.valid = true;
+  return result;
+}
+
+}  // namespace eta2::stats

@@ -1,0 +1,28 @@
+// One-sample Kolmogorov–Smirnov normality test — a second, binning-free
+// check of the paper's §2.3 normality claim, complementing the chi-square
+// test. The sample is standardized with its own mean/stddev (Lilliefors
+// variant), so reported p-values are conservative approximations from the
+// asymptotic Kolmogorov distribution.
+#ifndef ETA2_STATS_KS_TEST_H
+#define ETA2_STATS_KS_TEST_H
+
+#include <span>
+
+namespace eta2::stats {
+
+// Asymptotic Kolmogorov survival function Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}.
+[[nodiscard]] double kolmogorov_q(double lambda);
+
+struct KsResult {
+  double statistic = 0.0;  // sup |F_n(x) − Φ(x)|
+  double p_value = 1.0;
+  bool valid = false;
+};
+
+// KS statistic of the standardized sample against N(0,1). Returns
+// valid=false for fewer than 8 observations or zero variance.
+[[nodiscard]] KsResult ks_normality_test(std::span<const double> observations);
+
+}  // namespace eta2::stats
+
+#endif  // ETA2_STATS_KS_TEST_H

@@ -1,0 +1,60 @@
+#include "text/corpus.h"
+
+#include "common/error.h"
+#include "text/lexicon.h"
+
+namespace eta2::text {
+
+std::vector<std::vector<std::string>> generate_corpus(
+    const CorpusOptions& options, std::uint64_t seed) {
+  require(options.min_sentence_words >= 2, "generate_corpus: sentences too short");
+  require(options.max_sentence_words >= options.min_sentence_words,
+          "generate_corpus: max_sentence_words < min_sentence_words");
+  Rng rng(seed);
+  const auto all_topics = topics();
+  const auto glue = glue_words();
+
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(all_topics.size() * options.sentences_per_topic);
+
+  auto sample_topic_word = [&rng](const Topic& topic) -> std::string {
+    // Draw from the union of query and target words of the topic.
+    const std::size_t total = topic.query_words.size() + topic.target_words.size();
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(total) - 1));
+    if (idx < topic.query_words.size()) return std::string(topic.query_words[idx]);
+    return std::string(topic.target_words[idx - topic.query_words.size()]);
+  };
+
+  for (std::size_t topic_idx = 0; topic_idx < all_topics.size(); ++topic_idx) {
+    const Topic& topic = all_topics[topic_idx];
+    for (std::size_t s = 0; s < options.sentences_per_topic; ++s) {
+      const auto words = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(options.min_sentence_words),
+          static_cast<std::int64_t>(options.max_sentence_words)));
+      std::vector<std::string> sentence;
+      sentence.reserve(words);
+      for (std::size_t w = 0; w < words; ++w) {
+        if (rng.bernoulli(options.glue_probability) && !glue.empty()) {
+          const auto g = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(glue.size()) - 1));
+          sentence.emplace_back(glue[g]);
+        } else if (rng.bernoulli(options.cross_topic_probability) &&
+                   all_topics.size() > 1) {
+          auto other = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(all_topics.size()) - 1));
+          if (other == topic_idx) other = (other + 1) % all_topics.size();
+          sentence.push_back(sample_topic_word(all_topics[other]));
+        } else {
+          sentence.push_back(sample_topic_word(topic));
+        }
+      }
+      corpus.push_back(std::move(sentence));
+    }
+  }
+  // Shuffle sentence order so training does not see topics in blocks.
+  rng.shuffle(corpus);
+  return corpus;
+}
+
+}  // namespace eta2::text

@@ -1,0 +1,36 @@
+// Synthetic training corpus for the skip-gram model. Stands in for the
+// Wikipedia dump the paper trains on: sentences are generated per topic so
+// that words of the same expertise domain co-occur, which is the only
+// property the downstream clustering relies on.
+#ifndef ETA2_TEXT_CORPUS_H
+#define ETA2_TEXT_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eta2::text {
+
+struct CorpusOptions {
+  std::size_t sentences_per_topic = 400;
+  std::size_t min_sentence_words = 6;
+  std::size_t max_sentence_words = 12;
+  // Probability that a sentence slot is filled with a topic-neutral glue
+  // word instead of a topic word; keeps topics from being trivially
+  // separable and gives the model shared context.
+  double glue_probability = 0.25;
+  // Probability that a sentence mixes in one word from another topic
+  // (cross-topic noise).
+  double cross_topic_probability = 0.05;
+};
+
+// Generates tokenized sentences covering every built-in topic.
+// Deterministic for a given seed.
+[[nodiscard]] std::vector<std::vector<std::string>> generate_corpus(
+    const CorpusOptions& options, std::uint64_t seed);
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_CORPUS_H

@@ -1,0 +1,42 @@
+#include "text/embedder.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace eta2::text {
+namespace {
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t salt) {
+  std::uint64_t hash = 1469598103934665603ULL ^ salt;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Embedding Embedder::embed_phrase(std::span<const std::string> words) const {
+  Embedding sum(dimension(), 0.0);
+  for (const std::string& w : words) {
+    const Embedding e = embed_word(w);
+    add_in_place(sum, e);
+  }
+  return sum;
+}
+
+HashEmbedder::HashEmbedder(std::size_t dimension, std::uint64_t salt)
+    : dimension_(dimension), salt_(salt) {
+  require(dimension >= 1, "HashEmbedder: dimension must be >= 1");
+}
+
+Embedding HashEmbedder::embed_word(std::string_view word) const {
+  Rng rng(fnv1a(word, salt_));
+  Embedding e(dimension_, 0.0);
+  for (double& v : e) v = rng.normal();
+  normalize_in_place(e);
+  return e;
+}
+
+}  // namespace eta2::text

@@ -1,0 +1,49 @@
+// Word/phrase embedding interface. Two implementations:
+//  * SkipGramModel (skipgram.h) — trained embeddings, the paper's approach;
+//  * HashEmbedder — deterministic pseudo-random unit vectors per word,
+//    a dependency-free fallback that still gives identical words identical
+//    vectors (tasks sharing content words stay close).
+#ifndef ETA2_TEXT_EMBEDDER_H
+#define ETA2_TEXT_EMBEDDER_H
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "text/embedding.h"
+
+namespace eta2::text {
+
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  [[nodiscard]] virtual std::size_t dimension() const = 0;
+
+  // Embedding for one word; out-of-vocabulary words map to a deterministic
+  // fallback vector (implementation-defined, never throws).
+  [[nodiscard]] virtual Embedding embed_word(std::string_view word) const = 0;
+
+  // Additive phrase embedding (paper §3.2): the element-wise sum of the word
+  // embeddings. Empty phrases map to the zero vector.
+  [[nodiscard]] Embedding embed_phrase(std::span<const std::string> words) const;
+};
+
+// Deterministic hash-based embedder. Each word's vector is derived from a
+// 64-bit hash of its bytes, then L2-normalized, so distinct words are
+// near-orthogonal in expectation while repeated words coincide exactly.
+class HashEmbedder final : public Embedder {
+ public:
+  explicit HashEmbedder(std::size_t dimension = 32, std::uint64_t salt = 0);
+
+  [[nodiscard]] std::size_t dimension() const override { return dimension_; }
+  [[nodiscard]] Embedding embed_word(std::string_view word) const override;
+
+ private:
+  std::size_t dimension_;
+  std::uint64_t salt_;
+};
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_EMBEDDER_H

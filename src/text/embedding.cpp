@@ -1,0 +1,60 @@
+#include "text/embedding.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eta2::text {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "dot: dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "squared_distance: dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double euclidean_distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+double cosine_similarity(std::span<const double> a, std::span<const double> b) {
+  const double na = norm(a);
+  const double nb = norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(a, b) / (na * nb);
+}
+
+void add_in_place(Embedding& a, std::span<const double> b) {
+  require(a.size() == b.size(), "add_in_place: dimension mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void scale_in_place(Embedding& a, double factor) {
+  for (double& v : a) v *= factor;
+}
+
+void normalize_in_place(Embedding& a) {
+  const double n = norm(a);
+  if (n > 0.0) scale_in_place(a, 1.0 / n);
+}
+
+Embedding additive_phrase(std::span<const Embedding> words) {
+  require(!words.empty(), "additive_phrase: empty phrase");
+  Embedding out = words.front();
+  for (std::size_t i = 1; i < words.size(); ++i) add_in_place(out, words[i]);
+  return out;
+}
+
+}  // namespace eta2::text

@@ -1,0 +1,38 @@
+// Dense embedding vectors and the operations the pair-word pipeline needs:
+// additive phrase composition (paper §3.2, V = x_1 + ... + x_l) and
+// Euclidean / squared-Euclidean distances.
+#ifndef ETA2_TEXT_EMBEDDING_H
+#define ETA2_TEXT_EMBEDDING_H
+
+#include <span>
+#include <vector>
+
+namespace eta2::text {
+
+using Embedding = std::vector<double>;
+
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] double norm(std::span<const double> a);
+[[nodiscard]] double squared_distance(std::span<const double> a,
+                                      std::span<const double> b);
+[[nodiscard]] double euclidean_distance(std::span<const double> a,
+                                        std::span<const double> b);
+[[nodiscard]] double cosine_similarity(std::span<const double> a,
+                                       std::span<const double> b);
+
+// a += b (element-wise). Requires equal dimensions.
+void add_in_place(Embedding& a, std::span<const double> b);
+
+// Scale in place.
+void scale_in_place(Embedding& a, double factor);
+
+// Normalize to unit L2 norm; zero vectors are left unchanged.
+void normalize_in_place(Embedding& a);
+
+// Element-wise additive composition of several word embeddings into a phrase
+// embedding. Requires a non-empty list of equal-dimension vectors.
+[[nodiscard]] Embedding additive_phrase(std::span<const Embedding> words);
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_EMBEDDING_H

@@ -1,0 +1,86 @@
+#include "text/embedding_io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace eta2::text {
+
+StoredEmbedder::StoredEmbedder(std::unordered_map<std::string, Embedding> table)
+    : table_(std::move(table)),
+      dimension_(table_.empty() ? 0 : table_.begin()->second.size()),
+      oov_fallback_(table_.empty() ? 1 : table_.begin()->second.size(),
+                    /*salt=*/0x5ee0a11ULL) {
+  require(!table_.empty(), "StoredEmbedder: empty table");
+  for (const auto& [word, vec] : table_) {
+    require(vec.size() == dimension_,
+            "StoredEmbedder: inconsistent vector dimensions");
+  }
+}
+
+bool StoredEmbedder::contains(std::string_view word) const {
+  return table_.find(std::string(word)) != table_.end();
+}
+
+Embedding StoredEmbedder::embed_word(std::string_view word) const {
+  const auto it = table_.find(std::string(word));
+  if (it == table_.end()) return oov_fallback_.embed_word(word);
+  return it->second;
+}
+
+void save_embeddings(const SkipGramModel& model, std::ostream& out) {
+  const Vocab& vocab = model.vocab();
+  out << vocab.size() << ' ' << model.dimension() << '\n';
+  char buffer[64];
+  for (std::size_t id = 0; id < vocab.size(); ++id) {
+    out << vocab.word(id);
+    const Embedding vec = model.embed_word(vocab.word(id));
+    for (const double v : vec) {
+      const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+      out << ' ';
+      out.write(buffer, ptr - buffer);
+      ensure(ec == std::errc(), "save_embeddings: formatting failure");
+    }
+    out << '\n';
+  }
+}
+
+StoredEmbedder load_embeddings(std::istream& in) {
+  std::size_t count = 0;
+  std::size_t dimension = 0;
+  std::string header;
+  require(static_cast<bool>(std::getline(in, header)),
+          "load_embeddings: missing header");
+  {
+    std::istringstream hs(header);
+    require(static_cast<bool>(hs >> count >> dimension),
+            "load_embeddings: malformed header");
+  }
+  require(count >= 1 && dimension >= 1, "load_embeddings: empty table");
+
+  std::unordered_map<std::string, Embedding> table;
+  table.reserve(count);
+  std::string line;
+  for (std::size_t row = 0; row < count; ++row) {
+    require(static_cast<bool>(std::getline(in, line)),
+            "load_embeddings: truncated file");
+    std::istringstream ls(line);
+    std::string word;
+    require(static_cast<bool>(ls >> word), "load_embeddings: missing word");
+    Embedding vec(dimension, 0.0);
+    for (std::size_t d = 0; d < dimension; ++d) {
+      require(static_cast<bool>(ls >> vec[d]),
+              "load_embeddings: wrong vector width");
+    }
+    double extra = 0.0;
+    require(!(ls >> extra), "load_embeddings: too many columns");
+    const auto [it, inserted] = table.emplace(std::move(word), std::move(vec));
+    require(inserted, "load_embeddings: duplicate word");
+  }
+  return StoredEmbedder(std::move(table));
+}
+
+}  // namespace eta2::text

@@ -1,0 +1,46 @@
+// Word-embedding persistence in the word2vec text format:
+//   <vocab_size> <dimension>
+//   <word> <v_1> ... <v_d>
+// Lets a trained SkipGramModel be exported once and reloaded by later
+// processes (or replaced with externally trained vectors of the same
+// format) through the StoredEmbedder.
+#ifndef ETA2_TEXT_EMBEDDING_IO_H
+#define ETA2_TEXT_EMBEDDING_IO_H
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "text/embedder.h"
+#include "text/skipgram.h"
+
+namespace eta2::text {
+
+// Embedder backed by a fixed word->vector table; OOV words fall back to
+// deterministic hash vectors like the skip-gram model does.
+class StoredEmbedder final : public Embedder {
+ public:
+  // Requires a non-empty table of equal-dimension vectors.
+  explicit StoredEmbedder(std::unordered_map<std::string, Embedding> table);
+
+  [[nodiscard]] std::size_t dimension() const override { return dimension_; }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] bool contains(std::string_view word) const;
+  [[nodiscard]] Embedding embed_word(std::string_view word) const override;
+
+ private:
+  std::unordered_map<std::string, Embedding> table_;
+  std::size_t dimension_;
+  HashEmbedder oov_fallback_;
+};
+
+// Writes every in-vocabulary word of the model.
+void save_embeddings(const SkipGramModel& model, std::ostream& out);
+
+// Parses the word2vec text format. Throws std::invalid_argument on
+// malformed input (bad header, wrong column counts, duplicate words).
+[[nodiscard]] StoredEmbedder load_embeddings(std::istream& in);
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_EMBEDDING_IO_H

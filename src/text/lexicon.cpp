@@ -1,0 +1,78 @@
+#include "text/lexicon.h"
+
+namespace eta2::text {
+namespace {
+
+const std::vector<Topic>& topic_table() {
+  static const std::vector<Topic> kTopics = {
+      {"transport",
+       {"traffic", "congestion", "parking", "commute", "bus", "shuttle",
+        "driving", "fare", "route", "vehicles", "speed"},
+       {"highway", "garage", "intersection", "downtown", "airport", "station",
+        "bridge", "freeway", "crosswalk", "terminal"}},
+      {"dining",
+       {"price", "menu", "wait", "portions", "calories", "tip", "meal",
+        "coffee", "lunch", "dinner", "queue"},
+       {"restaurant", "cafeteria", "diner", "bakery", "foodcourt", "bistro",
+        "cafe", "canteen", "pizzeria", "buffet"}},
+      {"weather",
+       {"temperature", "humidity", "rainfall", "wind", "snow", "uv",
+        "visibility", "pressure", "pollen", "smog"},
+       {"valley", "coast", "summit", "plateau", "basin", "shoreline",
+        "riverbank", "hilltop", "meadow", "canyon"}},
+      {"sports",
+       {"attendance", "score", "laps", "goals", "runners", "tickets",
+        "members", "capacity", "matches", "medals"},
+       {"stadium", "gymnasium", "court", "track", "arena", "field",
+        "pool", "rink", "dojo", "clubhouse"}},
+      {"campus",
+       {"students", "enrollment", "seats", "lectures", "printers", "books",
+        "tuition", "scholarships", "faculty", "labs"},
+       {"seminar", "library", "auditorium", "dormitory", "classroom",
+        "registrar", "bookstore", "quad", "cafeterias", "workshop"}},
+      {"technology",
+       {"bandwidth", "latency", "battery", "signal", "downloads", "outage",
+        "throughput", "storage", "uptime", "hotspots"},
+       {"router", "datacenter", "kiosk", "antenna", "server", "laptop",
+        "smartphone", "modem", "firmware", "sensor"}},
+      {"health",
+       {"patients", "vaccines", "beds", "appointments", "prescriptions",
+        "checkups", "injuries", "allergies", "pulse", "steps"},
+       {"clinic", "hospital", "pharmacy", "ward", "ambulance", "dentist",
+        "infirmary", "laboratory", "therapist", "optician"}},
+      {"finance",
+       {"salary", "rent", "interest", "dividend", "savings", "loans",
+        "taxes", "wages", "refund", "budget"},
+       {"bank", "brokerage", "exchange", "atm", "treasury", "credit",
+        "mortgage", "insurer", "payroll", "auditor"}},
+      {"entertainment",
+       {"showtimes", "admission", "crowd", "ratings", "encore", "seats",
+        "premieres", "rehearsals", "applause", "queue"},
+       {"theater", "cinema", "concert", "museum", "gallery", "festival",
+        "carnival", "opera", "circus", "planetarium"}},
+      {"environment",
+       {"noise", "pollution", "recycling", "litter", "emissions", "compost",
+        "wildlife", "trees", "mosquitoes", "algae"},
+       {"park", "municipal", "reservoir", "wetland", "forest", "greenway",
+        "landfill", "orchard", "nursery", "sanctuary"}},
+  };
+  return kTopics;
+}
+
+const std::vector<std::string_view>& glue_table() {
+  static const std::vector<std::string_view> kGlue = {
+      "report", "measure", "observe", "record", "check", "estimate",
+      "latest", "nearby", "local", "daily", "open", "busy",
+  };
+  return kGlue;
+}
+
+}  // namespace
+
+std::span<const Topic> topics() { return topic_table(); }
+
+std::span<const std::string_view> glue_words() { return glue_table(); }
+
+std::size_t topic_count() { return topic_table().size(); }
+
+}  // namespace eta2::text

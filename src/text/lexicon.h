@@ -1,0 +1,36 @@
+// A small built-in topical lexicon. It plays the role of the paper's
+// real-world vocabulary: each expertise domain draws its task descriptions
+// from one topic's word list, and the synthetic training corpus makes words
+// of a topic co-occur so the skip-gram embeddings recover the topical
+// geometry (see DESIGN.md, substitutions table).
+#ifndef ETA2_TEXT_LEXICON_H
+#define ETA2_TEXT_LEXICON_H
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eta2::text {
+
+struct Topic {
+  std::string_view name;
+  // Words usable as Query terms ("what is measured").
+  std::vector<std::string_view> query_words;
+  // Words usable as Target terms ("where / about what").
+  std::vector<std::string_view> target_words;
+};
+
+// The ten built-in topics. Stable order; index is used as the ground-truth
+// domain label by the dataset generators.
+[[nodiscard]] std::span<const Topic> topics();
+
+// Glue words mixed into corpus sentences regardless of topic.
+[[nodiscard]] std::span<const std::string_view> glue_words();
+
+// Number of built-in topics.
+[[nodiscard]] std::size_t topic_count();
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_LEXICON_H

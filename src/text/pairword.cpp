@@ -1,0 +1,104 @@
+#include "text/pairword.h"
+
+#include <unordered_set>
+
+#include "common/error.h"
+#include "text/tokenizer.h"
+
+namespace eta2::text {
+namespace {
+
+const std::unordered_set<std::string_view>& preposition_set() {
+  static const std::unordered_set<std::string_view> kPrepositions = {
+      "of", "in", "on", "at", "to", "for", "from", "by", "with", "about",
+      "into", "onto", "near", "around", "between", "inside", "outside",
+      "within", "during", "toward", "towards", "behind", "beside",
+  };
+  return kPrepositions;
+}
+
+std::vector<std::string> strip_stopwords(
+    const std::vector<std::string>& tokens, std::size_t begin, std::size_t end) {
+  std::vector<std::string> out;
+  for (std::size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (!is_stopword(tokens[i]) && !is_preposition(tokens[i])) {
+      out.push_back(tokens[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_preposition(std::string_view token) {
+  return preposition_set().contains(token);
+}
+
+PairWord extract_pair(std::string_view description) {
+  const std::vector<std::string> tokens = tokenize(description);
+  PairWord pair;
+  if (tokens.empty()) return pair;
+
+  // Find the last preposition that has at least one content word on each
+  // side; that preposition separates "what is asked" from "about what".
+  std::size_t split = tokens.size();  // sentinel: no split found
+  for (std::size_t i = tokens.size(); i-- > 0;) {
+    if (!is_preposition(tokens[i])) continue;
+    const auto before = strip_stopwords(tokens, 0, i);
+    const auto after = strip_stopwords(tokens, i + 1, tokens.size());
+    if (!before.empty() && !after.empty()) {
+      split = i;
+      break;
+    }
+  }
+
+  if (split < tokens.size()) {
+    pair.query = strip_stopwords(tokens, 0, split);
+    pair.target = strip_stopwords(tokens, split + 1, tokens.size());
+    return pair;
+  }
+
+  // No usable preposition: halve the content words positionally.
+  const std::vector<std::string> content = strip_stopwords(tokens, 0, tokens.size());
+  if (content.empty()) return pair;
+  if (content.size() == 1) {
+    pair.query = content;
+    return pair;
+  }
+  const std::size_t half = (content.size() + 1) / 2;
+  pair.query.assign(content.begin(), content.begin() + static_cast<std::ptrdiff_t>(half));
+  pair.target.assign(content.begin() + static_cast<std::ptrdiff_t>(half), content.end());
+  return pair;
+}
+
+Embedding semantic_vector(const PairWord& pair, const Embedder& embedder) {
+  const std::size_t dim = embedder.dimension();
+  Embedding out(2 * dim, 0.0);
+  if (!pair.query.empty()) {
+    const Embedding q = embedder.embed_phrase(pair.query);
+    std::copy(q.begin(), q.end(), out.begin());
+  }
+  if (!pair.target.empty()) {
+    const Embedding t = embedder.embed_phrase(pair.target);
+    std::copy(t.begin(), t.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(dim));
+  }
+  return out;
+}
+
+Embedding semantic_vector(std::string_view description, const Embedder& embedder) {
+  return semantic_vector(extract_pair(description), embedder);
+}
+
+double task_distance(const Embedding& a, const Embedding& b) {
+  require(a.size() == b.size(), "task_distance: dimension mismatch");
+  require(a.size() % 2 == 0, "task_distance: expected concatenated [V_Q; V_T]");
+  const std::size_t dim = a.size() / 2;
+  const std::span<const double> aq(a.data(), dim);
+  const std::span<const double> at(a.data() + dim, dim);
+  const std::span<const double> bq(b.data(), dim);
+  const std::span<const double> bt(b.data() + dim, dim);
+  return 0.5 * (squared_distance(aq, bq) + squared_distance(at, bt));
+}
+
+}  // namespace eta2::text

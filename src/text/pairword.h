@@ -1,0 +1,53 @@
+// The paper's "pair-word" semantic analysis (§3.2): every task description
+// yields a <Query, Target> term pair. The Query term names the quantity the
+// task asks for ("noise level", "students"); the Target term names the
+// entity/place it is about ("municipal building", "seminar"). Each term is
+// embedded with the additive phrase model and the two embeddings are
+// concatenated into one semantic vector; Eq. 2 defines the task distance.
+//
+// The paper identifies the terms manually. We substitute a deterministic
+// rule-based extractor: the description is split at its last preposition
+// with content words on both sides; content words before the split form the
+// Query term and content words after it form the Target term. Without such
+// a split the content words are halved positionally.
+#ifndef ETA2_TEXT_PAIRWORD_H
+#define ETA2_TEXT_PAIRWORD_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/embedder.h"
+
+namespace eta2::text {
+
+struct PairWord {
+  std::vector<std::string> query;   // Query-term words (may be empty)
+  std::vector<std::string> target;  // Target-term words (may be empty)
+};
+
+// True for the prepositions used as Query/Target split points.
+[[nodiscard]] bool is_preposition(std::string_view token);
+
+// Extracts the <Query, Target> pair from a task description.
+[[nodiscard]] PairWord extract_pair(std::string_view description);
+
+// A task's semantic vector: [V_Q ; V_T], the concatenation of the additive
+// phrase embeddings of the Query and Target terms (dimension = 2 x embedder
+// dimension). Empty terms contribute a zero block.
+[[nodiscard]] Embedding semantic_vector(const PairWord& pair,
+                                        const Embedder& embedder);
+
+// Convenience: extract + embed in one call.
+[[nodiscard]] Embedding semantic_vector(std::string_view description,
+                                        const Embedder& embedder);
+
+// Paper Eq. 2: E(i, j) = 1/2 (||V_Q^i − V_Q^j||² + ||V_T^i − V_T^j||²),
+// computed on the concatenated semantic vectors (the two halves are the
+// query and target blocks). Requires equal, even dimensions.
+[[nodiscard]] double task_distance(const Embedding& a, const Embedding& b);
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_PAIRWORD_H

@@ -1,0 +1,89 @@
+#include "text/phrases.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace eta2::text {
+namespace {
+
+std::string key_of(std::string_view first, std::string_view second) {
+  std::string key;
+  key.reserve(first.size() + second.size() + 1);
+  key.append(first);
+  key.push_back(PhraseDetector::kJoiner);
+  key.append(second);
+  return key;
+}
+
+}  // namespace
+
+PhraseDetector PhraseDetector::learn(
+    std::span<const std::vector<std::string>> corpus,
+    const PhraseOptions& options) {
+  require(options.threshold > 0.0, "PhraseDetector: threshold must be > 0");
+  std::unordered_map<std::string, std::uint64_t> unigrams;
+  std::unordered_map<std::string, std::uint64_t> bigrams;
+  std::uint64_t total = 0;
+  for (const auto& sentence : corpus) {
+    for (std::size_t i = 0; i < sentence.size(); ++i) {
+      ++unigrams[sentence[i]];
+      ++total;
+      if (i + 1 < sentence.size()) {
+        ++bigrams[key_of(sentence[i], sentence[i + 1])];
+      }
+    }
+  }
+
+  PhraseDetector detector;
+  if (total == 0) return detector;
+  for (const auto& [key, count] : bigrams) {
+    if (count <= options.discount) continue;
+    const std::size_t split = key.find(kJoiner);
+    const std::string first = key.substr(0, split);
+    const std::string second = key.substr(split + 1);
+    const std::uint64_t ca = unigrams[first];
+    const std::uint64_t cb = unigrams[second];
+    if (ca < options.min_count || cb < options.min_count) continue;
+    const double score =
+        static_cast<double>(count - options.discount) /
+        (static_cast<double>(ca) * static_cast<double>(cb));
+    if (score * static_cast<double>(total) > options.threshold) {
+      detector.phrases_.insert(key);
+    }
+  }
+  return detector;
+}
+
+bool PhraseDetector::is_phrase(std::string_view first,
+                               std::string_view second) const {
+  return phrases_.contains(key_of(first, second));
+}
+
+std::vector<std::string> PhraseDetector::rewrite(
+    std::span<const std::string> tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    if (i + 1 < tokens.size() && is_phrase(tokens[i], tokens[i + 1])) {
+      out.push_back(key_of(tokens[i], tokens[i + 1]));
+      i += 2;
+    } else {
+      out.push_back(tokens[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> PhraseDetector::rewrite_corpus(
+    std::span<const std::vector<std::string>> corpus) const {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(corpus.size());
+  for (const auto& sentence : corpus) out.push_back(rewrite(sentence));
+  return out;
+}
+
+}  // namespace eta2::text

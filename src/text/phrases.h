@@ -1,0 +1,60 @@
+// Bigram collocation detection (word2vec's "word2phrase" companion): pairs
+// of adjacent words that co-occur far more often than chance are merged
+// into a single token ("municipal building" → "municipal_building") before
+// skip-gram training, so multi-word terms get their own embedding instead
+// of relying purely on the additive composition of §3.2.
+//
+// Scoring follows Mikolov et al.:
+//   score(a, b) = (count(a b) − discount) / (count(a) · count(b))
+// and pairs with score · corpus_size > threshold are merged.
+#ifndef ETA2_TEXT_PHRASES_H
+#define ETA2_TEXT_PHRASES_H
+
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace eta2::text {
+
+struct PhraseOptions {
+  // Minimum score · corpus_size to merge. For a perfect collocation whose
+  // words appear with frequency f, score · corpus_size ≈ 1/f, so the
+  // threshold is roughly "the words must be rarer than threshold⁻¹ of the
+  // corpus" — 5 suits the small topical corpora this library trains on
+  // (word2vec uses 100 for billion-word corpora).
+  double threshold = 5.0;
+  std::uint64_t discount = 3;  // subtracted from the bigram count
+  std::size_t min_count = 2;   // ignore rarer words entirely
+};
+
+class PhraseDetector {
+ public:
+  // Learns the collocations of a tokenized corpus.
+  static PhraseDetector learn(std::span<const std::vector<std::string>> corpus,
+                              const PhraseOptions& options = {});
+
+  [[nodiscard]] std::size_t phrase_count() const { return phrases_.size(); }
+  [[nodiscard]] bool is_phrase(std::string_view first,
+                               std::string_view second) const;
+
+  // Rewrites a token sequence, greedily merging detected bigrams
+  // left-to-right ("a b c" with phrases {a b} -> "a_b c"). A token consumed
+  // by a merge does not start another merge.
+  [[nodiscard]] std::vector<std::string> rewrite(
+      std::span<const std::string> tokens) const;
+
+  // Rewrites a whole corpus.
+  [[nodiscard]] std::vector<std::vector<std::string>> rewrite_corpus(
+      std::span<const std::vector<std::string>> corpus) const;
+
+  // The merge marker placed between the words of a phrase token.
+  static constexpr char kJoiner = '_';
+
+ private:
+  std::unordered_set<std::string> phrases_;  // "first_second" keys
+};
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_PHRASES_H

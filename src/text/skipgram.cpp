@@ -1,0 +1,175 @@
+#include "text/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eta2::text {
+namespace {
+
+double sigmoid(double x) {
+  if (x > 30.0) return 1.0;
+  if (x < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+SkipGramModel::SkipGramModel(Vocab vocab, SkipGramOptions options)
+    : vocab_(std::move(vocab)),
+      options_(options),
+      input_(vocab_.size() * options_.dimension, 0.0),
+      output_(vocab_.size() * options_.dimension, 0.0),
+      oov_fallback_(options_.dimension, /*salt=*/0x5ee0a11ULL) {}
+
+SkipGramModel SkipGramModel::train(
+    std::span<const std::vector<std::string>> sentences,
+    const SkipGramOptions& options, std::uint64_t seed) {
+  require(options.dimension >= 1, "SkipGramModel: dimension must be >= 1");
+  require(options.window >= 1, "SkipGramModel: window must be >= 1");
+  require(options.epochs >= 1, "SkipGramModel: epochs must be >= 1");
+  require(options.initial_learning_rate > 0.0,
+          "SkipGramModel: learning rate must be positive");
+  Vocab vocab = Vocab::build(sentences, options.min_count);
+  require(vocab.size() >= 2, "SkipGramModel: vocabulary too small to train");
+  SkipGramModel model(std::move(vocab), options);
+  model.run_training(sentences, seed);
+  return model;
+}
+
+std::span<const double> SkipGramModel::input_vector(std::size_t word_id) const {
+  return {input_.data() + word_id * options_.dimension, options_.dimension};
+}
+
+std::span<double> SkipGramModel::input_vector_mut(std::size_t word_id) {
+  return {input_.data() + word_id * options_.dimension, options_.dimension};
+}
+
+std::span<double> SkipGramModel::output_vector_mut(std::size_t word_id) {
+  return {output_.data() + word_id * options_.dimension, options_.dimension};
+}
+
+void SkipGramModel::run_training(
+    std::span<const std::vector<std::string>> sentences, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t dim = options_.dimension;
+  // word2vec initialization: input uniform in [-0.5/dim, 0.5/dim], output 0.
+  for (double& v : input_) v = rng.uniform(-0.5, 0.5) / static_cast<double>(dim);
+
+  // Pre-encode sentences as id sequences (dropping OOV words).
+  std::vector<std::vector<std::size_t>> encoded;
+  encoded.reserve(sentences.size());
+  for (const auto& sentence : sentences) {
+    std::vector<std::size_t> ids;
+    ids.reserve(sentence.size());
+    for (const auto& token : sentence) {
+      const std::size_t id = vocab_.id(token);
+      if (id != Vocab::kUnknown) ids.push_back(id);
+    }
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+  if (encoded.empty()) return;
+
+  const double total_steps = static_cast<double>(options_.epochs) *
+                             static_cast<double>(encoded.size());
+  double steps_done = 0.0;
+  std::vector<double> grad_center(dim, 0.0);
+  std::vector<std::size_t> kept;
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& sentence : encoded) {
+      const double progress = steps_done / total_steps;
+      const double lr = std::max(
+          options_.min_learning_rate,
+          options_.initial_learning_rate * (1.0 - progress));
+      steps_done += 1.0;
+
+      // Frequent-word subsampling (word2vec keep probability).
+      kept.clear();
+      for (const std::size_t id : sentence) {
+        const double f = vocab_.frequency(id);
+        const double keep =
+            f <= options_.subsample_threshold
+                ? 1.0
+                : std::sqrt(options_.subsample_threshold / f) +
+                      options_.subsample_threshold / f;
+        if (rng.uniform01() < keep) kept.push_back(id);
+      }
+      if (kept.size() < 2) continue;
+
+      for (std::size_t pos = 0; pos < kept.size(); ++pos) {
+        const std::size_t center = kept[pos];
+        const auto offset = static_cast<std::size_t>(rng.uniform_int(
+            1, static_cast<std::int64_t>(options_.window)));
+        const std::size_t lo = pos >= offset ? pos - offset : 0;
+        const std::size_t hi = std::min(kept.size() - 1, pos + offset);
+        for (std::size_t ctx_pos = lo; ctx_pos <= hi; ++ctx_pos) {
+          if (ctx_pos == pos) continue;
+          const std::size_t context = kept[ctx_pos];
+          auto v_center = input_vector_mut(center);
+          std::fill(grad_center.begin(), grad_center.end(), 0.0);
+          // One positive + k negative logistic updates.
+          for (std::size_t s = 0; s <= options_.negative_samples; ++s) {
+            std::size_t target = 0;
+            double label = 0.0;
+            if (s == 0) {
+              target = context;
+              label = 1.0;
+            } else {
+              target = vocab_.sample_negative(rng);
+              if (target == context) continue;
+            }
+            auto v_target = output_vector_mut(target);
+            double score = 0.0;
+            for (std::size_t d = 0; d < dim; ++d) score += v_center[d] * v_target[d];
+            const double g = lr * (label - sigmoid(score));
+            for (std::size_t d = 0; d < dim; ++d) {
+              grad_center[d] += g * v_target[d];
+              v_target[d] += g * v_center[d];
+            }
+          }
+          for (std::size_t d = 0; d < dim; ++d) v_center[d] += grad_center[d];
+        }
+      }
+    }
+  }
+}
+
+Embedding SkipGramModel::embed_word(std::string_view word) const {
+  const std::size_t id = vocab_.id(word);
+  if (id == Vocab::kUnknown) return oov_fallback_.embed_word(word);
+  const auto vec = input_vector(id);
+  return Embedding(vec.begin(), vec.end());
+}
+
+double SkipGramModel::similarity(std::string_view a, std::string_view b) const {
+  const std::size_t ia = vocab_.id(a);
+  const std::size_t ib = vocab_.id(b);
+  if (ia == Vocab::kUnknown || ib == Vocab::kUnknown) return 0.0;
+  return cosine_similarity(input_vector(ia), input_vector(ib));
+}
+
+std::vector<std::string> SkipGramModel::nearest(std::string_view word,
+                                                std::size_t k) const {
+  const std::size_t id = vocab_.id(word);
+  if (id == Vocab::kUnknown || vocab_.size() < 2) return {};
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(vocab_.size() - 1);
+  const auto target = input_vector(id);
+  for (std::size_t other = 0; other < vocab_.size(); ++other) {
+    if (other == id) continue;
+    scored.emplace_back(cosine_similarity(target, input_vector(other)), other);
+  }
+  const std::size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(), [](const auto& x, const auto& y) {
+                      return x.first > y.first;
+                    });
+  std::vector<std::string> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(vocab_.word(scored[i].second));
+  return out;
+}
+
+}  // namespace eta2::text

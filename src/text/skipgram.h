@@ -1,0 +1,70 @@
+// Continuous Skip-gram with negative sampling (word2vec; Mikolov et al.),
+// implemented from scratch. Stands in for the paper's embeddings trained on
+// the 2014 Wikipedia dump — see DESIGN.md. Single-threaded and fully
+// deterministic for a given seed.
+#ifndef ETA2_TEXT_SKIPGRAM_H
+#define ETA2_TEXT_SKIPGRAM_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/embedder.h"
+#include "text/vocab.h"
+
+namespace eta2::text {
+
+struct SkipGramOptions {
+  std::size_t dimension = 32;
+  std::size_t window = 4;            // max context offset; actual offset is
+                                     // sampled uniformly in [1, window]
+  std::size_t negative_samples = 5;  // negatives per (center, context) pair
+  std::size_t epochs = 3;
+  double initial_learning_rate = 0.05;
+  double min_learning_rate = 1e-4;
+  double subsample_threshold = 1e-3;  // word2vec frequent-word subsampling t
+  std::size_t min_count = 2;          // vocabulary pruning
+};
+
+class SkipGramModel final : public Embedder {
+ public:
+  // Builds the vocabulary from `sentences` and trains the embeddings.
+  static SkipGramModel train(std::span<const std::vector<std::string>> sentences,
+                             const SkipGramOptions& options, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t dimension() const override { return options_.dimension; }
+  [[nodiscard]] const Vocab& vocab() const { return vocab_; }
+
+  // Input ("center") vector of a word — the conventional word2vec output.
+  // Out-of-vocabulary words fall back to a deterministic hash vector so the
+  // pipeline keeps working on unseen task descriptions.
+  [[nodiscard]] Embedding embed_word(std::string_view word) const override;
+
+  // Cosine similarity of two words' embeddings (0 if either is OOV).
+  [[nodiscard]] double similarity(std::string_view a, std::string_view b) const;
+
+  // The `k` in-vocabulary words closest to `word` by cosine similarity.
+  [[nodiscard]] std::vector<std::string> nearest(std::string_view word,
+                                                 std::size_t k) const;
+
+ private:
+  SkipGramModel(Vocab vocab, SkipGramOptions options);
+
+  void run_training(std::span<const std::vector<std::string>> sentences,
+                    std::uint64_t seed);
+  [[nodiscard]] std::span<const double> input_vector(std::size_t word_id) const;
+  [[nodiscard]] std::span<double> input_vector_mut(std::size_t word_id);
+  [[nodiscard]] std::span<double> output_vector_mut(std::size_t word_id);
+
+  Vocab vocab_;
+  SkipGramOptions options_;
+  std::vector<double> input_;   // |V| x dim, row-major
+  std::vector<double> output_;  // |V| x dim, row-major
+  HashEmbedder oov_fallback_;
+};
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_SKIPGRAM_H

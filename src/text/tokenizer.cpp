@@ -1,0 +1,67 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace eta2::text {
+namespace {
+
+const std::unordered_set<std::string_view>& stopword_set() {
+  static const std::unordered_set<std::string_view> kStopwords = {
+      // articles / determiners / pronouns
+      "a", "an", "the", "this", "that", "these", "those", "it", "its",
+      "i", "you", "he", "she", "we", "they", "them", "his", "her", "their",
+      "my", "your", "our", "me", "us", "him",
+      // interrogatives and question scaffolding
+      "what", "which", "who", "whom", "whose", "when", "where", "why", "how",
+      "many", "much", "did", "do", "does", "done", "doing",
+      // copulas / auxiliaries
+      "is", "are", "was", "were", "be", "been", "being", "am",
+      "have", "has", "had", "having", "will", "would", "can", "could",
+      "shall", "should", "may", "might", "must",
+      // conjunctions / misc
+      "and", "or", "but", "nor", "so", "yet", "if", "then", "than", "as",
+      "not", "no", "yes", "there", "here", "also", "too", "very",
+      "please", "today", "now", "currently", "current",
+      // generic task-verbs and qualifiers (the corpus glue words) — they
+      // carry no domain signal, so pair-word drops them too
+      "report", "measure", "observe", "record", "check", "estimate",
+      "latest", "nearby", "local", "daily", "open", "busy",
+      // prepositions (kept out of content words; pairword handles them
+      // separately through is_preposition)
+      "of", "in", "on", "at", "to", "for", "from", "by", "with", "about",
+      "into", "onto", "near", "around", "between", "during", "per",
+      "estimated", "average", "level", "number",
+  };
+  return kStopwords;
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c) != 0) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool is_stopword(std::string_view token) {
+  return stopword_set().contains(token);
+}
+
+std::vector<std::string> content_words(std::string_view text) {
+  std::vector<std::string> tokens = tokenize(text);
+  std::erase_if(tokens, [](const std::string& t) { return is_stopword(t); });
+  return tokens;
+}
+
+}  // namespace eta2::text

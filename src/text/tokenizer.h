@@ -1,0 +1,27 @@
+// ASCII tokenizer and stopword filtering for task descriptions.
+// Descriptions in mobile crowdsourcing are short English sentences
+// ("What is the noise level around the municipal building?"), so a
+// lower-casing, punctuation-stripping tokenizer is sufficient.
+#ifndef ETA2_TEXT_TOKENIZER_H
+#define ETA2_TEXT_TOKENIZER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eta2::text {
+
+// Lower-cases, strips punctuation (keeping intra-word hyphens/apostrophes
+// out), and splits on whitespace. Digits are kept as tokens.
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view text);
+
+// True for English stopwords and interrogative scaffolding words
+// ("what", "is", "the", "how", "many", ...).
+[[nodiscard]] bool is_stopword(std::string_view token);
+
+// tokenize() with stopwords removed — the "content words" of a description.
+[[nodiscard]] std::vector<std::string> content_words(std::string_view text);
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_TOKENIZER_H

@@ -1,0 +1,77 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eta2::text {
+
+Vocab Vocab::build(std::span<const std::vector<std::string>> sentences,
+                   std::size_t min_count) {
+  std::unordered_map<std::string, std::uint64_t> raw_counts;
+  for (const auto& sentence : sentences) {
+    for (const auto& token : sentence) ++raw_counts[token];
+  }
+  Vocab vocab;
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+  entries.reserve(raw_counts.size());
+  for (auto& [word, count] : raw_counts) {
+    if (count >= min_count) entries.emplace_back(word, count);
+  }
+  // Sort by descending count then lexicographic so ids are deterministic.
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  vocab.words_.reserve(entries.size());
+  vocab.counts_.reserve(entries.size());
+  for (auto& [word, count] : entries) {
+    vocab.index_.emplace(word, vocab.words_.size());
+    vocab.words_.push_back(word);
+    vocab.counts_.push_back(count);
+    vocab.total_count_ += count;
+  }
+  // Unigram CDF over count^0.75.
+  vocab.unigram_cdf_.reserve(vocab.counts_.size());
+  double cumulative = 0.0;
+  for (const std::uint64_t c : vocab.counts_) {
+    cumulative += std::pow(static_cast<double>(c), 0.75);
+    vocab.unigram_cdf_.push_back(cumulative);
+  }
+  for (double& v : vocab.unigram_cdf_) v /= cumulative;
+  return vocab;
+}
+
+std::size_t Vocab::id(std::string_view word) const {
+  const auto it = index_.find(std::string(word));
+  return it == index_.end() ? kUnknown : it->second;
+}
+
+bool Vocab::contains(std::string_view word) const { return id(word) != kUnknown; }
+
+const std::string& Vocab::word(std::size_t word_id) const {
+  require(word_id < words_.size(), "Vocab::word: id out of range");
+  return words_[word_id];
+}
+
+std::uint64_t Vocab::count(std::size_t word_id) const {
+  require(word_id < counts_.size(), "Vocab::count: id out of range");
+  return counts_[word_id];
+}
+
+double Vocab::frequency(std::size_t word_id) const {
+  require(word_id < counts_.size(), "Vocab::frequency: id out of range");
+  if (total_count_ == 0) return 0.0;
+  return static_cast<double>(counts_[word_id]) / static_cast<double>(total_count_);
+}
+
+std::size_t Vocab::sample_negative(Rng& rng) const {
+  ensure(!unigram_cdf_.empty(), "Vocab::sample_negative: empty vocabulary");
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(unigram_cdf_.begin(), unigram_cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - unigram_cdf_.begin());
+  return std::min(idx, words_.size() - 1);
+}
+
+}  // namespace eta2::text

@@ -1,0 +1,53 @@
+// Vocabulary: word <-> id mapping with frequency counts, plus the
+// count^0.75 unigram table used for negative sampling in skip-gram training.
+#ifndef ETA2_TEXT_VOCAB_H
+#define ETA2_TEXT_VOCAB_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eta2::text {
+
+class Vocab {
+ public:
+  static constexpr std::size_t kUnknown = static_cast<std::size_t>(-1);
+
+  // Builds from sentences of tokens; words appearing fewer than `min_count`
+  // times are dropped.
+  static Vocab build(std::span<const std::vector<std::string>> sentences,
+                     std::size_t min_count = 1);
+
+  [[nodiscard]] std::size_t size() const { return words_.size(); }
+  [[nodiscard]] std::size_t total_count() const { return total_count_; }
+
+  // Returns kUnknown for out-of-vocabulary words.
+  [[nodiscard]] std::size_t id(std::string_view word) const;
+  [[nodiscard]] bool contains(std::string_view word) const;
+  [[nodiscard]] const std::string& word(std::size_t word_id) const;
+  [[nodiscard]] std::uint64_t count(std::size_t word_id) const;
+
+  // Word frequency as a fraction of the corpus.
+  [[nodiscard]] double frequency(std::size_t word_id) const;
+
+  // Samples a word id from the count^0.75 unigram distribution
+  // (word2vec's negative-sampling distribution).
+  [[nodiscard]] std::size_t sample_negative(Rng& rng) const;
+
+ private:
+  std::vector<std::string> words_;
+  std::vector<std::uint64_t> counts_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<double> unigram_cdf_;  // cumulative count^0.75, normalized
+  std::uint64_t total_count_ = 0;
+};
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_VOCAB_H

@@ -1,0 +1,177 @@
+#include "truth/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "truth/reliability_common.h"
+
+namespace eta2::truth {
+namespace {
+
+using detail::max_change;
+using detail::normalize_max;
+using detail::observation_credibility;
+using detail::weighted_truth;
+
+}  // namespace
+
+TruthResult MeanBaseline::estimate(const ObservationSet& data) const {
+  TruthResult result;
+  result.truth.assign(data.task_count(),
+                      std::numeric_limits<double>::quiet_NaN());
+  result.reliability.assign(data.user_count(), 1.0);
+  for (TaskId j = 0; j < data.task_count(); ++j) {
+    if (!data.for_task(j).empty()) result.truth[j] = data.task_mean(j);
+  }
+  result.iterations = 1;
+  result.converged = true;  // closed form
+  return result;
+}
+
+TruthResult MedianBaseline::estimate(const ObservationSet& data) const {
+  TruthResult result;
+  result.truth.assign(data.task_count(),
+                      std::numeric_limits<double>::quiet_NaN());
+  result.reliability.assign(data.user_count(), 1.0);
+  std::vector<double> values;
+  for (TaskId j = 0; j < data.task_count(); ++j) {
+    const auto obs = data.for_task(j);
+    if (obs.empty()) continue;
+    values.clear();
+    for (const Observation& o : obs) values.push_back(o.value);
+    const auto mid = values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2);
+    std::nth_element(values.begin(), mid, values.end());
+    if (values.size() % 2 == 1) {
+      result.truth[j] = *mid;
+    } else {
+      const double upper = *mid;
+      const double lower = *std::max_element(values.begin(), mid);
+      result.truth[j] = 0.5 * (lower + upper);
+    }
+  }
+  result.iterations = 1;
+  result.converged = true;  // closed form
+  return result;
+}
+
+TruthResult HubsAuthorities::estimate(const ObservationSet& data) const {
+  TruthResult result;
+  result.reliability.assign(data.user_count(), 1.0);
+  result.truth = weighted_truth(data, result.reliability);
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    // Authority step: a data item's credibility is the reliability-weighted
+    // support it gets from all sources of the task (kernel similarity
+    // against the current estimate serves as agreement).
+    // Hub step: a source's reliability is the sum of its items' credibility.
+    std::vector<double> next(data.user_count(), 0.0);
+    for (TaskId j = 0; j < data.task_count(); ++j) {
+      const auto obs = data.for_task(j);
+      if (obs.empty()) continue;
+      const auto cred = observation_credibility(data, j, result.truth[j]);
+      // Support of item idx = Σ_k w_k · sim(x_idx, x_k); with the kernel
+      // centred on μ_j this factorizes to cred_idx · Σ_k w_k cred_k.
+      double weighted_support = 0.0;
+      for (std::size_t k = 0; k < obs.size(); ++k) {
+        weighted_support += result.reliability[obs[k].user] * cred[k];
+      }
+      for (std::size_t idx = 0; idx < obs.size(); ++idx) {
+        next[obs[idx].user] += cred[idx] * weighted_support;
+      }
+    }
+    normalize_max(next);
+    const double change = max_change(next, result.reliability);
+    result.reliability = std::move(next);
+    result.truth = weighted_truth(data, result.reliability);
+    if (change < options_.convergence_threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+TruthResult AverageLog::estimate(const ObservationSet& data) const {
+  TruthResult result;
+  result.reliability.assign(data.user_count(), 1.0);
+  result.truth = weighted_truth(data, result.reliability);
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    std::vector<double> cred_sum(data.user_count(), 0.0);
+    for (TaskId j = 0; j < data.task_count(); ++j) {
+      const auto obs = data.for_task(j);
+      if (obs.empty()) continue;
+      const auto cred = observation_credibility(data, j, result.truth[j]);
+      for (std::size_t idx = 0; idx < obs.size(); ++idx) {
+        cred_sum[obs[idx].user] += cred[idx];
+      }
+    }
+    std::vector<double> next(data.user_count(), 0.0);
+    for (UserId i = 0; i < data.user_count(); ++i) {
+      const auto count = static_cast<double>(data.tasks_answered(i));
+      if (count <= 0.0) continue;
+      // average credibility x log(#items); log1p keeps single-task users
+      // from collapsing to zero weight.
+      next[i] = (cred_sum[i] / count) * std::log1p(count);
+    }
+    normalize_max(next);
+    const double change = max_change(next, result.reliability);
+    result.reliability = std::move(next);
+    result.truth = weighted_truth(data, result.reliability);
+    if (change < options_.convergence_threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+TruthResult TruthFinder::estimate(const ObservationSet& data) const {
+  TruthResult result;
+  result.reliability.assign(data.user_count(), 0.9);  // TruthFinder's t_0
+  result.truth = weighted_truth(data, result.reliability);
+  constexpr double kTrustCap = 1.0 - 1e-9;
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    std::vector<double> score_sum(data.user_count(), 0.0);
+    std::vector<double> next(data.user_count(), 0.0);
+    for (TaskId j = 0; j < data.task_count(); ++j) {
+      const auto obs = data.for_task(j);
+      if (obs.empty()) continue;
+      const auto cred = observation_credibility(data, j, result.truth[j]);
+      // Item confidence: probability at least one agreeing source is
+      // trustworthy, s(item) = 1 − Π_k (1 − t_k · sim_k(item)); with the
+      // estimate-centred kernel, sim_k(item) ≈ cred_k · cred_item.
+      for (std::size_t idx = 0; idx < obs.size(); ++idx) {
+        double log_miss = 0.0;
+        for (std::size_t k = 0; k < obs.size(); ++k) {
+          const double t =
+              std::min(kTrustCap, result.reliability[obs[k].user]);
+          const double support = t * cred[k] * cred[idx];
+          log_miss += std::log1p(-std::min(kTrustCap, support));
+        }
+        const double confidence = 1.0 - std::exp(log_miss);
+        score_sum[obs[idx].user] += confidence;
+      }
+    }
+    for (UserId i = 0; i < data.user_count(); ++i) {
+      const auto count = static_cast<double>(data.tasks_answered(i));
+      if (count <= 0.0) continue;
+      next[i] = std::min(kTrustCap, score_sum[i] / count);
+    }
+    const double change = max_change(next, result.reliability);
+    result.reliability = std::move(next);
+    result.truth = weighted_truth(data, result.reliability);
+    if (change < options_.convergence_threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace eta2::truth

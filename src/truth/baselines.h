@@ -1,0 +1,81 @@
+// The four comparison methods of the paper's §6.3, reimplemented for
+// numerical sensing data.
+//
+//  * MeanBaseline — the truth is the plain mean of the observed values;
+//    every user has reliability 1 (tasks are allocated randomly).
+//  * HubsAuthorities [Kleinberg'99, adapted by truth-discovery work] — a
+//    source's reliability is the sum of the credibility of its data items;
+//    a data item's credibility is the reliability-weighted support it
+//    receives from all sources (Gaussian-kernel similarity for numeric
+//    values). Both sides are max-normalized each round.
+//  * AverageLog [Pasternack & Roth'10] — reliability is the average
+//    credibility of a source's data items multiplied by log(#items).
+//  * TruthFinder [Yin et al.'08] — a data item's credibility is the
+//    probability at least one supporting source is right,
+//    1 − Π (1 − t_k·sim), and a source's trustworthiness is the average
+//    credibility of its items.
+//
+// All methods estimate the continuous truth as the credibility/reliability
+// weighted mean of the observed values and iterate to a fixed point.
+#ifndef ETA2_TRUTH_BASELINES_H
+#define ETA2_TRUTH_BASELINES_H
+
+#include "truth/truth_method.h"
+
+namespace eta2::truth {
+
+struct BaselineOptions {
+  int max_iterations = 100;
+  double convergence_threshold = 1e-4;  // max relative reliability change
+};
+
+class MeanBaseline final : public TruthMethod {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Baseline"; }
+  [[nodiscard]] TruthResult estimate(const ObservationSet& data) const override;
+};
+
+// Robust variant of the mean baseline (beyond the paper): the truth is the
+// per-task median. Immune to a minority of wild reports, but still blind to
+// who reported them.
+class MedianBaseline final : public TruthMethod {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Median"; }
+  [[nodiscard]] TruthResult estimate(const ObservationSet& data) const override;
+};
+
+class HubsAuthorities final : public TruthMethod {
+ public:
+  explicit HubsAuthorities(BaselineOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string_view name() const override {
+    return "Hubs and Authorities";
+  }
+  [[nodiscard]] TruthResult estimate(const ObservationSet& data) const override;
+
+ private:
+  BaselineOptions options_;
+};
+
+class AverageLog final : public TruthMethod {
+ public:
+  explicit AverageLog(BaselineOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string_view name() const override { return "Average-Log"; }
+  [[nodiscard]] TruthResult estimate(const ObservationSet& data) const override;
+
+ private:
+  BaselineOptions options_;
+};
+
+class TruthFinder final : public TruthMethod {
+ public:
+  explicit TruthFinder(BaselineOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string_view name() const override { return "TruthFinder"; }
+  [[nodiscard]] TruthResult estimate(const ObservationSet& data) const override;
+
+ private:
+  BaselineOptions options_;
+};
+
+}  // namespace eta2::truth
+
+#endif  // ETA2_TRUTH_BASELINES_H

@@ -1,0 +1,184 @@
+#include "truth/eta2_mle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace eta2::truth {
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+Eta2Mle::Eta2Mle(MleOptions options) : options_(options) {
+  require(options_.convergence_threshold > 0.0, "Eta2Mle: threshold must be > 0");
+  require(options_.max_iterations >= 1, "Eta2Mle: max_iterations >= 1");
+  require(options_.expertise_min > 0.0, "Eta2Mle: expertise_min must be > 0");
+  require(options_.expertise_max >= options_.expertise_min,
+          "Eta2Mle: expertise_max < expertise_min");
+  require(options_.sigma_min > 0.0, "Eta2Mle: sigma_min must be > 0");
+  require(options_.initial_expertise > 0.0, "Eta2Mle: initial expertise > 0");
+}
+
+void Eta2Mle::estimate_truth_only(
+    const ObservationSet& data, std::span<const DomainIndex> task_domain,
+    const std::vector<std::vector<double>>& expertise, std::vector<double>& mu,
+    std::vector<double>& sigma) const {
+  const std::size_t m = data.task_count();
+  require(task_domain.size() == m, "Eta2Mle: task_domain size mismatch");
+  require(expertise.size() == data.user_count(),
+          "Eta2Mle: expertise rows != user count");
+  mu.assign(m, kNaN);
+  sigma.assign(m, kNaN);
+  for (TaskId j = 0; j < m; ++j) {
+    const auto obs = data.for_task(j);
+    if (obs.empty()) continue;
+    const DomainIndex k = task_domain[j];
+    double num = 0.0;
+    double den = 0.0;
+    for (const Observation& o : obs) {
+      require(k < expertise[o.user].size(), "Eta2Mle: domain out of range");
+      const double u = expertise[o.user][k];
+      num += u * u * o.value;
+      den += u * u;
+    }
+    const double mu_j = den > 0.0 ? num / den : data.task_mean(j);
+    double var_num = 0.0;
+    for (const Observation& o : obs) {
+      const double u = expertise[o.user][k];
+      var_num += u * u * (o.value - mu_j) * (o.value - mu_j);
+    }
+    mu[j] = mu_j;
+    sigma[j] = std::max(options_.sigma_min,
+                        std::sqrt(var_num / static_cast<double>(obs.size())));
+  }
+}
+
+MleResult Eta2Mle::estimate(
+    const ObservationSet& data, std::span<const DomainIndex> task_domain,
+    std::size_t domain_count,
+    const std::vector<std::vector<double>>& initial_expertise) const {
+  const std::size_t n = data.user_count();
+  const std::size_t m = data.task_count();
+  require(task_domain.size() == m, "Eta2Mle: task_domain size mismatch");
+  for (const DomainIndex k : task_domain) {
+    require(k < domain_count, "Eta2Mle: task domain index out of range");
+  }
+
+  MleResult result;
+  if (initial_expertise.empty()) {
+    result.expertise.assign(
+        n, std::vector<double>(domain_count, options_.initial_expertise));
+  } else {
+    require(initial_expertise.size() == n,
+            "Eta2Mle: initial expertise rows != user count");
+    result.expertise = initial_expertise;
+    for (auto& row : result.expertise) {
+      require(row.size() == domain_count,
+              "Eta2Mle: initial expertise cols != domain count");
+      for (double& u : row) {
+        u = std::clamp(u, options_.expertise_min, options_.expertise_max);
+      }
+    }
+  }
+
+  std::vector<double> prev_mu;
+  estimate_truth_only(data, task_domain, result.expertise, result.mu,
+                      result.sigma);
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    // --- Eq. 6: expertise update given (μ, σ). ---
+    // Accumulate per (user, domain): N = #observations, D = Σ (x−μ)²/σ².
+    std::vector<std::vector<double>> num(n, std::vector<double>(domain_count, 0.0));
+    std::vector<std::vector<double>> den(n, std::vector<double>(domain_count, 0.0));
+    for (TaskId j = 0; j < m; ++j) {
+      const auto obs = data.for_task(j);
+      if (obs.empty()) continue;
+      const DomainIndex k = task_domain[j];
+      const double sigma_j = result.sigma[j];
+      for (const Observation& o : obs) {
+        const double e = (o.value - result.mu[j]) / sigma_j;
+        num[o.user][k] += 1.0;
+        den[o.user][k] += e * e;
+      }
+    }
+    const double p = options_.prior_strength;
+    const double u0 = options_.initial_expertise;
+    for (UserId i = 0; i < n; ++i) {
+      for (DomainIndex k = 0; k < domain_count; ++k) {
+        if (num[i][k] <= 0.0) continue;  // no data: keep current value
+        const double u = std::sqrt((num[i][k] + p) /
+                                   (den[i][k] + p / (u0 * u0) + options_.ridge));
+        result.expertise[i][k] =
+            std::clamp(u, options_.expertise_min, options_.expertise_max);
+      }
+    }
+
+    // --- Eq. 5: truth update given expertise. ---
+    prev_mu = result.mu;
+    estimate_truth_only(data, task_domain, result.expertise, result.mu,
+                        result.sigma);
+
+    // Convergence: every task's truth estimate moved < threshold (relative,
+    // with an absolute floor for estimates near zero).
+    bool all_small = true;
+    for (TaskId j = 0; j < m; ++j) {
+      if (std::isnan(result.mu[j]) || std::isnan(prev_mu[j])) continue;
+      const double scale = std::max(std::fabs(prev_mu[j]), 1e-8);
+      if (std::fabs(result.mu[j] - prev_mu[j]) / scale >=
+          options_.convergence_threshold) {
+        all_small = false;
+        break;
+      }
+    }
+    if (all_small) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Gauge anchoring: pin the mean expertise of observed pairs to
+  // anchor_mean, rescaling σ consistently (σ/u is the identified quantity).
+  if (options_.anchor_mean > 0.0) {
+    std::vector<std::vector<bool>> has_data(
+        n, std::vector<bool>(domain_count, false));
+    for (TaskId j = 0; j < m; ++j) {
+      for (const Observation& o : data.for_task(j)) {
+        has_data[o.user][task_domain[j]] = true;
+      }
+    }
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    for (UserId i = 0; i < n; ++i) {
+      for (DomainIndex k = 0; k < domain_count; ++k) {
+        if (has_data[i][k]) {
+          log_sum += std::log(result.expertise[i][k]);
+          ++count;
+        }
+      }
+    }
+    if (count > 0) {
+      const double c = std::exp(log_sum / static_cast<double>(count)) /
+                       options_.anchor_mean;
+      for (UserId i = 0; i < n; ++i) {
+        for (DomainIndex k = 0; k < domain_count; ++k) {
+          if (has_data[i][k]) {
+            result.expertise[i][k] =
+                std::clamp(result.expertise[i][k] / c, options_.expertise_min,
+                           options_.expertise_max);
+          }
+        }
+      }
+      for (TaskId j = 0; j < m; ++j) {
+        if (!std::isnan(result.sigma[j])) {
+          result.sigma[j] = std::max(options_.sigma_min, result.sigma[j] / c);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace eta2::truth

@@ -1,0 +1,237 @@
+#include "truth/expertise_store.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/error.h"
+
+namespace eta2::truth {
+
+ExpertiseStore::ExpertiseStore(std::size_t user_count, MleOptions options)
+    : options_(options), num_(user_count), den_(user_count) {}
+
+DomainIndex ExpertiseStore::add_domain() {
+  const DomainIndex idx = domain_count_++;
+  for (auto& row : num_) row.push_back(0.0);
+  for (auto& row : den_) row.push_back(0.0);
+  return idx;
+}
+
+double ExpertiseStore::expertise(UserId user, DomainIndex domain) const {
+  require(user < num_.size(), "ExpertiseStore::expertise: user out of range");
+  require(domain < domain_count_, "ExpertiseStore::expertise: domain out of range");
+  const double n = num_[user][domain];
+  if (n <= 0.0) return options_.initial_expertise;
+  // Shrinkage toward the prior, matching Eq. 6's update in Eta2Mle.
+  const double p = options_.prior_strength;
+  const double u0 = options_.initial_expertise;
+  const double u = std::sqrt((n + p) / (den_[user][domain] + p / (u0 * u0) +
+                                        options_.ridge));
+  return std::clamp(u, options_.expertise_min, options_.expertise_max);
+}
+
+std::vector<std::vector<double>> ExpertiseStore::snapshot() const {
+  std::vector<std::vector<double>> out(num_.size(),
+                                       std::vector<double>(domain_count_, 0.0));
+  for (UserId i = 0; i < num_.size(); ++i) {
+    for (DomainIndex k = 0; k < domain_count_; ++k) {
+      out[i][k] = expertise(i, k);
+    }
+  }
+  return out;
+}
+
+void ExpertiseStore::decay_and_accumulate(double alpha,
+                                          const Accumulators& add_num,
+                                          const Accumulators& add_den) {
+  require(alpha >= 0.0 && alpha <= 1.0,
+          "ExpertiseStore::decay_and_accumulate: alpha in [0,1]");
+  require(add_num.size() == num_.size() && add_den.size() == den_.size(),
+          "ExpertiseStore::decay_and_accumulate: row count mismatch");
+  for (UserId i = 0; i < num_.size(); ++i) {
+    require(add_num[i].size() == domain_count_ && add_den[i].size() == domain_count_,
+            "ExpertiseStore::decay_and_accumulate: column count mismatch");
+    for (DomainIndex k = 0; k < domain_count_; ++k) {
+      num_[i][k] = alpha * num_[i][k] + add_num[i][k];
+      den_[i][k] = alpha * den_[i][k] + add_den[i][k];
+    }
+  }
+}
+
+void ExpertiseStore::merge_domains(DomainIndex kept, DomainIndex absorbed) {
+  require(kept < domain_count_ && absorbed < domain_count_ && kept != absorbed,
+          "ExpertiseStore::merge_domains: bad domain indices");
+  for (UserId i = 0; i < num_.size(); ++i) {
+    num_[i][kept] += num_[i][absorbed];
+    den_[i][kept] += den_[i][absorbed];
+    num_[i][absorbed] = 0.0;
+    den_[i][absorbed] = 0.0;
+  }
+}
+
+double ExpertiseStore::anchor(double target_mean) {
+  require(target_mean > 0.0, "ExpertiseStore::anchor: target_mean > 0");
+  // The gauge is multiplicative, so the geometric mean of the (clamped,
+  // shrunk) expertise values is the anchored statistic; it is also robust
+  // to the heavy upper tail of small-sample estimates.
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  for (UserId i = 0; i < num_.size(); ++i) {
+    for (DomainIndex k = 0; k < domain_count_; ++k) {
+      if (num_[i][k] > 0.0) {
+        log_sum += std::log(expertise(i, k));
+        ++count;
+      }
+    }
+  }
+  if (count == 0) return 1.0;
+  const double c =
+      std::exp(log_sum / static_cast<double>(count)) / target_mean;
+  if (c <= 0.0 || !std::isfinite(c)) return 1.0;
+  // u = sqrt(N/D): dividing u by c multiplies D by c².
+  for (auto& row : den_) {
+    for (double& d : row) d *= c * c;
+  }
+  return c;
+}
+
+namespace {
+
+void write_number(std::ostream& out, double value) {
+  char buffer[64];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  ensure(ec == std::errc(), "ExpertiseStore::save: formatting failure");
+  out.write(buffer, ptr - buffer);
+}
+
+}  // namespace
+
+void ExpertiseStore::save(std::ostream& out) const {
+  out << "expertise-store v1\n";
+  out << num_.size() << ' ' << domain_count_ << '\n';
+  for (const Accumulators* matrix : {&num_, &den_}) {
+    for (const auto& row : *matrix) {
+      for (std::size_t k = 0; k < domain_count_; ++k) {
+        if (k > 0) out << ' ';
+        write_number(out, row[k]);
+      }
+      out << '\n';
+    }
+  }
+}
+
+ExpertiseStore ExpertiseStore::load(std::istream& in, MleOptions options) {
+  std::string tag;
+  std::string version;
+  require(static_cast<bool>(in >> tag >> version) &&
+              tag == "expertise-store" && version == "v1",
+          "ExpertiseStore::load: bad header");
+  std::size_t users = 0;
+  std::size_t domains = 0;
+  require(static_cast<bool>(in >> users >> domains),
+          "ExpertiseStore::load: bad dimensions");
+  ExpertiseStore store(users, options);
+  store.domain_count_ = domains;
+  store.num_.assign(users, std::vector<double>(domains, 0.0));
+  store.den_.assign(users, std::vector<double>(domains, 0.0));
+  for (Accumulators* matrix : {&store.num_, &store.den_}) {
+    for (auto& row : *matrix) {
+      for (double& cell : row) {
+        require(static_cast<bool>(in >> cell),
+                "ExpertiseStore::load: truncated accumulators");
+      }
+    }
+  }
+  return store;
+}
+
+Contributions expertise_contributions(const ObservationSet& data,
+                                      std::span<const DomainIndex> task_domain,
+                                      std::span<const double> mu,
+                                      std::span<const double> sigma,
+                                      std::size_t user_count,
+                                      std::size_t domain_count) {
+  require(task_domain.size() == data.task_count(),
+          "expertise_contributions: task_domain size mismatch");
+  require(mu.size() == data.task_count() && sigma.size() == data.task_count(),
+          "expertise_contributions: mu/sigma size mismatch");
+  Contributions c;
+  c.num.assign(user_count, std::vector<double>(domain_count, 0.0));
+  c.den.assign(user_count, std::vector<double>(domain_count, 0.0));
+  for (TaskId j = 0; j < data.task_count(); ++j) {
+    if (std::isnan(mu[j]) || std::isnan(sigma[j]) || sigma[j] <= 0.0) continue;
+    const DomainIndex k = task_domain[j];
+    require(k < domain_count, "expertise_contributions: domain out of range");
+    for (const Observation& o : data.for_task(j)) {
+      const double e = (o.value - mu[j]) / sigma[j];
+      c.num[o.user][k] += 1.0;
+      c.den[o.user][k] += e * e;
+    }
+  }
+  return c;
+}
+
+DynamicUpdateResult dynamic_update(ExpertiseStore& store,
+                                   const ObservationSet& new_data,
+                                   std::span<const DomainIndex> new_task_domain,
+                                   double alpha, const Eta2Mle& mle) {
+  require(new_data.user_count() == store.user_count(),
+          "dynamic_update: user count mismatch");
+  const MleOptions& opt = mle.options();
+  const std::size_t n = store.user_count();
+  const std::size_t domains = store.domain_count();
+
+  DynamicUpdateResult result;
+  std::vector<std::vector<double>> expertise = store.snapshot();
+  Contributions contrib;
+  std::vector<double> prev_mu;
+
+  for (int iter = 1; iter <= opt.max_iterations; ++iter) {
+    result.iterations = iter;
+    prev_mu = result.mu;
+    mle.estimate_truth_only(new_data, new_task_domain, expertise, result.mu,
+                            result.sigma);
+    contrib = expertise_contributions(new_data, new_task_domain, result.mu,
+                                      result.sigma, n, domains);
+    // Candidate expertise from decayed history + this iteration's
+    // contributions (Eq. 9). The store is only committed once, after
+    // convergence, so candidates are evaluated on a scratch copy.
+    ExpertiseStore scratch = store;
+    scratch.decay_and_accumulate(alpha, contrib.num, contrib.den);
+    expertise = scratch.snapshot();
+
+    if (!prev_mu.empty()) {
+      bool all_small = true;
+      for (std::size_t j = 0; j < result.mu.size(); ++j) {
+        if (std::isnan(result.mu[j]) || std::isnan(prev_mu[j])) continue;
+        const double scale = std::max(std::fabs(prev_mu[j]), 1e-8);
+        if (std::fabs(result.mu[j] - prev_mu[j]) / scale >=
+            opt.convergence_threshold) {
+          all_small = false;
+          break;
+        }
+      }
+      if (all_small) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  // Commit the final contributions with one real decay step, then re-anchor
+  // the gauge (the incremental updates otherwise drift it upward) and keep
+  // the reported σ consistent with the anchored expertise.
+  store.decay_and_accumulate(alpha, contrib.num, contrib.den);
+  if (opt.anchor_mean > 0.0) {
+    const double c = store.anchor(opt.anchor_mean);
+    for (double& s : result.sigma) {
+      if (!std::isnan(s)) s = std::max(opt.sigma_min, s / c);
+    }
+  }
+  return result;
+}
+
+}  // namespace eta2::truth

@@ -1,0 +1,104 @@
+// Persistent user-expertise state across time steps (paper §4.2).
+// For every (user, domain) pair the store keeps the two accumulators of
+// Eqs. 7–8 — N(u) (count of observations) and D(u) (sum of squared
+// normalized errors) — and exposes the expertise u = sqrt(N / D) of Eq. 9.
+// New time steps decay history by α before adding fresh contributions, and
+// domain merges add the absorbed domain's accumulators into the survivor.
+#ifndef ETA2_TRUTH_EXPERTISE_STORE_H
+#define ETA2_TRUTH_EXPERTISE_STORE_H
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "truth/eta2_mle.h"
+#include "truth/observation.h"
+
+namespace eta2::truth {
+
+// accumulators[user][domain]
+using Accumulators = std::vector<std::vector<double>>;
+
+class ExpertiseStore {
+ public:
+  // `options` supplies the clamp range, ridge and initial expertise used to
+  // turn accumulators into expertise values (shared with the MLE engine).
+  explicit ExpertiseStore(std::size_t user_count, MleOptions options = {});
+
+  [[nodiscard]] std::size_t user_count() const { return num_.size(); }
+  [[nodiscard]] std::size_t domain_count() const { return domain_count_; }
+
+  // Registers a new dense domain index (returned). Existing users start
+  // with empty accumulators (expertise = initial value) in it.
+  DomainIndex add_domain();
+
+  // u_i^k of Eq. 9, clamped; `initial_expertise` when the pair has no data.
+  [[nodiscard]] double expertise(UserId user, DomainIndex domain) const;
+
+  // Full matrix snapshot [user][domain] — the MLE warm start.
+  [[nodiscard]] std::vector<std::vector<double>> snapshot() const;
+
+  // Eqs. 7–8: accumulators ← α·accumulators + contribution. The contribution
+  // matrices must be user_count x domain_count. Pass alpha = 1 to add
+  // without decay (used when seeding from the warm-up MLE).
+  void decay_and_accumulate(double alpha, const Accumulators& add_num,
+                            const Accumulators& add_den);
+
+  // Paper §4.2, merged domains: fold `absorbed` into `kept` and reset
+  // `absorbed` to the no-data state.
+  void merge_domains(DomainIndex kept, DomainIndex absorbed);
+
+  // Gauge anchoring (see MleOptions::anchor_mean): rescales the D
+  // accumulators so the mean unclamped expertise over pairs with data
+  // equals `target_mean`. Returns the factor c by which expertise shrank
+  // (u_new = u_old / c); 1.0 when there is nothing to anchor.
+  double anchor(double target_mean);
+
+  [[nodiscard]] const MleOptions& options() const { return options_; }
+
+  // State persistence (accumulators only; options come from the caller at
+  // load time). The format is a whitespace-separated text block with full
+  // floating-point round-trip precision.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static ExpertiseStore load(std::istream& in,
+                                           MleOptions options);
+
+ private:
+  MleOptions options_;
+  std::size_t domain_count_ = 0;
+  Accumulators num_;  // N(u_i^k)
+  Accumulators den_;  // D(u_i^k)
+};
+
+// Computes the Eq. 7–8 contribution matrices of one batch of tasks: for each
+// (user, domain), add_num counts the user's observations on tasks of that
+// domain and add_den sums (x−μ)²/σ². Tasks with NaN truth are skipped.
+struct Contributions {
+  Accumulators num;
+  Accumulators den;
+};
+[[nodiscard]] Contributions expertise_contributions(
+    const ObservationSet& data, std::span<const DomainIndex> task_domain,
+    std::span<const double> mu, std::span<const double> sigma,
+    std::size_t user_count, std::size_t domain_count);
+
+// The dynamic update of paper §4.2: given the observations collected for the
+// new tasks of the current time step (and their domains), iterate
+//   (a) Eq. 5 truth estimation with the current expertise,
+//   (b) Eq. 7–9 candidate expertise from decayed history + new contributions
+// until the truth estimates converge, then commit the decayed accumulators
+// into the store. Returns the new tasks' truth and base numbers.
+struct DynamicUpdateResult {
+  std::vector<double> mu;
+  std::vector<double> sigma;
+  int iterations = 0;
+  bool converged = false;
+};
+DynamicUpdateResult dynamic_update(ExpertiseStore& store,
+                                   const ObservationSet& new_data,
+                                   std::span<const DomainIndex> new_task_domain,
+                                   double alpha, const Eta2Mle& mle);
+
+}  // namespace eta2::truth
+
+#endif  // ETA2_TRUTH_EXPERTISE_STORE_H

@@ -1,0 +1,60 @@
+#include "truth/observation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eta2::truth {
+
+ObservationSet::ObservationSet(std::size_t user_count, std::size_t task_count)
+    : user_count_(user_count),
+      per_task_(task_count),
+      tasks_answered_(user_count, 0) {}
+
+void ObservationSet::add(TaskId task, UserId user, double value) {
+  require(task < per_task_.size(), "ObservationSet::add: task out of range");
+  require(user < user_count_, "ObservationSet::add: user out of range");
+  require(!has_observation(task, user),
+          "ObservationSet::add: duplicate observation for (task, user)");
+  per_task_[task].push_back(Observation{user, value});
+  ++tasks_answered_[user];
+  ++total_;
+}
+
+std::span<const Observation> ObservationSet::for_task(TaskId task) const {
+  require(task < per_task_.size(), "ObservationSet::for_task: task out of range");
+  return per_task_[task];
+}
+
+bool ObservationSet::has_observation(TaskId task, UserId user) const {
+  require(task < per_task_.size(),
+          "ObservationSet::has_observation: task out of range");
+  const auto& obs = per_task_[task];
+  return std::any_of(obs.begin(), obs.end(),
+                     [user](const Observation& o) { return o.user == user; });
+}
+
+std::size_t ObservationSet::tasks_answered(UserId user) const {
+  require(user < user_count_, "ObservationSet::tasks_answered: user out of range");
+  return tasks_answered_[user];
+}
+
+double ObservationSet::task_mean(TaskId task) const {
+  const auto obs = for_task(task);
+  require(!obs.empty(), "ObservationSet::task_mean: no observations");
+  double sum = 0.0;
+  for (const Observation& o : obs) sum += o.value;
+  return sum / static_cast<double>(obs.size());
+}
+
+double ObservationSet::task_stddev(TaskId task) const {
+  const auto obs = for_task(task);
+  if (obs.size() < 2) return 0.0;
+  const double m = task_mean(task);
+  double sum = 0.0;
+  for (const Observation& o : obs) sum += (o.value - m) * (o.value - m);
+  return std::sqrt(sum / static_cast<double>(obs.size()));
+}
+
+}  // namespace eta2::truth

@@ -1,0 +1,76 @@
+#include "truth/reliability_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace eta2::truth::detail {
+
+std::vector<double> weighted_truth(const ObservationSet& data,
+                                   std::span<const double> reliability) {
+  require(reliability.size() == data.user_count(),
+          "weighted_truth: reliability size mismatch");
+  std::vector<double> truth(data.task_count(),
+                            std::numeric_limits<double>::quiet_NaN());
+  for (TaskId j = 0; j < data.task_count(); ++j) {
+    const auto obs = data.for_task(j);
+    if (obs.empty()) continue;
+    double num = 0.0;
+    double den = 0.0;
+    for (const Observation& o : obs) {
+      const double w = std::max(0.0, reliability[o.user]);
+      num += w * o.value;
+      den += w;
+    }
+    truth[j] = den > 0.0 ? num / den : data.task_mean(j);
+  }
+  return truth;
+}
+
+std::vector<double> observation_credibility(const ObservationSet& data,
+                                            TaskId task, double truth) {
+  const auto obs = data.for_task(task);
+  std::vector<double> cred(obs.size(), 0.0);
+  if (obs.empty() || std::isnan(truth)) return cred;
+  // Robust kernel bandwidth: 1.4826·MAD (consistent with the stddev under
+  // normality) so a single wild observation cannot flatten everyone's
+  // credibility the way a plain stddev bandwidth would. Falls back to the
+  // stddev when the MAD degenerates.
+  std::vector<double> deviations;
+  deviations.reserve(obs.size());
+  for (const Observation& o : obs) {
+    deviations.push_back(std::fabs(o.value - truth));
+  }
+  std::nth_element(deviations.begin(),
+                   deviations.begin() + static_cast<std::ptrdiff_t>(deviations.size() / 2),
+                   deviations.end());
+  double h = 1.4826 * deviations[deviations.size() / 2];
+  if (h <= 0.0) h = data.task_stddev(task);
+  h = std::max(h, 1e-9);
+  for (std::size_t idx = 0; idx < obs.size(); ++idx) {
+    const double z = (obs[idx].value - truth) / h;
+    cred[idx] = std::exp(-0.5 * z * z);
+  }
+  return cred;
+}
+
+void normalize_max(std::vector<double>& weights) {
+  double max_w = 0.0;
+  for (const double w : weights) max_w = std::max(max_w, w);
+  if (max_w <= 0.0) return;
+  for (double& w : weights) w /= max_w;
+}
+
+double max_change(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "max_change: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max(std::fabs(b[i]), 1e-8);
+    worst = std::max(worst, std::fabs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+}  // namespace eta2::truth::detail

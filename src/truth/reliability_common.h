@@ -1,0 +1,39 @@
+// Shared numeric-data machinery for the claim-based baselines
+// (Hubs & Authorities, Average-Log, TruthFinder). These methods were
+// formulated for categorical claims; the standard continuous adaptation
+// (cf. the truth-discovery survey literature) scores each observation by a
+// Gaussian-kernel closeness to the current estimate and keeps each method's
+// reliability recursion unchanged.
+#ifndef ETA2_TRUTH_RELIABILITY_COMMON_H
+#define ETA2_TRUTH_RELIABILITY_COMMON_H
+
+#include <span>
+#include <vector>
+
+#include "truth/observation.h"
+
+namespace eta2::truth::detail {
+
+// Reliability-weighted truth estimate per task:
+//   μ_j = Σ_i w_i x_ij / Σ_i w_i   (falls back to the plain mean when all
+// weights vanish). NaN for tasks without observations.
+[[nodiscard]] std::vector<double> weighted_truth(
+    const ObservationSet& data, std::span<const double> reliability);
+
+// Gaussian-kernel credibility of each observation of task j against the
+// current estimate: c = exp(−(x − μ_j)² / (2 h_j²)), where the bandwidth
+// h_j is the task's observation stddev (floored to keep the kernel finite).
+// Returned in the same order as data.for_task(j).
+[[nodiscard]] std::vector<double> observation_credibility(
+    const ObservationSet& data, TaskId task, double truth);
+
+// Normalizes weights to max 1 (no-op when all are zero).
+void normalize_max(std::vector<double>& weights);
+
+// Max relative change between two weight vectors (for convergence tests).
+[[nodiscard]] double max_change(std::span<const double> a,
+                                std::span<const double> b);
+
+}  // namespace eta2::truth::detail
+
+#endif  // ETA2_TRUTH_RELIABILITY_COMMON_H

@@ -1,0 +1,28 @@
+// Per-task confidence intervals on the MLE truth estimates (paper Eq. 24),
+// computed from a finished fit: the asymptotic-normality interval
+//   μ̂_j ± z_{α/2} · σ̂_j / sqrt(Σ_{i observed j} û_ij²).
+// Lets adopters report calibrated uncertainty alongside every estimate.
+#ifndef ETA2_TRUTH_TASK_CONFIDENCE_H
+#define ETA2_TRUTH_TASK_CONFIDENCE_H
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "stats/confidence.h"
+#include "truth/eta2_mle.h"
+#include "truth/observation.h"
+
+namespace eta2::truth {
+
+// One interval per task; std::nullopt for tasks without usable observations
+// (no data, or all observers at zero expertise). `alpha` is the two-sided
+// tail mass (0.05 => 95% intervals).
+[[nodiscard]] std::vector<std::optional<stats::Interval>>
+task_confidence_intervals(const MleResult& fit, const ObservationSet& data,
+                          std::span<const DomainIndex> task_domain,
+                          double alpha = 0.05);
+
+}  // namespace eta2::truth
+
+#endif  // ETA2_TRUTH_TASK_CONFIDENCE_H

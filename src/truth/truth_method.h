@@ -1,0 +1,33 @@
+// Common interface for the reliability-based truth-analysis baselines the
+// paper compares against (§6.3). Each method consumes an ObservationSet and
+// produces a truth estimate per task plus a reliability score per user; the
+// reliability drives the baseline task-allocation strategy.
+#ifndef ETA2_TRUTH_TRUTH_METHOD_H
+#define ETA2_TRUTH_TRUTH_METHOD_H
+
+#include <string_view>
+#include <vector>
+
+#include "truth/observation.h"
+
+namespace eta2::truth {
+
+struct TruthResult {
+  std::vector<double> truth;        // per task; NaN for tasks with no data
+  std::vector<double> reliability;  // per user, scale is method-specific
+  int iterations = 0;
+  // Iterative methods set this when their fixed point settled before the
+  // iteration cap; closed-form methods (the mean baseline) set it directly.
+  bool converged = false;
+};
+
+class TruthMethod {
+ public:
+  virtual ~TruthMethod() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual TruthResult estimate(const ObservationSet& data) const = 0;
+};
+
+}  // namespace eta2::truth
+
+#endif  // ETA2_TRUTH_TRUTH_METHOD_H

@@ -1,0 +1,80 @@
+#include "truth/variance_em.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "truth/reliability_common.h"
+
+namespace eta2::truth {
+
+TruthResult VarianceEm::estimate(const ObservationSet& data) const {
+  const std::size_t n = data.user_count();
+  const std::size_t m = data.task_count();
+  TruthResult result;
+  result.truth.assign(m, std::numeric_limits<double>::quiet_NaN());
+  result.reliability.assign(n, 1.0);
+
+  // Per-task standardization scale (observation stddev, floored).
+  std::vector<double> scale(m, 1.0);
+  for (TaskId j = 0; j < m; ++j) {
+    if (data.for_task(j).empty()) continue;
+    scale[j] = std::max(data.task_stddev(j), 1e-9);
+  }
+
+  // s2[i]: user i's variance on the standardized scale; weights are 1/s2.
+  std::vector<double> s2(n, 1.0);
+  std::vector<double> prev_s(n, 1.0);
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    // --- truth step: precision-weighted means. ---
+    for (TaskId j = 0; j < m; ++j) {
+      const auto obs = data.for_task(j);
+      if (obs.empty()) continue;
+      double num = 0.0;
+      double den = 0.0;
+      for (const Observation& o : obs) {
+        const double w = 1.0 / s2[o.user];
+        num += w * o.value;
+        den += w;
+      }
+      result.truth[j] = num / den;
+    }
+    // --- variance step: per-user residual variance with a prior. ---
+    std::vector<double> rss(n, 0.0);
+    std::vector<double> count(n, 0.0);
+    for (TaskId j = 0; j < m; ++j) {
+      if (std::isnan(result.truth[j])) continue;
+      for (const Observation& o : data.for_task(j)) {
+        const double e = (o.value - result.truth[j]) / scale[j];
+        rss[o.user] += e * e;
+        count[o.user] += 1.0;
+      }
+    }
+    double max_change = 0.0;
+    for (UserId i = 0; i < n; ++i) {
+      if (count[i] <= 0.0) continue;
+      const double updated =
+          std::max(options_.variance_floor,
+                   (rss[i] + options_.prior_strength) /
+                       (count[i] + options_.prior_strength));
+      s2[i] = updated;
+      const double s = std::sqrt(updated);
+      max_change = std::max(max_change,
+                            std::fabs(s - prev_s[i]) / std::max(prev_s[i], 1e-9));
+      prev_s[i] = s;
+    }
+    if (max_change < options_.convergence_threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Report reliabilities as precisions normalized to max 1.
+  for (UserId i = 0; i < n; ++i) result.reliability[i] = 1.0 / s2[i];
+  detail::normalize_max(result.reliability);
+  return result;
+}
+
+}  // namespace eta2::truth

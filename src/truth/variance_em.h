@@ -1,0 +1,47 @@
+// Gaussian EM truth discovery (the "EM" family the paper cites as related
+// work [6]; also known in the truth-discovery literature as the CRH /
+// conflict-resolution style estimator for continuous data).
+//
+// Model: user i reports x_ij ~ N(μ_j, s_i²) with ONE precision per user —
+// expertise-unaware, which is exactly what ETA² generalizes. Coordinate
+// ascent on the joint likelihood:
+//   μ_j  = Σ_i ω_ij x_ij / s_i²  /  Σ_i ω_ij / s_i²
+//   s_i² = Σ_j ω_ij (x_ij − μ_j)² / n_i            (+ shrinkage prior)
+// Observations are standardized per task (divided by the task's observation
+// stddev) before fitting so tasks with different magnitudes are comparable,
+// mirroring the paper's §2.1 normalization.
+//
+// Serves as a fifth comparison method: stronger than the kernel-weighted
+// baselines on Gaussian data, but still blind to expertise domains.
+#ifndef ETA2_TRUTH_VARIANCE_EM_H
+#define ETA2_TRUTH_VARIANCE_EM_H
+
+#include "truth/truth_method.h"
+
+namespace eta2::truth {
+
+struct VarianceEmOptions {
+  int max_iterations = 100;
+  double convergence_threshold = 1e-4;  // max relative change of s_i
+  double variance_floor = 1e-6;         // keeps weights finite
+  // Pseudo-observations shrinking each user's variance toward 1 (the
+  // standardized scale); prevents a lucky single report from earning an
+  // (almost) infinite weight.
+  double prior_strength = 1.0;
+};
+
+class VarianceEm final : public TruthMethod {
+ public:
+  VarianceEm() = default;
+  explicit VarianceEm(VarianceEmOptions options) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const override { return "Gaussian EM"; }
+  [[nodiscard]] TruthResult estimate(const ObservationSet& data) const override;
+
+ private:
+  VarianceEmOptions options_{};
+};
+
+}  // namespace eta2::truth
+
+#endif  // ETA2_TRUTH_VARIANCE_EM_H

@@ -1,0 +1,149 @@
+#include "alloc/baseline_allocators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace eta2::alloc {
+namespace {
+
+AllocationProblem uniform_problem(std::size_t users, std::size_t tasks,
+                                  double task_time = 1.0,
+                                  double capacity = 5.0) {
+  AllocationProblem p;
+  p.expertise.assign(users, std::vector<double>(tasks, 1.0));
+  p.task_time.assign(tasks, task_time);
+  p.user_capacity.assign(users, capacity);
+  return p;
+}
+
+TEST(RandomAllocatorTest, RespectsCapacity) {
+  const AllocationProblem p = uniform_problem(6, 30);
+  Rng rng(1);
+  const Allocation a = RandomAllocator().allocate(p, rng);
+  EXPECT_TRUE(respects_capacity(p, a));
+  // Capacity 5 with unit tasks: every user carries exactly 5 tasks
+  // (30 tasks are plenty).
+  for (UserId i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(a.used_time(i), 5.0);
+  }
+}
+
+TEST(RandomAllocatorTest, DeterministicGivenRngState) {
+  const AllocationProblem p = uniform_problem(4, 10);
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const Allocation a = RandomAllocator().allocate(p, rng_a);
+  const Allocation b = RandomAllocator().allocate(p, rng_b);
+  for (TaskId j = 0; j < 10; ++j) {
+    EXPECT_EQ(std::vector<UserId>(a.users_of(j).begin(), a.users_of(j).end()),
+              std::vector<UserId>(b.users_of(j).begin(), b.users_of(j).end()));
+  }
+}
+
+TEST(RandomAllocatorTest, DifferentSeedsGiveDifferentAllocations) {
+  const AllocationProblem p = uniform_problem(6, 30);
+  Rng rng_a(1);
+  Rng rng_b(2);
+  const Allocation a = RandomAllocator().allocate(p, rng_a);
+  const Allocation b = RandomAllocator().allocate(p, rng_b);
+  bool any_difference = false;
+  for (TaskId j = 0; j < 30 && !any_difference; ++j) {
+    std::vector<UserId> ua(a.users_of(j).begin(), a.users_of(j).end());
+    std::vector<UserId> ub(b.users_of(j).begin(), b.users_of(j).end());
+    std::sort(ua.begin(), ua.end());
+    std::sort(ub.begin(), ub.end());
+    any_difference = ua != ub;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomAllocatorTest, MaxUsersPerTaskCap) {
+  const AllocationProblem p = uniform_problem(10, 4, 1.0, 10.0);
+  RandomAllocator::Options options;
+  options.max_users_per_task = 2;
+  Rng rng(3);
+  const Allocation a = RandomAllocator(options).allocate(p, rng);
+  for (TaskId j = 0; j < 4; ++j) {
+    EXPECT_LE(a.users_of(j).size(), 2u);
+  }
+}
+
+TEST(RandomAllocatorTest, SpreadsTasksAcrossUsers) {
+  const AllocationProblem p = uniform_problem(20, 20, 1.0, 3.0);
+  Rng rng(5);
+  const Allocation a = RandomAllocator().allocate(p, rng);
+  // All users participate (capacity 3 each, 60 slots for 20x20 pairs).
+  std::size_t users_with_work = 0;
+  for (UserId i = 0; i < 20; ++i) {
+    if (a.used_time(i) > 0.0) ++users_with_work;
+  }
+  EXPECT_GE(users_with_work, 18u);
+}
+
+TEST(ReliabilityGreedyTest, HighReliabilityUsersGetShortTasksFirst) {
+  AllocationProblem p;
+  p.expertise.assign(2, std::vector<double>(2, 1.0));
+  p.task_time = {3.0, 1.0};   // task 1 is shorter
+  p.user_capacity = {1.0, 4.0};  // user 0 can only fit the short task
+  const std::vector<double> reliability = {0.9, 0.1};
+  const Allocation a = ReliabilityGreedyAllocator().allocate(p, reliability);
+  // The reliable user 0 must hold the short task.
+  EXPECT_TRUE(a.is_assigned(0, 1));
+  EXPECT_FALSE(a.is_assigned(0, 0));
+  EXPECT_TRUE(respects_capacity(p, a));
+}
+
+TEST(ReliabilityGreedyTest, RoundRobinCoversTasksBeforeDuplicating) {
+  const AllocationProblem p = uniform_problem(4, 4, 1.0, 4.0);
+  const std::vector<double> reliability = {0.4, 0.3, 0.2, 0.1};
+  const Allocation a = ReliabilityGreedyAllocator().allocate(p, reliability);
+  // Full capacity: every user ends up on every task.
+  for (TaskId j = 0; j < 4; ++j) {
+    EXPECT_EQ(a.users_of(j).size(), 4u);
+  }
+}
+
+TEST(ReliabilityGreedyTest, CapacityZeroUserGetsNothing) {
+  AllocationProblem p = uniform_problem(2, 3);
+  p.user_capacity[0] = 0.0;
+  const std::vector<double> reliability = {1.0, 0.5};
+  const Allocation a = ReliabilityGreedyAllocator().allocate(p, reliability);
+  EXPECT_DOUBLE_EQ(a.used_time(0), 0.0);
+  EXPECT_GT(a.used_time(1), 0.0);
+}
+
+TEST(ReliabilityGreedyTest, MaxUsersPerTaskCap) {
+  const AllocationProblem p = uniform_problem(6, 2, 1.0, 2.0);
+  ReliabilityGreedyAllocator::Options options;
+  options.max_users_per_task = 3;
+  const std::vector<double> reliability(6, 1.0);
+  const Allocation a =
+      ReliabilityGreedyAllocator(options).allocate(p, reliability);
+  for (TaskId j = 0; j < 2; ++j) {
+    EXPECT_LE(a.users_of(j).size(), 3u);
+  }
+}
+
+TEST(ReliabilityGreedyTest, RejectsReliabilitySizeMismatch) {
+  const AllocationProblem p = uniform_problem(3, 2);
+  const std::vector<double> wrong_size = {1.0, 0.5};
+  EXPECT_THROW(ReliabilityGreedyAllocator().allocate(p, wrong_size),
+               std::invalid_argument);
+}
+
+TEST(ReliabilityGreedyTest, DeterministicWithTies) {
+  const AllocationProblem p = uniform_problem(4, 6, 1.0, 2.0);
+  const std::vector<double> reliability(4, 0.5);  // all tied
+  const Allocation a = ReliabilityGreedyAllocator().allocate(p, reliability);
+  const Allocation b = ReliabilityGreedyAllocator().allocate(p, reliability);
+  for (TaskId j = 0; j < 6; ++j) {
+    EXPECT_EQ(std::vector<UserId>(a.users_of(j).begin(), a.users_of(j).end()),
+              std::vector<UserId>(b.users_of(j).begin(), b.users_of(j).end()));
+  }
+}
+
+}  // namespace
+}  // namespace eta2::alloc

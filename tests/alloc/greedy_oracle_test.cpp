@@ -1,0 +1,123 @@
+// Oracle test: the incremental-cache greedy (GreedyState with per-task best
+// pairs and selective rescans) must pick exactly the same pairs as a naive
+// implementation that recomputes every pair's efficiency each round.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc/max_quality.h"
+#include "common/rng.h"
+#include "stats/normal.h"
+
+namespace eta2::alloc {
+namespace {
+
+// Literal Algorithm 1: full O(n·m) efficiency scan per selection.
+Allocation naive_greedy(const AllocationProblem& p, const GreedyOptions& opt) {
+  const std::size_t n = p.user_count();
+  const std::size_t m = p.task_count();
+  Allocation a(n, m);
+  std::vector<double> remaining = p.user_capacity;
+  std::vector<double> miss(m, 1.0);
+  double spent = 0.0;
+  while (spent < opt.cost_cap) {
+    double best = 0.0;
+    UserId best_user = n;
+    TaskId best_task = m;
+    for (UserId i = 0; i < n; ++i) {
+      for (TaskId j = 0; j < m; ++j) {
+        if (a.is_assigned(i, j)) continue;
+        if (remaining[i] < p.task_time[j]) continue;
+        const double p_ij =
+            stats::accuracy_probability(p.expertise[i][j], opt.epsilon);
+        const double gain = p_ij * miss[j];
+        const double eff =
+            opt.efficiency_per_time ? gain / p.task_time[j] : gain;
+        if (eff > best) {
+          best = eff;
+          best_user = i;
+          best_task = j;
+        }
+      }
+    }
+    if (best_task == m) break;
+    a.assign(best_user, best_task, p.task_time[best_task],
+             p.cost_of(best_task));
+    remaining[best_user] -= p.task_time[best_task];
+    miss[best_task] *=
+        1.0 - stats::accuracy_probability(p.expertise[best_user][best_task],
+                                          opt.epsilon);
+    spent += p.cost_of(best_task);
+  }
+  return a;
+}
+
+bool same_allocation(const Allocation& a, const Allocation& b) {
+  if (a.task_count() != b.task_count() || a.user_count() != b.user_count()) {
+    return false;
+  }
+  for (TaskId j = 0; j < a.task_count(); ++j) {
+    std::vector<UserId> ua(a.users_of(j).begin(), a.users_of(j).end());
+    std::vector<UserId> ub(b.users_of(j).begin(), b.users_of(j).end());
+    std::sort(ua.begin(), ua.end());
+    std::sort(ub.begin(), ub.end());
+    if (ua != ub) return false;
+  }
+  return true;
+}
+
+class GreedyOracleSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(GreedyOracleSweep, MatchesNaiveImplementation) {
+  const auto [seed, per_time] = GetParam();
+  Rng rng(seed * 101 + 7);
+  const std::size_t users = 7;
+  const std::size_t tasks = 11;
+  AllocationProblem p;
+  p.expertise.assign(users, std::vector<double>(tasks, 0.0));
+  for (auto& row : p.expertise) {
+    for (double& u : row) u = rng.uniform(0.0, 4.0);
+  }
+  p.task_time.resize(tasks);
+  for (double& t : p.task_time) t = rng.uniform(0.5, 2.5);
+  p.user_capacity.resize(users);
+  for (double& c : p.user_capacity) c = rng.uniform(2.0, 8.0);
+
+  GreedyOptions options;
+  options.efficiency_per_time = per_time;
+  Allocation fast(users, tasks);
+  greedy_extend(p, options, fast);
+  const Allocation naive = naive_greedy(p, options);
+  EXPECT_TRUE(same_allocation(fast, naive)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GreedyOracleSweep,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 13),
+                       ::testing::Bool()));
+
+TEST(GreedyOracleTest, CostCapMatchesToo) {
+  Rng rng(99);
+  const std::size_t users = 5;
+  const std::size_t tasks = 8;
+  AllocationProblem p;
+  p.expertise.assign(users, std::vector<double>(tasks, 0.0));
+  for (auto& row : p.expertise) {
+    for (double& u : row) u = rng.uniform(0.5, 3.0);
+  }
+  p.task_time.assign(tasks, 1.0);
+  p.task_cost.resize(tasks);
+  for (double& c : p.task_cost) c = rng.uniform(0.5, 2.0);
+  p.user_capacity.assign(users, 5.0);
+
+  GreedyOptions options;
+  options.cost_cap = 6.0;
+  Allocation fast(users, tasks);
+  greedy_extend(p, options, fast);
+  const Allocation naive = naive_greedy(p, options);
+  EXPECT_TRUE(same_allocation(fast, naive));
+}
+
+}  // namespace
+}  // namespace eta2::alloc

@@ -1,0 +1,79 @@
+#include "clustering/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace eta2::clustering {
+namespace {
+
+const std::vector<std::size_t> kTruth = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+
+TEST(PurityTest, PerfectClustering) {
+  const std::vector<std::size_t> predicted = {5, 5, 5, 7, 7, 7, 9, 9, 9};
+  EXPECT_DOUBLE_EQ(purity(predicted, kTruth), 1.0);
+}
+
+TEST(PurityTest, SingleClusterGetsMajorityShare) {
+  const std::vector<std::size_t> predicted(9, 0);
+  EXPECT_DOUBLE_EQ(purity(predicted, kTruth), 3.0 / 9.0);
+}
+
+TEST(PurityTest, AllSingletonsIsTriviallyPure) {
+  std::vector<std::size_t> predicted(9);
+  for (std::size_t i = 0; i < 9; ++i) predicted[i] = i;
+  EXPECT_DOUBLE_EQ(purity(predicted, kTruth), 1.0);
+}
+
+TEST(PurityTest, PartialMixture) {
+  // One cluster holds {0,0,1}, another {1,1,0}, third {2,2,2}.
+  const std::vector<std::size_t> predicted = {0, 0, 1, 0, 1, 1, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(purity(predicted, kTruth), (2.0 + 2.0 + 3.0) / 9.0);
+}
+
+TEST(PurityTest, RejectsBadInputs) {
+  EXPECT_THROW(purity({}, {}), std::invalid_argument);
+  const std::vector<std::size_t> a = {0, 1};
+  const std::vector<std::size_t> b = {0};
+  EXPECT_THROW(purity(a, b), std::invalid_argument);
+}
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(kTruth, kTruth), 1.0);
+  // Label names are irrelevant.
+  const std::vector<std::size_t> renamed = {4, 4, 4, 9, 9, 9, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(renamed, kTruth), 1.0);
+}
+
+TEST(AriTest, SingleClusterScoresZeroAgainstStructure) {
+  const std::vector<std::size_t> predicted(9, 0);
+  EXPECT_NEAR(adjusted_rand_index(predicted, kTruth), 0.0, 1e-12);
+}
+
+TEST(AriTest, RandomishPartitionScoresLow) {
+  const std::vector<std::size_t> predicted = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  EXPECT_LT(adjusted_rand_index(predicted, kTruth), 0.1);
+}
+
+TEST(AriTest, BetterPartitionScoresHigher) {
+  const std::vector<std::size_t> close = {0, 0, 1, 1, 1, 1, 2, 2, 2};
+  const std::vector<std::size_t> far = {0, 1, 2, 1, 2, 0, 2, 0, 1};
+  EXPECT_GT(adjusted_rand_index(close, kTruth),
+            adjusted_rand_index(far, kTruth));
+}
+
+TEST(AriTest, BothTrivialPartitionsAgree) {
+  const std::vector<std::size_t> a(5, 0);
+  const std::vector<std::size_t> b(5, 3);
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(ClusterCountTest, CountsDistinctLabels) {
+  EXPECT_EQ(cluster_count(kTruth), 3u);
+  const std::vector<std::size_t> empty;
+  EXPECT_EQ(cluster_count(empty), 0u);
+}
+
+}  // namespace
+}  // namespace eta2::clustering

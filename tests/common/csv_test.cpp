@@ -1,0 +1,86 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eta2 {
+namespace {
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, EscapesCommasAndQuotes) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriterTest, VariadicWriteFormatsNumbers) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write("label", 1.5, 42);
+  EXPECT_EQ(out.str(), "label,1.5,42\n");
+}
+
+TEST(CsvWriterTest, NumbersRoundTripThroughParse) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write(0.1 + 0.2, 1e-17, 12345.6789);
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][0]), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][1]), 1e-17);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][2]), 12345.6789);
+}
+
+TEST(CsvParseTest, SimpleLine) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvParseTest, QuotedFieldWithComma) {
+  const auto fields = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "c");
+}
+
+TEST(CsvParseTest, EscapedQuotes) {
+  const auto fields = parse_csv_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  const auto fields = parse_csv_line(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvParseTest, DocumentSkipsBlankLinesAndCarriageReturns) {
+  const auto rows = parse_csv("a,b\r\n\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(CsvRoundTripTest, WriterOutputParsesBack) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const std::vector<std::string> original = {"plain", "with,comma",
+                                             "with \"quote\"", ""};
+  writer.write_row(original);
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+}  // namespace
+}  // namespace eta2

@@ -1,0 +1,82 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace eta2 {
+namespace {
+
+Flags make_flags(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags flags = make_flags({"--name=value", "--count=5"});
+  EXPECT_EQ(flags.get("name", ""), "value");
+  EXPECT_EQ(flags.get_int("count", 0), 5);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags flags = make_flags({"--name", "value"});
+  EXPECT_EQ(flags.get("name", ""), "value");
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  const Flags flags = make_flags({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_TRUE(flags.has("verbose"));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const Flags flags = make_flags({});
+  EXPECT_EQ(flags.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.get_bool("missing", false));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(FlagsTest, ExplicitFalseValues) {
+  const Flags flags = make_flags({"--a=false", "--b=0"});
+  EXPECT_FALSE(flags.get_bool("a", true));
+  EXPECT_FALSE(flags.get_bool("b", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags flags = make_flags({"input.csv", "--opt=1", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const Flags flags = make_flags({"--gamma=0.65"});
+  EXPECT_DOUBLE_EQ(flags.get_double("gamma", 0.0), 0.65);
+}
+
+TEST(FlagsTest, BareFlagFollowedByFlag) {
+  const Flags flags = make_flags({"--verbose", "--count=3"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get_int("count", 0), 3);
+}
+
+TEST(FlagsTest, SeedCountPriority) {
+  ::unsetenv("ETA2_SEEDS");
+  const Flags with_flag = make_flags({"--seeds=9"});
+  EXPECT_EQ(with_flag.seed_count(3), 9);
+
+  const Flags without = make_flags({});
+  EXPECT_EQ(without.seed_count(3), 3);
+
+  ::setenv("ETA2_SEEDS", "12", 1);
+  EXPECT_EQ(without.seed_count(3), 12);
+  // Flag wins over environment.
+  EXPECT_EQ(with_flag.seed_count(3), 9);
+  ::unsetenv("ETA2_SEEDS");
+}
+
+}  // namespace
+}  // namespace eta2

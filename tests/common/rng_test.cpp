@@ -1,0 +1,217 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace eta2 {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 8.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 8.25);
+  }
+}
+
+TEST(RngTest, UniformIntCoversFullRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  }
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-10, -3);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -3);
+  }
+}
+
+TEST(RngTest, UniformIntIsApproximatelyUniform) {
+  Rng rng(23);
+  std::vector<int> counts(8, 0);
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_int(0, 7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.125, 0.01);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatchStandardNormal) {
+  Rng rng(29);
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(31);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(37);
+  constexpr int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ForksOfIdenticalStatesMatch) {
+  Rng parent_a(99);
+  Rng parent_c(99);
+  Rng child_a = parent_a.fork(5);
+  Rng child_c = parent_c.fork(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child_a(), child_c());
+  }
+}
+
+TEST(RngTest, ForkDoesNotPerturbParentSequence) {
+  Rng with_fork(99);
+  Rng without_fork(99);
+  (void)with_fork.fork(3);  // fork is const: parent stream must be unchanged
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(with_fork(), without_fork());
+  }
+}
+
+TEST(RngTest, ForkedStreamsWithDifferentIndicesDiffer) {
+  Rng parent(99);
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a() == child_b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::is_sorted(shuffled.begin(), shuffled.end()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleHandlesTrivialSizes) {
+  Rng rng(47);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+// Property sweep: the uniform_int rejection sampler must stay unbiased for a
+// variety of range sizes, including ones near powers of two.
+class RngUniformIntSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RngUniformIntSweep, MeanMatchesRangeMidpoint) {
+  const std::int64_t hi = GetParam();
+  Rng rng(static_cast<std::uint64_t>(hi) * 977 + 1);
+  constexpr int kN = 40000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const std::int64_t v = rng.uniform_int(0, hi);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, hi);
+    sum += static_cast<double>(v);
+  }
+  const double expected = static_cast<double>(hi) / 2.0;
+  const double tolerance = 0.02 * static_cast<double>(hi + 1);
+  EXPECT_NEAR(sum / kN, expected, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngUniformIntSweep,
+                         ::testing::Values<std::int64_t>(1, 2, 3, 7, 8, 15, 16,
+                                                         100, 1023, 1024));
+
+}  // namespace
+}  // namespace eta2

@@ -1,0 +1,75 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace eta2 {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  const auto fields = split(",a,,b,", ',');
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[4], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWholeString) {
+  const auto fields = split("hello", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  const auto fields = split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyTokens) {
+  const auto tokens = split_whitespace("  alpha \t beta\n gamma  ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "alpha");
+  EXPECT_EQ(tokens[1], "beta");
+  EXPECT_EQ(tokens[2], "gamma");
+}
+
+TEST(SplitWhitespaceTest, AllWhitespaceYieldsNothing) {
+  EXPECT_TRUE(split_whitespace(" \t\n ").empty());
+}
+
+TEST(ToLowerTest, MixedCase) {
+  EXPECT_EQ(to_lower("HeLLo World 123"), "hello world 123");
+}
+
+TEST(TrimTest, TrimsBothSides) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(ends_with("file.csv", ".csv"));
+  EXPECT_FALSE(ends_with("csv", ".csv"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace eta2

@@ -1,0 +1,51 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eta2 {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"x"});
+  const std::string out = table.to_string();
+  // Must render without throwing and contain the partial row.
+  EXPECT_NE(out.find("| x"), std::string::npos);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table table({"v1", "v2"});
+  table.add_numeric_row({1.23456, 2.0}, 2);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(TableTest, FormatHandlesNaN) {
+  EXPECT_EQ(Table::format(std::nan(""), 3), "nan");
+  EXPECT_EQ(Table::format(1.5, 1), "1.5");
+  EXPECT_EQ(Table::format(-0.25, 2), "-0.25");
+}
+
+TEST(TableTest, ColumnWidthTracksWidestCell) {
+  Table table({"h"});
+  table.add_row({"wiiiiiiide"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| wiiiiiiide |"), std::string::npos);
+  EXPECT_NE(out.find("| h          |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eta2

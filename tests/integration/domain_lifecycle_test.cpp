@@ -1,0 +1,157 @@
+// Integration tests of the expertise-domain lifecycle across server steps
+// (paper §4.2's special cases): new domains appearing in later time steps,
+// and two existing domains merging when bridging tasks arrive.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/eta2_server.h"
+#include "text/embedder.h"
+
+namespace eta2::core {
+namespace {
+
+Eta2Server::NewTask described(const std::string& description) {
+  Eta2Server::NewTask t;
+  t.description = description;
+  t.processing_time = 1.0;
+  return t;
+}
+
+Eta2Server::CollectFn constant_value(double value) {
+  return [value](std::size_t, std::size_t) { return value; };
+}
+
+TEST(DomainLifecycleTest, NewDomainAppearsInLaterStep) {
+  auto embedder = std::make_shared<text::HashEmbedder>(32);
+  Eta2Config config;
+  config.gamma = 0.4;
+  Eta2Server server(3, config, embedder);
+  Rng rng(1);
+  const std::vector<double> caps(3, 20.0);
+
+  std::vector<Eta2Server::NewTask> day0 = {
+      described("noise near the park"), described("noise around the park"),
+      described("salary at the bank"), described("salary of the bank")};
+  const auto r0 = server.step(day0, caps, constant_value(1.0), rng);
+  const std::set<truth::DomainIndex> domains0(r0.task_domains.begin(),
+                                              r0.task_domains.end());
+  ASSERT_EQ(domains0.size(), 2u);
+
+  // A semantically distant batch must not be absorbed into either domain.
+  std::vector<Eta2Server::NewTask> day1 = {
+      described("vaccines at the clinic"),
+      described("vaccines near the clinic")};
+  const auto r1 = server.step(day1, caps, constant_value(2.0), rng);
+  EXPECT_EQ(r1.task_domains[0], r1.task_domains[1]);
+  EXPECT_FALSE(domains0.contains(r1.task_domains[0]));
+  EXPECT_EQ(server.expertise_store().domain_count(), 3u);
+}
+
+TEST(DomainLifecycleTest, RepeatedTopicsKeepStableDomains) {
+  auto embedder = std::make_shared<text::HashEmbedder>(32);
+  Eta2Config config;
+  config.gamma = 0.4;
+  Eta2Server server(3, config, embedder);
+  Rng rng(2);
+  const std::vector<double> caps(3, 20.0);
+
+  const auto r0 = server.step(
+      std::vector<Eta2Server::NewTask>{described("noise near the park"),
+                                       described("salary at the bank")},
+      caps, constant_value(1.0), rng);
+  for (int day = 1; day < 4; ++day) {
+    const auto r = server.step(
+        std::vector<Eta2Server::NewTask>{described("noise near the park"),
+                                         described("salary at the bank")},
+        caps, constant_value(1.0), rng);
+    EXPECT_EQ(r.task_domains[0], r0.task_domains[0]) << "day " << day;
+    EXPECT_EQ(r.task_domains[1], r0.task_domains[1]) << "day " << day;
+  }
+}
+
+TEST(DomainLifecycleTest, ExpertiseSurvivesDomainMerge) {
+  // Build two artificial domains whose semantic vectors sit close enough
+  // that a later, in-between batch triggers a merge; the merged domain must
+  // keep the users' accumulated expertise (the store folds accumulators).
+  auto embedder = std::make_shared<text::HashEmbedder>(32);
+  Eta2Config config;
+  config.gamma = 0.9;  // generous threshold: merges happen readily
+  Eta2Server server(4, config, embedder);
+  Rng rng(3);
+  const std::vector<double> caps(4, 30.0);
+
+  // Two near-but-distinct description groups, plus one far group that
+  // stretches d* so the near groups initially stay separate only if their
+  // distance exceeds γ·d*... then shrink: the bridging batch merges them.
+  auto collect = [](std::size_t, std::size_t user) {
+    static Rng obs(17);
+    return user == 0 ? obs.normal(5.0, 0.05) : obs.normal(5.0, 3.0);
+  };
+  std::vector<Eta2Server::NewTask> day0;
+  for (int k = 0; k < 3; ++k) day0.push_back(described("noise near the park"));
+  for (int k = 0; k < 3; ++k) day0.push_back(described("salary at the bank"));
+  const auto r0 = server.step(day0, caps, collect, rng);
+  const std::size_t domains_before = server.expertise_store().domain_count();
+
+  // Bridging batch: tasks mixing the two groups' vocabulary.
+  std::vector<Eta2Server::NewTask> day1;
+  for (int k = 0; k < 2; ++k) {
+    day1.push_back(described("noise of the bank salary near the park"));
+  }
+  const auto r1 = server.step(day1, caps, collect, rng);
+
+  // Whatever the merge outcome, the pipeline stays consistent: every
+  // reported domain is live in the store and user 0 (the precise reporter)
+  // outranks the noisy users in every surviving domain that has data.
+  EXPECT_LE(server.expertise_store().domain_count(),
+            domains_before + 1);
+  for (const truth::DomainIndex k : r1.task_domains) {
+    ASSERT_LT(k, server.expertise_store().domain_count());
+    EXPECT_GE(server.expertise_store().expertise(0, k),
+              server.expertise_store().expertise(1, k));
+  }
+}
+
+TEST(DomainLifecycleTest, MinCostWorksWithDescribedTasks) {
+  // Combination not covered elsewhere: Algorithm 2 (min-cost) driven by
+  // domains discovered from descriptions.
+  auto embedder = std::make_shared<text::HashEmbedder>(32);
+  Eta2Config config;
+  config.gamma = 0.4;
+  config.use_min_cost = true;
+  config.epsilon_bar = 0.8;
+  config.cost_per_iteration = 6.0;
+  Eta2Server server(6, config, embedder);
+  Rng rng(21);
+  const std::vector<double> caps(6, 20.0);
+
+  auto make_batch = [] {
+    std::vector<Eta2Server::NewTask> batch;
+    for (int k = 0; k < 4; ++k) {
+      batch.push_back(described("noise near the park"));
+      batch.push_back(described("salary at the bank"));
+    }
+    return batch;
+  };
+  auto collect = [](std::size_t j, std::size_t) {
+    static Rng obs(33);
+    return obs.normal(10.0 + static_cast<double>(j), 0.4);
+  };
+  // Warm-up (random), then min-cost steps.
+  server.step(make_batch(), caps, collect, rng);
+  const auto r = server.step(make_batch(), caps, collect, rng);
+  EXPECT_FALSE(r.warmup);
+  EXPECT_GE(r.data_iterations, 1);
+  EXPECT_EQ(r.truth.size(), 8u);
+  // Both discovered domains appear among the step's tasks.
+  const std::set<truth::DomainIndex> domains(r.task_domains.begin(),
+                                             r.task_domains.end());
+  EXPECT_EQ(domains.size(), 2u);
+  for (std::size_t j = 0; j < r.truth.size(); ++j) {
+    EXPECT_NEAR(r.truth[j], 10.0 + static_cast<double>(j), 1.5) << j;
+  }
+}
+
+}  // namespace
+}  // namespace eta2::core

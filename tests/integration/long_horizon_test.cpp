@@ -1,0 +1,95 @@
+// Long-horizon stability: the paper evaluates 5-day campaigns; a production
+// server runs indefinitely. These tests drive 12-day campaigns and assert
+// the two failure modes we guard against never reappear:
+//  * gauge drift — without anchoring, expertise estimates inflate day over
+//    day until clamps saturate;
+//  * error regression — the per-day estimation error must not trend upward
+//    once expertise is learned.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/eta2_server.h"
+#include "sim/dataset.h"
+#include "sim/simulation.h"
+
+namespace eta2 {
+namespace {
+
+sim::Dataset long_campaign(std::uint64_t seed) {
+  sim::SyntheticOptions options;
+  options.users = 50;
+  options.tasks = 600;
+  options.domains = 5;
+  options.days = 12;
+  return sim::make_synthetic(options, seed);
+}
+
+TEST(LongHorizonTest, ErrorStaysLowOverTwelveDays) {
+  const sim::Dataset d = long_campaign(3);
+  const sim::SimOptions options;
+  const auto run = sim::simulate(d, sim::Method::kEta2, options, 3);
+  ASSERT_EQ(run.days.size(), 12u);
+  // Average of the last 4 days clearly below the warm-up day, and the
+  // late-campaign error must not creep back above the early learned level.
+  const double day0 = run.days[0].estimation_error;
+  double early = 0.0;  // days 2-4
+  for (int day = 2; day <= 4; ++day) early += run.days[day].estimation_error;
+  early /= 3.0;
+  double late = 0.0;  // days 9-11
+  for (int day = 9; day <= 11; ++day) late += run.days[day].estimation_error;
+  late /= 3.0;
+  EXPECT_LT(late, day0);
+  EXPECT_LT(late, early * 1.3) << "late-campaign regression";
+}
+
+TEST(LongHorizonTest, GaugeStaysAnchored) {
+  // Drive the server directly so the expertise store can be inspected
+  // after every day: the mean learned expertise must stay in a sane band
+  // around the anchor instead of drifting.
+  const sim::Dataset d = long_campaign(5);
+  core::Eta2Server server(d.user_count(), core::Eta2Config{}, nullptr);
+  Rng rng(5);
+  std::vector<double> caps;
+  for (const auto& u : d.users) caps.push_back(u.capacity);
+  for (int day = 0; day < d.day_count(); ++day) {
+    const auto ids = d.tasks_of_day(day);
+    std::vector<core::Eta2Server::NewTask> batch;
+    for (const auto j : ids) {
+      core::Eta2Server::NewTask t;
+      t.known_domain = d.tasks[j].true_domain;
+      t.processing_time = d.tasks[j].processing_time;
+      batch.push_back(t);
+    }
+    Rng obs = rng.fork(static_cast<std::uint64_t>(day) + 1);
+    server.step(
+        batch, caps,
+        [&](std::size_t local, std::size_t user) {
+          return sim::observe(d, user, ids[local], obs);
+        },
+        rng);
+    if (day < 1) continue;  // store still empty-ish during warm-up
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < d.user_count(); ++i) {
+      for (std::size_t k = 0; k < server.expertise_store().domain_count(); ++k) {
+        log_sum += std::log(server.expertise_store().expertise(i, k));
+        ++count;
+      }
+    }
+    const double geo_mean = std::exp(log_sum / static_cast<double>(count));
+    EXPECT_GT(geo_mean, 0.5) << "day " << day;
+    EXPECT_LT(geo_mean, 2.0) << "day " << day;
+  }
+}
+
+TEST(LongHorizonTest, BaselineComparisonHoldsOverLongCampaigns) {
+  const sim::Dataset d = long_campaign(7);
+  const sim::SimOptions options;
+  const auto eta2_run = sim::simulate(d, sim::Method::kEta2, options, 7);
+  const auto tf_run = sim::simulate(d, sim::Method::kTruthFinder, options, 7);
+  EXPECT_LT(eta2_run.overall_error, tf_run.overall_error);
+}
+
+}  // namespace
+}  // namespace eta2

@@ -1,0 +1,166 @@
+// End-to-end integration tests: the full pipeline (skip-gram embeddings →
+// pair-word → dynamic clustering → expertise-aware truth analysis →
+// expertise-aware allocation) on generated datasets, plus the paper's
+// headline claims as assertions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/dataset.h"
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+
+namespace eta2 {
+namespace {
+
+// Trained once for the whole suite (deterministic).
+std::shared_ptr<const text::Embedder> trained_embedder() {
+  static std::shared_ptr<const text::Embedder> cached =
+      sim::make_trained_embedder(/*seed=*/7, /*dimension=*/24,
+                                 /*sentences_per_topic=*/150);
+  return cached;
+}
+
+TEST(PipelineIntegration, SurveyPipelineEndToEnd) {
+  sim::SurveyOptions survey;
+  survey.tasks = 100;
+  const sim::Dataset d = sim::make_survey_like(survey, 21);
+  sim::SimOptions options;
+  options.embedder = trained_embedder();
+  const auto r = sim::simulate(d, sim::Method::kEta2, options, 21);
+  ASSERT_EQ(r.days.size(), 5u);
+  EXPECT_FALSE(std::isnan(r.overall_error));
+  // Sanity: the pipeline produces usable estimates (error well below the
+  // no-information scale of ~1 base number).
+  EXPECT_LT(r.overall_error, 1.0);
+}
+
+TEST(PipelineIntegration, Eta2BeatsAllBaselinesOnSynthetic) {
+  // The paper's headline (Fig. 5c): ETA² outperforms every comparison
+  // approach on the synthetic dataset. Averaged over a few seeds to keep
+  // the assertion stable.
+  sim::SimOptions options;
+  const auto factory = [](std::uint64_t seed) {
+    sim::SyntheticOptions o;
+    o.users = 50;
+    o.tasks = 250;
+    o.domains = 5;
+    return sim::make_synthetic(o, seed);
+  };
+  const auto eta2 =
+      sim::sweep_seeds(factory, sim::Method::kEta2, options, 3, 100);
+  for (const auto method :
+       {sim::Method::kHubsAuthorities, sim::Method::kAverageLog,
+        sim::Method::kTruthFinder, sim::Method::kBaseline}) {
+    const auto other = sim::sweep_seeds(factory, method, options, 3, 100);
+    EXPECT_LT(eta2.overall_error.mean, other.overall_error.mean)
+        << sim::method_name(method);
+  }
+}
+
+TEST(PipelineIntegration, ErrorDecreasesOverDaysOnAverage) {
+  // Fig. 5 trend: the estimation error of ETA² drops over time.
+  sim::SimOptions options;
+  const auto sweep = sim::sweep_seeds(
+      [](std::uint64_t seed) {
+        sim::SyntheticOptions o;
+        o.users = 60;
+        o.tasks = 400;
+        o.domains = 6;
+        return sim::make_synthetic(o, seed);
+      },
+      sim::Method::kEta2, options, 3, 200);
+  ASSERT_EQ(sweep.per_day_error.size(), 5u);
+  EXPECT_LT(sweep.per_day_error[4], sweep.per_day_error[0]);
+  EXPECT_LT(sweep.per_day_error[3], sweep.per_day_error[0]);
+}
+
+TEST(PipelineIntegration, MoreCapacityLowersError) {
+  // Fig. 6 trend: error decreases as the average processing capability τ
+  // grows.
+  sim::SimOptions options;
+  auto run_with_capacity = [&](double tau) {
+    return sim::sweep_seeds(
+               [tau](std::uint64_t seed) {
+                 sim::SyntheticOptions o;
+                 o.users = 40;
+                 o.tasks = 200;
+                 o.domains = 4;
+                 o.mean_capacity = tau;
+                 return sim::make_synthetic(o, seed);
+               },
+               sim::Method::kEta2, options, 3, 300)
+        .overall_error.mean;
+  };
+  const double low = run_with_capacity(6.0);
+  const double high = run_with_capacity(18.0);
+  EXPECT_LT(high, low);
+}
+
+TEST(PipelineIntegration, MinCostMeetsQualityAtLowerCost) {
+  // Fig. 9/10 trend: ETA²-mc stays within the quality requirement while
+  // spending materially less than ETA².
+  sim::SimOptions options;
+  options.config.epsilon_bar = 0.5;
+  options.config.confidence_alpha = 0.05;
+  options.config.cost_per_iteration = 50.0;
+  const auto factory = [](std::uint64_t seed) {
+    sim::SyntheticOptions o;
+    o.users = 80;
+    o.tasks = 300;
+    o.domains = 6;
+    o.mean_capacity = 16.0;
+    return sim::make_synthetic(o, seed);
+  };
+  const auto mq = sim::sweep_seeds(factory, sim::Method::kEta2, options, 3, 400);
+  const auto mc =
+      sim::sweep_seeds(factory, sim::Method::kEta2MinCost, options, 3, 400);
+  EXPECT_LT(mc.total_cost.mean, 0.8 * mq.total_cost.mean);
+  EXPECT_LT(mc.overall_error.mean, options.config.epsilon_bar);
+}
+
+TEST(PipelineIntegration, ExpertiseEstimateImprovesWithCapacity) {
+  // Fig. 11 trend: the expertise estimation error decreases with τ.
+  sim::SimOptions options;
+  auto run_with_capacity = [&](double tau) {
+    return sim::sweep_seeds(
+               [tau](std::uint64_t seed) {
+                 sim::SyntheticOptions o;
+                 o.users = 40;
+                 o.tasks = 300;
+                 o.domains = 4;
+                 o.mean_capacity = tau;
+                 return sim::make_synthetic(o, seed);
+               },
+               sim::Method::kEta2, options, 3, 500)
+        .expertise_mae.mean;
+  };
+  const double low = run_with_capacity(6.0);
+  const double high = run_with_capacity(20.0);
+  EXPECT_LT(high, low);
+}
+
+TEST(PipelineIntegration, RobustToNonNormalBias) {
+  // Fig. 8 trend: moderate uniform-noise contamination must not blow up
+  // the estimation error.
+  sim::SimOptions options;
+  auto run_with_bias = [&](double fraction) {
+    return sim::sweep_seeds(
+               [fraction](std::uint64_t seed) {
+                 sim::SyntheticOptions o;
+                 o.users = 40;
+                 o.tasks = 200;
+                 o.domains = 4;
+                 o.nonnormal_fraction = fraction;
+                 return sim::make_synthetic(o, seed);
+               },
+               sim::Method::kEta2, options, 3, 600)
+        .overall_error.mean;
+  };
+  const double clean = run_with_bias(0.0);
+  const double half = run_with_bias(0.5);
+  EXPECT_LT(half, clean * 1.5);  // "only a slight increase"
+}
+
+}  // namespace
+}  // namespace eta2

@@ -1,0 +1,254 @@
+#include "sim/dataset.h"
+
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/chi_square.h"
+#include "stats/descriptive.h"
+#include "text/pairword.h"
+
+namespace eta2::sim {
+namespace {
+
+TEST(SyntheticDatasetTest, MatchesPaperSection613) {
+  const Dataset d = make_synthetic(SyntheticOptions{}, 1);
+  EXPECT_EQ(d.user_count(), 100u);
+  EXPECT_EQ(d.task_count(), 1000u);
+  EXPECT_EQ(d.latent_domain_count, 8u);
+  EXPECT_FALSE(d.has_descriptions);
+  for (const User& u : d.users) {
+    ASSERT_EQ(u.true_expertise.size(), 8u);
+    for (const double e : u.true_expertise) {
+      EXPECT_GE(e, 0.0);
+      EXPECT_LE(e, 3.0);
+    }
+  }
+  for (const Task& t : d.tasks) {
+    EXPECT_GE(t.ground_truth, 0.0);
+    EXPECT_LE(t.ground_truth, 20.0);
+    EXPECT_GE(t.base_number, 0.5);
+    EXPECT_LE(t.base_number, 5.0);
+    EXPECT_GE(t.processing_time, 0.5);
+    EXPECT_LE(t.processing_time, 1.5);
+    EXPECT_LT(t.true_domain, 8u);
+    EXPECT_TRUE(t.description.empty());
+  }
+}
+
+TEST(SyntheticDatasetTest, DeterministicPerSeed) {
+  const Dataset a = make_synthetic(SyntheticOptions{}, 7);
+  const Dataset b = make_synthetic(SyntheticOptions{}, 7);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (std::size_t j = 0; j < a.task_count(); ++j) {
+    EXPECT_DOUBLE_EQ(a.tasks[j].ground_truth, b.tasks[j].ground_truth);
+    EXPECT_EQ(a.tasks[j].day, b.tasks[j].day);
+  }
+  const Dataset c = make_synthetic(SyntheticOptions{}, 8);
+  bool differs = false;
+  for (std::size_t j = 0; j < a.task_count() && !differs; ++j) {
+    differs = a.tasks[j].ground_truth != c.tasks[j].ground_truth;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticDatasetTest, TasksEvenlySpreadOverDays) {
+  const Dataset d = make_synthetic(SyntheticOptions{}, 3);
+  EXPECT_EQ(d.day_count(), 5);
+  for (int day = 0; day < 5; ++day) {
+    EXPECT_EQ(d.tasks_of_day(day).size(), 200u);
+  }
+}
+
+TEST(SurveyDatasetTest, MatchesPaperSection611Shape) {
+  const Dataset d = make_survey_like(SurveyOptions{}, 1);
+  EXPECT_EQ(d.user_count(), 60u);
+  EXPECT_EQ(d.task_count(), 150u);
+  EXPECT_TRUE(d.has_descriptions);
+  EXPECT_EQ(d.latent_domain_count, 10u);
+  for (const Task& t : d.tasks) {
+    EXPECT_FALSE(t.description.empty());
+    EXPECT_GE(t.processing_time, 2.0);
+    EXPECT_LE(t.processing_time, 4.0);
+  }
+}
+
+TEST(SurveyDatasetTest, DescriptionsYieldQueryAndTargetTerms) {
+  const Dataset d = make_survey_like(SurveyOptions{}, 2);
+  std::size_t with_both = 0;
+  for (const Task& t : d.tasks) {
+    const text::PairWord p = text::extract_pair(t.description);
+    if (!p.query.empty() && !p.target.empty()) ++with_both;
+  }
+  // Every generated template has a query and a target term.
+  EXPECT_EQ(with_both, d.task_count());
+}
+
+TEST(SurveyDatasetTest, UsersHaveStrongAndWeakTopics) {
+  const SurveyOptions options;
+  const Dataset d = make_survey_like(options, 3);
+  for (const User& u : d.users) {
+    const double hi =
+        *std::max_element(u.true_expertise.begin(), u.true_expertise.end());
+    const double lo =
+        *std::min_element(u.true_expertise.begin(), u.true_expertise.end());
+    EXPECT_GE(hi, options.strong_lo);  // at least one strong topic
+    EXPECT_LE(lo, options.weak_hi);    // at least one weak topic
+  }
+}
+
+TEST(SfvDatasetTest, MatchesPaperSection612Shape) {
+  const Dataset d = make_sfv_like(SfvOptions{}, 1);
+  EXPECT_EQ(d.user_count(), 18u);  // the 18 slot-filling systems
+  EXPECT_EQ(d.task_count(), 600u);
+  EXPECT_TRUE(d.has_descriptions);
+}
+
+TEST(SfvDatasetTest, ScalesWithEntityCount) {
+  SfvOptions options;
+  options.entities = 10;
+  options.properties_per_entity = 4;
+  const Dataset d = make_sfv_like(options, 1);
+  EXPECT_EQ(d.task_count(), 40u);
+}
+
+TEST(ObserveTest, ErrorScalesInverselyWithExpertise) {
+  SyntheticOptions options;
+  options.users = 2;
+  options.tasks = 1;
+  options.domains = 1;
+  Dataset d = make_synthetic(options, 5);
+  d.users[0].true_expertise[0] = 3.0;
+  d.users[1].true_expertise[0] = 0.3;
+  d.tasks[0].base_number = 2.0;
+  Rng rng(9);
+  double err_expert = 0.0;
+  double err_novice = 0.0;
+  constexpr int kDraws = 20000;
+  for (int s = 0; s < kDraws; ++s) {
+    const double a = observe(d, 0, 0, rng) - d.tasks[0].ground_truth;
+    const double b = observe(d, 1, 0, rng) - d.tasks[0].ground_truth;
+    err_expert += a * a;
+    err_novice += b * b;
+  }
+  // Variances (σ/u)²: (2/3)² vs (2/0.3)²
+  EXPECT_NEAR(std::sqrt(err_expert / kDraws), 2.0 / 3.0, 0.02);
+  EXPECT_NEAR(std::sqrt(err_novice / kDraws), 2.0 / 0.3, 0.2);
+}
+
+TEST(ObserveTest, NormalizedErrorsAreStandardNormal) {
+  // The Fig. 2 property on generated data: (x − μ)·u/σ ~ N(0, 1).
+  const Dataset d = make_synthetic(SyntheticOptions{}, 11);
+  Rng rng(13);
+  std::vector<double> errs;
+  for (std::size_t j = 0; j < 200; ++j) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      const Task& t = d.tasks[j];
+      const double u = std::max(0.05, d.users[i].true_expertise[t.true_domain]);
+      const double x = observe(d, i, j, rng);
+      errs.push_back((x - t.ground_truth) * u / t.base_number);
+    }
+  }
+  EXPECT_NEAR(stats::mean(errs), 0.0, 0.05);
+  EXPECT_NEAR(stats::stddev(errs), 1.0, 0.05);
+  const stats::GofResult gof = stats::normality_gof_test(errs);
+  ASSERT_TRUE(gof.valid);
+  EXPECT_GE(gof.p_value, 0.01);
+}
+
+TEST(ObserveTest, NonNormalFractionUsesUniformWithSameMoments) {
+  SyntheticOptions options;
+  options.nonnormal_fraction = 1.0;  // every draw uniform
+  Dataset d = make_synthetic(options, 17);
+  Rng rng(19);
+  const Task& t = d.tasks[0];
+  const double u = std::max(0.05, d.users[0].true_expertise[t.true_domain]);
+  const double stddev = t.base_number / u;
+  double lo = 1e18;
+  double hi = -1e18;
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int s = 0; s < kDraws; ++s) {
+    const double x = observe(d, 0, 0, rng);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    sum += x;
+  }
+  // Uniform support is μ ± √3·σ/u.
+  EXPECT_GE(lo, t.ground_truth - 1.7320508 * stddev - 1e-9);
+  EXPECT_LE(hi, t.ground_truth + 1.7320508 * stddev + 1e-9);
+  EXPECT_NEAR(sum / kDraws, t.ground_truth, 0.05 * stddev + 0.05);
+}
+
+TEST(ObserveTest, RejectsOutOfRange) {
+  const Dataset d = make_synthetic(SyntheticOptions{}, 1);
+  Rng rng(1);
+  EXPECT_THROW(observe(d, 1000, 0, rng), std::invalid_argument);
+  EXPECT_THROW(observe(d, 0, 100000, rng), std::invalid_argument);
+}
+
+TEST(AdversarialUsersTest, FractionAndBiasRespected) {
+  SyntheticOptions options;
+  options.users = 400;
+  options.tasks = 10;
+  options.adversarial_fraction = 0.25;
+  const Dataset d = make_synthetic(options, 3);
+  std::size_t adversaries = 0;
+  for (const User& u : d.users) {
+    if (u.adversarial) {
+      ++adversaries;
+      const double magnitude = std::fabs(u.bias);
+      EXPECT_GE(magnitude, options.bias_lo);
+      EXPECT_LE(magnitude, options.bias_hi);
+    } else {
+      EXPECT_DOUBLE_EQ(u.bias, 0.0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(adversaries) / 400.0, 0.25, 0.07);
+}
+
+TEST(AdversarialUsersTest, FabricatedReportsCarryTheBias) {
+  SyntheticOptions options;
+  options.users = 2;
+  options.tasks = 1;
+  options.domains = 1;
+  Dataset d = make_synthetic(options, 5);
+  d.users[0].adversarial = true;
+  d.users[0].bias = 3.0;
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 5000;
+  for (int s = 0; s < kDraws; ++s) sum += observe(d, 0, 0, rng);
+  const Task& t = d.tasks[0];
+  EXPECT_NEAR(sum / kDraws, t.ground_truth + 3.0 * t.base_number,
+              0.05 * t.base_number);
+}
+
+TEST(AdversarialUsersTest, Eta2DiscountsFabricators) {
+  SyntheticOptions options;
+  options.users = 40;
+  options.tasks = 200;
+  options.domains = 4;
+  options.adversarial_fraction = 0.2;
+  const Dataset d = make_synthetic(options, 9);
+  const SimOptions sim_options;
+  const auto eta2_run = simulate(d, Method::kEta2, sim_options, 9);
+  const auto mean_run = simulate(d, Method::kBaseline, sim_options, 9);
+  EXPECT_LT(eta2_run.overall_error, 0.6 * mean_run.overall_error);
+}
+
+TEST(DatasetTest, CapacityFloorsAtHalfHour) {
+  SyntheticOptions options;
+  options.mean_capacity = 0.1;  // degenerate: would go negative
+  options.capacity_spread = 4.0;
+  const Dataset d = make_synthetic(options, 1);
+  for (const User& u : d.users) {
+    EXPECT_GE(u.capacity, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace eta2::sim

@@ -1,0 +1,56 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset.h"
+
+namespace eta2::sim {
+namespace {
+
+SimulationResult sample_run() {
+  SyntheticOptions options;
+  options.users = 25;
+  options.tasks = 60;
+  options.domains = 3;
+  const Dataset d = make_synthetic(options, 5);
+  return simulate(d, Method::kEta2, SimOptions{}, 5);
+}
+
+TEST(ReportTest, ContainsHeadlineAndDays) {
+  const SimulationResult run = sample_run();
+  const ReportContext context{"synthetic", "ETA2", 5};
+  const std::string report = markdown_report(run, context);
+  EXPECT_NE(report.find("# Campaign report — ETA2 on synthetic (seed 5)"),
+            std::string::npos);
+  EXPECT_NE(report.find("overall normalized estimation error"),
+            std::string::npos);
+  EXPECT_NE(report.find("## Per-day metrics"), std::string::npos);
+  EXPECT_NE(report.find("| day "), std::string::npos);
+  // One row per day.
+  for (const DayMetrics& day : run.days) {
+    EXPECT_NE(report.find("| " + std::to_string(day.day) + " "),
+              std::string::npos);
+  }
+  EXPECT_NE(report.find("## Trend"), std::string::npos);
+  EXPECT_NE(report.find("## Allocation redundancy"), std::string::npos);
+}
+
+TEST(ReportTest, ExpertiseLineOnlyWhenAvailable) {
+  const SimulationResult run = sample_run();
+  const std::string with = markdown_report(run, {"synthetic", "ETA2", 1});
+  EXPECT_NE(with.find("expertise MAE"), std::string::npos);
+
+  SimulationResult no_mae = run;
+  no_mae.expertise_mae = std::numeric_limits<double>::quiet_NaN();
+  const std::string without = markdown_report(no_mae, {"synthetic", "mean", 1});
+  EXPECT_EQ(without.find("expertise MAE"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyRunStillRenders) {
+  const SimulationResult empty;
+  const std::string report = markdown_report(empty, {"none", "ETA2", 0});
+  EXPECT_NE(report.find("# Campaign report"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eta2::sim

@@ -1,0 +1,140 @@
+#include "stats/chi_square.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eta2::stats {
+namespace {
+
+TEST(RegularizedGammaTest, KnownValues) {
+  // P(1, x) = 1 − e^{−x}
+  EXPECT_NEAR(regularized_gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(regularized_gamma_p(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+  // P(0.5, x) = erf(sqrt(x))
+  EXPECT_NEAR(regularized_gamma_p(0.5, 1.0), std::erf(1.0), 1e-12);
+  EXPECT_NEAR(regularized_gamma_p(0.5, 4.0), std::erf(2.0), 1e-12);
+}
+
+TEST(RegularizedGammaTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_NEAR(regularized_gamma_p(2.0, 1000.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, RejectsBadArguments) {
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(regularized_gamma_p(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ChiSquareCdfTest, KnownValues) {
+  // χ²(k=2) CDF = 1 − e^{−x/2}
+  EXPECT_NEAR(chi_square_cdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-12);
+  // Median of χ²(1) ≈ 0.4549
+  EXPECT_NEAR(chi_square_cdf(0.454936, 1.0), 0.5, 1e-4);
+  // 95th percentile of χ²(3) ≈ 7.8147
+  EXPECT_NEAR(chi_square_cdf(7.814728, 3.0), 0.95, 1e-5);
+}
+
+TEST(ChiSquareCdfTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 30.0; x += 0.25) {
+    const double c = chi_square_cdf(x, 4.0);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(ChiSquarePvalueTest, ComplementsCdf) {
+  EXPECT_NEAR(chi_square_pvalue(7.814728, 3.0), 0.05, 1e-5);
+}
+
+TEST(NormalityGofTest, AcceptsNormalSamples) {
+  Rng rng(11);
+  int rejected = 0;
+  constexpr int kSets = 200;
+  for (int s = 0; s < kSets; ++s) {
+    std::vector<double> obs;
+    for (int i = 0; i < 40; ++i) obs.push_back(rng.normal(5.0, 2.0));
+    const GofResult r = normality_gof_test(obs);
+    ASSERT_TRUE(r.valid);
+    if (r.p_value < 0.05) ++rejected;
+  }
+  // At α=0.05 roughly 5% of truly normal sets should be rejected.
+  EXPECT_LT(rejected, kSets / 5);
+}
+
+TEST(NormalityGofTest, RejectsStronglyNonNormalSamples) {
+  Rng rng(13);
+  int rejected = 0;
+  constexpr int kSets = 100;
+  for (int s = 0; s < kSets; ++s) {
+    std::vector<double> obs;
+    for (int i = 0; i < 60; ++i) {
+      // Extreme bimodal: two point-like clusters.
+      obs.push_back(rng.bernoulli(0.5) ? rng.normal(-10.0, 0.1)
+                                       : rng.normal(10.0, 0.1));
+    }
+    const GofResult r = normality_gof_test(obs);
+    ASSERT_TRUE(r.valid);
+    if (r.p_value < 0.05) ++rejected;
+  }
+  EXPECT_GT(rejected, kSets * 5 / 10);
+}
+
+TEST(NormalityGofTest, InvalidForTinySamples) {
+  const std::vector<double> few{1.0, 2.0, 3.0};
+  EXPECT_FALSE(normality_gof_test(few).valid);
+}
+
+TEST(NormalityGofTest, InvalidForZeroVariance) {
+  const std::vector<double> constant(20, 4.2);
+  EXPECT_FALSE(normality_gof_test(constant).valid);
+}
+
+TEST(NonRejectionRateTest, CountsOnlyValidResults) {
+  std::vector<GofResult> results(4);
+  results[0].valid = true;
+  results[0].p_value = 0.5;   // pass at α=0.1
+  results[1].valid = true;
+  results[1].p_value = 0.04;  // fail at α=0.1
+  results[2].valid = false;   // skipped
+  results[3].valid = true;
+  results[3].p_value = 0.2;   // pass
+  EXPECT_NEAR(non_rejection_rate(results, 0.1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(NonRejectionRateTest, EmptyInputYieldsZero) {
+  EXPECT_DOUBLE_EQ(non_rejection_rate({}, 0.05), 0.0);
+}
+
+TEST(NonRejectionRateTest, RejectsBadAlpha) {
+  std::vector<GofResult> results(1);
+  EXPECT_THROW(non_rejection_rate(results, 0.0), std::invalid_argument);
+  EXPECT_THROW(non_rejection_rate(results, 1.0), std::invalid_argument);
+}
+
+// Property sweep: at stricter significance levels (smaller α), the
+// non-rejection rate can only grow — the paper's Table 1 trend.
+TEST(NonRejectionRateTest, MonotoneInAlpha) {
+  Rng rng(17);
+  std::vector<GofResult> results;
+  for (int s = 0; s < 150; ++s) {
+    std::vector<double> obs;
+    for (int i = 0; i < 30; ++i) obs.push_back(rng.normal());
+    results.push_back(normality_gof_test(obs));
+  }
+  const double r50 = non_rejection_rate(results, 0.5);
+  const double r25 = non_rejection_rate(results, 0.25);
+  const double r10 = non_rejection_rate(results, 0.1);
+  const double r05 = non_rejection_rate(results, 0.05);
+  EXPECT_LE(r50, r25);
+  EXPECT_LE(r25, r10);
+  EXPECT_LE(r10, r05);
+}
+
+}  // namespace
+}  // namespace eta2::stats

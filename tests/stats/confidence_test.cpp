@@ -1,0 +1,116 @@
+#include "stats/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/normal.h"
+
+namespace eta2::stats {
+namespace {
+
+TEST(FisherInformationTest, PaperEq23) {
+  const std::vector<double> u{1.0, 2.0};
+  // I(μ) = Σu²/σ² = (1+4)/4
+  EXPECT_DOUBLE_EQ(truth_fisher_information(u, 2.0), 1.25);
+}
+
+TEST(FisherInformationTest, ZeroWithoutObservers) {
+  EXPECT_DOUBLE_EQ(truth_fisher_information({}, 1.0), 0.0);
+}
+
+TEST(FisherInformationTest, RejectsBadInputs) {
+  const std::vector<double> u{1.0};
+  EXPECT_THROW(truth_fisher_information(u, 0.0), std::invalid_argument);
+  const std::vector<double> bad{-1.0};
+  EXPECT_THROW(truth_fisher_information(bad, 1.0), std::invalid_argument);
+}
+
+TEST(ConfidenceIntervalTest, PaperEq24) {
+  const std::vector<double> u{1.0, 1.0, 1.0, 1.0};
+  const double sigma = 2.0;
+  const Interval ci = truth_confidence_interval(10.0, u, sigma, 0.05);
+  // half width = z * σ / sqrt(Σu²) = 1.96 * 2 / 2
+  const double expected_half = z_critical(0.05) * sigma / 2.0;
+  EXPECT_NEAR(ci.half_width(), expected_half, 1e-9);
+  EXPECT_NEAR(ci.lower, 10.0 - expected_half, 1e-9);
+  EXPECT_NEAR(ci.upper, 10.0 + expected_half, 1e-9);
+  EXPECT_TRUE(ci.contains(10.0));
+  EXPECT_FALSE(ci.contains(10.0 + expected_half + 0.001));
+}
+
+TEST(ConfidenceIntervalTest, ShrinksWithMoreObservers) {
+  const double sigma = 1.0;
+  double prev = 1e9;
+  for (int n = 1; n <= 20; ++n) {
+    const std::vector<double> u(n, 1.5);
+    const Interval ci = truth_confidence_interval(0.0, u, sigma, 0.05);
+    EXPECT_LT(ci.length(), prev);
+    prev = ci.length();
+  }
+}
+
+TEST(ConfidenceIntervalTest, RejectsAllZeroExpertise) {
+  const std::vector<double> u{0.0, 0.0};
+  EXPECT_THROW(truth_confidence_interval(0.0, u, 1.0, 0.05),
+               std::invalid_argument);
+}
+
+TEST(QualityRequirementTest, ThresholdIndependentOfSigma) {
+  // The test z/sqrt(Σu²) < ε̄ cancels σ: check both σ values agree.
+  const std::vector<double> u(16, 1.0);  // Σu² = 16 => z/4 = 0.49 < 0.5
+  EXPECT_TRUE(quality_requirement_met(u, 1.0, 0.5, 0.05));
+  EXPECT_TRUE(quality_requirement_met(u, 100.0, 0.5, 0.05));
+  const std::vector<double> few(15, 1.0);  // z/sqrt(15) = 0.506 > 0.5
+  EXPECT_FALSE(quality_requirement_met(few, 1.0, 0.5, 0.05));
+  EXPECT_FALSE(quality_requirement_met(few, 100.0, 0.5, 0.05));
+}
+
+TEST(QualityRequirementTest, FailsWithoutObservers) {
+  EXPECT_FALSE(quality_requirement_met({}, 1.0, 0.5, 0.05));
+}
+
+TEST(QualityRequirementTest, CoverageIsCalibrated) {
+  // Monte-Carlo check of Eq. 24: the 95% CI for the weighted-mean estimator
+  // should cover the true μ in ~95% of trials.
+  Rng rng(7);
+  const double mu = 5.0;
+  const double sigma = 2.0;
+  const std::vector<double> u{0.8, 1.2, 2.0, 0.5, 1.5};
+  int covered = 0;
+  constexpr int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    double num = 0.0;
+    double den = 0.0;
+    for (const double ui : u) {
+      const double x = rng.normal(mu, sigma / ui);
+      num += ui * ui * x;
+      den += ui * ui;
+    }
+    const double estimate = num / den;
+    const Interval ci = truth_confidence_interval(estimate, u, sigma, 0.05);
+    if (ci.contains(mu)) ++covered;
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / kTrials, 0.95, 0.015);
+}
+
+// Property sweep over confidence levels: smaller α → wider interval.
+class ConfidenceWidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConfidenceWidthSweep, WidthMatchesZCritical) {
+  const double alpha = GetParam();
+  const std::vector<double> u{1.0, 2.0, 0.5};
+  const double sigma = 3.0;
+  const Interval ci = truth_confidence_interval(1.0, u, sigma, alpha);
+  const double info = truth_fisher_information(u, sigma);
+  EXPECT_NEAR(ci.half_width(), z_critical(alpha) / std::sqrt(info), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ConfidenceWidthSweep,
+                         ::testing::Values(0.2, 0.1, 0.05, 0.02, 0.01));
+
+}  // namespace
+}  // namespace eta2::stats

@@ -1,0 +1,131 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace eta2::stats {
+namespace {
+
+const std::vector<double> kSample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(MeanTest, KnownValue) { EXPECT_DOUBLE_EQ(mean(kSample), 5.0); }
+
+TEST(MeanTest, SingleElement) {
+  const std::vector<double> v{3.5};
+  EXPECT_DOUBLE_EQ(mean(v), 3.5);
+}
+
+TEST(MeanTest, RejectsEmpty) {
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(VarianceTest, PopulationVariance) {
+  EXPECT_DOUBLE_EQ(variance(kSample), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(kSample), 2.0);
+}
+
+TEST(VarianceTest, SampleVarianceUsesBesselCorrection) {
+  EXPECT_DOUBLE_EQ(sample_variance(kSample), 32.0 / 7.0);
+}
+
+TEST(VarianceTest, SampleVarianceNeedsTwo) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(sample_variance(v), std::invalid_argument);
+}
+
+TEST(VarianceTest, ConstantDataHasZeroVariance) {
+  const std::vector<double> v(10, 3.0);
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+  EXPECT_DOUBLE_EQ(sample_variance(v), 0.0);
+}
+
+TEST(QuantileTest, MedianOfOddAndEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  EXPECT_DOUBLE_EQ(quantile(kSample, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(kSample, 1.0), 9.0);
+}
+
+TEST(QuantileTest, LinearInterpolation) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(QuantileTest, RejectsBadInputs) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(kSample, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(kSample, 1.1), std::invalid_argument);
+}
+
+TEST(MinMaxTest, Values) {
+  EXPECT_DOUBLE_EQ(min_value(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(kSample), 9.0);
+}
+
+TEST(BoxStatsTest, FiveNumberSummary) {
+  const BoxStats b = box_stats(kSample);
+  EXPECT_DOUBLE_EQ(b.minimum, 2.0);
+  EXPECT_DOUBLE_EQ(b.median, 4.5);
+  EXPECT_DOUBLE_EQ(b.maximum, 9.0);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+}
+
+TEST(MeanStderrTest, KnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const MeanStderr ms = mean_stderr(v);
+  EXPECT_DOUBLE_EQ(ms.mean, 2.5);
+  EXPECT_EQ(ms.n, 4u);
+  EXPECT_NEAR(ms.stderr_, 0.6454972243679028, 1e-12);
+}
+
+TEST(MeanStderrTest, SingleValueHasZeroStderr) {
+  const std::vector<double> v{5.0};
+  const MeanStderr ms = mean_stderr(v);
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.stderr_, 0.0);
+}
+
+TEST(EcdfTest, StepFunction) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> points{0.5, 1.0, 2.5, 4.0, 9.0};
+  const auto e = ecdf(v, points);
+  ASSERT_EQ(e.size(), 5u);
+  EXPECT_DOUBLE_EQ(e[0], 0.0);
+  EXPECT_DOUBLE_EQ(e[1], 0.25);
+  EXPECT_DOUBLE_EQ(e[2], 0.5);
+  EXPECT_DOUBLE_EQ(e[3], 1.0);
+  EXPECT_DOUBLE_EQ(e[4], 1.0);
+}
+
+// Property sweep: quantile is monotone in q for arbitrary data.
+class QuantileMonotoneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotoneSweep, MonotoneInQ) {
+  std::vector<double> data;
+  // Deterministic pseudo-data parameterized by the seed.
+  unsigned x = static_cast<unsigned>(GetParam()) * 2654435761u + 1;
+  for (int i = 0; i < 50; ++i) {
+    x = x * 1664525u + 1013904223u;
+    data.push_back(static_cast<double>(x % 1000) / 10.0);
+  }
+  double prev = quantile(data, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(data, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace eta2::stats

@@ -1,0 +1,85 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "stats/normal.h"
+
+namespace eta2::stats {
+namespace {
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.outliers(), 0u);
+}
+
+TEST(HistogramTest, OutliersCounted) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(std::nan(""));
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.outliers(), 3u);
+}
+
+TEST(HistogramTest, BinGeometry) {
+  Histogram h(-2.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(0), -2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), -1.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 1.5);
+}
+
+TEST(HistogramTest, DensityIntegratesToOneWithoutOutliers) {
+  Histogram h(0.0, 1.0, 20);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform01());
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    integral += h.density(b) * h.bin_width();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, NormalSamplesMatchPdf) {
+  // The Fig. 2 property: a histogram of standard-normal draws matches φ.
+  Histogram h(-4.0, 4.0, 32);
+  Rng rng(5);
+  for (int i = 0; i < 400000; ++i) h.add(rng.normal());
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    const double x = h.bin_center(b);
+    EXPECT_NEAR(h.density(b), normal_pdf(x), 0.01) << "bin at " << x;
+  }
+}
+
+TEST(HistogramTest, EmptyHistogramHasZeroDensity) {
+  Histogram h(0.0, 1.0, 5);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.0);
+  EXPECT_EQ(h.densities().size(), 5u);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, RejectsBadBinAccess) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_THROW(h.count(3), std::invalid_argument);
+  EXPECT_THROW(h.density(3), std::invalid_argument);
+  EXPECT_THROW(h.bin_left(3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eta2::stats

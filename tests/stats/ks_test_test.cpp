@@ -1,0 +1,93 @@
+#include "stats/ks_test.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eta2::stats {
+namespace {
+
+TEST(KolmogorovQTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  // Q(λ) reference points of the Kolmogorov distribution.
+  EXPECT_NEAR(kolmogorov_q(1.36), 0.0505, 2e-3);   // ~5% critical value
+  EXPECT_NEAR(kolmogorov_q(1.63), 0.0098, 1e-3);   // ~1% critical value
+  EXPECT_NEAR(kolmogorov_q(0.5), 0.9639, 1e-3);
+}
+
+TEST(KolmogorovQTest, MonotoneDecreasing) {
+  double prev = 1.1;
+  for (double lambda = 0.1; lambda < 3.0; lambda += 0.1) {
+    const double q = kolmogorov_q(lambda);
+    EXPECT_LT(q, prev);
+    EXPECT_GE(q, 0.0);
+    prev = q;
+  }
+}
+
+TEST(KsNormalityTest, AcceptsNormalSamples) {
+  Rng rng(5);
+  int rejected = 0;
+  constexpr int kSets = 150;
+  for (int s = 0; s < kSets; ++s) {
+    std::vector<double> obs;
+    for (int i = 0; i < 50; ++i) obs.push_back(rng.normal(3.0, 1.5));
+    const KsResult r = ks_normality_test(obs);
+    ASSERT_TRUE(r.valid);
+    if (r.p_value < 0.05) ++rejected;
+  }
+  // Lilliefors standardization makes the asymptotic p-values conservative,
+  // so the rejection rate sits at or below the nominal 5%... in practice the
+  // estimated-parameter effect can push it modestly above; allow headroom.
+  EXPECT_LT(rejected, kSets / 4);
+}
+
+TEST(KsNormalityTest, RejectsUniformSamples) {
+  // The uniform-vs-fitted-normal CDF gap is only ~0.06, so rejection needs
+  // a large sample (λ = D·√n must clear the ~1.36 critical value).
+  Rng rng(7);
+  int rejected = 0;
+  constexpr int kSets = 30;
+  for (int s = 0; s < kSets; ++s) {
+    std::vector<double> obs;
+    for (int i = 0; i < 2000; ++i) obs.push_back(rng.uniform(0.0, 1.0));
+    const KsResult r = ks_normality_test(obs);
+    ASSERT_TRUE(r.valid);
+    if (r.p_value < 0.05) ++rejected;
+  }
+  EXPECT_GT(rejected, kSets / 2);
+}
+
+TEST(KsNormalityTest, RejectsBimodalSamples) {
+  Rng rng(9);
+  std::vector<double> obs;
+  for (int i = 0; i < 300; ++i) {
+    obs.push_back(rng.bernoulli(0.5) ? rng.normal(-4.0, 0.3)
+                                     : rng.normal(4.0, 0.3));
+  }
+  const KsResult r = ks_normality_test(obs);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(KsNormalityTest, InvalidCases) {
+  const std::vector<double> tiny{1.0, 2.0, 3.0};
+  EXPECT_FALSE(ks_normality_test(tiny).valid);
+  const std::vector<double> constant(20, 5.0);
+  EXPECT_FALSE(ks_normality_test(constant).valid);
+}
+
+TEST(KsNormalityTest, StatisticInUnitInterval) {
+  Rng rng(11);
+  std::vector<double> obs;
+  for (int i = 0; i < 40; ++i) obs.push_back(rng.uniform(-5.0, 5.0));
+  const KsResult r = ks_normality_test(obs);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.statistic, 0.0);
+  EXPECT_LE(r.statistic, 1.0);
+}
+
+}  // namespace
+}  // namespace eta2::stats

@@ -1,0 +1,92 @@
+#include "text/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "text/lexicon.h"
+
+namespace eta2::text {
+namespace {
+
+TEST(LexiconTest, HasTenTopicsWithWords) {
+  EXPECT_EQ(topic_count(), 10u);
+  for (const Topic& t : topics()) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_GE(t.query_words.size(), 5u);
+    EXPECT_GE(t.target_words.size(), 5u);
+  }
+}
+
+TEST(LexiconTest, TopicWordsAreDisjointAcrossTopics) {
+  std::set<std::string_view> seen;
+  std::size_t total = 0;
+  for (const Topic& t : topics()) {
+    for (const auto w : t.query_words) {
+      seen.insert(w);
+      ++total;
+    }
+    for (const auto w : t.target_words) {
+      seen.insert(w);
+      ++total;
+    }
+  }
+  // Small overlap is tolerable (e.g. "queue" and "seats" repeat), but the
+  // lexicon must be essentially disjoint for clustering to recover topics.
+  EXPECT_GE(seen.size(), total - 4);
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  const CorpusOptions options{.sentences_per_topic = 20};
+  EXPECT_EQ(generate_corpus(options, 3), generate_corpus(options, 3));
+}
+
+TEST(CorpusTest, DifferentSeedsDiffer) {
+  const CorpusOptions options{.sentences_per_topic = 20};
+  EXPECT_NE(generate_corpus(options, 3), generate_corpus(options, 4));
+}
+
+TEST(CorpusTest, SizeAndSentenceLengths) {
+  CorpusOptions options;
+  options.sentences_per_topic = 25;
+  options.min_sentence_words = 4;
+  options.max_sentence_words = 9;
+  const auto corpus = generate_corpus(options, 1);
+  EXPECT_EQ(corpus.size(), 25u * topic_count());
+  for (const auto& sentence : corpus) {
+    EXPECT_GE(sentence.size(), 4u);
+    EXPECT_LE(sentence.size(), 9u);
+  }
+}
+
+TEST(CorpusTest, CoversEveryTopicVocabulary) {
+  CorpusOptions options;
+  options.sentences_per_topic = 200;
+  const auto corpus = generate_corpus(options, 2);
+  std::set<std::string> words;
+  for (const auto& sentence : corpus) {
+    words.insert(sentence.begin(), sentence.end());
+  }
+  // Every topic must contribute at least half its query words.
+  for (const Topic& t : topics()) {
+    std::size_t found = 0;
+    for (const auto w : t.query_words) {
+      if (words.contains(std::string(w))) ++found;
+    }
+    EXPECT_GE(found, t.query_words.size() / 2) << t.name;
+  }
+}
+
+TEST(CorpusTest, RejectsBadOptions) {
+  CorpusOptions bad;
+  bad.min_sentence_words = 1;
+  EXPECT_THROW(generate_corpus(bad, 1), std::invalid_argument);
+  CorpusOptions inverted;
+  inverted.min_sentence_words = 8;
+  inverted.max_sentence_words = 4;
+  EXPECT_THROW(generate_corpus(inverted, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eta2::text

@@ -1,0 +1,88 @@
+#include "text/embedding_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "text/corpus.h"
+
+namespace eta2::text {
+namespace {
+
+SkipGramModel small_model() {
+  CorpusOptions corpus_options;
+  corpus_options.sentences_per_topic = 40;
+  const auto corpus = generate_corpus(corpus_options, 13);
+  SkipGramOptions options;
+  options.dimension = 12;
+  options.epochs = 1;
+  return SkipGramModel::train(corpus, options, 13);
+}
+
+TEST(EmbeddingIoTest, SaveLoadRoundTrip) {
+  const SkipGramModel model = small_model();
+  std::ostringstream out;
+  save_embeddings(model, out);
+  std::istringstream in(out.str());
+  const StoredEmbedder loaded = load_embeddings(in);
+  EXPECT_EQ(loaded.size(), model.vocab().size());
+  EXPECT_EQ(loaded.dimension(), model.dimension());
+  for (const char* word : {"traffic", "salary", "noise"}) {
+    ASSERT_TRUE(loaded.contains(word)) << word;
+    const Embedding original = model.embed_word(word);
+    const Embedding restored = loaded.embed_word(word);
+    ASSERT_EQ(restored.size(), original.size());
+    for (std::size_t d = 0; d < original.size(); ++d) {
+      EXPECT_DOUBLE_EQ(restored[d], original[d]) << word << " dim " << d;
+    }
+  }
+}
+
+TEST(EmbeddingIoTest, OovFallsBackDeterministically) {
+  std::unordered_map<std::string, Embedding> table;
+  table["known"] = {1.0, 2.0};
+  const StoredEmbedder embedder(std::move(table));
+  EXPECT_FALSE(embedder.contains("unknown"));
+  const Embedding a = embedder.embed_word("unknown");
+  const Embedding b = embedder.embed_word("unknown");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(EmbeddingIoTest, RejectsEmptyOrInconsistentTables) {
+  EXPECT_THROW(StoredEmbedder({}), std::invalid_argument);
+  std::unordered_map<std::string, Embedding> bad;
+  bad["a"] = {1.0};
+  bad["b"] = {1.0, 2.0};
+  EXPECT_THROW(StoredEmbedder(std::move(bad)), std::invalid_argument);
+}
+
+TEST(EmbeddingIoTest, RejectsMalformedDocuments) {
+  const auto load = [](const std::string& text) {
+    std::istringstream in(text);
+    return load_embeddings(in);
+  };
+  EXPECT_THROW(load(""), std::invalid_argument);
+  EXPECT_THROW(load("garbage\n"), std::invalid_argument);
+  EXPECT_THROW(load("2 2\nword 1.0 2.0\n"), std::invalid_argument);  // truncated
+  EXPECT_THROW(load("1 3\nword 1.0 2.0\n"), std::invalid_argument);  // narrow
+  EXPECT_THROW(load("1 1\nword 1.0 2.0\n"), std::invalid_argument);  // wide
+  EXPECT_THROW(load("2 1\nword 1.0\nword 2.0\n"), std::invalid_argument);
+}
+
+TEST(EmbeddingIoTest, LoadedEmbedderPreservesSimilarityStructure) {
+  const SkipGramModel model = small_model();
+  std::ostringstream out;
+  save_embeddings(model, out);
+  std::istringstream in(out.str());
+  const StoredEmbedder loaded = load_embeddings(in);
+  // Same-topic words stay closer than cross-topic ones after the round trip.
+  const double within = cosine_similarity(loaded.embed_word("traffic"),
+                                          loaded.embed_word("parking"));
+  const double cross = cosine_similarity(loaded.embed_word("traffic"),
+                                         loaded.embed_word("vaccines"));
+  EXPECT_GT(within, cross);
+}
+
+}  // namespace
+}  // namespace eta2::text

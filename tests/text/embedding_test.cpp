@@ -1,0 +1,120 @@
+#include "text/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "text/embedder.h"
+
+namespace eta2::text {
+namespace {
+
+TEST(EmbeddingOpsTest, DotAndNorm) {
+  const Embedding a{1.0, 2.0, 3.0};
+  const Embedding b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm(a), std::sqrt(14.0));
+}
+
+TEST(EmbeddingOpsTest, Distances) {
+  const Embedding a{0.0, 0.0};
+  const Embedding b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, a), 0.0);
+}
+
+TEST(EmbeddingOpsTest, CosineSimilarity) {
+  const Embedding a{1.0, 0.0};
+  const Embedding b{0.0, 1.0};
+  const Embedding c{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, c), 1.0);
+  const Embedding zero{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, zero), 0.0);
+}
+
+TEST(EmbeddingOpsTest, DimensionMismatchThrows) {
+  const Embedding a{1.0};
+  const Embedding b{1.0, 2.0};
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+  EXPECT_THROW(squared_distance(a, b), std::invalid_argument);
+}
+
+TEST(EmbeddingOpsTest, AddAndScaleInPlace) {
+  Embedding a{1.0, 2.0};
+  add_in_place(a, Embedding{3.0, -1.0});
+  EXPECT_EQ(a, (Embedding{4.0, 1.0}));
+  scale_in_place(a, 0.5);
+  EXPECT_EQ(a, (Embedding{2.0, 0.5}));
+}
+
+TEST(EmbeddingOpsTest, NormalizeInPlace) {
+  Embedding a{3.0, 4.0};
+  normalize_in_place(a);
+  EXPECT_NEAR(norm(a), 1.0, 1e-12);
+  EXPECT_NEAR(a[0], 0.6, 1e-12);
+  Embedding zero{0.0, 0.0};
+  normalize_in_place(zero);  // must not divide by zero
+  EXPECT_EQ(zero, (Embedding{0.0, 0.0}));
+}
+
+TEST(AdditivePhraseTest, PaperCompositionModel) {
+  // V = x1 + x2 + ... (paper §3.2)
+  const std::vector<Embedding> words = {{1.0, 0.0}, {0.0, 2.0}, {1.0, 1.0}};
+  EXPECT_EQ(additive_phrase(words), (Embedding{2.0, 3.0}));
+}
+
+TEST(AdditivePhraseTest, RejectsEmpty) {
+  EXPECT_THROW(additive_phrase({}), std::invalid_argument);
+}
+
+TEST(HashEmbedderTest, DeterministicPerWord) {
+  const HashEmbedder e(16);
+  EXPECT_EQ(e.embed_word("noise"), e.embed_word("noise"));
+  EXPECT_NE(e.embed_word("noise"), e.embed_word("seminar"));
+}
+
+TEST(HashEmbedderTest, UnitNorm) {
+  const HashEmbedder e(16);
+  EXPECT_NEAR(norm(e.embed_word("anything")), 1.0, 1e-12);
+}
+
+TEST(HashEmbedderTest, DistinctWordsNearOrthogonalOnAverage) {
+  const HashEmbedder e(64);
+  double total = 0.0;
+  const std::vector<std::string> words = {"a", "b", "c", "d", "e",
+                                          "f", "g", "h", "i", "j"};
+  int pairs = 0;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    for (std::size_t j = i + 1; j < words.size(); ++j) {
+      total += std::fabs(cosine_similarity(e.embed_word(words[i]),
+                                           e.embed_word(words[j])));
+      ++pairs;
+    }
+  }
+  EXPECT_LT(total / pairs, 0.25);
+}
+
+TEST(HashEmbedderTest, SaltChangesVectors) {
+  const HashEmbedder a(16, 1);
+  const HashEmbedder b(16, 2);
+  EXPECT_NE(a.embed_word("noise"), b.embed_word("noise"));
+}
+
+TEST(EmbedPhraseTest, SumsWordVectors) {
+  const HashEmbedder e(8);
+  const std::vector<std::string> phrase = {"municipal", "building"};
+  Embedding expected = e.embed_word("municipal");
+  add_in_place(expected, e.embed_word("building"));
+  EXPECT_EQ(e.embed_phrase(phrase), expected);
+}
+
+TEST(EmbedPhraseTest, EmptyPhraseIsZero) {
+  const HashEmbedder e(8);
+  EXPECT_EQ(e.embed_phrase({}), Embedding(8, 0.0));
+}
+
+}  // namespace
+}  // namespace eta2::text

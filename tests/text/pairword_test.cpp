@@ -1,0 +1,124 @@
+#include "text/pairword.h"
+
+#include <gtest/gtest.h>
+
+#include "text/embedder.h"
+
+namespace eta2::text {
+namespace {
+
+TEST(ExtractPairTest, PaperExampleTask1) {
+  // "Query: noise level; Target: municipal building"
+  const PairWord p =
+      extract_pair("What is the noise level around the municipal building?");
+  EXPECT_EQ(p.query, (std::vector<std::string>{"noise"}));
+  EXPECT_EQ(p.target, (std::vector<std::string>{"municipal", "building"}));
+}
+
+TEST(ExtractPairTest, PaperExampleTask2) {
+  // "Query: students; Target: seminar" — no preposition, positional split.
+  const PairWord p =
+      extract_pair("How many students have attended the seminar today?");
+  EXPECT_FALSE(p.query.empty());
+  EXPECT_FALSE(p.target.empty());
+  EXPECT_EQ(p.query.front(), "students");
+  EXPECT_EQ(p.target.back(), "seminar");
+}
+
+TEST(ExtractPairTest, SplitsAtLastUsablePreposition) {
+  const PairWord p = extract_pair("price of coffee at the cafeteria");
+  EXPECT_EQ(p.query, (std::vector<std::string>{"price", "coffee"}));
+  EXPECT_EQ(p.target, (std::vector<std::string>{"cafeteria"}));
+}
+
+TEST(ExtractPairTest, SingleContentWordBecomesQuery) {
+  const PairWord p = extract_pair("What is the temperature?");
+  EXPECT_EQ(p.query, (std::vector<std::string>{"temperature"}));
+  EXPECT_TRUE(p.target.empty());
+}
+
+TEST(ExtractPairTest, EmptyDescription) {
+  const PairWord p = extract_pair("");
+  EXPECT_TRUE(p.query.empty());
+  EXPECT_TRUE(p.target.empty());
+}
+
+TEST(ExtractPairTest, OnlyStopwords) {
+  const PairWord p = extract_pair("what is the and how");
+  EXPECT_TRUE(p.query.empty());
+  EXPECT_TRUE(p.target.empty());
+}
+
+TEST(PrepositionTest, Classification) {
+  EXPECT_TRUE(is_preposition("around"));
+  EXPECT_TRUE(is_preposition("near"));
+  EXPECT_TRUE(is_preposition("of"));
+  EXPECT_FALSE(is_preposition("noise"));
+}
+
+TEST(SemanticVectorTest, ConcatenatesQueryAndTargetBlocks) {
+  const HashEmbedder embedder(8);
+  PairWord p;
+  p.query = {"noise"};
+  p.target = {"park"};
+  const Embedding v = semantic_vector(p, embedder);
+  ASSERT_EQ(v.size(), 16u);
+  const Embedding q = embedder.embed_word("noise");
+  const Embedding t = embedder.embed_word("park");
+  for (std::size_t d = 0; d < 8; ++d) {
+    EXPECT_DOUBLE_EQ(v[d], q[d]);
+    EXPECT_DOUBLE_EQ(v[8 + d], t[d]);
+  }
+}
+
+TEST(SemanticVectorTest, EmptyTermContributesZeroBlock) {
+  const HashEmbedder embedder(4);
+  PairWord p;
+  p.query = {"noise"};
+  const Embedding v = semantic_vector(p, embedder);
+  for (std::size_t d = 4; d < 8; ++d) EXPECT_DOUBLE_EQ(v[d], 0.0);
+}
+
+TEST(TaskDistanceTest, PaperEq2) {
+  // E = ½(||ΔQ||² + ||ΔT||²) over the concatenated halves.
+  const Embedding a{1.0, 0.0, /*target*/ 0.0, 0.0};
+  const Embedding b{0.0, 0.0, /*target*/ 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(task_distance(a, b), 0.5 * (1.0 + 25.0));
+}
+
+TEST(TaskDistanceTest, IdenticalTasksAreAtZero) {
+  const HashEmbedder embedder(8);
+  const Embedding v = semantic_vector("noise near the park", embedder);
+  EXPECT_DOUBLE_EQ(task_distance(v, v), 0.0);
+}
+
+TEST(TaskDistanceTest, SharedTermsReduceDistance) {
+  const HashEmbedder embedder(16);
+  const Embedding same_query_a =
+      semantic_vector("noise near the park", embedder);
+  const Embedding same_query_b =
+      semantic_vector("noise near the reservoir", embedder);
+  const Embedding different =
+      semantic_vector("salary at the bank", embedder);
+  EXPECT_LT(task_distance(same_query_a, same_query_b),
+            task_distance(same_query_a, different));
+}
+
+TEST(TaskDistanceTest, RejectsBadShapes) {
+  const Embedding a{1.0, 2.0};
+  const Embedding b{1.0, 2.0, 3.0};
+  EXPECT_THROW(task_distance(a, b), std::invalid_argument);
+  const Embedding odd{1.0, 2.0, 3.0};
+  EXPECT_THROW(task_distance(odd, odd), std::invalid_argument);
+}
+
+TEST(TaskDistanceTest, SymmetricAndNonNegative) {
+  const HashEmbedder embedder(8);
+  const Embedding a = semantic_vector("traffic near the bridge", embedder);
+  const Embedding b = semantic_vector("patients at the clinic", embedder);
+  EXPECT_DOUBLE_EQ(task_distance(a, b), task_distance(b, a));
+  EXPECT_GE(task_distance(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace eta2::text

@@ -1,0 +1,96 @@
+#include "text/phrases.h"
+
+#include <gtest/gtest.h>
+
+namespace eta2::text {
+namespace {
+
+std::vector<std::vector<std::string>> collocation_corpus() {
+  // "municipal building" always together; "red" and "car" appear often but
+  // rarely adjacent. Filler sentences make the collocation words rare
+  // relative to the corpus (score · corpus_size ≈ corpus/word frequency).
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 30; ++i) {
+    corpus.push_back({"the", "municipal", "building", "is", "open"});
+    corpus.push_back({"red", "paint", "on", "a", "car"});
+    // Filler keeps the collocation words rare relative to the corpus, and
+    // spreads "the"/"is"/"open" around so only "municipal building" scores
+    // as a phrase.
+    corpus.push_back({"the", "filler", "is", "words", "the", "open",
+                      "filler", "the", "is", "words", "open", "the"});
+  }
+  corpus.push_back({"red", "car"});  // a single adjacency
+  return corpus;
+}
+
+TEST(PhraseDetectorTest, DetectsStrongCollocations) {
+  const auto detector = PhraseDetector::learn(collocation_corpus());
+  EXPECT_TRUE(detector.is_phrase("municipal", "building"));
+  EXPECT_FALSE(detector.is_phrase("red", "car"));
+  EXPECT_FALSE(detector.is_phrase("building", "municipal"));  // order matters
+  EXPECT_GE(detector.phrase_count(), 1u);
+}
+
+TEST(PhraseDetectorTest, RewriteMergesGreedily) {
+  const auto detector = PhraseDetector::learn(collocation_corpus());
+  const std::vector<std::string> tokens = {"the", "municipal", "building",
+                                           "near", "red", "car"};
+  const auto rewritten = detector.rewrite(tokens);
+  const std::vector<std::string> expected = {"the", "municipal_building",
+                                             "near", "red", "car"};
+  EXPECT_EQ(rewritten, expected);
+}
+
+TEST(PhraseDetectorTest, ConsumedTokenDoesNotChain) {
+  // With phrases {a b} and {b c}, "a b c" must become "a_b c" (b consumed).
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back({"a", "b", "x"});
+    corpus.push_back({"y", "b", "c"});
+    corpus.push_back({"pad", "pad", "pad", "pad", "pad", "pad", "pad",
+                      "pad", "pad", "pad", "pad", "pad"});
+  }
+  const auto detector = PhraseDetector::learn(corpus);
+  ASSERT_TRUE(detector.is_phrase("a", "b"));
+  ASSERT_TRUE(detector.is_phrase("b", "c"));
+  const std::vector<std::string> tokens = {"a", "b", "c"};
+  const auto rewritten = detector.rewrite(tokens);
+  const std::vector<std::string> expected = {"a_b", "c"};
+  EXPECT_EQ(rewritten, expected);
+}
+
+TEST(PhraseDetectorTest, EmptyCorpusDetectsNothing) {
+  const auto detector = PhraseDetector::learn({});
+  EXPECT_EQ(detector.phrase_count(), 0u);
+  const std::vector<std::string> tokens = {"a", "b"};
+  EXPECT_EQ(detector.rewrite(tokens), tokens);
+}
+
+TEST(PhraseDetectorTest, DiscountSuppressesRarePairs) {
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 3; ++i) corpus.push_back({"rare", "pair"});
+  PhraseOptions options;
+  options.discount = 3;  // bigram count (3) <= discount: never merged
+  const auto detector = PhraseDetector::learn(corpus, options);
+  EXPECT_FALSE(detector.is_phrase("rare", "pair"));
+}
+
+TEST(PhraseDetectorTest, RewriteCorpusShape) {
+  const auto detector = PhraseDetector::learn(collocation_corpus());
+  const auto corpus = collocation_corpus();
+  const auto rewritten = detector.rewrite_corpus(corpus);
+  ASSERT_EQ(rewritten.size(), corpus.size());
+  // The only merge in sentence 0 is "municipal building".
+  const std::vector<std::string> expected = {"the", "municipal_building",
+                                             "is", "open"};
+  EXPECT_EQ(rewritten[0], expected);
+}
+
+TEST(PhraseDetectorTest, RejectsBadOptions) {
+  PhraseOptions bad;
+  bad.threshold = 0.0;
+  EXPECT_THROW(PhraseDetector::learn({}, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eta2::text

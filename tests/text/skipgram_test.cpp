@@ -1,0 +1,139 @@
+#include "text/skipgram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "text/corpus.h"
+#include "text/lexicon.h"
+
+namespace eta2::text {
+namespace {
+
+// A fixture that trains one small model for all tests in the suite
+// (training is deterministic, so sharing is safe).
+class SkipGramFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusOptions corpus_options;
+    corpus_options.sentences_per_topic = 200;
+    const auto corpus = generate_corpus(corpus_options, 11);
+    SkipGramOptions options;
+    options.dimension = 24;
+    options.epochs = 3;
+    model_ = new SkipGramModel(SkipGramModel::train(corpus, options, 11));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+  static SkipGramModel* model_;
+};
+
+SkipGramModel* SkipGramFixture::model_ = nullptr;
+
+TEST_F(SkipGramFixture, DimensionAndVocab) {
+  EXPECT_EQ(model_->dimension(), 24u);
+  EXPECT_GT(model_->vocab().size(), 50u);
+}
+
+TEST_F(SkipGramFixture, EmbeddingsHaveRightDimension) {
+  EXPECT_EQ(model_->embed_word("traffic").size(), 24u);
+  EXPECT_EQ(model_->embed_word("totally-unseen-token").size(), 24u);
+}
+
+TEST_F(SkipGramFixture, SameTopicWordsAreCloserThanCrossTopic) {
+  // Aggregate check: mean within-topic similarity must exceed mean
+  // cross-topic similarity — the property dynamic clustering relies on.
+  const auto all = topics();
+  double within = 0.0;
+  int within_n = 0;
+  double cross = 0.0;
+  int cross_n = 0;
+  for (std::size_t a = 0; a < all.size(); ++a) {
+    for (std::size_t i = 0; i < all[a].query_words.size(); ++i) {
+      for (std::size_t j = i + 1; j < all[a].query_words.size(); ++j) {
+        within += model_->similarity(all[a].query_words[i],
+                                     all[a].query_words[j]);
+        ++within_n;
+      }
+      const std::size_t b = (a + 1) % all.size();
+      for (std::size_t j = 0; j < all[b].query_words.size(); ++j) {
+        cross += model_->similarity(all[a].query_words[i],
+                                    all[b].query_words[j]);
+        ++cross_n;
+      }
+    }
+  }
+  const double mean_within = within / within_n;
+  const double mean_cross = cross / cross_n;
+  EXPECT_GT(mean_within, mean_cross + 0.1)
+      << "within=" << mean_within << " cross=" << mean_cross;
+}
+
+TEST_F(SkipGramFixture, NearestNeighborsShareTopic) {
+  // For "traffic" (transport topic), most of the 5 nearest words should be
+  // transport words.
+  const auto neighbors = model_->nearest("traffic", 5);
+  ASSERT_EQ(neighbors.size(), 5u);
+  const Topic& transport = topics()[0];
+  int hits = 0;
+  for (const auto& n : neighbors) {
+    const bool in_topic =
+        std::any_of(transport.query_words.begin(), transport.query_words.end(),
+                    [&](std::string_view w) { return w == n; }) ||
+        std::any_of(transport.target_words.begin(),
+                    transport.target_words.end(),
+                    [&](std::string_view w) { return w == n; });
+    if (in_topic) ++hits;
+  }
+  EXPECT_GE(hits, 3) << "neighbors of 'traffic' off-topic";
+}
+
+TEST_F(SkipGramFixture, SimilarityIsSymmetricAndBounded) {
+  const double ab = model_->similarity("traffic", "parking");
+  const double ba = model_->similarity("parking", "traffic");
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_GE(ab, -1.0);
+  EXPECT_DOUBLE_EQ(model_->similarity("traffic", "traffic"), 1.0);
+}
+
+TEST_F(SkipGramFixture, OovWordsFallBackDeterministically) {
+  EXPECT_EQ(model_->embed_word("zzzz-unknown"), model_->embed_word("zzzz-unknown"));
+  EXPECT_DOUBLE_EQ(model_->similarity("zzzz-unknown", "traffic"), 0.0);
+  EXPECT_TRUE(model_->nearest("zzzz-unknown", 3).empty());
+}
+
+TEST(SkipGramTrainTest, DeterministicForSeed) {
+  CorpusOptions corpus_options;
+  corpus_options.sentences_per_topic = 30;
+  const auto corpus = generate_corpus(corpus_options, 5);
+  SkipGramOptions options;
+  options.dimension = 8;
+  options.epochs = 1;
+  const auto a = SkipGramModel::train(corpus, options, 5);
+  const auto b = SkipGramModel::train(corpus, options, 5);
+  EXPECT_EQ(a.embed_word("traffic"), b.embed_word("traffic"));
+}
+
+TEST(SkipGramTrainTest, RejectsBadOptions) {
+  const std::vector<std::vector<std::string>> corpus = {{"a", "b"}, {"a", "b"}};
+  SkipGramOptions zero_dim;
+  zero_dim.dimension = 0;
+  EXPECT_THROW(SkipGramModel::train(corpus, zero_dim, 1), std::invalid_argument);
+  SkipGramOptions zero_epochs;
+  zero_epochs.epochs = 0;
+  EXPECT_THROW(SkipGramModel::train(corpus, zero_epochs, 1),
+               std::invalid_argument);
+}
+
+TEST(SkipGramTrainTest, RejectsTinyVocabulary) {
+  const std::vector<std::vector<std::string>> corpus = {{"only", "once"}};
+  SkipGramOptions options;
+  options.min_count = 5;  // prunes everything
+  EXPECT_THROW(SkipGramModel::train(corpus, options, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eta2::text

@@ -1,0 +1,62 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace eta2::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndStripsPunctuation) {
+  const auto tokens = tokenize("What is the Noise-Level, really?");
+  const std::vector<std::string> expected = {"what", "is",    "the",
+                                             "noise", "level", "really"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  // Alphanumeric runs stay together ("9am" is one token).
+  const auto tokens = tokenize("room 205 opens at 9am");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[1], "205");
+  EXPECT_EQ(tokens[4], "9am");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("?!... ,,,").empty());
+}
+
+TEST(StopwordTest, CommonWordsAreStopwords) {
+  EXPECT_TRUE(is_stopword("what"));
+  EXPECT_TRUE(is_stopword("the"));
+  EXPECT_TRUE(is_stopword("is"));
+  EXPECT_TRUE(is_stopword("how"));
+  EXPECT_TRUE(is_stopword("many"));
+}
+
+TEST(StopwordTest, ContentWordsAreNot) {
+  EXPECT_FALSE(is_stopword("noise"));
+  EXPECT_FALSE(is_stopword("municipal"));
+  EXPECT_FALSE(is_stopword("students"));
+  EXPECT_FALSE(is_stopword("seminar"));
+}
+
+TEST(ContentWordsTest, PaperExampleTask1) {
+  // "What is the noise level around the municipal building?"
+  const auto words = content_words(
+      "What is the noise level around the municipal building?");
+  // Scaffolding removed; domain-bearing words kept.
+  EXPECT_EQ(words, (std::vector<std::string>{"noise", "municipal", "building"}));
+}
+
+TEST(ContentWordsTest, PaperExampleTask2) {
+  const auto words =
+      content_words("How many students have attended the seminar today?");
+  EXPECT_EQ(words, (std::vector<std::string>{"students", "attended", "seminar"}));
+}
+
+TEST(ContentWordsTest, AllStopwordsYieldsEmpty) {
+  EXPECT_TRUE(content_words("what is the how many").empty());
+}
+
+}  // namespace
+}  // namespace eta2::text

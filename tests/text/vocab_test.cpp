@@ -1,0 +1,89 @@
+#include "text/vocab.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace eta2::text {
+namespace {
+
+std::vector<std::vector<std::string>> tiny_corpus() {
+  return {
+      {"apple", "banana", "apple"},
+      {"apple", "cherry"},
+      {"banana", "apple"},
+  };
+}
+
+TEST(VocabTest, CountsAndIds) {
+  const Vocab v = Vocab::build(tiny_corpus());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.total_count(), 7u);
+  // Most frequent word gets id 0.
+  EXPECT_EQ(v.id("apple"), 0u);
+  EXPECT_EQ(v.count(v.id("apple")), 4u);
+  EXPECT_EQ(v.count(v.id("banana")), 2u);
+  EXPECT_EQ(v.count(v.id("cherry")), 1u);
+}
+
+TEST(VocabTest, MinCountPrunes) {
+  const Vocab v = Vocab::build(tiny_corpus(), 2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.contains("apple"));
+  EXPECT_TRUE(v.contains("banana"));
+  EXPECT_FALSE(v.contains("cherry"));
+  EXPECT_EQ(v.id("cherry"), Vocab::kUnknown);
+}
+
+TEST(VocabTest, WordLookupRoundTrips) {
+  const Vocab v = Vocab::build(tiny_corpus());
+  for (std::size_t id = 0; id < v.size(); ++id) {
+    EXPECT_EQ(v.id(v.word(id)), id);
+  }
+}
+
+TEST(VocabTest, FrequencySumsToOne) {
+  const Vocab v = Vocab::build(tiny_corpus());
+  double total = 0.0;
+  for (std::size_t id = 0; id < v.size(); ++id) total += v.frequency(id);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(VocabTest, DeterministicIdsWithTies) {
+  // Equal counts tie-break lexicographically: ids are stable across builds.
+  const std::vector<std::vector<std::string>> corpus = {{"zeta", "alpha"}};
+  const Vocab a = Vocab::build(corpus);
+  const Vocab b = Vocab::build(corpus);
+  EXPECT_EQ(a.id("alpha"), b.id("alpha"));
+  EXPECT_LT(a.id("alpha"), a.id("zeta"));
+}
+
+TEST(VocabTest, NegativeSamplingFollowsPowerLaw) {
+  // One dominant word and several rare ones: the dominant word should be
+  // sampled more often, but less than its raw frequency share (0.75 power).
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 90; ++i) corpus.push_back({"common"});
+  for (int i = 0; i < 10; ++i) corpus.push_back({"rare" + std::to_string(i)});
+  const Vocab v = Vocab::build(corpus);
+  Rng rng(5);
+  std::map<std::size_t, int> counts;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[v.sample_negative(rng)];
+  const double common_share =
+      static_cast<double>(counts[v.id("common")]) / kDraws;
+  // count^0.75 share: 90^.75 / (90^.75 + 10·1) ≈ 0.745
+  EXPECT_NEAR(common_share, 0.745, 0.02);
+  EXPECT_LT(common_share, 0.9);  // strictly below the raw 0.9 share
+}
+
+TEST(VocabTest, RejectsOutOfRange) {
+  const Vocab v = Vocab::build(tiny_corpus());
+  EXPECT_THROW(v.word(99), std::invalid_argument);
+  EXPECT_THROW(v.count(99), std::invalid_argument);
+  EXPECT_THROW(v.frequency(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eta2::text

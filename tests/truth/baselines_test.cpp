@@ -1,0 +1,213 @@
+#include "truth/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eta2::truth {
+namespace {
+
+// Shared scenario: a panel of users with distinct noise levels answering
+// many tasks; good users (low noise) should earn higher reliability under
+// every iterative method, and every method should beat the plain mean.
+class BaselineScenario : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kUsers = 12;
+  static constexpr std::size_t kTasks = 120;
+
+  void SetUp() override {
+    Rng rng(21);
+    data_ = std::make_unique<ObservationSet>(kUsers, kTasks);
+    truth_.resize(kTasks);
+    for (std::size_t j = 0; j < kTasks; ++j) {
+      truth_[j] = rng.uniform(0.0, 50.0);
+      for (std::size_t i = 0; i < kUsers; ++i) {
+        data_->add(j, i, rng.normal(truth_[j], noise(i)));
+      }
+    }
+  }
+
+  // Users 0..5 precise (σ=0.5), users 6..11 noisy (σ=5).
+  static double noise(std::size_t user) { return user < 6 ? 0.5 : 5.0; }
+
+  double mean_abs_error(const std::vector<double>& estimates) const {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < kTasks; ++j) {
+      sum += std::fabs(estimates[j] - truth_[j]);
+    }
+    return sum / static_cast<double>(kTasks);
+  }
+
+  void expect_good_users_ranked_higher(const TruthResult& r) const {
+    for (std::size_t good = 0; good < 6; ++good) {
+      for (std::size_t bad = 6; bad < kUsers; ++bad) {
+        EXPECT_GT(r.reliability[good], r.reliability[bad])
+            << "good user " << good << " vs bad user " << bad;
+      }
+    }
+  }
+
+  std::unique_ptr<ObservationSet> data_;
+  std::vector<double> truth_;
+};
+
+TEST_F(BaselineScenario, MeanBaselineMatchesTaskMeans) {
+  const MeanBaseline method;
+  const TruthResult r = method.estimate(*data_);
+  for (std::size_t j = 0; j < kTasks; ++j) {
+    EXPECT_DOUBLE_EQ(r.truth[j], data_->task_mean(j));
+  }
+  for (const double w : r.reliability) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST_F(BaselineScenario, HubsAuthoritiesRanksGoodUsersHigher) {
+  const HubsAuthorities method;
+  const TruthResult r = method.estimate(*data_);
+  EXPECT_TRUE(r.converged);
+  expect_good_users_ranked_higher(r);
+}
+
+TEST_F(BaselineScenario, AverageLogRanksGoodUsersHigher) {
+  const AverageLog method;
+  const TruthResult r = method.estimate(*data_);
+  EXPECT_TRUE(r.converged);
+  expect_good_users_ranked_higher(r);
+}
+
+TEST_F(BaselineScenario, TruthFinderRanksGoodUsersHigher) {
+  const TruthFinder method;
+  const TruthResult r = method.estimate(*data_);
+  EXPECT_TRUE(r.converged);
+  expect_good_users_ranked_higher(r);
+}
+
+TEST_F(BaselineScenario, IterativeMethodsBeatThePlainMean) {
+  const double mean_err = mean_abs_error(MeanBaseline().estimate(*data_).truth);
+  EXPECT_LT(mean_abs_error(HubsAuthorities().estimate(*data_).truth), mean_err);
+  EXPECT_LT(mean_abs_error(AverageLog().estimate(*data_).truth), mean_err);
+  EXPECT_LT(mean_abs_error(TruthFinder().estimate(*data_).truth), mean_err);
+}
+
+TEST_F(BaselineScenario, ReliabilityScoresAreBounded) {
+  const TruthResult ha = HubsAuthorities().estimate(*data_);
+  const TruthResult al = AverageLog().estimate(*data_);
+  const TruthResult tf = TruthFinder().estimate(*data_);
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    EXPECT_GE(ha.reliability[i], 0.0);
+    EXPECT_LE(ha.reliability[i], 1.0);
+    EXPECT_GE(al.reliability[i], 0.0);
+    EXPECT_LE(al.reliability[i], 1.0);
+    EXPECT_GE(tf.reliability[i], 0.0);
+    EXPECT_LT(tf.reliability[i], 1.0);
+  }
+}
+
+TEST(BaselineEdgeCases, EmptyTasksYieldNaN) {
+  ObservationSet data(2, 2);
+  data.add(0, 0, 5.0);
+  const TruthResult mean_r = MeanBaseline().estimate(data);
+  EXPECT_FALSE(std::isnan(mean_r.truth[0]));
+  EXPECT_TRUE(std::isnan(mean_r.truth[1]));
+  const TruthResult ha = HubsAuthorities().estimate(data);
+  EXPECT_TRUE(std::isnan(ha.truth[1]));
+  const TruthResult tf = TruthFinder().estimate(data);
+  EXPECT_TRUE(std::isnan(tf.truth[1]));
+  const TruthResult al = AverageLog().estimate(data);
+  EXPECT_TRUE(std::isnan(al.truth[1]));
+}
+
+TEST(BaselineEdgeCases, SingleObservationTask) {
+  ObservationSet data(1, 1);
+  data.add(0, 0, 3.0);
+  EXPECT_DOUBLE_EQ(MeanBaseline().estimate(data).truth[0], 3.0);
+  EXPECT_DOUBLE_EQ(HubsAuthorities().estimate(data).truth[0], 3.0);
+  EXPECT_DOUBLE_EQ(AverageLog().estimate(data).truth[0], 3.0);
+  EXPECT_DOUBLE_EQ(TruthFinder().estimate(data).truth[0], 3.0);
+}
+
+TEST(BaselineEdgeCases, UserWithNoObservationsKeepsZeroWeight) {
+  ObservationSet data(3, 2);
+  data.add(0, 0, 1.0);
+  data.add(0, 1, 2.0);
+  data.add(1, 0, 3.0);
+  data.add(1, 1, 4.0);
+  // User 2 never reports.
+  const TruthResult r = HubsAuthorities().estimate(data);
+  EXPECT_DOUBLE_EQ(r.reliability[2], 0.0);
+}
+
+TEST(BaselineEdgeCases, IterationCapRespected) {
+  Rng rng(5);
+  ObservationSet data(6, 30);
+  for (std::size_t j = 0; j < 30; ++j) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      data.add(j, i, rng.uniform(0.0, 100.0));
+    }
+  }
+  BaselineOptions options;
+  options.max_iterations = 2;
+  options.convergence_threshold = 0.0;  // never converges
+  const TruthResult r = TruthFinder(options).estimate(data);
+  EXPECT_EQ(r.iterations, 2);
+}
+
+TEST(BaselineEdgeCases, NamesAreStable) {
+  EXPECT_EQ(MeanBaseline().name(), "Baseline");
+  EXPECT_EQ(MedianBaseline().name(), "Median");
+  EXPECT_EQ(HubsAuthorities().name(), "Hubs and Authorities");
+  EXPECT_EQ(AverageLog().name(), "Average-Log");
+  EXPECT_EQ(TruthFinder().name(), "TruthFinder");
+}
+
+TEST(MedianBaselineTest, OddAndEvenCounts) {
+  ObservationSet data(4, 2);
+  data.add(0, 0, 1.0);
+  data.add(0, 1, 100.0);
+  data.add(0, 2, 3.0);
+  data.add(1, 0, 2.0);
+  data.add(1, 1, 4.0);
+  const TruthResult r = MedianBaseline().estimate(data);
+  EXPECT_DOUBLE_EQ(r.truth[0], 3.0);   // odd: middle value
+  EXPECT_DOUBLE_EQ(r.truth[1], 3.0);   // even: midpoint
+}
+
+TEST(MedianBaselineTest, ResistsOutliers) {
+  Rng rng(31);
+  ObservationSet data(9, 60);
+  std::vector<double> mu(60);
+  for (std::size_t j = 0; j < 60; ++j) {
+    mu[j] = rng.uniform(0.0, 50.0);
+    for (std::size_t i = 0; i < 9; ++i) {
+      // Two of nine users fabricate wildly biased values.
+      const double value =
+          i < 2 ? mu[j] + 40.0 : rng.normal(mu[j], 1.0);
+      data.add(j, i, value);
+    }
+  }
+  const double median_err = [&] {
+    const TruthResult r = MedianBaseline().estimate(data);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 60; ++j) sum += std::fabs(r.truth[j] - mu[j]);
+    return sum;
+  }();
+  const double mean_err = [&] {
+    const TruthResult r = MeanBaseline().estimate(data);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 60; ++j) sum += std::fabs(r.truth[j] - mu[j]);
+    return sum;
+  }();
+  EXPECT_LT(median_err, 0.5 * mean_err);
+}
+
+TEST(MedianBaselineTest, EmptyTaskIsNaN) {
+  ObservationSet data(1, 1);
+  const TruthResult r = MedianBaseline().estimate(data);
+  EXPECT_TRUE(std::isnan(r.truth[0]));
+}
+
+}  // namespace
+}  // namespace eta2::truth

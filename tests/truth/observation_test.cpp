@@ -1,0 +1,69 @@
+#include "truth/observation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eta2::truth {
+namespace {
+
+TEST(ObservationSetTest, AddAndQuery) {
+  ObservationSet set(3, 2);
+  set.add(0, 1, 5.0);
+  set.add(0, 2, 7.0);
+  set.add(1, 0, 1.0);
+  EXPECT_EQ(set.total_observations(), 3u);
+  EXPECT_EQ(set.for_task(0).size(), 2u);
+  EXPECT_EQ(set.for_task(1).size(), 1u);
+  EXPECT_TRUE(set.has_observation(0, 1));
+  EXPECT_FALSE(set.has_observation(0, 0));
+  EXPECT_EQ(set.tasks_answered(1), 1u);
+  EXPECT_EQ(set.tasks_answered(0), 1u);
+}
+
+TEST(ObservationSetTest, RejectsDuplicates) {
+  ObservationSet set(2, 1);
+  set.add(0, 0, 1.0);
+  EXPECT_THROW(set.add(0, 0, 2.0), std::invalid_argument);
+}
+
+TEST(ObservationSetTest, RejectsOutOfRange) {
+  ObservationSet set(2, 2);
+  EXPECT_THROW(set.add(2, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(set.add(0, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(set.for_task(2), std::invalid_argument);
+  EXPECT_THROW(set.tasks_answered(2), std::invalid_argument);
+}
+
+TEST(ObservationSetTest, TaskMeanAndStddev) {
+  ObservationSet set(4, 1);
+  set.add(0, 0, 2.0);
+  set.add(0, 1, 4.0);
+  set.add(0, 2, 6.0);
+  set.add(0, 3, 8.0);
+  EXPECT_DOUBLE_EQ(set.task_mean(0), 5.0);
+  EXPECT_DOUBLE_EQ(set.task_stddev(0), std::sqrt(5.0));
+}
+
+TEST(ObservationSetTest, StddevZeroForSingleObservation) {
+  ObservationSet set(1, 1);
+  set.add(0, 0, 3.0);
+  EXPECT_DOUBLE_EQ(set.task_stddev(0), 0.0);
+}
+
+TEST(ObservationSetTest, MeanOfEmptyTaskThrows) {
+  ObservationSet set(1, 1);
+  EXPECT_THROW(set.task_mean(0), std::invalid_argument);
+}
+
+TEST(ObservationSetTest, EmptySetShape) {
+  ObservationSet set(5, 3);
+  EXPECT_EQ(set.user_count(), 5u);
+  EXPECT_EQ(set.task_count(), 3u);
+  EXPECT_EQ(set.total_observations(), 0u);
+  EXPECT_TRUE(set.for_task(0).empty());
+}
+
+}  // namespace
+}  // namespace eta2::truth

@@ -1,0 +1,102 @@
+#include "truth/task_confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace eta2::truth {
+namespace {
+
+struct Fit {
+  ObservationSet data{0, 0};
+  std::vector<DomainIndex> domain;
+  std::vector<double> mu_true;
+  MleResult result;
+};
+
+Fit make_fit(std::size_t users, std::size_t tasks, std::uint64_t seed) {
+  Rng rng(seed);
+  Fit f;
+  f.data = ObservationSet(users, tasks);
+  f.domain.assign(tasks, 0);
+  f.mu_true.resize(tasks);
+  for (std::size_t j = 0; j < tasks; ++j) {
+    f.mu_true[j] = rng.uniform(0.0, 20.0);
+    for (std::size_t i = 0; i < users; ++i) {
+      const double u = 0.5 + 0.25 * static_cast<double>(i);
+      f.data.add(j, i, rng.normal(f.mu_true[j], 1.0 / u));
+    }
+  }
+  const Eta2Mle mle;
+  f.result = mle.estimate(f.data, f.domain, 1);
+  return f;
+}
+
+TEST(TaskConfidenceTest, IntervalsContainTheEstimate) {
+  const Fit f = make_fit(10, 30, 3);
+  const auto intervals = task_confidence_intervals(f.result, f.data, f.domain);
+  ASSERT_EQ(intervals.size(), 30u);
+  for (std::size_t j = 0; j < 30; ++j) {
+    ASSERT_TRUE(intervals[j].has_value());
+    EXPECT_TRUE(intervals[j]->contains(f.result.mu[j]));
+    EXPECT_GT(intervals[j]->length(), 0.0);
+  }
+}
+
+TEST(TaskConfidenceTest, CoverageIsRoughlyNominal) {
+  // Over many tasks, ~95% of the 95% intervals should contain the truth.
+  // (MLE plug-in û makes this approximate; allow generous slack.)
+  int covered = 0;
+  int total = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Fit f = make_fit(14, 50, seed);
+    const auto intervals =
+        task_confidence_intervals(f.result, f.data, f.domain, 0.05);
+    for (std::size_t j = 0; j < 50; ++j) {
+      if (!intervals[j]) continue;
+      ++total;
+      if (intervals[j]->contains(f.mu_true[j])) ++covered;
+    }
+  }
+  const double rate = static_cast<double>(covered) / total;
+  EXPECT_GT(rate, 0.80);
+  EXPECT_LE(rate, 1.0);
+}
+
+TEST(TaskConfidenceTest, SmallerAlphaWidensIntervals) {
+  const Fit f = make_fit(8, 10, 7);
+  const auto wide = task_confidence_intervals(f.result, f.data, f.domain, 0.01);
+  const auto narrow =
+      task_confidence_intervals(f.result, f.data, f.domain, 0.2);
+  for (std::size_t j = 0; j < 10; ++j) {
+    ASSERT_TRUE(wide[j] && narrow[j]);
+    EXPECT_GT(wide[j]->length(), narrow[j]->length());
+  }
+}
+
+TEST(TaskConfidenceTest, TasksWithoutDataYieldNullopt) {
+  ObservationSet data(2, 2);
+  data.add(0, 0, 5.0);
+  data.add(0, 1, 6.0);
+  const std::vector<DomainIndex> domain{0, 0};
+  const Eta2Mle mle;
+  const MleResult fit = mle.estimate(data, domain, 1);
+  const auto intervals = task_confidence_intervals(fit, data, domain);
+  EXPECT_TRUE(intervals[0].has_value());
+  EXPECT_FALSE(intervals[1].has_value());
+}
+
+TEST(TaskConfidenceTest, RejectsBadInputs) {
+  const Fit f = make_fit(4, 5, 9);
+  EXPECT_THROW(
+      task_confidence_intervals(f.result, f.data, f.domain, 0.0),
+      std::invalid_argument);
+  const std::vector<DomainIndex> wrong(4, 0);
+  EXPECT_THROW(task_confidence_intervals(f.result, f.data, wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eta2::truth

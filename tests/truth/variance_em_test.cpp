@@ -1,0 +1,95 @@
+#include "truth/variance_em.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "truth/baselines.h"
+
+namespace eta2::truth {
+namespace {
+
+TEST(VarianceEmTest, SingleObservationTask) {
+  ObservationSet data(1, 1);
+  data.add(0, 0, 7.0);
+  const TruthResult r = VarianceEm().estimate(data);
+  EXPECT_DOUBLE_EQ(r.truth[0], 7.0);
+}
+
+TEST(VarianceEmTest, EmptyTaskIsNaN) {
+  ObservationSet data(2, 2);
+  data.add(0, 0, 1.0);
+  const TruthResult r = VarianceEm().estimate(data);
+  EXPECT_TRUE(std::isnan(r.truth[1]));
+}
+
+TEST(VarianceEmTest, PrecisionWeightsFavorLowNoiseUsers) {
+  Rng rng(3);
+  const std::size_t users = 10;
+  const std::size_t tasks = 150;
+  ObservationSet data(users, tasks);
+  std::vector<double> mu(tasks);
+  for (std::size_t j = 0; j < tasks; ++j) {
+    mu[j] = rng.uniform(0.0, 50.0);
+    for (std::size_t i = 0; i < users; ++i) {
+      const double noise = i < 5 ? 0.5 : 4.0;
+      data.add(j, i, rng.normal(mu[j], noise));
+    }
+  }
+  const TruthResult r = VarianceEm().estimate(data);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t good = 0; good < 5; ++good) {
+    for (std::size_t bad = 5; bad < users; ++bad) {
+      EXPECT_GT(r.reliability[good], r.reliability[bad]);
+    }
+  }
+  // And it must beat the plain mean on this Gaussian data.
+  const TruthResult mean_r = MeanBaseline().estimate(data);
+  double em_err = 0.0;
+  double mean_err = 0.0;
+  for (std::size_t j = 0; j < tasks; ++j) {
+    em_err += std::fabs(r.truth[j] - mu[j]);
+    mean_err += std::fabs(mean_r.truth[j] - mu[j]);
+  }
+  EXPECT_LT(em_err, mean_err);
+}
+
+TEST(VarianceEmTest, PriorPreventsDegenerateWeights) {
+  // One user with a single (by chance perfect) report must not dominate.
+  ObservationSet data(3, 2);
+  data.add(0, 0, 10.0);
+  data.add(0, 1, 12.0);
+  data.add(0, 2, 10.9);
+  data.add(1, 1, 13.0);
+  data.add(1, 2, 11.1);
+  const TruthResult r = VarianceEm().estimate(data);
+  // Reliabilities stay finite and normalized.
+  for (const double w : r.reliability) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST(VarianceEmTest, IterationCapRespected) {
+  Rng rng(9);
+  ObservationSet data(4, 20);
+  for (std::size_t j = 0; j < 20; ++j) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      data.add(j, i, rng.uniform(0.0, 100.0));
+    }
+  }
+  VarianceEmOptions options;
+  options.max_iterations = 2;
+  options.convergence_threshold = 0.0;
+  const TruthResult r = VarianceEm(options).estimate(data);
+  EXPECT_EQ(r.iterations, 2);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(VarianceEmTest, NameIsStable) {
+  EXPECT_EQ(VarianceEm().name(), "Gaussian EM");
+}
+
+}  // namespace
+}  // namespace eta2::truth

@@ -1,0 +1,28 @@
+// Compile-and-link check of the umbrella header: every public API must be
+// reachable through a single include.
+#include "eta2.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeaderTest, PublicTypesAreUsable) {
+  eta2::Rng rng(1);
+  EXPECT_GE(rng.uniform01(), 0.0);
+
+  const eta2::core::Eta2Config config;
+  EXPECT_DOUBLE_EQ(config.epsilon, 0.1);
+
+  eta2::truth::ObservationSet data(2, 1);
+  data.add(0, 0, 1.0);
+  data.add(0, 1, 3.0);
+  const eta2::truth::MeanBaseline mean;
+  EXPECT_DOUBLE_EQ(mean.estimate(data).truth[0], 2.0);
+
+  EXPECT_NEAR(eta2::stats::normal_cdf(0.0), 0.5, 1e-12);
+
+  const eta2::text::HashEmbedder embedder(8);
+  EXPECT_EQ(embedder.dimension(), 8u);
+}
+
+}  // namespace
