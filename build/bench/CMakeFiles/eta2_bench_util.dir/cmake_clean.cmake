@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libeta2_bench_util.a"
+  "../lib/libeta2_bench_util.pdb"
+  "CMakeFiles/eta2_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/eta2_bench_util.dir/bench_util.cpp.o.d"
+  "CMakeFiles/eta2_bench_util.dir/mincost_common.cpp.o"
+  "CMakeFiles/eta2_bench_util.dir/mincost_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libeta2_bench_util.a"
+)

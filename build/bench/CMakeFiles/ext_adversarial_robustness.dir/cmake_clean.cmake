@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adversarial_robustness.dir/ext_adversarial_robustness.cpp.o"
+  "CMakeFiles/ext_adversarial_robustness.dir/ext_adversarial_robustness.cpp.o.d"
+  "ext_adversarial_robustness"
+  "ext_adversarial_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adversarial_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_clustering_quality.dir/ext_clustering_quality.cpp.o"
+  "CMakeFiles/ext_clustering_quality.dir/ext_clustering_quality.cpp.o.d"
+  "ext_clustering_quality"
+  "ext_clustering_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_clustering_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dropout_robustness.dir/ext_dropout_robustness.cpp.o"
+  "CMakeFiles/ext_dropout_robustness.dir/ext_dropout_robustness.cpp.o.d"
+  "ext_dropout_robustness"
+  "ext_dropout_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dropout_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

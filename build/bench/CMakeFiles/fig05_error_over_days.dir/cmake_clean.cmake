@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_error_over_days.dir/fig05_error_over_days.cpp.o"
+  "CMakeFiles/fig05_error_over_days.dir/fig05_error_over_days.cpp.o.d"
+  "fig05_error_over_days"
+  "fig05_error_over_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_error_over_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

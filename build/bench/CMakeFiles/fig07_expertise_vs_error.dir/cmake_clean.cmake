@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_expertise_vs_error.dir/fig07_expertise_vs_error.cpp.o"
+  "CMakeFiles/fig07_expertise_vs_error.dir/fig07_expertise_vs_error.cpp.o.d"
+  "fig07_expertise_vs_error"
+  "fig07_expertise_vs_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_expertise_vs_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

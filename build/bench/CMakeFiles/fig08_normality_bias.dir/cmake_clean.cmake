@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_normality_bias.dir/fig08_normality_bias.cpp.o"
+  "CMakeFiles/fig08_normality_bias.dir/fig08_normality_bias.cpp.o.d"
+  "fig08_normality_bias"
+  "fig08_normality_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_normality_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_expertise_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budgeted_sensing.dir/budgeted_sensing.cpp.o"
+  "CMakeFiles/budgeted_sensing.dir/budgeted_sensing.cpp.o.d"
+  "budgeted_sensing"
+  "budgeted_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budgeted_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

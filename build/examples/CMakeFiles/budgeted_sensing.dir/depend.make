@@ -1,0 +1,2 @@
+# Empty dependencies file for budgeted_sensing.
+# This may be replaced when dependencies are built.

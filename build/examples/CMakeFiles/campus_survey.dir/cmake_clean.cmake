@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_survey.dir/campus_survey.cpp.o"
+  "CMakeFiles/campus_survey.dir/campus_survey.cpp.o.d"
+  "campus_survey"
+  "campus_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

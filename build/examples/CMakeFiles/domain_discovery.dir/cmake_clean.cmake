@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_discovery.dir/domain_discovery.cpp.o"
+  "CMakeFiles/domain_discovery.dir/domain_discovery.cpp.o.d"
+  "domain_discovery"
+  "domain_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

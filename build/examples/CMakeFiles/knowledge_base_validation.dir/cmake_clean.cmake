@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_base_validation.dir/knowledge_base_validation.cpp.o"
+  "CMakeFiles/knowledge_base_validation.dir/knowledge_base_validation.cpp.o.d"
+  "knowledge_base_validation"
+  "knowledge_base_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_base_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for knowledge_base_validation.
+# This may be replaced when dependencies are built.

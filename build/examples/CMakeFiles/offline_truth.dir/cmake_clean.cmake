@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_truth.dir/offline_truth.cpp.o"
+  "CMakeFiles/offline_truth.dir/offline_truth.cpp.o.d"
+  "offline_truth"
+  "offline_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_checkpoint.dir/server_checkpoint.cpp.o"
+  "CMakeFiles/server_checkpoint.dir/server_checkpoint.cpp.o.d"
+  "server_checkpoint"
+  "server_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

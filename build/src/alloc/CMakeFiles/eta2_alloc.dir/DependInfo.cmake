@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocation.cpp" "src/alloc/CMakeFiles/eta2_alloc.dir/allocation.cpp.o" "gcc" "src/alloc/CMakeFiles/eta2_alloc.dir/allocation.cpp.o.d"
+  "/root/repo/src/alloc/baseline_allocators.cpp" "src/alloc/CMakeFiles/eta2_alloc.dir/baseline_allocators.cpp.o" "gcc" "src/alloc/CMakeFiles/eta2_alloc.dir/baseline_allocators.cpp.o.d"
+  "/root/repo/src/alloc/bruteforce.cpp" "src/alloc/CMakeFiles/eta2_alloc.dir/bruteforce.cpp.o" "gcc" "src/alloc/CMakeFiles/eta2_alloc.dir/bruteforce.cpp.o.d"
+  "/root/repo/src/alloc/knapsack.cpp" "src/alloc/CMakeFiles/eta2_alloc.dir/knapsack.cpp.o" "gcc" "src/alloc/CMakeFiles/eta2_alloc.dir/knapsack.cpp.o.d"
+  "/root/repo/src/alloc/max_quality.cpp" "src/alloc/CMakeFiles/eta2_alloc.dir/max_quality.cpp.o" "gcc" "src/alloc/CMakeFiles/eta2_alloc.dir/max_quality.cpp.o.d"
+  "/root/repo/src/alloc/min_cost.cpp" "src/alloc/CMakeFiles/eta2_alloc.dir/min_cost.cpp.o" "gcc" "src/alloc/CMakeFiles/eta2_alloc.dir/min_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eta2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eta2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/truth/CMakeFiles/eta2_truth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

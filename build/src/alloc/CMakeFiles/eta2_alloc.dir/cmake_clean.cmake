@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2_alloc.dir/allocation.cpp.o"
+  "CMakeFiles/eta2_alloc.dir/allocation.cpp.o.d"
+  "CMakeFiles/eta2_alloc.dir/baseline_allocators.cpp.o"
+  "CMakeFiles/eta2_alloc.dir/baseline_allocators.cpp.o.d"
+  "CMakeFiles/eta2_alloc.dir/bruteforce.cpp.o"
+  "CMakeFiles/eta2_alloc.dir/bruteforce.cpp.o.d"
+  "CMakeFiles/eta2_alloc.dir/knapsack.cpp.o"
+  "CMakeFiles/eta2_alloc.dir/knapsack.cpp.o.d"
+  "CMakeFiles/eta2_alloc.dir/max_quality.cpp.o"
+  "CMakeFiles/eta2_alloc.dir/max_quality.cpp.o.d"
+  "CMakeFiles/eta2_alloc.dir/min_cost.cpp.o"
+  "CMakeFiles/eta2_alloc.dir/min_cost.cpp.o.d"
+  "libeta2_alloc.a"
+  "libeta2_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/dynamic_clusterer.cpp" "src/clustering/CMakeFiles/eta2_clustering.dir/dynamic_clusterer.cpp.o" "gcc" "src/clustering/CMakeFiles/eta2_clustering.dir/dynamic_clusterer.cpp.o.d"
+  "/root/repo/src/clustering/linkage.cpp" "src/clustering/CMakeFiles/eta2_clustering.dir/linkage.cpp.o" "gcc" "src/clustering/CMakeFiles/eta2_clustering.dir/linkage.cpp.o.d"
+  "/root/repo/src/clustering/metrics.cpp" "src/clustering/CMakeFiles/eta2_clustering.dir/metrics.cpp.o" "gcc" "src/clustering/CMakeFiles/eta2_clustering.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eta2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/eta2_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2_clustering.dir/dynamic_clusterer.cpp.o"
+  "CMakeFiles/eta2_clustering.dir/dynamic_clusterer.cpp.o.d"
+  "CMakeFiles/eta2_clustering.dir/linkage.cpp.o"
+  "CMakeFiles/eta2_clustering.dir/linkage.cpp.o.d"
+  "CMakeFiles/eta2_clustering.dir/metrics.cpp.o"
+  "CMakeFiles/eta2_clustering.dir/metrics.cpp.o.d"
+  "libeta2_clustering.a"
+  "libeta2_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

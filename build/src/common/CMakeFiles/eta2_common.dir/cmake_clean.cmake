@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2_common.dir/csv.cpp.o"
+  "CMakeFiles/eta2_common.dir/csv.cpp.o.d"
+  "CMakeFiles/eta2_common.dir/flags.cpp.o"
+  "CMakeFiles/eta2_common.dir/flags.cpp.o.d"
+  "CMakeFiles/eta2_common.dir/rng.cpp.o"
+  "CMakeFiles/eta2_common.dir/rng.cpp.o.d"
+  "CMakeFiles/eta2_common.dir/strings.cpp.o"
+  "CMakeFiles/eta2_common.dir/strings.cpp.o.d"
+  "CMakeFiles/eta2_common.dir/table.cpp.o"
+  "CMakeFiles/eta2_common.dir/table.cpp.o.d"
+  "libeta2_common.a"
+  "libeta2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

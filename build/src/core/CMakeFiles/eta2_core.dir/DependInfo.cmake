@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/eta2_server.cpp" "src/core/CMakeFiles/eta2_core.dir/eta2_server.cpp.o" "gcc" "src/core/CMakeFiles/eta2_core.dir/eta2_server.cpp.o.d"
+  "/root/repo/src/core/one_shot.cpp" "src/core/CMakeFiles/eta2_core.dir/one_shot.cpp.o" "gcc" "src/core/CMakeFiles/eta2_core.dir/one_shot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eta2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eta2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/eta2_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/eta2_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/truth/CMakeFiles/eta2_truth.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/eta2_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

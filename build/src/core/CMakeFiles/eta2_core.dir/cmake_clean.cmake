@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2_core.dir/eta2_server.cpp.o"
+  "CMakeFiles/eta2_core.dir/eta2_server.cpp.o.d"
+  "CMakeFiles/eta2_core.dir/one_shot.cpp.o"
+  "CMakeFiles/eta2_core.dir/one_shot.cpp.o.d"
+  "libeta2_core.a"
+  "libeta2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

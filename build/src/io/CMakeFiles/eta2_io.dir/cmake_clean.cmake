@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2_io.dir/dataset_io.cpp.o"
+  "CMakeFiles/eta2_io.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/eta2_io.dir/results_io.cpp.o"
+  "CMakeFiles/eta2_io.dir/results_io.cpp.o.d"
+  "libeta2_io.a"
+  "libeta2_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

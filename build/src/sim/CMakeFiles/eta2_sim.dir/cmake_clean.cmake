@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2_sim.dir/dataset.cpp.o"
+  "CMakeFiles/eta2_sim.dir/dataset.cpp.o.d"
+  "CMakeFiles/eta2_sim.dir/experiment.cpp.o"
+  "CMakeFiles/eta2_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/eta2_sim.dir/report.cpp.o"
+  "CMakeFiles/eta2_sim.dir/report.cpp.o.d"
+  "CMakeFiles/eta2_sim.dir/simulation.cpp.o"
+  "CMakeFiles/eta2_sim.dir/simulation.cpp.o.d"
+  "libeta2_sim.a"
+  "libeta2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2_stats.dir/chi_square.cpp.o"
+  "CMakeFiles/eta2_stats.dir/chi_square.cpp.o.d"
+  "CMakeFiles/eta2_stats.dir/confidence.cpp.o"
+  "CMakeFiles/eta2_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/eta2_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/eta2_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/eta2_stats.dir/histogram.cpp.o"
+  "CMakeFiles/eta2_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/eta2_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/eta2_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/eta2_stats.dir/normal.cpp.o"
+  "CMakeFiles/eta2_stats.dir/normal.cpp.o.d"
+  "libeta2_stats.a"
+  "libeta2_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

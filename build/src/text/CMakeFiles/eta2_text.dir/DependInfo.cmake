@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/corpus.cpp" "src/text/CMakeFiles/eta2_text.dir/corpus.cpp.o" "gcc" "src/text/CMakeFiles/eta2_text.dir/corpus.cpp.o.d"
+  "/root/repo/src/text/embedder.cpp" "src/text/CMakeFiles/eta2_text.dir/embedder.cpp.o" "gcc" "src/text/CMakeFiles/eta2_text.dir/embedder.cpp.o.d"
+  "/root/repo/src/text/embedding.cpp" "src/text/CMakeFiles/eta2_text.dir/embedding.cpp.o" "gcc" "src/text/CMakeFiles/eta2_text.dir/embedding.cpp.o.d"
+  "/root/repo/src/text/embedding_io.cpp" "src/text/CMakeFiles/eta2_text.dir/embedding_io.cpp.o" "gcc" "src/text/CMakeFiles/eta2_text.dir/embedding_io.cpp.o.d"
+  "/root/repo/src/text/lexicon.cpp" "src/text/CMakeFiles/eta2_text.dir/lexicon.cpp.o" "gcc" "src/text/CMakeFiles/eta2_text.dir/lexicon.cpp.o.d"
+  "/root/repo/src/text/pairword.cpp" "src/text/CMakeFiles/eta2_text.dir/pairword.cpp.o" "gcc" "src/text/CMakeFiles/eta2_text.dir/pairword.cpp.o.d"
+  "/root/repo/src/text/phrases.cpp" "src/text/CMakeFiles/eta2_text.dir/phrases.cpp.o" "gcc" "src/text/CMakeFiles/eta2_text.dir/phrases.cpp.o.d"
+  "/root/repo/src/text/skipgram.cpp" "src/text/CMakeFiles/eta2_text.dir/skipgram.cpp.o" "gcc" "src/text/CMakeFiles/eta2_text.dir/skipgram.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/text/CMakeFiles/eta2_text.dir/tokenizer.cpp.o" "gcc" "src/text/CMakeFiles/eta2_text.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocab.cpp" "src/text/CMakeFiles/eta2_text.dir/vocab.cpp.o" "gcc" "src/text/CMakeFiles/eta2_text.dir/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eta2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

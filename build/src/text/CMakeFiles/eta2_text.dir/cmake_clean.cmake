@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2_text.dir/corpus.cpp.o"
+  "CMakeFiles/eta2_text.dir/corpus.cpp.o.d"
+  "CMakeFiles/eta2_text.dir/embedder.cpp.o"
+  "CMakeFiles/eta2_text.dir/embedder.cpp.o.d"
+  "CMakeFiles/eta2_text.dir/embedding.cpp.o"
+  "CMakeFiles/eta2_text.dir/embedding.cpp.o.d"
+  "CMakeFiles/eta2_text.dir/embedding_io.cpp.o"
+  "CMakeFiles/eta2_text.dir/embedding_io.cpp.o.d"
+  "CMakeFiles/eta2_text.dir/lexicon.cpp.o"
+  "CMakeFiles/eta2_text.dir/lexicon.cpp.o.d"
+  "CMakeFiles/eta2_text.dir/pairword.cpp.o"
+  "CMakeFiles/eta2_text.dir/pairword.cpp.o.d"
+  "CMakeFiles/eta2_text.dir/phrases.cpp.o"
+  "CMakeFiles/eta2_text.dir/phrases.cpp.o.d"
+  "CMakeFiles/eta2_text.dir/skipgram.cpp.o"
+  "CMakeFiles/eta2_text.dir/skipgram.cpp.o.d"
+  "CMakeFiles/eta2_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/eta2_text.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/eta2_text.dir/vocab.cpp.o"
+  "CMakeFiles/eta2_text.dir/vocab.cpp.o.d"
+  "libeta2_text.a"
+  "libeta2_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

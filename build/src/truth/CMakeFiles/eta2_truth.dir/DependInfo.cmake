@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/truth/baselines.cpp" "src/truth/CMakeFiles/eta2_truth.dir/baselines.cpp.o" "gcc" "src/truth/CMakeFiles/eta2_truth.dir/baselines.cpp.o.d"
+  "/root/repo/src/truth/eta2_mle.cpp" "src/truth/CMakeFiles/eta2_truth.dir/eta2_mle.cpp.o" "gcc" "src/truth/CMakeFiles/eta2_truth.dir/eta2_mle.cpp.o.d"
+  "/root/repo/src/truth/expertise_store.cpp" "src/truth/CMakeFiles/eta2_truth.dir/expertise_store.cpp.o" "gcc" "src/truth/CMakeFiles/eta2_truth.dir/expertise_store.cpp.o.d"
+  "/root/repo/src/truth/observation.cpp" "src/truth/CMakeFiles/eta2_truth.dir/observation.cpp.o" "gcc" "src/truth/CMakeFiles/eta2_truth.dir/observation.cpp.o.d"
+  "/root/repo/src/truth/reliability_common.cpp" "src/truth/CMakeFiles/eta2_truth.dir/reliability_common.cpp.o" "gcc" "src/truth/CMakeFiles/eta2_truth.dir/reliability_common.cpp.o.d"
+  "/root/repo/src/truth/task_confidence.cpp" "src/truth/CMakeFiles/eta2_truth.dir/task_confidence.cpp.o" "gcc" "src/truth/CMakeFiles/eta2_truth.dir/task_confidence.cpp.o.d"
+  "/root/repo/src/truth/variance_em.cpp" "src/truth/CMakeFiles/eta2_truth.dir/variance_em.cpp.o" "gcc" "src/truth/CMakeFiles/eta2_truth.dir/variance_em.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eta2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eta2_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2_truth.dir/baselines.cpp.o"
+  "CMakeFiles/eta2_truth.dir/baselines.cpp.o.d"
+  "CMakeFiles/eta2_truth.dir/eta2_mle.cpp.o"
+  "CMakeFiles/eta2_truth.dir/eta2_mle.cpp.o.d"
+  "CMakeFiles/eta2_truth.dir/expertise_store.cpp.o"
+  "CMakeFiles/eta2_truth.dir/expertise_store.cpp.o.d"
+  "CMakeFiles/eta2_truth.dir/observation.cpp.o"
+  "CMakeFiles/eta2_truth.dir/observation.cpp.o.d"
+  "CMakeFiles/eta2_truth.dir/reliability_common.cpp.o"
+  "CMakeFiles/eta2_truth.dir/reliability_common.cpp.o.d"
+  "CMakeFiles/eta2_truth.dir/task_confidence.cpp.o"
+  "CMakeFiles/eta2_truth.dir/task_confidence.cpp.o.d"
+  "CMakeFiles/eta2_truth.dir/variance_em.cpp.o"
+  "CMakeFiles/eta2_truth.dir/variance_em.cpp.o.d"
+  "libeta2_truth.a"
+  "libeta2_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

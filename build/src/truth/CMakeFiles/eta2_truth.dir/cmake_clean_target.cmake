@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeta2_truth.a"
+)

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc/allocation_test.cpp" "tests/CMakeFiles/eta2_tests.dir/alloc/allocation_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/alloc/allocation_test.cpp.o.d"
+  "/root/repo/tests/alloc/baseline_allocators_test.cpp" "tests/CMakeFiles/eta2_tests.dir/alloc/baseline_allocators_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/alloc/baseline_allocators_test.cpp.o.d"
+  "/root/repo/tests/alloc/bruteforce_test.cpp" "tests/CMakeFiles/eta2_tests.dir/alloc/bruteforce_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/alloc/bruteforce_test.cpp.o.d"
+  "/root/repo/tests/alloc/greedy_oracle_test.cpp" "tests/CMakeFiles/eta2_tests.dir/alloc/greedy_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/alloc/greedy_oracle_test.cpp.o.d"
+  "/root/repo/tests/alloc/knapsack_test.cpp" "tests/CMakeFiles/eta2_tests.dir/alloc/knapsack_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/alloc/knapsack_test.cpp.o.d"
+  "/root/repo/tests/alloc/max_quality_test.cpp" "tests/CMakeFiles/eta2_tests.dir/alloc/max_quality_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/alloc/max_quality_test.cpp.o.d"
+  "/root/repo/tests/alloc/min_cost_test.cpp" "tests/CMakeFiles/eta2_tests.dir/alloc/min_cost_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/alloc/min_cost_test.cpp.o.d"
+  "/root/repo/tests/alloc/objective_property_test.cpp" "tests/CMakeFiles/eta2_tests.dir/alloc/objective_property_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/alloc/objective_property_test.cpp.o.d"
+  "/root/repo/tests/clustering/dynamic_clusterer_test.cpp" "tests/CMakeFiles/eta2_tests.dir/clustering/dynamic_clusterer_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/clustering/dynamic_clusterer_test.cpp.o.d"
+  "/root/repo/tests/clustering/linkage_oracle_test.cpp" "tests/CMakeFiles/eta2_tests.dir/clustering/linkage_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/clustering/linkage_oracle_test.cpp.o.d"
+  "/root/repo/tests/clustering/linkage_test.cpp" "tests/CMakeFiles/eta2_tests.dir/clustering/linkage_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/clustering/linkage_test.cpp.o.d"
+  "/root/repo/tests/clustering/metrics_test.cpp" "tests/CMakeFiles/eta2_tests.dir/clustering/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/clustering/metrics_test.cpp.o.d"
+  "/root/repo/tests/common/csv_test.cpp" "tests/CMakeFiles/eta2_tests.dir/common/csv_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/common/csv_test.cpp.o.d"
+  "/root/repo/tests/common/flags_test.cpp" "tests/CMakeFiles/eta2_tests.dir/common/flags_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/common/flags_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/eta2_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/strings_test.cpp" "tests/CMakeFiles/eta2_tests.dir/common/strings_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/common/strings_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/eta2_tests.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/core/eta2_server_test.cpp" "tests/CMakeFiles/eta2_tests.dir/core/eta2_server_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/core/eta2_server_test.cpp.o.d"
+  "/root/repo/tests/core/one_shot_test.cpp" "tests/CMakeFiles/eta2_tests.dir/core/one_shot_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/core/one_shot_test.cpp.o.d"
+  "/root/repo/tests/core/persistence_test.cpp" "tests/CMakeFiles/eta2_tests.dir/core/persistence_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/core/persistence_test.cpp.o.d"
+  "/root/repo/tests/integration/domain_lifecycle_test.cpp" "tests/CMakeFiles/eta2_tests.dir/integration/domain_lifecycle_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/integration/domain_lifecycle_test.cpp.o.d"
+  "/root/repo/tests/integration/long_horizon_test.cpp" "tests/CMakeFiles/eta2_tests.dir/integration/long_horizon_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/integration/long_horizon_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/eta2_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/io/dataset_io_test.cpp" "tests/CMakeFiles/eta2_tests.dir/io/dataset_io_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/io/dataset_io_test.cpp.o.d"
+  "/root/repo/tests/sim/dataset_test.cpp" "tests/CMakeFiles/eta2_tests.dir/sim/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/sim/dataset_test.cpp.o.d"
+  "/root/repo/tests/sim/report_test.cpp" "tests/CMakeFiles/eta2_tests.dir/sim/report_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/sim/report_test.cpp.o.d"
+  "/root/repo/tests/sim/simulation_test.cpp" "tests/CMakeFiles/eta2_tests.dir/sim/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/sim/simulation_test.cpp.o.d"
+  "/root/repo/tests/stats/chi_square_test.cpp" "tests/CMakeFiles/eta2_tests.dir/stats/chi_square_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/stats/chi_square_test.cpp.o.d"
+  "/root/repo/tests/stats/confidence_test.cpp" "tests/CMakeFiles/eta2_tests.dir/stats/confidence_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/stats/confidence_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/eta2_tests.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/eta2_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/ks_test_test.cpp" "tests/CMakeFiles/eta2_tests.dir/stats/ks_test_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/stats/ks_test_test.cpp.o.d"
+  "/root/repo/tests/stats/normal_test.cpp" "tests/CMakeFiles/eta2_tests.dir/stats/normal_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/stats/normal_test.cpp.o.d"
+  "/root/repo/tests/text/corpus_test.cpp" "tests/CMakeFiles/eta2_tests.dir/text/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/text/corpus_test.cpp.o.d"
+  "/root/repo/tests/text/embedding_io_test.cpp" "tests/CMakeFiles/eta2_tests.dir/text/embedding_io_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/text/embedding_io_test.cpp.o.d"
+  "/root/repo/tests/text/embedding_test.cpp" "tests/CMakeFiles/eta2_tests.dir/text/embedding_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/text/embedding_test.cpp.o.d"
+  "/root/repo/tests/text/pairword_test.cpp" "tests/CMakeFiles/eta2_tests.dir/text/pairword_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/text/pairword_test.cpp.o.d"
+  "/root/repo/tests/text/phrases_test.cpp" "tests/CMakeFiles/eta2_tests.dir/text/phrases_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/text/phrases_test.cpp.o.d"
+  "/root/repo/tests/text/skipgram_test.cpp" "tests/CMakeFiles/eta2_tests.dir/text/skipgram_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/text/skipgram_test.cpp.o.d"
+  "/root/repo/tests/text/tokenizer_test.cpp" "tests/CMakeFiles/eta2_tests.dir/text/tokenizer_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/text/tokenizer_test.cpp.o.d"
+  "/root/repo/tests/text/vocab_test.cpp" "tests/CMakeFiles/eta2_tests.dir/text/vocab_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/text/vocab_test.cpp.o.d"
+  "/root/repo/tests/truth/baselines_test.cpp" "tests/CMakeFiles/eta2_tests.dir/truth/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/truth/baselines_test.cpp.o.d"
+  "/root/repo/tests/truth/eta2_mle_test.cpp" "tests/CMakeFiles/eta2_tests.dir/truth/eta2_mle_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/truth/eta2_mle_test.cpp.o.d"
+  "/root/repo/tests/truth/expertise_store_test.cpp" "tests/CMakeFiles/eta2_tests.dir/truth/expertise_store_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/truth/expertise_store_test.cpp.o.d"
+  "/root/repo/tests/truth/gauge_property_test.cpp" "tests/CMakeFiles/eta2_tests.dir/truth/gauge_property_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/truth/gauge_property_test.cpp.o.d"
+  "/root/repo/tests/truth/observation_test.cpp" "tests/CMakeFiles/eta2_tests.dir/truth/observation_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/truth/observation_test.cpp.o.d"
+  "/root/repo/tests/truth/task_confidence_test.cpp" "tests/CMakeFiles/eta2_tests.dir/truth/task_confidence_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/truth/task_confidence_test.cpp.o.d"
+  "/root/repo/tests/truth/variance_em_test.cpp" "tests/CMakeFiles/eta2_tests.dir/truth/variance_em_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/truth/variance_em_test.cpp.o.d"
+  "/root/repo/tests/umbrella_test.cpp" "tests/CMakeFiles/eta2_tests.dir/umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_tests.dir/umbrella_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/eta2_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eta2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eta2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/eta2_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/truth/CMakeFiles/eta2_truth.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/eta2_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/eta2_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eta2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eta2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2.dir/eta2_cli.cpp.o"
+  "CMakeFiles/eta2.dir/eta2_cli.cpp.o.d"
+  "eta2"
+  "eta2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
