@@ -2,11 +2,21 @@
 
 #include <cstdio>
 
+#include "common/parallel.h"
+
 namespace eta2::bench {
 
 BenchEnv::BenchEnv(int argc, char** argv) : flags(argc, argv) {
   quick = flags.get_bool("quick", false);
   seeds = flags.seed_count(quick ? 2 : 3);
+  // --threads beats ETA2_THREADS beats hardware_concurrency; results are
+  // bit-identical at any setting (see src/common/parallel.h).
+  if (flags.has("threads")) {
+    const std::int64_t threads = flags.get_int("threads", 0);
+    if (threads >= 1) {
+      parallel::set_thread_count(static_cast<std::size_t>(threads));
+    }
+  }
 }
 
 sim::DatasetFactory synthetic_factory(const BenchEnv& env, double tau,
@@ -51,8 +61,10 @@ void print_banner(std::string_view binary, std::string_view reproduces,
   std::printf("=== %.*s ===\n", static_cast<int>(binary.size()), binary.data());
   std::printf("reproduces: %.*s\n", static_cast<int>(reproduces.size()),
               reproduces.data());
-  std::printf("seeds: %d%s (paper uses 100; raise with --seeds/ETA2_SEEDS)\n\n",
+  std::printf("seeds: %d%s (paper uses 100; raise with --seeds/ETA2_SEEDS)\n",
               env.seeds, env.quick ? ", --quick" : "");
+  std::printf("threads: %zu (--threads/ETA2_THREADS)\n\n",
+              parallel::thread_count());
 }
 
 std::span<const sim::Method> comparison_methods() {

@@ -4,6 +4,8 @@
 // Every binary accepts:
 //   --seeds=N       Monte-Carlo repetitions (default 3; paper uses 100)
 //   --quick         cut workload sizes further for smoke runs
+//   --threads=N     parallel-runtime lanes (default ETA2_THREADS, then
+//                   hardware concurrency); output is bit-identical at any N
 // plus bench-specific flags documented in each file.
 #ifndef ETA2_BENCH_BENCH_UTIL_H
 #define ETA2_BENCH_BENCH_UTIL_H

@@ -1,11 +1,38 @@
-// Micro-benchmarks (google-benchmark) of the library's hot paths:
-// the MLE truth analysis, average-linkage clustering, the max-quality
-// greedy, pair-word extraction, and skip-gram training throughput.
+// Perf-smoke harness + micro-benchmarks of the library's hot paths.
+//
+// Default mode times each core kernel — pairwise distance matrix, one MLE
+// sweep, the max-quality greedy, and one full simulation run — serial vs.
+// the parallel runtime, verifies the outputs are bit-identical, and writes
+// BENCH_core.json (ns/op, speedup, machine info). That file is the perf
+// trajectory every later PR is measured against.
+//
+//   micro_core [--out=BENCH_core.json] [--reps=3] [--threads=N] [--quick]
+//
+// Passing --gbench (or any --benchmark* flag) runs the original
+// google-benchmark suite instead: MLE truth analysis, average-linkage
+// clustering, the max-quality greedy, pair-word extraction, and skip-gram
+// training throughput.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
 #include "alloc/max_quality.h"
+#include "clustering/dynamic_clusterer.h"
 #include "clustering/linkage.h"
+#include "common/flags.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "sim/dataset.h"
+#include "sim/simulation.h"
 #include "text/corpus.h"
 #include "text/pairword.h"
 #include "text/skipgram.h"
@@ -14,6 +41,10 @@
 namespace {
 
 using eta2::Rng;
+
+// ---------------------------------------------------------------------------
+// Google-benchmark suite (run with --gbench / --benchmark_*).
+// ---------------------------------------------------------------------------
 
 void BM_MleEstimate(benchmark::State& state) {
   const auto users = static_cast<std::size_t>(state.range(0));
@@ -116,6 +147,286 @@ void BM_TaskDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_TaskDistance);
 
+// ---------------------------------------------------------------------------
+// Perf-smoke harness (default mode).
+// ---------------------------------------------------------------------------
+
+// A kernel run returns a flat signature of its output; the harness compares
+// serial and parallel signatures bitwise to enforce the determinism
+// contract while timing.
+struct Kernel {
+  std::string name;
+  std::size_t scale = 0;  // dominant problem size (for the report)
+  std::function<std::vector<double>()> run;
+};
+
+struct KernelTiming {
+  std::string name;
+  std::size_t scale = 0;
+  double serial_ns = 0.0;
+  double parallel_ns = 0.0;
+  bool bit_identical = false;
+};
+
+double time_best_ns(const std::function<std::vector<double>()>& run, int reps,
+                    std::vector<double>& signature) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    signature = run();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+std::vector<Kernel> make_kernels(bool quick) {
+  std::vector<Kernel> kernels;
+
+  // 1. Pairwise task-distance matrix (feeds upgma_dendrogram): paper-scale
+  //    n tasks, pair-word vectors of dimension 64.
+  {
+    const std::size_t n = quick ? 500 : 2000;
+    const std::size_t dim = 64;
+    auto points = std::make_shared<std::vector<eta2::text::Embedding>>();
+    Rng rng(17);
+    points->reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      eta2::text::Embedding v(dim);
+      for (double& x : v) x = rng.normal();
+      points->push_back(std::move(v));
+    }
+    kernels.push_back(Kernel{
+        "distance_matrix", n, [points, n]() {
+          const auto dist = eta2::clustering::pairwise_task_distances(*points);
+          std::vector<double> signature;
+          signature.reserve(n * (n - 1) / 2);
+          for (std::size_t i = 1; i < n; ++i) {
+            for (std::size_t j = 0; j < i; ++j) {
+              signature.push_back(dist.at_unchecked(i, j));
+            }
+          }
+          return signature;
+        }});
+  }
+
+  // 2. One MLE estimate (Eqs. 5–6) at paper scale.
+  {
+    const std::size_t users = quick ? 100 : 300;
+    const std::size_t tasks = quick ? 500 : 2000;
+    const std::size_t domains = 16;
+    Rng rng(42);
+    auto data = std::make_shared<eta2::truth::ObservationSet>(users, tasks);
+    auto domain =
+        std::make_shared<std::vector<eta2::truth::DomainIndex>>(tasks);
+    for (std::size_t j = 0; j < tasks; ++j) {
+      (*domain)[j] = j % domains;
+      const double mu = rng.uniform(0.0, 20.0);
+      for (std::size_t i = 0; i < users; ++i) {
+        if (rng.bernoulli(0.2)) data->add(j, i, rng.normal(mu, 1.0));
+      }
+    }
+    kernels.push_back(Kernel{
+        "mle_sweep", tasks, [data, domain, domains]() {
+          const eta2::truth::Eta2Mle mle;
+          const auto result = mle.estimate(*data, *domain, domains);
+          std::vector<double> signature = result.mu;
+          signature.insert(signature.end(), result.sigma.begin(),
+                           result.sigma.end());
+          for (const auto& row : result.expertise) {
+            signature.insert(signature.end(), row.begin(), row.end());
+          }
+          return signature;
+        }});
+  }
+
+  // 3. Max-quality greedy allocation (Algorithm 1).
+  {
+    const std::size_t users = quick ? 80 : 200;
+    const std::size_t tasks = quick ? 200 : 600;
+    Rng rng(5);
+    auto problem = std::make_shared<eta2::alloc::AllocationProblem>();
+    problem->expertise.assign(users, std::vector<double>(tasks, 0.0));
+    for (auto& row : problem->expertise) {
+      for (double& u : row) u = rng.uniform(0.1, 3.0);
+    }
+    problem->task_time.resize(tasks);
+    for (double& t : problem->task_time) t = rng.uniform(0.5, 1.5);
+    problem->user_capacity.assign(users, 12.0);
+    kernels.push_back(Kernel{
+        "greedy_allocate", tasks, [problem]() {
+          const eta2::alloc::MaxQualityAllocator allocator;
+          const auto allocation = allocator.allocate(*problem);
+          return std::vector<double>{
+              eta2::alloc::allocation_objective(*problem, allocation, 1.0),
+              static_cast<double>(allocation.pair_count())};
+        }});
+  }
+
+  // 4. One full simulation run (pre-known-domain synthetic dataset; the
+  //    multi-day loop exercises MLE + greedy together).
+  {
+    const std::size_t tasks = quick ? 150 : 400;
+    auto dataset = std::make_shared<eta2::sim::Dataset>([tasks]() {
+      eta2::sim::SyntheticOptions options;
+      options.tasks = tasks;
+      return eta2::sim::make_synthetic(options, 11);
+    }());
+    kernels.push_back(Kernel{
+        "sim_step", tasks, [dataset]() {
+          const eta2::sim::SimOptions options;
+          const auto result = eta2::sim::simulate(
+              *dataset, eta2::sim::Method::kEta2, options, 11);
+          std::vector<double> signature{result.overall_error,
+                                        result.total_cost};
+          for (const auto& day : result.days) {
+            signature.push_back(day.estimation_error);
+            signature.push_back(day.cost);
+          }
+          return signature;
+        }});
+  }
+
+  return kernels;
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void write_json(const std::string& path, std::size_t parallel_threads,
+                int reps, bool quick,
+                const std::vector<KernelTiming>& timings) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf_smoke: cannot open %s for writing\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const char* env_threads = std::getenv("ETA2_THREADS");
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"perf_smoke\",\n");
+  std::fprintf(out, "  \"machine\": {\n");
+  std::fprintf(out, "    \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(out, "    \"eta2_threads_env\": \"%s\",\n",
+               env_threads ? env_threads : "");
+  std::fprintf(out, "    \"parallel_threads\": %zu,\n", parallel_threads);
+  std::fprintf(out, "    \"compiler\": \"%s\",\n", __VERSION__);
+  std::fprintf(out, "    \"build\": \"%s\"\n",
+#ifdef NDEBUG
+               "optimized"
+#else
+               "debug"
+#endif
+  );
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"reps\": %d,\n", reps);
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"kernels\": [\n");
+  for (std::size_t k = 0; k < timings.size(); ++k) {
+    const KernelTiming& t = timings[k];
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"name\": \"%s\",\n", t.name.c_str());
+    std::fprintf(out, "      \"scale\": %zu,\n", t.scale);
+    std::fprintf(out, "      \"serial_ns_per_op\": %.0f,\n", t.serial_ns);
+    std::fprintf(out, "      \"parallel_ns_per_op\": %.0f,\n", t.parallel_ns);
+    std::fprintf(out, "      \"speedup\": %.3f,\n",
+                 t.parallel_ns > 0.0 ? t.serial_ns / t.parallel_ns : 0.0);
+    std::fprintf(out, "      \"bit_identical\": %s\n",
+                 t.bit_identical ? "true" : "false");
+    std::fprintf(out, "    }%s\n", k + 1 < timings.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+}
+
+int run_smoke(int argc, char** argv) {
+  const eta2::Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  const int reps = static_cast<int>(flags.get_int("reps", quick ? 2 : 3));
+  const std::string out_path =
+      flags.get("out", "BENCH_core.json");
+  // Parallel lane count: --threads, else the runtime default; a 1-core box
+  // still records an (oversubscribed) 8-lane column so the trajectory
+  // always has both sides.
+  std::size_t parallel_threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  if (parallel_threads == 0) {
+    parallel_threads = eta2::parallel::thread_count();
+    if (parallel_threads <= 1) parallel_threads = 8;
+  }
+
+  std::printf("=== perf_smoke ===\n");
+  std::printf("hardware_concurrency: %u, parallel lanes: %zu, reps: %d%s\n\n",
+              std::thread::hardware_concurrency(), parallel_threads, reps,
+              quick ? ", --quick" : "");
+
+  std::vector<KernelTiming> timings;
+  for (Kernel& kernel : make_kernels(quick)) {
+    KernelTiming timing;
+    timing.name = kernel.name;
+    timing.scale = kernel.scale;
+
+    std::vector<double> serial_signature;
+    eta2::parallel::set_thread_count(1);
+    timing.serial_ns = time_best_ns(kernel.run, reps, serial_signature);
+
+    std::vector<double> parallel_signature;
+    eta2::parallel::set_thread_count(parallel_threads);
+    timing.parallel_ns = time_best_ns(kernel.run, reps, parallel_signature);
+    eta2::parallel::set_thread_count(0);
+
+    timing.bit_identical = bitwise_equal(serial_signature, parallel_signature);
+    timings.push_back(timing);
+    std::printf("%-16s scale=%-5zu serial=%9.3f ms  parallel=%9.3f ms  "
+                "speedup=%5.2fx  %s\n",
+                timing.name.c_str(), timing.scale, timing.serial_ns / 1e6,
+                timing.parallel_ns / 1e6,
+                timing.parallel_ns > 0.0 ? timing.serial_ns / timing.parallel_ns
+                                         : 0.0,
+                timing.bit_identical ? "bit-identical" : "MISMATCH");
+    if (!timing.bit_identical) {
+      std::fprintf(stderr,
+                   "perf_smoke: %s parallel output differs from serial\n",
+                   timing.name.c_str());
+      return 1;
+    }
+  }
+
+  write_json(out_path, parallel_threads, reps, quick, timings);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool gbench = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--gbench") {
+      gbench = true;
+      continue;  // not a google-benchmark flag; strip it
+    }
+    if (arg.rfind("--benchmark", 0) == 0) gbench = true;
+    args.push_back(argv[i]);
+  }
+  if (gbench) {
+    int gb_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&gb_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(gb_argc, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return run_smoke(argc, argv);
+}

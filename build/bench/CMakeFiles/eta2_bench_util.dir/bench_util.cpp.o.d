@@ -219,4 +219,5 @@ bench/CMakeFiles/eta2_bench_util.dir/bench_util.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/src/truth/observation.h \
  /root/repo/src/text/embedder.h /root/repo/src/text/embedding.h \
  /root/repo/src/truth/baselines.h /root/repo/src/truth/truth_method.h \
- /root/repo/src/stats/descriptive.h
+ /root/repo/src/stats/descriptive.h /root/repo/src/common/parallel.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -221,4 +221,6 @@ bench/CMakeFiles/ext_clustering_quality.dir/ext_clustering_quality.cpp.o: \
  /root/repo/src/truth/baselines.h /root/repo/src/truth/truth_method.h \
  /root/repo/src/stats/descriptive.h \
  /root/repo/src/clustering/dynamic_clusterer.h \
+ /root/repo/src/clustering/linkage.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/clustering/metrics.h /root/repo/src/text/pairword.h

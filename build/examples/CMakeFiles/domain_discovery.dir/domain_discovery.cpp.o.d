@@ -87,9 +87,11 @@ examples/CMakeFiles/domain_discovery.dir/domain_discovery.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/functional_hash.h \
  /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/bits/refwrap.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/text/embedding.h \
- /root/repo/src/clustering/metrics.h /root/repo/src/common/flags.h \
- /usr/include/c++/12/string /usr/include/c++/12/bits/char_traits.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/clustering/linkage.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/text/embedding.h /root/repo/src/clustering/metrics.h \
+ /root/repo/src/common/flags.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
  /usr/include/c++/12/clocale /usr/include/locale.h \

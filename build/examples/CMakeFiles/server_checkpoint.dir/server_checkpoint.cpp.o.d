@@ -242,7 +242,9 @@ examples/CMakeFiles/server_checkpoint.dir/server_checkpoint.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/alloc/allocation.h \
  /root/repo/src/clustering/dynamic_clusterer.h \
- /root/repo/src/text/embedding.h /root/repo/src/common/rng.h \
- /root/repo/src/core/config.h /root/repo/src/truth/eta2_mle.h \
- /root/repo/src/truth/observation.h /root/repo/src/text/embedder.h \
- /root/repo/src/truth/expertise_store.h /root/repo/src/sim/dataset.h
+ /root/repo/src/clustering/linkage.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/text/embedding.h \
+ /root/repo/src/common/rng.h /root/repo/src/core/config.h \
+ /root/repo/src/truth/eta2_mle.h /root/repo/src/truth/observation.h \
+ /root/repo/src/text/embedder.h /root/repo/src/truth/expertise_store.h \
+ /root/repo/src/sim/dataset.h

@@ -165,4 +165,6 @@ src/alloc/CMakeFiles/eta2_alloc.dir/min_cost.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/stats/confidence.h /root/repo/src/stats/normal.h
+ /root/repo/src/common/parallel.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/stats/confidence.h \
+ /root/repo/src/stats/normal.h

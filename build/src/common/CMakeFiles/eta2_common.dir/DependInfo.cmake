@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/eta2_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/eta2_common.dir/csv.cpp.o.d"
   "/root/repo/src/common/flags.cpp" "src/common/CMakeFiles/eta2_common.dir/flags.cpp.o" "gcc" "src/common/CMakeFiles/eta2_common.dir/flags.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/common/CMakeFiles/eta2_common.dir/parallel.cpp.o" "gcc" "src/common/CMakeFiles/eta2_common.dir/parallel.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/eta2_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/eta2_common.dir/rng.cpp.o.d"
   "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/eta2_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/eta2_common.dir/strings.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/eta2_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/eta2_common.dir/table.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/eta2_common.dir/csv.cpp.o.d"
   "CMakeFiles/eta2_common.dir/flags.cpp.o"
   "CMakeFiles/eta2_common.dir/flags.cpp.o.d"
+  "CMakeFiles/eta2_common.dir/parallel.cpp.o"
+  "CMakeFiles/eta2_common.dir/parallel.cpp.o.d"
   "CMakeFiles/eta2_common.dir/rng.cpp.o"
   "CMakeFiles/eta2_common.dir/rng.cpp.o.d"
   "CMakeFiles/eta2_common.dir/strings.cpp.o"

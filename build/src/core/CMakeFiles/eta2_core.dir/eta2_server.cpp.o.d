@@ -213,11 +213,13 @@ src/core/CMakeFiles/eta2_core.dir/eta2_server.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/alloc/allocation.h \
  /root/repo/src/clustering/dynamic_clusterer.h \
- /root/repo/src/text/embedding.h /root/repo/src/common/rng.h \
- /usr/include/c++/12/limits /root/repo/src/core/config.h \
- /root/repo/src/truth/eta2_mle.h /root/repo/src/truth/observation.h \
- /root/repo/src/text/embedder.h /root/repo/src/truth/expertise_store.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/clustering/linkage.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/text/embedding.h \
+ /root/repo/src/common/rng.h /usr/include/c++/12/limits \
+ /root/repo/src/core/config.h /root/repo/src/truth/eta2_mle.h \
+ /root/repo/src/truth/observation.h /root/repo/src/text/embedder.h \
+ /root/repo/src/truth/expertise_store.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \

@@ -215,7 +215,7 @@ src/sim/CMakeFiles/eta2_sim.dir/experiment.cpp.o: \
  /root/repo/src/common/rng.h /root/repo/src/text/embedder.h \
  /root/repo/src/text/embedding.h /root/repo/src/truth/baselines.h \
  /root/repo/src/truth/truth_method.h /root/repo/src/stats/descriptive.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -239,13 +239,8 @@ src/sim/CMakeFiles/eta2_sim.dir/experiment.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/common/error.h /root/repo/src/text/corpus.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/error.h \
+ /root/repo/src/common/parallel.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/text/corpus.h \
  /root/repo/src/text/skipgram.h /root/repo/src/text/vocab.h \
  /usr/include/c++/12/optional

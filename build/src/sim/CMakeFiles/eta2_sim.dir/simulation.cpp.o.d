@@ -241,5 +241,7 @@ src/sim/CMakeFiles/eta2_sim.dir/simulation.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/clustering/dynamic_clusterer.h \
+ /root/repo/src/clustering/linkage.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/truth/expertise_store.h \
  /root/repo/src/truth/variance_em.h

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/parallel_test.cpp" "tests/CMakeFiles/eta2_determinism_tests.dir/common/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_determinism_tests.dir/common/parallel_test.cpp.o.d"
+  "/root/repo/tests/integration/determinism_test.cpp" "tests/CMakeFiles/eta2_determinism_tests.dir/integration/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/eta2_determinism_tests.dir/integration/determinism_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eta2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eta2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/eta2_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/truth/CMakeFiles/eta2_truth.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/eta2_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/eta2_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eta2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eta2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta2_determinism_tests.dir/common/parallel_test.cpp.o"
+  "CMakeFiles/eta2_determinism_tests.dir/common/parallel_test.cpp.o.d"
+  "CMakeFiles/eta2_determinism_tests.dir/integration/determinism_test.cpp.o"
+  "CMakeFiles/eta2_determinism_tests.dir/integration/determinism_test.cpp.o.d"
+  "eta2_determinism_tests"
+  "eta2_determinism_tests.pdb"
+  "eta2_determinism_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta2_determinism_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

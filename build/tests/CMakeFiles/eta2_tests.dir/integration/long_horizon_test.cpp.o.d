@@ -319,9 +319,9 @@ tests/CMakeFiles/eta2_tests.dir/integration/long_horizon_test.cpp.o: \
  /root/repo/src/core/eta2_server.h /usr/include/c++/12/span \
  /root/repo/src/alloc/allocation.h \
  /root/repo/src/clustering/dynamic_clusterer.h \
- /root/repo/src/text/embedding.h /root/repo/src/common/rng.h \
- /root/repo/src/core/config.h /root/repo/src/truth/eta2_mle.h \
- /root/repo/src/truth/observation.h /root/repo/src/text/embedder.h \
- /root/repo/src/truth/expertise_store.h /root/repo/src/sim/dataset.h \
- /root/repo/src/sim/simulation.h /root/repo/src/truth/baselines.h \
- /root/repo/src/truth/truth_method.h
+ /root/repo/src/clustering/linkage.h /root/repo/src/text/embedding.h \
+ /root/repo/src/common/rng.h /root/repo/src/core/config.h \
+ /root/repo/src/truth/eta2_mle.h /root/repo/src/truth/observation.h \
+ /root/repo/src/text/embedder.h /root/repo/src/truth/expertise_store.h \
+ /root/repo/src/sim/dataset.h /root/repo/src/sim/simulation.h \
+ /root/repo/src/truth/baselines.h /root/repo/src/truth/truth_method.h

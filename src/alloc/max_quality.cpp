@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "stats/normal.h"
 
 namespace eta2::alloc {
@@ -15,24 +16,29 @@ class GreedyState {
  public:
   GreedyState(const AllocationProblem& problem, const GreedyOptions& options,
               const Allocation& allocation)
-      : problem_(problem), options_(options), allocation_(allocation) {
+      : problem_(problem),
+        options_(options),
+        allocation_(allocation),
+        m_(problem.task_count()) {
     const std::size_t n = problem.user_count();
     const std::size_t m = problem.task_count();
-    // p_ij matrix.
-    p_.assign(n, std::vector<double>(m, 0.0));
-    for (UserId i = 0; i < n; ++i) {
-      for (TaskId j = 0; j < m; ++j) {
-        p_[i][j] = stats::accuracy_probability(problem.expertise[i][j],
-                                               options.epsilon);
-      }
-    }
+    // p_ij matrix: one contiguous row-major buffer (cache-friendly for the
+    // per-task column scans below); cells are independent, so the build
+    // fans out over the parallel runtime.
+    p_.assign(n * m, 0.0);
+    parallel::parallel_for(n * m, 4096, [&](std::size_t cell) {
+      const UserId i = cell / m;
+      const TaskId j = cell % m;
+      p_[cell] = stats::accuracy_probability(problem.expertise[i][j],
+                                             options.epsilon);
+    });
     remaining_.resize(n);
     for (UserId i = 0; i < n; ++i) {
       remaining_[i] = problem.user_capacity[i] - allocation.used_time(i);
     }
     miss_.assign(m, 1.0);
     for (TaskId j = 0; j < m; ++j) {
-      for (const UserId i : allocation.users_of(j)) miss_[j] *= 1.0 - p_[i][j];
+      for (const UserId i : allocation.users_of(j)) miss_[j] *= 1.0 - p(i, j);
     }
     best_eff_.assign(m, 0.0);
     best_user_.assign(m, n);
@@ -43,7 +49,7 @@ class GreedyState {
   [[nodiscard]] double efficiency(UserId i, TaskId j) const {
     if (remaining_[i] < problem_.task_time[j]) return 0.0;
     if (allocation_.is_assigned(i, j)) return 0.0;
-    const double gain = p_[i][j] * miss_[j];
+    const double gain = p(i, j) * miss_[j];
     return options_.efficiency_per_time ? gain / problem_.task_time[j] : gain;
   }
 
@@ -80,7 +86,7 @@ class GreedyState {
   void select(UserId i, TaskId j, Allocation& allocation) {
     allocation.assign(i, j, problem_.task_time[j], problem_.cost_of(j));
     remaining_[i] -= problem_.task_time[j];
-    miss_[j] *= 1.0 - p_[i][j];
+    miss_[j] *= 1.0 - p(i, j);
     rescan_task(j);
     // Other tasks' cached best may reference user i, whose remaining
     // capacity shrank (or which is now assigned to j only — irrelevant for
@@ -94,10 +100,13 @@ class GreedyState {
   }
 
  private:
+  [[nodiscard]] double p(UserId i, TaskId j) const { return p_[i * m_ + j]; }
+
   const AllocationProblem& problem_;
   const GreedyOptions& options_;
   const Allocation& allocation_;
-  std::vector<std::vector<double>> p_;
+  std::size_t m_;                // task count (row stride of p_)
+  std::vector<double> p_;        // row-major n × m accuracy probabilities
   std::vector<double> remaining_;
   std::vector<double> miss_;
   std::vector<double> best_eff_;

@@ -1,8 +1,10 @@
 #include "alloc/min_cost.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "stats/confidence.h"
 #include "stats/normal.h"
 
@@ -91,16 +93,24 @@ MinCostAllocator::Result MinCostAllocator::run(
         mle.estimate(result.observations, task_domain, domain_count, expertise);
 
     // --- Probabilistic quality check per task (Eq. 24). ---
+    // The per-task information sums are independent reads of the truth
+    // estimate (the analogue of the p_ij build in GreedyState); compute
+    // them in parallel, then apply pass/fail decisions serially.
+    std::vector<double> info(m, 0.0);
+    parallel::parallel_for(m, 64, [&](TaskId j) {
+      if (task_passed[j]) return;
+      const truth::DomainIndex k = task_domain[j];
+      double sum = 0.0;
+      for (const UserId i : result.allocation.users_of(j)) {
+        const double u = result.truth.expertise[i][k];
+        sum += u * u;
+      }
+      info[j] = sum;
+    });
     bool pass = true;
     for (TaskId j = 0; j < m; ++j) {
       if (task_passed[j]) continue;
-      double info = 0.0;
-      const truth::DomainIndex k = task_domain[j];
-      for (const UserId i : result.allocation.users_of(j)) {
-        const double u = result.truth.expertise[i][k];
-        info += u * u;
-      }
-      if (info > required_info) {
+      if (info[j] > required_info) {
         task_passed[j] = true;
         for (UserId i = 0; i < n; ++i) working.expertise[i][j] = 0.0;
       } else {

@@ -10,16 +10,27 @@
 
 #include "clustering/linkage.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "text/pairword.h"
 
 namespace eta2::clustering {
 
-DynamicClusterer::DynamicClusterer(double gamma) : gamma_(gamma) {
-  require(gamma >= 0.0 && gamma <= 1.0, "DynamicClusterer: gamma in [0,1]");
+SymmetricMatrix pairwise_task_distances(
+    std::span<const text::Embedding> points) {
+  const std::size_t n = points.size();
+  SymmetricMatrix dist(n);
+  // Row i holds cells (i, j) for j < i — disjoint writes per row. Small
+  // grain: row cost grows with i, so many chunks keep the lanes balanced.
+  parallel::parallel_for(n, 8, [&](std::size_t i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      dist.set_unchecked(i, j, text::task_distance(points[i], points[j]));
+    }
+  });
+  return dist;
 }
 
-std::size_t DynamicClusterer::domain_count() const {
-  return live_domains().size();
+DynamicClusterer::DynamicClusterer(double gamma) : gamma_(gamma) {
+  require(gamma >= 0.0 && gamma <= 1.0, "DynamicClusterer: gamma in [0,1]");
 }
 
 DomainId DynamicClusterer::domain_of(std::size_t task_index) const {
@@ -28,9 +39,12 @@ DomainId DynamicClusterer::domain_of(std::size_t task_index) const {
   return point_domain_[task_index];
 }
 
-std::vector<DomainId> DynamicClusterer::live_domains() const {
-  std::set<DomainId> ids(point_domain_.begin(), point_domain_.end());
-  return {ids.begin(), ids.end()};
+void DynamicClusterer::rebuild_live_domains() {
+  live_domains_.assign(point_domain_.begin(), point_domain_.end());
+  std::sort(live_domains_.begin(), live_domains_.end());
+  live_domains_.erase(
+      std::unique(live_domains_.begin(), live_domains_.end()),
+      live_domains_.end());
 }
 
 void DynamicClusterer::save(std::ostream& out) const {
@@ -87,6 +101,7 @@ DynamicClusterer DynamicClusterer::load(std::istream& in) {
     clusterer.points_.push_back(std::move(vec));
     clusterer.point_domain_.push_back(domain);
   }
+  clusterer.rebuild_live_domains();
   return clusterer;
 }
 
@@ -106,12 +121,22 @@ ClusterUpdate DynamicClusterer::add_tasks(
   const std::size_t total = points_.size();
   point_domain_.resize(total, 0);
 
-  // Update d* with the new pairwise distances (new-vs-all).
-  for (std::size_t i = old_count; i < total; ++i) {
-    for (std::size_t j = 0; j < i; ++j) {
-      dstar_ = std::max(dstar_, text::task_distance(points_[i], points_[j]));
-    }
-  }
+  // Update d* with the new pairwise distances (new-vs-all). Max over fixed
+  // chunks combined in index order — bit-identical at any thread count.
+  const double batch_max = parallel::parallel_reduce(
+      total - old_count, 4, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double local = 0.0;
+        for (std::size_t t = begin; t < end; ++t) {
+          const std::size_t i = old_count + t;
+          for (std::size_t j = 0; j < i; ++j) {
+            local = std::max(local, text::task_distance(points_[i], points_[j]));
+          }
+        }
+        return local;
+      },
+      [](double a, double b) { return std::max(a, b); });
+  dstar_ = std::max(dstar_, batch_max);
   const double threshold = gamma_ * dstar_;
 
   // Units for this round: one unit per existing live domain, plus one
@@ -138,21 +163,28 @@ ClusterUpdate DynamicClusterer::add_tasks(
   const std::size_t n_units = unit_members.size();
 
   // Average pairwise distance between units.
-  SymmetricMatrix dist(n_units);
   std::vector<double> sizes(n_units, 0.0);
   for (std::size_t u = 0; u < n_units; ++u) {
     sizes[u] = static_cast<double>(unit_members[u].size());
   }
-  for (std::size_t u = 1; u < n_units; ++u) {
-    for (std::size_t v = 0; v < u; ++v) {
-      double sum = 0.0;
-      for (const std::size_t p : unit_members[u]) {
-        for (const std::size_t q : unit_members[v]) {
-          sum += text::task_distance(points_[p], points_[q]);
+  SymmetricMatrix dist(n_units);
+  if (existing_units == 0) {
+    // Warm-up round: every unit is the singleton {p} with p == u, so the
+    // unit matrix IS the pairwise task-distance matrix (sum/1.0 bitwise).
+    dist = pairwise_task_distances(points_);
+  } else {
+    // Rows are disjoint; each cell averages its members independently.
+    parallel::parallel_for(n_units, 4, [&](std::size_t u) {
+      for (std::size_t v = 0; v < u; ++v) {
+        double sum = 0.0;
+        for (const std::size_t p : unit_members[u]) {
+          for (const std::size_t q : unit_members[v]) {
+            sum += text::task_distance(points_[p], points_[q]);
+          }
         }
+        dist.set_unchecked(u, v, sum / (sizes[u] * sizes[v]));
       }
-      dist.set(u, v, sum / (sizes[u] * sizes[v]));
-    }
+    });
   }
 
   const auto dendrogram = upgma_dendrogram(dist, sizes);
@@ -196,6 +228,14 @@ ClusterUpdate DynamicClusterer::add_tasks(
     const DomainId d = label_domain[labels[u]];
     for (const std::size_t p : unit_members[u]) point_domain_[p] = d;
   }
+  // Refresh the live list from this round's cluster→domain map (every final
+  // cluster is non-empty, so these ids are exactly the live set) instead of
+  // re-scanning every point.
+  live_domains_ = label_domain;
+  std::sort(live_domains_.begin(), live_domains_.end());
+  live_domains_.erase(
+      std::unique(live_domains_.begin(), live_domains_.end()),
+      live_domains_.end());
   update.assignments.reserve(total - old_count);
   for (std::size_t p = old_count; p < total; ++p) {
     update.assignments.push_back(point_domain_[p]);

@@ -17,11 +17,19 @@
 #include <span>
 #include <vector>
 
+#include "clustering/linkage.h"
 #include "text/embedding.h"
 
 namespace eta2::clustering {
 
 using DomainId = std::uint32_t;
+
+// Pairwise task-distance matrix (paper Eq. 2) over a set of semantic
+// vectors. Rows are built on the parallel runtime; each cell is a pure
+// function of its two points, so the result is bit-identical to a serial
+// build for every thread count.
+[[nodiscard]] SymmetricMatrix pairwise_task_distances(
+    std::span<const text::Embedding> points);
 
 struct DomainMerge {
   DomainId kept = 0;
@@ -47,22 +55,30 @@ class DynamicClusterer {
   [[nodiscard]] double gamma() const { return gamma_; }
   [[nodiscard]] double dstar() const { return dstar_; }
   [[nodiscard]] std::size_t task_count() const { return points_.size(); }
-  // Number of currently live domains.
-  [[nodiscard]] std::size_t domain_count() const;
+  // Number of currently live domains. O(1): the live list is maintained
+  // incrementally as batches are added.
+  [[nodiscard]] std::size_t domain_count() const { return live_domains_.size(); }
   // Domain of the idx-th task ever added (insertion order).
   [[nodiscard]] DomainId domain_of(std::size_t task_index) const;
   // All live domain ids, ascending.
-  [[nodiscard]] std::vector<DomainId> live_domains() const;
+  [[nodiscard]] const std::vector<DomainId>& live_domains() const {
+    return live_domains_;
+  }
 
   // State persistence (points, labels, d*, id counter) as a text block.
   void save(std::ostream& out) const;
   [[nodiscard]] static DynamicClusterer load(std::istream& in);
 
  private:
+  void rebuild_live_domains();
+
   double gamma_;
   double dstar_ = 0.0;
   std::vector<text::Embedding> points_;
   std::vector<DomainId> point_domain_;
+  // Sorted-unique live domain ids, refreshed once per add_tasks round (and
+  // on load) rather than rebuilt from every point on each query.
+  std::vector<DomainId> live_domains_;
   DomainId next_domain_ = 0;
 };
 

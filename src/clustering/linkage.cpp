@@ -15,9 +15,7 @@ SymmetricMatrix::SymmetricMatrix(std::size_t n)
 
 std::size_t SymmetricMatrix::index(std::size_t i, std::size_t j) const {
   require(i < n_ && j < n_ && i != j, "SymmetricMatrix: bad index");
-  if (i < j) std::swap(i, j);
-  // Lower triangle, row i (i >= 1), column j < i.
-  return i * (i - 1) / 2 + j;
+  return index_unchecked(i, j);
 }
 
 double SymmetricMatrix::at(std::size_t i, std::size_t j) const {
@@ -52,6 +50,8 @@ std::vector<MergeStep> upgma_dendrogram(const SymmetricMatrix& distances,
   std::vector<std::size_t> chain;
   chain.reserve(n);
 
+  // All slot indices below stay < n and merges never compare a slot with
+  // itself, so the shape validation above licenses the unchecked accessors.
   auto nearest_active = [&](std::size_t slot, std::size_t exclude,
                             bool has_exclude) -> std::size_t {
     std::size_t best = n;
@@ -59,7 +59,7 @@ std::vector<MergeStep> upgma_dendrogram(const SymmetricMatrix& distances,
     for (std::size_t other = 0; other < n; ++other) {
       if (!active[other] || other == slot) continue;
       if (has_exclude && other == exclude) continue;
-      const double d = dist.at(slot, other);
+      const double d = dist.at_unchecked(slot, other);
       if (d < best_dist) {
         best_dist = d;
         best = other;
@@ -87,7 +87,9 @@ std::vector<MergeStep> upgma_dendrogram(const SymmetricMatrix& distances,
       std::size_t nn = nearest_active(tip, prev, has_prev);
       // Prefer the chain predecessor on ties so mutual pairs terminate.
       if (has_prev && nn != n) {
-        if (dist.at(tip, prev) <= dist.at(tip, nn)) nn = prev;
+        if (dist.at_unchecked(tip, prev) <= dist.at_unchecked(tip, nn)) {
+          nn = prev;
+        }
       } else if (has_prev && nn == n) {
         nn = prev;
       }
@@ -96,7 +98,7 @@ std::vector<MergeStep> upgma_dendrogram(const SymmetricMatrix& distances,
         // Mutual nearest neighbors: merge tip and prev.
         const std::size_t a = prev;
         const std::size_t b = tip;
-        const double d = dist.at(a, b);
+        const double d = dist.at_unchecked(a, b);
         steps.push_back(MergeStep{std::min(label[a], label[b]),
                                   std::max(label[a], label[b]), d});
         // Lance-Williams update for average linkage into slot a.
@@ -104,9 +106,10 @@ std::vector<MergeStep> upgma_dendrogram(const SymmetricMatrix& distances,
         const double sb = sizes[b];
         for (std::size_t other = 0; other < n; ++other) {
           if (!active[other] || other == a || other == b) continue;
-          const double updated =
-              (sa * dist.at(a, other) + sb * dist.at(b, other)) / (sa + sb);
-          dist.set(a, other, updated);
+          const double updated = (sa * dist.at_unchecked(a, other) +
+                                  sb * dist.at_unchecked(b, other)) /
+                                 (sa + sb);
+          dist.set_unchecked(a, other, updated);
         }
         sizes[a] = sa + sb;
         active[b] = false;

@@ -11,6 +11,7 @@
 #define ETA2_CLUSTERING_LINKAGE_H
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace eta2::clustering {
@@ -24,7 +25,23 @@ class SymmetricMatrix {
   [[nodiscard]] double at(std::size_t i, std::size_t j) const;
   void set(std::size_t i, std::size_t j, double value);
 
+  // Unchecked variants for validated hot loops (NN-chain inner loops, bulk
+  // matrix construction). Preconditions: i, j < size() and i != j — callers
+  // must have established them up front; violations are undefined behavior.
+  [[nodiscard]] double at_unchecked(std::size_t i, std::size_t j) const {
+    return data_[index_unchecked(i, j)];
+  }
+  void set_unchecked(std::size_t i, std::size_t j, double value) {
+    data_[index_unchecked(i, j)] = value;
+  }
+
  private:
+  [[nodiscard]] static std::size_t index_unchecked(std::size_t i,
+                                                   std::size_t j) {
+    if (i < j) std::swap(i, j);
+    // Lower triangle, row i (i >= 1), column j < i.
+    return i * (i - 1) / 2 + j;
+  }
   [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const;
   std::size_t n_;
   std::vector<double> data_;

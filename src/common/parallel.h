@@ -1,0 +1,78 @@
+// Minimal parallel runtime for the ETA² hot paths: a process-wide thread
+// pool exposed through `parallel_for` / chunked `parallel_reduce`.
+//
+// Determinism contract: chunk boundaries are a pure function of (n, grain) —
+// never of the thread count — and reduction partials are combined in
+// ascending chunk order. Call sites keep per-index work a pure function of
+// the index (disjoint writes, no shared accumulation), so every result is
+// bit-identical to the serial fallback and across thread counts.
+//
+// Thread-count resolution order: set_thread_count() override, then the
+// ETA2_THREADS environment variable, then std::thread::hardware_concurrency.
+// Nested parallel regions run serially on the calling worker.
+#ifndef ETA2_COMMON_PARALLEL_H
+#define ETA2_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace eta2::parallel {
+
+// Number of lanes (calling thread included) parallel regions may use.
+[[nodiscard]] std::size_t thread_count();
+
+// Overrides the lane count for subsequent parallel regions; 0 restores
+// automatic resolution (ETA2_THREADS / hardware_concurrency). Must not be
+// called from inside a parallel region.
+void set_thread_count(std::size_t n);
+
+// True while executing inside a parallel region (worker or caller).
+[[nodiscard]] bool in_parallel_region();
+
+// Default indices-per-chunk when a call site has no better estimate of the
+// per-index cost. Sites with heavy per-index work should pass a smaller
+// grain; sites with trivial work a larger one.
+inline constexpr std::size_t kDefaultGrain = 1024;
+
+// Runs body(begin, end) over disjoint chunks covering [0, n). Each chunk
+// spans `grain` indices (the final chunk may be short). Runs inline on the
+// calling thread when there is a single chunk, a single lane, or the caller
+// is already inside a parallel region. Exceptions thrown by `body` are
+// rethrown on the calling thread (first one wins).
+void parallel_for_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+// Element-wise convenience wrapper over parallel_for_chunks.
+template <typename Body>
+void parallel_for(std::size_t n, std::size_t grain, Body&& body) {
+  parallel_for_chunks(n, grain,
+                      [&body](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
+}
+
+// Chunked reduction: map(begin, end) produces one partial per chunk;
+// partials are folded with combine(acc, partial) in ascending chunk order
+// starting from `identity`. Because chunk boundaries depend only on
+// (n, grain), the result is bit-identical for every thread count.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(std::size_t n, std::size_t grain, T identity,
+                                Map&& map, Combine&& combine) {
+  if (n == 0) return identity;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = (n + g - 1) / g;
+  std::vector<T> partials(chunks);
+  parallel_for_chunks(n, g, [&](std::size_t begin, std::size_t end) {
+    partials[begin / g] = map(begin, end);
+  });
+  T acc = std::move(identity);
+  for (T& partial : partials) acc = combine(std::move(acc), std::move(partial));
+  return acc;
+}
+
+}  // namespace eta2::parallel
+
+#endif  // ETA2_COMMON_PARALLEL_H

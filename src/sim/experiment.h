@@ -25,8 +25,9 @@ struct SweepResult {
 };
 
 // Runs `seeds` simulations (seed = base_seed + s) and aggregates. Seeds are
-// independent, so they run on a small thread pool (bounded by the hardware
-// concurrency); results are identical to the sequential order.
+// independent, so they fan out over the shared parallel runtime (thread
+// count from ETA2_THREADS / parallel::set_thread_count, default hardware
+// concurrency); results are bit-identical to the sequential order.
 [[nodiscard]] SweepResult sweep_seeds(const DatasetFactory& factory,
                                       Method method, const SimOptions& options,
                                       int seeds, std::uint64_t base_seed = 1);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace eta2::truth {
 namespace {
@@ -31,9 +32,11 @@ void Eta2Mle::estimate_truth_only(
           "Eta2Mle: expertise rows != user count");
   mu.assign(m, kNaN);
   sigma.assign(m, kNaN);
-  for (TaskId j = 0; j < m; ++j) {
+  // Eq. 5 is independent per task (disjoint writes to mu[j]/sigma[j]), so
+  // tasks fan out over the parallel runtime bit-identically.
+  parallel::parallel_for(m, 128, [&](TaskId j) {
     const auto obs = data.for_task(j);
-    if (obs.empty()) continue;
+    if (obs.empty()) return;
     const DomainIndex k = task_domain[j];
     double num = 0.0;
     double den = 0.0;
@@ -52,7 +55,7 @@ void Eta2Mle::estimate_truth_only(
     mu[j] = mu_j;
     sigma[j] = std::max(options_.sigma_min,
                         std::sqrt(var_num / static_cast<double>(obs.size())));
-  }
+  });
 }
 
 MleResult Eta2Mle::estimate(
@@ -83,38 +86,66 @@ MleResult Eta2Mle::estimate(
     }
   }
 
+  // User-major index of the observations (CSR layout; tasks stay ascending
+  // within each user). This lets the Eq. 6 accumulation fan out over users
+  // (each user owns its accumulator row), while each (user, domain) cell
+  // still receives its contributions in the task order the serial task-major
+  // loop used — so the sums are bit-identical to serial at any thread count.
+  struct UserObs {
+    TaskId task = 0;
+    double value = 0.0;
+  };
+  std::vector<std::size_t> obs_offset(n + 1, 0);
+  std::vector<UserObs> user_obs(data.total_observations());
+  {
+    for (TaskId j = 0; j < m; ++j) {
+      for (const Observation& o : data.for_task(j)) ++obs_offset[o.user + 1];
+    }
+    for (UserId i = 0; i < n; ++i) obs_offset[i + 1] += obs_offset[i];
+    std::vector<std::size_t> cursor(obs_offset.begin(), obs_offset.end() - 1);
+    for (TaskId j = 0; j < m; ++j) {
+      for (const Observation& o : data.for_task(j)) {
+        user_obs[cursor[o.user]++] = UserObs{j, o.value};
+      }
+    }
+  }
+
   std::vector<double> prev_mu;
   estimate_truth_only(data, task_domain, result.expertise, result.mu,
                       result.sigma);
 
+  const double p = options_.prior_strength;
+  const double u0 = options_.initial_expertise;
+  // Flat row-major (user × domain) accumulators, reused across iterations.
+  std::vector<double> num(n * domain_count, 0.0);
+  std::vector<double> den(n * domain_count, 0.0);
+
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
     result.iterations = iter;
     // --- Eq. 6: expertise update given (μ, σ). ---
-    // Accumulate per (user, domain): N = #observations, D = Σ (x−μ)²/σ².
-    std::vector<std::vector<double>> num(n, std::vector<double>(domain_count, 0.0));
-    std::vector<std::vector<double>> den(n, std::vector<double>(domain_count, 0.0));
-    for (TaskId j = 0; j < m; ++j) {
-      const auto obs = data.for_task(j);
-      if (obs.empty()) continue;
-      const DomainIndex k = task_domain[j];
-      const double sigma_j = result.sigma[j];
-      for (const Observation& o : obs) {
-        const double e = (o.value - result.mu[j]) / sigma_j;
-        num[o.user][k] += 1.0;
-        den[o.user][k] += e * e;
+    // Accumulate per (user, domain): N = #observations, D = Σ (x−μ)²/σ²,
+    // then refresh each user's expertise row. One parallel region per user
+    // range; every lane writes only its users' rows.
+    std::fill(num.begin(), num.end(), 0.0);
+    std::fill(den.begin(), den.end(), 0.0);
+    parallel::parallel_for(n, 16, [&](UserId i) {
+      double* num_row = num.data() + i * domain_count;
+      double* den_row = den.data() + i * domain_count;
+      for (std::size_t t = obs_offset[i]; t < obs_offset[i + 1]; ++t) {
+        const TaskId j = user_obs[t].task;
+        const DomainIndex k = task_domain[j];
+        const double e = (user_obs[t].value - result.mu[j]) / result.sigma[j];
+        num_row[k] += 1.0;
+        den_row[k] += e * e;
       }
-    }
-    const double p = options_.prior_strength;
-    const double u0 = options_.initial_expertise;
-    for (UserId i = 0; i < n; ++i) {
       for (DomainIndex k = 0; k < domain_count; ++k) {
-        if (num[i][k] <= 0.0) continue;  // no data: keep current value
-        const double u = std::sqrt((num[i][k] + p) /
-                                   (den[i][k] + p / (u0 * u0) + options_.ridge));
+        if (num_row[k] <= 0.0) continue;  // no data: keep current value
+        const double u = std::sqrt(
+            (num_row[k] + p) / (den_row[k] + p / (u0 * u0) + options_.ridge));
         result.expertise[i][k] =
             std::clamp(u, options_.expertise_min, options_.expertise_max);
       }
-    }
+    });
 
     // --- Eq. 5: truth update given expertise. ---
     prev_mu = result.mu;
@@ -142,18 +173,19 @@ MleResult Eta2Mle::estimate(
   // Gauge anchoring: pin the mean expertise of observed pairs to
   // anchor_mean, rescaling σ consistently (σ/u is the identified quantity).
   if (options_.anchor_mean > 0.0) {
-    std::vector<std::vector<bool>> has_data(
-        n, std::vector<bool>(domain_count, false));
-    for (TaskId j = 0; j < m; ++j) {
-      for (const Observation& o : data.for_task(j)) {
-        has_data[o.user][task_domain[j]] = true;
+    std::vector<char> has_data(n * domain_count, 0);
+    parallel::parallel_for(n, 64, [&](UserId i) {
+      for (std::size_t t = obs_offset[i]; t < obs_offset[i + 1]; ++t) {
+        has_data[i * domain_count + task_domain[user_obs[t].task]] = 1;
       }
-    }
+    });
+    // Serial fold: the log-sum's addition order is part of the determinism
+    // contract (it fixes the gauge constant bit-for-bit).
     double log_sum = 0.0;
     std::size_t count = 0;
     for (UserId i = 0; i < n; ++i) {
       for (DomainIndex k = 0; k < domain_count; ++k) {
-        if (has_data[i][k]) {
+        if (has_data[i * domain_count + k]) {
           log_sum += std::log(result.expertise[i][k]);
           ++count;
         }
@@ -162,20 +194,20 @@ MleResult Eta2Mle::estimate(
     if (count > 0) {
       const double c = std::exp(log_sum / static_cast<double>(count)) /
                        options_.anchor_mean;
-      for (UserId i = 0; i < n; ++i) {
+      parallel::parallel_for(n, 64, [&](UserId i) {
         for (DomainIndex k = 0; k < domain_count; ++k) {
-          if (has_data[i][k]) {
+          if (has_data[i * domain_count + k]) {
             result.expertise[i][k] =
                 std::clamp(result.expertise[i][k] / c, options_.expertise_min,
                            options_.expertise_max);
           }
         }
-      }
-      for (TaskId j = 0; j < m; ++j) {
+      });
+      parallel::parallel_for(m, 1024, [&](TaskId j) {
         if (!std::isnan(result.sigma[j])) {
           result.sigma[j] = std::max(options_.sigma_min, result.sigma[j] / c);
         }
-      }
+      });
     }
   }
   return result;
