@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
       eta2::sim::SimOptions options = eta2::bench::default_options_with_embedder();
       v.mutate(options);
       const auto sweep = eta2::sim::sweep_seeds(
-          ds.factory, eta2::sim::Method::kEta2, options, env.seeds);
+          ds.factory, "eta2", options, env.seeds);
       table.add_row({v.label,
                      eta2::Table::format(sweep.overall_error.mean, 4),
                      std::isnan(sweep.expertise_mae.mean)

@@ -67,11 +67,9 @@ void print_banner(std::string_view binary, std::string_view reproduces,
               parallel::thread_count());
 }
 
-std::span<const sim::Method> comparison_methods() {
-  static const sim::Method kMethods[] = {
-      sim::Method::kEta2,        sim::Method::kHubsAuthorities,
-      sim::Method::kAverageLog,  sim::Method::kTruthFinder,
-      sim::Method::kVarianceEm,  sim::Method::kBaseline};
+std::span<const std::string_view> comparison_methods() {
+  static constexpr std::string_view kMethods[] = {
+      "eta2", "hubs", "avglog", "truthfinder", "em", "baseline"};
   return kMethods;
 }
 

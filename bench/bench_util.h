@@ -48,8 +48,9 @@ void print_banner(std::string_view binary, std::string_view reproduces,
                   const BenchEnv& env);
 
 // The comparison methods of §6.3 in the paper's presentation order, plus
-// the extra Gaussian-EM (CRH-style) baseline this library adds.
-[[nodiscard]] std::span<const sim::Method> comparison_methods();
+// the extra Gaussian-EM (CRH-style) baseline this library adds. Names are
+// sim::method_registry keys.
+[[nodiscard]] std::span<const std::string_view> comparison_methods();
 
 }  // namespace eta2::bench
 

@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
     const eta2::sim::SimOptions options;
     std::vector<double> row = {fraction};
     for (const auto method :
-         {eta2::sim::Method::kEta2, eta2::sim::Method::kVarianceEm,
-          eta2::sim::Method::kMedian, eta2::sim::Method::kBaseline}) {
+         {"eta2", "em",
+          "median", "baseline"}) {
       row.push_back(eta2::sim::sweep_seeds(factory, method, options, env.seeds)
                         .overall_error.mean);
     }

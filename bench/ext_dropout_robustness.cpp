@@ -21,9 +21,9 @@ int main(int argc, char** argv) {
     options.response_rate = rate;
     const auto factory = eta2::bench::synthetic_factory(env);
     const auto eta2_run = eta2::sim::sweep_seeds(
-        factory, eta2::sim::Method::kEta2, options, env.seeds);
+        factory, "eta2", options, env.seeds);
     const auto baseline_run = eta2::sim::sweep_seeds(
-        factory, eta2::sim::Method::kBaseline, options, env.seeds);
+        factory, "baseline", options, env.seeds);
     table.add_numeric_row({rate, eta2_run.overall_error.mean,
                            baseline_run.overall_error.mean});
   }

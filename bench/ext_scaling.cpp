@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     const eta2::sim::SimOptions sim_options;
     const auto start = std::chrono::steady_clock::now();
     const auto result =
-        eta2::sim::simulate(dataset, eta2::sim::Method::kEta2, sim_options, 1);
+        eta2::sim::simulate(dataset, "eta2", sim_options, 1);
     const auto stop = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(stop - start).count();

@@ -28,7 +28,7 @@ void sweep_textual(const char* name, const eta2::sim::DatasetFactory& factory,
       eta2::sim::SimOptions options = eta2::bench::default_options_with_embedder();
       options.config.alpha = a;
       options.config.gamma = g;
-      const auto sweep = eta2::sim::sweep_seeds(factory, eta2::sim::Method::kEta2,
+      const auto sweep = eta2::sim::sweep_seeds(factory, "eta2",
                                                 options, env.seeds);
       row.push_back(eta2::Table::format(sweep.overall_error.mean, 4));
       if (sweep.overall_error.mean < best) {
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     options.config.alpha = a;
     const auto sweep =
         eta2::sim::sweep_seeds(eta2::bench::synthetic_factory(env),
-                               eta2::sim::Method::kEta2, options, env.seeds);
+                               "eta2", options, env.seeds);
     table.add_numeric_row({a, sweep.overall_error.mean});
     if (sweep.overall_error.mean < best) {
       best = sweep.overall_error.mean;

@@ -26,7 +26,7 @@ void run_dataset(const char* name, const eta2::sim::DatasetFactory& factory,
     }
     row.push_back(eta2::Table::format(sweep.overall_error.mean, 4));
     table.add_row(std::move(row));
-    if (method == eta2::sim::Method::kEta2) {
+    if (method == "eta2") {
       eta2_error = sweep.overall_error.mean;
     } else {
       best_other = std::min(best_other, sweep.overall_error.mean);

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   for (const double fraction : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
     const auto sweep = eta2::sim::sweep_seeds(
         eta2::bench::synthetic_factory(env, 12.0, fraction),
-        eta2::sim::Method::kEta2, options, env.seeds);
+        "eta2", options, env.seeds);
     table.add_numeric_row(
         {fraction, sweep.overall_error.mean, sweep.overall_error.stderr_});
   }

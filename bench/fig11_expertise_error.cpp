@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   for (const double tau : {6.0, 9.0, 12.0, 15.0, 18.0, 24.0}) {
     const auto sweep =
         eta2::sim::sweep_seeds(eta2::bench::synthetic_factory(env, tau),
-                               eta2::sim::Method::kEta2, options, env.seeds);
+                               "eta2", options, env.seeds);
     table.add_numeric_row(
         {tau, sweep.expertise_mae.mean, sweep.expertise_mae.stderr_});
   }

@@ -12,7 +12,7 @@ namespace {
 std::vector<double> iteration_samples(const eta2::sim::DatasetFactory& factory,
                                       const eta2::sim::SimOptions& options,
                                       const eta2::bench::BenchEnv& env) {
-  const auto sweep = eta2::sim::sweep_seeds(factory, eta2::sim::Method::kEta2,
+  const auto sweep = eta2::sim::sweep_seeds(factory, "eta2",
                                             options, env.seeds);
   std::vector<double> iters;
   iters.reserve(sweep.truth_iteration_log.size());

@@ -90,10 +90,8 @@ void BM_MaxQualityGreedy(benchmark::State& state) {
   const auto tasks = static_cast<std::size_t>(state.range(1));
   Rng rng(5);
   eta2::alloc::AllocationProblem p;
-  p.expertise.assign(users, std::vector<double>(tasks, 0.0));
-  for (auto& row : p.expertise) {
-    for (double& u : row) u = rng.uniform(0.1, 3.0);
-  }
+  p.expertise.assign(users, tasks);
+  for (double& u : p.expertise.data()) u = rng.uniform(0.1, 3.0);
   p.task_time.resize(tasks);
   for (double& t : p.task_time) t = rng.uniform(0.5, 1.5);
   p.user_capacity.assign(users, 12.0);
@@ -249,10 +247,8 @@ std::vector<Kernel> make_kernels(bool quick) {
     const std::size_t tasks = quick ? 200 : 600;
     Rng rng(5);
     auto problem = std::make_shared<eta2::alloc::AllocationProblem>();
-    problem->expertise.assign(users, std::vector<double>(tasks, 0.0));
-    for (auto& row : problem->expertise) {
-      for (double& u : row) u = rng.uniform(0.1, 3.0);
-    }
+    problem->expertise.assign(users, tasks);
+    for (double& u : problem->expertise.data()) u = rng.uniform(0.1, 3.0);
     problem->task_time.resize(tasks);
     for (double& t : problem->task_time) t = rng.uniform(0.5, 1.5);
     problem->user_capacity.assign(users, 12.0);
@@ -279,7 +275,7 @@ std::vector<Kernel> make_kernels(bool quick) {
         "sim_step", tasks, [dataset]() {
           const eta2::sim::SimOptions options;
           const auto result = eta2::sim::simulate(
-              *dataset, eta2::sim::Method::kEta2, options, 11);
+              *dataset, "eta2", options, 11);
           std::vector<double> signature{result.overall_error,
                                         result.total_cost};
           for (const auto& day : result.days) {

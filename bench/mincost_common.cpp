@@ -40,7 +40,7 @@ void run_dataset(const char* name, FactoryMaker make_factory,
       options.config.confidence_alpha = 0.05;
       options.config.cost_per_iteration = v.min_cost ? v.c_iter : 50.0;
       const auto method =
-          v.min_cost ? sim::Method::kEta2MinCost : sim::Method::kEta2;
+          v.min_cost ? "eta2-mc" : "eta2";
       const auto sweep =
           sim::sweep_seeds(make_factory(env, tau), method, options, env.seeds);
       row.push_back(Table::format(

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     o.mean_capacity = 10.0;
     return eta2::sim::make_synthetic(o, seed);
   };
-  const auto sweep = eta2::sim::sweep_seeds(factory, eta2::sim::Method::kEta2,
+  const auto sweep = eta2::sim::sweep_seeds(factory, "eta2",
                                             options, env.seeds);
   for (const auto& run : sweep.runs) {
     for (const auto& day : run.days) {

@@ -27,9 +27,9 @@ int main(int argc, char** argv) {
       flags.get_double("cost-per-iteration", 50.0);
 
   const auto max_quality =
-      eta2::sim::simulate(dataset, eta2::sim::Method::kEta2, options, seed);
+      eta2::sim::simulate(dataset, "eta2", options, seed);
   const auto min_cost = eta2::sim::simulate(
-      dataset, eta2::sim::Method::kEta2MinCost, options, seed);
+      dataset, "eta2-mc", options, seed);
 
   std::printf("%-10s %16s %16s %16s %16s\n", "day", "ETA2 error",
               "ETA2-mc error", "ETA2 cost", "ETA2-mc cost");

@@ -40,9 +40,9 @@ int main(int argc, char** argv) {
   options.embedder = eta2::sim::make_trained_embedder(seed);
 
   const auto run =
-      eta2::sim::simulate(dataset, eta2::sim::Method::kEta2, options, seed);
+      eta2::sim::simulate(dataset, "eta2", options, seed);
   const auto truthfinder = eta2::sim::simulate(
-      dataset, eta2::sim::Method::kTruthFinder, options, seed);
+      dataset, "truthfinder", options, seed);
 
   std::printf("\n%-6s %12s %14s\n", "day", "ETA2 error", "TruthFinder");
   for (std::size_t d = 0; d < run.days.size(); ++d) {

@@ -26,10 +26,10 @@ int main(int argc, char** argv) {
   eta2::sim::SimOptions options;
   options.embedder = eta2::sim::make_trained_embedder(seed);
 
-  const eta2::sim::Method methods[] = {
-      eta2::sim::Method::kEta2, eta2::sim::Method::kTruthFinder,
-      eta2::sim::Method::kAverageLog, eta2::sim::Method::kHubsAuthorities,
-      eta2::sim::Method::kBaseline};
+  const std::string_view methods[] = {
+      "eta2", "truthfinder",
+      "avglog", "hubs",
+      "baseline"};
 
   std::printf("\n%-24s %14s %12s\n", "method", "overall error", "cost");
   for (const auto method : methods) {

@@ -26,9 +26,9 @@ int main(int argc, char** argv) {
 
   eta2::sim::SimOptions options;  // defaults: γ=0.5, α=0.5, ε=0.1
   const auto eta2_run =
-      eta2::sim::simulate(dataset, eta2::sim::Method::kEta2, options, seed);
+      eta2::sim::simulate(dataset, "eta2", options, seed);
   const auto baseline_run =
-      eta2::sim::simulate(dataset, eta2::sim::Method::kBaseline, options, seed);
+      eta2::sim::simulate(dataset, "baseline", options, seed);
 
   std::printf("\n%-10s %12s %12s\n", "day", "ETA2 error", "Baseline");
   for (std::size_t d = 0; d < eta2_run.days.size(); ++d) {

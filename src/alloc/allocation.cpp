@@ -11,11 +11,10 @@ void AllocationProblem::validate() const {
   const std::size_t n = user_count();
   const std::size_t m = task_count();
   require(user_capacity.size() == n, "AllocationProblem: capacity size != n");
-  for (const auto& row : expertise) {
-    require(row.size() == m, "AllocationProblem: expertise row size != m");
-    for (const double u : row) {
-      require(u >= 0.0, "AllocationProblem: expertise must be >= 0");
-    }
+  require(expertise.cols() == m || (n == 0 && expertise.cols() == 0),
+          "AllocationProblem: expertise cols != m");
+  for (const double u : expertise.data()) {
+    require(u >= 0.0, "AllocationProblem: expertise must be >= 0");
   }
   for (const double t : task_time) {
     require(t > 0.0, "AllocationProblem: task time must be > 0");
@@ -66,7 +65,7 @@ double task_success_probability(const AllocationProblem& problem,
   double miss = 1.0;
   for (const UserId i : allocation.users_of(task)) {
     const double p_ij =
-        stats::accuracy_probability(problem.expertise[i][task], epsilon);
+        stats::accuracy_probability(problem.expertise(i, task), epsilon);
     miss *= 1.0 - p_ij;
   }
   return 1.0 - miss;

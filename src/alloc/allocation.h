@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "common/matrix.h"
+
 namespace eta2::alloc {
 
 using UserId = std::size_t;
@@ -14,16 +16,18 @@ using TaskId = std::size_t;
 
 // One allocation round's inputs.
 //
-// `expertise[i][j]` is u_ij: user i's (estimated) expertise in task j's
+// `expertise(i, j)` is u_ij: user i's (estimated) expertise in task j's
 // domain — the allocator does not care about domains directly, the caller
-// expands domain expertise into per-task columns.
+// expands domain expertise into per-task columns. The matrix is a single
+// contiguous row-major buffer (the step data plane), so allocators can scan
+// rows and the full n·m cell range without pointer chasing.
 struct AllocationProblem {
-  std::vector<std::vector<double>> expertise;  // n x m, u_ij >= 0
+  Matrix expertise;                            // n x m, u_ij >= 0
   std::vector<double> task_time;               // t_j > 0, per task
   std::vector<double> user_capacity;           // T_i >= 0, per user
   std::vector<double> task_cost;               // c_j >= 0; empty => all 1.0
 
-  [[nodiscard]] std::size_t user_count() const { return expertise.size(); }
+  [[nodiscard]] std::size_t user_count() const { return expertise.rows(); }
   [[nodiscard]] std::size_t task_count() const { return task_time.size(); }
   [[nodiscard]] double cost_of(TaskId j) const {
     return task_cost.empty() ? 1.0 : task_cost[j];

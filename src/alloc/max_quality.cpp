@@ -25,12 +25,12 @@ class GreedyState {
     // p_ij matrix: one contiguous row-major buffer (cache-friendly for the
     // per-task column scans below); cells are independent, so the build
     // fans out over the parallel runtime.
+    // The expertise matrix is already row-major n × m, so the p_ij build is
+    // a straight cell-for-cell map over the contiguous buffer.
     p_.assign(n * m, 0.0);
+    const std::span<const double> expertise = problem.expertise.data();
     parallel::parallel_for(n * m, 4096, [&](std::size_t cell) {
-      const UserId i = cell / m;
-      const TaskId j = cell % m;
-      p_[cell] = stats::accuracy_probability(problem.expertise[i][j],
-                                             options.epsilon);
+      p_[cell] = stats::accuracy_probability(expertise[cell], options.epsilon);
     });
     remaining_.resize(n);
     for (UserId i = 0; i < n; ++i) {

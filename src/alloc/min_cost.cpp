@@ -112,7 +112,7 @@ MinCostAllocator::Result MinCostAllocator::run(
       if (task_passed[j]) continue;
       if (info[j] > required_info) {
         task_passed[j] = true;
-        for (UserId i = 0; i < n; ++i) working.expertise[i][j] = 0.0;
+        for (UserId i = 0; i < n; ++i) working.expertise(i, j) = 0.0;
       } else {
         pass = false;
       }

@@ -1,0 +1,85 @@
+// Dense row-major matrix of doubles — the contiguous data plane shared by
+// the pipeline stages (PR 1 flattened the allocator-internal p_ij buffer;
+// this promotes the same layout to the public AllocationProblem/StepContext
+// API). One allocation, cache-friendly row scans, spans instead of nested
+// vectors.
+#ifndef ETA2_COMMON_MATRIX_H
+#define ETA2_COMMON_MATRIX_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace eta2 {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  // Literal construction for tests/examples: {{1, 2}, {3, 4}}. Every row
+  // must have the same length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+      require(row.size() == cols_, "Matrix: ragged initializer rows");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  // From a nested vector (bridges older call sites; same ragged check).
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows) {
+    Matrix m;
+    m.rows_ = rows.size();
+    m.cols_ = m.rows_ == 0 ? 0 : rows.front().size();
+    m.data_.reserve(m.rows_ * m.cols_);
+    for (const auto& row : rows) {
+      require(row.size() == m.cols_, "Matrix::from_rows: ragged rows");
+      m.data_.insert(m.data_.end(), row.begin(), row.end());
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  void assign(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const double& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  // The full row-major buffer (size rows() * cols()).
+  [[nodiscard]] std::span<double> data() { return data_; }
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace eta2
+
+#endif  // ETA2_COMMON_MATRIX_H

@@ -1,0 +1,67 @@
+// Name-keyed factory registry — the backbone of the pluggable pipeline
+// stages (domain identifiers, allocation strategies, truth updaters, truth
+// methods). Strategies are selected by string name in configs/CLIs and
+// constructed through the registry, so adding a backend is: implement the
+// interface, register a factory, done — no enum or switch to extend.
+#ifndef ETA2_COMMON_REGISTRY_H
+#define ETA2_COMMON_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace eta2 {
+
+template <typename Interface, typename... Args>
+class Registry {
+ public:
+  using Factory = std::function<std::unique_ptr<Interface>(Args...)>;
+
+  // Registers `factory` under `name`; re-registering a taken name throws
+  // (catches accidental double registration early).
+  void add(std::string name, Factory factory) {
+    require(!name.empty(), "Registry::add: empty name");
+    const auto [it, inserted] =
+        factories_.emplace(std::move(name), std::move(factory));
+    require(inserted, "Registry::add: duplicate name '" + it->first + "'");
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return factories_.find(std::string(name)) != factories_.end();
+  }
+
+  // Registered names, sorted (std::map order) — for CLIs and error text.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) out.push_back(name);
+    return out;
+  }
+
+  // Constructs the strategy registered under `name`; unknown names throw
+  // std::invalid_argument listing every registered name.
+  [[nodiscard]] std::unique_ptr<Interface> make(std::string_view name,
+                                                Args... args) const {
+    const auto it = factories_.find(std::string(name));
+    if (it == factories_.end()) {
+      std::ostringstream msg;
+      msg << "unknown strategy '" << name << "'; known:";
+      for (const auto& [known, factory] : factories_) msg << ' ' << known;
+      throw std::invalid_argument(msg.str());
+    }
+    return it->second(args...);
+  }
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace eta2
+
+#endif  // ETA2_COMMON_REGISTRY_H

@@ -2,6 +2,9 @@
 #ifndef ETA2_CORE_CONFIG_H
 #define ETA2_CORE_CONFIG_H
 
+#include <cstddef>
+#include <string>
+
 #include "truth/eta2_mle.h"
 
 namespace eta2::core {
@@ -19,15 +22,60 @@ struct Eta2Config {
   bool half_approx_pass = true;
   // Use the pair-word <Query, Target> semantic vectors (paper §3.2). When
   // false, the whole description's content words form one phrase embedding
-  // (the ablation the pair-word design is measured against).
+  // (the ablation the pair-word design is measured against). Only consulted
+  // when `domain_identifier` is empty.
   bool use_pairword = true;
 
+  // --- staged pipeline: registry-keyed stage selection ---
+  // Each stage of the per-step loop (Fig. 1) is a named strategy resolved
+  // through core::domain_identifiers() / allocation_strategies() /
+  // truth_updaters(). Empty strings pick the paper defaults (for the
+  // allocator: derived from the legacy `use_min_cost` toggle below).
+  //
+  // Module 1, described tasks: "pairword-clustering" | "phrase-clustering"
+  // (tasks arriving with a known_domain label always resolve through the
+  // built-in known-label identifier first).
+  std::string domain_identifier;
+  // Module 3, post-warm-up: "max-quality" | "min-cost" | "random" |
+  // "reliability-greedy".
+  std::string allocator;
+  // Module 3, warm-up step (paper: random).
+  std::string warmup_allocator;
+  // Module 2, post-warm-up: "dynamic" (§4.2) | "warmup-mle".
+  std::string truth_updater;
+  // Module 2, warm-up step (paper: joint MLE bootstrap).
+  std::string warmup_truth_updater;
+  // Per-task observer cap for the random/reliability-greedy strategies
+  // (0 = unbounded). The paper's warm-up runs unbounded.
+  std::size_t max_users_per_task = 0;
+
   // --- min-cost allocation (ETA²-mc) ---
+  // Legacy toggle: picks "min-cost" as the default allocator when
+  // `allocator` is empty. Prefer naming the allocator directly.
   bool use_min_cost = false;
   double epsilon_bar = 0.5;        // quality requirement ε̄
   double confidence_alpha = 0.05;  // 1−α confidence level
   double cost_per_iteration = 50;  // c°
   int max_data_iterations = 100;
+
+  // Resolved stage names (the empty-string defaults applied).
+  [[nodiscard]] std::string resolved_domain_identifier() const {
+    if (!domain_identifier.empty()) return domain_identifier;
+    return use_pairword ? "pairword-clustering" : "phrase-clustering";
+  }
+  [[nodiscard]] std::string resolved_allocator() const {
+    if (!allocator.empty()) return allocator;
+    return use_min_cost ? "min-cost" : "max-quality";
+  }
+  [[nodiscard]] std::string resolved_warmup_allocator() const {
+    return warmup_allocator.empty() ? "random" : warmup_allocator;
+  }
+  [[nodiscard]] std::string resolved_truth_updater() const {
+    return truth_updater.empty() ? "dynamic" : truth_updater;
+  }
+  [[nodiscard]] std::string resolved_warmup_truth_updater() const {
+    return warmup_truth_updater.empty() ? "warmup-mle" : warmup_truth_updater;
+  }
 };
 
 }  // namespace eta2::core

@@ -1,0 +1,123 @@
+#include "core/domain_identifiers.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "text/pairword.h"
+#include "text/tokenizer.h"
+
+namespace eta2::core {
+
+void KnownLabelDomainIdentifier::identify(StepContext& ctx) {
+  require(ctx.store != nullptr, "KnownLabelDomainIdentifier: store required");
+  for (std::size_t idx = 0; idx < ctx.tasks.size(); ++idx) {
+    const NewTask& t = ctx.tasks[idx];
+    if (!handles(t)) continue;
+    const std::size_t external = *t.known_domain;
+    auto [it, inserted] = external_to_dense_.try_emplace(external, 0);
+    if (inserted) it->second = ctx.store->add_domain();
+    ctx.task_domains[idx] = it->second;
+  }
+}
+
+std::optional<truth::DomainIndex> KnownLabelDomainIdentifier::dense_of_external(
+    std::size_t external) const {
+  const auto it = external_to_dense_.find(external);
+  if (it == external_to_dense_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KnownLabelDomainIdentifier::save(std::ostream& out) const {
+  out << external_to_dense_.size() << '\n';
+  for (const auto& [external, dense] : external_to_dense_) {
+    out << external << ' ' << dense << '\n';
+  }
+}
+
+void KnownLabelDomainIdentifier::load(std::istream& in) {
+  external_to_dense_.clear();
+  std::size_t entries = 0;
+  require(static_cast<bool>(in >> entries),
+          "KnownLabelDomainIdentifier::load: bad external map");
+  for (std::size_t e = 0; e < entries; ++e) {
+    std::size_t external = 0;
+    truth::DomainIndex dense = 0;
+    require(static_cast<bool>(in >> external >> dense),
+            "KnownLabelDomainIdentifier::load: truncated external map");
+    external_to_dense_.emplace(external, dense);
+  }
+}
+
+ClusteringDomainIdentifier::ClusteringDomainIdentifier(double gamma,
+                                                       bool use_pairword)
+    : use_pairword_(use_pairword), clusterer_(gamma) {}
+
+void ClusteringDomainIdentifier::identify(StepContext& ctx) {
+  require(ctx.store != nullptr, "ClusteringDomainIdentifier: store required");
+
+  // Embed the claimed (described) tasks, in batch order.
+  std::vector<std::size_t> described_pos;
+  std::vector<text::Embedding> vectors;
+  for (std::size_t idx = 0; idx < ctx.tasks.size(); ++idx) {
+    const NewTask& t = ctx.tasks[idx];
+    if (!handles(t)) continue;
+    require(ctx.embedder != nullptr,
+            "Eta2Server: described tasks need an embedder");
+    described_pos.push_back(idx);
+    if (use_pairword_) {
+      vectors.push_back(text::semantic_vector(t.description, *ctx.embedder));
+    } else {
+      // Ablation: all content words as one phrase in the query block.
+      text::PairWord whole;
+      whole.query = text::content_words(t.description);
+      vectors.push_back(text::semantic_vector(whole, *ctx.embedder));
+    }
+  }
+  if (described_pos.empty()) return;
+
+  const clustering::ClusterUpdate update = clusterer_.add_tasks(vectors);
+  for (const clustering::DomainId id : update.new_domains) {
+    cluster_to_dense_.emplace(id, ctx.store->add_domain());
+  }
+  for (const clustering::DomainMerge& merge : update.merges) {
+    const auto kept = cluster_to_dense_.find(merge.kept);
+    const auto absorbed = cluster_to_dense_.find(merge.absorbed);
+    ensure(kept != cluster_to_dense_.end() &&
+               absorbed != cluster_to_dense_.end(),
+           "Eta2Server: merge references unknown cluster");
+    ctx.store->merge_domains(kept->second, absorbed->second);
+    cluster_to_dense_.erase(absorbed);
+  }
+  for (std::size_t k = 0; k < described_pos.size(); ++k) {
+    const auto it = cluster_to_dense_.find(update.assignments[k]);
+    ensure(it != cluster_to_dense_.end(),
+           "Eta2Server: assignment references unknown cluster");
+    ctx.task_domains[described_pos[k]] = it->second;
+  }
+}
+
+void ClusteringDomainIdentifier::save(std::ostream& out) const {
+  clusterer_.save(out);
+  out << cluster_to_dense_.size() << '\n';
+  for (const auto& [cluster, dense] : cluster_to_dense_) {
+    out << cluster << ' ' << dense << '\n';
+  }
+}
+
+void ClusteringDomainIdentifier::load(std::istream& in) {
+  clusterer_ = clustering::DynamicClusterer::load(in);
+  cluster_to_dense_.clear();
+  std::size_t entries = 0;
+  require(static_cast<bool>(in >> entries),
+          "ClusteringDomainIdentifier::load: bad cluster map");
+  for (std::size_t e = 0; e < entries; ++e) {
+    clustering::DomainId cluster = 0;
+    truth::DomainIndex dense = 0;
+    require(static_cast<bool>(in >> cluster >> dense),
+            "ClusteringDomainIdentifier::load: truncated cluster map");
+    cluster_to_dense_.emplace(cluster, dense);
+  }
+}
+
+}  // namespace eta2::core

@@ -1,0 +1,62 @@
+// Module-1 backends: the known-label passthrough and the pair-word /
+// whole-phrase dynamic-clustering identifiers (paper §3).
+#ifndef ETA2_CORE_DOMAIN_IDENTIFIERS_H
+#define ETA2_CORE_DOMAIN_IDENTIFIERS_H
+
+#include <map>
+#include <optional>
+
+#include "clustering/dynamic_clusterer.h"
+#include "core/stages.h"
+
+namespace eta2::core {
+
+// Tasks arriving with an external domain label (the synthetic dataset's
+// pre-known domains): maps each distinct external label to a dense store
+// domain, stable across steps.
+class KnownLabelDomainIdentifier final : public DomainIdentifier {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "known-label"; }
+  [[nodiscard]] bool handles(const NewTask& task) const override {
+    return task.known_domain.has_value();
+  }
+  void identify(StepContext& ctx) override;
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
+
+  // Dense index of an external label, if seen.
+  [[nodiscard]] std::optional<truth::DomainIndex> dense_of_external(
+      std::size_t external) const;
+
+ private:
+  std::map<std::size_t, truth::DomainIndex> external_to_dense_;
+};
+
+// Described tasks: embeds each description — as the pair-word <Query,
+// Target> semantic vector (paper §3.2) or the whole-description phrase
+// ablation — and feeds the batch through dynamic hierarchical clustering
+// (§3.3), creating and merging store domains as clusters evolve.
+class ClusteringDomainIdentifier final : public DomainIdentifier {
+ public:
+  // `use_pairword` false = the whole-phrase ablation.
+  ClusteringDomainIdentifier(double gamma, bool use_pairword);
+
+  [[nodiscard]] std::string_view name() const override {
+    return use_pairword_ ? "pairword-clustering" : "phrase-clustering";
+  }
+  [[nodiscard]] bool handles(const NewTask& task) const override {
+    return !task.known_domain.has_value();
+  }
+  void identify(StepContext& ctx) override;
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
+
+ private:
+  bool use_pairword_;
+  clustering::DynamicClusterer clusterer_;
+  std::map<clustering::DomainId, truth::DomainIndex> cluster_to_dense_;
+};
+
+}  // namespace eta2::core
+
+#endif  // ETA2_CORE_DOMAIN_IDENTIFIERS_H

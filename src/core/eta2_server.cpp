@@ -1,72 +1,50 @@
 #include "core/eta2_server.h"
 
-#include <algorithm>
 #include <istream>
-#include <numeric>
 #include <ostream>
+#include <string>
+#include <utility>
 
-#include "alloc/baseline_allocators.h"
-#include "alloc/max_quality.h"
-#include "alloc/min_cost.h"
 #include "common/error.h"
-#include "text/pairword.h"
-#include "text/tokenizer.h"
-#include "truth/observation.h"
+#include "core/strategy_registry.h"
 
 namespace eta2::core {
 
 Eta2Server::Eta2Server(std::size_t user_count, Eta2Config config,
                        std::shared_ptr<const text::Embedder> embedder)
-    : config_(config),
+    : config_(std::move(config)),
       embedder_(std::move(embedder)),
-      mle_(config.mle),
-      store_(user_count, config.mle),
-      clusterer_(config.gamma) {
+      mle_(config_.mle),
+      store_(user_count, config_.mle) {
   require(user_count >= 1, "Eta2Server: need at least one user");
   require(config_.gamma >= 0.0 && config_.gamma <= 1.0,
           "Eta2Server: gamma in [0,1]");
   require(config_.alpha >= 0.0 && config_.alpha <= 1.0,
           "Eta2Server: alpha in [0,1]");
   require(config_.epsilon > 0.0, "Eta2Server: epsilon > 0");
-}
-
-std::optional<truth::DomainIndex> Eta2Server::dense_of_external(
-    std::size_t external) const {
-  const auto it = external_to_dense_.find(external);
-  if (it == external_to_dense_.end()) return std::nullopt;
-  return it->second;
+  described_ =
+      make_domain_identifier(config_.resolved_domain_identifier(), config_);
+  warmup_allocator_ =
+      make_allocation_strategy(config_.resolved_warmup_allocator(), config_);
+  allocator_ = make_allocation_strategy(config_.resolved_allocator(), config_);
+  warmup_truth_ =
+      make_truth_updater(config_.resolved_warmup_truth_updater(), config_);
+  truth_updater_ = make_truth_updater(config_.resolved_truth_updater(), config_);
 }
 
 std::vector<std::size_t> Eta2Server::top_experts(truth::DomainIndex domain,
                                                  std::size_t k) const {
-  std::vector<std::size_t> users(user_count());
-  std::iota(users.begin(), users.end(), std::size_t{0});
-  const std::size_t take = std::min(k, users.size());
-  std::partial_sort(users.begin(),
-                    users.begin() + static_cast<std::ptrdiff_t>(take),
-                    users.end(), [&](std::size_t a, std::size_t b) {
-                      const double ua = store_.expertise(a, domain);
-                      const double ub = store_.expertise(b, domain);
-                      if (ua != ub) return ua > ub;
-                      return a < b;
-                    });
-  users.resize(take);
-  return users;
+  const std::span<const truth::UserId> experts = store_.top_experts(domain, k);
+  return {experts.begin(), experts.end()};
 }
 
 void Eta2Server::save(std::ostream& out) const {
   out << "eta2-server v1\n";
   out << (warmed_up_ ? 1 : 0) << '\n';
   store_.save(out);
-  clusterer_.save(out);
-  out << cluster_to_dense_.size() << '\n';
-  for (const auto& [cluster, dense] : cluster_to_dense_) {
-    out << cluster << ' ' << dense << '\n';
-  }
-  out << external_to_dense_.size() << '\n';
-  for (const auto& [external, dense] : external_to_dense_) {
-    out << external << ' ' << dense << '\n';
-  }
+  // Identifier slices in the v1 order: clustering state, then label map.
+  described_->save(out);
+  known_label_.save(out);
 }
 
 Eta2Server Eta2Server::load(std::istream& in, Eta2Config config,
@@ -81,85 +59,13 @@ Eta2Server Eta2Server::load(std::istream& in, Eta2Config config,
 
   truth::ExpertiseStore store = truth::ExpertiseStore::load(in, config.mle);
   require(store.user_count() >= 1, "Eta2Server::load: empty store");
-  Eta2Server server(store.user_count(), config, std::move(embedder));
+  Eta2Server server(store.user_count(), std::move(config),
+                    std::move(embedder));
   server.warmed_up_ = warmed != 0;
   server.store_ = std::move(store);
-  server.clusterer_ = clustering::DynamicClusterer::load(in);
-
-  std::size_t cluster_entries = 0;
-  require(static_cast<bool>(in >> cluster_entries),
-          "Eta2Server::load: bad cluster map");
-  for (std::size_t e = 0; e < cluster_entries; ++e) {
-    clustering::DomainId cluster = 0;
-    truth::DomainIndex dense = 0;
-    require(static_cast<bool>(in >> cluster >> dense),
-            "Eta2Server::load: truncated cluster map");
-    server.cluster_to_dense_.emplace(cluster, dense);
-  }
-  std::size_t external_entries = 0;
-  require(static_cast<bool>(in >> external_entries),
-          "Eta2Server::load: bad external map");
-  for (std::size_t e = 0; e < external_entries; ++e) {
-    std::size_t external = 0;
-    truth::DomainIndex dense = 0;
-    require(static_cast<bool>(in >> external >> dense),
-            "Eta2Server::load: truncated external map");
-    server.external_to_dense_.emplace(external, dense);
-  }
+  server.described_->load(in);
+  server.known_label_.load(in);
   return server;
-}
-
-std::vector<truth::DomainIndex> Eta2Server::identify_domains(
-    std::span<const NewTask> tasks) {
-  std::vector<truth::DomainIndex> dense(tasks.size(), 0);
-
-  // Split the batch: pre-labeled tasks map straight to dense indices,
-  // described tasks go through pair-word + dynamic clustering.
-  std::vector<std::size_t> described_pos;
-  std::vector<text::Embedding> vectors;
-  for (std::size_t idx = 0; idx < tasks.size(); ++idx) {
-    const NewTask& t = tasks[idx];
-    if (t.known_domain.has_value()) {
-      const std::size_t external = *t.known_domain;
-      auto [it, inserted] = external_to_dense_.try_emplace(external, 0);
-      if (inserted) it->second = store_.add_domain();
-      dense[idx] = it->second;
-    } else {
-      require(embedder_ != nullptr,
-              "Eta2Server: described tasks need an embedder");
-      described_pos.push_back(idx);
-      if (config_.use_pairword) {
-        vectors.push_back(text::semantic_vector(t.description, *embedder_));
-      } else {
-        // Ablation: all content words as one phrase in the query block.
-        text::PairWord whole;
-        whole.query = text::content_words(t.description);
-        vectors.push_back(text::semantic_vector(whole, *embedder_));
-      }
-    }
-  }
-  if (described_pos.empty()) return dense;
-
-  const clustering::ClusterUpdate update = clusterer_.add_tasks(vectors);
-  for (const clustering::DomainId id : update.new_domains) {
-    cluster_to_dense_.emplace(id, store_.add_domain());
-  }
-  for (const clustering::DomainMerge& merge : update.merges) {
-    const auto kept = cluster_to_dense_.find(merge.kept);
-    const auto absorbed = cluster_to_dense_.find(merge.absorbed);
-    ensure(kept != cluster_to_dense_.end() &&
-               absorbed != cluster_to_dense_.end(),
-           "Eta2Server: merge references unknown cluster");
-    store_.merge_domains(kept->second, absorbed->second);
-    cluster_to_dense_.erase(absorbed);
-  }
-  for (std::size_t k = 0; k < described_pos.size(); ++k) {
-    const auto it = cluster_to_dense_.find(update.assignments[k]);
-    ensure(it != cluster_to_dense_.end(),
-           "Eta2Server: assignment references unknown cluster");
-    dense[described_pos[k]] = it->second;
-  }
-  return dense;
 }
 
 Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
@@ -174,11 +80,25 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
   result.allocation = alloc::Allocation(n, m);
   if (m == 0) return result;
 
-  // --- Module 1: identify task expertise domains. ---
-  result.task_domains = identify_domains(tasks);
+  StepContext ctx;
+  ctx.config = &config_;
+  ctx.store = &store_;
+  ctx.mle = &mle_;
+  ctx.embedder = embedder_.get();
+  ctx.rng = &rng;
+  ctx.collect = &collect;
+  ctx.tasks = tasks;
 
-  // Allocation problem shared by all strategies.
-  alloc::AllocationProblem problem;
+  // --- Module 1: identify task expertise domains. Labels resolve first in
+  // batch-scan order, then the described tasks cluster — the same dense
+  // numbering the original single-pass scan produced. ---
+  ctx.task_domains.assign(m, 0);
+  known_label_.identify(ctx);
+  described_->identify(ctx);
+  ctx.domain_count = store_.domain_count();
+
+  // --- Contiguous allocation plane shared by all strategies. ---
+  alloc::AllocationProblem& problem = ctx.problem;
   problem.task_time.reserve(m);
   problem.task_cost.reserve(m);
   for (const NewTask& t : tasks) {
@@ -187,84 +107,28 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
     problem.task_cost.push_back(t.cost);
   }
   problem.user_capacity.assign(user_capacity.begin(), user_capacity.end());
-  problem.expertise.assign(n, std::vector<double>(m, 0.0));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < m; ++j) {
-      problem.expertise[i][j] = store_.expertise(i, result.task_domains[j]);
-    }
+  store_.fill_task_expertise(ctx.task_domains, problem.expertise);
+
+  // --- Modules 3 + 2 through the configured stage pair. ---
+  result.warmup = !warmed_up_;
+  AllocationStrategy& allocate =
+      warmed_up_ ? *allocator_ : *warmup_allocator_;
+  TruthUpdater& update = warmed_up_ ? *truth_updater_ : *warmup_truth_;
+
+  allocate.allocate(ctx);
+  if (!allocate.collects_observations()) {
+    ctx.observations = truth::ObservationSet(n, m);
+    collect_observations(ctx.allocation, collect, ctx.observations);
   }
+  update.update(ctx);
+  warmed_up_ = true;
 
-  const std::size_t domain_count = store_.domain_count();
-
-  if (!warmed_up_) {
-    // --- Warm-up: random allocation, then full joint MLE to bootstrap the
-    // expertise store (paper §2.2). ---
-    result.warmup = true;
-    alloc::RandomAllocator random_alloc;
-    result.allocation = random_alloc.allocate(problem, rng);
-
-    truth::ObservationSet observations(n, m);
-    for (std::size_t j = 0; j < m; ++j) {
-      for (const std::size_t i : result.allocation.users_of(j)) {
-        if (const auto value = collect(j, i)) observations.add(j, i, *value);
-      }
-    }
-    const truth::MleResult mle_result =
-        mle_.estimate(observations, result.task_domains, domain_count);
-    result.truth = mle_result.mu;
-    result.sigma = mle_result.sigma;
-    result.mle_iterations = mle_result.iterations;
-    // Seed the accumulators from the warm-up fit (alpha=1: plain add).
-    const truth::Contributions contrib = truth::expertise_contributions(
-        observations, result.task_domains, mle_result.mu, mle_result.sigma, n,
-        domain_count);
-    store_.decay_and_accumulate(1.0, contrib.num, contrib.den);
-    if (config_.mle.anchor_mean > 0.0) store_.anchor(config_.mle.anchor_mean);
-    warmed_up_ = true;
-  } else if (config_.use_min_cost) {
-    // --- Module 3b: min-cost allocation (Algorithm 2). ---
-    alloc::MinCostAllocator::Options options;
-    options.epsilon = config_.epsilon;
-    options.epsilon_bar = config_.epsilon_bar;
-    options.confidence_alpha = config_.confidence_alpha;
-    options.cost_per_iteration = config_.cost_per_iteration;
-    options.max_data_iterations = config_.max_data_iterations;
-    options.half_approx_pass = config_.half_approx_pass;
-    alloc::MinCostAllocator allocator(options);
-    const auto mc = allocator.run(
-        problem, result.task_domains, domain_count, store_.snapshot(), mle_,
-        collect);
-    result.allocation = mc.allocation;
-    result.data_iterations = mc.data_iterations;
-    // Commit the collected data into the expertise store and report the
-    // dynamic-update truth estimates (§4.2).
-    const truth::DynamicUpdateResult update = truth::dynamic_update(
-        store_, mc.observations, result.task_domains, config_.alpha, mle_);
-    result.truth = update.mu;
-    result.sigma = update.sigma;
-    result.mle_iterations = update.iterations;
-  } else {
-    // --- Module 3a: max-quality allocation (Algorithm 1 + extra pass). ---
-    alloc::MaxQualityAllocator::Options options;
-    options.epsilon = config_.epsilon;
-    options.half_approx_pass = config_.half_approx_pass;
-    alloc::MaxQualityAllocator allocator(options);
-    result.allocation = allocator.allocate(problem);
-
-    truth::ObservationSet observations(n, m);
-    for (std::size_t j = 0; j < m; ++j) {
-      for (const std::size_t i : result.allocation.users_of(j)) {
-        if (const auto value = collect(j, i)) observations.add(j, i, *value);
-      }
-    }
-    // --- Module 2: expertise-aware truth analysis + dynamic update. ---
-    const truth::DynamicUpdateResult update = truth::dynamic_update(
-        store_, observations, result.task_domains, config_.alpha, mle_);
-    result.truth = update.mu;
-    result.sigma = update.sigma;
-    result.mle_iterations = update.iterations;
-  }
-
+  result.task_domains = std::move(ctx.task_domains);
+  result.allocation = std::move(ctx.allocation);
+  result.truth = std::move(ctx.truth);
+  result.sigma = std::move(ctx.sigma);
+  result.mle_iterations = ctx.mle_iterations;
+  result.data_iterations = ctx.data_iterations;
   result.cost = result.allocation.total_cost();
   return result;
 }

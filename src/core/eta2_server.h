@@ -1,54 +1,41 @@
-// The ETA² crowdsourcing server (the paper's primary contribution, Fig. 1).
+// The ETA² crowdsourcing server (the paper's primary contribution, Fig. 1),
+// as a thin composer over the staged pipeline:
 //
-// Per time step the server: (1) identifies the expertise domains of the new
-// tasks — by dynamic hierarchical clustering of their pair-word semantic
-// vectors, or from externally supplied labels when domains are pre-known;
-// (2) allocates the tasks to users — randomly during the warm-up step,
-// afterwards by max-quality (Algorithm 1 + ½-approx pass) or min-cost
-// (Algorithm 2) allocation driven by the learned expertise; (3) collects the
-// data through a caller-supplied callback; and (4) runs expertise-aware
-// truth analysis, updating the per-user expertise store with decay α.
+//   DomainIdentifier  — Module 1: known-label passthrough always runs first,
+//                       then the configured identifier (pair-word or
+//                       whole-phrase dynamic clustering) on described tasks;
+//   AllocationStrategy — Module 3: "random" during warm-up, afterwards the
+//                       configured strategy (max-quality Algorithm 1,
+//                       min-cost Algorithm 2, ...);
+//   TruthUpdater      — Module 2: joint-MLE bootstrap on the warm-up step,
+//                       afterwards the dynamic update with decay α.
 //
-// The server never sees ground truth; evaluation happens outside (sim/).
+// Stages are constructed by name through core/strategy_registry.h from the
+// resolved_* fields of Eta2Config; the per-step state flows through one
+// StepContext with a contiguous row-major expertise plane. The server never
+// sees ground truth; evaluation happens outside (sim/).
 #ifndef ETA2_CORE_ETA2_SERVER_H
 #define ETA2_CORE_ETA2_SERVER_H
 
-#include <functional>
 #include <iosfwd>
-#include <map>
 #include <memory>
 #include <optional>
 #include <span>
-#include <string>
 #include <vector>
 
-#include "alloc/allocation.h"
-#include "clustering/dynamic_clusterer.h"
-#include "common/rng.h"
 #include "core/config.h"
-#include "text/embedder.h"
-#include "truth/eta2_mle.h"
+#include "core/domain_identifiers.h"
+#include "core/stages.h"
+#include "core/step_context.h"
 #include "truth/expertise_store.h"
 
 namespace eta2::core {
 
 class Eta2Server {
  public:
-  struct NewTask {
-    // Textual description (domains unknown); ignored when `known_domain` is
-    // set (the synthetic dataset's pre-known labels).
-    std::string description;
-    std::optional<std::size_t> known_domain;
-    double processing_time = 1.0;
-    double cost = 1.0;
-  };
-
-  // Observation callback: value user `user` reports for the step's
-  // `local_task` (0-based within this step's batch); std::nullopt when the
-  // user never responds (dropped connection, abandoned task, ...) — the
-  // pipeline then simply proceeds without that observation.
-  using CollectFn =
-      std::function<std::optional<double>(std::size_t local_task, std::size_t user)>;
+  // Historical aliases — the batch types live with the pipeline now.
+  using NewTask = ::eta2::core::NewTask;
+  using CollectFn = ::eta2::core::CollectFn;
 
   struct StepResult {
     std::vector<double> truth;   // per new task (NaN if never observed)
@@ -57,11 +44,12 @@ class Eta2Server {
     double cost = 0.0;
     int mle_iterations = 0;      // truth-analysis iterations this step
     int data_iterations = 1;     // Algorithm 2 rounds (1 for max-quality)
-    bool warmup = false;         // true when random allocation was used
+    bool warmup = false;         // true when the warm-up stages were used
     std::vector<truth::DomainIndex> task_domains;  // dense index per task
   };
 
   // `embedder` may be null when every step supplies known_domain labels.
+  // Throws std::invalid_argument when the config names unknown strategies.
   Eta2Server(std::size_t user_count, Eta2Config config,
              std::shared_ptr<const text::Embedder> embedder);
 
@@ -78,9 +66,22 @@ class Eta2Server {
   [[nodiscard]] std::size_t user_count() const { return store_.user_count(); }
   [[nodiscard]] bool warmed_up() const { return warmed_up_; }
 
+  // The configured stages (post-warm-up ones for allocation/truth).
+  [[nodiscard]] const DomainIdentifier& domain_identifier() const {
+    return *described_;
+  }
+  [[nodiscard]] const AllocationStrategy& allocation_strategy() const {
+    return *allocator_;
+  }
+  [[nodiscard]] const TruthUpdater& truth_updater() const {
+    return *truth_updater_;
+  }
+
   // Dense domain index of an external (pre-known) domain label, if seen.
   [[nodiscard]] std::optional<truth::DomainIndex> dense_of_external(
-      std::size_t external) const;
+      std::size_t external) const {
+    return known_label_.dense_of_external(external);
+  }
 
   // The `k` users with the highest learned expertise in a dense domain
   // (ties broken by user id), most expert first.
@@ -88,27 +89,29 @@ class Eta2Server {
                                                      std::size_t k) const;
 
   // State persistence: everything learned so far (expertise accumulators,
-  // clustering state, domain maps, warm-up flag) as a text block. Config
-  // and embedder are supplied again at load time — persisting them is the
-  // caller's business (they may be code, not data).
+  // identifier state, warm-up flag) as a text block. Config and embedder
+  // are supplied again at load time — persisting them is the caller's
+  // business (they may be code, not data). Wire-compatible with the v1
+  // format of the pre-pipeline server.
   void save(std::ostream& out) const;
   [[nodiscard]] static Eta2Server load(
       std::istream& in, Eta2Config config,
       std::shared_ptr<const text::Embedder> embedder);
 
  private:
-  // Resolves the dense domain index of every task in the batch, creating
-  // store domains and applying merges as needed.
-  std::vector<truth::DomainIndex> identify_domains(
-      std::span<const NewTask> tasks);
-
   Eta2Config config_;
   std::shared_ptr<const text::Embedder> embedder_;
   truth::Eta2Mle mle_;
   truth::ExpertiseStore store_;
-  clustering::DynamicClusterer clusterer_;
-  std::map<clustering::DomainId, truth::DomainIndex> cluster_to_dense_;
-  std::map<std::size_t, truth::DomainIndex> external_to_dense_;
+  // Module 1: labels resolve through the built-in known-label identifier,
+  // described tasks through the configured one.
+  KnownLabelDomainIdentifier known_label_;
+  std::unique_ptr<DomainIdentifier> described_;
+  // Module 3 / Module 2 stage pairs (warm-up step vs. steady state).
+  std::unique_ptr<AllocationStrategy> warmup_allocator_;
+  std::unique_ptr<AllocationStrategy> allocator_;
+  std::unique_ptr<TruthUpdater> warmup_truth_;
+  std::unique_ptr<TruthUpdater> truth_updater_;
   bool warmed_up_ = false;
 };
 

@@ -1,0 +1,21 @@
+#include "core/step_context.h"
+
+#include "common/error.h"
+
+namespace eta2::core {
+
+void collect_observations(const alloc::Allocation& allocation,
+                          const CollectFn& collect, truth::ObservationSet& out,
+                          std::span<const std::size_t> task_ids) {
+  require(collect != nullptr, "collect_observations: callback required");
+  require(task_ids.empty() || task_ids.size() == allocation.task_count(),
+          "collect_observations: task_ids size mismatch");
+  for (std::size_t j = 0; j < allocation.task_count(); ++j) {
+    const std::size_t target = task_ids.empty() ? j : task_ids[j];
+    for (const std::size_t i : allocation.users_of(j)) {
+      if (const auto value = collect(j, i)) out.add(target, i, *value);
+    }
+  }
+}
+
+}  // namespace eta2::core

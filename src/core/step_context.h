@@ -1,0 +1,101 @@
+// The per-step data plane of the staged pipeline (Fig. 1 of the paper).
+//
+// One StepContext flows through the three stage interfaces per time step:
+//   DomainIdentifier  -> task_domains, domain_count          (Module 1)
+//   AllocationStrategy-> allocation (+ observations when the strategy
+//                        collects incrementally, e.g. min-cost)  (Module 3)
+//   TruthUpdater      -> truth, sigma, mle_iterations        (Module 2)
+// The expertise plane inside `problem` is a single contiguous row-major
+// matrix (n users x m tasks) shared by every stage — PR 1's flattening
+// promoted up through the public API.
+#ifndef ETA2_CORE_STEP_CONTEXT_H
+#define ETA2_CORE_STEP_CONTEXT_H
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "text/embedder.h"
+#include "truth/eta2_mle.h"
+#include "truth/expertise_store.h"
+#include "truth/observation.h"
+
+namespace eta2::core {
+
+// One incoming task of a time step's batch.
+struct NewTask {
+  // Textual description (domains unknown); ignored when `known_domain` is
+  // set (the synthetic dataset's pre-known labels).
+  std::string description;
+  std::optional<std::size_t> known_domain;
+  double processing_time = 1.0;
+  double cost = 1.0;
+};
+
+// Observation callback: value user `user` reports for the step's
+// `local_task` (0-based within this step's batch); std::nullopt when the
+// user never responds (dropped connection, abandoned task, ...) — the
+// pipeline then simply proceeds without that observation.
+using CollectFn =
+    std::function<std::optional<double>(std::size_t local_task, std::size_t user)>;
+
+// The batch state shared by the pipeline stages. Wiring pointers are
+// non-owning and set by the composer (Eta2Server, or the simulation's
+// baseline driver) before any stage runs; stages read what they need and
+// write their module's outputs.
+struct StepContext {
+  // --- wiring (non-owning; may be null when a stage does not need it) ---
+  const Eta2Config* config = nullptr;
+  truth::ExpertiseStore* store = nullptr;
+  const truth::Eta2Mle* mle = nullptr;
+  const text::Embedder* embedder = nullptr;
+  Rng* rng = nullptr;
+  const CollectFn* collect = nullptr;
+  // Per-user reliability scores for the baseline reliability-greedy
+  // strategy; empty = uniform.
+  std::span<const double> user_reliability;
+
+  // --- batch input ---
+  std::span<const NewTask> tasks;
+
+  // --- Module 1 outputs ---
+  std::vector<truth::DomainIndex> task_domains;  // dense index per task
+  std::size_t domain_count = 0;
+
+  // --- contiguous allocation plane (input to Module 3) ---
+  alloc::AllocationProblem problem;
+
+  // --- Module 3 outputs ---
+  alloc::Allocation allocation;
+  truth::ObservationSet observations{0, 0};
+  int data_iterations = 1;  // Algorithm 2 rounds (1 otherwise)
+
+  // --- Module 2 outputs ---
+  std::vector<double> truth;  // per task (NaN if never observed)
+  std::vector<double> sigma;  // per task
+  int mle_iterations = 0;
+
+  [[nodiscard]] std::size_t user_count() const {
+    return problem.user_capacity.size();
+  }
+  [[nodiscard]] std::size_t task_count() const { return tasks.size(); }
+};
+
+// The shared observation-collection loop (the Fig. 1 "sensing data" arrow):
+// asks `collect` once per allocated (task, user) pair, in task-major
+// allocation order, and records responses in `out`. When `task_ids` is
+// non-empty it maps the allocation's local task index j to the global task
+// id task_ids[j] in `out` (the multi-day drivers accumulate into a global
+// observation set).
+void collect_observations(const alloc::Allocation& allocation,
+                          const CollectFn& collect, truth::ObservationSet& out,
+                          std::span<const std::size_t> task_ids = {});
+
+}  // namespace eta2::core
+
+#endif  // ETA2_CORE_STEP_CONTEXT_H

@@ -1,0 +1,75 @@
+#include "core/strategy_registry.h"
+
+#include "core/allocation_strategies.h"
+#include "core/domain_identifiers.h"
+#include "core/truth_updaters.h"
+
+namespace eta2::core {
+
+Registry<DomainIdentifier, const Eta2Config&>& domain_identifiers() {
+  static Registry<DomainIdentifier, const Eta2Config&>* registry = [] {
+    auto* r = new Registry<DomainIdentifier, const Eta2Config&>();
+    r->add("known-label", [](const Eta2Config&) {
+      return std::make_unique<KnownLabelDomainIdentifier>();
+    });
+    r->add("pairword-clustering", [](const Eta2Config& c) {
+      return std::make_unique<ClusteringDomainIdentifier>(c.gamma, true);
+    });
+    r->add("phrase-clustering", [](const Eta2Config& c) {
+      return std::make_unique<ClusteringDomainIdentifier>(c.gamma, false);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Registry<AllocationStrategy, const Eta2Config&>& allocation_strategies() {
+  static Registry<AllocationStrategy, const Eta2Config&>* registry = [] {
+    auto* r = new Registry<AllocationStrategy, const Eta2Config&>();
+    r->add("random", [](const Eta2Config& c) {
+      return std::make_unique<RandomStrategy>(c);
+    });
+    r->add("max-quality", [](const Eta2Config& c) {
+      return std::make_unique<MaxQualityStrategy>(c);
+    });
+    r->add("min-cost", [](const Eta2Config& c) {
+      return std::make_unique<MinCostStrategy>(c);
+    });
+    r->add("reliability-greedy", [](const Eta2Config& c) {
+      return std::make_unique<ReliabilityGreedyStrategy>(c);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Registry<TruthUpdater, const Eta2Config&>& truth_updaters() {
+  static Registry<TruthUpdater, const Eta2Config&>* registry = [] {
+    auto* r = new Registry<TruthUpdater, const Eta2Config&>();
+    r->add("warmup-mle", [](const Eta2Config& c) {
+      return std::make_unique<WarmupJointMleUpdater>(c);
+    });
+    r->add("dynamic", [](const Eta2Config& c) {
+      return std::make_unique<DynamicTruthUpdater>(c);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<DomainIdentifier> make_domain_identifier(
+    std::string_view name, const Eta2Config& config) {
+  return domain_identifiers().make(name, config);
+}
+
+std::unique_ptr<AllocationStrategy> make_allocation_strategy(
+    std::string_view name, const Eta2Config& config) {
+  return allocation_strategies().make(name, config);
+}
+
+std::unique_ptr<TruthUpdater> make_truth_updater(std::string_view name,
+                                                 const Eta2Config& config) {
+  return truth_updaters().make(name, config);
+}
+
+}  // namespace eta2::core

@@ -1,0 +1,43 @@
+// Name-keyed registries for the three pipeline stage interfaces. Every
+// strategy the server, simulation layer, CLI, benches and examples use is
+// constructed through these — there is no enum or switch dispatch anywhere
+// else. Factories receive the Eta2Config so implementations can read their
+// knobs (ε, γ, α, c°, caps, ...).
+//
+// Built-ins:
+//   domain identifiers:    "known-label", "pairword-clustering",
+//                          "phrase-clustering"
+//   allocation strategies: "random", "max-quality", "min-cost",
+//                          "reliability-greedy"
+//   truth updaters:        "warmup-mle", "dynamic"
+// Register a custom backend at startup via the mutable registry references.
+#ifndef ETA2_CORE_STRATEGY_REGISTRY_H
+#define ETA2_CORE_STRATEGY_REGISTRY_H
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/registry.h"
+#include "core/stages.h"
+
+namespace eta2::core {
+
+[[nodiscard]] Registry<DomainIdentifier, const Eta2Config&>&
+domain_identifiers();
+[[nodiscard]] Registry<AllocationStrategy, const Eta2Config&>&
+allocation_strategies();
+[[nodiscard]] Registry<TruthUpdater, const Eta2Config&>& truth_updaters();
+
+// Convenience wrappers (throw std::invalid_argument for unknown names,
+// listing the registered ones).
+[[nodiscard]] std::unique_ptr<DomainIdentifier> make_domain_identifier(
+    std::string_view name, const Eta2Config& config);
+[[nodiscard]] std::unique_ptr<AllocationStrategy> make_allocation_strategy(
+    std::string_view name, const Eta2Config& config);
+[[nodiscard]] std::unique_ptr<TruthUpdater> make_truth_updater(
+    std::string_view name, const Eta2Config& config);
+
+}  // namespace eta2::core
+
+#endif  // ETA2_CORE_STRATEGY_REGISTRY_H

@@ -1,0 +1,42 @@
+#include "core/truth_updaters.h"
+
+#include "common/error.h"
+
+namespace eta2::core {
+
+WarmupJointMleUpdater::WarmupJointMleUpdater(const Eta2Config& config) {
+  (void)config;  // everything needed arrives through the StepContext
+}
+
+void WarmupJointMleUpdater::update(StepContext& ctx) {
+  require(ctx.store != nullptr && ctx.mle != nullptr && ctx.config != nullptr,
+          "WarmupJointMleUpdater: store, mle and config required");
+  const truth::MleResult fit =
+      ctx.mle->estimate(ctx.observations, ctx.task_domains, ctx.domain_count);
+  ctx.truth = fit.mu;
+  ctx.sigma = fit.sigma;
+  ctx.mle_iterations = fit.iterations;
+  // Seed the accumulators from the warm-up fit (alpha=1: plain add).
+  const truth::Contributions contrib = truth::expertise_contributions(
+      ctx.observations, ctx.task_domains, fit.mu, fit.sigma, ctx.user_count(),
+      ctx.domain_count);
+  ctx.store->decay_and_accumulate(1.0, contrib.num, contrib.den);
+  if (ctx.config->mle.anchor_mean > 0.0) {
+    ctx.store->anchor(ctx.config->mle.anchor_mean);
+  }
+}
+
+DynamicTruthUpdater::DynamicTruthUpdater(const Eta2Config& config)
+    : alpha_(config.alpha) {}
+
+void DynamicTruthUpdater::update(StepContext& ctx) {
+  require(ctx.store != nullptr && ctx.mle != nullptr,
+          "DynamicTruthUpdater: store and mle required");
+  const truth::DynamicUpdateResult result = truth::dynamic_update(
+      *ctx.store, ctx.observations, ctx.task_domains, alpha_, *ctx.mle);
+  ctx.truth = result.mu;
+  ctx.sigma = result.sigma;
+  ctx.mle_iterations = result.iterations;
+}
+
+}  // namespace eta2::core

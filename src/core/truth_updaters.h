@@ -1,0 +1,36 @@
+// Module-2 backends behind the TruthUpdater interface: the warm-up joint
+// MLE bootstrap (paper §2.2) and the incremental dynamic update with decay
+// α (paper §4.2). Registered in core/strategy_registry.cpp.
+#ifndef ETA2_CORE_TRUTH_UPDATERS_H
+#define ETA2_CORE_TRUTH_UPDATERS_H
+
+#include "core/stages.h"
+
+namespace eta2::core {
+
+// Full joint MLE over the step's observations, then seeds the expertise
+// accumulators from the fit (alpha = 1: plain add) and applies the gauge
+// anchor. The paper runs this once, on the warm-up step.
+class WarmupJointMleUpdater final : public TruthUpdater {
+ public:
+  explicit WarmupJointMleUpdater(const Eta2Config& config);
+  [[nodiscard]] std::string_view name() const override { return "warmup-mle"; }
+  void update(StepContext& ctx) override;
+};
+
+// Paper §4.2: iterate Eq. 5 truth estimation against candidate expertise
+// from α-decayed history plus the step's contributions until the truth
+// converges, then commit into the store.
+class DynamicTruthUpdater final : public TruthUpdater {
+ public:
+  explicit DynamicTruthUpdater(const Eta2Config& config);
+  [[nodiscard]] std::string_view name() const override { return "dynamic"; }
+  void update(StepContext& ctx) override;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace eta2::core
+
+#endif  // ETA2_CORE_TRUTH_UPDATERS_H

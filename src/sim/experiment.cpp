@@ -28,7 +28,7 @@ stats::MeanStderr summarize(const std::vector<double>& values) {
 
 }  // namespace
 
-SweepResult sweep_seeds(const DatasetFactory& factory, Method method,
+SweepResult sweep_seeds(const DatasetFactory& factory, std::string_view method,
                         const SimOptions& options, int seeds,
                         std::uint64_t base_seed) {
   require(seeds >= 1, "sweep_seeds: seeds >= 1");

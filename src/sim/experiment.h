@@ -29,8 +29,9 @@ struct SweepResult {
 // count from ETA2_THREADS / parallel::set_thread_count, default hardware
 // concurrency); results are bit-identical to the sequential order.
 [[nodiscard]] SweepResult sweep_seeds(const DatasetFactory& factory,
-                                      Method method, const SimOptions& options,
-                                      int seeds, std::uint64_t base_seed = 1);
+                                      std::string_view method,
+                                      const SimOptions& options, int seeds,
+                                      std::uint64_t base_seed = 1);
 
 // Trains a skip-gram embedder on the built-in synthetic corpus (the
 // Wikipedia stand-in). Deterministic per seed; the default arguments give

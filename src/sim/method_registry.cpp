@@ -1,0 +1,57 @@
+#include "sim/method_registry.h"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace eta2::sim {
+namespace {
+
+constexpr std::array<MethodSpec, 8> kMethods{{
+    {"eta2", "ETA2", true, "max-quality", ""},
+    {"eta2-mc", "ETA2-mc", true, "min-cost", ""},
+    {"hubs", "Hubs and Authorities", false, "reliability-greedy", "hubs"},
+    {"avglog", "Average-Log", false, "reliability-greedy", "avglog"},
+    {"truthfinder", "TruthFinder", false, "reliability-greedy", "truthfinder"},
+    {"em", "Gaussian EM", false, "reliability-greedy", "em"},
+    {"median", "Median", false, "random", "median"},
+    {"baseline", "Baseline", false, "random", "mean"},
+}};
+
+}  // namespace
+
+std::span<const MethodSpec> method_specs() { return kMethods; }
+
+std::span<const std::string_view> method_names() {
+  static const auto names = [] {
+    std::array<std::string_view, kMethods.size()> out{};
+    for (std::size_t i = 0; i < kMethods.size(); ++i) out[i] = kMethods[i].name;
+    return out;
+  }();
+  return names;
+}
+
+const MethodSpec& method_spec(std::string_view method) {
+  for (const MethodSpec& spec : kMethods) {
+    if (spec.name == method) return spec;
+  }
+  std::ostringstream msg;
+  msg << "unknown method '" << method << "'; known:";
+  for (const MethodSpec& spec : kMethods) msg << ' ' << spec.name;
+  throw std::invalid_argument(msg.str());
+}
+
+bool has_method(std::string_view method) {
+  for (const MethodSpec& spec : kMethods) {
+    if (spec.name == method) return true;
+  }
+  return false;
+}
+
+std::string_view method_name(std::string_view method) {
+  return method_spec(method).display_name;
+}
+
+bool is_eta2(std::string_view method) { return method_spec(method).server; }
+
+}  // namespace eta2::sim

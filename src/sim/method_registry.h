@@ -1,0 +1,45 @@
+// The named simulation methods of the paper's §6.3 comparison. A method is
+// a thin spec over the stage registries: ETA² variants run the full server
+// pipeline with a named allocation strategy; the comparison approaches run
+// the baseline driver with a named allocation strategy plus a named truth
+// method. There is no method enum — benches, the CLI, examples and tests
+// all select methods by string and iterate method_names().
+#ifndef ETA2_SIM_METHOD_REGISTRY_H
+#define ETA2_SIM_METHOD_REGISTRY_H
+
+#include <span>
+#include <string_view>
+
+namespace eta2::sim {
+
+struct MethodSpec {
+  std::string_view name;          // registry key, e.g. "eta2", "hubs"
+  std::string_view display_name;  // paper label, e.g. "Hubs and Authorities"
+  // True: drive core::Eta2Server (domain identification + expertise-aware
+  // truth analysis); false: the baseline driver (global re-estimation).
+  bool server = false;
+  // core::allocation_strategies() name. For server methods this overrides
+  // Eta2Config::allocator; for baselines it allocates every post-warm-up
+  // day (day 0 is always "random" — no reliability signal yet).
+  std::string_view allocator;
+  // truth::truth_methods() name (baseline methods only).
+  std::string_view truth_method;
+};
+
+// All methods in the paper's presentation order (ETA² variants first).
+[[nodiscard]] std::span<const MethodSpec> method_specs();
+[[nodiscard]] std::span<const std::string_view> method_names();
+
+// Spec lookup; unknown names throw std::invalid_argument listing the known
+// ones.
+[[nodiscard]] const MethodSpec& method_spec(std::string_view method);
+[[nodiscard]] bool has_method(std::string_view method);
+
+// Display label for tables/reports ("ETA2", "Average-Log", ...).
+[[nodiscard]] std::string_view method_name(std::string_view method);
+// True for the methods that run the full ETA² server pipeline.
+[[nodiscard]] bool is_eta2(std::string_view method);
+
+}  // namespace eta2::sim
+
+#endif  // ETA2_SIM_METHOD_REGISTRY_H

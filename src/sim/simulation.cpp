@@ -1,11 +1,12 @@
 #include "sim/simulation.h"
 
 #include <cmath>
+#include <string>
 
-#include "alloc/baseline_allocators.h"
 #include "common/error.h"
 #include "core/eta2_server.h"
-#include "truth/variance_em.h"
+#include "core/strategy_registry.h"
+#include "truth/truth_registry.h"
 
 namespace eta2::sim {
 namespace {
@@ -31,31 +32,11 @@ void fill_assignment_stats(const Dataset& dataset,
   }
 }
 
-std::unique_ptr<truth::TruthMethod> make_baseline(
-    Method method, const truth::BaselineOptions& options) {
-  switch (method) {
-    case Method::kHubsAuthorities:
-      return std::make_unique<truth::HubsAuthorities>(options);
-    case Method::kAverageLog:
-      return std::make_unique<truth::AverageLog>(options);
-    case Method::kTruthFinder:
-      return std::make_unique<truth::TruthFinder>(options);
-    case Method::kVarianceEm:
-      return std::make_unique<truth::VarianceEm>();
-    case Method::kMedian:
-      return std::make_unique<truth::MedianBaseline>();
-    case Method::kBaseline:
-      return std::make_unique<truth::MeanBaseline>();
-    default:
-      throw std::invalid_argument("make_baseline: not a baseline method");
-  }
-}
-
-SimulationResult simulate_eta2(const Dataset& dataset, Method method,
+SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
                                const SimOptions& options, std::uint64_t seed) {
   Rng rng(seed);
   core::Eta2Config config = options.config;
-  config.use_min_cost = method == Method::kEta2MinCost;
+  config.allocator = std::string(spec.allocator);
   if (dataset.has_descriptions) {
     require(options.embedder != nullptr,
             "simulate: dataset has descriptions but no embedder given");
@@ -74,10 +55,10 @@ SimulationResult simulate_eta2(const Dataset& dataset, Method method,
   const int days = dataset.day_count();
   for (int day = 0; day < days; ++day) {
     const std::vector<std::size_t> ids = dataset.tasks_of_day(day);
-    std::vector<core::Eta2Server::NewTask> batch;
+    std::vector<core::NewTask> batch;
     batch.reserve(ids.size());
     for (const std::size_t j : ids) {
-      core::Eta2Server::NewTask t;
+      core::NewTask t;
       const Task& task = dataset.tasks[j];
       if (dataset.has_descriptions) {
         t.description = task.description;
@@ -159,14 +140,24 @@ SimulationResult simulate_eta2(const Dataset& dataset, Method method,
   return result;
 }
 
-SimulationResult simulate_baseline(const Dataset& dataset, Method method,
+SimulationResult simulate_baseline(const Dataset& dataset,
+                                   const MethodSpec& spec,
                                    const SimOptions& options,
                                    std::uint64_t seed) {
   Rng rng(seed);
   const std::size_t n = dataset.user_count();
   const std::size_t m = dataset.task_count();
   const std::unique_ptr<truth::TruthMethod> truth_method =
-      make_baseline(method, options.baseline_options);
+      truth::make_truth_method(spec.truth_method, options.baseline_options);
+
+  // The baselines reuse the pipeline's allocation stages: day 0 is always
+  // "random" (no reliability signal yet), afterwards the spec's strategy.
+  core::Eta2Config stage_config;
+  stage_config.max_users_per_task = options.baseline_max_users_per_task;
+  const std::unique_ptr<core::AllocationStrategy> day0_strategy =
+      core::make_allocation_strategy("random", stage_config);
+  const std::unique_ptr<core::AllocationStrategy> steady_strategy =
+      core::make_allocation_strategy(spec.allocator, stage_config);
 
   truth::ObservationSet global(n, m);
   std::vector<double> reliability(n, 1.0);
@@ -181,40 +172,33 @@ SimulationResult simulate_baseline(const Dataset& dataset, Method method,
   for (int day = 0; day < days; ++day) {
     const std::vector<std::size_t> ids = dataset.tasks_of_day(day);
 
-    alloc::AllocationProblem problem;
-    problem.expertise.assign(n, std::vector<double>(ids.size(), 0.0));
-    problem.user_capacity = capacities;
-    problem.task_time.reserve(ids.size());
-    problem.task_cost.reserve(ids.size());
+    core::StepContext ctx;
+    ctx.rng = &rng;
+    ctx.user_reliability = reliability;
+    ctx.problem.expertise.assign(n, ids.size(), 0.0);
+    ctx.problem.user_capacity = capacities;
+    ctx.problem.task_time.reserve(ids.size());
+    ctx.problem.task_cost.reserve(ids.size());
     for (const std::size_t j : ids) {
-      problem.task_time.push_back(dataset.tasks[j].processing_time);
-      problem.task_cost.push_back(dataset.tasks[j].cost);
+      ctx.problem.task_time.push_back(dataset.tasks[j].processing_time);
+      ctx.problem.task_cost.push_back(dataset.tasks[j].cost);
     }
 
-    alloc::Allocation allocation;
-    const bool random_day =
-        day == 0 || method == Method::kBaseline || method == Method::kMedian;
-    if (random_day) {
-      alloc::RandomAllocator::Options ro;
-      ro.max_users_per_task = options.baseline_max_users_per_task;
-      allocation = alloc::RandomAllocator(ro).allocate(problem, rng);
-    } else {
-      alloc::ReliabilityGreedyAllocator::Options ro;
-      ro.max_users_per_task = options.baseline_max_users_per_task;
-      allocation =
-          alloc::ReliabilityGreedyAllocator(ro).allocate(problem, reliability);
-    }
+    core::AllocationStrategy& allocate =
+        day == 0 ? *day0_strategy : *steady_strategy;
+    allocate.allocate(ctx);
+    const alloc::Allocation& allocation = ctx.allocation;
 
     Rng observe_rng = rng.fork(static_cast<std::uint64_t>(day) + 1);
-    for (std::size_t local = 0; local < ids.size(); ++local) {
-      for (const std::size_t i : allocation.users_of(local)) {
-        if (options.response_rate < 1.0 &&
-            !observe_rng.bernoulli(options.response_rate)) {
-          continue;
-        }
-        global.add(ids[local], i, observe(dataset, i, ids[local], observe_rng));
+    const core::CollectFn collect =
+        [&](std::size_t local, std::size_t user) -> std::optional<double> {
+      if (options.response_rate < 1.0 &&
+          !observe_rng.bernoulli(options.response_rate)) {
+        return std::nullopt;
       }
-    }
+      return observe(dataset, user, ids[local], observe_rng);
+    };
+    core::collect_observations(allocation, collect, global, ids);
 
     latest = truth_method->estimate(global);
     reliability = latest.reliability;
@@ -246,24 +230,6 @@ SimulationResult simulate_baseline(const Dataset& dataset, Method method,
 
 }  // namespace
 
-std::string_view method_name(Method method) {
-  switch (method) {
-    case Method::kEta2: return "ETA2";
-    case Method::kEta2MinCost: return "ETA2-mc";
-    case Method::kHubsAuthorities: return "Hubs and Authorities";
-    case Method::kAverageLog: return "Average-Log";
-    case Method::kTruthFinder: return "TruthFinder";
-    case Method::kVarianceEm: return "Gaussian EM";
-    case Method::kMedian: return "Median";
-    case Method::kBaseline: return "Baseline";
-  }
-  return "unknown";
-}
-
-bool is_eta2(Method method) {
-  return method == Method::kEta2 || method == Method::kEta2MinCost;
-}
-
 double estimation_error(const Dataset& dataset,
                         std::span<const std::size_t> task_ids,
                         std::span<const double> estimates,
@@ -287,12 +253,13 @@ double estimation_error(const Dataset& dataset,
   return sum / static_cast<double>(count);
 }
 
-SimulationResult simulate(const Dataset& dataset, Method method,
+SimulationResult simulate(const Dataset& dataset, std::string_view method,
                           const SimOptions& options, std::uint64_t seed) {
   require(dataset.user_count() >= 1 && dataset.task_count() >= 1,
           "simulate: empty dataset");
-  if (is_eta2(method)) return simulate_eta2(dataset, method, options, seed);
-  return simulate_baseline(dataset, method, options, seed);
+  const MethodSpec& spec = method_spec(method);
+  if (spec.server) return simulate_eta2(dataset, spec, options, seed);
+  return simulate_baseline(dataset, spec, options, seed);
 }
 
 }  // namespace eta2::sim

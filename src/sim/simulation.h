@@ -12,24 +12,11 @@
 
 #include "core/config.h"
 #include "sim/dataset.h"
+#include "sim/method_registry.h"
 #include "text/embedder.h"
 #include "truth/baselines.h"
 
 namespace eta2::sim {
-
-enum class Method {
-  kEta2,          // max-quality allocation (the paper's ETA²)
-  kEta2MinCost,   // min-cost allocation (ETA²-mc)
-  kHubsAuthorities,
-  kAverageLog,
-  kTruthFinder,
-  kVarianceEm,    // Gaussian EM / CRH-style (expertise-unaware, extra)
-  kMedian,        // per-task median + random allocation (robust, extra)
-  kBaseline,      // mean truth + random allocation
-};
-
-[[nodiscard]] std::string_view method_name(Method method);
-[[nodiscard]] bool is_eta2(Method method);
 
 struct SimOptions {
   core::Eta2Config config;  // ETA² variants
@@ -76,9 +63,11 @@ struct SimulationResult {
   double expertise_mae = std::numeric_limits<double>::quiet_NaN();
 };
 
-// Runs the full multi-day loop. Observation draws, warm-up randomness and
-// allocation randomness all derive from `seed`.
-[[nodiscard]] SimulationResult simulate(const Dataset& dataset, Method method,
+// Runs the full multi-day loop for a named method (see method_registry.h).
+// Observation draws, warm-up randomness and allocation randomness all
+// derive from `seed`.
+[[nodiscard]] SimulationResult simulate(const Dataset& dataset,
+                                        std::string_view method,
                                         const SimOptions& options,
                                         std::uint64_t seed);
 

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <istream>
+#include <numeric>
 #include <ostream>
 #include <string>
 
@@ -43,6 +44,41 @@ std::vector<std::vector<double>> ExpertiseStore::snapshot() const {
     }
   }
   return out;
+}
+
+void ExpertiseStore::fill_task_expertise(
+    std::span<const DomainIndex> task_domain, Matrix& out) const {
+  const std::size_t n = user_count();
+  const std::size_t m = task_domain.size();
+  out.assign(n, m);
+  for (UserId i = 0; i < n; ++i) {
+    const std::span<double> row = out.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      row[j] = expertise(i, task_domain[j]);
+    }
+  }
+}
+
+std::span<const UserId> ExpertiseStore::top_experts(DomainIndex domain,
+                                                    std::size_t k) const {
+  require(domain < domain_count_, "ExpertiseStore::top_experts: domain out of range");
+  if (rank_scratch_.size() != user_count()) {
+    rank_scratch_.resize(user_count());
+    std::iota(rank_scratch_.begin(), rank_scratch_.end(), UserId{0});
+  }
+  const std::size_t take = std::min(k, rank_scratch_.size());
+  // The scratch stays a permutation of [0, n) across calls, so a partial
+  // re-sort under the (expertise desc, id asc) total order is deterministic
+  // regardless of the order a previous call left behind.
+  std::partial_sort(rank_scratch_.begin(),
+                    rank_scratch_.begin() + static_cast<std::ptrdiff_t>(take),
+                    rank_scratch_.end(), [&](UserId a, UserId b) {
+                      const double ua = expertise(a, domain);
+                      const double ub = expertise(b, domain);
+                      if (ua != ub) return ua > ub;
+                      return a < b;
+                    });
+  return {rank_scratch_.data(), take};
 }
 
 void ExpertiseStore::decay_and_accumulate(double alpha,

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/matrix.h"
 #include "truth/eta2_mle.h"
 #include "truth/observation.h"
 
@@ -37,6 +38,19 @@ class ExpertiseStore {
 
   // Full matrix snapshot [user][domain] — the MLE warm start.
   [[nodiscard]] std::vector<std::vector<double>> snapshot() const;
+
+  // Expands domain expertise into per-task columns: out(i, j) =
+  // expertise(i, task_domain[j]), reshaping `out` to user_count x |tasks|.
+  // This is the contiguous expertise plane the allocators consume.
+  void fill_task_expertise(std::span<const DomainIndex> task_domain,
+                           Matrix& out) const;
+
+  // The `k` users with the highest expertise in `domain` (ties broken by
+  // user id), most expert first. Backed by a reusable rank index — no
+  // per-call allocation or iota fill; the returned span is valid until the
+  // next top_experts call. Not safe for concurrent calls on one store.
+  [[nodiscard]] std::span<const UserId> top_experts(DomainIndex domain,
+                                                    std::size_t k) const;
 
   // Eqs. 7–8: accumulators ← α·accumulators + contribution. The contribution
   // matrices must be user_count x domain_count. Pass alpha = 1 to add
@@ -68,6 +82,9 @@ class ExpertiseStore {
   std::size_t domain_count_ = 0;
   Accumulators num_;  // N(u_i^k)
   Accumulators den_;  // D(u_i^k)
+  // Reusable user index for top_experts: always a permutation of
+  // [0, user_count), partially re-sorted in place on each call.
+  mutable std::vector<UserId> rank_scratch_;
 };
 
 // Computes the Eq. 7–8 contribution matrices of one batch of tasks: for each

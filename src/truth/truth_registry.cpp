@@ -1,0 +1,42 @@
+#include "truth/truth_registry.h"
+
+#include "truth/variance_em.h"
+
+namespace eta2::truth {
+
+Registry<TruthMethod, const BaselineOptions&>& truth_methods() {
+  static Registry<TruthMethod, const BaselineOptions&>* registry = [] {
+    auto* r = new Registry<TruthMethod, const BaselineOptions&>();
+    r->add("mean", [](const BaselineOptions&) {
+      return std::make_unique<MeanBaseline>();
+    });
+    r->add("median", [](const BaselineOptions&) {
+      return std::make_unique<MedianBaseline>();
+    });
+    r->add("hubs", [](const BaselineOptions& o) {
+      return std::make_unique<HubsAuthorities>(o);
+    });
+    r->add("avglog", [](const BaselineOptions& o) {
+      return std::make_unique<AverageLog>(o);
+    });
+    r->add("truthfinder", [](const BaselineOptions& o) {
+      return std::make_unique<TruthFinder>(o);
+    });
+    r->add("em", [](const BaselineOptions&) {
+      return std::make_unique<VarianceEm>();
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<TruthMethod> make_truth_method(std::string_view name,
+                                               const BaselineOptions& options) {
+  return truth_methods().make(name, options);
+}
+
+std::vector<std::string> truth_method_names() {
+  return truth_methods().names();
+}
+
+}  // namespace eta2::truth

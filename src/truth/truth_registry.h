@@ -1,0 +1,35 @@
+// Name-keyed registry of the reliability-based TruthMethod baselines
+// (paper §6.3 plus the extras). The simulation layer and CLI construct
+// baseline truth methods exclusively through this registry — the old
+// per-caller Method-enum switches are gone.
+#ifndef ETA2_TRUTH_TRUTH_REGISTRY_H
+#define ETA2_TRUTH_TRUTH_REGISTRY_H
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/registry.h"
+#include "truth/baselines.h"
+#include "truth/truth_method.h"
+
+namespace eta2::truth {
+
+// The process-wide registry, pre-populated with the built-ins:
+//   "mean"         MeanBaseline            (the paper's Baseline)
+//   "median"       MedianBaseline
+//   "hubs"         HubsAuthorities
+//   "avglog"       AverageLog
+//   "truthfinder"  TruthFinder
+//   "em"           VarianceEm (Gaussian EM, CRH-style)
+// Custom methods can be add()-ed at startup.
+[[nodiscard]] Registry<TruthMethod, const BaselineOptions&>& truth_methods();
+
+// Convenience wrappers over truth_methods().
+[[nodiscard]] std::unique_ptr<TruthMethod> make_truth_method(
+    std::string_view name, const BaselineOptions& options = {});
+[[nodiscard]] std::vector<std::string> truth_method_names();
+
+}  // namespace eta2::truth
+
+#endif  // ETA2_TRUTH_TRUTH_REGISTRY_H

@@ -23,13 +23,13 @@ TEST(AllocationProblemTest, ValidatesShapes) {
   p.user_capacity = {1.0};
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = small_problem();
-  p.expertise[0] = {1.0};
+  p.expertise = {{1.0}, {0.5}};  // 2x1 plane vs 2 tasks: shape mismatch
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = small_problem();
   p.task_time[0] = 0.0;
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = small_problem();
-  p.expertise[1][0] = -0.5;
+  p.expertise(1, 0) = -0.5;
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = small_problem();
   p.task_cost = {1.0};

@@ -13,7 +13,7 @@ AllocationProblem uniform_problem(std::size_t users, std::size_t tasks,
                                   double task_time = 1.0,
                                   double capacity = 5.0) {
   AllocationProblem p;
-  p.expertise.assign(users, std::vector<double>(tasks, 1.0));
+  p.expertise.assign(users, tasks, 1.0);
   p.task_time.assign(tasks, task_time);
   p.user_capacity.assign(users, capacity);
   return p;
@@ -85,7 +85,7 @@ TEST(RandomAllocatorTest, SpreadsTasksAcrossUsers) {
 
 TEST(ReliabilityGreedyTest, HighReliabilityUsersGetShortTasksFirst) {
   AllocationProblem p;
-  p.expertise.assign(2, std::vector<double>(2, 1.0));
+  p.expertise.assign(2, 2, 1.0);
   p.task_time = {3.0, 1.0};   // task 1 is shorter
   p.user_capacity = {1.0, 4.0};  // user 0 can only fit the short task
   const std::vector<double> reliability = {0.9, 0.1};

@@ -15,10 +15,8 @@ AllocationProblem random_tiny(std::uint64_t seed) {
   AllocationProblem p;
   const std::size_t users = 3;
   const std::size_t tasks = 4;
-  p.expertise.assign(users, std::vector<double>(tasks, 0.0));
-  for (auto& row : p.expertise) {
-    for (double& u : row) u = rng.uniform(0.2, 6.0);
-  }
+  p.expertise.assign(users, tasks, 0.0);
+  for (double& u : p.expertise.data()) u = rng.uniform(0.2, 6.0);
   p.task_time.resize(tasks);
   for (double& t : p.task_time) t = rng.uniform(0.5, 3.0);
   p.user_capacity.assign(users, rng.uniform(2.0, 5.0));
@@ -27,7 +25,7 @@ AllocationProblem random_tiny(std::uint64_t seed) {
 
 TEST(BruteForceTest, RejectsLargeInstances) {
   AllocationProblem p;
-  p.expertise.assign(5, std::vector<double>(5, 1.0));
+  p.expertise.assign(5, 5, 1.0);
   p.task_time.assign(5, 1.0);
   p.user_capacity.assign(5, 1.0);
   EXPECT_THROW(optimal_allocation_bruteforce(p, kEpsilon),
@@ -36,7 +34,7 @@ TEST(BruteForceTest, RejectsLargeInstances) {
 
 TEST(BruteForceTest, SaturatesWhenCapacityAllows) {
   AllocationProblem p;
-  p.expertise.assign(2, std::vector<double>(2, 2.0));
+  p.expertise.assign(2, 2, 2.0);
   p.task_time.assign(2, 1.0);
   p.user_capacity.assign(2, 10.0);
   const BruteForceResult r = optimal_allocation_bruteforce(p, kEpsilon);

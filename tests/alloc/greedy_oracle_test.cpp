@@ -29,7 +29,7 @@ Allocation naive_greedy(const AllocationProblem& p, const GreedyOptions& opt) {
         if (a.is_assigned(i, j)) continue;
         if (remaining[i] < p.task_time[j]) continue;
         const double p_ij =
-            stats::accuracy_probability(p.expertise[i][j], opt.epsilon);
+            stats::accuracy_probability(p.expertise(i, j), opt.epsilon);
         const double gain = p_ij * miss[j];
         const double eff =
             opt.efficiency_per_time ? gain / p.task_time[j] : gain;
@@ -45,7 +45,7 @@ Allocation naive_greedy(const AllocationProblem& p, const GreedyOptions& opt) {
              p.cost_of(best_task));
     remaining[best_user] -= p.task_time[best_task];
     miss[best_task] *=
-        1.0 - stats::accuracy_probability(p.expertise[best_user][best_task],
+        1.0 - stats::accuracy_probability(p.expertise(best_user, best_task),
                                           opt.epsilon);
     spent += p.cost_of(best_task);
   }
@@ -75,10 +75,8 @@ TEST_P(GreedyOracleSweep, MatchesNaiveImplementation) {
   const std::size_t users = 7;
   const std::size_t tasks = 11;
   AllocationProblem p;
-  p.expertise.assign(users, std::vector<double>(tasks, 0.0));
-  for (auto& row : p.expertise) {
-    for (double& u : row) u = rng.uniform(0.0, 4.0);
-  }
+  p.expertise.assign(users, tasks, 0.0);
+  for (double& u : p.expertise.data()) u = rng.uniform(0.0, 4.0);
   p.task_time.resize(tasks);
   for (double& t : p.task_time) t = rng.uniform(0.5, 2.5);
   p.user_capacity.resize(users);
@@ -102,10 +100,8 @@ TEST(GreedyOracleTest, CostCapMatchesToo) {
   const std::size_t users = 5;
   const std::size_t tasks = 8;
   AllocationProblem p;
-  p.expertise.assign(users, std::vector<double>(tasks, 0.0));
-  for (auto& row : p.expertise) {
-    for (double& u : row) u = rng.uniform(0.5, 3.0);
-  }
+  p.expertise.assign(users, tasks, 0.0);
+  for (double& u : p.expertise.data()) u = rng.uniform(0.5, 3.0);
   p.task_time.assign(tasks, 1.0);
   p.task_cost.resize(tasks);
   for (double& c : p.task_cost) c = rng.uniform(0.5, 2.0);

@@ -15,10 +15,8 @@ AllocationProblem random_problem(std::size_t users, std::size_t tasks,
                                  std::uint64_t seed, double capacity = 6.0) {
   Rng rng(seed);
   AllocationProblem p;
-  p.expertise.assign(users, std::vector<double>(tasks, 0.0));
-  for (auto& row : p.expertise) {
-    for (double& u : row) u = rng.uniform(0.1, 3.0);
-  }
+  p.expertise.assign(users, tasks, 0.0);
+  for (double& u : p.expertise.data()) u = rng.uniform(0.1, 3.0);
   p.task_time.resize(tasks);
   for (double& t : p.task_time) t = rng.uniform(0.5, 2.0);
   p.user_capacity.assign(users, capacity);
@@ -164,13 +162,13 @@ TEST_P(KnapsackComparisonSweep, WithinHalfOfOptimum) {
   Rng rng(seed);
   const std::size_t tasks = 12;
   AllocationProblem p;
-  p.expertise.assign(1, std::vector<double>(tasks, 0.0));
+  p.expertise.assign(1, tasks, 0.0);
   p.task_time.resize(tasks);
   std::vector<double> values(tasks);
   for (std::size_t j = 0; j < tasks; ++j) {
-    p.expertise[0][j] = rng.uniform(0.1, 10.0);
+    p.expertise(0, j) = rng.uniform(0.1, 10.0);
     p.task_time[j] = rng.uniform(0.2, 4.0);
-    values[j] = stats::accuracy_probability(p.expertise[0][j], 0.1);
+    values[j] = stats::accuracy_probability(p.expertise(0, j), 0.1);
   }
   p.user_capacity = {6.0};
 

@@ -37,7 +37,7 @@ World make_world(std::size_t users, std::size_t tasks, std::uint64_t seed,
   for (auto& row : w.expertise_domain) {
     for (double& u : row) u = rng.uniform(expertise_lo, expertise_hi);
   }
-  w.problem.expertise.assign(users, std::vector<double>(tasks, 0.0));
+  w.problem.expertise.assign(users, tasks, 0.0);
   w.problem.task_time.assign(tasks, 1.0);
   w.problem.user_capacity.assign(users, capacity);
   w.domain.resize(tasks);
@@ -48,7 +48,7 @@ World make_world(std::size_t users, std::size_t tasks, std::uint64_t seed,
     w.mu[j] = rng.uniform(0.0, 20.0);
     w.sigma[j] = rng.uniform(0.5, 2.0);
     for (std::size_t i = 0; i < users; ++i) {
-      w.problem.expertise[i][j] = w.expertise_domain[i][w.domain[j]];
+      w.problem.expertise(i, j) = w.expertise_domain[i][w.domain[j]];
     }
   }
   return w;

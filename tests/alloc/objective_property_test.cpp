@@ -18,10 +18,8 @@ AllocationProblem random_problem(std::size_t users, std::size_t tasks,
                                  std::uint64_t seed) {
   Rng rng(seed);
   AllocationProblem p;
-  p.expertise.assign(users, std::vector<double>(tasks, 0.0));
-  for (auto& row : p.expertise) {
-    for (double& u : row) u = rng.uniform(0.0, 5.0);
-  }
+  p.expertise.assign(users, tasks, 0.0);
+  for (double& u : p.expertise.data()) u = rng.uniform(0.0, 5.0);
   p.task_time.assign(tasks, 1.0);
   p.user_capacity.assign(users, 1e9);  // capacity plays no role here
   return p;
@@ -91,7 +89,7 @@ TEST(ObjectiveGainTest, MatchesEq16) {
   a.assign(2, 1, 1.0, 1.0);
   const double before = allocation_objective(p, a, kEpsilon);
   const double p_j = task_success_probability(p, a, 1, kEpsilon);
-  const double p_ij = stats::accuracy_probability(p.expertise[3][1], kEpsilon);
+  const double p_ij = stats::accuracy_probability(p.expertise(3, 1), kEpsilon);
   a.assign(3, 1, 1.0, 1.0);
   const double after = allocation_objective(p, a, kEpsilon);
   EXPECT_NEAR(after - before, p_ij * (1.0 - p_j), 1e-12);

@@ -1,0 +1,186 @@
+// Shared scenario runner for the golden end-to-end determinism test.
+//
+// Runs a fixed multi-step workload through Eta2Server and formats every
+// step output (truth, sigma, allocation, cost, iteration counts, domains)
+// with full bit precision (hexfloat). The golden constants embedded in
+// golden_step_test.cpp were captured by running these exact scenarios
+// against the pre-refactor (PR 1) implementation; any behavioral drift in
+// the pipeline shows up as a transcript mismatch.
+#ifndef ETA2_TESTS_CORE_GOLDEN_SCENARIOS_H
+#define ETA2_TESTS_CORE_GOLDEN_SCENARIOS_H
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/eta2_server.h"
+#include "text/embedder.h"
+
+namespace eta2::testing {
+
+inline std::string golden_hex(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+inline std::string format_step(int step, const core::Eta2Server::StepResult& r) {
+  std::ostringstream out;
+  out << "step " << step << " warmup=" << (r.warmup ? 1 : 0)
+      << " mle_iters=" << r.mle_iterations
+      << " data_iters=" << r.data_iterations
+      << " cost=" << golden_hex(r.cost) << '\n';
+  out << "domains:";
+  for (const auto d : r.task_domains) out << ' ' << d;
+  out << '\n';
+  out << "alloc:";
+  for (std::size_t j = 0; j < r.truth.size(); ++j) {
+    out << ' ' << j << ':';
+    bool first = true;
+    for (const std::size_t u : r.allocation.users_of(j)) {
+      if (!first) out << ',';
+      first = false;
+      out << u;
+    }
+  }
+  out << '\n';
+  out << "truth:";
+  for (const double v : r.truth) out << ' ' << golden_hex(v);
+  out << '\n';
+  out << "sigma:";
+  for (const double v : r.sigma) out << ' ' << golden_hex(v);
+  out << '\n';
+  return out.str();
+}
+
+struct GoldenRun {
+  std::string transcript;  // formatted steps 0..N-1 on the fresh server
+  std::string saved;       // save() blob after the scripted steps
+  std::string post;        // one more step after save, on the saved server
+};
+
+// Deterministic, state-free collect callback: the value depends only on
+// (step, local task, user), never on call order, so transcripts isolate
+// pipeline behavior from collection order.
+inline core::Eta2Server::CollectFn golden_collect(int step) {
+  return [step](std::size_t local, std::size_t user) -> std::optional<double> {
+    if ((user + 3 * local + static_cast<std::size_t>(step)) % 11 == 0) {
+      return std::nullopt;  // non-responder
+    }
+    const double base =
+        10.0 + 3.0 * static_cast<double>(local) + static_cast<double>(step);
+    const double noise =
+        std::sin(static_cast<double>(user * 7 + local * 3) + step);
+    return base + 0.5 * noise;
+  };
+}
+
+// Loads a labeled-scenario save blob (any vintage — including v1 blobs
+// captured from the pre-refactor build) and runs the scripted post step.
+inline std::string labeled_post_step(const core::Eta2Config& config,
+                                     const std::string& saved) {
+  const std::size_t users = 6;
+  const std::vector<double> caps(users, 6.0);
+  std::istringstream in(saved);
+  core::Eta2Server restored = core::Eta2Server::load(in, config, nullptr);
+  Rng post_rng(4242);
+  std::vector<core::Eta2Server::NewTask> tasks(5);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    tasks[t].known_domain = t % 3;
+    tasks[t].processing_time = 1.0 + 0.25 * static_cast<double>(t);
+    tasks[t].cost = 1.0 + static_cast<double>(t % 2);
+  }
+  return format_step(3, restored.step(tasks, caps, golden_collect(3),
+                                      post_rng));
+}
+
+// Known-domain scenario: 6 users, 3 steps x 5 labeled tasks covering the
+// warm-up (random) path on step 0 and the configured allocator afterwards.
+inline GoldenRun run_labeled_scenario(core::Eta2Config config) {
+  const std::size_t users = 6;
+  const std::vector<double> caps(users, 6.0);
+  core::Eta2Server server(users, config, nullptr);
+  Rng rng(42);
+
+  GoldenRun run;
+  for (int step = 0; step < 3; ++step) {
+    std::vector<core::Eta2Server::NewTask> tasks(5);
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      tasks[t].known_domain = (t + static_cast<std::size_t>(step)) % 3;
+      tasks[t].processing_time = 1.0 + 0.25 * static_cast<double>(t);
+      tasks[t].cost = 1.0 + static_cast<double>(t % 2);
+    }
+    run.transcript +=
+        format_step(step, server.step(tasks, caps, golden_collect(step), rng));
+  }
+
+  std::ostringstream saved;
+  server.save(saved);
+  run.saved = saved.str();
+  run.post = labeled_post_step(config, run.saved);
+  return run;
+}
+
+inline const std::vector<std::string>& golden_descriptions() {
+  static const std::vector<std::string> descriptions = {
+      "noise near the park",    "noise around the park",
+      "salary at the bank",     "salary of the bank",
+      "traffic on the bridge",  "traffic over the bridge",
+  };
+  return descriptions;
+}
+
+// Loads a described-scenario save blob and runs the scripted post step.
+inline std::string described_post_step(const core::Eta2Config& config,
+                                       const std::string& saved) {
+  const std::size_t users = 4;
+  const std::vector<double> caps(users, 8.0);
+  auto embedder = std::make_shared<text::HashEmbedder>(16);
+  std::istringstream in(saved);
+  core::Eta2Server restored = core::Eta2Server::load(in, config, embedder);
+  Rng post_rng(777);
+  std::vector<core::Eta2Server::NewTask> tasks(golden_descriptions().size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    tasks[t].description = golden_descriptions()[t];
+    tasks[t].processing_time = 1.0;
+    tasks[t].cost = 1.0;
+  }
+  return format_step(2, restored.step(tasks, caps, golden_collect(2),
+                                      post_rng));
+}
+
+// Described-task scenario: hash embeddings + dynamic clustering (Module 1's
+// pairword path), two steps so the second reuses learned domains.
+inline GoldenRun run_described_scenario(core::Eta2Config config) {
+  const std::size_t users = 4;
+  const std::vector<double> caps(users, 8.0);
+  auto embedder = std::make_shared<text::HashEmbedder>(16);
+  core::Eta2Server server(users, config, embedder);
+  Rng rng(7);
+
+  const std::vector<std::string>& descriptions = golden_descriptions();
+  GoldenRun run;
+  for (int step = 0; step < 2; ++step) {
+    std::vector<core::Eta2Server::NewTask> tasks(descriptions.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      tasks[t].description = descriptions[t];
+      tasks[t].processing_time = 1.0 + 0.5 * static_cast<double>(t % 2);
+      tasks[t].cost = 1.0;
+    }
+    run.transcript +=
+        format_step(step, server.step(tasks, caps, golden_collect(step), rng));
+  }
+
+  std::ostringstream saved;
+  server.save(saved);
+  run.saved = saved.str();
+  run.post = described_post_step(config, run.saved);
+  return run;
+}
+
+}  // namespace eta2::testing
+
+#endif  // ETA2_TESTS_CORE_GOLDEN_SCENARIOS_H

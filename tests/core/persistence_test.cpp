@@ -7,6 +7,8 @@
 
 #include "clustering/dynamic_clusterer.h"
 #include "core/eta2_server.h"
+#include "core/strategy_registry.h"
+#include "golden_scenarios.h"
 #include "text/embedder.h"
 #include "truth/expertise_store.h"
 
@@ -142,6 +144,41 @@ TEST(ServerPersistence, TopExpertsRanksLearnedUsers) {
   const auto experts = server.top_experts(*dense, 2);
   ASSERT_EQ(experts.size(), 2u);
   EXPECT_EQ(experts[0], 2u);
+}
+
+// Save → load → step must be bit-equivalent to never restarting, for every
+// registered allocation strategy (not just the paper defaults).
+TEST(ServerPersistence, SaveLoadStepEquivalentForEveryStrategy) {
+  for (const std::string& name : core::allocation_strategies().names()) {
+    core::Eta2Config config;
+    config.allocator = name;
+    config.cost_per_iteration = 8.0;  // keep min-cost rounds bounded
+    config.epsilon_bar = 0.6;
+    core::Eta2Server server(6, config, nullptr);
+    const std::vector<double> caps(6, 6.0);
+    std::vector<core::Eta2Server::NewTask> batch(5);
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      batch[t].known_domain = t % 3;
+      batch[t].processing_time = 1.0 + 0.25 * static_cast<double>(t);
+      batch[t].cost = 1.0 + static_cast<double>(t % 2);
+    }
+    Rng rng(31);
+    server.step(batch, caps, testing::golden_collect(0), rng);  // warm-up
+    server.step(batch, caps, testing::golden_collect(1), rng);
+
+    std::ostringstream out;
+    server.save(out);
+    std::istringstream in(out.str());
+    core::Eta2Server restored =
+        core::Eta2Server::load(in, config, nullptr);
+
+    Rng rng_a(127);
+    Rng rng_b(127);
+    const auto r1 = server.step(batch, caps, testing::golden_collect(2), rng_a);
+    const auto r2 =
+        restored.step(batch, caps, testing::golden_collect(2), rng_b);
+    EXPECT_EQ(testing::format_step(2, r1), testing::format_step(2, r2)) << name;
+  }
 }
 
 TEST(ServerPersistence, LoadRejectsGarbage) {

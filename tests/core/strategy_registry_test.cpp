@@ -1,0 +1,160 @@
+// Registry coverage: the built-in stage names, unknown-name error paths,
+// and a full Eta2Server::step round-trip for every registered allocation
+// strategy and truth updater.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/eta2_server.h"
+#include "core/strategy_registry.h"
+#include "core/truth_updaters.h"
+#include "golden_scenarios.h"
+#include "sim/method_registry.h"
+#include "truth/truth_registry.h"
+
+namespace eta2 {
+namespace {
+
+std::vector<core::NewTask> labeled_batch() {
+  std::vector<core::NewTask> batch(5);
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    batch[t].known_domain = t % 3;
+    batch[t].processing_time = 1.0 + 0.25 * static_cast<double>(t);
+    batch[t].cost = 1.0;
+  }
+  return batch;
+}
+
+TEST(StrategyRegistryTest, BuiltinsRegistered) {
+  const auto identifiers = core::domain_identifiers().names();
+  EXPECT_EQ(identifiers, (std::vector<std::string>{
+                             "known-label", "pairword-clustering",
+                             "phrase-clustering"}));
+  const auto allocators = core::allocation_strategies().names();
+  EXPECT_EQ(allocators, (std::vector<std::string>{
+                            "max-quality", "min-cost", "random",
+                            "reliability-greedy"}));
+  const auto updaters = core::truth_updaters().names();
+  EXPECT_EQ(updaters, (std::vector<std::string>{"dynamic", "warmup-mle"}));
+  const auto truth_methods = truth::truth_method_names();
+  EXPECT_EQ(truth_methods,
+            (std::vector<std::string>{"avglog", "em", "hubs", "mean", "median",
+                                      "truthfinder"}));
+}
+
+TEST(StrategyRegistryTest, ConstructedStagesReportTheirRegistryName) {
+  const core::Eta2Config config;
+  for (const std::string& name : core::allocation_strategies().names()) {
+    EXPECT_EQ(core::make_allocation_strategy(name, config)->name(), name);
+  }
+  for (const std::string& name : core::truth_updaters().names()) {
+    EXPECT_EQ(core::make_truth_updater(name, config)->name(), name);
+  }
+  for (const std::string& name : core::domain_identifiers().names()) {
+    EXPECT_EQ(core::make_domain_identifier(name, config)->name(), name);
+  }
+}
+
+TEST(StrategyRegistryTest, UnknownNamesThrowListingKnown) {
+  const core::Eta2Config config;
+  EXPECT_THROW(core::make_allocation_strategy("no-such-allocator", config),
+               std::invalid_argument);
+  EXPECT_THROW(core::make_truth_updater("no-such-updater", config),
+               std::invalid_argument);
+  EXPECT_THROW(core::make_domain_identifier("no-such-identifier", config),
+               std::invalid_argument);
+  EXPECT_THROW(truth::make_truth_method("no-such-method"),
+               std::invalid_argument);
+  EXPECT_THROW(sim::method_spec("no-such-method"), std::invalid_argument);
+  try {
+    (void)core::make_allocation_strategy("no-such-allocator", config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-allocator"), std::string::npos);
+    EXPECT_NE(what.find("max-quality"), std::string::npos)
+        << "error should list the registered names: " << what;
+  }
+}
+
+TEST(StrategyRegistryTest, UnknownConfigNamesSurfaceAtServerConstruction) {
+  core::Eta2Config config;
+  config.allocator = "definitely-not-registered";
+  EXPECT_THROW(core::Eta2Server(3, config, nullptr), std::invalid_argument);
+  core::Eta2Config bad_truth;
+  bad_truth.truth_updater = "definitely-not-registered";
+  EXPECT_THROW(core::Eta2Server(3, bad_truth, nullptr), std::invalid_argument);
+}
+
+TEST(StrategyRegistryTest, DuplicateRegistrationThrows) {
+  Registry<core::TruthUpdater, const core::Eta2Config&> registry;
+  const auto factory = [](const core::Eta2Config& c) {
+    return std::make_unique<core::DynamicTruthUpdater>(c);
+  };
+  registry.add("dup", factory);
+  EXPECT_THROW(registry.add("dup", factory), std::invalid_argument);
+}
+
+// Every registered allocator must drive a full warm-up + steady-state step
+// sequence through the server.
+TEST(StrategyRegistryTest, EveryAllocatorRoundTripsThroughServerStep) {
+  for (const std::string& name : core::allocation_strategies().names()) {
+    core::Eta2Config config;
+    config.allocator = name;
+    config.cost_per_iteration = 8.0;  // keep min-cost rounds bounded
+    config.epsilon_bar = 0.6;
+    core::Eta2Server server(6, config, nullptr);
+    const std::vector<double> caps(6, 6.0);
+    Rng rng(19);
+    const auto warmup = server.step(labeled_batch(), caps,
+                                    testing::golden_collect(0), rng);
+    EXPECT_TRUE(warmup.warmup) << name;
+    const auto steady = server.step(labeled_batch(), caps,
+                                    testing::golden_collect(1), rng);
+    EXPECT_FALSE(steady.warmup) << name;
+    EXPECT_EQ(steady.truth.size(), 5u) << name;
+    EXPECT_EQ(steady.sigma.size(), 5u) << name;
+    EXPECT_GT(steady.allocation.pair_count(), 0u) << name;
+    for (const double mu : steady.truth) {
+      EXPECT_FALSE(std::isnan(mu)) << name;
+    }
+  }
+}
+
+// Both truth updaters must run as the steady-state Module 2 under every
+// step sequence.
+TEST(StrategyRegistryTest, EveryTruthUpdaterRoundTripsThroughServerStep) {
+  for (const std::string& name : core::truth_updaters().names()) {
+    core::Eta2Config config;
+    config.truth_updater = name;
+    core::Eta2Server server(6, config, nullptr);
+    const std::vector<double> caps(6, 6.0);
+    Rng rng(23);
+    server.step(labeled_batch(), caps, testing::golden_collect(0), rng);
+    const auto steady = server.step(labeled_batch(), caps,
+                                    testing::golden_collect(1), rng);
+    EXPECT_EQ(steady.truth.size(), 5u) << name;
+    for (const double mu : steady.truth) {
+      EXPECT_FALSE(std::isnan(mu)) << name;
+    }
+    EXPECT_GT(server.expertise_store().domain_count(), 0u) << name;
+  }
+}
+
+TEST(MethodRegistryTest, SpecsReferenceRegisteredStages) {
+  for (const sim::MethodSpec& spec : sim::method_specs()) {
+    EXPECT_TRUE(core::allocation_strategies().contains(spec.allocator))
+        << spec.name;
+    if (!spec.server) {
+      EXPECT_TRUE(truth::truth_methods().contains(spec.truth_method))
+          << spec.name;
+    }
+  }
+  EXPECT_TRUE(sim::has_method("eta2"));
+  EXPECT_FALSE(sim::has_method("nope"));
+  EXPECT_EQ(sim::method_names().size(), sim::method_specs().size());
+}
+
+}  // namespace
+}  // namespace eta2

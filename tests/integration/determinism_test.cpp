@@ -164,10 +164,8 @@ TEST(DeterminismTest, AllocationObjectiveBitIdentical) {
   const std::size_t tasks = 80;
   Rng rng(5);
   alloc::AllocationProblem problem;
-  problem.expertise.assign(users, std::vector<double>(tasks, 0.0));
-  for (auto& row : problem.expertise) {
-    for (double& u : row) u = rng.uniform(0.1, 3.0);
-  }
+  problem.expertise.assign(users, tasks);
+  for (double& u : problem.expertise.data()) u = rng.uniform(0.1, 3.0);
   problem.task_time.resize(tasks);
   for (double& t : problem.task_time) t = rng.uniform(0.5, 1.5);
   problem.user_capacity.assign(users, 12.0);
@@ -198,7 +196,7 @@ TEST(DeterminismTest, SeedSweepBitIdentical) {
   };
   check_determinism(
       [&] {
-        const auto sweep = sim::sweep_seeds(factory, sim::Method::kEta2,
+        const auto sweep = sim::sweep_seeds(factory, "eta2",
                                             sim::SimOptions{}, 3, 1);
         std::vector<double> signature{sweep.overall_error.mean,
                                       sweep.total_cost.mean,

@@ -28,7 +28,7 @@ sim::Dataset long_campaign(std::uint64_t seed) {
 TEST(LongHorizonTest, ErrorStaysLowOverTwelveDays) {
   const sim::Dataset d = long_campaign(3);
   const sim::SimOptions options;
-  const auto run = sim::simulate(d, sim::Method::kEta2, options, 3);
+  const auto run = sim::simulate(d, "eta2", options, 3);
   ASSERT_EQ(run.days.size(), 12u);
   // Average of the last 4 days clearly below the warm-up day, and the
   // late-campaign error must not creep back above the early learned level.
@@ -86,8 +86,8 @@ TEST(LongHorizonTest, GaugeStaysAnchored) {
 TEST(LongHorizonTest, BaselineComparisonHoldsOverLongCampaigns) {
   const sim::Dataset d = long_campaign(7);
   const sim::SimOptions options;
-  const auto eta2_run = sim::simulate(d, sim::Method::kEta2, options, 7);
-  const auto tf_run = sim::simulate(d, sim::Method::kTruthFinder, options, 7);
+  const auto eta2_run = sim::simulate(d, "eta2", options, 7);
+  const auto tf_run = sim::simulate(d, "truthfinder", options, 7);
   EXPECT_LT(eta2_run.overall_error, tf_run.overall_error);
 }
 

@@ -27,7 +27,7 @@ TEST(PipelineIntegration, SurveyPipelineEndToEnd) {
   const sim::Dataset d = sim::make_survey_like(survey, 21);
   sim::SimOptions options;
   options.embedder = trained_embedder();
-  const auto r = sim::simulate(d, sim::Method::kEta2, options, 21);
+  const auto r = sim::simulate(d, "eta2", options, 21);
   ASSERT_EQ(r.days.size(), 5u);
   EXPECT_FALSE(std::isnan(r.overall_error));
   // Sanity: the pipeline produces usable estimates (error well below the
@@ -48,10 +48,10 @@ TEST(PipelineIntegration, Eta2BeatsAllBaselinesOnSynthetic) {
     return sim::make_synthetic(o, seed);
   };
   const auto eta2 =
-      sim::sweep_seeds(factory, sim::Method::kEta2, options, 3, 100);
+      sim::sweep_seeds(factory, "eta2", options, 3, 100);
   for (const auto method :
-       {sim::Method::kHubsAuthorities, sim::Method::kAverageLog,
-        sim::Method::kTruthFinder, sim::Method::kBaseline}) {
+       {"hubs", "avglog",
+        "truthfinder", "baseline"}) {
     const auto other = sim::sweep_seeds(factory, method, options, 3, 100);
     EXPECT_LT(eta2.overall_error.mean, other.overall_error.mean)
         << sim::method_name(method);
@@ -69,7 +69,7 @@ TEST(PipelineIntegration, ErrorDecreasesOverDaysOnAverage) {
         o.domains = 6;
         return sim::make_synthetic(o, seed);
       },
-      sim::Method::kEta2, options, 3, 200);
+      "eta2", options, 3, 200);
   ASSERT_EQ(sweep.per_day_error.size(), 5u);
   EXPECT_LT(sweep.per_day_error[4], sweep.per_day_error[0]);
   EXPECT_LT(sweep.per_day_error[3], sweep.per_day_error[0]);
@@ -89,7 +89,7 @@ TEST(PipelineIntegration, MoreCapacityLowersError) {
                  o.mean_capacity = tau;
                  return sim::make_synthetic(o, seed);
                },
-               sim::Method::kEta2, options, 3, 300)
+               "eta2", options, 3, 300)
         .overall_error.mean;
   };
   const double low = run_with_capacity(6.0);
@@ -112,9 +112,9 @@ TEST(PipelineIntegration, MinCostMeetsQualityAtLowerCost) {
     o.mean_capacity = 16.0;
     return sim::make_synthetic(o, seed);
   };
-  const auto mq = sim::sweep_seeds(factory, sim::Method::kEta2, options, 3, 400);
+  const auto mq = sim::sweep_seeds(factory, "eta2", options, 3, 400);
   const auto mc =
-      sim::sweep_seeds(factory, sim::Method::kEta2MinCost, options, 3, 400);
+      sim::sweep_seeds(factory, "eta2-mc", options, 3, 400);
   EXPECT_LT(mc.total_cost.mean, 0.8 * mq.total_cost.mean);
   EXPECT_LT(mc.overall_error.mean, options.config.epsilon_bar);
 }
@@ -132,7 +132,7 @@ TEST(PipelineIntegration, ExpertiseEstimateImprovesWithCapacity) {
                  o.mean_capacity = tau;
                  return sim::make_synthetic(o, seed);
                },
-               sim::Method::kEta2, options, 3, 500)
+               "eta2", options, 3, 500)
         .expertise_mae.mean;
   };
   const double low = run_with_capacity(6.0);
@@ -154,7 +154,7 @@ TEST(PipelineIntegration, RobustToNonNormalBias) {
                  o.nonnormal_fraction = fraction;
                  return sim::make_synthetic(o, seed);
                },
-               sim::Method::kEta2, options, 3, 600)
+               "eta2", options, 3, 600)
         .overall_error.mean;
   };
   const double clean = run_with_bias(0.0);

@@ -130,7 +130,7 @@ TEST(ResultsIoTest, DayMetricsCsvShape) {
   options.domains = 3;
   const sim::Dataset d = sim::make_synthetic(options, 3);
   const sim::SimOptions sim_options;
-  const auto run = sim::simulate(d, sim::Method::kEta2, sim_options, 3);
+  const auto run = sim::simulate(d, "eta2", sim_options, 3);
   std::ostringstream out;
   write_day_metrics_csv(run, out);
   const auto rows = parse_csv(out.str());
@@ -149,7 +149,7 @@ TEST(ResultsIoTest, SweepCsvShape) {
         o.domains = 2;
         return sim::make_synthetic(o, seed);
       },
-      sim::Method::kEta2, sim_options, 2);
+      "eta2", sim_options, 2);
   std::ostringstream out;
   write_sweep_csv(sweep, out);
   const auto rows = parse_csv(out.str());

@@ -235,8 +235,8 @@ TEST(AdversarialUsersTest, Eta2DiscountsFabricators) {
   options.adversarial_fraction = 0.2;
   const Dataset d = make_synthetic(options, 9);
   const SimOptions sim_options;
-  const auto eta2_run = simulate(d, Method::kEta2, sim_options, 9);
-  const auto mean_run = simulate(d, Method::kBaseline, sim_options, 9);
+  const auto eta2_run = simulate(d, "eta2", sim_options, 9);
+  const auto mean_run = simulate(d, "baseline", sim_options, 9);
   EXPECT_LT(eta2_run.overall_error, 0.6 * mean_run.overall_error);
 }
 

@@ -13,7 +13,7 @@ SimulationResult sample_run() {
   options.tasks = 60;
   options.domains = 3;
   const Dataset d = make_synthetic(options, 5);
-  return simulate(d, Method::kEta2, SimOptions{}, 5);
+  return simulate(d, "eta2", SimOptions{}, 5);
 }
 
 TEST(ReportTest, ContainsHeadlineAndDays) {

@@ -19,12 +19,12 @@ SyntheticOptions small_synthetic() {
 }
 
 TEST(MethodNameTest, AllNamesDistinct) {
-  EXPECT_EQ(method_name(Method::kEta2), "ETA2");
-  EXPECT_EQ(method_name(Method::kEta2MinCost), "ETA2-mc");
-  EXPECT_EQ(method_name(Method::kBaseline), "Baseline");
-  EXPECT_TRUE(is_eta2(Method::kEta2));
-  EXPECT_TRUE(is_eta2(Method::kEta2MinCost));
-  EXPECT_FALSE(is_eta2(Method::kTruthFinder));
+  EXPECT_EQ(method_name("eta2"), "ETA2");
+  EXPECT_EQ(method_name("eta2-mc"), "ETA2-mc");
+  EXPECT_EQ(method_name("baseline"), "Baseline");
+  EXPECT_TRUE(is_eta2("eta2"));
+  EXPECT_TRUE(is_eta2("eta2-mc"));
+  EXPECT_FALSE(is_eta2("truthfinder"));
 }
 
 TEST(EstimationErrorTest, NormalizesByBaseNumber) {
@@ -52,7 +52,7 @@ TEST(EstimationErrorTest, SkipsNaNs) {
 TEST(SimulateTest, Eta2RunsAllDaysAndImproves) {
   const Dataset d = make_synthetic(small_synthetic(), 5);
   const SimOptions options;
-  const SimulationResult r = simulate(d, Method::kEta2, options, 5);
+  const SimulationResult r = simulate(d, "eta2", options, 5);
   ASSERT_EQ(r.days.size(), 5u);
   EXPECT_TRUE(r.days.front().day == 0);
   // Later days must be better than the random warm-up day on average.
@@ -66,27 +66,27 @@ TEST(SimulateTest, Eta2RunsAllDaysAndImproves) {
 TEST(SimulateTest, Eta2BeatsMeanBaseline) {
   const Dataset d = make_synthetic(small_synthetic(), 7);
   const SimOptions options;
-  const auto eta2 = simulate(d, Method::kEta2, options, 7);
-  const auto baseline = simulate(d, Method::kBaseline, options, 7);
+  const auto eta2 = simulate(d, "eta2", options, 7);
+  const auto baseline = simulate(d, "baseline", options, 7);
   EXPECT_LT(eta2.overall_error, baseline.overall_error);
 }
 
 TEST(SimulateTest, DeterministicPerSeed) {
   const Dataset d = make_synthetic(small_synthetic(), 9);
   const SimOptions options;
-  const auto a = simulate(d, Method::kEta2, options, 42);
-  const auto b = simulate(d, Method::kEta2, options, 42);
+  const auto a = simulate(d, "eta2", options, 42);
+  const auto b = simulate(d, "eta2", options, 42);
   EXPECT_DOUBLE_EQ(a.overall_error, b.overall_error);
   EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
-  const auto c = simulate(d, Method::kEta2, options, 43);
+  const auto c = simulate(d, "eta2", options, 43);
   EXPECT_NE(a.overall_error, c.overall_error);
 }
 
 TEST(SimulateTest, BaselineMethodsProduceFiniteErrors) {
   const Dataset d = make_synthetic(small_synthetic(), 11);
   const SimOptions options;
-  for (const Method m : {Method::kHubsAuthorities, Method::kAverageLog,
-                         Method::kTruthFinder, Method::kBaseline}) {
+  for (const std::string_view m : {"hubs", "avglog",
+                         "truthfinder", "baseline"}) {
     const auto r = simulate(d, m, options, 11);
     EXPECT_FALSE(std::isnan(r.overall_error)) << method_name(m);
     ASSERT_EQ(r.days.size(), 5u) << method_name(m);
@@ -101,8 +101,8 @@ TEST(SimulateTest, MinCostSpendsLessThanMaxQuality) {
   const Dataset d = make_synthetic(options, 13);
   SimOptions sim_options;
   sim_options.config.epsilon_bar = 0.8;
-  const auto mq = simulate(d, Method::kEta2, sim_options, 13);
-  const auto mc = simulate(d, Method::kEta2MinCost, sim_options, 13);
+  const auto mq = simulate(d, "eta2", sim_options, 13);
+  const auto mc = simulate(d, "eta2-mc", sim_options, 13);
   EXPECT_LT(mc.total_cost, mq.total_cost);
   // Quality requirement still met on average.
   EXPECT_LT(mc.overall_error, sim_options.config.epsilon_bar);
@@ -111,7 +111,7 @@ TEST(SimulateTest, MinCostSpendsLessThanMaxQuality) {
 TEST(SimulateTest, TruthIterationLogPopulated) {
   const Dataset d = make_synthetic(small_synthetic(), 15);
   const SimOptions options;
-  const auto r = simulate(d, Method::kEta2, options, 15);
+  const auto r = simulate(d, "eta2", options, 15);
   EXPECT_EQ(r.truth_iteration_log.size(), 5u);
   for (const int iters : r.truth_iteration_log) {
     EXPECT_GE(iters, 1);
@@ -121,7 +121,7 @@ TEST(SimulateTest, TruthIterationLogPopulated) {
 TEST(SimulateTest, AssignmentStatsShapes) {
   const Dataset d = make_synthetic(small_synthetic(), 17);
   const SimOptions options;
-  const auto r = simulate(d, Method::kEta2, options, 17);
+  const auto r = simulate(d, "eta2", options, 17);
   for (const DayMetrics& day : r.days) {
     EXPECT_EQ(day.users_per_task.size(), day.task_count);
     EXPECT_EQ(day.mean_assigned_expertise.size(), day.task_count);
@@ -134,7 +134,7 @@ TEST(SimulateTest, AssignmentStatsShapes) {
 TEST(SimulateTest, SurveyDatasetRequiresEmbedder) {
   const Dataset d = make_survey_like(SurveyOptions{}, 1);
   const SimOptions no_embedder;
-  EXPECT_THROW(simulate(d, Method::kEta2, no_embedder, 1),
+  EXPECT_THROW(simulate(d, "eta2", no_embedder, 1),
                std::invalid_argument);
 }
 
@@ -144,7 +144,7 @@ TEST(SimulateTest, SurveyDatasetRunsWithEmbedder) {
   const Dataset d = make_survey_like(survey, 3);
   SimOptions options;
   options.embedder = std::make_shared<text::HashEmbedder>(16);
-  const auto r = simulate(d, Method::kEta2, options, 3);
+  const auto r = simulate(d, "eta2", options, 3);
   EXPECT_FALSE(std::isnan(r.overall_error));
   // Expertise MAE is only defined for pre-known-domain datasets.
   EXPECT_TRUE(std::isnan(r.expertise_mae));
@@ -154,8 +154,8 @@ TEST(SimulateTest, SurvivesLowResponseRates) {
   const Dataset d = make_synthetic(small_synthetic(), 19);
   SimOptions options;
   options.response_rate = 0.4;
-  for (const Method m : {Method::kEta2, Method::kEta2MinCost,
-                         Method::kTruthFinder, Method::kBaseline}) {
+  for (const std::string_view m : {"eta2", "eta2-mc",
+                         "truthfinder", "baseline"}) {
     const auto r = simulate(d, m, options, 19);
     EXPECT_FALSE(std::isnan(r.overall_error)) << method_name(m);
   }
@@ -166,8 +166,8 @@ TEST(SimulateTest, DropoutWorsensErrorMonotonically) {
   SimOptions full;
   SimOptions half;
   half.response_rate = 0.5;
-  const auto with_full = simulate(d, Method::kEta2, full, 23);
-  const auto with_half = simulate(d, Method::kEta2, half, 23);
+  const auto with_full = simulate(d, "eta2", full, 23);
+  const auto with_half = simulate(d, "eta2", half, 23);
   EXPECT_GT(with_half.overall_error, with_full.overall_error * 0.9);
 }
 
@@ -181,7 +181,7 @@ TEST(SweepSeedsTest, AggregatesAcrossSeeds) {
         o.domains = 3;
         return make_synthetic(o, seed);
       },
-      Method::kEta2, options, /*seeds=*/3);
+      "eta2", options, /*seeds=*/3);
   EXPECT_EQ(sweep.runs.size(), 3u);
   EXPECT_EQ(sweep.overall_error.n, 3u);
   EXPECT_GT(sweep.overall_error.mean, 0.0);
@@ -192,10 +192,10 @@ TEST(SweepSeedsTest, AggregatesAcrossSeeds) {
 
 TEST(SweepSeedsTest, RejectsBadArguments) {
   const SimOptions options;
-  EXPECT_THROW(sweep_seeds(nullptr, Method::kEta2, options, 3),
+  EXPECT_THROW(sweep_seeds(nullptr, "eta2", options, 3),
                std::invalid_argument);
   EXPECT_THROW(sweep_seeds([](std::uint64_t) { return Dataset{}; },
-                           Method::kEta2, options, 0),
+                           "eta2", options, 0),
                std::invalid_argument);
 }
 

@@ -23,12 +23,14 @@
 
 #include "common/flags.h"
 #include "common/table.h"
+#include "core/strategy_registry.h"
 #include "io/dataset_io.h"
 #include "io/results_io.h"
 #include "sim/dataset.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "sim/simulation.h"
+#include "truth/truth_registry.h"
 
 namespace {
 
@@ -41,17 +43,9 @@ int usage() {
   return 2;
 }
 
-std::optional<eta2::sim::Method> parse_method(const std::string& name) {
-  using eta2::sim::Method;
-  if (name == "eta2") return Method::kEta2;
-  if (name == "eta2-mc") return Method::kEta2MinCost;
-  if (name == "hubs") return Method::kHubsAuthorities;
-  if (name == "avglog") return Method::kAverageLog;
-  if (name == "truthfinder") return Method::kTruthFinder;
-  if (name == "em") return Method::kVarianceEm;
-  if (name == "median") return Method::kMedian;
-  if (name == "baseline") return Method::kBaseline;
-  return std::nullopt;
+std::optional<std::string> parse_method(const std::string& name) {
+  if (!eta2::sim::has_method(name)) return std::nullopt;
+  return name;
 }
 
 std::optional<eta2::sim::Dataset> build_dataset(const Flags& flags,
@@ -202,14 +196,32 @@ int cmd_sweep(const Flags& flags) {
 }
 
 int cmd_methods() {
-  std::printf("eta2         ETA2: expertise-aware truth analysis + max-quality allocation\n");
-  std::printf("eta2-mc      ETA2-mc: min-cost allocation (Algorithm 2)\n");
-  std::printf("hubs         Hubs and Authorities + reliability-greedy allocation\n");
-  std::printf("avglog       Average-Log + reliability-greedy allocation\n");
-  std::printf("truthfinder  TruthFinder + reliability-greedy allocation\n");
-  std::printf("em           Gaussian EM (CRH-style) + reliability-greedy allocation\n");
-  std::printf("median       per-task median + random allocation\n");
-  std::printf("baseline     plain mean + random allocation\n");
+  // Everything is registry-driven: the method table plus the stage
+  // registries behind it.
+  for (const eta2::sim::MethodSpec& spec : eta2::sim::method_specs()) {
+    std::string detail;
+    if (spec.server) {
+      detail = "ETA2 server pipeline, \"" + std::string(spec.allocator) +
+               "\" allocation";
+    } else {
+      detail = "\"" + std::string(spec.truth_method) + "\" truth + \"" +
+               std::string(spec.allocator) + "\" allocation";
+    }
+    std::printf("%-12.*s %-22.*s %s\n", static_cast<int>(spec.name.size()),
+                spec.name.data(), static_cast<int>(spec.display_name.size()),
+                spec.display_name.data(), detail.c_str());
+  }
+  const auto print_names = [](const char* label,
+                              const std::vector<std::string>& names) {
+    std::printf("%s:", label);
+    for (const std::string& name : names) std::printf(" %s", name.c_str());
+    std::printf("\n");
+  };
+  std::printf("\nregistered pipeline stages (core/strategy_registry.h):\n");
+  print_names("  domain identifiers ", eta2::core::domain_identifiers().names());
+  print_names("  allocation strategies", eta2::core::allocation_strategies().names());
+  print_names("  truth updaters     ", eta2::core::truth_updaters().names());
+  print_names("  baseline truth methods", eta2::truth::truth_method_names());
   return 0;
 }
 
