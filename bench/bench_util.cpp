@@ -1,6 +1,8 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "common/parallel.h"
 
@@ -71,6 +73,63 @@ std::span<const std::string_view> comparison_methods() {
   static constexpr std::string_view kMethods[] = {
       "eta2", "hubs", "avglog", "truthfinder", "em", "baseline"};
   return kMethods;
+}
+
+namespace {
+
+// Serializes one curve as a single JSON line (no trailing comma) — the
+// unit of the merge in write_robustness_json.
+std::string curve_line(const RobustnessCurve& curve) {
+  std::string line = "    {\"name\": \"" + curve.name + "\", \"x_label\": \"" +
+                     curve.x_label + "\", \"points\": [";
+  char buffer[64];
+  for (std::size_t i = 0; i < curve.x.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%s[%.6g, %.6g]", i > 0 ? ", " : "",
+                  curve.x[i], curve.error[i]);
+    line += buffer;
+  }
+  line += "]}";
+  return line;
+}
+
+}  // namespace
+
+void write_robustness_json(const std::string& path,
+                           const std::vector<RobustnessCurve>& curves) {
+  // Keep curve lines already in the file unless this run re-emits them.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"name\": \"") == std::string::npos) continue;
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      bool replaced = false;
+      for (const RobustnessCurve& c : curves) {
+        if (line.find("\"name\": \"" + c.name + "\"") != std::string::npos) {
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) lines.push_back(line);
+    }
+  }
+  for (const RobustnessCurve& c : curves) lines.push_back(curve_line(c));
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "write_robustness_json: cannot open %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"robustness\",\n  \"curves\": [\n");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::fprintf(out, "%s%s\n", lines[i].c_str(),
+                 i + 1 < lines.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s (%zu curves)\n", path.c_str(), lines.size());
 }
 
 }  // namespace eta2::bench

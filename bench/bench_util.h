@@ -10,7 +10,9 @@
 #ifndef ETA2_BENCH_BENCH_UTIL_H
 #define ETA2_BENCH_BENCH_UTIL_H
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/table.h"
@@ -51,6 +53,22 @@ void print_banner(std::string_view binary, std::string_view reproduces,
 // the extra Gaussian-EM (CRH-style) baseline this library adds. Names are
 // sim::method_registry keys.
 [[nodiscard]] std::span<const std::string_view> comparison_methods();
+
+// One degradation curve of a robustness bench: estimation error as a
+// function of a fault knob (response rate, fabricator fraction, ...).
+struct RobustnessCurve {
+  std::string name;     // unique key, e.g. "dropout:eta2"
+  std::string x_label;  // the swept fault knob, e.g. "response_rate"
+  std::vector<double> x;
+  std::vector<double> error;
+};
+
+// Writes/merges degradation curves into BENCH_robustness.json. Each curve
+// is one JSON line keyed by `name`; existing curves from OTHER benches are
+// kept, same-name curves are replaced — so the dropout and adversarial
+// benches accumulate into one file regardless of run order.
+void write_robustness_json(const std::string& path,
+                           const std::vector<RobustnessCurve>& curves);
 
 }  // namespace eta2::bench
 

@@ -4,14 +4,18 @@
 // the uninterrupted one. The production story for a crowdsourcing service
 // that must survive redeployments between days.
 //
+// Checkpoints go through io/snapshot.h: a CRC-checked v2 envelope written
+// atomically (tmp file + rename), so a crash mid-save leaves the previous
+// checkpoint intact and a corrupted file fails loudly with
+// io::CorruptSnapshotError instead of silently feeding garbage state.
+//
 //   ./server_checkpoint [--seed=1] [--state=/tmp/eta2_state.txt]
 #include <cmath>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
 #include "common/flags.h"
 #include "core/eta2_server.h"
+#include "io/snapshot.h"
 #include "sim/dataset.h"
 
 namespace {
@@ -75,15 +79,13 @@ int main(int argc, char** argv) {
     std::printf("day %d (original): error %.4f\n", day,
                 day_error(dataset, day, r));
   }
-  {
-    std::ofstream out(state_path);
-    server.save(out);
-  }
-  std::printf("checkpoint written to %s\n", state_path.c_str());
+  eta2::io::save_server_snapshot(server, state_path);
+  std::printf("checkpoint written to %s (v2 envelope, atomic rename)\n",
+              state_path.c_str());
 
   // --- "process restart": load the state into a brand-new server. ---
-  std::ifstream in(state_path);
-  Eta2Server restored = Eta2Server::load(in, config, nullptr);
+  Eta2Server restored =
+      eta2::io::load_server_snapshot(state_path, config, nullptr);
   std::printf("restored server: warmed_up=%d, %zu domains\n",
               restored.warmed_up() ? 1 : 0,
               restored.expertise_store().domain_count());

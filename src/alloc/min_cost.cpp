@@ -123,6 +123,11 @@ MinCostAllocator::Result MinCostAllocator::run(
     }
     if (pairs_after == pairs_before) break;  // nothing left to allocate
   }
+  if (!result.quality_met) {
+    for (TaskId j = 0; j < m; ++j) {
+      if (!task_passed[j]) ++result.tasks_unmet;
+    }
+  }
   return result;
 }
 

@@ -46,6 +46,10 @@ class MinCostAllocator {
     int data_iterations = 0;
     // True when every task with observations met the quality requirement.
     bool quality_met = false;
+    // Tasks still failing the requirement when the loop stopped (budget or
+    // capacity exhausted). Algorithm 2 reports the shortfall instead of
+    // looping forever; 0 whenever quality_met.
+    std::size_t tasks_unmet = 0;
 
     Result(std::size_t user_count, std::size_t task_count)
         : allocation(user_count, task_count),

@@ -1,0 +1,161 @@
+#include "common/fault.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace eta2::fault {
+namespace {
+
+// Fault-kind stream separators for the decision hash.
+constexpr std::uint64_t kKindCorrupt = 0x0b5e'55ed'c0ff'ee01ULL;
+constexpr std::uint64_t kKindResponse = 0x0b5e'55ed'c0ff'ee02ULL;
+constexpr std::uint64_t kKindDropout = 0x0b5e'55ed'c0ff'ee03ULL;
+constexpr std::uint64_t kKindBatch = 0x0b5e'55ed'c0ff'ee04ULL;
+constexpr std::uint64_t kKindEmbedder = 0x0b5e'55ed'c0ff'ee05ULL;
+constexpr std::uint64_t kKindFabricator = 0x0b5e'55ed'c0ff'ee06ULL;
+constexpr std::uint64_t kKindFabOffset = 0x0b5e'55ed'c0ff'ee07ULL;
+
+// SplitMix64 finalizer: the avalanche stage used to seed the Rng streams,
+// reused here as a counter-based hash so decisions are order-independent.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t seed, std::uint64_t kind,
+                      std::uint64_t step, std::uint64_t task,
+                      std::uint64_t user) {
+  std::uint64_t h = mix(seed ^ kind);
+  h = mix(h ^ step);
+  h = mix(h ^ task);
+  h = mix(h ^ user);
+  return h;
+}
+
+double unit(std::uint64_t h) {
+  // Top 53 bits → [0, 1), the same mapping Rng::uniform01 uses.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void check_rate(double rate, std::string_view what) {
+  require(rate >= 0.0 && rate <= 1.0, what);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultOptions options) : options_(options) {
+  check_rate(options_.nan_rate, "FaultPlan: nan_rate in [0,1]");
+  check_rate(options_.inf_rate, "FaultPlan: inf_rate in [0,1]");
+  check_rate(options_.outlier_rate, "FaultPlan: outlier_rate in [0,1]");
+  check_rate(options_.response_rate, "FaultPlan: response_rate in [0,1]");
+  check_rate(options_.dropout_rate, "FaultPlan: dropout_rate in [0,1]");
+  check_rate(options_.empty_batch_rate, "FaultPlan: empty_batch_rate in [0,1]");
+  check_rate(options_.embedder_failure_rate,
+             "FaultPlan: embedder_failure_rate in [0,1]");
+  check_rate(options_.fabricator_fraction,
+             "FaultPlan: fabricator_fraction in [0,1]");
+  require(options_.nan_rate + options_.inf_rate + options_.outlier_rate <= 1.0,
+          "FaultPlan: corruption rates must sum to <= 1");
+  require(options_.fabricator_offset_lo <= options_.fabricator_offset_hi,
+          "FaultPlan: fabricator offset range inverted");
+}
+
+double FaultPlan::decision(std::uint64_t kind, std::uint64_t step,
+                           std::uint64_t task, std::uint64_t user) const {
+  return unit(combine(options_.seed, kind, step, task, user));
+}
+
+bool FaultPlan::drop_batch() {
+  if (options_.empty_batch_rate <= 0.0) return false;
+  const bool drop =
+      decision(kKindBatch, step_, 0, 0) < options_.empty_batch_rate;
+  if (drop) ++stats_.batches_dropped;
+  return drop;
+}
+
+bool FaultPlan::user_dropped(std::size_t user) const {
+  return options_.dropout_rate > 0.0 &&
+         decision(kKindDropout, step_, 0, user) < options_.dropout_rate;
+}
+
+bool FaultPlan::embedder_down() const {
+  return options_.embedder_failure_rate > 0.0 &&
+         decision(kKindEmbedder, step_, 0, 0) < options_.embedder_failure_rate;
+}
+
+bool FaultPlan::user_fabricates(std::size_t user) const {
+  // Decided once per user (step-independent): fabrication is a persistent
+  // trait in the paper's threat model, not a transient glitch.
+  return options_.fabricator_fraction > 0.0 &&
+         decision(kKindFabricator, 0, 0, user) < options_.fabricator_fraction;
+}
+
+ObserveFn FaultPlan::wrap_collect(ObserveFn inner) {
+  require(inner != nullptr, "FaultPlan::wrap_collect: callback required");
+  return [this, inner = std::move(inner)](
+             std::size_t task, std::size_t user) -> std::optional<double> {
+    ++stats_.observations_seen;
+    if (user_dropped(user)) {
+      ++stats_.dropouts;
+      return std::nullopt;
+    }
+    if (options_.response_rate < 1.0 &&
+        decision(kKindResponse, step_, task, user) >= options_.response_rate) {
+      ++stats_.no_responses;
+      return std::nullopt;
+    }
+    const std::optional<double> honest = inner(task, user);
+    if (!honest.has_value()) return std::nullopt;
+    double value = *honest;
+    if (user_fabricates(user)) {
+      const std::uint64_t h =
+          combine(options_.seed, kKindFabOffset, 0, 0, user);
+      const double magnitude =
+          options_.fabricator_offset_lo +
+          unit(h) * (options_.fabricator_offset_hi -
+                     options_.fabricator_offset_lo);
+      value += (h & 1U) != 0 ? magnitude : -magnitude;
+      ++stats_.fabricated;
+    }
+    const double r = decision(kKindCorrupt, step_, task, user);
+    if (r < options_.nan_rate) {
+      ++stats_.nan_injected;
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (r < options_.nan_rate + options_.inf_rate) {
+      ++stats_.inf_injected;
+      return (combine(options_.seed, kKindCorrupt, step_, task, user) & 2U)
+                 ? std::numeric_limits<double>::infinity()
+                 : -std::numeric_limits<double>::infinity();
+    }
+    if (r < options_.nan_rate + options_.inf_rate + options_.outlier_rate) {
+      ++stats_.outliers_injected;
+      // Gross but finite: the sign survives so the fault models a unit or
+      // scaling bug at the reporting device rather than random garbage.
+      return value * options_.outlier_scale;
+    }
+    return value;
+  };
+}
+
+std::shared_ptr<const text::Embedder> FaultPlan::wrap_embedder(
+    std::shared_ptr<const text::Embedder> inner) {
+  require(inner != nullptr, "FaultPlan::wrap_embedder: embedder required");
+  return std::make_shared<FaultyEmbedder>(std::move(inner), this);
+}
+
+text::Embedding FaultyEmbedder::embed_word(std::string_view word) const {
+  if (plan_->embedder_down()) {
+    ++plan_->stats_.embedder_failures;
+    throw text::EmbedderError(
+        "FaultyEmbedder: injected embedder outage at step " +
+        std::to_string(plan_->current_step()));
+  }
+  return inner_->embed_word(word);
+}
+
+}  // namespace eta2::fault

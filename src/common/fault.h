@@ -1,0 +1,161 @@
+// Deterministic fault-injection framework.
+//
+// A FaultPlan is a seeded, stateless-by-construction description of the
+// faults a run should experience: observation corruption (NaN / Inf / gross
+// outliers), per-step user dropout, per-observation no-response, suppressed
+// (empty) task batches, and embedder outages. Every decision is a pure
+// counter-based hash of (seed, fault kind, step, task, user) — never a
+// sequential RNG draw — so the same plan injects the same faults regardless
+// of thread count, call order, or how many times a decision is consulted.
+// That makes faulted runs exactly as reproducible as clean ones.
+//
+// The plan wraps the two ingestion boundaries of the pipeline:
+//   * wrap_collect()  — decorates an observation callback (core::CollectFn
+//     is structurally this ObserveFn) with dropout + corruption;
+//   * wrap_embedder() — decorates a text::Embedder so embedding calls throw
+//     text::EmbedderError on outage steps.
+// Cumulative injection counts are kept in FaultStats so tests can assert
+// that downstream health accounting (core::StepHealth) accounts for every
+// injected fault.
+#ifndef ETA2_COMMON_FAULT_H
+#define ETA2_COMMON_FAULT_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "text/embedder.h"
+
+namespace eta2::fault {
+
+// Structurally identical to core::CollectFn; redeclared here so common/
+// does not depend on core/.
+using ObserveFn =
+    std::function<std::optional<double>(std::size_t task, std::size_t user)>;
+
+struct FaultOptions {
+  std::uint64_t seed = 0;
+
+  // --- observation corruption (per delivered observation) ---
+  double nan_rate = 0.0;      // value replaced by quiet NaN
+  double inf_rate = 0.0;      // value replaced by ±Inf
+  double outlier_rate = 0.0;  // value multiplied by outlier_scale
+  double outlier_scale = 1e6;
+
+  // --- availability ---
+  // Probability an allocated (task, user) pair answers at all. 1.0 =
+  // everyone responds (the sim layer's former ad-hoc response_rate knob).
+  double response_rate = 1.0;
+  // Fraction of users silent for an entire step (mid-campaign dropout:
+  // dead battery, left the area). Decided per (step, user).
+  double dropout_rate = 0.0;
+  // Probability a step's whole task batch is lost before the server sees it.
+  double empty_batch_rate = 0.0;
+
+  // --- subsystem outages ---
+  // Probability the embedder is down for an entire step: every embedding
+  // call throws text::EmbedderError while it lasts.
+  double embedder_failure_rate = 0.0;
+
+  // --- persistent fabricators (paper §1: users who "intentionally
+  // generate data instead of performing the task") ---
+  // Each user is a fabricator with this probability (decided once per
+  // user); fabricators report honest_value + sign·U[offset_lo, offset_hi].
+  double fabricator_fraction = 0.0;
+  double fabricator_offset_lo = 5.0;
+  double fabricator_offset_hi = 14.0;
+
+  // True when any knob deviates from the fault-free defaults.
+  [[nodiscard]] bool any() const {
+    return nan_rate > 0.0 || inf_rate > 0.0 || outlier_rate > 0.0 ||
+           response_rate < 1.0 || dropout_rate > 0.0 ||
+           empty_batch_rate > 0.0 || embedder_failure_rate > 0.0 ||
+           fabricator_fraction > 0.0;
+  }
+};
+
+// Cumulative injection counts. Each counter is incremented at the moment a
+// fault is actually delivered (not merely planned), so the totals can be
+// reconciled against per-step health counters.
+struct FaultStats {
+  std::uint64_t observations_seen = 0;   // wrapped collect invocations
+  std::uint64_t nan_injected = 0;
+  std::uint64_t inf_injected = 0;
+  std::uint64_t outliers_injected = 0;
+  std::uint64_t fabricated = 0;          // fabricator-offset observations
+  std::uint64_t no_responses = 0;        // suppressed by response_rate
+  std::uint64_t dropouts = 0;            // suppressed by per-step dropout
+  std::uint64_t batches_dropped = 0;
+  std::uint64_t embedder_failures = 0;   // throwing embedding calls
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultOptions options);
+
+  // Positions the plan at a time step. Must be called before consulting
+  // per-step decisions (drop_batch, user_dropped, embedder_fails) or
+  // invoking wrapped callbacks for that step.
+  void begin_step(std::uint64_t step) { step_ = step; }
+  [[nodiscard]] std::uint64_t current_step() const { return step_; }
+
+  // True when this step's batch is lost; records the drop.
+  [[nodiscard]] bool drop_batch();
+
+  // Pure decision queries (no stats side effects).
+  [[nodiscard]] bool user_dropped(std::size_t user) const;
+  [[nodiscard]] bool embedder_down() const;
+  [[nodiscard]] bool user_fabricates(std::size_t user) const;
+
+  // Decorates `inner` with this plan's dropout, no-response, fabrication
+  // and corruption faults. The returned callback references this plan (for
+  // the step cursor and stats); the plan must outlive it.
+  [[nodiscard]] ObserveFn wrap_collect(ObserveFn inner);
+
+  // Decorates an embedder so calls throw text::EmbedderError on outage
+  // steps. The wrapper shares ownership of `inner` but references this
+  // plan; the plan must outlive the wrapper.
+  [[nodiscard]] std::shared_ptr<const text::Embedder> wrap_embedder(
+      std::shared_ptr<const text::Embedder> inner);
+
+  [[nodiscard]] const FaultOptions& options() const { return options_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  friend class FaultyEmbedder;
+
+  // Uniform [0,1) decision draw for a (kind, step, task, user) coordinate.
+  [[nodiscard]] double decision(std::uint64_t kind, std::uint64_t step,
+                                std::uint64_t task, std::uint64_t user) const;
+
+  FaultOptions options_;
+  std::uint64_t step_ = 0;
+  // Mutated by const-callable wrappers (collect runs through a const
+  // reference chain); all mutation happens on the serial ingestion path.
+  mutable FaultStats stats_;
+};
+
+// Embedder decorator: delegates to `inner` except on steps where the plan
+// declares an embedder outage, in which case every call throws
+// text::EmbedderError (and is counted in FaultStats::embedder_failures).
+class FaultyEmbedder final : public text::Embedder {
+ public:
+  FaultyEmbedder(std::shared_ptr<const text::Embedder> inner, FaultPlan* plan)
+      : inner_(std::move(inner)), plan_(plan) {}
+
+  [[nodiscard]] std::size_t dimension() const override {
+    return inner_->dimension();
+  }
+  [[nodiscard]] text::Embedding embed_word(
+      std::string_view word) const override;
+
+ private:
+  std::shared_ptr<const text::Embedder> inner_;
+  FaultPlan* plan_;
+};
+
+}  // namespace eta2::fault
+
+#endif  // ETA2_COMMON_FAULT_H

@@ -45,6 +45,9 @@ void MinCostStrategy::allocate(StepContext& ctx) {
   ctx.allocation = mc.allocation;
   ctx.observations = mc.observations;
   ctx.data_iterations = mc.data_iterations;
+  // Degraded mode: Algorithm 2 ran out of budget/capacity with tasks still
+  // below the quality requirement — report the shortfall on the ledger.
+  ctx.health.quality_unmet_tasks = mc.tasks_unmet;
 }
 
 ReliabilityGreedyStrategy::ReliabilityGreedyStrategy(const Eta2Config& config)

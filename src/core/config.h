@@ -20,6 +20,11 @@ struct Eta2Config {
   truth::MleOptions mle;
   // Run the ½-approximation extra greedy pass (paper always does).
   bool half_approx_pass = true;
+  // Observation quarantine bound: reports with |x_ij| above this are
+  // rejected at the collect boundary and counted in StepHealth (gross
+  // outliers from unit bugs or fabrication). 0 disables the range check;
+  // non-finite values are always quarantined.
+  double observation_abs_limit = 0.0;
   // Use the pair-word <Query, Target> semantic vectors (paper §3.2). When
   // false, the whole description's content words form one phrase embedding
   // (the ablation the pair-word design is measured against). Only consulted

@@ -2,11 +2,13 @@
 
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "common/error.h"
 #include "core/strategy_registry.h"
+#include "core/truth_updaters.h"
 
 namespace eta2::core {
 
@@ -45,6 +47,9 @@ void Eta2Server::save(std::ostream& out) const {
   // Identifier slices in the v1 order: clustering state, then label map.
   described_->save(out);
   known_label_.save(out);
+  // Optional trailer: the catch-all domain, only present once an identifier
+  // failure created it — a clean server's snapshot stays byte-identical v1.
+  if (unknown_domain_) out << "unknown-domain " << *unknown_domain_ << '\n';
 }
 
 Eta2Server Eta2Server::load(std::istream& in, Eta2Config config,
@@ -65,6 +70,16 @@ Eta2Server Eta2Server::load(std::istream& in, Eta2Config config,
   server.store_ = std::move(store);
   server.described_->load(in);
   server.known_label_.load(in);
+  std::string trailer;
+  if (in >> trailer) {
+    require(trailer == "unknown-domain",
+            "Eta2Server::load: unexpected trailer");
+    std::size_t idx = 0;
+    require(static_cast<bool>(in >> idx) &&
+                idx < server.store_.domain_count(),
+            "Eta2Server::load: bad unknown-domain index");
+    server.unknown_domain_ = idx;
+  }
   return server;
 }
 
@@ -78,7 +93,10 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
 
   StepResult result;
   result.allocation = alloc::Allocation(n, m);
-  if (m == 0) return result;
+  if (m == 0) {
+    result.health.empty_batch = true;
+    return result;
+  }
 
   StepContext ctx;
   ctx.config = &config_;
@@ -86,15 +104,33 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
   ctx.mle = &mle_;
   ctx.embedder = embedder_.get();
   ctx.rng = &rng;
-  ctx.collect = &collect;
   ctx.tasks = tasks;
+  // Quarantine pass: every observation — whether collected by the shared
+  // loop below or incrementally by a collecting strategy (min-cost) — flows
+  // through the sanitizer, so NaN/Inf and gross outliers never reach the
+  // MLE. Clean values pass through bit-identical.
+  const CollectFn safe = sanitizing_collect(
+      collect, config_.observation_abs_limit, ctx.health);
+  ctx.collect = &safe;
 
   // --- Module 1: identify task expertise domains. Labels resolve first in
   // batch-scan order, then the described tasks cluster — the same dense
-  // numbering the original single-pass scan produced. ---
+  // numbering the original single-pass scan produced. A failing identifier
+  // (embedder outage, clustering error) degrades to the catch-all unknown
+  // domain instead of aborting the step. ---
   ctx.task_domains.assign(m, 0);
   known_label_.identify(ctx);
-  described_->identify(ctx);
+  try {
+    described_->identify(ctx);
+  } catch (const std::runtime_error&) {
+    ctx.health.identifier_failed = true;
+    if (!unknown_domain_) unknown_domain_ = store_.add_domain();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!described_->handles(tasks[j])) continue;
+      ctx.task_domains[j] = *unknown_domain_;
+      ++ctx.health.domain_fallback_tasks;
+    }
+  }
   ctx.domain_count = store_.domain_count();
 
   // --- Contiguous allocation plane shared by all strategies. ---
@@ -118,9 +154,9 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
   allocate.allocate(ctx);
   if (!allocate.collects_observations()) {
     ctx.observations = truth::ObservationSet(n, m);
-    collect_observations(ctx.allocation, collect, ctx.observations);
+    collect_observations(ctx.allocation, safe, ctx.observations);
   }
-  update.update(ctx);
+  update_with_fallback(update, ctx);
   warmed_up_ = true;
 
   result.task_domains = std::move(ctx.task_domains);
@@ -130,6 +166,7 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
   result.mle_iterations = ctx.mle_iterations;
   result.data_iterations = ctx.data_iterations;
   result.cost = result.allocation.total_cost();
+  result.health = ctx.health;
   return result;
 }
 

@@ -46,6 +46,9 @@ class Eta2Server {
     int data_iterations = 1;     // Algorithm 2 rounds (1 for max-quality)
     bool warmup = false;         // true when the warm-up stages were used
     std::vector<truth::DomainIndex> task_domains;  // dense index per task
+    // Degradation ledger: quarantined observations, stage fallbacks and
+    // unmet quality requirements absorbed this step (all-zero when clean).
+    StepHealth health;
   };
 
   // `embedder` may be null when every step supplies known_domain labels.
@@ -83,6 +86,13 @@ class Eta2Server {
     return known_label_.dense_of_external(external);
   }
 
+  // The catch-all domain described tasks fall back to when the configured
+  // identifier fails (embedder outage, clustering error). Created lazily on
+  // the first failure; empty on a healthy server.
+  [[nodiscard]] std::optional<truth::DomainIndex> unknown_domain() const {
+    return unknown_domain_;
+  }
+
   // The `k` users with the highest learned expertise in a dense domain
   // (ties broken by user id), most expert first.
   [[nodiscard]] std::vector<std::size_t> top_experts(truth::DomainIndex domain,
@@ -113,6 +123,10 @@ class Eta2Server {
   std::unique_ptr<TruthUpdater> warmup_truth_;
   std::unique_ptr<TruthUpdater> truth_updater_;
   bool warmed_up_ = false;
+  // Lazily-created catch-all domain for identifier failures (persisted as
+  // an optional trailer after the v1 block, so clean servers keep emitting
+  // byte-identical v1 snapshots).
+  std::optional<truth::DomainIndex> unknown_domain_;
 };
 
 }  // namespace eta2::core

@@ -1,8 +1,48 @@
 #include "core/step_context.h"
 
+#include <cmath>
+
 #include "common/error.h"
 
 namespace eta2::core {
+
+void StepHealth::merge(const StepHealth& other) {
+  pairs_asked += other.pairs_asked;
+  observations_accepted += other.observations_accepted;
+  rejected_nonfinite += other.rejected_nonfinite;
+  rejected_out_of_range += other.rejected_out_of_range;
+  silent_pairs += other.silent_pairs;
+  identifier_failed = identifier_failed || other.identifier_failed;
+  domain_fallback_tasks += other.domain_fallback_tasks;
+  truth_fallback = truth_fallback || other.truth_fallback;
+  quality_unmet_tasks += other.quality_unmet_tasks;
+  empty_batch = empty_batch || other.empty_batch;
+}
+
+CollectFn sanitizing_collect(const CollectFn& inner, double abs_limit,
+                             StepHealth& health) {
+  require(inner != nullptr, "sanitizing_collect: callback required");
+  require(abs_limit >= 0.0, "sanitizing_collect: abs_limit >= 0");
+  return [&inner, abs_limit, &health](
+             std::size_t task, std::size_t user) -> std::optional<double> {
+    ++health.pairs_asked;
+    const std::optional<double> value = inner(task, user);
+    if (!value.has_value()) {
+      ++health.silent_pairs;
+      return std::nullopt;
+    }
+    if (!std::isfinite(*value)) {
+      ++health.rejected_nonfinite;
+      return std::nullopt;
+    }
+    if (abs_limit > 0.0 && std::fabs(*value) > abs_limit) {
+      ++health.rejected_out_of_range;
+      return std::nullopt;
+    }
+    ++health.observations_accepted;
+    return value;
+  };
+}
 
 void collect_observations(const alloc::Allocation& allocation,
                           const CollectFn& collect, truth::ObservationSet& out,
@@ -16,6 +56,14 @@ void collect_observations(const alloc::Allocation& allocation,
       if (const auto value = collect(j, i)) out.add(target, i, *value);
     }
   }
+}
+
+void collect_observations(const alloc::Allocation& allocation,
+                          const CollectFn& collect, truth::ObservationSet& out,
+                          StepHealth& health, double abs_limit,
+                          std::span<const std::size_t> task_ids) {
+  const CollectFn safe = sanitizing_collect(collect, abs_limit, health);
+  collect_observations(allocation, safe, out, task_ids);
 }
 
 }  // namespace eta2::core

@@ -44,6 +44,46 @@ struct NewTask {
 using CollectFn =
     std::function<std::optional<double>(std::size_t local_task, std::size_t user)>;
 
+// Per-step degradation ledger. Every fault the pipeline absorbed instead of
+// throwing is counted here; a fault-free step leaves all fields at their
+// defaults. Returned on StepResult and aggregated by the simulation layer.
+struct StepHealth {
+  // --- observation sanitization (the quarantine pass at the collect
+  // boundary; see sanitizing_collect) ---
+  std::size_t pairs_asked = 0;            // (task, user) pairs queried
+  std::size_t observations_accepted = 0;  // finite, in-range, recorded
+  std::size_t rejected_nonfinite = 0;     // NaN / ±Inf x_ij quarantined
+  std::size_t rejected_out_of_range = 0;  // |x_ij| > observation_abs_limit
+  std::size_t silent_pairs = 0;           // queried but no response at all
+
+  // --- Module 1 degradation ---
+  bool identifier_failed = false;          // described-task identifier threw
+  std::size_t domain_fallback_tasks = 0;   // routed to the unknown domain
+
+  // --- Module 2 degradation ---
+  // MLE aborted with NumericalError; truth fell back to the
+  // capability-weighted mean under the prior expertise (no commit).
+  bool truth_fallback = false;
+
+  // --- Module 3 degradation ---
+  // Min-cost Algorithm 2 stopped with this many tasks still failing the
+  // probabilistic quality requirement (budget/capacity exhausted).
+  std::size_t quality_unmet_tasks = 0;
+
+  // The step's batch was empty (suppressed upstream or a quiet day).
+  bool empty_batch = false;
+
+  // True when any degraded mode engaged this step.
+  [[nodiscard]] bool degraded() const {
+    return rejected_nonfinite > 0 || rejected_out_of_range > 0 ||
+           identifier_failed || domain_fallback_tasks > 0 || truth_fallback ||
+           quality_unmet_tasks > 0;
+  }
+
+  // Accumulates another step's counters into this one (flags OR together).
+  void merge(const StepHealth& other);
+};
+
 // The batch state shared by the pipeline stages. Wiring pointers are
 // non-owning and set by the composer (Eta2Server, or the simulation's
 // baseline driver) before any stage runs; stages read what they need and
@@ -80,6 +120,10 @@ struct StepContext {
   std::vector<double> sigma;  // per task
   int mle_iterations = 0;
 
+  // --- degradation ledger (written by the sanitizing collect wrapper and
+  // by any stage that engages a degraded mode) ---
+  StepHealth health;
+
   [[nodiscard]] std::size_t user_count() const {
     return problem.user_capacity.size();
   }
@@ -94,6 +138,25 @@ struct StepContext {
 // observation set).
 void collect_observations(const alloc::Allocation& allocation,
                           const CollectFn& collect, truth::ObservationSet& out,
+                          std::span<const std::size_t> task_ids = {});
+
+// The sanitization/quarantine pass of the collection boundary: wraps a raw
+// observation callback so that non-finite values (NaN, ±Inf) and — when
+// `abs_limit > 0` — values with |x| > abs_limit are quarantined (turned
+// into non-responses) and tallied in `health`, together with the asked /
+// accepted / silent counts. Finite in-range values pass through untouched,
+// so a fault-free stream is bit-identical to the unwrapped callback.
+// `health` and `inner` must outlive the returned callback.
+[[nodiscard]] CollectFn sanitizing_collect(const CollectFn& inner,
+                                           double abs_limit,
+                                           StepHealth& health);
+
+// Convenience overload: sanitizes `collect` through `sanitizing_collect`
+// before the shared collection loop, recording the step's counts in
+// `health`.
+void collect_observations(const alloc::Allocation& allocation,
+                          const CollectFn& collect, truth::ObservationSet& out,
+                          StepHealth& health, double abs_limit,
                           std::span<const std::size_t> task_ids = {});
 
 }  // namespace eta2::core

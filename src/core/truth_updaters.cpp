@@ -39,4 +39,23 @@ void DynamicTruthUpdater::update(StepContext& ctx) {
   ctx.mle_iterations = result.iterations;
 }
 
+void truth_fallback(StepContext& ctx) {
+  require(ctx.store != nullptr && ctx.mle != nullptr,
+          "truth_fallback: store and mle required");
+  // Prior expertise only: the step's (possibly corrupt) observations weigh
+  // the mean but never feed back into the accumulators.
+  ctx.mle->estimate_truth_only(ctx.observations, ctx.task_domains,
+                               ctx.store->snapshot(), ctx.truth, ctx.sigma);
+  ctx.mle_iterations = 0;
+  ctx.health.truth_fallback = true;
+}
+
+void update_with_fallback(TruthUpdater& updater, StepContext& ctx) {
+  try {
+    updater.update(ctx);
+  } catch (const NumericalError&) {
+    truth_fallback(ctx);
+  }
+}
+
 }  // namespace eta2::core

@@ -31,6 +31,17 @@ class DynamicTruthUpdater final : public TruthUpdater {
   double alpha_;
 };
 
+// Degraded Module-2 path: one fixed-expertise Eq. 5 sweep under the store's
+// prior expertise (the capability-weighted mean of the step's observations),
+// with NO accumulator commit — the corrupt step must not contaminate the
+// learned expertise. Sets mle_iterations = 0 and health.truth_fallback.
+void truth_fallback(StepContext& ctx);
+
+// Runs `updater` on `ctx`; when it aborts with eta2::NumericalError
+// (non-convergence, degenerate accumulators) the step degrades to
+// truth_fallback() instead of propagating the failure.
+void update_with_fallback(TruthUpdater& updater, StepContext& ctx);
+
 }  // namespace eta2::core
 
 #endif  // ETA2_CORE_TRUTH_UPDATERS_H

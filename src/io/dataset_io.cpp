@@ -6,6 +6,7 @@
 
 #include "common/csv.h"
 #include "common/error.h"
+#include "io/snapshot.h"
 
 namespace eta2::io {
 namespace {
@@ -70,64 +71,124 @@ void write_tasks_csv(const sim::Dataset& dataset, std::ostream& out) {
   }
 }
 
+namespace {
+
+// A data row with its 1-based physical line number (blank lines counted),
+// so diagnostics point at the actual file location.
+struct NumberedRow {
+  std::size_t line = 0;
+  std::vector<std::string> fields;
+};
+
+std::vector<NumberedRow> numbered_rows(std::string_view text) {
+  std::vector<NumberedRow> rows;
+  std::size_t start = 0;
+  std::size_t line_number = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++line_number;
+    if (!line.empty()) rows.push_back({line_number, parse_csv_line(line)});
+    start = end + 1;
+  }
+  return rows;
+}
+
+// Runs one row's parser; on failure builds the "doc:LINE: what" diagnostic
+// and either throws it (strict) or records it (lenient). Returns whether
+// the row was accepted.
+template <typename RowParser>
+bool parse_row(std::string_view doc, const NumberedRow& row, CsvMode mode,
+               CsvReport* report, const RowParser& parser) {
+  try {
+    parser();
+    if (report != nullptr) ++report->rows_read;
+    return true;
+  } catch (const std::invalid_argument& error) {
+    const std::string diagnostic = std::string(doc) + ":" +
+                                   std::to_string(row.line) + ": " +
+                                   error.what();
+    if (mode == CsvMode::kStrict) throw std::invalid_argument(diagnostic);
+    if (report != nullptr) {
+      ++report->rows_skipped;
+      report->diagnostics.push_back(diagnostic);
+    }
+    return false;
+  }
+}
+
+}  // namespace
+
 sim::Dataset read_dataset_csv(std::string_view users_csv,
-                              std::string_view tasks_csv, std::string name) {
-  const auto user_rows = parse_csv(users_csv);
-  const auto task_rows = parse_csv(tasks_csv);
+                              std::string_view tasks_csv, std::string name,
+                              CsvMode mode, CsvReport* report) {
+  const auto user_rows = numbered_rows(users_csv);
+  const auto task_rows = numbered_rows(tasks_csv);
   require(user_rows.size() >= 2, "dataset csv: users document needs rows");
   require(task_rows.size() >= 2, "dataset csv: tasks document needs rows");
 
   sim::Dataset dataset;
   dataset.name = std::move(name);
-  const std::size_t domain_cols = user_rows.front().size() - 2;
-  require(user_rows.front().size() >= 3, "dataset csv: users header too short");
+  const std::size_t header_cols = user_rows.front().fields.size();
+  require(header_cols >= 3, "dataset csv: users header too short");
+  const std::size_t domain_cols = header_cols - 2;
   dataset.latent_domain_count = domain_cols;
 
   for (std::size_t r = 1; r < user_rows.size(); ++r) {
-    const auto& row = user_rows[r];
-    require(row.size() == domain_cols + 2, "dataset csv: users row width");
-    sim::User u;
-    u.capacity = parse_double(row[1], "capacity");
-    for (std::size_t k = 0; k < domain_cols; ++k) {
-      u.true_expertise.push_back(parse_double(row[2 + k], "expertise"));
-    }
-    dataset.users.push_back(std::move(u));
+    const NumberedRow& row = user_rows[r];
+    parse_row("users.csv", row, mode, report, [&] {
+      require(row.fields.size() == domain_cols + 2,
+              "bad row width (have " + std::to_string(row.fields.size()) +
+                  " fields, want " + std::to_string(domain_cols + 2) + ")");
+      sim::User u;
+      u.capacity = parse_double(row.fields[1], "capacity");
+      for (std::size_t k = 0; k < domain_cols; ++k) {
+        u.true_expertise.push_back(parse_double(row.fields[2 + k], "expertise"));
+      }
+      dataset.users.push_back(std::move(u));
+    });
   }
+  require(!dataset.users.empty(), "dataset csv: no usable user rows");
 
-  require(task_rows.front().size() == 8, "dataset csv: tasks header width");
+  require(task_rows.front().fields.size() == 8,
+          "dataset csv: tasks header width");
   bool any_description = false;
   for (std::size_t r = 1; r < task_rows.size(); ++r) {
-    const auto& row = task_rows[r];
-    require(row.size() == 8, "dataset csv: tasks row width");
-    sim::Task t;
-    t.day = static_cast<int>(parse_size(row[1], "day"));
-    t.true_domain = parse_size(row[2], "true_domain");
-    require(t.true_domain < dataset.latent_domain_count,
-            "dataset csv: true_domain out of range");
-    t.ground_truth = parse_double(row[3], "ground_truth");
-    t.base_number = parse_double(row[4], "base_number");
-    t.processing_time = parse_double(row[5], "processing_time");
-    t.cost = parse_double(row[6], "cost");
-    t.description = row[7];
-    any_description = any_description || !t.description.empty();
-    dataset.tasks.push_back(std::move(t));
+    const NumberedRow& row = task_rows[r];
+    parse_row("tasks.csv", row, mode, report, [&] {
+      require(row.fields.size() == 8,
+              "bad row width (have " + std::to_string(row.fields.size()) +
+                  " fields, want 8)");
+      sim::Task t;
+      t.day = static_cast<int>(parse_size(row.fields[1], "day"));
+      t.true_domain = parse_size(row.fields[2], "true_domain");
+      require(t.true_domain < dataset.latent_domain_count,
+              "true_domain out of range");
+      t.ground_truth = parse_double(row.fields[3], "ground_truth");
+      t.base_number = parse_double(row.fields[4], "base_number");
+      t.processing_time = parse_double(row.fields[5], "processing_time");
+      t.cost = parse_double(row.fields[6], "cost");
+      t.description = row.fields[7];
+      any_description = any_description || !t.description.empty();
+      dataset.tasks.push_back(std::move(t));
+    });
   }
+  require(!dataset.tasks.empty(), "dataset csv: no usable task rows");
   dataset.has_descriptions = any_description;
   return dataset;
 }
 
 void save_dataset(const sim::Dataset& dataset, const std::string& prefix) {
-  std::ofstream users(prefix + ".users.csv");
-  std::ofstream tasks(prefix + ".tasks.csv");
-  if (!users || !tasks) {
-    throw std::runtime_error("save_dataset: cannot open output files at " +
-                             prefix);
-  }
+  // Atomic per-file writes: a crash mid-save leaves any previous dataset
+  // files intact instead of half-written CSV.
+  std::ostringstream users;
+  std::ostringstream tasks;
   write_users_csv(dataset, users);
   write_tasks_csv(dataset, tasks);
-  if (!users.flush() || !tasks.flush()) {
-    throw std::runtime_error("save_dataset: write failed at " + prefix);
-  }
+  atomic_write_file(prefix + ".users.csv", std::move(users).str());
+  atomic_write_file(prefix + ".tasks.csv", std::move(tasks).str());
 }
 
 sim::Dataset load_dataset(const std::string& prefix) {

@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/dataset.h"
 
@@ -20,12 +21,31 @@ namespace eta2::io {
 void write_users_csv(const sim::Dataset& dataset, std::ostream& out);
 void write_tasks_csv(const sim::Dataset& dataset, std::ostream& out);
 
-// Parsing from CSV text (as produced by the writers). Throws
-// std::invalid_argument on malformed input. The two documents must agree on
-// the latent domain count.
+// Malformed-row policy for read_dataset_csv.
+enum class CsvMode {
+  kStrict,   // any malformed data row aborts the parse (default)
+  kLenient,  // malformed data rows are skipped and reported
+};
+
+// What the parser did with imperfect input. Diagnostics are one line per
+// problem in "users.csv:LINE: message" form (1-based physical line numbers,
+// blank lines counted), ready for direct printing.
+struct CsvReport {
+  std::size_t rows_read = 0;     // data rows accepted
+  std::size_t rows_skipped = 0;  // malformed data rows dropped (lenient)
+  std::vector<std::string> diagnostics;
+};
+
+// Parsing from CSV text (as produced by the writers). The two documents
+// must agree on the latent domain count. Structural failures (bad header,
+// no data rows) always throw std::invalid_argument; malformed DATA rows
+// throw the one-line diagnostic in kStrict mode and are skipped (and
+// recorded in `report`) in kLenient mode.
 [[nodiscard]] sim::Dataset read_dataset_csv(std::string_view users_csv,
                                             std::string_view tasks_csv,
-                                            std::string name = "loaded");
+                                            std::string name = "loaded",
+                                            CsvMode mode = CsvMode::kStrict,
+                                            CsvReport* report = nullptr);
 
 // Convenience file round-trip (two files <prefix>.users.csv and
 // <prefix>.tasks.csv). Throws std::runtime_error on IO failure.

@@ -1,0 +1,150 @@
+#include "io/snapshot.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+
+namespace eta2::io {
+namespace {
+
+constexpr std::string_view kMagic = "eta2-snapshot";
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) ? (0xEDB8'8320U ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFF'FFFFU;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFF'FFFFU;
+}
+
+std::string wrap_snapshot(std::string_view payload) {
+  char header[64];
+  const int len =
+      std::snprintf(header, sizeof(header), "eta2-snapshot v2 %zu %08x\n",
+                    payload.size(), crc32(payload));
+  ensure(len > 0 && static_cast<std::size_t>(len) < sizeof(header),
+         "wrap_snapshot: header formatting failure");
+  std::string blob;
+  blob.reserve(static_cast<std::size_t>(len) + payload.size());
+  blob.append(header, static_cast<std::size_t>(len));
+  blob.append(payload);
+  return blob;
+}
+
+std::string unwrap_snapshot(std::string_view blob) {
+  if (blob.substr(0, kMagic.size()) != kMagic) {
+    return std::string(blob);  // bare v1 payload: pass through
+  }
+  const std::size_t newline = blob.find('\n');
+  if (newline == std::string_view::npos) {
+    throw CorruptSnapshotError("snapshot: unterminated v2 header");
+  }
+  std::istringstream header{std::string(blob.substr(0, newline))};
+  std::string magic;
+  std::string version;
+  std::size_t declared_len = 0;
+  std::uint32_t declared_crc = 0;
+  if (!(header >> magic >> version >> declared_len >> std::hex >>
+        declared_crc) ||
+      version != "v2") {
+    throw CorruptSnapshotError("snapshot: malformed v2 header");
+  }
+  const std::string_view payload = blob.substr(newline + 1);
+  if (payload.size() < declared_len) {
+    throw CorruptSnapshotError(
+        "snapshot: truncated payload (" + std::to_string(payload.size()) +
+        " of " + std::to_string(declared_len) + " bytes)");
+  }
+  const std::string_view exact = payload.substr(0, declared_len);
+  const std::uint32_t actual_crc = crc32(exact);
+  if (actual_crc != declared_crc) {
+    char message[96];
+    std::snprintf(message, sizeof(message),
+                  "snapshot: CRC mismatch (stored %08x, computed %08x)",
+                  declared_crc, actual_crc);
+    throw CorruptSnapshotError(message);
+  }
+  return std::string(exact);
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents,
+                       const std::function<void()>& before_rename) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("atomic_write_file: cannot open " + tmp);
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    if (!out.flush()) {
+      throw std::runtime_error("atomic_write_file: write failed at " + tmp);
+    }
+  }
+  if (before_rename) before_rename();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("atomic_write_file: rename to " + path +
+                             " failed");
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+void save_server_snapshot(const core::Eta2Server& server,
+                          const std::string& path,
+                          const std::function<void()>& before_rename) {
+  std::ostringstream payload;
+  server.save(payload);
+  atomic_write_file(path, wrap_snapshot(std::move(payload).str()),
+                    before_rename);
+}
+
+core::Eta2Server load_server_snapshot(
+    const std::string& path, core::Eta2Config config,
+    std::shared_ptr<const text::Embedder> embedder) {
+  std::istringstream payload(unwrap_snapshot(read_file(path)));
+  return core::Eta2Server::load(payload, std::move(config),
+                                std::move(embedder));
+}
+
+void save_store_snapshot(const truth::ExpertiseStore& store,
+                         const std::string& path,
+                         const std::function<void()>& before_rename) {
+  std::ostringstream payload;
+  store.save(payload);
+  atomic_write_file(path, wrap_snapshot(std::move(payload).str()),
+                    before_rename);
+}
+
+truth::ExpertiseStore load_store_snapshot(const std::string& path,
+                                          truth::MleOptions options) {
+  std::istringstream payload(unwrap_snapshot(read_file(path)));
+  return truth::ExpertiseStore::load(payload, options);
+}
+
+}  // namespace eta2::io

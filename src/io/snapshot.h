@@ -1,0 +1,82 @@
+// Crash-safe checkpoint files for the learned server state.
+//
+// The v2 snapshot format is an integrity envelope around the v1 text block
+// the in-memory save() routines emit:
+//
+//   eta2-snapshot v2 <payload_bytes> <crc32_hex>\n
+//   <v1 payload, exactly payload_bytes bytes>
+//
+// Loads auto-detect the envelope: blobs without the header parse as raw v1
+// (pre-envelope checkpoints keep loading), blobs with it are verified
+// against the declared length and CRC-32 before the payload is handed to
+// the v1 parser — a truncated or bit-flipped file raises the typed
+// CorruptSnapshotError instead of feeding garbage downstream.
+//
+// Writes are atomic: the bytes go to <path>.tmp first and replace <path>
+// with one rename(2), so a crash mid-write leaves the previous checkpoint
+// intact (the stale .tmp is simply overwritten next time).
+#ifndef ETA2_IO_SNAPSHOT_H
+#define ETA2_IO_SNAPSHOT_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/eta2_server.h"
+#include "truth/expertise_store.h"
+
+namespace eta2::io {
+
+// A snapshot file failed its integrity check: truncated payload, CRC
+// mismatch, or a malformed v2 header. Distinct from the
+// std::invalid_argument the v1 parsers throw on semantic errors, so
+// callers can tell "disk corruption" from "wrong file format".
+class CorruptSnapshotError : public std::runtime_error {
+ public:
+  explicit CorruptSnapshotError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
+// Wraps a v1 payload in the v2 integrity envelope.
+[[nodiscard]] std::string wrap_snapshot(std::string_view payload);
+
+// Inverse of wrap_snapshot with v1 fallback: returns the verified payload
+// of a v2 blob, or `blob` unchanged when no v2 header is present. Throws
+// CorruptSnapshotError on a bad header, short payload, or CRC mismatch.
+[[nodiscard]] std::string unwrap_snapshot(std::string_view blob);
+
+// Writes `contents` to `path` atomically (tmp file + rename). The optional
+// `before_rename` hook runs after the tmp file is fully written but before
+// the rename — crash-injection tests throw from it to simulate dying at
+// the most dangerous instant. Throws std::runtime_error on IO failure.
+void atomic_write_file(const std::string& path, std::string_view contents,
+                       const std::function<void()>& before_rename = {});
+
+// Reads a whole file; throws std::runtime_error when it cannot be opened.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+// Server checkpoints: v2-enveloped, atomically replaced on save; load
+// accepts v2 and bare v1 files.
+void save_server_snapshot(const core::Eta2Server& server,
+                          const std::string& path,
+                          const std::function<void()>& before_rename = {});
+[[nodiscard]] core::Eta2Server load_server_snapshot(
+    const std::string& path, core::Eta2Config config,
+    std::shared_ptr<const text::Embedder> embedder);
+
+// Same contract for a bare expertise store.
+void save_store_snapshot(const truth::ExpertiseStore& store,
+                         const std::string& path,
+                         const std::function<void()>& before_rename = {});
+[[nodiscard]] truth::ExpertiseStore load_store_snapshot(
+    const std::string& path, truth::MleOptions options);
+
+}  // namespace eta2::io
+
+#endif  // ETA2_IO_SNAPSHOT_H

@@ -1,6 +1,7 @@
 #include "sim/simulation.h"
 
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "common/error.h"
@@ -41,7 +42,15 @@ SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
     require(options.embedder != nullptr,
             "simulate: dataset has descriptions but no embedder given");
   }
-  core::Eta2Server server(dataset.user_count(), config, options.embedder);
+  // Fault plan (clean runs build none — the wrappers never engage, so the
+  // fault-free path is bit-identical to the pre-fault driver).
+  std::optional<fault::FaultPlan> plan;
+  std::shared_ptr<const text::Embedder> embedder = options.embedder;
+  if (options.fault.any()) {
+    plan.emplace(options.fault);
+    if (embedder != nullptr) embedder = plan->wrap_embedder(embedder);
+  }
+  core::Eta2Server server(dataset.user_count(), config, embedder);
 
   std::vector<double> capacities(dataset.user_count(), 0.0);
   for (std::size_t i = 0; i < dataset.user_count(); ++i) {
@@ -54,7 +63,9 @@ SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
 
   const int days = dataset.day_count();
   for (int day = 0; day < days; ++day) {
-    const std::vector<std::size_t> ids = dataset.tasks_of_day(day);
+    if (plan) plan->begin_step(static_cast<std::uint64_t>(day));
+    std::vector<std::size_t> ids = dataset.tasks_of_day(day);
+    if (plan && plan->drop_batch()) ids.clear();  // batch lost upstream
     std::vector<core::NewTask> batch;
     batch.reserve(ids.size());
     for (const std::size_t j : ids) {
@@ -71,16 +82,12 @@ SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
     }
 
     Rng observe_rng = rng.fork(static_cast<std::uint64_t>(day) + 1);
-    const auto step = server.step(
-        batch, capacities,
+    core::CollectFn collect =
         [&](std::size_t local, std::size_t user) -> std::optional<double> {
-          if (options.response_rate < 1.0 &&
-              !observe_rng.bernoulli(options.response_rate)) {
-            return std::nullopt;
-          }
-          return observe(dataset, user, ids[local], observe_rng);
-        },
-        rng);
+      return observe(dataset, user, ids[local], observe_rng);
+    };
+    if (plan) collect = plan->wrap_collect(std::move(collect));
+    const auto step = server.step(batch, capacities, collect, rng);
 
     DayMetrics metrics;
     metrics.day = day;
@@ -102,8 +109,11 @@ SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
     }
     result.total_cost += step.cost;
     result.truth_iteration_log.push_back(step.mle_iterations);
+    result.health.merge(step.health);
+    result.day_health.push_back(step.health);
     result.days.push_back(std::move(metrics));
   }
+  if (plan) result.fault_stats = plan->stats();
   result.overall_error =
       error_count > 0 ? error_sum / static_cast<double>(error_count)
                       : std::numeric_limits<double>::quiet_NaN();
@@ -164,13 +174,18 @@ SimulationResult simulate_baseline(const Dataset& dataset,
   truth::TruthResult latest;
   latest.truth.assign(m, std::numeric_limits<double>::quiet_NaN());
 
+  std::optional<fault::FaultPlan> plan;
+  if (options.fault.any()) plan.emplace(options.fault);
+
   std::vector<double> capacities(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) capacities[i] = dataset.users[i].capacity;
 
   SimulationResult result;
   const int days = dataset.day_count();
   for (int day = 0; day < days; ++day) {
-    const std::vector<std::size_t> ids = dataset.tasks_of_day(day);
+    if (plan) plan->begin_step(static_cast<std::uint64_t>(day));
+    std::vector<std::size_t> ids = dataset.tasks_of_day(day);
+    if (plan && plan->drop_batch()) ids.clear();  // batch lost upstream
 
     core::StepContext ctx;
     ctx.rng = &rng;
@@ -190,15 +205,14 @@ SimulationResult simulate_baseline(const Dataset& dataset,
     const alloc::Allocation& allocation = ctx.allocation;
 
     Rng observe_rng = rng.fork(static_cast<std::uint64_t>(day) + 1);
-    const core::CollectFn collect =
+    core::CollectFn collect =
         [&](std::size_t local, std::size_t user) -> std::optional<double> {
-      if (options.response_rate < 1.0 &&
-          !observe_rng.bernoulli(options.response_rate)) {
-        return std::nullopt;
-      }
       return observe(dataset, user, ids[local], observe_rng);
     };
-    core::collect_observations(allocation, collect, global, ids);
+    if (plan) collect = plan->wrap_collect(std::move(collect));
+    core::StepHealth day_ledger;
+    core::collect_observations(allocation, collect, global, day_ledger,
+                               options.config.observation_abs_limit, ids);
 
     latest = truth_method->estimate(global);
     reliability = latest.reliability;
@@ -209,6 +223,9 @@ SimulationResult simulate_baseline(const Dataset& dataset,
     metrics.pair_count = allocation.pair_count();
     metrics.cost = allocation.total_cost();
     metrics.truth_iterations = latest.iterations;
+    day_ledger.empty_batch = ids.empty();
+    result.health.merge(day_ledger);
+    result.day_health.push_back(day_ledger);
     std::vector<double> day_estimates;
     day_estimates.reserve(ids.size());
     for (const std::size_t j : ids) day_estimates.push_back(latest.truth[j]);
@@ -220,6 +237,7 @@ SimulationResult simulate_baseline(const Dataset& dataset,
     result.days.push_back(std::move(metrics));
   }
 
+  if (plan) result.fault_stats = plan->stats();
   // Overall error: final estimate over every task (baselines re-estimate
   // old tasks every day, so the last fit is their best).
   std::vector<std::size_t> all_ids(m);

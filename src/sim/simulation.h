@@ -10,7 +10,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/fault.h"
 #include "core/config.h"
+#include "core/step_context.h"
 #include "sim/dataset.h"
 #include "sim/method_registry.h"
 #include "text/embedder.h"
@@ -31,9 +33,14 @@ struct SimOptions {
   // (the expertise-unaware variant the paper argues against). Only affects
   // pre-known-domain datasets.
   bool collapse_domains = false;
-  // Probability that an allocated user actually reports (failure injection:
-  // abandoned tasks, dead connections). 1.0 = everyone responds.
-  double response_rate = 1.0;
+  // Fault injection (common/fault.h): corruption, dropout, no-response,
+  // batch loss, embedder outages, fabricators. All-defaults = clean run;
+  // a FaultPlan is built (seeded from fault.seed) only when any() is true,
+  // so the fault-free path is bit-identical to a build without this knob.
+  // Replaces the former ad-hoc `response_rate` member (now
+  // fault.response_rate, decided by counter hash instead of the shared
+  // observation RNG).
+  fault::FaultOptions fault;
 };
 
 struct DayMetrics {
@@ -61,6 +68,14 @@ struct SimulationResult {
   // to a global scale — see MleOptions::anchor_mean).
   // NaN when unavailable (unknown-domain datasets or baseline methods).
   double expertise_mae = std::numeric_limits<double>::quiet_NaN();
+  // Degradation accounting: the run's aggregated health ledger, the
+  // per-day ledgers, and the faults the plan actually injected (all zeros
+  // on a clean run). health counters and fault_stats reconcile:
+  // nan+inf injected == rejected_nonfinite, dropouts+no_responses <=
+  // silent_pairs, batches_dropped == empty-batch days, and so on.
+  core::StepHealth health;
+  std::vector<core::StepHealth> day_health;
+  fault::FaultStats fault_stats;
 };
 
 // Runs the full multi-day loop for a named method (see method_registry.h).

@@ -7,12 +7,22 @@
 #define ETA2_TEXT_EMBEDDER_H
 
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "text/embedding.h"
 
 namespace eta2::text {
+
+// Thrown when an embedding backend is unavailable (remote model down,
+// mmap'd vectors unreadable, injected outage). The pipeline treats this as
+// a transient subsystem failure: domain identification degrades to the
+// catch-all unknown domain instead of aborting the step.
+class EmbedderError : public std::runtime_error {
+ public:
+  explicit EmbedderError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class Embedder {
  public:

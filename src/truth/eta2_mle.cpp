@@ -38,23 +38,34 @@ void Eta2Mle::estimate_truth_only(
     const auto obs = data.for_task(j);
     if (obs.empty()) return;
     const DomainIndex k = task_domain[j];
+    // Corrupt observations (NaN/±Inf) are skipped rather than summed — a
+    // single poisoned x_ij must not wipe out the task's truth estimate.
     double num = 0.0;
     double den = 0.0;
+    double finite_sum = 0.0;
+    std::size_t finite_count = 0;
     for (const Observation& o : obs) {
       require(k < expertise[o.user].size(), "Eta2Mle: domain out of range");
+      if (!std::isfinite(o.value)) continue;
       const double u = expertise[o.user][k];
       num += u * u * o.value;
       den += u * u;
+      finite_sum += o.value;
+      ++finite_count;
     }
-    const double mu_j = den > 0.0 ? num / den : data.task_mean(j);
+    if (finite_count == 0) return;  // no usable data: mu/sigma stay NaN
+    const double mu_j =
+        den > 0.0 ? num / den : finite_sum / static_cast<double>(finite_count);
     double var_num = 0.0;
     for (const Observation& o : obs) {
+      if (!std::isfinite(o.value)) continue;
       const double u = expertise[o.user][k];
       var_num += u * u * (o.value - mu_j) * (o.value - mu_j);
     }
     mu[j] = mu_j;
-    sigma[j] = std::max(options_.sigma_min,
-                        std::sqrt(var_num / static_cast<double>(obs.size())));
+    sigma[j] =
+        std::max(options_.sigma_min,
+                 std::sqrt(var_num / static_cast<double>(finite_count)));
   });
 }
 
@@ -133,6 +144,11 @@ MleResult Eta2Mle::estimate(
       double* den_row = den.data() + i * domain_count;
       for (std::size_t t = obs_offset[i]; t < obs_offset[i + 1]; ++t) {
         const TaskId j = user_obs[t].task;
+        // Skip corrupt values and tasks with no truth estimate (all-corrupt
+        // data): one NaN must not poison the user's accumulator row.
+        if (!std::isfinite(user_obs[t].value) || !std::isfinite(result.mu[j])) {
+          continue;
+        }
         const DomainIndex k = task_domain[j];
         const double e = (user_obs[t].value - result.mu[j]) / result.sigma[j];
         num_row[k] += 1.0;
@@ -176,6 +192,7 @@ MleResult Eta2Mle::estimate(
     std::vector<char> has_data(n * domain_count, 0);
     parallel::parallel_for(n, 64, [&](UserId i) {
       for (std::size_t t = obs_offset[i]; t < obs_offset[i + 1]; ++t) {
+        if (!std::isfinite(user_obs[t].value)) continue;  // corrupt: no data
         has_data[i * domain_count + task_domain[user_obs[t].task]] = 1;
       }
     });

@@ -203,6 +203,7 @@ Contributions expertise_contributions(const ObservationSet& data,
     const DomainIndex k = task_domain[j];
     require(k < domain_count, "expertise_contributions: domain out of range");
     for (const Observation& o : data.for_task(j)) {
+      if (!std::isfinite(o.value)) continue;  // corrupt x_ij: no contribution
       const double e = (o.value - mu[j]) / sigma[j];
       c.num[o.user][k] += 1.0;
       c.den[o.user][k] += e * e;

@@ -126,6 +126,38 @@ TEST(MinCostTest, TerminatesWhenCapacityExhausted) {
   EXPECT_LT(result.data_iterations, 50);  // stopped by no-progress, not cap
 }
 
+TEST(MinCostTest, ReportsUnmetTaskCountInsteadOfLooping) {
+  // Same impossible setting as above: Algorithm 2 must stop AND say how
+  // many tasks still fail the quality requirement.
+  World w = make_world(3, 6, 7, /*capacity=*/2.0, 0.3, 0.8);
+  MinCostAllocator::Options options;
+  options.epsilon_bar = 0.05;
+  options.cost_per_iteration = 5.0;
+  options.max_data_iterations = 50;
+  const MinCostAllocator allocator(options);
+  const truth::Eta2Mle mle;
+  const auto result = allocator.run(
+      w.problem, w.domain, 2, {}, mle,
+      [&w](std::size_t j, std::size_t i) { return w.collect(j, i); });
+  EXPECT_FALSE(result.quality_met);
+  EXPECT_GT(result.tasks_unmet, 0u);
+  EXPECT_LE(result.tasks_unmet, 6u);
+}
+
+TEST(MinCostTest, UnmetCountIsZeroWhenQualityMet) {
+  World w = make_world(30, 10, 2, /*capacity=*/40.0, 2.0, 3.0);
+  MinCostAllocator::Options options;
+  options.epsilon_bar = 1.0;
+  options.cost_per_iteration = 15.0;
+  const MinCostAllocator allocator(options);
+  const truth::Eta2Mle mle;
+  const auto result = allocator.run(
+      w.problem, w.domain, 2, {}, mle,
+      [&w](std::size_t j, std::size_t i) { return w.collect(j, i); });
+  EXPECT_TRUE(result.quality_met);
+  EXPECT_EQ(result.tasks_unmet, 0u);
+}
+
 TEST(MinCostTest, ObservationsMatchAllocation) {
   World w = make_world(10, 6, 9);
   const MinCostAllocator allocator;

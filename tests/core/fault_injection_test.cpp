@@ -1,0 +1,420 @@
+// Fault-injection suite: the deterministic FaultPlan must inject exactly
+// what it says (counter-based decisions, order-independent), and the staged
+// pipeline must absorb every injected fault into StepHealth instead of
+// throwing — ending with the ISSUE's acceptance scenario, a 10-day faulted
+// campaign whose health ledger reconciles with the plan's FaultStats.
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/eta2_server.h"
+#include "core/step_context.h"
+#include "core/truth_updaters.h"
+#include "sim/dataset.h"
+#include "sim/simulation.h"
+#include "text/embedder.h"
+#include "truth/expertise_store.h"
+
+namespace eta2 {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FaultPlanTest, DecisionsAreDeterministicAcrossPlanInstances) {
+  fault::FaultOptions options;
+  options.seed = 99;
+  options.dropout_rate = 0.4;
+  options.embedder_failure_rate = 0.3;
+  options.fabricator_fraction = 0.25;
+  options.empty_batch_rate = 0.2;
+  fault::FaultPlan a(options);
+  fault::FaultPlan b(options);
+  for (std::uint64_t step = 0; step < 20; ++step) {
+    a.begin_step(step);
+    b.begin_step(step);
+    EXPECT_EQ(a.drop_batch(), b.drop_batch()) << "step " << step;
+    EXPECT_EQ(a.embedder_down(), b.embedder_down()) << "step " << step;
+    for (std::size_t user = 0; user < 30; ++user) {
+      EXPECT_EQ(a.user_dropped(user), b.user_dropped(user));
+      EXPECT_EQ(a.user_fabricates(user), b.user_fabricates(user));
+    }
+  }
+  // Fabricator status is a persistent per-user trait: step-independent.
+  a.begin_step(3);
+  const bool at_three = a.user_fabricates(7);
+  a.begin_step(17);
+  EXPECT_EQ(a.user_fabricates(7), at_three);
+}
+
+TEST(FaultPlanTest, WrappedCollectIsCallOrderIndependent) {
+  fault::FaultOptions options;
+  options.seed = 5;
+  options.nan_rate = 0.2;
+  options.outlier_rate = 0.2;
+  options.dropout_rate = 0.2;
+  const auto run = [&](bool reversed) {
+    fault::FaultPlan plan(options);
+    const fault::ObserveFn wrapped =
+        plan.wrap_collect([](std::size_t task, std::size_t user) {
+          return std::optional<double>(static_cast<double>(task * 100 + user));
+        });
+    plan.begin_step(2);
+    std::vector<std::optional<double>> values(10 * 6);
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      const std::size_t idx = reversed ? values.size() - 1 - k : k;
+      values[idx] = wrapped(idx / 6, idx % 6);
+    }
+    return values;
+  };
+  const auto forward = run(false);
+  const auto backward = run(true);
+  for (std::size_t k = 0; k < forward.size(); ++k) {
+    ASSERT_EQ(forward[k].has_value(), backward[k].has_value()) << k;
+    if (forward[k].has_value()) {
+      // Bitwise: NaN-injected slots must match too.
+      const double x = *forward[k];
+      const double y = *backward[k];
+      EXPECT_TRUE((std::isnan(x) && std::isnan(y)) || x == y) << k;
+    }
+  }
+}
+
+TEST(FaultPlanTest, CertainCorruptionRatesInjectEveryObservation) {
+  fault::FaultOptions options;
+  options.seed = 1;
+  options.nan_rate = 1.0;
+  fault::FaultPlan plan(options);
+  const fault::ObserveFn wrapped = plan.wrap_collect(
+      [](std::size_t, std::size_t) { return std::optional<double>(4.0); });
+  plan.begin_step(0);
+  for (std::size_t k = 0; k < 10; ++k) {
+    const auto v = wrapped(k, 0);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(std::isnan(*v));
+  }
+  EXPECT_EQ(plan.stats().observations_seen, 10u);
+  EXPECT_EQ(plan.stats().nan_injected, 10u);
+}
+
+TEST(FaultPlanTest, CertainDropoutSuppressesEveryObservation) {
+  fault::FaultOptions options;
+  options.seed = 2;
+  options.dropout_rate = 1.0;
+  fault::FaultPlan plan(options);
+  const fault::ObserveFn wrapped = plan.wrap_collect(
+      [](std::size_t, std::size_t) { return std::optional<double>(4.0); });
+  plan.begin_step(0);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_FALSE(wrapped(0, k).has_value());
+  }
+  EXPECT_EQ(plan.stats().dropouts, 8u);
+  EXPECT_EQ(plan.stats().nan_injected, 0u);
+}
+
+TEST(FaultPlanTest, FabricatorsReportBoundedOffsets) {
+  fault::FaultOptions options;
+  options.seed = 3;
+  options.fabricator_fraction = 1.0;
+  fault::FaultPlan plan(options);
+  const fault::ObserveFn wrapped = plan.wrap_collect(
+      [](std::size_t, std::size_t) { return std::optional<double>(10.0); });
+  plan.begin_step(0);
+  for (std::size_t user = 0; user < 12; ++user) {
+    const auto v = wrapped(0, user);
+    ASSERT_TRUE(v.has_value());
+    const double offset = std::fabs(*v - 10.0);
+    EXPECT_GE(offset, options.fabricator_offset_lo);
+    EXPECT_LE(offset, options.fabricator_offset_hi);
+  }
+  EXPECT_EQ(plan.stats().fabricated, 12u);
+}
+
+TEST(FaultPlanTest, FaultyEmbedderThrowsOnOutageStepsOnly) {
+  fault::FaultOptions options;
+  options.seed = 8;
+  options.embedder_failure_rate = 0.5;
+  fault::FaultPlan plan(options);
+  const auto wrapped =
+      plan.wrap_embedder(std::make_shared<text::HashEmbedder>(16));
+  bool saw_up = false;
+  bool saw_down = false;
+  for (std::uint64_t step = 0; step < 32 && !(saw_up && saw_down); ++step) {
+    plan.begin_step(step);
+    if (plan.embedder_down()) {
+      saw_down = true;
+      EXPECT_THROW(wrapped->embed_word("coffee"), text::EmbedderError);
+    } else {
+      saw_up = true;
+      EXPECT_NO_THROW(wrapped->embed_word("coffee"));
+    }
+  }
+  EXPECT_TRUE(saw_up);
+  EXPECT_TRUE(saw_down);
+  EXPECT_GT(plan.stats().embedder_failures, 0u);
+}
+
+TEST(SanitizingCollectTest, QuarantinesAndCountsEveryOutcome) {
+  const std::vector<std::optional<double>> stream = {
+      1.0, kNan, kInf, 2.5e3, std::nullopt, -3.0};
+  const core::CollectFn inner = [&](std::size_t j, std::size_t) {
+    return stream[j];
+  };
+  core::StepHealth health;
+  const core::CollectFn safe = core::sanitizing_collect(inner, 100.0, health);
+  std::vector<std::optional<double>> out;
+  for (std::size_t j = 0; j < stream.size(); ++j) out.push_back(safe(j, 0));
+
+  EXPECT_EQ(health.pairs_asked, 6u);
+  EXPECT_EQ(health.observations_accepted, 2u);
+  EXPECT_EQ(health.rejected_nonfinite, 2u);
+  EXPECT_EQ(health.rejected_out_of_range, 1u);
+  EXPECT_EQ(health.silent_pairs, 1u);
+  EXPECT_TRUE(health.degraded());
+
+  // Clean values pass through untouched; everything else is a non-response.
+  EXPECT_EQ(out[0], std::optional<double>(1.0));
+  EXPECT_EQ(out[5], std::optional<double>(-3.0));
+  for (const std::size_t j : {1u, 2u, 3u, 4u}) {
+    EXPECT_FALSE(out[j].has_value()) << j;
+  }
+}
+
+TEST(SanitizingCollectTest, ZeroLimitDisablesRangeCheck) {
+  const core::CollectFn inner = [](std::size_t, std::size_t) {
+    return std::optional<double>(2.5e3);
+  };
+  core::StepHealth health;
+  const core::CollectFn safe = core::sanitizing_collect(inner, 0.0, health);
+  EXPECT_EQ(safe(0, 0), std::optional<double>(2.5e3));
+  EXPECT_EQ(health.rejected_out_of_range, 0u);
+  EXPECT_EQ(health.observations_accepted, 1u);
+  EXPECT_FALSE(health.degraded());
+}
+
+TEST(StepHealthTest, MergeSumsCountersAndOrsFlags) {
+  core::StepHealth a;
+  a.pairs_asked = 3;
+  a.rejected_nonfinite = 1;
+  core::StepHealth b;
+  b.pairs_asked = 4;
+  b.truth_fallback = true;
+  b.empty_batch = true;
+  a.merge(b);
+  EXPECT_EQ(a.pairs_asked, 7u);
+  EXPECT_EQ(a.rejected_nonfinite, 1u);
+  EXPECT_TRUE(a.truth_fallback);
+  EXPECT_TRUE(a.empty_batch);
+}
+
+// --- server-level degradation -------------------------------------------
+
+std::vector<core::NewTask> described_batch(std::size_t count) {
+  const char* descriptions[] = {"price of coffee downtown",
+                                "queue length at the cafeteria",
+                                "noise level in the library",
+                                "wifi speed in the lab"};
+  std::vector<core::NewTask> batch;
+  for (std::size_t j = 0; j < count; ++j) {
+    core::NewTask t;
+    t.description = descriptions[j % 4];
+    batch.push_back(t);
+  }
+  return batch;
+}
+
+TEST(ServerDegradationTest, EmbedderOutageRoutesTasksToUnknownDomain) {
+  fault::FaultOptions options;
+  options.seed = 4;
+  options.embedder_failure_rate = 1.0;  // every step is an outage
+  fault::FaultPlan plan(options);
+  const auto embedder =
+      plan.wrap_embedder(std::make_shared<text::HashEmbedder>(16));
+
+  const std::size_t users = 6;
+  core::Eta2Server server(users, core::Eta2Config{}, embedder);
+  EXPECT_FALSE(server.unknown_domain().has_value());
+
+  plan.begin_step(0);
+  const auto batch = described_batch(4);
+  const std::vector<double> caps(users, 12.0);
+  Rng rng(1);
+  Rng observe(2);
+  const auto result = server.step(
+      batch, caps,
+      [&](std::size_t, std::size_t) {
+        return std::optional<double>(observe.normal(10.0, 1.0));
+      },
+      rng);
+
+  EXPECT_TRUE(result.health.identifier_failed);
+  EXPECT_EQ(result.health.domain_fallback_tasks, batch.size());
+  EXPECT_TRUE(result.health.degraded());
+  ASSERT_TRUE(server.unknown_domain().has_value());
+  // The step still produced estimates for the quarantined-domain tasks.
+  ASSERT_EQ(result.truth.size(), batch.size());
+  for (const double mu : result.truth) EXPECT_TRUE(std::isfinite(mu));
+
+  // The catch-all domain survives a save/load round trip byte-for-byte.
+  std::ostringstream first;
+  server.save(first);
+  std::istringstream in(first.str());
+  const core::Eta2Server restored =
+      core::Eta2Server::load(in, core::Eta2Config{}, embedder);
+  ASSERT_TRUE(restored.unknown_domain().has_value());
+  EXPECT_EQ(*restored.unknown_domain(), *server.unknown_domain());
+  std::ostringstream second;
+  restored.save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ServerDegradationTest, EmptyBatchIsRecordedNotFatal) {
+  core::Eta2Server server(4, core::Eta2Config{}, nullptr);
+  const std::vector<core::NewTask> batch;
+  const std::vector<double> caps(4, 10.0);
+  Rng rng(3);
+  const auto result = server.step(
+      batch, caps,
+      [](std::size_t, std::size_t) { return std::optional<double>(1.0); },
+      rng);
+  EXPECT_TRUE(result.health.empty_batch);
+  EXPECT_TRUE(result.truth.empty());
+  EXPECT_FALSE(server.warmed_up());
+}
+
+class ExplodingUpdater final : public core::TruthUpdater {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "exploding"; }
+  void update(core::StepContext&) override {
+    throw NumericalError("synthetic non-convergence");
+  }
+};
+
+class MiswiredUpdater final : public core::TruthUpdater {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "miswired"; }
+  void update(core::StepContext&) override {
+    throw std::logic_error("programming error, must propagate");
+  }
+};
+
+TEST(ServerDegradationTest, NumericalErrorFallsBackWithoutCommitting) {
+  const std::size_t users = 5;
+  const std::size_t tasks = 3;
+  truth::ExpertiseStore store(users);
+  store.add_domain();
+  const truth::Eta2Mle mle;
+
+  core::StepContext ctx;
+  ctx.store = &store;
+  ctx.mle = &mle;
+  ctx.task_domains.assign(tasks, 0);
+  ctx.observations = truth::ObservationSet(users, tasks);
+  Rng rng(6);
+  for (std::size_t j = 0; j < tasks; ++j) {
+    for (std::size_t i = 0; i < users; ++i) {
+      ctx.observations.add(j, i, rng.normal(5.0 + static_cast<double>(j), 0.5));
+    }
+  }
+
+  const auto before = store.snapshot();
+  ExplodingUpdater exploding;
+  core::update_with_fallback(exploding, ctx);
+
+  EXPECT_TRUE(ctx.health.truth_fallback);
+  EXPECT_EQ(ctx.mle_iterations, 0);
+  ASSERT_EQ(ctx.truth.size(), tasks);
+  for (std::size_t j = 0; j < tasks; ++j) {
+    EXPECT_NEAR(ctx.truth[j], 5.0 + static_cast<double>(j), 1.0) << j;
+  }
+  // The degraded step must NOT contaminate the learned expertise.
+  EXPECT_EQ(store.snapshot(), before);
+
+  // Only NumericalError degrades; programming errors still propagate.
+  MiswiredUpdater miswired;
+  EXPECT_THROW(core::update_with_fallback(miswired, ctx), std::logic_error);
+}
+
+// --- the ISSUE's acceptance scenario ------------------------------------
+
+TEST(FaultInjectionAcceptanceTest, TenDayFaultedCampaignReconcilesLedgers) {
+  sim::SurveyOptions survey;
+  survey.users = 24;
+  survey.tasks = 80;
+  survey.days = 10;
+  const sim::Dataset dataset = sim::make_survey_like(survey, 33);
+
+  sim::SimOptions options;
+  options.embedder = std::make_shared<text::HashEmbedder>(24);
+  options.config.observation_abs_limit = 1e6;
+  options.fault.seed = 7;
+  options.fault.nan_rate = 0.05;
+  options.fault.inf_rate = 0.02;
+  options.fault.outlier_rate = 0.03;
+  options.fault.outlier_scale = 1e9;  // far beyond the abs limit
+  options.fault.dropout_rate = 0.30;
+  options.fault.embedder_failure_rate = 0.30;
+  options.fault.empty_batch_rate = 0.10;
+
+  // The campaign must complete without throwing.
+  const sim::SimulationResult run = sim::simulate(dataset, "eta2", options, 5);
+  ASSERT_EQ(run.days.size(), static_cast<std::size_t>(survey.days));
+  ASSERT_EQ(run.day_health.size(), run.days.size());
+  EXPECT_TRUE(std::isfinite(run.overall_error));
+
+  // Every fault class actually fired under this seed.
+  const fault::FaultStats& f = run.fault_stats;
+  EXPECT_GT(f.nan_injected, 0u);
+  EXPECT_GT(f.inf_injected, 0u);
+  EXPECT_GT(f.outliers_injected, 0u);
+  EXPECT_GT(f.dropouts, 0u);
+  EXPECT_GT(f.batches_dropped, 0u);
+  EXPECT_GT(f.embedder_failures, 0u);
+
+  // ... and the pipeline accounted for every one of them.
+  const core::StepHealth& h = run.health;
+  EXPECT_EQ(f.observations_seen, h.pairs_asked);
+  EXPECT_EQ(f.nan_injected + f.inf_injected, h.rejected_nonfinite);
+  EXPECT_EQ(f.outliers_injected, h.rejected_out_of_range);
+  // The sim's observe() always answers, so every silent pair is injected.
+  EXPECT_EQ(f.dropouts + f.no_responses, h.silent_pairs);
+  EXPECT_EQ(h.pairs_asked, h.observations_accepted + h.rejected_nonfinite +
+                               h.rejected_out_of_range + h.silent_pairs);
+
+  std::size_t empty_days = 0;
+  for (const auto& day : run.day_health) empty_days += day.empty_batch ? 1 : 0;
+  EXPECT_EQ(f.batches_dropped, empty_days);
+
+  EXPECT_TRUE(h.identifier_failed);
+  EXPECT_GT(h.domain_fallback_tasks, 0u);
+  EXPECT_TRUE(h.degraded());
+}
+
+TEST(FaultInjectionAcceptanceTest, CleanRunReportsCleanLedgers) {
+  sim::SyntheticOptions synthetic;
+  synthetic.users = 15;
+  synthetic.tasks = 40;
+  synthetic.domains = 3;
+  synthetic.days = 3;
+  const sim::Dataset dataset = sim::make_synthetic(synthetic, 9);
+  const sim::SimOptions options;  // fault.any() == false
+  const sim::SimulationResult run = sim::simulate(dataset, "eta2", options, 9);
+  EXPECT_FALSE(run.health.degraded());
+  EXPECT_EQ(run.health.rejected_nonfinite, 0u);
+  EXPECT_EQ(run.health.silent_pairs, 0u);
+  EXPECT_EQ(run.fault_stats.observations_seen, 0u);  // no plan built
+  EXPECT_GT(run.health.observations_accepted, 0u);
+  EXPECT_EQ(run.health.pairs_asked, run.health.observations_accepted);
+}
+
+}  // namespace
+}  // namespace eta2

@@ -1,0 +1,139 @@
+// Faulted runs must be exactly as reproducible as clean ones: FaultPlan
+// decisions are counter-based hashes, so a fault-injected simulation is
+// bit-identical at every thread count. Mirrors determinism_test.cpp but
+// drives the full simulate() loop with corruption, dropout, batch loss and
+// embedder outages switched on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+#include "sim/dataset.h"
+#include "sim/simulation.h"
+#include "text/embedder.h"
+
+namespace eta2 {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << what << ": faulted run differs bitwise across thread counts";
+  }
+}
+
+template <typename Compute>
+void check_determinism(Compute&& compute, const char* what) {
+  std::vector<double> reference;
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::set_thread_count(threads);
+    std::vector<double> signature = compute();
+    parallel::set_thread_count(0);
+    if (threads == 1) {
+      reference = std::move(signature);
+    } else {
+      expect_bitwise_equal(reference, signature, what);
+    }
+  }
+}
+
+// Flattens everything a faulted run produced: per-day errors, the health
+// ledger, and the injection counts. Any nondeterminism in either the
+// numeric path or the fault decisions shows up here.
+std::vector<double> flatten_run(const sim::SimulationResult& run) {
+  std::vector<double> flat{run.overall_error, run.total_cost};
+  for (const auto& day : run.days) {
+    flat.push_back(day.estimation_error);
+    flat.push_back(day.cost);
+    flat.push_back(static_cast<double>(day.pair_count));
+  }
+  const auto push_health = [&flat](const core::StepHealth& h) {
+    flat.push_back(static_cast<double>(h.pairs_asked));
+    flat.push_back(static_cast<double>(h.observations_accepted));
+    flat.push_back(static_cast<double>(h.rejected_nonfinite));
+    flat.push_back(static_cast<double>(h.rejected_out_of_range));
+    flat.push_back(static_cast<double>(h.silent_pairs));
+    flat.push_back(h.identifier_failed ? 1.0 : 0.0);
+    flat.push_back(static_cast<double>(h.domain_fallback_tasks));
+    flat.push_back(h.truth_fallback ? 1.0 : 0.0);
+    flat.push_back(static_cast<double>(h.quality_unmet_tasks));
+    flat.push_back(h.empty_batch ? 1.0 : 0.0);
+  };
+  push_health(run.health);
+  for (const auto& day : run.day_health) push_health(day);
+  const fault::FaultStats& f = run.fault_stats;
+  for (const std::uint64_t count :
+       {f.observations_seen, f.nan_injected, f.inf_injected,
+        f.outliers_injected, f.fabricated, f.no_responses, f.dropouts,
+        f.batches_dropped, f.embedder_failures}) {
+    flat.push_back(static_cast<double>(count));
+  }
+  return flat;
+}
+
+TEST(FaultDeterminismTest, FaultedSyntheticRunBitIdenticalAcrossThreads) {
+  sim::SyntheticOptions synthetic;
+  synthetic.users = 20;
+  synthetic.tasks = 60;
+  synthetic.domains = 4;
+  synthetic.days = 4;
+  const sim::Dataset dataset = sim::make_synthetic(synthetic, 17);
+
+  sim::SimOptions options;
+  options.config.observation_abs_limit = 1e5;
+  options.fault.seed = 11;
+  options.fault.nan_rate = 0.05;
+  options.fault.outlier_rate = 0.05;
+  options.fault.outlier_scale = 1e8;
+  options.fault.dropout_rate = 0.25;
+  options.fault.empty_batch_rate = 0.15;
+  check_determinism(
+      [&] { return flatten_run(sim::simulate(dataset, "eta2", options, 4)); },
+      "faulted synthetic eta2 run");
+}
+
+TEST(FaultDeterminismTest, EmbedderOutageRunBitIdenticalAcrossThreads) {
+  sim::SurveyOptions survey;
+  survey.users = 16;
+  survey.tasks = 40;
+  survey.days = 4;
+  const sim::Dataset dataset = sim::make_survey_like(survey, 23);
+
+  sim::SimOptions options;
+  options.embedder = std::make_shared<text::HashEmbedder>(16);
+  options.fault.seed = 13;
+  options.fault.embedder_failure_rate = 0.5;
+  options.fault.dropout_rate = 0.2;
+  check_determinism(
+      [&] { return flatten_run(sim::simulate(dataset, "eta2", options, 6)); },
+      "embedder-outage survey run");
+}
+
+TEST(FaultDeterminismTest, FaultedBaselineRunBitIdenticalAcrossThreads) {
+  sim::SyntheticOptions synthetic;
+  synthetic.users = 18;
+  synthetic.tasks = 50;
+  synthetic.domains = 3;
+  synthetic.days = 3;
+  const sim::Dataset dataset = sim::make_synthetic(synthetic, 29);
+
+  sim::SimOptions options;
+  options.fault.seed = 19;
+  options.fault.nan_rate = 0.05;
+  options.fault.dropout_rate = 0.3;
+  options.fault.fabricator_fraction = 0.2;
+  check_determinism(
+      [&] {
+        return flatten_run(sim::simulate(dataset, "baseline", options, 2));
+      },
+      "faulted baseline run");
+}
+
+}  // namespace
+}  // namespace eta2

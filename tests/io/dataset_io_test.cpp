@@ -107,6 +107,65 @@ TEST(DatasetIoTest, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(DatasetIoTest, StrictModeDiagnosticNamesFileAndLine) {
+  // Row on physical line 4 (header + blank line + good row) has a garbage
+  // capacity; the thrown diagnostic must point exactly there.
+  const std::string users =
+      "user_id,capacity,u_0\n"
+      "\n"
+      "0,12,1\n"
+      "1,oops,1\n";
+  const std::string tasks =
+      "task_id,day,true_domain,ground_truth,base_number,"
+      "processing_time,cost,description\n"
+      "0,0,0,1,1,1,1,x\n";
+  try {
+    read_dataset_csv(users, tasks);
+    FAIL() << "strict mode must throw on the malformed row";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("users.csv:4:"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(DatasetIoTest, LenientModeSkipsMalformedRowsAndReports) {
+  const std::string users =
+      "user_id,capacity,u_0\n"
+      "0,12,1\n"
+      "1,oops,1\n"
+      "2,9,0.5\n";
+  const std::string tasks =
+      "task_id,day,true_domain,ground_truth,base_number,"
+      "processing_time,cost,description\n"
+      "0,0,0,1,1,1,1,x\n"
+      "1,0,7,1,1,1,1,x\n"  // domain out of range
+      "2,0,0,2,1,1\n";     // wrong width
+  CsvReport report;
+  const sim::Dataset loaded =
+      read_dataset_csv(users, tasks, "lenient", CsvMode::kLenient, &report);
+  EXPECT_EQ(loaded.user_count(), 2u);
+  EXPECT_EQ(loaded.task_count(), 1u);
+  EXPECT_EQ(report.rows_read, 3u);  // 2 users + 1 task accepted
+  EXPECT_EQ(report.rows_skipped, 3u);
+  ASSERT_EQ(report.diagnostics.size(), 3u);
+  EXPECT_NE(report.diagnostics[0].find("users.csv:3:"), std::string::npos);
+  EXPECT_NE(report.diagnostics[1].find("tasks.csv:3:"), std::string::npos);
+  EXPECT_NE(report.diagnostics[2].find("tasks.csv:4:"), std::string::npos);
+  EXPECT_NE(report.diagnostics[2].find("bad row width"), std::string::npos);
+}
+
+TEST(DatasetIoTest, LenientModeStillRequiresUsableRows) {
+  // When every data row is malformed there is nothing to degrade to.
+  CsvReport report;
+  EXPECT_THROW(
+      read_dataset_csv("user_id,capacity,u_0\n0,oops,1\n",
+                       "task_id,day,true_domain,ground_truth,base_number,"
+                       "processing_time,cost,description\n0,0,0,1,1,1,1,x\n",
+                       "l", CsvMode::kLenient, &report),
+      std::invalid_argument);
+}
+
 TEST(DatasetIoTest, FileRoundTrip) {
   const sim::Dataset original = sample_dataset();
   const std::string prefix =

@@ -1,0 +1,189 @@
+// Crash-safety suite for io/snapshot.h: the CRC-checked v2 envelope must
+// detect bit flips and truncation with the typed CorruptSnapshotError,
+// pre-envelope v1 blobs must keep loading, and the tmp+rename write must
+// leave the previous checkpoint intact when the process dies before the
+// rename.
+#include "io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "sim/dataset.h"
+
+namespace eta2::io {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SnapshotTest, Crc32MatchesKnownCheckValue) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+}
+
+TEST(SnapshotTest, WrapUnwrapRoundTripsArbitraryPayload) {
+  const std::string payload = "expertise-store v1\n3 2\n0.5 -1\n\nbytes \t\n";
+  const std::string blob = wrap_snapshot(payload);
+  EXPECT_TRUE(blob.starts_with("eta2-snapshot v2 "));
+  EXPECT_EQ(unwrap_snapshot(blob), payload);
+  EXPECT_EQ(unwrap_snapshot(wrap_snapshot("")), "");
+}
+
+TEST(SnapshotTest, BlobWithoutHeaderPassesThroughAsV1) {
+  const std::string v1 = "expertise-store v1\n2 1\n0 0\n";
+  EXPECT_EQ(unwrap_snapshot(v1), v1);
+}
+
+TEST(SnapshotTest, BitFlipRaisesCorruptSnapshotError) {
+  std::string blob = wrap_snapshot("a perfectly healthy payload");
+  blob[blob.size() / 2] ^= 0x01;  // single-bit flip inside the payload
+  EXPECT_THROW(unwrap_snapshot(blob), CorruptSnapshotError);
+}
+
+TEST(SnapshotTest, TruncationRaisesCorruptSnapshotError) {
+  const std::string blob = wrap_snapshot("a payload that will be cut short");
+  EXPECT_THROW(unwrap_snapshot(blob.substr(0, blob.size() - 5)),
+               CorruptSnapshotError);
+}
+
+TEST(SnapshotTest, MalformedHeaderRaisesCorruptSnapshotError) {
+  // Magic present but the header line never terminates.
+  EXPECT_THROW(unwrap_snapshot("eta2-snapshot v2 10 deadbeef"),
+               CorruptSnapshotError);
+  // Non-numeric length.
+  EXPECT_THROW(unwrap_snapshot("eta2-snapshot v2 ten deadbeef\npayload"),
+               CorruptSnapshotError);
+  // Unknown version.
+  EXPECT_THROW(unwrap_snapshot("eta2-snapshot v9 4 00000000\nabcd"),
+               CorruptSnapshotError);
+}
+
+TEST(SnapshotTest, AtomicWriteReplacesContents) {
+  const std::string path = temp_path("eta2_snapshot_atomic.txt");
+  atomic_write_file(path, "first");
+  atomic_write_file(path, "second");
+  EXPECT_EQ(read_file(path), "second");
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, CrashBeforeRenameLeavesPreviousFileIntact) {
+  const std::string path = temp_path("eta2_snapshot_crash.txt");
+  atomic_write_file(path, "checkpoint day 3");
+  // Simulate the process dying after the tmp file is written but before
+  // the rename: the hook throws at exactly that instant.
+  EXPECT_THROW(atomic_write_file(path, "half-finished checkpoint",
+                                 [] { throw std::runtime_error("killed"); }),
+               std::runtime_error);
+  EXPECT_EQ(read_file(path), "checkpoint day 3");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(SnapshotTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/eta2/none.txt"), std::runtime_error);
+}
+
+// Runs a few days of a known-domain campaign so the server has learned
+// state worth checkpointing.
+core::Eta2Server warmed_server(const sim::Dataset& dataset,
+                               const core::Eta2Config& config) {
+  core::Eta2Server server(dataset.user_count(), config, nullptr);
+  Rng rng(11);
+  for (int day = 0; day <= 1; ++day) {
+    const auto ids = dataset.tasks_of_day(day);
+    std::vector<core::NewTask> batch;
+    for (const auto j : ids) {
+      core::NewTask t;
+      t.known_domain = dataset.tasks[j].true_domain;
+      t.processing_time = dataset.tasks[j].processing_time;
+      batch.push_back(t);
+    }
+    std::vector<double> caps;
+    for (const auto& u : dataset.users) caps.push_back(u.capacity);
+    Rng observe_rng = rng.fork(static_cast<std::uint64_t>(day) + 1);
+    server.step(
+        batch, caps,
+        [&](std::size_t local, std::size_t user) {
+          return sim::observe(dataset, user, ids[local], observe_rng);
+        },
+        rng);
+  }
+  return server;
+}
+
+std::string server_bytes(const core::Eta2Server& server) {
+  std::ostringstream out;
+  server.save(out);
+  return out.str();
+}
+
+TEST(SnapshotTest, ServerFileRoundTripPreservesState) {
+  sim::SyntheticOptions options;
+  options.users = 12;
+  options.tasks = 60;
+  options.domains = 3;
+  const sim::Dataset dataset = sim::make_synthetic(options, 21);
+  const core::Eta2Config config;
+  const core::Eta2Server server = warmed_server(dataset, config);
+
+  const std::string path = temp_path("eta2_snapshot_server.txt");
+  save_server_snapshot(server, path);
+  const core::Eta2Server restored = load_server_snapshot(path, config, nullptr);
+  EXPECT_EQ(server_bytes(restored), server_bytes(server));
+  EXPECT_TRUE(restored.warmed_up());
+
+  // Corrupt the file on disk: the load must fail loudly and typed.
+  std::string blob = read_file(path);
+  blob[blob.size() - 2] ^= 0x40;
+  atomic_write_file(path, blob);
+  EXPECT_THROW(load_server_snapshot(path, config, nullptr),
+               CorruptSnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, BareV1ServerFileStillLoads) {
+  sim::SyntheticOptions options;
+  options.users = 10;
+  options.tasks = 40;
+  const sim::Dataset dataset = sim::make_synthetic(options, 8);
+  const core::Eta2Config config;
+  const core::Eta2Server server = warmed_server(dataset, config);
+
+  // A pre-envelope checkpoint: the raw v1 text block, no v2 header.
+  const std::string path = temp_path("eta2_snapshot_server_v1.txt");
+  atomic_write_file(path, server_bytes(server));
+  const core::Eta2Server restored = load_server_snapshot(path, config, nullptr);
+  EXPECT_EQ(server_bytes(restored), server_bytes(server));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, StoreFileRoundTrip) {
+  truth::ExpertiseStore store(6);
+  store.add_domain();
+  store.add_domain();
+  store.add_domain();
+
+  const std::string path = temp_path("eta2_snapshot_store.txt");
+  save_store_snapshot(store, path);
+  const truth::ExpertiseStore restored =
+      load_store_snapshot(path, truth::MleOptions{});
+  std::ostringstream a;
+  std::ostringstream b;
+  store.save(a);
+  restored.save(b);
+  EXPECT_EQ(a.str(), b.str());
+
+  EXPECT_THROW(load_store_snapshot(path + ".missing", truth::MleOptions{}),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eta2::io

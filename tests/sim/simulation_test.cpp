@@ -153,7 +153,7 @@ TEST(SimulateTest, SurveyDatasetRunsWithEmbedder) {
 TEST(SimulateTest, SurvivesLowResponseRates) {
   const Dataset d = make_synthetic(small_synthetic(), 19);
   SimOptions options;
-  options.response_rate = 0.4;
+  options.fault.response_rate = 0.4;
   for (const std::string_view m : {"eta2", "eta2-mc",
                          "truthfinder", "baseline"}) {
     const auto r = simulate(d, m, options, 19);
@@ -165,7 +165,7 @@ TEST(SimulateTest, DropoutWorsensErrorMonotonically) {
   const Dataset d = make_synthetic(small_synthetic(), 23);
   SimOptions full;
   SimOptions half;
-  half.response_rate = 0.5;
+  half.fault.response_rate = 0.5;
   const auto with_full = simulate(d, "eta2", full, 23);
   const auto with_half = simulate(d, "eta2", half, 23);
   EXPECT_GT(with_half.overall_error, with_full.overall_error * 0.9);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "common/rng.h"
@@ -90,6 +91,54 @@ TEST(Eta2MleTest, TaskWithoutDataIsNaN) {
   EXPECT_FALSE(std::isnan(r.mu[0]));
   EXPECT_TRUE(std::isnan(r.mu[1]));
   EXPECT_TRUE(std::isnan(r.sigma[1]));
+}
+
+TEST(Eta2MleTest, NanObservationsDoNotPoisonEstimates) {
+  // Regression: a single NaN x_ij used to propagate through the Eq. 5/6
+  // sums and turn every estimate for the task's domain into NaN. Non-finite
+  // observations must be skipped, leaving the remaining data to speak.
+  const Model m = make_model(12, 20, 3, /*seed=*/42);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Poison one report on every 4th task.
+  ObservationSet data(12, 20);
+  for (std::size_t j = 0; j < 20; ++j) {
+    for (const auto& o : m.data.for_task(j)) {
+      const bool poison = j % 4 == 0 && o.user == m.data.for_task(j)[0].user;
+      data.add(j, o.user, poison ? nan : o.value);
+    }
+  }
+  const Eta2Mle mle;
+  const MleResult r = mle.estimate(data, m.domain, 3);
+  for (std::size_t j = 0; j < 20; ++j) {
+    EXPECT_TRUE(std::isfinite(r.mu[j])) << "task " << j;
+    EXPECT_TRUE(std::isfinite(r.sigma[j])) << "task " << j;
+  }
+  for (const auto& row : r.expertise) {
+    for (const double u : row) EXPECT_TRUE(std::isfinite(u));
+  }
+}
+
+TEST(Eta2MleTest, AllNanTaskStaysNanWithoutPoisoningOthers) {
+  Model m = make_model(10, 12, 2, /*seed=*/43);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Task 0 has ONLY non-finite reports: no usable data, so its truth must
+  // stay NaN — but its domain-mates keep finite estimates and no user's
+  // expertise becomes NaN.
+  ObservationSet data(10, 12);
+  for (std::size_t j = 0; j < 12; ++j) {
+    for (const auto& o : m.data.for_task(j)) {
+      data.add(j, o.user, j == 0 ? nan : o.value);
+    }
+  }
+  const Eta2Mle mle;
+  const MleResult r = mle.estimate(data, m.domain, 2);
+  EXPECT_TRUE(std::isnan(r.mu[0]));
+  for (std::size_t j = 1; j < 12; ++j) {
+    EXPECT_TRUE(std::isfinite(r.mu[j])) << "task " << j;
+  }
+  for (const auto& row : r.expertise) {
+    for (const double u : row) EXPECT_TRUE(std::isfinite(u));
+  }
 }
 
 TEST(Eta2MleTest, RecoverseTruthBetterThanMean) {

@@ -84,7 +84,7 @@ eta2::sim::SimOptions build_options(const Flags& flags,
   options.config.epsilon_bar = flags.get_double("epsilon-bar", 0.5);
   options.config.cost_per_iteration =
       flags.get_double("cost-per-iteration", 50.0);
-  options.response_rate = flags.get_double("response-rate", 1.0);
+  options.fault.response_rate = flags.get_double("response-rate", 1.0);
   if (dataset.has_descriptions) {
     options.embedder = eta2::sim::shared_embedder();
   }
