@@ -64,7 +64,9 @@ void BM_MleEstimate(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(mle.estimate(data, domain, domains));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+  // state.iterations() is already an int64 count; casting it again trips
+  // -Wuseless-cast.
+  state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(data.total_observations()));
 }
 BENCHMARK(BM_MleEstimate)->Args({50, 200})->Args({100, 1000})->Args({200, 2000})
@@ -127,7 +129,7 @@ void BM_SkipGramTraining(benchmark::State& state) {
   }
   std::size_t words = 0;
   for (const auto& s : corpus) words += s.size();
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+  state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(words));
 }
 BENCHMARK(BM_SkipGramTraining)->Arg(50)->Arg(200)

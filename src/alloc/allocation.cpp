@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "stats/normal.h"
 
@@ -37,6 +38,8 @@ void Allocation::assign(UserId user, TaskId task, double time, double cost) {
   require(task < task_users_.size(), "Allocation::assign: task out of range");
   require(user < used_time_.size(), "Allocation::assign: user out of range");
   require(!is_assigned(user, task), "Allocation::assign: duplicate pair");
+  // Negative time or cost would silently *free* budget in the books.
+  ETA2_EXPECTS(time >= 0.0 && cost >= 0.0);
   task_users_[task].push_back(user);
   used_time_[user] += time;
   total_cost_ += cost;
@@ -66,8 +69,12 @@ double task_success_probability(const AllocationProblem& problem,
   for (const UserId i : allocation.users_of(task)) {
     const double p_ij =
         stats::accuracy_probability(problem.expertise(i, task), epsilon);
+    // p_ij = Φ(ε·u) − Φ(−ε·u) is a probability by construction; outside
+    // [0, 1] the greedy efficiency ordering loses its meaning (Alg. 1).
+    ETA2_ASSERT(p_ij >= 0.0 && p_ij <= 1.0);
     miss *= 1.0 - p_ij;
   }
+  ETA2_ENSURES(miss >= 0.0 && miss <= 1.0);
   return 1.0 - miss;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace eta2::alloc {
@@ -15,6 +16,9 @@ KnapsackSolution knapsack_exact(std::span<const double> values,
   for (const double v : values) require(v >= 0.0, "knapsack_exact: value >= 0");
   for (const double w : weights) require(w > 0.0, "knapsack_exact: weight > 0");
 
+  // A NaN capacity would sail through every comparison below and return an
+  // empty-but-plausible solution; reject it as a caller bug.
+  ETA2_EXPECTS(!std::isnan(capacity));
   KnapsackSolution solution;
   if (values.empty() || capacity <= 0.0) return solution;
 
@@ -52,6 +56,9 @@ KnapsackSolution knapsack_exact(std::span<const double> values,
     }
   }
   std::reverse(solution.chosen.begin(), solution.chosen.end());
+  // Non-negative values summed: the optimum cannot be negative, and the
+  // reconstruction must account for exactly the reported value's items.
+  ETA2_ENSURES(solution.value >= 0.0);
   return solution;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "stats/normal.h"
@@ -31,6 +32,8 @@ class GreedyState {
     const std::span<const double> expertise = problem.expertise.data();
     parallel::parallel_for(n * m, 4096, [&](std::size_t cell) {
       p_[cell] = stats::accuracy_probability(expertise[cell], options.epsilon);
+      // Algorithm 1's efficiency ordering assumes p_ij ∈ [0, 1].
+      ETA2_ASSERT(p_[cell] >= 0.0 && p_[cell] <= 1.0);
     });
     remaining_.resize(n);
     for (UserId i = 0; i < n; ++i) {
@@ -86,7 +89,11 @@ class GreedyState {
   void select(UserId i, TaskId j, Allocation& allocation) {
     allocation.assign(i, j, problem_.task_time[j], problem_.cost_of(j));
     remaining_[i] -= problem_.task_time[j];
+    // Capacity feasibility: efficiency() returns 0 for pairs that do not
+    // fit, so a selected pair can never overdraw the user's time budget.
+    ETA2_ASSERT(remaining_[i] >= 0.0);
     miss_[j] *= 1.0 - p(i, j);
+    ETA2_ASSERT(miss_[j] >= 0.0 && miss_[j] <= 1.0);
     rescan_task(j);
     // Other tasks' cached best may reference user i, whose remaining
     // capacity shrank (or which is now assigned to j only — irrelevant for
@@ -119,6 +126,8 @@ std::size_t greedy_extend(const AllocationProblem& problem,
                           const GreedyOptions& options, Allocation& allocation) {
   problem.validate();
   require(options.epsilon > 0.0, "greedy_extend: epsilon must be > 0");
+  // A negative cost cap would read as "unlimited" below; reject it here.
+  ETA2_EXPECTS(options.cost_cap >= 0.0);
   require(allocation.user_count() == problem.user_count() &&
               allocation.task_count() == problem.task_count(),
           "greedy_extend: allocation shape mismatch");

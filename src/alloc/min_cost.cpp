@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "stats/confidence.h"
@@ -41,6 +42,10 @@ MinCostAllocator::Result MinCostAllocator::run(
   const double z = stats::z_critical(options_.confidence_alpha);
   const double required_info =
       (z / options_.epsilon_bar) * (z / options_.epsilon_bar);
+  // Eq. 21's pass threshold: a non-finite or non-positive requirement would
+  // make every task pass (or none ever), so the budget loop would misbehave
+  // silently.
+  ETA2_ENSURES(std::isfinite(required_info) && required_info > 0.0);
 
   std::vector<std::vector<double>> expertise = initial_expertise;
   if (expertise.empty()) {
@@ -110,6 +115,7 @@ MinCostAllocator::Result MinCostAllocator::run(
     bool pass = true;
     for (TaskId j = 0; j < m; ++j) {
       if (task_passed[j]) continue;
+      ETA2_ASSERT(std::isfinite(info[j]) && info[j] >= 0.0);
       if (info[j] > required_info) {
         task_passed[j] = true;
         for (UserId i = 0; i < n; ++i) working.expertise(i, j) = 0.0;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "clustering/linkage.h"
+#include "common/check.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "text/pairword.h"
@@ -189,6 +190,9 @@ ClusterUpdate DynamicClusterer::add_tasks(
 
   const auto dendrogram = upgma_dendrogram(dist, sizes);
   const auto labels = cut_dendrogram(dendrogram, n_units, threshold);
+  // Every unit gets exactly one flat label; the relabel loops below index
+  // labels[u] for every unit.
+  ETA2_ENSURES(labels.size() == n_units);
 
   // Map each final cluster to a domain id: reuse the id of the existing
   // domain with most members; clusters of only-new units get fresh ids.
@@ -225,6 +229,7 @@ ClusterUpdate DynamicClusterer::add_tasks(
 
   // Relabel every point (absorbed domains move to the surviving id).
   for (std::size_t u = 0; u < n_units; ++u) {
+    ETA2_ASSERT(labels[u] < label_count && label_has_domain[labels[u]]);
     const DomainId d = label_domain[labels[u]];
     for (const std::size_t p : unit_members[u]) point_domain_[p] = d;
   }

@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace eta2::clustering {
@@ -127,6 +128,7 @@ std::vector<MergeStep> upgma_dendrogram(const SymmetricMatrix& distances,
   // order, but average linkage is reducible, so heights are monotone along
   // every tree path (children before parents, child height <= parent
   // height). Cutting at a threshold therefore never needs a global sort.
+  ETA2_ENSURES(steps.size() == n - 1);
   return steps;
 }
 
@@ -153,6 +155,11 @@ std::vector<std::size_t> cut_dendrogram(const std::vector<MergeStep>& dendrogram
   std::size_t next_node = n;
   for (const MergeStep& step : dendrogram) {
     const std::size_t node_id = next_node++;
+    // Merge-index validity: both children must be nodes that already exist
+    // (initial clusters or earlier merges), and a node cannot merge with
+    // itself — a malformed dendrogram would otherwise corrupt the
+    // union-find silently.
+    ETA2_EXPECTS(step.a < node_id && step.b < node_id && step.a != step.b);
     if (step.distance >= threshold) {
       // Not merged; the node still needs a representative for parents that
       // might reference it (their distances are >= this one, so they will

@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
+
 namespace eta2::clustering {
 
 // Symmetric distance matrix stored as a dense lower triangle.
@@ -27,11 +29,14 @@ class SymmetricMatrix {
 
   // Unchecked variants for validated hot loops (NN-chain inner loops, bulk
   // matrix construction). Preconditions: i, j < size() and i != j — callers
-  // must have established them up front; violations are undefined behavior.
+  // must have established them up front; violations are undefined behavior
+  // except under ETA2_CHECKS=2, where the contract layer re-verifies them.
   [[nodiscard]] double at_unchecked(std::size_t i, std::size_t j) const {
+    ETA2_ASSERT(i < n_ && j < n_ && i != j);
     return data_[index_unchecked(i, j)];
   }
   void set_unchecked(std::size_t i, std::size_t j, double value) {
+    ETA2_ASSERT(i < n_ && j < n_ && i != j);
     data_[index_unchecked(i, j)] = value;
   }
 

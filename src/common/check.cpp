@@ -1,0 +1,37 @@
+#include "common/check.h"
+
+namespace eta2 {
+namespace {
+
+std::string format_violation(const char* kind, const char* expression,
+                             const char* file, int line) {
+  std::string message = "contract violation [";
+  message += kind;
+  message += "] ";
+  message += expression;
+  message += " at ";
+  message += file;
+  message += ":";
+  message += std::to_string(line);
+  return message;
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* expression,
+                                     const char* file, int line)
+    : std::logic_error(format_violation(kind, expression, file, line)),
+      kind_(kind),
+      expression_(expression),
+      file_(file),
+      line_(line) {}
+
+namespace detail {
+
+void contract_fail(const char* kind, const char* expression, const char* file,
+                   int line) {
+  throw ContractViolation(kind, expression, file, line);
+}
+
+}  // namespace detail
+}  // namespace eta2

@@ -1,0 +1,89 @@
+// Contract layer: machine-checked preconditions, postconditions, and
+// internal invariants for the numeric core (DESIGN.md §9).
+//
+// Three macros, two check levels:
+//
+//   ETA2_EXPECTS(cond)  precondition  — caller handed us bad state
+//   ETA2_ENSURES(cond)  postcondition — we are about to hand back bad state
+//   ETA2_ASSERT(cond)   internal invariant on a hot path (full level only)
+//
+// The level is the ETA2_CHECKS preprocessor value (set project-wide by the
+// CMake cache variable of the same name):
+//
+//   0 (off)    every macro expands to ((void)0); conditions are NOT
+//              evaluated, so side effects in them never run
+//   1 (cheap)  EXPECTS/ENSURES are live; ASSERT compiles out — the default,
+//              cheap enough for production builds
+//   2 (full)   all three are live, including per-element bounds checks in
+//              Matrix/SymmetricMatrix and per-observation guards in the
+//              MLE sweeps
+//
+// A failed check throws ContractViolation carrying the stringified
+// expression, kind, and file:line. Contracts must never change numerics:
+// they only observe and throw, so golden transcripts are bit-identical at
+// every level (enforced by tests/core/golden_step_test.cpp).
+//
+// This is deliberately distinct from `require(...)` in common/error.h:
+// require() validates *user input* (always on, std::invalid_argument);
+// the contract macros validate *our own logic* and are compiled out when
+// the build says so.
+#ifndef ETA2_COMMON_CHECK_H
+#define ETA2_COMMON_CHECK_H
+
+#include <stdexcept>
+#include <string>
+
+namespace eta2 {
+
+// Thrown by a failed ETA2_EXPECTS / ETA2_ENSURES / ETA2_ASSERT. Carries the
+// violated expression and its location so logs pinpoint the broken contract
+// without a debugger.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expression, const char* file,
+                    int line);
+
+  [[nodiscard]] const std::string& kind() const { return kind_; }
+  [[nodiscard]] const std::string& expression() const { return expression_; }
+  [[nodiscard]] const std::string& file() const { return file_; }
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  std::string kind_;
+  std::string expression_;
+  std::string file_;
+  int line_;
+};
+
+namespace detail {
+// Out-of-line throw keeps the macro expansion small (one compare + one cold
+// call) so live checks stay cheap on hot paths.
+[[noreturn]] void contract_fail(const char* kind, const char* expression,
+                                const char* file, int line);
+}  // namespace detail
+
+}  // namespace eta2
+
+#ifndef ETA2_CHECKS
+#define ETA2_CHECKS 1
+#endif
+
+#define ETA2_CHECK_IMPL_(kind, cond)                                      \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::eta2::detail::contract_fail(kind, #cond, __FILE__, __LINE__))
+
+#if ETA2_CHECKS >= 1
+#define ETA2_EXPECTS(cond) ETA2_CHECK_IMPL_("EXPECTS", cond)
+#define ETA2_ENSURES(cond) ETA2_CHECK_IMPL_("ENSURES", cond)
+#else
+#define ETA2_EXPECTS(cond) static_cast<void>(0)
+#define ETA2_ENSURES(cond) static_cast<void>(0)
+#endif
+
+#if ETA2_CHECKS >= 2
+#define ETA2_ASSERT(cond) ETA2_CHECK_IMPL_("ASSERT", cond)
+#else
+#define ETA2_ASSERT(cond) static_cast<void>(0)
+#endif
+
+#endif  // ETA2_COMMON_CHECK_H

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace eta2 {
@@ -56,17 +57,23 @@ class Matrix {
     data_.assign(rows * cols, fill);
   }
 
+  // Element/row access: bounds are a full-level contract (ETA2_CHECKS=2) —
+  // cheap/off builds keep the raw unchecked hot path.
   [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    ETA2_ASSERT(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
   [[nodiscard]] const double& operator()(std::size_t r, std::size_t c) const {
+    ETA2_ASSERT(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
 
   [[nodiscard]] std::span<double> row(std::size_t r) {
+    ETA2_ASSERT(r < rows_ || (r == 0 && rows_ == 0));
     return {data_.data() + r * cols_, cols_};
   }
   [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    ETA2_ASSERT(r < rows_ || (r == 0 && rows_ == 0));
     return {data_.data() + r * cols_, cols_};
   }
 

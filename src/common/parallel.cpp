@@ -133,6 +133,9 @@ class Pool {
       const std::size_t end = std::min(n_, begin + grain_);
       try {
         (*body_)(begin, end);
+        // eta2-lint: allow(catch-all) — exception trampoline: the worker
+        // captures whatever the body threw and re-throws it on the posting
+        // thread; no type information is lost.
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!error_) error_ = std::current_exception();
@@ -201,6 +204,8 @@ void parallel_for_chunks(
         const std::size_t begin = c * g;
         body(begin, std::min(n, begin + g));
       }
+      // eta2-lint: allow(catch-all) — scope guard: restores the reentrancy
+      // flag and immediately re-throws; nothing is swallowed.
     } catch (...) {
       tls_in_region = was_in_region;
       throw;

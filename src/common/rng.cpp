@@ -75,6 +75,8 @@ double Rng::normal() noexcept {
     u = uniform(-1.0, 1.0);
     v = uniform(-1.0, 1.0);
     s = u * u + v * v;
+    // eta2-lint: allow(float-equality) — Marsaglia polar rejection: s == 0
+    // exactly would feed log(0); any nonzero s is accepted.
   } while (s >= 1.0 || s == 0.0);
   const double factor = std::sqrt(-2.0 * std::log(s) / s);
   spare_normal_ = v * factor;

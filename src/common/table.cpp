@@ -59,6 +59,8 @@ std::string Table::to_string() const {
   return out;
 }
 
+// eta2-lint: allow(library-output) — Table is the report-printing utility
+// the CLI/bench binaries call; stdout is its contract.
 void Table::print() const { std::cout << to_string() << std::flush; }
 
 }  // namespace eta2

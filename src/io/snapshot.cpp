@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace eta2::io {
@@ -47,6 +48,9 @@ std::string wrap_snapshot(std::string_view payload) {
   blob.reserve(static_cast<std::size_t>(len) + payload.size());
   blob.append(header, static_cast<std::size_t>(len));
   blob.append(payload);
+  // Round-trip postcondition: the envelope we just wrote must declare
+  // exactly the bytes it carries, or every later load will reject it.
+  ETA2_ENSURES(blob.size() == static_cast<std::size_t>(len) + payload.size());
   return blob;
 }
 
@@ -75,6 +79,7 @@ std::string unwrap_snapshot(std::string_view blob) {
         " of " + std::to_string(declared_len) + " bytes)");
   }
   const std::string_view exact = payload.substr(0, declared_len);
+  ETA2_ASSERT(exact.size() == declared_len);
   const std::uint32_t actual_crc = crc32(exact);
   if (actual_crc != declared_crc) {
     char message[96];

@@ -54,6 +54,8 @@ double gamma_q_contfrac(double a, double x) {
 double regularized_gamma_p(double a, double x) {
   require(a > 0.0, "regularized_gamma_p: a must be positive");
   require(x >= 0.0, "regularized_gamma_p: x must be non-negative");
+  // eta2-lint: allow(float-equality) — exact boundary of the incomplete
+  // gamma function; P(a, 0) is identically 0.
   if (x == 0.0) return 0.0;
   if (x < a + 1.0) return gamma_p_series(a, x);
   return 1.0 - gamma_q_contfrac(a, x);

@@ -32,6 +32,8 @@ double euclidean_distance(std::span<const double> a, std::span<const double> b) 
 double cosine_similarity(std::span<const double> a, std::span<const double> b) {
   const double na = norm(a);
   const double nb = norm(b);
+  // eta2-lint: allow(float-equality) — zero-norm guard before dividing;
+  // only exactly-zero vectors are undefined.
   if (na == 0.0 || nb == 0.0) return 0.0;
   return dot(a, b) / (na * nb);
 }

@@ -38,6 +38,9 @@ PhraseDetector PhraseDetector::learn(
 
   PhraseDetector detector;
   if (total == 0) return detector;
+  // eta2-lint: allow(unordered-iteration) — each bigram's accept/reject
+  // decision is independent and feeds a membership-only set; iteration
+  // order cannot affect the result.
   for (const auto& [key, count] : bigrams) {
     if (count <= options.discount) continue;
     const std::size_t split = key.find(kJoiner);

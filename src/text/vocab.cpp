@@ -16,6 +16,8 @@ Vocab Vocab::build(std::span<const std::vector<std::string>> sentences,
   Vocab vocab;
   std::vector<std::pair<std::string, std::uint64_t>> entries;
   entries.reserve(raw_counts.size());
+  // eta2-lint: allow(unordered-iteration) — collection order is erased by
+  // the deterministic sort below before any id is assigned.
   for (auto& [word, count] : raw_counts) {
     if (count >= min_count) entries.emplace_back(word, count);
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/parallel.h"
 
@@ -48,6 +49,9 @@ void Eta2Mle::estimate_truth_only(
       require(k < expertise[o.user].size(), "Eta2Mle: domain out of range");
       if (!std::isfinite(o.value)) continue;
       const double u = expertise[o.user][k];
+      // Eq. 5 weights are u²; a non-positive or non-finite expertise here
+      // means an upstream clamp was bypassed.
+      ETA2_ASSERT(u > 0.0 && std::isfinite(u));
       num += u * u * o.value;
       den += u * u;
       finite_sum += o.value;
@@ -66,6 +70,9 @@ void Eta2Mle::estimate_truth_only(
     sigma[j] =
         std::max(options_.sigma_min,
                  std::sqrt(var_num / static_cast<double>(finite_count)));
+    // The Eq. 5/6 iteration divides by σ_j; the sigma_min floor above must
+    // guarantee it stays strictly positive and finite.
+    ETA2_ENSURES(sigma[j] >= options_.sigma_min && std::isfinite(mu[j]));
   });
 }
 
@@ -119,6 +126,13 @@ MleResult Eta2Mle::estimate(
         user_obs[cursor[o.user]++] = UserObs{j, o.value};
       }
     }
+    // CSR shape invariants: the prefix sum must cover exactly the
+    // observation count and every user's cursor must have landed on the
+    // next user's offset — otherwise the Eq. 6 fan-out reads garbage.
+    ETA2_ENSURES(obs_offset[n] == user_obs.size());
+    for (UserId i = 0; i < n; ++i) {
+      ETA2_ASSERT(cursor[i] == obs_offset[i + 1]);
+    }
   }
 
   std::vector<double> prev_mu;
@@ -150,6 +164,9 @@ MleResult Eta2Mle::estimate(
           continue;
         }
         const DomainIndex k = task_domain[j];
+        // σ_j > 0 whenever μ_j is finite (estimate_truth_only floors it);
+        // dividing by a zero/NaN σ would poison the expertise row.
+        ETA2_ASSERT(result.sigma[j] > 0.0);
         const double e = (user_obs[t].value - result.mu[j]) / result.sigma[j];
         num_row[k] += 1.0;
         den_row[k] += e * e;
@@ -211,6 +228,10 @@ MleResult Eta2Mle::estimate(
     if (count > 0) {
       const double c = std::exp(log_sum / static_cast<double>(count)) /
                        options_.anchor_mean;
+      // The gauge constant is a geometric mean of clamped-positive values
+      // divided by a positive anchor — if it ever degenerates, rescaling
+      // would silently zero or inf-out every expertise estimate.
+      ETA2_ENSURES(std::isfinite(c) && c > 0.0);
       parallel::parallel_for(n, 64, [&](UserId i) {
         for (DomainIndex k = 0; k < domain_count; ++k) {
           if (has_data[i * domain_count + k]) {

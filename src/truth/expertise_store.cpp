@@ -8,6 +8,7 @@
 #include <ostream>
 #include <string>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace eta2::truth {
@@ -32,6 +33,10 @@ double ExpertiseStore::expertise(UserId user, DomainIndex domain) const {
   const double u0 = options_.initial_expertise;
   const double u = std::sqrt((n + p) / (den_[user][domain] + p / (u0 * u0) +
                                         options_.ridge));
+  // Eq. 6 with positive numerator and denominator: the pre-clamp estimate
+  // must already be positive and finite (a negative accumulated D would
+  // mean a corrupted store).
+  ETA2_ASSERT(std::isfinite(u) && u > 0.0);
   return std::clamp(u, options_.expertise_min, options_.expertise_max);
 }
 
@@ -132,6 +137,7 @@ double ExpertiseStore::anchor(double target_mean) {
   for (auto& row : den_) {
     for (double& d : row) d *= c * c;
   }
+  ETA2_ENSURES(std::isfinite(c) && c > 0.0);
   return c;
 }
 

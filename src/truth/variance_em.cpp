@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "truth/reliability_common.h"
 
 namespace eta2::truth {
@@ -35,10 +36,14 @@ TruthResult VarianceEm::estimate(const ObservationSet& data) const {
       double num = 0.0;
       double den = 0.0;
       for (const Observation& o : obs) {
+        ETA2_ASSERT(s2[o.user] > 0.0);
         const double w = 1.0 / s2[o.user];
         num += w * o.value;
         den += w;
       }
+      // At least one observation contributed a strictly positive precision
+      // weight, so the precision-weighted mean is well-defined.
+      ETA2_ASSERT(den > 0.0);
       result.truth[j] = num / den;
     }
     // --- variance step: per-user residual variance with a prior. ---
@@ -59,6 +64,7 @@ TruthResult VarianceEm::estimate(const ObservationSet& data) const {
           std::max(options_.variance_floor,
                    (rss[i] + options_.prior_strength) /
                        (count[i] + options_.prior_strength));
+      ETA2_ENSURES(updated >= options_.variance_floor);
       s2[i] = updated;
       const double s = std::sqrt(updated);
       max_change = std::max(max_change,

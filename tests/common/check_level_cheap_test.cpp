@@ -1,0 +1,48 @@
+// ETA2_CHECKS=1 (cheap, the default): EXPECTS/ENSURES are live and throw
+// ContractViolation; ASSERT compiles out and never evaluates.
+#undef ETA2_CHECKS
+#define ETA2_CHECKS 1
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+// Deliberately never called: ETA2_ASSERT compiles out below full, so the
+// compiler sees no reference to this function.
+[[maybe_unused]] bool fail_and_count(int& count) {
+  ++count;
+  return false;
+}
+
+TEST(CheckLevelCheapTest, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(ETA2_EXPECTS(1 + 1 == 3), eta2::ContractViolation);
+  EXPECT_NO_THROW(ETA2_EXPECTS(1 + 1 == 2));
+}
+
+TEST(CheckLevelCheapTest, EnsuresThrowsOnViolation) {
+  EXPECT_THROW(ETA2_ENSURES(false), eta2::ContractViolation);
+  EXPECT_NO_THROW(ETA2_ENSURES(true));
+}
+
+TEST(CheckLevelCheapTest, AssertCompilesOutAndIsUnevaluated) {
+  int count = 0;
+  EXPECT_NO_THROW(ETA2_ASSERT(fail_and_count(count)));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(CheckLevelCheapTest, ViolationRecordsKindAndStringifiedExpression) {
+  try {
+    const double sigma = -1.0;
+    ETA2_EXPECTS(sigma > 0.0);
+    FAIL() << "EXPECTS did not throw";
+  } catch (const eta2::ContractViolation& violation) {
+    EXPECT_EQ(violation.kind(), "EXPECTS");
+    EXPECT_EQ(violation.expression(), "sigma > 0.0");
+    EXPECT_NE(violation.file().find("check_level_cheap_test.cpp"),
+              std::string::npos);
+    EXPECT_GT(violation.line(), 0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,33 @@
+// ETA2_CHECKS=2 (full): all three macros are live, including the hot-path
+// ETA2_ASSERT.
+#undef ETA2_CHECKS
+#define ETA2_CHECKS 2
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(CheckLevelFullTest, AllThreeMacrosAreLive) {
+  EXPECT_THROW(ETA2_EXPECTS(false), eta2::ContractViolation);
+  EXPECT_THROW(ETA2_ENSURES(false), eta2::ContractViolation);
+  EXPECT_THROW(ETA2_ASSERT(false), eta2::ContractViolation);
+}
+
+TEST(CheckLevelFullTest, PassingConditionsAreSilent) {
+  EXPECT_NO_THROW(ETA2_EXPECTS(true));
+  EXPECT_NO_THROW(ETA2_ENSURES(true));
+  EXPECT_NO_THROW(ETA2_ASSERT(true));
+}
+
+TEST(CheckLevelFullTest, AssertViolationNamesItsKind) {
+  try {
+    ETA2_ASSERT(2 < 1);
+    FAIL() << "ASSERT did not throw";
+  } catch (const eta2::ContractViolation& violation) {
+    EXPECT_EQ(violation.kind(), "ASSERT");
+    EXPECT_EQ(violation.expression(), "2 < 1");
+  }
+}
+
+}  // namespace

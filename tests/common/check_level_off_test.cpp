@@ -1,0 +1,43 @@
+// ETA2_CHECKS=0 (off): every macro must compile to nothing and must NOT
+// evaluate its condition — off means zero cost, including side effects.
+// The #undef overrides the project-wide -DETA2_CHECKS=... for this TU only
+// (same mechanism as NDEBUG/assert), which is exactly what the test needs.
+#undef ETA2_CHECKS
+#define ETA2_CHECKS 0
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+int& evaluation_count() {
+  static int count = 0;
+  return count;
+}
+
+// Deliberately never called: at level 0 the macros discard their argument
+// without evaluating it, so the compiler sees no reference to this function.
+[[maybe_unused]] bool count_and_fail() {
+  ++evaluation_count();
+  return false;
+}
+
+TEST(CheckLevelOffTest, ExpectsIsFreeAndUnevaluated) {
+  evaluation_count() = 0;
+  EXPECT_NO_THROW(ETA2_EXPECTS(count_and_fail()));
+  EXPECT_EQ(evaluation_count(), 0);
+}
+
+TEST(CheckLevelOffTest, EnsuresIsFreeAndUnevaluated) {
+  evaluation_count() = 0;
+  EXPECT_NO_THROW(ETA2_ENSURES(count_and_fail()));
+  EXPECT_EQ(evaluation_count(), 0);
+}
+
+TEST(CheckLevelOffTest, AssertIsFreeAndUnevaluated) {
+  evaluation_count() = 0;
+  EXPECT_NO_THROW(ETA2_ASSERT(count_and_fail()));
+  EXPECT_EQ(evaluation_count(), 0);
+}
+
+}  // namespace

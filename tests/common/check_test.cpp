@@ -1,0 +1,54 @@
+// Contract-layer tests: ContractViolation carries kind/expression/location,
+// and the macros behave per the build level. This TU uses the build's
+// default level; the three check_level_*_test.cpp TUs pin each level
+// explicitly (off / cheap / full) regardless of how the build was
+// configured.
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace eta2 {
+namespace {
+
+TEST(ContractViolationTest, CarriesKindExpressionAndLocation) {
+  const ContractViolation violation("EXPECTS", "x > 0", "src/foo.cpp", 42);
+  EXPECT_EQ(violation.kind(), "EXPECTS");
+  EXPECT_EQ(violation.expression(), "x > 0");
+  EXPECT_EQ(violation.file(), "src/foo.cpp");
+  EXPECT_EQ(violation.line(), 42);
+}
+
+TEST(ContractViolationTest, WhatNamesEverything) {
+  const ContractViolation violation("ASSERT", "p >= 0.0 && p <= 1.0",
+                                    "src/alloc/max_quality.cpp", 7);
+  const std::string what = violation.what();
+  EXPECT_NE(what.find("ASSERT"), std::string::npos);
+  EXPECT_NE(what.find("p >= 0.0 && p <= 1.0"), std::string::npos);
+  EXPECT_NE(what.find("src/alloc/max_quality.cpp:7"), std::string::npos);
+}
+
+TEST(ContractViolationTest, IsALogicError) {
+  // Contract violations are programming errors, distinct from the
+  // NumericalError/invalid_argument taxonomy the degradation paths catch.
+  const ContractViolation violation("ENSURES", "ok", "f.cpp", 1);
+  const std::logic_error* as_logic = &violation;
+  EXPECT_NE(as_logic, nullptr);
+}
+
+TEST(ContractFailTest, ThrowsWithMacroExpansionShape) {
+  try {
+    detail::contract_fail("EXPECTS", "cap >= 0.0", "src/alloc/a.cpp", 99);
+    FAIL() << "contract_fail returned";
+  } catch (const ContractViolation& violation) {
+    EXPECT_EQ(violation.kind(), "EXPECTS");
+    EXPECT_EQ(violation.expression(), "cap >= 0.0");
+    EXPECT_EQ(violation.line(), 99);
+    EXPECT_NE(std::string(violation.what()).find("contract violation"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace eta2

@@ -21,14 +21,6 @@ std::vector<Eta2Server::NewTask> labeled_tasks(
   return tasks;
 }
 
-// Collect callback: user 0 is an oracle, the rest add +offset noise.
-Eta2Server::CollectFn oracle_and_biased(double truth_value) {
-  return [truth_value](std::size_t local, std::size_t user) {
-    (void)local;
-    return user == 0 ? truth_value : truth_value + 2.0 * static_cast<double>(user);
-  };
-}
-
 TEST(Eta2ServerTest, RejectsBadConfig) {
   Eta2Config bad;
   bad.gamma = 2.0;

@@ -1,0 +1,571 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace eta2::lint {
+namespace {
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when `text[pos, pos+word)` equals `word` with identifier boundaries
+// on both sides.
+bool word_at(std::string_view text, std::size_t pos, std::string_view word) {
+  if (text.substr(pos, word.size()) != word) return false;
+  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= text.size() || !is_ident_char(text[end]);
+}
+
+bool contains_word(std::string_view text, std::string_view word) {
+  for (std::size_t pos = text.find(word); pos != std::string_view::npos;
+       pos = text.find(word, pos + 1)) {
+    if (word_at(text, pos, word)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string scrub_source(std::string_view source) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  std::string out;
+  out.reserve(source.size());
+  State state = State::kCode;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_ident_char(source[i - 1]))) {
+          // Raw string literal R"delim( ... )delim": skip it wholesale.
+          std::size_t paren = source.find('(', i + 2);
+          if (paren == std::string_view::npos) {
+            out += c;
+            break;
+          }
+          const std::string closer =
+              ")" + std::string(source.substr(i + 2, paren - (i + 2))) + "\"";
+          std::size_t close = source.find(closer, paren + 1);
+          if (close == std::string_view::npos) close = source.size();
+          const std::size_t end = std::min(source.size(), close + closer.size());
+          for (std::size_t k = i; k < end; ++k) {
+            out += source[k] == '\n' ? '\n' : ' ';
+          }
+          i = end - 1;
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          out += ' ';
+          if (next != '\0' && next != '\n') {
+            out += ' ';
+            ++i;
+          }
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> kRules = {
+      {"nondeterminism",
+       "rand/srand/std::random_device/time(...)/<named clock>::now() outside "
+       "common/rng and bench/ — all randomness flows through common/rng"},
+      {"unordered-iteration",
+       "iteration over an unordered_{map,set} — iteration order is "
+       "implementation-defined and breaks bit-identical results"},
+      {"library-output",
+       "std::cout/printf/puts in library code (src/) — libraries return "
+       "values, binaries print"},
+      {"catch-all",
+       "catch (...) — swallows the typed error taxonomy; catch concrete "
+       "types"},
+      {"float-equality",
+       "==/!= against a floating-point literal — compare with a tolerance "
+       "or restructure"},
+      {"missing-include-guard",
+       "header without an #ifndef/#define guard or #pragma once"},
+      {"self-include-first",
+       "foo.cpp must #include its own header first so the header proves it "
+       "is self-contained"},
+  };
+  return kRules;
+}
+
+namespace {
+
+struct LineContext {
+  const SourceFile& file;
+  const std::vector<std::string>& original;
+  std::vector<Diagnostic>* diagnostics;
+};
+
+bool is_comment_line(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+    ++i;
+  }
+  return line.substr(i, 2) == "//";
+}
+
+// `// eta2-lint: allow(<rule>)` on the diagnostic line, or anywhere in the
+// contiguous `//` comment block immediately above it, suppresses the
+// diagnostic. Whole-file diagnostics (line 0) look at the leading comment
+// block of the file.
+bool suppressed(const std::vector<std::string>& original, std::size_t line,
+                std::string_view rule) {
+  const std::string needle = "eta2-lint: allow(" + std::string(rule) + ")";
+  if (line == 0) {
+    for (const std::string& text : original) {
+      if (!is_comment_line(text)) break;
+      if (text.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+  if (line <= original.size() &&
+      original[line - 1].find(needle) != std::string::npos) {
+    return true;
+  }
+  for (std::size_t i = line - 1; i >= 1; --i) {
+    const std::string& above = original[i - 1];
+    if (!is_comment_line(above)) break;
+    if (above.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void report(LineContext& context, std::size_t line, std::string_view rule,
+            std::string message) {
+  if (suppressed(context.original, line, rule)) return;
+  context.diagnostics->push_back(Diagnostic{
+      context.file.path, line, std::string(rule), std::move(message)});
+}
+
+// --- nondeterminism -------------------------------------------------------
+
+bool nondeterminism_allowed(std::string_view path) {
+  return starts_with(path, "src/common/rng.") || starts_with(path, "bench/");
+}
+
+void check_nondeterminism(LineContext& context, std::size_t line_number,
+                          std::string_view line) {
+  static const std::regex kRand(R"(\b(s?rand)\s*\()");
+  static const std::regex kTime(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
+  static const std::regex kClockNow(
+      R"(\b(steady_clock|system_clock|high_resolution_clock|file_clock|utc_clock)\s*::\s*now\b)");
+  std::string text(line);
+  if (contains_word(line, "random_device")) {
+    report(context, line_number, "nondeterminism",
+           "std::random_device is nondeterministic; seed via common/rng");
+  }
+  if (std::regex_search(text, kRand)) {
+    report(context, line_number, "nondeterminism",
+           "rand()/srand() bypasses common/rng; use eta2::Rng");
+  }
+  if (std::regex_search(text, kTime)) {
+    report(context, line_number, "nondeterminism",
+           "time(...) is a nondeterminism source; thread a seed through "
+           "common/rng");
+  }
+  if (std::regex_search(text, kClockNow)) {
+    report(context, line_number, "nondeterminism",
+           "clock ::now() outside bench timing makes results "
+           "time-dependent");
+  }
+}
+
+// --- unordered-iteration --------------------------------------------------
+
+// Names declared (or received as parameters) with an unordered container
+// type anywhere in the scrubbed file text.
+std::vector<std::string> unordered_container_names(std::string_view scrubbed) {
+  std::vector<std::string> names;
+  for (std::string_view token : {std::string_view("unordered_map<"),
+                                 std::string_view("unordered_set<")}) {
+    for (std::size_t pos = scrubbed.find(token); pos != std::string_view::npos;
+         pos = scrubbed.find(token, pos + 1)) {
+      // Walk to the matching '>' of the template argument list.
+      std::size_t depth = 1;
+      std::size_t i = pos + token.size();
+      while (i < scrubbed.size() && depth > 0) {
+        if (scrubbed[i] == '<') ++depth;
+        if (scrubbed[i] == '>') --depth;
+        ++i;
+      }
+      // Skip refs/pointers/whitespace, then read the declared identifier.
+      while (i < scrubbed.size() &&
+             (std::isspace(static_cast<unsigned char>(scrubbed[i])) != 0 ||
+              scrubbed[i] == '&' || scrubbed[i] == '*')) {
+        ++i;
+      }
+      if (i < scrubbed.size() && scrubbed[i] == ':') continue;  // ::iterator
+      std::size_t start = i;
+      while (i < scrubbed.size() && is_ident_char(scrubbed[i])) ++i;
+      if (i > start) {
+        std::string name(scrubbed.substr(start, i - start));
+        if (name == "const") continue;
+        if (std::find(names.begin(), names.end(), name) == names.end()) {
+          names.push_back(name);
+        }
+      }
+    }
+  }
+  return names;
+}
+
+void check_unordered_iteration(LineContext& context, std::size_t line_number,
+                               std::string_view line,
+                               const std::vector<std::string>& names) {
+  const std::size_t for_pos = [&] {
+    for (std::size_t pos = line.find("for"); pos != std::string_view::npos;
+         pos = line.find("for", pos + 1)) {
+      if (word_at(line, pos, "for")) return pos;
+    }
+    return std::string_view::npos;
+  }();
+  // Range expression of a range-for: the text between the ':' and the
+  // matching close paren of the for's '(' — NOT the rest of the line, which
+  // would drag in single-line loop bodies.
+  std::string_view range_expr;
+  if (for_pos != std::string_view::npos) {
+    const std::size_t open = line.find('(', for_pos);
+    if (open != std::string_view::npos) {
+      std::size_t depth = 1;
+      std::size_t close = open + 1;
+      while (close < line.size() && depth > 0) {
+        if (line[close] == '(') ++depth;
+        if (line[close] == ')') --depth;
+        ++close;
+      }
+      // First single ':' (not part of a '::' scope qualifier).
+      std::size_t colon = std::string_view::npos;
+      for (std::size_t k = open + 1; k + 1 < close; ++k) {
+        if (line[k] != ':') continue;
+        if (line[k + 1] == ':' || (k > 0 && line[k - 1] == ':')) continue;
+        colon = k;
+        break;
+      }
+      if (colon != std::string_view::npos && colon < close) {
+        range_expr = line.substr(colon + 1, close - 1 - (colon + 1));
+      }
+    }
+  }
+  for (const std::string& name : names) {
+    bool hit = false;
+    if (!range_expr.empty() && contains_word(range_expr, name)) hit = true;
+    // Iterator-style loops and explicit begin() scans.
+    static const char* kIterCalls[] = {".begin", ".cbegin", ".end", ".cend"};
+    for (const char* call : kIterCalls) {
+      for (std::size_t pos = line.find(name); pos != std::string_view::npos;
+           pos = line.find(name, pos + 1)) {
+        if (word_at(line, pos, name) &&
+            line.substr(pos + name.size(), std::string_view(call).size()) ==
+                call) {
+          hit = true;
+        }
+      }
+    }
+    if (hit) {
+      report(context, line_number, "unordered-iteration",
+             "iterating unordered container '" + name +
+                 "' — order is implementation-defined; sort keys first or "
+                 "justify with a suppression");
+      break;
+    }
+  }
+}
+
+// --- library-output -------------------------------------------------------
+
+void check_library_output(LineContext& context, std::size_t line_number,
+                          std::string_view line) {
+  if (!starts_with(context.file.path, "src/")) return;
+  static const std::regex kPrint(R"(\b(printf|puts)\s*\()");
+  static const std::regex kFprintfStdout(R"(\bfprintf\s*\(\s*stdout\b)");
+  std::string text(line);
+  if (line.find("std::cout") != std::string_view::npos) {
+    report(context, line_number, "library-output",
+           "std::cout in library code; return data or take an ostream&");
+  }
+  if (std::regex_search(text, kPrint) ||
+      std::regex_search(text, kFprintfStdout)) {
+    report(context, line_number, "library-output",
+           "printf-family output in library code; return data or take an "
+           "ostream&");
+  }
+}
+
+// --- catch-all ------------------------------------------------------------
+
+void check_catch_all(LineContext& context, std::size_t line_number,
+                     std::string_view line) {
+  static const std::regex kCatchAll(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
+  if (std::regex_search(std::string(line), kCatchAll)) {
+    report(context, line_number, "catch-all",
+           "catch (...) hides the failure taxonomy; catch concrete types");
+  }
+}
+
+// --- float-equality -------------------------------------------------------
+
+constexpr char kFloatLiteralPattern[] =
+    R"((\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)([eE][-+]?\d+)?[fFlL]?)";
+
+bool float_literal_before(std::string_view line, std::size_t op_pos) {
+  static const std::regex kTrailingFloat(std::string("(") +
+                                         kFloatLiteralPattern + R"()\s*$)");
+  const std::size_t begin = op_pos > 48 ? op_pos - 48 : 0;
+  return std::regex_search(std::string(line.substr(begin, op_pos - begin)),
+                           kTrailingFloat);
+}
+
+bool float_literal_after(std::string_view line, std::size_t after_op) {
+  static const std::regex kLeadingFloat(std::string(R"(^\s*[-+]?\s*()") +
+                                        kFloatLiteralPattern + ")");
+  return std::regex_search(std::string(line.substr(after_op)), kLeadingFloat);
+}
+
+void check_float_equality(LineContext& context, std::size_t line_number,
+                          std::string_view line) {
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    const char a = line[i];
+    const char b = line[i + 1];
+    const bool is_eq = a == '=' && b == '=';
+    const bool is_ne = a == '!' && b == '=';
+    if (!is_eq && !is_ne) continue;
+    // Reject <=, >=, ==>, === style neighborhoods.
+    const char before = i > 0 ? line[i - 1] : '\0';
+    const char after = i + 2 < line.size() ? line[i + 2] : '\0';
+    if (before == '<' || before == '>' || before == '=' || before == '!' ||
+        after == '=') {
+      continue;
+    }
+    if (float_literal_before(line, i) || float_literal_after(line, i + 2)) {
+      report(context, line_number, "float-equality",
+             "exact ==/!= against a floating-point literal; use a tolerance "
+             "or restructure the branch");
+      return;
+    }
+  }
+}
+
+// --- include hygiene ------------------------------------------------------
+
+std::string include_target(std::string_view line) {
+  static const std::regex kInclude(R"(^\s*#\s*include\s*([<"])([^>"]+)[>"])");
+  std::smatch match;
+  std::string text(line);
+  if (std::regex_search(text, match, kInclude)) return match[2].str();
+  return {};
+}
+
+bool is_include_line(std::string_view line) {
+  static const std::regex kInclude(R"(^\s*#\s*include\b)");
+  return std::regex_search(std::string(line), kInclude);
+}
+
+void check_include_guard(LineContext& context,
+                         const std::vector<std::string>& scrubbed_lines) {
+  bool has_ifndef = false;
+  bool has_define = false;
+  bool has_pragma_once = false;
+  static const std::regex kIfndef(R"(^\s*#\s*ifndef\b)");
+  static const std::regex kDefine(R"(^\s*#\s*define\b)");
+  static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
+  for (const std::string& line : scrubbed_lines) {
+    if (std::regex_search(line, kIfndef)) has_ifndef = true;
+    if (std::regex_search(line, kDefine)) has_define = true;
+    if (std::regex_search(line, kPragmaOnce)) has_pragma_once = true;
+  }
+  if (!(has_pragma_once || (has_ifndef && has_define))) {
+    report(context, 0, "missing-include-guard",
+           "header lacks an include guard (#ifndef/#define pair or #pragma "
+           "once)");
+  }
+}
+
+void check_self_include_first(LineContext& context,
+                              const std::vector<std::string>& original_lines) {
+  const std::string path = context.file.path;
+  const std::size_t slash = path.rfind('/');
+  const std::size_t dot = path.rfind('.');
+  const std::string stem =
+      path.substr(slash + 1, dot - slash - 1);  // "eta2_mle"
+  const std::string own_header = stem + ".h";
+  for (std::size_t i = 0; i < original_lines.size(); ++i) {
+    if (!is_include_line(original_lines[i])) continue;
+    const std::string target = include_target(original_lines[i]);
+    const bool matches =
+        target == own_header ||
+        (target.size() > own_header.size() &&
+         target.compare(target.size() - own_header.size() - 1,
+                        std::string::npos, "/" + own_header) == 0);
+    if (!matches) {
+      report(context, i + 1, "self-include-first",
+             "first #include must be this file's own header (" + own_header +
+                 ") so the header stays self-contained");
+    }
+    return;
+  }
+  report(context, 0, "self-include-first",
+         "source file never includes its own header " + own_header);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_file(const SourceFile& file) {
+  std::vector<Diagnostic> diagnostics;
+  const std::string scrubbed = scrub_source(file.contents);
+  const std::vector<std::string> original_lines = split_lines(file.contents);
+  const std::vector<std::string> scrubbed_lines = split_lines(scrubbed);
+  LineContext context{file, original_lines, &diagnostics};
+
+  const bool is_header = file.path.size() > 2 &&
+                         file.path.compare(file.path.size() - 2, 2, ".h") == 0;
+  const std::vector<std::string> unordered_names =
+      unordered_container_names(scrubbed);
+
+  for (std::size_t i = 0; i < scrubbed_lines.size(); ++i) {
+    const std::string& line = scrubbed_lines[i];
+    const std::size_t line_number = i + 1;
+    if (!nondeterminism_allowed(file.path)) {
+      check_nondeterminism(context, line_number, line);
+    }
+    if (!unordered_names.empty()) {
+      check_unordered_iteration(context, line_number, line, unordered_names);
+    }
+    check_library_output(context, line_number, line);
+    check_catch_all(context, line_number, line);
+    check_float_equality(context, line_number, line);
+  }
+  if (is_header) {
+    check_include_guard(context, scrubbed_lines);
+  } else if (file.has_sibling_header) {
+    check_self_include_first(context, original_lines);
+  }
+
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return diagnostics;
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const char* subtree : {"src", "tools", "bench", "examples"}) {
+    const fs::path base = fs::path(root) / subtree;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Diagnostic> all;
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("eta2_lint: cannot read " + path.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    SourceFile file;
+    file.path = fs::relative(path, root).generic_string();
+    file.contents = buffer.str();
+    fs::path sibling = path;
+    sibling.replace_extension(".h");
+    file.has_sibling_header =
+        path.extension() == ".cpp" && fs::exists(sibling);
+
+    std::vector<Diagnostic> diagnostics = lint_file(file);
+    all.insert(all.end(), diagnostics.begin(), diagnostics.end());
+  }
+  return all;
+}
+
+std::string format_diagnostic(const Diagnostic& diagnostic) {
+  std::string out = diagnostic.file;
+  out += ":";
+  out += std::to_string(diagnostic.line);
+  out += ": [";
+  out += diagnostic.rule;
+  out += "] ";
+  out += diagnostic.message;
+  return out;
+}
+
+}  // namespace eta2::lint

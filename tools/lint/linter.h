@@ -1,0 +1,76 @@
+// eta2_lint: project-specific static analysis for the determinism and
+// numeric invariants the compiler cannot see (DESIGN.md §9).
+//
+// The linter is a line-oriented scanner over comment- and string-scrubbed
+// source text — deliberately not a full parser. Each rule is a cheap
+// syntactic check tuned to this codebase's idiom; anything it cannot prove
+// is flagged and the author either fixes the site or suppresses it with a
+// justification comment:
+//
+//   // eta2-lint: allow(<rule>)          (same line or the line above)
+//
+// Rules (see rule_catalogue() for the authoritative list):
+//   nondeterminism         rand/srand/random_device/time(nullptr)/
+//                          std::chrono ::now() outside common/rng and bench
+//   unordered-iteration    iterating an unordered_{map,set} — iteration
+//                          order is implementation-defined, so any fold over
+//                          it breaks the bit-identical-results contract
+//   library-output         std::cout/printf/puts in library code (src/)
+//   catch-all              catch (...) swallows typed failure taxonomy
+//   float-equality         ==/!= against a floating-point literal
+//   missing-include-guard  header without #ifndef/#define or #pragma once
+//   self-include-first     foo.cpp whose first #include is not foo.h
+#ifndef ETA2_TOOLS_LINT_LINTER_H
+#define ETA2_TOOLS_LINT_LINTER_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eta2::lint {
+
+struct Diagnostic {
+  std::string file;      // path as given to the linter
+  std::size_t line = 0;  // 1-based; 0 for whole-file diagnostics
+  std::string rule;      // rule slug, e.g. "nondeterminism"
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+// The authoritative rule list (stable order; names are the suppression keys).
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
+
+// One source file presented to the linter. `path` uses forward slashes and
+// is relative to the repo root (e.g. "src/truth/eta2_mle.cpp") — the rules
+// key their allowlists off these prefixes.
+struct SourceFile {
+  std::string path;
+  std::string contents;
+  // True when a sibling header (same directory, same stem, .h) exists;
+  // drives the self-include-first rule.
+  bool has_sibling_header = false;
+};
+
+// Replaces the bodies of comments, string literals (including raw strings),
+// and character literals with spaces, preserving line structure. Exposed
+// for tests.
+[[nodiscard]] std::string scrub_source(std::string_view source);
+
+// Lints one file. Diagnostics come back in line order.
+[[nodiscard]] std::vector<Diagnostic> lint_file(const SourceFile& file);
+
+// Walks `root`'s src/, tools/, bench/, and examples/ trees (deterministic
+// sorted order), lints every .h/.cpp file, and returns all diagnostics.
+[[nodiscard]] std::vector<Diagnostic> lint_tree(const std::string& root);
+
+// "path:line: [rule] message" — one line per diagnostic.
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& diagnostic);
+
+}  // namespace eta2::lint
+
+#endif  // ETA2_TOOLS_LINT_LINTER_H
