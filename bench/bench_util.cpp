@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "common/parallel.h"
+#include "io/snapshot.h"
 
 namespace eta2::bench {
 
@@ -116,19 +118,20 @@ void write_robustness_json(const std::string& path,
   }
   for (const RobustnessCurve& c : curves) lines.push_back(curve_line(c));
 
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "write_robustness_json: cannot open %s\n",
-                 path.c_str());
+  std::string payload = "{\n  \"bench\": \"robustness\",\n  \"curves\": [\n";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    payload += lines[i];
+    payload += i + 1 < lines.size() ? ",\n" : "\n";
+  }
+  payload += "  ]\n}\n";
+  // Atomic replace: several robustness benches merge into the same file, so
+  // a crash mid-write must not destroy the curves already collected.
+  try {
+    io::atomic_write_file(path, payload);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "write_robustness_json: %s\n", e.what());
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"robustness\",\n  \"curves\": [\n");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    std::fprintf(out, "%s%s\n", lines[i].c_str(),
-                 i + 1 < lines.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
   std::printf("\nwrote %s (%zu curves)\n", path.c_str(), lines.size());
 }
 

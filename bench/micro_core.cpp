@@ -14,12 +14,15 @@
 // training throughput.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -31,6 +34,7 @@
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "io/snapshot.h"
 #include "sim/dataset.h"
 #include "sim/simulation.h"
 #include "text/corpus.h"
@@ -297,52 +301,67 @@ bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
 }
 
+// printf-style append into a std::string (the JSON is staged in memory and
+// lands atomically below).
+void appendf(std::string& out, const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  const int len = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (len > 0) out.append(buffer, std::min<std::size_t>(
+                              static_cast<std::size_t>(len), sizeof(buffer)));
+}
+
 void write_json(const std::string& path, std::size_t parallel_threads,
                 int reps, bool quick,
                 const std::vector<KernelTiming>& timings) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "perf_smoke: cannot open %s for writing\n",
-                 path.c_str());
-    std::exit(1);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
   const char* env_threads = std::getenv("ETA2_THREADS");
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"bench\": \"perf_smoke\",\n");
-  std::fprintf(out, "  \"machine\": {\n");
-  std::fprintf(out, "    \"hardware_concurrency\": %u,\n", hw);
-  std::fprintf(out, "    \"eta2_threads_env\": \"%s\",\n",
-               env_threads ? env_threads : "");
-  std::fprintf(out, "    \"parallel_threads\": %zu,\n", parallel_threads);
-  std::fprintf(out, "    \"compiler\": \"%s\",\n", __VERSION__);
-  std::fprintf(out, "    \"build\": \"%s\"\n",
+  std::string out;
+  appendf(out, "{\n");
+  appendf(out, "  \"bench\": \"perf_smoke\",\n");
+  appendf(out, "  \"machine\": {\n");
+  appendf(out, "    \"hardware_concurrency\": %u,\n", hw);
+  appendf(out, "    \"eta2_threads_env\": \"%s\",\n",
+          env_threads ? env_threads : "");
+  appendf(out, "    \"parallel_threads\": %zu,\n", parallel_threads);
+  appendf(out, "    \"compiler\": \"%s\",\n", __VERSION__);
+  appendf(out, "    \"build\": \"%s\"\n",
 #ifdef NDEBUG
-               "optimized"
+          "optimized"
 #else
-               "debug"
+          "debug"
 #endif
   );
-  std::fprintf(out, "  },\n");
-  std::fprintf(out, "  \"reps\": %d,\n", reps);
-  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
-  std::fprintf(out, "  \"kernels\": [\n");
+  appendf(out, "  },\n");
+  appendf(out, "  \"reps\": %d,\n", reps);
+  appendf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  appendf(out, "  \"kernels\": [\n");
   for (std::size_t k = 0; k < timings.size(); ++k) {
     const KernelTiming& t = timings[k];
-    std::fprintf(out, "    {\n");
-    std::fprintf(out, "      \"name\": \"%s\",\n", t.name.c_str());
-    std::fprintf(out, "      \"scale\": %zu,\n", t.scale);
-    std::fprintf(out, "      \"serial_ns_per_op\": %.0f,\n", t.serial_ns);
-    std::fprintf(out, "      \"parallel_ns_per_op\": %.0f,\n", t.parallel_ns);
-    std::fprintf(out, "      \"speedup\": %.3f,\n",
-                 t.parallel_ns > 0.0 ? t.serial_ns / t.parallel_ns : 0.0);
-    std::fprintf(out, "      \"bit_identical\": %s\n",
-                 t.bit_identical ? "true" : "false");
-    std::fprintf(out, "    }%s\n", k + 1 < timings.size() ? "," : "");
+    appendf(out, "    {\n");
+    appendf(out, "      \"name\": \"%s\",\n", t.name.c_str());
+    appendf(out, "      \"scale\": %zu,\n", t.scale);
+    appendf(out, "      \"serial_ns_per_op\": %.0f,\n", t.serial_ns);
+    appendf(out, "      \"parallel_ns_per_op\": %.0f,\n", t.parallel_ns);
+    appendf(out, "      \"speedup\": %.3f,\n",
+            t.parallel_ns > 0.0 ? t.serial_ns / t.parallel_ns : 0.0);
+    appendf(out, "      \"bit_identical\": %s\n",
+            t.bit_identical ? "true" : "false");
+    appendf(out, "    }%s\n", k + 1 < timings.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n");
-  std::fprintf(out, "}\n");
-  std::fclose(out);
+  appendf(out, "  ]\n");
+  appendf(out, "}\n");
+  // Atomic replace: BENCH_core.json is the perf trajectory later PRs diff
+  // against — a crash mid-write must not leave a torn file.
+  try {
+    eta2::io::atomic_write_file(path, out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_smoke: cannot write %s: %s\n", path.c_str(),
+                 e.what());
+    std::exit(1);
+  }
 }
 
 int run_smoke(int argc, char** argv) {

@@ -70,11 +70,14 @@ double FaultPlan::decision(std::uint64_t kind, std::uint64_t step,
 }
 
 bool FaultPlan::drop_batch() {
-  if (options_.empty_batch_rate <= 0.0) return false;
-  const bool drop =
-      decision(kKindBatch, step_, 0, 0) < options_.empty_batch_rate;
+  const bool drop = batch_dropped();
   if (drop) ++stats_.batches_dropped;
   return drop;
+}
+
+bool FaultPlan::batch_dropped() const {
+  return options_.empty_batch_rate > 0.0 &&
+         decision(kKindBatch, step_, 0, 0) < options_.empty_batch_rate;
 }
 
 bool FaultPlan::user_dropped(std::size_t user) const {

@@ -105,6 +105,11 @@ class FaultPlan {
   [[nodiscard]] bool drop_batch();
 
   // Pure decision queries (no stats side effects).
+  // batch_dropped is drop_batch's decision without the stats recording —
+  // the durable runner consults it when (re)deriving a step's effective
+  // batch, while drop_batch() is reserved for the once-per-execution
+  // accounting pass.
+  [[nodiscard]] bool batch_dropped() const;
   [[nodiscard]] bool user_dropped(std::size_t user) const;
   [[nodiscard]] bool embedder_down() const;
   [[nodiscard]] bool user_fabricates(std::size_t user) const;
@@ -122,6 +127,12 @@ class FaultPlan {
 
   [[nodiscard]] const FaultOptions& options() const { return options_; }
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  // Overwrites the cumulative injection counters. The durability layer uses
+  // this to make FaultStats transactional: counters are persisted with each
+  // campaign snapshot and restored on rollback/recovery, after which replay
+  // re-records exactly the injections of the steps it re-runs.
+  void restore_stats(const FaultStats& stats) { stats_ = stats; }
 
  private:
   friend class FaultyEmbedder;

@@ -45,6 +45,24 @@ class Rng {
   // decorrelated from the parent and from each other.
   [[nodiscard]] Rng fork(std::uint64_t stream_index) const noexcept;
 
+  // Complete serializable generator state: the four xoshiro256** words plus
+  // the Box-Muller spare. restore(state()) makes the generator continue its
+  // output sequence bit-identically — the durability layer journals this
+  // before every step so crash recovery can replay it exactly.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double spare_normal = 0.0;
+    bool has_spare_normal = false;
+  };
+  [[nodiscard]] State state() const noexcept {
+    return State{state_, spare_normal_, has_spare_normal_};
+  }
+  void restore(const State& s) noexcept {
+    state_ = s.words;
+    spare_normal_ = s.spare_normal;
+    has_spare_normal_ = s.has_spare_normal;
+  }
+
   // Fisher-Yates shuffle of any random-access container.
   template <typename Container>
   void shuffle(Container& c) noexcept {

@@ -17,6 +17,7 @@ void StepHealth::merge(const StepHealth& other) {
   truth_fallback = truth_fallback || other.truth_fallback;
   quality_unmet_tasks += other.quality_unmet_tasks;
   empty_batch = empty_batch || other.empty_batch;
+  quarantined_batches += other.quarantined_batches;
 }
 
 CollectFn sanitizing_collect(const CollectFn& inner, double abs_limit,

@@ -73,11 +73,18 @@ struct StepHealth {
   // The step's batch was empty (suppressed upstream or a quiet day).
   bool empty_batch = false;
 
+  // --- durability layer (core/durable_runner.h) ---
+  // Batches the durable runner gave up on: the step kept failing with
+  // ContractViolation / CorruptSnapshotError after the configured retries,
+  // was rolled back, and its batch was skipped (journaled as quarantined so
+  // crash recovery reproduces the decision).
+  std::size_t quarantined_batches = 0;
+
   // True when any degraded mode engaged this step.
   [[nodiscard]] bool degraded() const {
     return rejected_nonfinite > 0 || rejected_out_of_range > 0 ||
            identifier_failed || domain_fallback_tasks > 0 || truth_fallback ||
-           quality_unmet_tasks > 0;
+           quality_unmet_tasks > 0 || quarantined_batches > 0;
   }
 
   // Accumulates another step's counters into this one (flags OR together).

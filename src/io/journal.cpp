@@ -1,0 +1,354 @@
+#include "io/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ETA2_JOURNAL_POSIX 1
+#endif
+
+#include "common/error.h"
+#include "io/snapshot.h"
+
+namespace eta2::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kFrameMagic = "eta2-wal";
+constexpr std::string_view kSegmentPrefix = "journal.";
+constexpr std::string_view kSegmentSuffix = ".wal";
+
+std::string dir_path(const std::string& dir, std::uint64_t index) {
+  return dir + "/" + segment_file_name(index);
+}
+
+#if defined(ETA2_JOURNAL_POSIX)
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+#endif
+
+}  // namespace
+
+std::string_view record_type_name(RecordType type) {
+  switch (type) {
+    case RecordType::kStepBegin:
+      return "begin";
+    case RecordType::kStepCommit:
+      return "commit";
+    case RecordType::kStepQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
+
+std::string frame_record(RecordType type, std::uint64_t step,
+                         std::string_view payload) {
+  char header[96];
+  const int len = std::snprintf(
+      header, sizeof(header), "eta2-wal v1 %s %llu %zu %08x\n",
+      std::string(record_type_name(type)).c_str(),
+      static_cast<unsigned long long>(step), payload.size(), crc32(payload));
+  ensure(len > 0 && static_cast<std::size_t>(len) < sizeof(header),
+         "frame_record: header formatting failure");
+  std::string frame;
+  frame.reserve(static_cast<std::size_t>(len) + payload.size());
+  frame.append(header, static_cast<std::size_t>(len));
+  frame.append(payload);
+  return frame;
+}
+
+SegmentScan scan_segment(std::string_view bytes) {
+  SegmentScan scan;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t newline = bytes.find('\n', pos);
+    if (newline == std::string_view::npos) {
+      scan.truncated = true;
+      scan.diagnostic = "torn header at offset " + std::to_string(pos);
+      return scan;
+    }
+    const std::string header(bytes.substr(pos, newline - pos));
+    std::istringstream in(header);
+    std::string magic;
+    std::string version;
+    std::string type_name;
+    unsigned long long step = 0;
+    std::size_t declared_len = 0;
+    std::uint32_t declared_crc = 0;
+    if (!(in >> magic >> version >> type_name >> step >> declared_len >>
+          std::hex >> declared_crc) ||
+        magic != kFrameMagic || version != "v1") {
+      scan.corrupt = true;
+      scan.diagnostic = "malformed frame header at offset " +
+                        std::to_string(pos) + ": \"" + header + "\"";
+      return scan;
+    }
+    RecordType type;
+    if (type_name == "begin") {
+      type = RecordType::kStepBegin;
+    } else if (type_name == "commit") {
+      type = RecordType::kStepCommit;
+    } else if (type_name == "quarantine") {
+      type = RecordType::kStepQuarantine;
+    } else {
+      scan.corrupt = true;
+      scan.diagnostic =
+          "unknown record type \"" + type_name + "\" at offset " +
+          std::to_string(pos);
+      return scan;
+    }
+    const std::size_t payload_start = newline + 1;
+    if (bytes.size() - payload_start < declared_len) {
+      scan.truncated = true;
+      scan.diagnostic = "torn payload at offset " +
+                        std::to_string(payload_start) + " (" +
+                        std::to_string(bytes.size() - payload_start) + " of " +
+                        std::to_string(declared_len) + " bytes)";
+      return scan;
+    }
+    const std::string_view payload = bytes.substr(payload_start, declared_len);
+    if (crc32(payload) != declared_crc) {
+      scan.corrupt = true;
+      scan.diagnostic =
+          "payload CRC mismatch at offset " + std::to_string(payload_start);
+      return scan;
+    }
+    JournalRecord record;
+    record.type = type;
+    record.step = static_cast<std::uint64_t>(step);
+    record.payload = std::string(payload);
+    scan.records.push_back(std::move(record));
+    pos = payload_start + declared_len;
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+std::string segment_file_name(std::uint64_t index) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "journal.%06llu.wal",
+                static_cast<unsigned long long>(index));
+  return name;
+}
+
+std::vector<std::uint64_t> list_segments(const std::string& dir) {
+  std::vector<std::uint64_t> indices;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= kSegmentPrefix.size() + kSegmentSuffix.size()) continue;
+    if (name.substr(0, kSegmentPrefix.size()) != kSegmentPrefix) continue;
+    if (name.substr(name.size() - kSegmentSuffix.size()) != kSegmentSuffix) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        kSegmentPrefix.size(),
+        name.size() - kSegmentPrefix.size() - kSegmentSuffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    indices.push_back(std::stoull(digits));
+  }
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+JournalScan scan_journal(const std::string& dir) {
+  JournalScan scan;
+  for (const std::uint64_t index : list_segments(dir)) {
+    const SegmentScan segment = scan_segment(read_file(dir_path(dir, index)));
+    std::uint64_t max_step = 0;
+    for (const JournalRecord& record : segment.records) {
+      max_step = std::max(max_step, record.step);
+      scan.records.push_back(record);
+    }
+    scan.segment_indices.push_back(index);
+    scan.segment_max_step.push_back(max_step);
+    if (segment.truncated || segment.corrupt) {
+      // Only the newest segment is ever appended to; damage here orphans
+      // everything after it, so the consistent prefix ends at this record.
+      scan.truncated = segment.truncated;
+      scan.corrupt = segment.corrupt;
+      scan.diagnostic =
+          segment_file_name(index) + ": " + segment.diagnostic;
+      break;
+    }
+  }
+  return scan;
+}
+
+JournalWriter::JournalWriter(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(std::move(options)) {}
+
+JournalWriter::~JournalWriter() { close_segment(); }
+
+void JournalWriter::hook(std::string_view point) {
+  if (options_.crash_hook) options_.crash_hook(point);
+}
+
+void JournalWriter::open(const JournalScan& scan) {
+  fs::create_directories(dir_);
+  closed_indices_.clear();
+  closed_max_step_.clear();
+  if (scan.segment_indices.empty()) {
+    open_segment(1, 0, /*must_exist=*/false);
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < scan.segment_indices.size(); ++i) {
+    closed_indices_.push_back(scan.segment_indices[i]);
+    closed_max_step_.push_back(scan.segment_max_step[i]);
+  }
+  const std::uint64_t newest = scan.segment_indices.back();
+  // When the scan stopped early (corruption mid-list), later segments hold
+  // records with no consistent prefix — delete them before resuming.
+  for (const std::uint64_t index : list_segments(dir_)) {
+    if (index <= newest) continue;
+    std::error_code ec;
+    fs::remove(dir_path(dir_, index), ec);
+  }
+  // Truncate the torn/corrupt tail of the newest segment so appends resume
+  // directly after the last complete record.
+  const SegmentScan tail = scan_segment(read_file(dir_path(dir_, newest)));
+  open_segment(newest, tail.valid_bytes, /*must_exist=*/true);
+  current_max_step_ = scan.segment_max_step.back();
+  current_has_records_ = !tail.records.empty();
+}
+
+void JournalWriter::open_segment(std::uint64_t index, std::uint64_t keep_bytes,
+                                 bool must_exist) {
+  close_segment();
+#if defined(ETA2_JOURNAL_POSIX)
+  int flags = O_WRONLY | O_CLOEXEC | (must_exist ? 0 : O_CREAT);
+  const int fd = ::open(dir_path(dir_, index).c_str(), flags, 0644);
+  if (fd < 0) {
+    throw JournalError("journal: cannot open " + dir_path(dir_, index));
+  }
+  if (::ftruncate(fd, static_cast<::off_t>(keep_bytes)) != 0) {
+    ::close(fd);
+    throw JournalError("journal: cannot truncate " + dir_path(dir_, index) +
+                       " to " + std::to_string(keep_bytes) + " bytes");
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    throw JournalError("journal: cannot seek " + dir_path(dir_, index));
+  }
+  if (durable_fsync() && !must_exist) fsync_dir(dir_);
+  fd_ = fd;
+#else
+  // Portability fallback: stdio append without fsync (rename-level atomicity
+  // of the snapshot layer still holds; journal durability needs POSIX).
+  if (keep_bytes > 0) {
+    fs::resize_file(dir_path(dir_, index), keep_bytes);
+  } else if (must_exist) {
+    fs::resize_file(dir_path(dir_, index), 0);
+  } else {
+    std::ofstream touch(dir_path(dir_, index), std::ios::binary);
+  }
+  fd_ = -2;  // marks "segment open" for the fallback path
+#endif
+  segment_index_ = index;
+  segment_bytes_ = keep_bytes;
+  current_max_step_ = 0;
+  current_has_records_ = keep_bytes > 0;
+}
+
+void JournalWriter::close_segment() {
+#if defined(ETA2_JOURNAL_POSIX)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = -1;
+}
+
+void JournalWriter::append(RecordType type, std::uint64_t step,
+                           std::string_view payload) {
+  require(fd_ != -1, "journal: append before open()");
+  if (segment_bytes_ > 0 && segment_bytes_ >= options_.max_segment_bytes) {
+    rotate();
+  }
+  const std::string frame = frame_record(type, step, payload);
+#if defined(ETA2_JOURNAL_POSIX)
+  // Two-part write with the torture hook in between: a SIGKILL from the
+  // hook leaves a genuinely torn frame, exactly what a crash mid-append
+  // produces.
+  const std::size_t half = frame.size() / 2;
+  const auto write_all = [this](const char* data, std::size_t size) {
+    std::size_t written = 0;
+    while (written < size) {
+      const ::ssize_t n = ::write(fd_, data + written, size - written);
+      if (n < 0) {
+        throw JournalError("journal: append failed on " +
+                           segment_file_name(segment_index_));
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  };
+  write_all(frame.data(), half);
+  hook("journal-append-mid");
+  write_all(frame.data() + half, frame.size() - half);
+  if (durable_fsync() && ::fsync(fd_) != 0) {
+    throw JournalError("journal: fsync failed on " +
+                       segment_file_name(segment_index_));
+  }
+#else
+  std::ofstream out(dir_path(dir_, segment_index_),
+                    std::ios::binary | std::ios::app);
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  if (!out.flush()) {
+    throw JournalError("journal: append failed on " +
+                       segment_file_name(segment_index_));
+  }
+#endif
+  segment_bytes_ += frame.size();
+  current_max_step_ = std::max(current_max_step_, step);
+  current_has_records_ = true;
+  hook("journal-append-post");
+}
+
+void JournalWriter::rotate() {
+  require(fd_ != -1, "journal: rotate before open()");
+  hook("journal-rotate");
+  // An empty closed segment records max step 0 and is pruned with the next
+  // generation sweep.
+  closed_indices_.push_back(segment_index_);
+  closed_max_step_.push_back(current_max_step_);
+  open_segment(segment_index_ + 1, 0, /*must_exist=*/false);
+}
+
+void JournalWriter::prune(std::uint64_t before_step) {
+  hook("journal-prune");
+  std::vector<std::uint64_t> kept_indices;
+  std::vector<std::uint64_t> kept_max;
+  for (std::size_t i = 0; i < closed_indices_.size(); ++i) {
+    if (closed_max_step_[i] < before_step) {
+      std::error_code ec;
+      fs::remove(dir_path(dir_, closed_indices_[i]), ec);
+      // A failed delete is retried at the next prune; never fatal.
+      if (ec) {
+        kept_indices.push_back(closed_indices_[i]);
+        kept_max.push_back(closed_max_step_[i]);
+      }
+      continue;
+    }
+    kept_indices.push_back(closed_indices_[i]);
+    kept_max.push_back(closed_max_step_[i]);
+  }
+  closed_indices_ = std::move(kept_indices);
+  closed_max_step_ = std::move(kept_max);
+#if defined(ETA2_JOURNAL_POSIX)
+  if (durable_fsync()) fsync_dir(dir_);
+#endif
+}
+
+}  // namespace eta2::io

@@ -1,0 +1,154 @@
+// Append-only, CRC-framed write-ahead log for the durable campaign runner
+// (core/durable_runner.h).
+//
+// A journal is a directory of numbered segment files:
+//
+//   <dir>/journal.000001.wal
+//   <dir>/journal.000002.wal ...
+//
+// Each segment is a sequence of framed records:
+//
+//   eta2-wal v1 <type> <step> <payload_bytes> <crc32_hex>\n
+//   <payload, exactly payload_bytes bytes>
+//
+// The frame CRC (io/snapshot.h's crc32) covers the payload only; the header
+// fields are plain text so a torn file is diagnosable with `head`. Appends
+// are write + fsync (when io::durable_fsync() is on), so a record that
+// append() returned from survives kill -9 and power loss.
+//
+// Scanning is crash-tolerant by construction: a segment's valid prefix is
+// every complete, CRC-correct record; the first torn or corrupt frame ends
+// the scan (truncated tails are the NORMAL post-crash state, a CRC mismatch
+// is flagged as corruption). Recovery truncates the torn tail and resumes
+// appending after the last complete record.
+//
+// Segment rotation bounds file size and enables pruning: the runner rotates
+// to a fresh segment at every campaign snapshot and deletes segments whose
+// records are all covered by the previous (fallback) snapshot generation.
+#ifndef ETA2_IO_JOURNAL_H
+#define ETA2_IO_JOURNAL_H
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eta2::io {
+
+// Unrecoverable journal IO failure (cannot open/append/truncate a segment).
+// Distinct from corruption, which scanning reports in-band — a damaged tail
+// is recovered from, a failing disk is not.
+class JournalError : public std::runtime_error {
+ public:
+  explicit JournalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class RecordType : std::uint8_t {
+  kStepBegin,       // step inputs journaled before the step runs
+  kStepCommit,      // step completed; payload carries the result digests
+  kStepQuarantine,  // step abandoned after retries; batch skipped
+};
+
+[[nodiscard]] std::string_view record_type_name(RecordType type);
+
+struct JournalRecord {
+  RecordType type = RecordType::kStepBegin;
+  std::uint64_t step = 0;
+  std::string payload;
+};
+
+// Encodes one record as its on-disk frame (exposed for tests).
+[[nodiscard]] std::string frame_record(RecordType type, std::uint64_t step,
+                                       std::string_view payload);
+
+// Result of scanning one segment's bytes.
+struct SegmentScan {
+  std::vector<JournalRecord> records;  // the valid prefix
+  std::size_t valid_bytes = 0;  // frame bytes covered by `records`
+  bool truncated = false;       // ended mid-frame (normal after a crash)
+  bool corrupt = false;         // CRC/header mismatch before end of data
+  std::string diagnostic;       // human-readable cause when not clean
+};
+
+[[nodiscard]] SegmentScan scan_segment(std::string_view bytes);
+
+// Result of scanning a whole journal directory. Scanning stops at the first
+// non-clean segment: only the final segment is ever appended to, so damage
+// in an earlier one means the later records have no consistent prefix.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  // Highest step seen per existing segment index (parallel arrays, ascending
+  // index) — the pruning bookkeeping the writer reloads after a restart.
+  std::vector<std::uint64_t> segment_indices;
+  std::vector<std::uint64_t> segment_max_step;
+  bool truncated = false;
+  bool corrupt = false;
+  std::string diagnostic;
+};
+
+[[nodiscard]] std::string segment_file_name(std::uint64_t index);
+[[nodiscard]] std::vector<std::uint64_t> list_segments(const std::string& dir);
+[[nodiscard]] JournalScan scan_journal(const std::string& dir);
+
+// Appends records to the highest-numbered segment of `dir` (creating
+// segment 1 when none exists), rotating to a new segment when the current
+// one exceeds `max_segment_bytes`. Not thread-safe; one writer per journal.
+class JournalWriter {
+ public:
+  struct Options {
+    std::uint64_t max_segment_bytes = 1 << 20;
+    // Crash-torture instrumentation: invoked at named instants during
+    // writes ("journal-append-mid", "journal-append-post",
+    // "journal-rotate", "journal-prune"). A SIGKILL raised from the
+    // mid-append hook leaves a genuinely torn frame on disk.
+    std::function<void(std::string_view point)> crash_hook;
+  };
+
+  JournalWriter(std::string dir, Options options);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Positions the writer after a scan: opens the newest segment (truncating
+  // a torn tail to `tail_valid_bytes`) and seeds the pruning bookkeeping.
+  // Safe to call on an empty or absent directory.
+  void open(const JournalScan& scan);
+
+  // Durably appends one record; returns after write (+ fsync when
+  // io::durable_fsync() is on). Rotates first when the segment is full.
+  void append(RecordType type, std::uint64_t step, std::string_view payload);
+
+  // Starts a fresh segment regardless of size (campaign snapshot boundary).
+  void rotate();
+
+  // Deletes whole segments whose every record has step < `before_step` —
+  // those records are covered by the retained snapshot generations. Never
+  // touches the segment currently open for appending.
+  void prune(std::uint64_t before_step);
+
+  [[nodiscard]] std::uint64_t segment_index() const { return segment_index_; }
+  [[nodiscard]] std::uint64_t segment_bytes() const { return segment_bytes_; }
+
+ private:
+  void open_segment(std::uint64_t index, std::uint64_t keep_bytes,
+                    bool must_exist);
+  void close_segment();
+  void hook(std::string_view point);
+
+  std::string dir_;
+  Options options_;
+  int fd_ = -1;
+  std::uint64_t segment_index_ = 0;
+  std::uint64_t segment_bytes_ = 0;
+  // Pruning bookkeeping: highest step per closed segment.
+  std::vector<std::uint64_t> closed_indices_;
+  std::vector<std::uint64_t> closed_max_step_;
+  std::uint64_t current_max_step_ = 0;
+  bool current_has_records_ = false;
+};
+
+}  // namespace eta2::io
+
+#endif  // ETA2_IO_JOURNAL_H

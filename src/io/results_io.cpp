@@ -1,8 +1,10 @@
 #include "io/results_io.h"
 
 #include <ostream>
+#include <sstream>
 
 #include "common/csv.h"
+#include "io/snapshot.h"
 
 namespace eta2::io {
 
@@ -26,6 +28,19 @@ void write_sweep_csv(const sim::SweepResult& sweep, std::ostream& out) {
     const sim::SimulationResult& run = sweep.runs[s];
     writer.write(s, run.overall_error, run.total_cost, run.expertise_mae);
   }
+}
+
+void write_day_metrics_csv(const sim::SimulationResult& result,
+                           const std::string& path) {
+  std::ostringstream out;
+  write_day_metrics_csv(result, out);
+  atomic_write_file(path, out.str());
+}
+
+void write_sweep_csv(const sim::SweepResult& sweep, const std::string& path) {
+  std::ostringstream out;
+  write_sweep_csv(sweep, out);
+  atomic_write_file(path, out.str());
 }
 
 }  // namespace eta2::io

@@ -4,6 +4,7 @@
 #define ETA2_IO_RESULTS_IO_H
 
 #include <iosfwd>
+#include <string>
 
 #include "sim/experiment.h"
 #include "sim/simulation.h"
@@ -17,6 +18,14 @@ void write_day_metrics_csv(const sim::SimulationResult& result,
 
 // seed_index, overall_error, total_cost, expertise_mae
 void write_sweep_csv(const sim::SweepResult& sweep, std::ostream& out);
+
+// Path overloads: the CSV is staged in memory and lands via
+// atomic_write_file (io/snapshot.h), so a crash mid-export leaves either
+// the previous file or the complete new one — never a torn CSV. Throws
+// std::runtime_error on IO failure.
+void write_day_metrics_csv(const sim::SimulationResult& result,
+                           const std::string& path);
+void write_sweep_csv(const sim::SweepResult& sweep, const std::string& path);
 
 }  // namespace eta2::io
 

@@ -6,6 +6,12 @@
 #include <sstream>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ETA2_HAVE_POSIX_FSYNC 1
+#endif
+
 #include "common/check.h"
 #include "common/error.h"
 
@@ -13,6 +19,22 @@ namespace eta2::io {
 namespace {
 
 constexpr std::string_view kMagic = "eta2-snapshot";
+
+bool g_durable_fsync = true;
+
+#if defined(ETA2_HAVE_POSIX_FSYNC)
+// fsync(2) of the directory containing `path`, so the rename that just
+// landed there survives power loss. Best-effort: some filesystems refuse
+// directory fsync; the rename itself is still atomic.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+#endif
 
 std::array<std::uint32_t, 256> make_crc_table() {
   std::array<std::uint32_t, 256> table{};
@@ -91,9 +113,40 @@ std::string unwrap_snapshot(std::string_view blob) {
   return std::string(exact);
 }
 
+void set_durable_fsync(bool on) { g_durable_fsync = on; }
+
+bool durable_fsync() { return g_durable_fsync; }
+
 void atomic_write_file(const std::string& path, std::string_view contents,
                        const std::function<void()>& before_rename) {
   const std::string tmp = path + ".tmp";
+#if defined(ETA2_HAVE_POSIX_FSYNC)
+  {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      throw std::runtime_error("atomic_write_file: cannot open " + tmp);
+    }
+    std::size_t written = 0;
+    while (written < contents.size()) {
+      const ::ssize_t n =
+          ::write(fd, contents.data() + written, contents.size() - written);
+      if (n < 0) {
+        ::close(fd);
+        throw std::runtime_error("atomic_write_file: write failed at " + tmp);
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    // Durability half of "atomic": the tmp file's bytes must be on stable
+    // storage BEFORE the rename publishes it, or a power cut can leave the
+    // final name pointing at a zero-length inode.
+    if (g_durable_fsync && ::fsync(fd) != 0) {
+      ::close(fd);
+      throw std::runtime_error("atomic_write_file: fsync failed at " + tmp);
+    }
+    ::close(fd);
+  }
+#else
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -105,11 +158,15 @@ void atomic_write_file(const std::string& path, std::string_view contents,
       throw std::runtime_error("atomic_write_file: write failed at " + tmp);
     }
   }
+#endif
   if (before_rename) before_rename();
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw std::runtime_error("atomic_write_file: rename to " + path +
                              " failed");
   }
+#if defined(ETA2_HAVE_POSIX_FSYNC)
+  if (g_durable_fsync) fsync_parent_dir(path);
+#endif
 }
 
 std::string read_file(const std::string& path) {

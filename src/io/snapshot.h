@@ -51,12 +51,23 @@ class CorruptSnapshotError : public std::runtime_error {
 // CorruptSnapshotError on a bad header, short payload, or CRC mismatch.
 [[nodiscard]] std::string unwrap_snapshot(std::string_view blob);
 
-// Writes `contents` to `path` atomically (tmp file + rename). The optional
-// `before_rename` hook runs after the tmp file is fully written but before
-// the rename — crash-injection tests throw from it to simulate dying at
-// the most dangerous instant. Throws std::runtime_error on IO failure.
+// Writes `contents` to `path` atomically AND durably: the bytes go to a
+// tmp file which is fsync'd before the rename, and on POSIX the containing
+// directory is fsync'd after it, so a crash at any instant leaves either
+// the old file or the complete new one — never a torn or vanishing write.
+// The optional `before_rename` hook runs after the tmp file is fully
+// written but before the rename — crash-injection tests throw from it to
+// simulate dying at the most dangerous instant. Throws std::runtime_error
+// on IO failure.
 void atomic_write_file(const std::string& path, std::string_view contents,
                        const std::function<void()>& before_rename = {});
+
+// Process-wide switch for the fsync calls in atomic_write_file and the
+// journal writer. Defaults to on; tests that churn hundreds of checkpoint
+// files flip it off for speed (rename atomicity is preserved either way —
+// only power-loss durability is traded).
+void set_durable_fsync(bool on);
+[[nodiscard]] bool durable_fsync();
 
 // Reads a whole file; throws std::runtime_error when it cannot be opened.
 [[nodiscard]] std::string read_file(const std::string& path);

@@ -1,0 +1,332 @@
+#include "sim/durable_sim.h"
+
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "core/eta2_server.h"
+#include "io/snapshot.h"
+
+namespace eta2::sim {
+namespace {
+
+std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double bits_double(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+[[noreturn]] void bad_extra(std::string_view what) {
+  throw io::CorruptSnapshotError("durable sim: malformed accumulator state: " +
+                                 std::string(what));
+}
+
+void expect_key(std::istream& in, std::string_view key) {
+  std::string token;
+  if (!(in >> token) || token != key) bad_extra(key);
+}
+
+void write_health(std::ostream& out, const core::StepHealth& h) {
+  out << h.pairs_asked << " " << h.observations_accepted << " "
+      << h.rejected_nonfinite << " " << h.rejected_out_of_range << " "
+      << h.silent_pairs << " " << (h.identifier_failed ? 1 : 0) << " "
+      << h.domain_fallback_tasks << " " << (h.truth_fallback ? 1 : 0) << " "
+      << h.quality_unmet_tasks << " " << (h.empty_batch ? 1 : 0) << " "
+      << h.quarantined_batches;
+}
+
+core::StepHealth read_health(std::istream& in) {
+  core::StepHealth h;
+  int identifier_failed = 0;
+  int truth_fallback = 0;
+  int empty_batch = 0;
+  if (!(in >> h.pairs_asked >> h.observations_accepted >>
+        h.rejected_nonfinite >> h.rejected_out_of_range >> h.silent_pairs >>
+        identifier_failed >> h.domain_fallback_tasks >> truth_fallback >>
+        h.quality_unmet_tasks >> empty_batch >> h.quarantined_batches)) {
+    bad_extra("health counters");
+  }
+  h.identifier_failed = identifier_failed != 0;
+  h.truth_fallback = truth_fallback != 0;
+  h.empty_batch = empty_batch != 0;
+  return h;
+}
+
+// The per-campaign driver state that must survive a crash: the metric
+// accumulators of SimulationResult plus the fault plan's cumulative
+// injection counters. Serialized (doubles as exact bit patterns) into the
+// `extra` block of every campaign snapshot via the runner's
+// save_extra/load_extra callbacks.
+struct Accumulator {
+  SimulationResult result;
+  double error_sum = 0.0;
+  std::uint64_t error_count = 0;
+};
+
+void save_accumulator(std::ostream& out, const Accumulator& acc,
+                      const fault::FaultStats& stats) {
+  const SimulationResult& r = acc.result;
+  out << "eta2-sim-extra v1\n";
+  out << "error " << double_bits(acc.error_sum) << " " << acc.error_count
+      << "\n";
+  out << "total_cost " << double_bits(r.total_cost) << "\n";
+  out << "iters " << r.truth_iteration_log.size();
+  for (const int v : r.truth_iteration_log) out << " " << v;
+  out << "\nfault " << stats.observations_seen << " " << stats.nan_injected
+      << " " << stats.inf_injected << " " << stats.outliers_injected << " "
+      << stats.fabricated << " " << stats.no_responses << " " << stats.dropouts
+      << " " << stats.batches_dropped << " " << stats.embedder_failures
+      << "\n";
+  out << "health ";
+  write_health(out, r.health);
+  out << "\ndays " << r.days.size() << "\n";
+  for (std::size_t d = 0; d < r.days.size(); ++d) {
+    const DayMetrics& m = r.days[d];
+    out << "day " << m.day << " " << m.task_count << " " << m.pair_count
+        << " " << double_bits(m.estimation_error) << " "
+        << double_bits(m.cost) << " " << m.truth_iterations << " "
+        << m.data_iterations << "\n";
+    out << "upt " << m.users_per_task.size();
+    for (const std::size_t v : m.users_per_task) out << " " << v;
+    out << "\nmae " << m.mean_assigned_expertise.size();
+    for (const double v : m.mean_assigned_expertise) {
+      out << " " << double_bits(v);
+    }
+    out << "\ndh ";
+    write_health(out, r.day_health[d]);
+    out << "\n";
+  }
+}
+
+void load_accumulator(std::istream& in, Accumulator& acc,
+                      fault::FaultStats& stats) {
+  acc = Accumulator{};
+  stats = fault::FaultStats{};
+  SimulationResult& r = acc.result;
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != "eta2-sim-extra" ||
+      version != "v1") {
+    bad_extra("header");
+  }
+  expect_key(in, "error");
+  std::uint64_t error_bits = 0;
+  if (!(in >> error_bits >> acc.error_count)) bad_extra("error line");
+  acc.error_sum = bits_double(error_bits);
+  expect_key(in, "total_cost");
+  std::uint64_t cost_bits = 0;
+  if (!(in >> cost_bits)) bad_extra("total_cost line");
+  r.total_cost = bits_double(cost_bits);
+  expect_key(in, "iters");
+  std::size_t iter_count = 0;
+  if (!(in >> iter_count)) bad_extra("iters count");
+  r.truth_iteration_log.resize(iter_count);
+  for (int& v : r.truth_iteration_log) {
+    if (!(in >> v)) bad_extra("iters values");
+  }
+  expect_key(in, "fault");
+  if (!(in >> stats.observations_seen >> stats.nan_injected >>
+        stats.inf_injected >> stats.outliers_injected >> stats.fabricated >>
+        stats.no_responses >> stats.dropouts >> stats.batches_dropped >>
+        stats.embedder_failures)) {
+    bad_extra("fault counters");
+  }
+  expect_key(in, "health");
+  r.health = read_health(in);
+  expect_key(in, "days");
+  std::size_t day_count = 0;
+  if (!(in >> day_count)) bad_extra("day count");
+  r.days.reserve(day_count);
+  r.day_health.reserve(day_count);
+  for (std::size_t d = 0; d < day_count; ++d) {
+    DayMetrics m;
+    expect_key(in, "day");
+    std::uint64_t err_bits = 0;
+    std::uint64_t day_cost_bits = 0;
+    if (!(in >> m.day >> m.task_count >> m.pair_count >> err_bits >>
+          day_cost_bits >> m.truth_iterations >> m.data_iterations)) {
+      bad_extra("day line");
+    }
+    m.estimation_error = bits_double(err_bits);
+    m.cost = bits_double(day_cost_bits);
+    expect_key(in, "upt");
+    std::size_t upt_count = 0;
+    if (!(in >> upt_count)) bad_extra("upt count");
+    m.users_per_task.resize(upt_count);
+    for (std::size_t& v : m.users_per_task) {
+      if (!(in >> v)) bad_extra("upt values");
+    }
+    expect_key(in, "mae");
+    std::size_t mae_count = 0;
+    if (!(in >> mae_count)) bad_extra("mae count");
+    m.mean_assigned_expertise.resize(mae_count);
+    for (double& v : m.mean_assigned_expertise) {
+      std::uint64_t bits = 0;
+      if (!(in >> bits)) bad_extra("mae values");
+      v = bits_double(bits);
+    }
+    expect_key(in, "dh");
+    r.day_health.push_back(read_health(in));
+    r.days.push_back(std::move(m));
+  }
+}
+
+}  // namespace
+
+SimulationResult simulate_durable(const Dataset& dataset,
+                                  std::string_view method,
+                                  const SimOptions& options,
+                                  std::uint64_t seed,
+                                  const core::DurableOptions& durable) {
+  require(dataset.user_count() >= 1 && dataset.task_count() >= 1,
+          "simulate_durable: empty dataset");
+  const MethodSpec& spec = method_spec(method);
+  require(spec.server,
+          "simulate_durable: only ETA² methods support durable campaigns");
+  core::Eta2Config config = options.config;
+  config.allocator = std::string(spec.allocator);
+  if (dataset.has_descriptions) {
+    require(options.embedder != nullptr,
+            "simulate_durable: dataset has descriptions but no embedder "
+            "given");
+  }
+  std::optional<fault::FaultPlan> plan;
+  std::shared_ptr<const text::Embedder> embedder = options.embedder;
+  if (options.fault.any()) {
+    plan.emplace(options.fault);
+    if (embedder != nullptr) embedder = plan->wrap_embedder(embedder);
+  }
+
+  Accumulator acc;
+  // The current step's global task ids — set by the driver loop right
+  // before run_step so make_collect/on_step (invoked inside it, including
+  // on replay) see the step's batch mapping.
+  std::vector<std::size_t> current_ids;
+  core::DurableRunner* runner_ptr = nullptr;
+
+  core::DurableRunner::Callbacks callbacks;
+  callbacks.make_collect = [&](std::uint64_t step) -> core::CollectFn {
+    // Once per execution attempt: position the fault plan, record the
+    // batch-drop decision (exactly like simulate()'s per-day drop_batch
+    // call), and fork the step's observation stream off the campaign RNG.
+    if (plan) {
+      plan->begin_step(step);
+      (void)plan->drop_batch();
+    }
+    auto observe_rng = std::make_shared<Rng>(runner_ptr->rng().fork(step + 1));
+    core::CollectFn collect =
+        [&dataset, &current_ids, observe_rng](
+            std::size_t local, std::size_t user) -> std::optional<double> {
+      return observe(dataset, user, current_ids[local], *observe_rng);
+    };
+    if (plan) collect = plan->wrap_collect(std::move(collect));
+    return collect;
+  };
+  callbacks.on_step = [&](std::uint64_t step,
+                          const core::DurableRunner::StepOutcome& outcome) {
+    DayMetrics metrics;
+    metrics.day = static_cast<int>(step);
+    metrics.task_count = current_ids.size();
+    if (outcome.quarantined) {
+      // The batch was abandoned after retries: an empty day with the
+      // quarantine recorded in the health ledger.
+      metrics.estimation_error = std::numeric_limits<double>::quiet_NaN();
+      core::StepHealth ledger;
+      ledger.quarantined_batches = 1;
+      acc.result.truth_iteration_log.push_back(0);
+      acc.result.health.merge(ledger);
+      acc.result.day_health.push_back(ledger);
+      acc.result.days.push_back(std::move(metrics));
+      return;
+    }
+    const core::Eta2Server::StepResult& step_result = outcome.result;
+    metrics.pair_count = step_result.allocation.pair_count();
+    metrics.cost = step_result.cost;
+    metrics.truth_iterations = step_result.mle_iterations;
+    metrics.data_iterations = step_result.data_iterations;
+    metrics.estimation_error =
+        estimation_error(dataset, current_ids, step_result.truth);
+    fill_assignment_stats(dataset, current_ids, step_result.allocation,
+                          metrics);
+    for (std::size_t local = 0; local < current_ids.size(); ++local) {
+      if (std::isnan(step_result.truth[local])) continue;
+      acc.error_sum +=
+          std::fabs(step_result.truth[local] -
+                    dataset.tasks[current_ids[local]].ground_truth) /
+          dataset.tasks[current_ids[local]].base_number;
+      ++acc.error_count;
+    }
+    acc.result.total_cost += step_result.cost;
+    acc.result.truth_iteration_log.push_back(step_result.mle_iterations);
+    acc.result.health.merge(step_result.health);
+    acc.result.day_health.push_back(step_result.health);
+    acc.result.days.push_back(std::move(metrics));
+  };
+  callbacks.save_extra = [&](std::ostream& out) {
+    save_accumulator(out, acc,
+                     plan ? plan->stats() : fault::FaultStats{});
+  };
+  callbacks.load_extra = [&](std::istream* in) {
+    fault::FaultStats stats;
+    if (in == nullptr) {
+      acc = Accumulator{};
+    } else {
+      load_accumulator(*in, acc, stats);
+    }
+    if (plan) plan->restore_stats(stats);
+  };
+
+  core::DurableRunner runner(dataset.user_count(), config, embedder, seed,
+                             durable, callbacks);
+  runner_ptr = &runner;
+
+  std::vector<double> capacities(dataset.user_count(), 0.0);
+  for (std::size_t i = 0; i < dataset.user_count(); ++i) {
+    capacities[i] = dataset.users[i].capacity;
+  }
+
+  const auto days = static_cast<std::uint64_t>(dataset.day_count());
+  for (std::uint64_t day = runner.next_step(); day < days; ++day) {
+    // Step inputs are pure functions of (dataset, options, day) — crash
+    // recovery re-derives them identically and the runner verifies them
+    // against the journaled BEGIN record.
+    if (plan) plan->begin_step(day);
+    std::vector<std::size_t> ids = dataset.tasks_of_day(static_cast<int>(day));
+    if (plan && plan->batch_dropped()) ids.clear();  // batch lost upstream
+    std::vector<core::NewTask> batch;
+    batch.reserve(ids.size());
+    for (const std::size_t j : ids) {
+      core::NewTask t;
+      const Task& task = dataset.tasks[j];
+      if (dataset.has_descriptions) {
+        t.description = task.description;
+      } else {
+        t.known_domain = options.collapse_domains ? 0 : task.true_domain;
+      }
+      t.processing_time = task.processing_time;
+      t.cost = task.cost;
+      batch.push_back(std::move(t));
+    }
+    current_ids = std::move(ids);
+    (void)runner.run_step(batch, capacities);
+  }
+  // Final snapshot: resuming a finished campaign replays nothing.
+  runner.checkpoint();
+
+  SimulationResult result = std::move(acc.result);
+  if (plan) result.fault_stats = plan->stats();
+  result.overall_error =
+      acc.error_count > 0
+          ? acc.error_sum / static_cast<double>(acc.error_count)
+          : std::numeric_limits<double>::quiet_NaN();
+  result.expertise_mae = expertise_mae(dataset, runner.server());
+  result.resumed = runner.resumed();
+  result.replayed_steps = runner.replayed_steps();
+  result.quarantined_steps = runner.quarantined_steps();
+  return result;
+}
+
+}  // namespace eta2::sim

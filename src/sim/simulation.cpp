@@ -10,9 +10,7 @@
 #include "truth/truth_registry.h"
 
 namespace eta2::sim {
-namespace {
 
-// Per-day Table-2 style assignment stats shared by both drivers.
 void fill_assignment_stats(const Dataset& dataset,
                            std::span<const std::size_t> task_ids,
                            const alloc::Allocation& allocation,
@@ -32,6 +30,40 @@ void fill_assignment_stats(const Dataset& dataset,
                       : sum / static_cast<double>(users.size()));
   }
 }
+
+// Expertise estimation error (synthetic / pre-known domains only). The
+// model identifies expertise only up to a global gauge (see
+// MleOptions::anchor_mean), so estimates are first rescaled by the
+// least-squares gauge factor c* = Σ(û·u)/Σ(û²) before the MAE.
+double expertise_mae(const Dataset& dataset, const core::Eta2Server& server) {
+  if (dataset.has_descriptions) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  std::vector<std::pair<double, double>> pairs;  // (estimated, true)
+  for (std::size_t k = 0; k < dataset.latent_domain_count; ++k) {
+    const auto dense = server.dense_of_external(k);
+    if (!dense.has_value()) continue;
+    for (std::size_t i = 0; i < dataset.user_count(); ++i) {
+      pairs.emplace_back(server.expertise_store().expertise(i, *dense),
+                         dataset.users[i].true_expertise[k]);
+    }
+  }
+  if (pairs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& [est, tru] : pairs) {
+    num += est * tru;
+    den += est * est;
+  }
+  const double gauge = den > 0.0 ? num / den : 1.0;
+  double mae_sum = 0.0;
+  for (const auto& [est, tru] : pairs) {
+    mae_sum += std::fabs(gauge * est - tru);
+  }
+  return mae_sum / static_cast<double>(pairs.size());
+}
+
+namespace {
 
 SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
                                const SimOptions& options, std::uint64_t seed) {
@@ -118,35 +150,7 @@ SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
       error_count > 0 ? error_sum / static_cast<double>(error_count)
                       : std::numeric_limits<double>::quiet_NaN();
 
-  // Expertise estimation error (synthetic / pre-known domains only).
-  // The model identifies expertise only up to a global gauge (see
-  // MleOptions::anchor_mean), so estimates are first rescaled by the
-  // least-squares gauge factor c* = Σ(û·u)/Σ(û²) before the MAE.
-  if (!dataset.has_descriptions) {
-    std::vector<std::pair<double, double>> pairs;  // (estimated, true)
-    for (std::size_t k = 0; k < dataset.latent_domain_count; ++k) {
-      const auto dense = server.dense_of_external(k);
-      if (!dense.has_value()) continue;
-      for (std::size_t i = 0; i < dataset.user_count(); ++i) {
-        pairs.emplace_back(server.expertise_store().expertise(i, *dense),
-                           dataset.users[i].true_expertise[k]);
-      }
-    }
-    if (!pairs.empty()) {
-      double num = 0.0;
-      double den = 0.0;
-      for (const auto& [est, tru] : pairs) {
-        num += est * tru;
-        den += est * est;
-      }
-      const double gauge = den > 0.0 ? num / den : 1.0;
-      double mae_sum = 0.0;
-      for (const auto& [est, tru] : pairs) {
-        mae_sum += std::fabs(gauge * est - tru);
-      }
-      result.expertise_mae = mae_sum / static_cast<double>(pairs.size());
-    }
-  }
+  result.expertise_mae = expertise_mae(dataset, server);
   return result;
 }
 

@@ -18,6 +18,10 @@
 #include "text/embedder.h"
 #include "truth/baselines.h"
 
+namespace eta2::core {
+class Eta2Server;
+}  // namespace eta2::core
+
 namespace eta2::sim {
 
 struct SimOptions {
@@ -76,6 +80,11 @@ struct SimulationResult {
   core::StepHealth health;
   std::vector<core::StepHealth> day_health;
   fault::FaultStats fault_stats;
+  // Durable campaigns only (sim/durable_sim.h); always false/0 for the
+  // in-memory simulate() driver.
+  bool resumed = false;                  // continued from on-disk state
+  std::uint64_t replayed_steps = 0;      // re-executed from the journal
+  std::uint64_t quarantined_steps = 0;   // abandoned after retries
 };
 
 // Runs the full multi-day loop for a named method (see method_registry.h).
@@ -92,6 +101,20 @@ struct SimulationResult {
                                       std::span<const std::size_t> task_ids,
                                       std::span<const double> estimates,
                                       std::size_t* skipped = nullptr);
+
+// Per-day Table-2 style assignment stats: #users per task and the mean TRUE
+// expertise of assigned users in the task's latent domain. Shared by the
+// in-memory and durable drivers.
+void fill_assignment_stats(const Dataset& dataset,
+                           std::span<const std::size_t> task_ids,
+                           const alloc::Allocation& allocation,
+                           DayMetrics& metrics);
+
+// Gauge-corrected expertise MAE of a trained server against the dataset's
+// latent per-(user, domain) expertise (Fig. 11). NaN when unavailable
+// (datasets with descriptions — latent domains unknown to the server).
+[[nodiscard]] double expertise_mae(const Dataset& dataset,
+                                   const core::Eta2Server& server);
 
 }  // namespace eta2::sim
 

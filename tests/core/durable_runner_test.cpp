@@ -1,0 +1,415 @@
+// Transactional-step suite for core/durable_runner.h: a durable campaign
+// must be bit-identical to the in-memory simulate() loop, retries must roll
+// the campaign back so transient failures leave no trace, poisoned steps
+// quarantine after bounded retries, and recovery — from clean stops, torn
+// journals, and corrupt snapshot generations — must reproduce the
+// uninterrupted run exactly at any thread count.
+#include "core/durable_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "io/snapshot.h"
+#include "sim/dataset.h"
+#include "sim/durable_sim.h"
+#include "sim/simulation.h"
+
+namespace eta2 {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Aborts the campaign from a crash hook: simulates a process death at a
+// protocol instant without fork/SIGKILL (crash_torture_test covers the real
+// thing). Not one of the runner's retryable types, so it propagates.
+struct SimulatedCrash {};
+
+class DurableRunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("eta2_durable_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    io::set_durable_fsync(false);  // framing suite covers durability knobs
+  }
+  void TearDown() override {
+    io::set_durable_fsync(true);
+    fs::remove_all(dir_);
+  }
+
+  [[nodiscard]] core::DurableOptions durable_options(
+      std::uint64_t cadence = 2) const {
+    core::DurableOptions durable;
+    durable.dir = dir_;
+    durable.snapshot_cadence = cadence;
+    return durable;
+  }
+
+  std::string dir_;
+};
+
+sim::Dataset small_dataset(std::uint64_t seed = 17) {
+  sim::SyntheticOptions synthetic;
+  synthetic.users = 20;
+  synthetic.tasks = 120;
+  synthetic.domains = 4;
+  synthetic.days = 6;
+  return sim::make_synthetic(synthetic, seed);
+}
+
+// Flattens every observable of a run for bitwise comparison.
+std::vector<double> flatten(const sim::SimulationResult& run) {
+  std::vector<double> flat{run.overall_error, run.total_cost,
+                           run.expertise_mae};
+  for (const auto& day : run.days) {
+    flat.push_back(day.estimation_error);
+    flat.push_back(day.cost);
+    flat.push_back(static_cast<double>(day.pair_count));
+    flat.push_back(static_cast<double>(day.task_count));
+    for (const std::size_t v : day.users_per_task) {
+      flat.push_back(static_cast<double>(v));
+    }
+    for (const double v : day.mean_assigned_expertise) flat.push_back(v);
+  }
+  for (const int v : run.truth_iteration_log) {
+    flat.push_back(static_cast<double>(v));
+  }
+  const auto push_health = [&flat](const core::StepHealth& h) {
+    flat.push_back(static_cast<double>(h.pairs_asked));
+    flat.push_back(static_cast<double>(h.observations_accepted));
+    flat.push_back(static_cast<double>(h.silent_pairs));
+    flat.push_back(static_cast<double>(h.quality_unmet_tasks));
+    flat.push_back(static_cast<double>(h.quarantined_batches));
+  };
+  push_health(run.health);
+  for (const auto& day : run.day_health) push_health(day);
+  return flat;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << what << ": runs differ bitwise";
+  }
+}
+
+TEST_F(DurableRunnerTest, FreshDurableCampaignMatchesInMemorySimulate) {
+  const sim::Dataset dataset = small_dataset();
+  const sim::SimOptions options;
+  const sim::SimulationResult plain = sim::simulate(dataset, "eta2", options, 4);
+  const sim::SimulationResult durable =
+      sim::simulate_durable(dataset, "eta2", options, 4, durable_options());
+  EXPECT_FALSE(durable.resumed);
+  EXPECT_EQ(durable.replayed_steps, 0u);
+  EXPECT_EQ(durable.quarantined_steps, 0u);
+  expect_bitwise_equal(flatten(plain), flatten(durable),
+                       "durable vs in-memory");
+}
+
+TEST_F(DurableRunnerTest, FaultedDurableCampaignMatchesInMemorySimulate) {
+  const sim::Dataset dataset = small_dataset();
+  sim::SimOptions options;
+  options.config.observation_abs_limit = 1e5;
+  options.fault.seed = 11;
+  options.fault.nan_rate = 0.05;
+  options.fault.outlier_rate = 0.05;
+  options.fault.dropout_rate = 0.2;
+  options.fault.empty_batch_rate = 0.15;
+  const sim::SimulationResult plain = sim::simulate(dataset, "eta2", options, 4);
+  const sim::SimulationResult durable =
+      sim::simulate_durable(dataset, "eta2", options, 4, durable_options());
+  expect_bitwise_equal(flatten(plain), flatten(durable),
+                       "faulted durable vs in-memory");
+  EXPECT_EQ(durable.fault_stats.observations_seen,
+            plain.fault_stats.observations_seen);
+  EXPECT_EQ(durable.fault_stats.batches_dropped,
+            plain.fault_stats.batches_dropped);
+}
+
+TEST_F(DurableRunnerTest, ResumingFinishedCampaignReproducesResult) {
+  const sim::Dataset dataset = small_dataset();
+  const sim::SimOptions options;
+  const sim::SimulationResult first =
+      sim::simulate_durable(dataset, "eta2", options, 4, durable_options());
+  const sim::SimulationResult second =
+      sim::simulate_durable(dataset, "eta2", options, 4, durable_options());
+  EXPECT_TRUE(second.resumed);
+  EXPECT_EQ(second.replayed_steps, 0u);  // final checkpoint covers everything
+  expect_bitwise_equal(flatten(first), flatten(second), "finished resume");
+}
+
+// Interrupts a durable campaign by throwing from the crash hook the n-th
+// time `point` fires, then verifies that resuming completes the campaign
+// with a result bitwise-equal to an uninterrupted one.
+void check_crash_resume(const std::string& dir, const char* point,
+                        int fire_at, std::size_t resume_threads) {
+  const sim::Dataset dataset = small_dataset();
+  const sim::SimOptions options;
+  const sim::SimulationResult golden =
+      sim::simulate(dataset, "eta2", options, 4);
+
+  core::DurableOptions durable;
+  durable.dir = dir;
+  durable.snapshot_cadence = 2;
+  int fired = 0;
+  durable.crash_hook = [&](std::string_view p) {
+    if (p == point && ++fired == fire_at) throw SimulatedCrash{};
+  };
+  EXPECT_THROW(sim::simulate_durable(dataset, "eta2", options, 4, durable),
+               SimulatedCrash)
+      << point << " never fired " << fire_at << " times";
+
+  durable.crash_hook = nullptr;
+  parallel::set_thread_count(resume_threads);
+  const sim::SimulationResult resumed =
+      sim::simulate_durable(dataset, "eta2", options, 4, durable);
+  parallel::set_thread_count(0);
+  EXPECT_TRUE(resumed.resumed) << point;
+  expect_bitwise_equal(flatten(golden), flatten(resumed), point);
+}
+
+TEST_F(DurableRunnerTest, ResumesAfterCrashMidJournalAppend) {
+  // The torn half-frame on disk is the canonical post-crash state.
+  check_crash_resume(dir_, "journal-append-mid", 5, 1);
+}
+
+TEST_F(DurableRunnerTest, ResumesAfterCrashBeforeSnapshotRename) {
+  // Crash with the tmp file written but not renamed: the previous
+  // generation plus the journal must carry the campaign.
+  check_crash_resume(dir_, "snapshot-pre-rename", 2, 1);
+}
+
+TEST_F(DurableRunnerTest, ResumesAfterCrashAfterSnapshotRename) {
+  // Crash after the new generation landed but before rotate/prune.
+  check_crash_resume(dir_, "snapshot-post-rename", 2, 1);
+}
+
+TEST_F(DurableRunnerTest, ResumeIsBitIdenticalAcrossThreadCounts) {
+  // Interrupt at 1 thread, resume at 8: recovery restores every stochastic
+  // input, so the thread count cannot show through.
+  check_crash_resume(dir_, "journal-append-post", 7, 8);
+}
+
+TEST_F(DurableRunnerTest, TransientFailureRetriesAndLeavesNoTrace) {
+  const sim::Dataset dataset = small_dataset();
+  const std::vector<double> capacities(dataset.user_count(), 12.0);
+  const auto day_batch = [&](std::uint64_t step) {
+    std::vector<core::NewTask> batch;
+    for (const std::size_t j : dataset.tasks_of_day(static_cast<int>(step))) {
+      core::NewTask t;
+      t.known_domain = dataset.tasks[j].true_domain;
+      t.processing_time = dataset.tasks[j].processing_time;
+      batch.push_back(t);
+    }
+    return batch;
+  };
+
+  const auto run_campaign = [&](const std::string& dir, bool inject) {
+    core::DurableOptions durable;
+    durable.dir = dir;
+    durable.snapshot_cadence = 2;
+    durable.max_step_retries = 2;
+    int attempt = 0;
+    durable.attempt_hook = [&](std::uint64_t, int a) { attempt = a; };
+    core::DurableRunner::Callbacks callbacks;
+    core::DurableRunner* self = nullptr;
+    callbacks.make_collect = [&](std::uint64_t step) -> core::CollectFn {
+      const auto ids = dataset.tasks_of_day(static_cast<int>(step));
+      auto observe_rng =
+          std::make_shared<Rng>(self->rng().fork(step + 1));
+      return [&, ids, observe_rng, step](std::size_t local, std::size_t user) {
+        if (inject && step == 2 && attempt == 0) {
+          throw NumericalError("transient sensor glitch");
+        }
+        return sim::observe(dataset, user, ids[local], *observe_rng);
+      };
+    };
+    core::DurableRunner runner(dataset.user_count(), core::Eta2Config{},
+                               nullptr, 4, durable, callbacks);
+    self = &runner;
+    std::vector<double> flat;
+    for (std::uint64_t step = 0; step < 4; ++step) {
+      const auto outcome = runner.run_step(day_batch(step), capacities);
+      EXPECT_FALSE(outcome.quarantined);
+      if (inject && step == 2) {
+        EXPECT_EQ(outcome.attempts, 2);
+        EXPECT_NE(outcome.error.find("transient"), std::string::npos);
+      }
+      for (const double v : outcome.result.truth) flat.push_back(v);
+      for (const double v : outcome.result.sigma) flat.push_back(v);
+    }
+    return flat;
+  };
+
+  const std::vector<double> clean = run_campaign(dir_ + "_clean", false);
+  const std::vector<double> retried = run_campaign(dir_, true);
+  fs::remove_all(dir_ + "_clean");
+  // The failed attempt was rolled back wholesale (server, RNG, fault
+  // cursor): the retried campaign is bitwise the clean one.
+  expect_bitwise_equal(clean, retried, "retried vs clean campaign");
+}
+
+TEST_F(DurableRunnerTest, PoisonedStepQuarantinesAndCampaignContinues) {
+  const sim::Dataset dataset = small_dataset();
+  const std::vector<double> capacities(dataset.user_count(), 12.0);
+  // Cadence past the horizon: only the base snapshot exists, so reopening
+  // replays the whole history — including the quarantine — from the journal.
+  core::DurableOptions durable = durable_options(/*cadence=*/100);
+  durable.max_step_retries = 1;
+
+  const auto make_callbacks = [&](core::DurableRunner*& self) {
+    core::DurableRunner::Callbacks callbacks;
+    callbacks.make_collect = [&](std::uint64_t step) -> core::CollectFn {
+      const auto ids = dataset.tasks_of_day(static_cast<int>(step));
+      auto observe_rng = std::make_shared<Rng>(self->rng().fork(step + 1));
+      return [&, ids, observe_rng, step](std::size_t local, std::size_t user) {
+        if (step == 1) throw NumericalError("poisoned batch");
+        return sim::observe(dataset, user, ids[local], *observe_rng);
+      };
+    };
+    return callbacks;
+  };
+
+  std::vector<double> first_truth;
+  {
+    core::DurableRunner* self = nullptr;
+    core::DurableRunner runner(dataset.user_count(), core::Eta2Config{},
+                               nullptr, 4, durable, make_callbacks(self));
+    self = &runner;
+    for (std::uint64_t step = 0; step < 3; ++step) {
+      const auto batch = [&] {
+        std::vector<core::NewTask> b;
+        for (const std::size_t j :
+             dataset.tasks_of_day(static_cast<int>(step))) {
+          core::NewTask t;
+          t.known_domain = dataset.tasks[j].true_domain;
+          t.processing_time = dataset.tasks[j].processing_time;
+          b.push_back(t);
+        }
+        return b;
+      }();
+      const auto outcome = runner.run_step(batch, capacities);
+      if (step == 1) {
+        EXPECT_TRUE(outcome.quarantined);
+        EXPECT_EQ(outcome.attempts, 2);  // initial try + 1 retry
+        EXPECT_TRUE(outcome.result.truth.empty());
+      } else {
+        EXPECT_FALSE(outcome.quarantined);
+        for (const double v : outcome.result.truth) first_truth.push_back(v);
+      }
+    }
+    EXPECT_EQ(runner.quarantined_steps(), 1u);
+  }
+
+  // Reopen mid-history: quarantined steps replay as quarantined (without
+  // executing), committed steps verify against their digests.
+  core::DurableRunner* self = nullptr;
+  core::DurableRunner reopened(dataset.user_count(), core::Eta2Config{},
+                               nullptr, 4, durable, make_callbacks(self));
+  self = &reopened;
+  EXPECT_TRUE(reopened.resumed());
+  std::vector<double> second_truth;
+  for (std::uint64_t step = reopened.next_step(); step < 3; ++step) {
+    std::vector<core::NewTask> batch;
+    for (const std::size_t j : dataset.tasks_of_day(static_cast<int>(step))) {
+      core::NewTask t;
+      t.known_domain = dataset.tasks[j].true_domain;
+      t.processing_time = dataset.tasks[j].processing_time;
+      batch.push_back(t);
+    }
+    const auto outcome = reopened.run_step(batch, capacities);
+    if (step == 1) {
+      EXPECT_TRUE(outcome.quarantined);
+      EXPECT_TRUE(outcome.replayed);
+    }
+  }
+  EXPECT_EQ(reopened.quarantined_steps(), 1u);
+}
+
+TEST_F(DurableRunnerTest, CorruptCurrentSnapshotFallsBackOneGeneration) {
+  const sim::Dataset dataset = small_dataset();
+  const sim::SimOptions options;
+  const sim::SimulationResult golden =
+      sim::simulate(dataset, "eta2", options, 4);
+
+  // Interrupt mid-campaign so the two generations sit at different
+  // frontiers, then flip a byte in the newest one: recovery must fall back
+  // to snapshot.1.eta2 and close the gap from the journal.
+  core::DurableOptions durable = durable_options();
+  int fired = 0;
+  durable.crash_hook = [&](std::string_view p) {
+    if (p == "journal-append-post" && ++fired == 9) throw SimulatedCrash{};
+  };
+  EXPECT_THROW(sim::simulate_durable(dataset, "eta2", options, 4, durable),
+               SimulatedCrash);
+  durable.crash_hook = nullptr;
+
+  const std::string snap =
+      dir_ + "/" + core::DurableRunner::snapshot_file_name();
+  std::string blob = io::read_file(snap);
+  blob[blob.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(snap, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+
+  const sim::SimulationResult resumed =
+      sim::simulate_durable(dataset, "eta2", options, 4, durable);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_GT(resumed.replayed_steps, 0u);  // the fallback is behind the head
+  expect_bitwise_equal(flatten(golden), flatten(resumed),
+                       "fallback-generation resume");
+}
+
+TEST_F(DurableRunnerTest, AllGenerationsCorruptIsUnrecoverableNotSilent) {
+  const sim::Dataset dataset = small_dataset();
+  const sim::SimOptions options;
+  (void)sim::simulate_durable(dataset, "eta2", options, 4, durable_options());
+  for (const std::string& name :
+       {core::DurableRunner::snapshot_file_name(),
+        core::DurableRunner::fallback_snapshot_file_name()}) {
+    std::ofstream out(dir_ + "/" + name, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  // Campaign data exists but nothing loads: starting silently from scratch
+  // would double-count every journaled step, so this must throw.
+  EXPECT_THROW(
+      sim::simulate_durable(dataset, "eta2", options, 4, durable_options()),
+      io::CorruptSnapshotError);
+}
+
+TEST_F(DurableRunnerTest, ReplayVerificationCatchesChangedInputs) {
+  const sim::Dataset dataset = small_dataset(17);
+  const sim::SimOptions options;
+  core::DurableOptions durable = durable_options();
+  int fired = 0;
+  durable.crash_hook = [&](std::string_view p) {
+    if (p == "journal-append-post" && ++fired == 5) throw SimulatedCrash{};
+  };
+  EXPECT_THROW(sim::simulate_durable(dataset, "eta2", options, 4, durable),
+               SimulatedCrash);
+  durable.crash_hook = nullptr;
+
+  // Resume against a DIFFERENT dataset: the replayed steps cannot match the
+  // journaled BEGIN records, and the runner must refuse rather than blend
+  // two campaigns.
+  const sim::Dataset other = small_dataset(18);
+  EXPECT_THROW(sim::simulate_durable(other, "eta2", options, 4, durable),
+               io::CorruptSnapshotError);
+}
+
+}  // namespace
+}  // namespace eta2

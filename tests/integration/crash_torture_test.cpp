@@ -1,0 +1,327 @@
+// Crash torture for the durable campaign runner: child processes run a
+// faulted multi-day campaign and SIGKILL themselves at injected protocol
+// instants — mid journal append, before the snapshot rename, after it,
+// during rotation and pruning. The parent respawns the child against the
+// same campaign directory (raising the kill threshold each round so the
+// schedule cannot crash-loop forever) until one run completes, then
+// compares the completed campaign's full result signature bitwise against
+// an uninterrupted golden run. Resume rounds cycle through 1/2/8 threads:
+// recovery restores every stochastic input, so the thread count must not
+// show through.
+//
+// The binary re-executes itself (fork + execv of /proc/self/exe) for each
+// child: the parent's parallel runtime owns threads, so a plain fork'd
+// child could deadlock in malloc — only execv runs between fork and exec.
+//
+// ETA2_TORTURE_SEEDS=<n> widens the randomized sweep (CI runs 50);
+// ETA2_TORTURE_DIR overrides the scratch root so CI can upload a failing
+// campaign directory as an artifact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if defined(__linux__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "common/parallel.h"
+#include "core/durable_runner.h"
+#include "io/snapshot.h"
+#include "sim/dataset.h"
+#include "sim/durable_sim.h"
+#include "sim/simulation.h"
+
+namespace eta2 {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kKillPoints[] = {
+    "journal-append-mid",  "journal-append-post", "snapshot-pre-rename",
+    "snapshot-post-rename", "journal-rotate",      "journal-prune",
+};
+constexpr std::size_t kThreadCycle[] = {1, 2, 8};
+
+// The campaign under torture: 12 faulted days, snapshot every 3, so every
+// crash lands between generations with journaled work at stake.
+sim::Dataset torture_dataset() {
+  sim::SyntheticOptions synthetic;
+  synthetic.users = 20;
+  synthetic.tasks = 240;
+  synthetic.domains = 4;
+  synthetic.days = 12;
+  return sim::make_synthetic(synthetic, 7);
+}
+
+sim::SimOptions torture_sim_options() {
+  sim::SimOptions options;
+  options.config.observation_abs_limit = 1e5;
+  options.fault.seed = 11;
+  options.fault.nan_rate = 0.04;
+  options.fault.outlier_rate = 0.04;
+  options.fault.dropout_rate = 0.15;
+  options.fault.empty_batch_rate = 0.1;
+  return options;
+}
+
+core::DurableOptions torture_durable_options(const std::string& dir) {
+  core::DurableOptions durable;
+  durable.dir = dir;
+  durable.snapshot_cadence = 3;
+  durable.max_segment_bytes = 1 << 16;  // several rotations per campaign
+  return durable;
+}
+
+// Everything a campaign produced, as exact bit patterns — the transcript
+// the golden comparison runs on.
+std::string signature(const sim::SimulationResult& run) {
+  std::vector<std::uint64_t> bits;
+  const auto push = [&bits](double v) {
+    std::uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof(b));
+    bits.push_back(b);
+  };
+  push(run.overall_error);
+  push(run.total_cost);
+  push(run.expertise_mae);
+  for (const auto& day : run.days) {
+    push(day.estimation_error);
+    push(day.cost);
+    bits.push_back(day.pair_count);
+    bits.push_back(day.task_count);
+    for (const std::size_t v : day.users_per_task) bits.push_back(v);
+    for (const double v : day.mean_assigned_expertise) push(v);
+  }
+  for (const int v : run.truth_iteration_log) {
+    bits.push_back(static_cast<std::uint64_t>(v));
+  }
+  const auto push_health = [&bits](const core::StepHealth& h) {
+    bits.push_back(h.pairs_asked);
+    bits.push_back(h.observations_accepted);
+    bits.push_back(h.rejected_nonfinite);
+    bits.push_back(h.rejected_out_of_range);
+    bits.push_back(h.silent_pairs);
+    bits.push_back(h.quality_unmet_tasks);
+    bits.push_back(h.quarantined_batches);
+  };
+  push_health(run.health);
+  for (const auto& day : run.day_health) push_health(day);
+  const fault::FaultStats& f = run.fault_stats;
+  for (const std::uint64_t v :
+       {f.observations_seen, f.nan_injected, f.inf_injected,
+        f.outliers_injected, f.fabricated, f.no_responses, f.dropouts,
+        f.batches_dropped, f.embedder_failures}) {
+    bits.push_back(v);
+  }
+  std::string text = "eta2-torture-sig " + std::to_string(bits.size()) + "\n";
+  for (const std::uint64_t b : bits) {
+    text += std::to_string(b);
+    text += "\n";
+  }
+  return text;
+}
+
+const std::string& golden_signature() {
+  static const std::string golden = [] {
+    const sim::SimulationResult run =
+        sim::simulate(torture_dataset(), "eta2", torture_sim_options(), 4);
+    return signature(run);
+  }();
+  return golden;
+}
+
+std::string scratch_root() {
+  if (const char* dir = std::getenv("ETA2_TORTURE_DIR")) return dir;
+  return (fs::temp_directory_path() / "eta2_torture").string();
+}
+
+#if defined(__linux__)
+
+// Spawns one child campaign run. Returns the raw waitpid status.
+int spawn_child(const std::string& dir, std::string_view point, int kill_at,
+                std::size_t threads) {
+  // argv is fully built before fork: the parent is multithreaded (parallel
+  // runtime), so the child may only call async-signal-safe functions
+  // between fork and exec.
+  std::vector<std::string> args = {
+      "/proc/self/exe",
+      "--torture-child",
+      "--dir=" + dir,
+      "--point=" + std::string(point),
+      "--kill-at=" + std::to_string(kill_at),
+      "--threads=" + std::to_string(threads),
+  };
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv("/proc/self/exe", argv.data());
+    ::_exit(127);
+  }
+  EXPECT_GT(pid, 0) << "fork failed";
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+// Crash/resume cycle: kill the campaign at `point`, raising the kill
+// threshold every round (so even a kill on the very first durable write
+// cannot loop forever), until a child completes and writes its signature.
+std::string run_until_complete(const std::string& dir, std::string_view point,
+                               int base_kill, std::uint64_t thread_salt) {
+  fs::remove_all(dir);
+  int kills = 0;
+  for (int round = 0; round < 120; ++round) {
+    const int kill_at = base_kill + 3 * round;
+    const std::size_t threads =
+        kThreadCycle[(thread_salt + static_cast<std::uint64_t>(round)) % 3];
+    const int status = spawn_child(dir, point, kill_at, threads);
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      EXPECT_GT(kills, 0) << point
+                          << ": schedule never killed a child; the point "
+                             "did not fire";
+      return io::read_file(dir + "/result.sig");
+    }
+    if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+      ++kills;
+      continue;
+    }
+    ADD_FAILURE() << point << ": child neither completed nor was SIGKILLed "
+                  << "(status " << status << ") — campaign dir kept at "
+                  << dir;
+    return "";
+  }
+  ADD_FAILURE() << point << ": campaign never completed after 120 rounds — "
+                << "campaign dir kept at " << dir;
+  return "";
+}
+
+void expect_torture_cycle(std::string_view test_tag, std::string_view point,
+                          int base_kill, std::uint64_t thread_salt) {
+  // The tag keeps concurrently running torture tests (ctest -j) out of
+  // each other's campaign directories.
+  const std::string dir =
+      scratch_root() + "/" + std::string(test_tag) + "_" +
+      std::string(point) + "_" + std::to_string(base_kill) + "_" +
+      std::to_string(thread_salt);
+  const std::string sig = run_until_complete(dir, point, base_kill,
+                                             thread_salt);
+  if (sig.empty()) return;  // failure already recorded, dir kept
+  EXPECT_EQ(sig, golden_signature())
+      << point << ": resumed campaign diverged from the uninterrupted run — "
+      << "campaign dir kept at " << dir;
+  if (sig == golden_signature()) fs::remove_all(dir);
+}
+
+TEST(CrashTortureTest, EveryInjectedKillPointResumesBitIdentical) {
+  std::uint64_t salt = 0;
+  for (const std::string_view point : kKillPoints) {
+    expect_torture_cycle("points", point, 1, salt++);
+    if (::testing::Test::HasFailure()) break;  // keep the failing dir legible
+  }
+}
+
+TEST(CrashTortureTest, RandomizedKillSchedulesResumeBitIdentical) {
+  int seeds = 4;  // CI sets ETA2_TORTURE_SEEDS=50
+  if (const char* env = std::getenv("ETA2_TORTURE_SEEDS")) {
+    seeds = std::atoi(env);
+  }
+  for (int seed = 0; seed < seeds; ++seed) {
+    const auto s = static_cast<std::uint64_t>(seed);
+    const std::string_view point = kKillPoints[(s * 2654435761u) % 6];
+    // Every point fires at least 6 times per full campaign (one per
+    // checkpoint for the snapshot/rotate/prune points), so thresholds in
+    // [1, 5] always land a kill on the first round.
+    const int base_kill = 1 + static_cast<int>((s * 40503u) % 5);
+    SCOPED_TRACE("torture seed " + std::to_string(seed));
+    expect_torture_cycle("seeds", point, base_kill, s);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+#else  // !defined(__linux__)
+
+TEST(CrashTortureTest, EveryInjectedKillPointResumesBitIdentical) {
+  GTEST_SKIP() << "crash torture needs /proc/self/exe + SIGKILL (Linux only)";
+}
+
+#endif
+
+}  // namespace
+
+// Child entry: runs the torture campaign with a SIGKILL scheduled at the
+// kill_at-th firing of the chosen crash point, completing (exit 0) when the
+// schedule never fires. Dispatched from main() before gtest sees argv.
+int torture_child_main(int argc, char** argv) {
+#if defined(__linux__)
+  std::string dir;
+  std::string point;
+  int kill_at = 0;
+  std::size_t threads = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&arg] {
+      return std::string(arg.substr(arg.find('=') + 1));
+    };
+    if (arg.starts_with("--dir=")) dir = value();
+    if (arg.starts_with("--point=")) point = value();
+    if (arg.starts_with("--kill-at=")) kill_at = std::atoi(value().c_str());
+    if (arg.starts_with("--threads=")) {
+      threads = static_cast<std::size_t>(std::atoi(value().c_str()));
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "torture child: --dir required\n");
+    return 2;
+  }
+  // SIGKILL, not power loss: the page cache survives the process, so
+  // skipping fsync changes nothing the test can observe and keeps the many
+  // child generations fast.
+  io::set_durable_fsync(false);
+  if (threads >= 1) parallel::set_thread_count(threads);
+
+  core::DurableOptions durable = torture_durable_options(dir);
+  int fired = 0;
+  if (kill_at > 0) {
+    durable.crash_hook = [&](std::string_view p) {
+      if (p == point && ++fired == kill_at) ::kill(::getpid(), SIGKILL);
+    };
+  }
+  try {
+    const sim::SimulationResult run = sim::simulate_durable(
+        torture_dataset(), "eta2", torture_sim_options(), 4, durable);
+    io::atomic_write_file(dir + "/result.sig", signature(run));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "torture child: %s\n", e.what());
+    return 2;
+  }
+#else
+  (void)argc;
+  (void)argv;
+  return 2;
+#endif
+}
+
+}  // namespace eta2
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string_view(argv[1]) == "--torture-child") {
+    return eta2::torture_child_main(argc, argv);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,254 @@
+// Framing suite for io/journal.h: the CRC-framed WAL must recover every
+// complete record and nothing else. Truncated tails (the normal post-crash
+// state) end the scan cleanly, bit flips are flagged as corruption, empty
+// segments are clean, rotation keeps records ordered across segment files,
+// and reopening a torn journal truncates the tail so appends resume after
+// the last complete record.
+#include "io/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "io/snapshot.h"
+
+namespace eta2::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("eta2_journal_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    // The suite exercises framing, not disk durability; skipping fsync keeps
+    // it fast on slow filesystems.
+    set_durable_fsync(false);
+  }
+  void TearDown() override {
+    set_durable_fsync(true);
+    fs::remove_all(dir_);
+  }
+
+  void write_segment(std::uint64_t index, std::string_view bytes) {
+    std::ofstream out(dir_ + "/" + segment_file_name(index),
+                      std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(JournalTest, FrameRoundTripsBinaryPayload) {
+  const std::string payload("step inputs\nwith\0embedded NUL", 29);
+  const std::string frame =
+      frame_record(RecordType::kStepBegin, 42, payload);
+  EXPECT_TRUE(frame.starts_with("eta2-wal v1 begin 42 "));
+
+  const SegmentScan scan = scan_segment(frame);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_EQ(scan.valid_bytes, frame.size());
+  EXPECT_EQ(scan.records[0].type, RecordType::kStepBegin);
+  EXPECT_EQ(scan.records[0].step, 42u);
+  EXPECT_EQ(scan.records[0].payload, payload);
+}
+
+TEST_F(JournalTest, EmptySegmentScansClean) {
+  const SegmentScan scan = scan_segment("");
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+TEST_F(JournalTest, TruncatedPayloadEndsScanAsTornNotCorrupt) {
+  const std::string a = frame_record(RecordType::kStepBegin, 0, "inputs-0");
+  const std::string b = frame_record(RecordType::kStepCommit, 0, "digest-0");
+  // Cut the second frame mid-payload: exactly what kill -9 mid-append
+  // leaves behind.
+  const std::string torn = a + b.substr(0, b.size() - 3);
+
+  const SegmentScan scan = scan_segment(torn);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_TRUE(scan.truncated);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_EQ(scan.valid_bytes, a.size());  // recovery truncates to here
+}
+
+TEST_F(JournalTest, TruncatedHeaderEndsScanAsTorn) {
+  const std::string a = frame_record(RecordType::kStepBegin, 7, "x");
+  const SegmentScan scan = scan_segment(a + "eta2-wal v1 com");
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_TRUE(scan.truncated);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_EQ(scan.valid_bytes, a.size());
+}
+
+TEST_F(JournalTest, BitFlippedPayloadIsCorruptNotTorn) {
+  const std::string a = frame_record(RecordType::kStepBegin, 0, "inputs-0");
+  std::string b = frame_record(RecordType::kStepCommit, 0, "digest-0");
+  b[b.size() - 2] ^= 0x01;  // flip a payload bit; length stays right
+
+  const SegmentScan scan = scan_segment(a + b);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_TRUE(scan.corrupt);
+  EXPECT_NE(scan.diagnostic.find("CRC"), std::string::npos);
+}
+
+TEST_F(JournalTest, GarbageHeaderIsCorrupt) {
+  const SegmentScan scan = scan_segment("not a journal at all\njunk");
+  EXPECT_TRUE(scan.corrupt);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST_F(JournalTest, UnknownRecordTypeIsCorrupt) {
+  // Well-formed frame syntax, but a record type this version never wrote.
+  const SegmentScan scan =
+      scan_segment("eta2-wal v1 checkpoint 3 0 00000000\n");
+  EXPECT_TRUE(scan.corrupt);
+}
+
+TEST_F(JournalTest, WriterAppendsAndScanReadsBack) {
+  JournalWriter writer(dir_, {});
+  writer.open(scan_journal(dir_));
+  writer.append(RecordType::kStepBegin, 0, "in-0");
+  writer.append(RecordType::kStepCommit, 0, "out-0");
+  writer.append(RecordType::kStepQuarantine, 1, "err-1");
+
+  const JournalScan scan = scan_journal(dir_);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_EQ(scan.records[2].type, RecordType::kStepQuarantine);
+  EXPECT_EQ(scan.records[2].step, 1u);
+  EXPECT_EQ(scan.records[2].payload, "err-1");
+}
+
+TEST_F(JournalTest, RotationBoundaryKeepsRecordsOrderedAcrossSegments) {
+  JournalWriter::Options options;
+  options.max_segment_bytes = 1;  // every append lands in a fresh segment
+  JournalWriter writer(dir_, options);
+  writer.open(scan_journal(dir_));
+  for (std::uint64_t step = 0; step < 5; ++step) {
+    writer.append(RecordType::kStepBegin, step,
+                  "in-" + std::to_string(step));
+    writer.append(RecordType::kStepCommit, step,
+                  "out-" + std::to_string(step));
+  }
+  EXPECT_GT(writer.segment_index(), 1u);
+
+  const JournalScan scan = scan_journal(dir_);
+  ASSERT_EQ(scan.records.size(), 10u);
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_FALSE(scan.corrupt);
+  for (std::uint64_t step = 0; step < 5; ++step) {
+    EXPECT_EQ(scan.records[2 * step].step, step);
+    EXPECT_EQ(scan.records[2 * step].type, RecordType::kStepBegin);
+    EXPECT_EQ(scan.records[2 * step + 1].type, RecordType::kStepCommit);
+  }
+}
+
+TEST_F(JournalTest, ExplicitRotateStartsFreshSegmentEvenWhenEmpty) {
+  JournalWriter writer(dir_, {});
+  writer.open(scan_journal(dir_));
+  EXPECT_EQ(writer.segment_index(), 1u);
+  writer.rotate();  // rotating an empty segment is legal (snapshot boundary)
+  writer.rotate();
+  EXPECT_EQ(writer.segment_index(), 3u);
+  writer.append(RecordType::kStepBegin, 9, "in-9");
+
+  // Empty mid-list segments are clean; the record lands in segment 3.
+  const JournalScan scan = scan_journal(dir_);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_FALSE(scan.corrupt);
+  ASSERT_EQ(scan.segment_indices.size(), 3u);
+  EXPECT_EQ(scan.segment_max_step[2], 9u);
+}
+
+TEST_F(JournalTest, PruneDeletesOnlyFullyCoveredClosedSegments) {
+  JournalWriter writer(dir_, {});
+  writer.open(scan_journal(dir_));
+  for (std::uint64_t step = 0; step < 6; ++step) {
+    writer.append(RecordType::kStepCommit, step, "out");
+    if (step % 2 == 1) writer.rotate();  // segments hold steps {0,1},{2,3},...
+  }
+  ASSERT_EQ(list_segments(dir_).size(), 4u);
+
+  writer.prune(4);  // steps 0-3 covered: segments 1 and 2 go, 3 stays
+  const auto kept = list_segments(dir_);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 3u);
+  EXPECT_EQ(kept[1], 4u);
+
+  writer.prune(100);  // never touches the open segment
+  ASSERT_EQ(list_segments(dir_).size(), 1u);
+  EXPECT_EQ(list_segments(dir_)[0], writer.segment_index());
+}
+
+TEST_F(JournalTest, ReopenTruncatesTornTailAndResumesAppending) {
+  const std::string a = frame_record(RecordType::kStepBegin, 0, "in-0");
+  const std::string b = frame_record(RecordType::kStepCommit, 0, "out-0");
+  write_segment(1, a + b.substr(0, b.size() / 2));
+
+  const JournalScan before = scan_journal(dir_);
+  EXPECT_TRUE(before.truncated);
+  ASSERT_EQ(before.records.size(), 1u);
+
+  JournalWriter writer(dir_, {});
+  writer.open(before);
+  EXPECT_EQ(writer.segment_bytes(), a.size());  // torn half gone
+  writer.append(RecordType::kStepCommit, 0, "out-0");
+
+  const JournalScan after = scan_journal(dir_);
+  EXPECT_FALSE(after.truncated);
+  EXPECT_FALSE(after.corrupt);
+  ASSERT_EQ(after.records.size(), 2u);
+  EXPECT_EQ(after.records[1].payload, "out-0");
+}
+
+TEST_F(JournalTest, ReopenDeletesOrphanSegmentsPastTheDamage) {
+  // Segment 1 is corrupt mid-list, segment 2 exists beyond it: the scan
+  // stops at 1, so 2's records have no consistent prefix and must go.
+  std::string seg1 = frame_record(RecordType::kStepCommit, 0, "out-0");
+  seg1 += frame_record(RecordType::kStepCommit, 1, "out-1");
+  seg1[seg1.size() - 1] ^= 0x01;
+  write_segment(1, seg1);
+  write_segment(2, frame_record(RecordType::kStepCommit, 2, "out-2"));
+
+  const JournalScan scan = scan_journal(dir_);
+  EXPECT_TRUE(scan.corrupt);
+  ASSERT_EQ(scan.records.size(), 1u);
+
+  JournalWriter writer(dir_, {});
+  writer.open(scan);
+  const auto kept = list_segments(dir_);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], 1u);
+
+  const JournalScan after = scan_journal(dir_);
+  EXPECT_FALSE(after.corrupt);
+  ASSERT_EQ(after.records.size(), 1u);
+  EXPECT_EQ(after.records[0].payload, "out-0");
+}
+
+TEST_F(JournalTest, ScanJournalOnAbsentDirectoryIsEmptyAndClean) {
+  const JournalScan scan = scan_journal(dir_ + "/does_not_exist");
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_FALSE(scan.corrupt);
+}
+
+}  // namespace
+}  // namespace eta2::io

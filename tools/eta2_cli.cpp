@@ -7,8 +7,16 @@
 //   eta2 simulate --dataset=...|--load=PREFIX [--method=eta2] [--seed=1]
 //                 [--gamma=0.5] [--alpha=0.5] [--response-rate=1]
 //                 [--out=FILE.csv] [--report=FILE.md]
+//                 [--durable=DIR] [--cadence=8] [--retries=2]
 //       Run the multi-day simulation and print per-day metrics (optionally
-//       exporting them as CSV).
+//       exporting them as CSV). With --durable=DIR the campaign journals
+//       every step and checkpoints into DIR (crash-resumable; see below).
+//
+//   eta2 resume --dir=DIR
+//       Resume a killed/crashed durable campaign: re-reads the original
+//       simulate arguments from DIR/manifest.txt, replays the journal from
+//       the newest valid snapshot, and finishes the remaining days. The
+//       result is bit-identical to an uninterrupted run.
 //
 //   eta2 sweep --dataset=... [--method=eta2] [--seeds=10] [--out=FILE.csv]
 //       Monte-Carlo sweep; prints mean ± stderr of the headline metrics.
@@ -17,16 +25,21 @@
 //       List the available truth-analysis/allocation methods.
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/strategy_registry.h"
 #include "io/dataset_io.h"
 #include "io/results_io.h"
+#include "io/snapshot.h"
 #include "sim/dataset.h"
+#include "sim/durable_sim.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "sim/simulation.h"
@@ -37,9 +50,10 @@ namespace {
 using eta2::Flags;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: eta2 <generate|simulate|sweep|methods> [flags]\n"
-               "see the header comment of tools/eta2_cli.cpp for details\n");
+  std::fprintf(
+      stderr,
+      "usage: eta2 <generate|simulate|resume|sweep|methods> [flags]\n"
+      "see the header comment of tools/eta2_cli.cpp for details\n");
   return 2;
 }
 
@@ -107,7 +121,11 @@ int cmd_generate(const Flags& flags) {
   return 0;
 }
 
-int cmd_simulate(const Flags& flags) {
+// Runs `simulate`. `tokens` are the raw simulate arguments — with
+// --durable they are persisted as DIR/manifest.txt before the campaign
+// starts, so `eta2 resume --dir=DIR` can rebuild this exact invocation
+// after a crash.
+int cmd_simulate(const Flags& flags, const std::vector<std::string>& tokens) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto method = parse_method(flags.get("method", "eta2"));
   if (!method) {
@@ -117,7 +135,35 @@ int cmd_simulate(const Flags& flags) {
   const auto dataset = build_dataset(flags, seed);
   if (!dataset) return 2;
   const auto options = build_options(flags, *dataset);
-  const auto result = eta2::sim::simulate(*dataset, *method, options, seed);
+
+  eta2::sim::SimulationResult result;
+  const std::string durable_dir = flags.get("durable", "");
+  if (!durable_dir.empty()) {
+    eta2::core::DurableOptions durable;
+    durable.dir = durable_dir;
+    durable.snapshot_cadence =
+        static_cast<std::uint64_t>(flags.get_int("cadence", 8));
+    durable.max_step_retries = static_cast<int>(flags.get_int("retries", 2));
+    // The manifest must be durable BEFORE the first step runs: a campaign
+    // killed on day 0 is already resumable.
+    std::filesystem::create_directories(durable_dir);
+    std::string manifest;
+    for (const std::string& token : tokens) {
+      manifest += token;
+      manifest += "\n";
+    }
+    eta2::io::atomic_write_file(durable_dir + "/manifest.txt", manifest);
+    result =
+        eta2::sim::simulate_durable(*dataset, *method, options, seed, durable);
+    std::printf(
+        "durable campaign at %s: %s, %llu step(s) replayed, %llu "
+        "quarantined\n",
+        durable_dir.c_str(), result.resumed ? "resumed" : "fresh",
+        static_cast<unsigned long long>(result.replayed_steps),
+        static_cast<unsigned long long>(result.quarantined_steps));
+  } else {
+    result = eta2::sim::simulate(*dataset, *method, options, seed);
+  }
 
   eta2::Table table({"day", "tasks", "pairs", "error", "cost", "iters"});
   for (const auto& day : result.days) {
@@ -137,27 +183,52 @@ int cmd_simulate(const Flags& flags) {
 
   const std::string out = flags.get("out", "");
   if (!out.empty()) {
-    std::ofstream file(out);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", out.c_str());
-      return 1;
-    }
-    eta2::io::write_day_metrics_csv(result, file);
+    // Atomic replace (throws on IO failure; caught in main).
+    eta2::io::write_day_metrics_csv(result, out);
     std::printf("wrote %s\n", out.c_str());
   }
   const std::string report = flags.get("report", "");
   if (!report.empty()) {
-    std::ofstream file(report);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", report.c_str());
-      return 1;
-    }
+    std::ostringstream buffer;
     eta2::sim::write_markdown_report(
         result,
-        {dataset->name, eta2::sim::method_name(*method), seed}, file);
+        {dataset->name, eta2::sim::method_name(*method), seed}, buffer);
+    eta2::io::atomic_write_file(report, buffer.str());
     std::printf("wrote %s\n", report.c_str());
   }
   return 0;
+}
+
+int cmd_resume(const Flags& flags) {
+  const std::string dir = flags.get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "resume: --dir=DIR is required\n");
+    return 2;
+  }
+  std::vector<std::string> tokens;
+  {
+    std::istringstream manifest(eta2::io::read_file(dir + "/manifest.txt"));
+    std::string line;
+    while (std::getline(manifest, line)) {
+      if (!line.empty()) tokens.push_back(line);
+    }
+  }
+  if (tokens.empty()) {
+    std::fprintf(stderr, "resume: %s/manifest.txt is empty\n", dir.c_str());
+    return 1;
+  }
+  std::vector<const char*> argv;
+  argv.reserve(tokens.size());
+  for (const std::string& token : tokens) argv.push_back(token.c_str());
+  const Flags manifest_flags(static_cast<int>(argv.size()), argv.data());
+  if (manifest_flags.get("durable", "").empty()) {
+    std::fprintf(stderr,
+                 "resume: manifest at %s does not describe a durable "
+                 "campaign\n",
+                 dir.c_str());
+    return 1;
+  }
+  return cmd_simulate(manifest_flags, tokens);
 }
 
 int cmd_sweep(const Flags& flags) {
@@ -184,12 +255,8 @@ int cmd_sweep(const Flags& flags) {
   }
   const std::string out = flags.get("out", "");
   if (!out.empty()) {
-    std::ofstream file(out);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", out.c_str());
-      return 1;
-    }
-    eta2::io::write_sweep_csv(sweep, file);
+    // Atomic replace (throws on IO failure; caught in main).
+    eta2::io::write_sweep_csv(sweep, out);
     std::printf("wrote %s\n", out.c_str());
   }
   return 0;
@@ -231,9 +298,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Flags flags(argc - 1, argv + 1);
+  std::vector<std::string> tokens;  // the subcommand's raw arguments
+  for (int i = 2; i < argc; ++i) tokens.emplace_back(argv[i]);
   try {
     if (command == "generate") return cmd_generate(flags);
-    if (command == "simulate") return cmd_simulate(flags);
+    if (command == "simulate") return cmd_simulate(flags, tokens);
+    if (command == "resume") return cmd_resume(flags);
     if (command == "sweep") return cmd_sweep(flags);
     if (command == "methods") return cmd_methods();
   } catch (const std::exception& e) {
