@@ -309,8 +309,12 @@ void appendf(std::string& out, const char* fmt, ...) {
   va_start(args, fmt);
   const int len = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
   va_end(args);
-  if (len > 0) out.append(buffer, std::min<std::size_t>(
-                              static_cast<std::size_t>(len), sizeof(buffer)));
+  // On truncation vsnprintf reports the would-be length but the buffer
+  // holds at most sizeof(buffer) - 1 chars plus the NUL — never append
+  // the terminator.
+  if (len > 0) out.append(buffer,
+                          std::min<std::size_t>(static_cast<std::size_t>(len),
+                                                sizeof(buffer) - 1));
 }
 
 void write_json(const std::string& path, std::size_t parallel_threads,

@@ -25,6 +25,15 @@ Flags::Flags(int argc, const char* const* argv) {
   }
 }
 
+Flags Flags::from_tokens(const std::vector<std::string>& tokens) {
+  std::vector<const char*> argv;
+  argv.reserve(tokens.size() + 1);
+  // Placeholder for the program-name slot the argv constructor skips.
+  argv.push_back("tokens");
+  for (const std::string& token : tokens) argv.push_back(token.c_str());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
 bool Flags::has(std::string_view name) const {
   return values_.find(name) != values_.end();
 }

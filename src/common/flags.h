@@ -17,6 +17,12 @@ class Flags {
   Flags() = default;
   Flags(int argc, const char* const* argv);
 
+  // Parses `tokens` as the arguments AFTER the program name — every token
+  // is significant, unlike the argv constructor, which skips argv[0]. Use
+  // this to rebuild an invocation from persisted tokens (e.g. a durable
+  // campaign manifest), where there is no program-name slot to skip.
+  [[nodiscard]] static Flags from_tokens(const std::vector<std::string>& tokens);
+
   [[nodiscard]] bool has(std::string_view name) const;
   [[nodiscard]] std::string get(std::string_view name, std::string_view fallback) const;
   [[nodiscard]] std::int64_t get_int(std::string_view name, std::int64_t fallback) const;

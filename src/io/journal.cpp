@@ -189,6 +189,26 @@ JournalScan scan_journal(const std::string& dir) {
   return scan;
 }
 
+void write_manifest(const std::string& dir,
+                    const std::vector<std::string>& tokens) {
+  std::string contents;
+  for (const std::string& token : tokens) {
+    contents += token;
+    contents += "\n";
+  }
+  atomic_write_file(dir + "/manifest.txt", contents);
+}
+
+std::vector<std::string> read_manifest(const std::string& dir) {
+  std::istringstream manifest(read_file(dir + "/manifest.txt"));
+  std::vector<std::string> tokens;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (!line.empty()) tokens.push_back(line);
+  }
+  return tokens;
+}
+
 JournalWriter::JournalWriter(std::string dir, Options options)
     : dir_(std::move(dir)), options_(std::move(options)) {}
 

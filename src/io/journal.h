@@ -92,6 +92,18 @@ struct JournalScan {
 [[nodiscard]] std::vector<std::uint64_t> list_segments(const std::string& dir);
 [[nodiscard]] JournalScan scan_journal(const std::string& dir);
 
+// Campaign manifest: the raw CLI argument tokens of a durable `simulate`
+// invocation, persisted as <dir>/manifest.txt (one token per line) before
+// the first step runs so `eta2 resume` can rebuild the exact invocation
+// after a crash. Writing is atomic + durable (io/snapshot.h).
+void write_manifest(const std::string& dir,
+                    const std::vector<std::string>& tokens);
+
+// Returns the persisted tokens (blank lines dropped; empty when the
+// manifest is empty). Throws std::runtime_error when <dir>/manifest.txt
+// cannot be opened.
+[[nodiscard]] std::vector<std::string> read_manifest(const std::string& dir);
+
 // Appends records to the highest-numbered segment of `dir` (creating
 // segment 1 when none exists), rotating to a new segment when the current
 // one exceeds `max_segment_bytes`. Not thread-safe; one writer per journal.

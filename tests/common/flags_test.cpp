@@ -63,6 +63,23 @@ TEST(FlagsTest, BareFlagFollowedByFlag) {
   EXPECT_EQ(flags.get_int("count", 0), 3);
 }
 
+TEST(FlagsTest, FromTokensKeepsTheFirstToken) {
+  // Regression: the argv constructor skips argv[0], so building Flags
+  // straight from persisted tokens silently dropped the first one (the
+  // `eta2 resume` manifest bug). from_tokens must parse every token.
+  const Flags flags =
+      Flags::from_tokens({"--durable=dir", "--dataset=synthetic", "--seed=7"});
+  EXPECT_EQ(flags.get("durable", ""), "dir");
+  EXPECT_EQ(flags.get("dataset", ""), "synthetic");
+  EXPECT_EQ(flags.get_int("seed", 0), 7);
+}
+
+TEST(FlagsTest, FromTokensOnEmptyTokens) {
+  const Flags flags = Flags::from_tokens({});
+  EXPECT_FALSE(flags.has("anything"));
+  EXPECT_TRUE(flags.positional().empty());
+}
+
 TEST(FlagsTest, SeedCountPriority) {
   ::unsetenv("ETA2_SEEDS");
   const Flags with_flag = make_flags({"--seeds=9"});

@@ -12,10 +12,13 @@
 #include <fstream>
 #include <string>
 
+#include "common/flags.h"
 #include "io/snapshot.h"
 
 namespace eta2::io {
 namespace {
+
+using eta2::Flags;
 
 namespace fs = std::filesystem;
 
@@ -248,6 +251,30 @@ TEST_F(JournalTest, ScanJournalOnAbsentDirectoryIsEmptyAndClean) {
   EXPECT_TRUE(scan.records.empty());
   EXPECT_FALSE(scan.truncated);
   EXPECT_FALSE(scan.corrupt);
+}
+
+TEST_F(JournalTest, ManifestRoundTripPreservesEveryToken) {
+  const std::vector<std::string> tokens = {
+      "--durable=" + dir_, "--dataset=synthetic", "--seed=7"};
+  write_manifest(dir_, tokens);
+  EXPECT_EQ(read_manifest(dir_), tokens);
+
+  // The `eta2 resume` reconstruction path: the FIRST manifest line (here
+  // --durable, the flag resume gates on) must survive flag parsing.
+  const Flags flags = Flags::from_tokens(read_manifest(dir_));
+  EXPECT_EQ(flags.get("durable", ""), dir_);
+  EXPECT_EQ(flags.get("dataset", ""), "synthetic");
+  EXPECT_EQ(flags.get_int("seed", 0), 7);
+}
+
+TEST_F(JournalTest, EmptyManifestReadsAsNoTokens) {
+  write_manifest(dir_, {});
+  EXPECT_TRUE(read_manifest(dir_).empty());
+}
+
+TEST_F(JournalTest, AbsentManifestThrows) {
+  EXPECT_THROW((void)read_manifest(dir_ + "/does_not_exist"),
+               std::runtime_error);
 }
 
 }  // namespace

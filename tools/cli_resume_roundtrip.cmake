@@ -1,0 +1,40 @@
+# End-to-end round trip for the `eta2` CLI durable path: a `simulate
+# --durable` campaign followed by `resume --dir` of the same directory must
+# succeed and report a resumed campaign. Regression for the manifest
+# reconstruction bug where resume dropped the first manifest line (and with
+# --durable first, refused to resume at all) — which is why --durable is
+# deliberately the first simulate argument below.
+#
+# Invoked by ctest (see tools/CMakeLists.txt):
+#   cmake -DETA2_BIN=<eta2 binary> -DWORK_DIR=<scratch dir> -P this_file
+if(NOT DEFINED ETA2_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DETA2_BIN=... -DWORK_DIR=... -P cli_resume_roundtrip.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(campaign_dir "${WORK_DIR}/campaign")
+
+execute_process(
+  COMMAND "${ETA2_BIN}" simulate "--durable=${campaign_dir}"
+          --dataset=synthetic --tasks=40 --seed=3
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "durable simulate failed (exit ${rc}):\n${out}\n${err}")
+endif()
+
+if(NOT EXISTS "${campaign_dir}/manifest.txt")
+  message(FATAL_ERROR "simulate --durable did not write ${campaign_dir}/manifest.txt")
+endif()
+
+execute_process(
+  COMMAND "${ETA2_BIN}" resume "--dir=${campaign_dir}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resume failed (exit ${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "resumed")
+  message(FATAL_ERROR "resume did not report a resumed campaign:\n${out}")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")

@@ -36,6 +36,7 @@
 #include "common/table.h"
 #include "core/strategy_registry.h"
 #include "io/dataset_io.h"
+#include "io/journal.h"
 #include "io/results_io.h"
 #include "io/snapshot.h"
 #include "sim/dataset.h"
@@ -147,12 +148,7 @@ int cmd_simulate(const Flags& flags, const std::vector<std::string>& tokens) {
     // The manifest must be durable BEFORE the first step runs: a campaign
     // killed on day 0 is already resumable.
     std::filesystem::create_directories(durable_dir);
-    std::string manifest;
-    for (const std::string& token : tokens) {
-      manifest += token;
-      manifest += "\n";
-    }
-    eta2::io::atomic_write_file(durable_dir + "/manifest.txt", manifest);
+    eta2::io::write_manifest(durable_dir, tokens);
     result =
         eta2::sim::simulate_durable(*dataset, *method, options, seed, durable);
     std::printf(
@@ -205,22 +201,14 @@ int cmd_resume(const Flags& flags) {
     std::fprintf(stderr, "resume: --dir=DIR is required\n");
     return 2;
   }
-  std::vector<std::string> tokens;
-  {
-    std::istringstream manifest(eta2::io::read_file(dir + "/manifest.txt"));
-    std::string line;
-    while (std::getline(manifest, line)) {
-      if (!line.empty()) tokens.push_back(line);
-    }
-  }
+  const std::vector<std::string> tokens = eta2::io::read_manifest(dir);
   if (tokens.empty()) {
     std::fprintf(stderr, "resume: %s/manifest.txt is empty\n", dir.c_str());
     return 1;
   }
-  std::vector<const char*> argv;
-  argv.reserve(tokens.size());
-  for (const std::string& token : tokens) argv.push_back(token.c_str());
-  const Flags manifest_flags(static_cast<int>(argv.size()), argv.data());
+  // from_tokens, not the argv constructor: manifest tokens have no
+  // program-name slot, so every line is significant.
+  const Flags manifest_flags = Flags::from_tokens(tokens);
   if (manifest_flags.get("durable", "").empty()) {
     std::fprintf(stderr,
                  "resume: manifest at %s does not describe a durable "
