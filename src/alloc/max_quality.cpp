@@ -1,6 +1,8 @@
 #include "alloc/max_quality.h"
 
 #include <algorithm>
+#include <numeric>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -11,12 +13,12 @@
 namespace eta2::alloc {
 namespace {
 
-// Tracks the greedy working state: remaining capacities, per-task miss
-// probability Π(1 − p_ij), and the cached best pair per task.
-class GreedyState {
+// Working state shared by both greedy engines: the p_ij matrix, remaining
+// per-user capacity, and each task's miss probability Π(1 − p_ij).
+class GreedyCore {
  public:
-  GreedyState(const AllocationProblem& problem, const GreedyOptions& options,
-              const Allocation& allocation)
+  GreedyCore(const AllocationProblem& problem, const GreedyOptions& options,
+             const Allocation& allocation)
       : problem_(problem),
         options_(options),
         allocation_(allocation),
@@ -25,16 +27,22 @@ class GreedyState {
     const std::size_t m = problem.task_count();
     // p_ij matrix: one contiguous row-major buffer (cache-friendly for the
     // per-task column scans below); cells are independent, so the build
-    // fans out over the parallel runtime.
-    // The expertise matrix is already row-major n × m, so the p_ij build is
-    // a straight cell-for-cell map over the contiguous buffer.
+    // fans out over the parallel runtime. Each chunk goes through the
+    // batched Φ kernel, which hoists argument validation to once per chunk
+    // instead of two require()s per cell.
     p_.assign(n * m, 0.0);
     const std::span<const double> expertise = problem.expertise.data();
-    parallel::parallel_for(n * m, 4096, [&](std::size_t cell) {
-      p_[cell] = stats::accuracy_probability(expertise[cell], options.epsilon);
-      // Algorithm 1's efficiency ordering assumes p_ij ∈ [0, 1].
-      ETA2_ASSERT(p_[cell] >= 0.0 && p_[cell] <= 1.0);
-    });
+    const std::span<double> p_span{p_};
+    parallel::parallel_for_chunks(
+        n * m, 4096, [&](std::size_t begin, std::size_t end) {
+          stats::accuracy_probability_batch(
+              expertise.subspan(begin, end - begin), options_.epsilon,
+              p_span.subspan(begin, end - begin), options_.fast_math);
+          for (std::size_t cell = begin; cell < end; ++cell) {
+            // Algorithm 1's efficiency ordering assumes p_ij ∈ [0, 1].
+            ETA2_ASSERT(p_[cell] >= 0.0 && p_[cell] <= 1.0);
+          }
+        });
     remaining_.resize(n);
     for (UserId i = 0; i < n; ++i) {
       remaining_[i] = problem.user_capacity[i] - allocation.used_time(i);
@@ -43,13 +51,50 @@ class GreedyState {
     for (TaskId j = 0; j < m; ++j) {
       for (const UserId i : allocation.users_of(j)) miss_[j] *= 1.0 - p(i, j);
     }
+  }
+
+  // Applies a selection to the shared state (both engines call this first,
+  // then fix up their own caches).
+  void apply(UserId i, TaskId j, Allocation& allocation) {
+    allocation.assign(i, j, problem_.task_time[j], problem_.cost_of(j));
+    remaining_[i] -= problem_.task_time[j];
+    // Capacity feasibility: an infeasible pair never has positive
+    // efficiency, so a selected pair can never overdraw the time budget.
+    ETA2_ASSERT(remaining_[i] >= 0.0);
+    miss_[j] *= 1.0 - p(i, j);
+    ETA2_ASSERT(miss_[j] >= 0.0 && miss_[j] <= 1.0);
+  }
+
+ protected:
+  [[nodiscard]] double p(UserId i, TaskId j) const { return p_[i * m_ + j]; }
+
+  const AllocationProblem& problem_;
+  const GreedyOptions& options_;
+  const Allocation& allocation_;
+  std::size_t m_;          // task count (row stride of p_)
+  std::vector<double> p_;  // row-major n × m accuracy probabilities
+  std::vector<double> remaining_;
+  std::vector<double> miss_;
+};
+
+// Reference engine: rescans every user of an invalidated task eagerly.
+// Kept verbatim as the semantics oracle for the lazy engine (the
+// equivalence suite in tests/alloc/lazy_greedy_test.cpp pins byte-identical
+// allocations between the two).
+class RescanGreedy : public GreedyCore {
+ public:
+  RescanGreedy(const AllocationProblem& problem, const GreedyOptions& options,
+               const Allocation& allocation, GreedyStats& stats)
+      : GreedyCore(problem, options, allocation), stats_(stats) {
+    const std::size_t m = problem.task_count();
     best_eff_.assign(m, 0.0);
-    best_user_.assign(m, n);
+    best_user_.assign(m, problem.user_count());
     for (TaskId j = 0; j < m; ++j) rescan_task(j);
   }
 
   // Efficiency of (i, j) under the current state (Definition 1).
   [[nodiscard]] double efficiency(UserId i, TaskId j) const {
+    ++stats_.gain_evaluations;
     if (remaining_[i] < problem_.task_time[j]) return 0.0;
     if (allocation_.is_assigned(i, j)) return 0.0;
     const double gain = p(i, j) * miss_[j];
@@ -70,7 +115,7 @@ class GreedyState {
   }
 
   // Picks the globally best pair; returns false when max efficiency is 0.
-  [[nodiscard]] bool best_pair(UserId& user, TaskId& task) const {
+  [[nodiscard]] bool next(UserId& user, TaskId& task) const {
     double best = 0.0;
     TaskId best_task = problem_.task_count();
     for (TaskId j = 0; j < problem_.task_count(); ++j) {
@@ -87,13 +132,8 @@ class GreedyState {
 
   // Applies the selection and refreshes the caches that it invalidated.
   void select(UserId i, TaskId j, Allocation& allocation) {
-    allocation.assign(i, j, problem_.task_time[j], problem_.cost_of(j));
-    remaining_[i] -= problem_.task_time[j];
-    // Capacity feasibility: efficiency() returns 0 for pairs that do not
-    // fit, so a selected pair can never overdraw the user's time budget.
-    ETA2_ASSERT(remaining_[i] >= 0.0);
-    miss_[j] *= 1.0 - p(i, j);
-    ETA2_ASSERT(miss_[j] >= 0.0 && miss_[j] <= 1.0);
+    apply(i, j, allocation);
+    ++stats_.selections;
     rescan_task(j);
     // Other tasks' cached best may reference user i, whose remaining
     // capacity shrank (or which is now assigned to j only — irrelevant for
@@ -107,23 +147,173 @@ class GreedyState {
   }
 
  private:
-  [[nodiscard]] double p(UserId i, TaskId j) const { return p_[i * m_ + j]; }
-
-  const AllocationProblem& problem_;
-  const GreedyOptions& options_;
-  const Allocation& allocation_;
-  std::size_t m_;                // task count (row stride of p_)
-  std::vector<double> p_;        // row-major n × m accuracy probabilities
-  std::vector<double> remaining_;
-  std::vector<double> miss_;
+  GreedyStats& stats_;
   std::vector<double> best_eff_;
   std::vector<UserId> best_user_;
+};
+
+// CELF lazy engine (DESIGN.md §11). Submodularity makes every cached
+// efficiency an upper bound on the current one: a selection only multiplies
+// miss_[j] by (1 − p) ≤ 1, only shrinks remaining capacity, and assignments
+// are sticky — so gains never increase. A max-heap of stale per-task bounds
+// therefore finds the true argmax by popping until the top entry's bound was
+// refreshed under the current state.
+//
+// Within one task every feasible user's efficiency is p_ij times the same
+// positive factor miss_[j](/t_j), so the per-task argmax is found without a
+// scan: users are pre-sorted by (p_ij desc, index asc) and a cursor skips
+// entries that became infeasible — permanently, because infeasibility is
+// monotone. A task refresh is then O(1) amortized instead of O(n).
+class LazyGreedy : public GreedyCore {
+ public:
+  LazyGreedy(const AllocationProblem& problem, const GreedyOptions& options,
+             const Allocation& allocation, GreedyStats& stats)
+      : GreedyCore(problem, options, allocation), stats_(stats) {
+    const std::size_t n = problem.user_count();
+    const std::size_t m = problem.task_count();
+    order_.resize(n * m);
+    cursor_.assign(m, 0);
+    parallel::parallel_for(m, 16, [&](std::size_t j) {
+      UserId* ord = order_.data() + j * n;
+      std::iota(ord, ord + n, UserId{0});
+      std::sort(ord, ord + n, [&](UserId a, UserId b) {
+        const double pa = p(a, j);
+        const double pb = p(b, j);
+        if (pa != pb) return pa > pb;
+        return a < b;  // ties: ascending index, matching the rescan order
+      });
+    });
+    bound_.assign(m, 0.0);
+    stamp_.assign(m, 0);
+    candidate_.assign(m, n);
+    heap_.reserve(2 * m);
+    for (TaskId j = 0; j < m; ++j) {
+      bound_[j] = refresh_gain(j);
+      heap_.push_back(Entry{bound_[j], j});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), EntryOrder{});
+  }
+
+  // Pops stale upper bounds until the maximum is fresh. An entry whose bound
+  // differs from the task's current bound is an outdated duplicate (bounds
+  // only decrease and every decrease pushes a new entry) and is discarded.
+  // Terminates when the top bound — an upper bound on every efficiency — is
+  // not positive, exactly when the rescanning engine's max hits zero.
+  [[nodiscard]] bool next(UserId& user, TaskId& task) {
+    while (!heap_.empty()) {
+      ++stats_.heap_pops;
+      std::pop_heap(heap_.begin(), heap_.end(), EntryOrder{});
+      const Entry top = heap_.back();
+      heap_.pop_back();
+      const TaskId j = top.task;
+      if (top.bound != bound_[j]) continue;  // superseded duplicate
+      if (!(top.bound > 0.0)) return false;
+      if (stamp_[j] == version_) {
+        // Fresh under the current state: j's true gain ties or beats every
+        // other task's upper bound, and the heap order (bound desc, task
+        // asc) plus the refresh loop reproduce the rescan tie-break — a
+        // stale equal-bound lower-index task pops first, refreshes, and
+        // wins the re-pop on a true tie.
+        user = candidate_[j];
+        task = j;
+        return true;
+      }
+      bound_[j] = refresh_gain(j);
+      stamp_[j] = version_;
+      push(Entry{bound_[j], j});
+    }
+    return false;
+  }
+
+  void select(UserId i, TaskId j, Allocation& allocation) {
+    apply(i, j, allocation);
+    ++stats_.selections;
+    ++version_;
+    // The stale bound stays a valid upper bound (gains only decrease), so
+    // reinsert j as-is — deliberately NOT scaled by (1 − p): rounding of
+    // the scaled product could land below j's true next gain and break
+    // exactness. Costs at most one extra O(1) refresh if j surfaces again.
+    push(Entry{bound_[j], j});
+  }
+
+ private:
+  struct Entry {
+    double bound = 0.0;
+    TaskId task = 0;
+  };
+  // Max-heap order: higher bound first, lower task index first on ties (the
+  // rescan scan keeps the first strict maximum in task order).
+  struct EntryOrder {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const {
+      if (a.bound != b.bound) return a.bound < b.bound;
+      return a.task > b.task;
+    }
+  };
+
+  void push(Entry entry) {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), EntryOrder{});
+  }
+
+  // Recomputes task j's exact best efficiency under the current state and
+  // records the winning user in candidate_[j]. The cursor's first feasible
+  // user maximizes p_ij, hence efficiency; the forward walk then resolves
+  // the rescan engine's first-strict-maximum tie-break exactly — a user
+  // with (one-ulp) smaller p_ij can round to the same efficiency, and the
+  // rescan scan keeps the lowest index among such ties. Multiplication and
+  // division by a positive constant are monotone under rounding, so the
+  // walk stops at the first strictly smaller efficiency.
+  [[nodiscard]] double refresh_gain(TaskId j) {
+    const std::size_t n = problem_.user_count();
+    const double task_time = problem_.task_time[j];
+    const UserId* ord = order_.data() + j * n;
+    std::size_t& cur = cursor_[j];
+    while (cur < n && !feasible(ord[cur], j)) ++cur;
+    if (cur == n) {
+      candidate_[j] = n;
+      return 0.0;
+    }
+    const double best = efficiency_of(ord[cur], j, task_time);
+    if (!(best > 0.0)) {
+      candidate_[j] = n;
+      return 0.0;
+    }
+    UserId pick = ord[cur];
+    for (std::size_t k = cur + 1; k < n; ++k) {
+      const double e = efficiency_of(ord[k], j, task_time);
+      if (e < best) break;  // p descending ⇒ no later entry can tie
+      if (feasible(ord[k], j) && ord[k] < pick) pick = ord[k];
+    }
+    candidate_[j] = pick;
+    return best;
+  }
+
+  [[nodiscard]] double efficiency_of(UserId i, TaskId j, double task_time) {
+    ++stats_.gain_evaluations;
+    const double gain = p(i, j) * miss_[j];
+    return options_.efficiency_per_time ? gain / task_time : gain;
+  }
+
+  [[nodiscard]] bool feasible(UserId i, TaskId j) const {
+    return remaining_[i] >= problem_.task_time[j] &&
+           !allocation_.is_assigned(i, j);
+  }
+
+  GreedyStats& stats_;
+  std::vector<UserId> order_;        // per-task users, (p desc, index asc)
+  std::vector<std::size_t> cursor_;  // first possibly-feasible order_ entry
+  std::vector<double> bound_;        // current upper bound per task
+  std::vector<std::size_t> stamp_;   // version bound_[j] was evaluated under
+  std::vector<UserId> candidate_;    // argmax user of the last refresh
+  std::vector<Entry> heap_;
+  std::size_t version_ = 0;  // incremented per selection
 };
 
 }  // namespace
 
 std::size_t greedy_extend(const AllocationProblem& problem,
-                          const GreedyOptions& options, Allocation& allocation) {
+                          const GreedyOptions& options, Allocation& allocation,
+                          GreedyStats* stats) {
   problem.validate();
   require(options.epsilon > 0.0, "greedy_extend: epsilon must be > 0");
   // A negative cost cap would read as "unlimited" below; reject it here.
@@ -132,16 +322,27 @@ std::size_t greedy_extend(const AllocationProblem& problem,
               allocation.task_count() == problem.task_count(),
           "greedy_extend: allocation shape mismatch");
 
-  GreedyState state(problem, options, allocation);
+  GreedyStats local;
+  GreedyStats& counters = stats != nullptr ? *stats : local;
+  counters = GreedyStats{};
   std::size_t added = 0;
   double spent = 0.0;
-  while (spent < options.cost_cap) {
-    UserId i = 0;
-    TaskId j = 0;
-    if (!state.best_pair(i, j)) break;  // max efficiency hit zero
-    state.select(i, j, allocation);
-    spent += problem.cost_of(j);
-    ++added;
+  const auto drive = [&](auto& state) {
+    while (spent < options.cost_cap) {
+      UserId i = 0;
+      TaskId j = 0;
+      if (!state.next(i, j)) break;  // max efficiency hit zero
+      state.select(i, j, allocation);
+      spent += problem.cost_of(j);
+      ++added;
+    }
+  };
+  if (options.impl == GreedyImpl::kRescan) {
+    RescanGreedy state(problem, options, allocation, counters);
+    drive(state);
+  } else {
+    LazyGreedy state(problem, options, allocation, counters);
+    drive(state);
   }
   return added;
 }
@@ -153,6 +354,8 @@ Allocation MaxQualityAllocator::allocate(const AllocationProblem& problem) const
   GreedyOptions per_time;
   per_time.epsilon = options_.epsilon;
   per_time.efficiency_per_time = true;
+  per_time.impl = options_.impl;
+  per_time.fast_math = options_.fast_math;
 
   Allocation primary(problem.user_count(), problem.task_count());
   greedy_extend(problem, per_time, primary);

@@ -15,16 +15,80 @@
 #include "text/pairword.h"
 
 namespace eta2::clustering {
+namespace {
+
+// Exact inline mirror of text::task_distance over two rows of a flattened
+// row-major buffer: identical operation order (ascending index within each
+// half, then 0.5·(q + t)), with the per-pair validation hoisted to the
+// caller — so results are bit-identical to task_distance on the same data.
+double task_distance_rows(const double* a, const double* b, std::size_t dim) {
+  const std::size_t half = dim / 2;
+  double q = 0.0;
+  for (std::size_t k = 0; k < half; ++k) {
+    const double d = a[k] - b[k];
+    q += d * d;
+  }
+  double t = 0.0;
+  for (std::size_t k = half; k < dim; ++k) {
+    const double d = a[k] - b[k];
+    t += d * d;
+  }
+  return 0.5 * (q + t);
+}
+
+// Gathers per-vector heap storage into one contiguous n × dim buffer so the
+// distance kernels stream rows instead of chasing Embedding pointers.
+std::vector<double> flatten_points(std::span<const text::Embedding> points,
+                                   std::size_t dim) {
+  std::vector<double> flat(points.size() * dim);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::copy(points[i].begin(), points[i].end(),
+              flat.begin() + static_cast<std::ptrdiff_t>(i * dim));
+  }
+  return flat;
+}
+
+// Tile edge for the blocked pairwise fill: a 32-row block of 64-dim
+// embeddings is 16 KiB, so the j-block stays L1-resident while every row of
+// the i-block sweeps it (DESIGN.md §11).
+constexpr std::size_t kDistanceBlock = 32;
+
+}  // namespace
 
 SymmetricMatrix pairwise_task_distances(
     std::span<const text::Embedding> points) {
   const std::size_t n = points.size();
   SymmetricMatrix dist(n);
-  // Row i holds cells (i, j) for j < i — disjoint writes per row. Small
-  // grain: row cost grows with i, so many chunks keep the lanes balanced.
-  parallel::parallel_for(n, 8, [&](std::size_t i) {
-    for (std::size_t j = 0; j < i; ++j) {
-      dist.set_unchecked(i, j, text::task_distance(points[i], points[j]));
+  if (n < 2) return dist;
+  // Hoisted validation: the same checks text::task_distance would apply to
+  // every pair, performed once per call instead of n(n−1)/2 times inside
+  // the parallel region.
+  const std::size_t dim = points.front().size();
+  std::size_t bad = 0;
+  for (const auto& point : points) bad += point.size() == dim ? 0u : 1u;
+  require(bad == 0, "pairwise_task_distances: dimension mismatch");
+  require(dim % 2 == 0,
+          "pairwise_task_distances: expected concatenated [V_Q; V_T]");
+  const std::vector<double> flat = flatten_points(points, dim);
+  // Cache-blocked lower triangle: i-blocks fan out over the parallel
+  // runtime (disjoint rows ⇒ disjoint writes), and within one i-block the
+  // j-block tile is reused by every row while it is still hot. Cell values
+  // are a pure function of (i, j), so the tiling order is free.
+  const std::size_t i_blocks = (n + kDistanceBlock - 1) / kDistanceBlock;
+  parallel::parallel_for(i_blocks, 1, [&](std::size_t ib) {
+    const std::size_t i_begin = ib * kDistanceBlock;
+    const std::size_t i_end = std::min(i_begin + kDistanceBlock, n);
+    for (std::size_t j_begin = 0; j_begin < i_end;
+         j_begin += kDistanceBlock) {
+      const std::size_t j_cap = std::min(j_begin + kDistanceBlock, i_end);
+      for (std::size_t i = i_begin; i < i_end; ++i) {
+        const double* row = flat.data() + i * dim;
+        const std::size_t j_end = std::min(j_cap, i);
+        for (std::size_t j = j_begin; j < j_end; ++j) {
+          dist.set_unchecked(
+              i, j, task_distance_rows(row, flat.data() + j * dim, dim));
+        }
+      }
     }
   });
   return dist;
@@ -121,6 +185,13 @@ ClusterUpdate DynamicClusterer::add_tasks(
   for (const auto& v : vectors) points_.push_back(v);
   const std::size_t total = points_.size();
   point_domain_.resize(total, 0);
+  // Any round with at least one pair computes distances, and task_distance
+  // demands an even (concatenated [V_Q; V_T]) dimension — hoisted here so
+  // no throwing validation runs inside the parallel sweeps below.
+  require(total < 2 || dim % 2 == 0,
+          "DynamicClusterer: expected concatenated [V_Q; V_T]");
+  const std::vector<double> flat = flatten_points(points_, dim);
+  const double* flat_rows = flat.data();
 
   // Update d* with the new pairwise distances (new-vs-all). Max over fixed
   // chunks combined in index order — bit-identical at any thread count.
@@ -130,8 +201,10 @@ ClusterUpdate DynamicClusterer::add_tasks(
         double local = 0.0;
         for (std::size_t t = begin; t < end; ++t) {
           const std::size_t i = old_count + t;
+          const double* row = flat_rows + i * dim;
           for (std::size_t j = 0; j < i; ++j) {
-            local = std::max(local, text::task_distance(points_[i], points_[j]));
+            local = std::max(local,
+                             task_distance_rows(row, flat_rows + j * dim, dim));
           }
         }
         return local;
@@ -174,13 +247,16 @@ ClusterUpdate DynamicClusterer::add_tasks(
     // unit matrix IS the pairwise task-distance matrix (sum/1.0 bitwise).
     dist = pairwise_task_distances(points_);
   } else {
-    // Rows are disjoint; each cell averages its members independently.
+    // Rows are disjoint; each cell averages its members independently. The
+    // member lists index the flattened buffer, so the inner sweep streams
+    // contiguous rows instead of chasing Embedding pointers.
     parallel::parallel_for(n_units, 4, [&](std::size_t u) {
       for (std::size_t v = 0; v < u; ++v) {
         double sum = 0.0;
         for (const std::size_t p : unit_members[u]) {
+          const double* row = flat_rows + p * dim;
           for (const std::size_t q : unit_members[v]) {
-            sum += text::task_distance(points_[p], points_[q]);
+            sum += task_distance_rows(row, flat_rows + q * dim, dim);
           }
         }
         dist.set_unchecked(u, v, sum / (sizes[u] * sizes[v]));

@@ -1,8 +1,10 @@
 // Normal-distribution primitives used across the library: density, CDF Φ,
 // quantile (inverse CDF), and the accuracy probability of the paper's Eq. 11,
-// p = Φ(ε·u) − Φ(−ε·u).
+// p = Φ(ε·u) − Φ(−ε·u), as a scalar and as a batched kernel.
 #ifndef ETA2_STATS_NORMAL_H
 #define ETA2_STATS_NORMAL_H
+
+#include <span>
 
 namespace eta2::stats {
 
@@ -30,6 +32,31 @@ namespace eta2::stats {
 //   P(|x−μ|/σ < ε) = Φ(ε·u) − Φ(−ε·u) = 2Φ(ε·u) − 1.
 // Requires epsilon >= 0 and u >= 0.
 [[nodiscard]] double accuracy_probability(double expertise, double epsilon);
+
+// Numeric tier of the batched kernels. Explicitly versioned: a tier value is
+// a contract about the maximum error, so a new approximation must get a new
+// enumerator — never silently change an existing one.
+enum class FastMathTier {
+  // Bit-identical to the scalar accuracy_probability (the default; every
+  // golden transcript is recorded under this tier).
+  kExact = 0,
+  // Cubic-Hermite spline of erf over a uniform grid (1024 intervals on
+  // [0, 6], clamped to 1 beyond). Absolute error <= 1e-10; the tolerance
+  // tier test in tests/stats/normal_test.cpp pins the measured ULP bound.
+  kSplineV1 = 1,
+};
+
+// Batched Eq. 11: out[i] = accuracy_probability(expertise[i], epsilon) for
+// every element. Argument validation (epsilon >= 0, every expertise >= 0,
+// equal span sizes) is hoisted to one check per batch instead of two
+// require()s per cell, so the transform loop stays branch-light — this is
+// the kernel hot paths call from inside parallel regions. `expertise` and
+// `out` may alias only if they are the same span.
+// With FastMathTier::kExact the results are bit-identical to the scalar
+// entry point; kSplineV1 trades <= 1e-10 absolute error for skipping erfc.
+void accuracy_probability_batch(std::span<const double> expertise,
+                                double epsilon, std::span<double> out,
+                                FastMathTier tier = FastMathTier::kExact);
 
 }  // namespace eta2::stats
 

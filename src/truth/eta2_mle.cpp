@@ -31,6 +31,32 @@ void Eta2Mle::estimate_truth_only(
   require(task_domain.size() == m, "Eta2Mle: task_domain size mismatch");
   require(expertise.size() == data.user_count(),
           "Eta2Mle: expertise rows != user count");
+  // Hoisted domain-range validation: the same per-observation predicate the
+  // sweep used to require() n×m times from inside the parallel region, now
+  // one deterministic parallel count folded into a single check.
+  const std::size_t bad = parallel::parallel_reduce(
+      m, 128, std::size_t{0},
+      [&](std::size_t begin, std::size_t end) {
+        std::size_t local = 0;
+        for (TaskId j = begin; j < end; ++j) {
+          const DomainIndex k = task_domain[j];
+          for (const Observation& o : data.for_task(j)) {
+            local += k < expertise[o.user].size() ? 0u : 1u;
+          }
+        }
+        return local;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
+  require(bad == 0, "Eta2Mle: domain out of range");
+  truth_sweep(data, task_domain, expertise, mu, sigma);
+}
+
+void Eta2Mle::truth_sweep(const ObservationSet& data,
+                          std::span<const DomainIndex> task_domain,
+                          const std::vector<std::vector<double>>& expertise,
+                          std::vector<double>& mu,
+                          std::vector<double>& sigma) const {
+  const std::size_t m = data.task_count();
   mu.assign(m, kNaN);
   sigma.assign(m, kNaN);
   // Eq. 5 is independent per task (disjoint writes to mu[j]/sigma[j]), so
@@ -46,7 +72,6 @@ void Eta2Mle::estimate_truth_only(
     double finite_sum = 0.0;
     std::size_t finite_count = 0;
     for (const Observation& o : obs) {
-      require(k < expertise[o.user].size(), "Eta2Mle: domain out of range");
       if (!std::isfinite(o.value)) continue;
       const double u = expertise[o.user][k];
       // Eq. 5 weights are u²; a non-positive or non-finite expertise here
@@ -136,8 +161,10 @@ MleResult Eta2Mle::estimate(
   }
 
   std::vector<double> prev_mu;
-  estimate_truth_only(data, task_domain, result.expertise, result.mu,
-                      result.sigma);
+  // estimate()'s own argument checks (task_domain[j] < domain_count, every
+  // expertise row sized domain_count) already prove what the public entry
+  // point's hoisted pre-pass establishes, so the sweeps skip revalidation.
+  truth_sweep(data, task_domain, result.expertise, result.mu, result.sigma);
 
   const double p = options_.prior_strength;
   const double u0 = options_.initial_expertise;
@@ -182,8 +209,7 @@ MleResult Eta2Mle::estimate(
 
     // --- Eq. 5: truth update given expertise. ---
     prev_mu = result.mu;
-    estimate_truth_only(data, task_domain, result.expertise, result.mu,
-                        result.sigma);
+    truth_sweep(data, task_domain, result.expertise, result.mu, result.sigma);
 
     // Convergence: every task's truth estimate moved < threshold (relative,
     // with an absolute floor for estimates near zero).

@@ -85,6 +85,16 @@ class Eta2Mle {
                            std::vector<double>& sigma) const;
 
  private:
+  // Eq. 5 sweep with validation already done: every observed task's domain
+  // index is in range for every observer's expertise row. estimate() proves
+  // this from its own argument checks; estimate_truth_only() establishes it
+  // with a hoisted pre-pass — either way no throwing validation runs inside
+  // the parallel region (the hot-loop-require lint rule).
+  void truth_sweep(const ObservationSet& data,
+                   std::span<const DomainIndex> task_domain,
+                   const std::vector<std::vector<double>>& expertise,
+                   std::vector<double>& mu, std::vector<double>& sigma) const;
+
   MleOptions options_;
 };
 

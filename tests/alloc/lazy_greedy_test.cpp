@@ -1,0 +1,207 @@
+// CELF-vs-rescan equivalence suite (DESIGN.md §11): the lazy greedy must
+// produce byte-identical Allocations to the rescanning reference — same
+// pairs in the same selection order — across random problems, both
+// efficiency modes, cost caps that bind mid-stream, degenerate inputs, and
+// thread counts, while evaluating far fewer gains.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "alloc/max_quality.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace eta2::alloc {
+namespace {
+
+// Byte-identical: identical pair sets AND identical per-task user order —
+// users_of(j) records assignment order, so this pins the whole selection
+// sequence, not just the final set.
+void expect_identical(const Allocation& lazy, const Allocation& rescan) {
+  ASSERT_EQ(lazy.user_count(), rescan.user_count());
+  ASSERT_EQ(lazy.task_count(), rescan.task_count());
+  EXPECT_EQ(lazy.pair_count(), rescan.pair_count());
+  EXPECT_EQ(lazy.total_cost(), rescan.total_cost());
+  for (TaskId j = 0; j < lazy.task_count(); ++j) {
+    const auto a = lazy.users_of(j);
+    const auto b = rescan.users_of(j);
+    ASSERT_EQ(a.size(), b.size()) << "task " << j;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k], b[k]) << "task " << j << " slot " << k;
+    }
+  }
+  for (UserId i = 0; i < lazy.user_count(); ++i) {
+    EXPECT_EQ(lazy.used_time(i), rescan.used_time(i)) << "user " << i;
+  }
+}
+
+AllocationProblem random_problem(std::uint64_t seed, std::size_t users,
+                                 std::size_t tasks) {
+  Rng rng(seed * 7919 + 13);
+  AllocationProblem p;
+  p.expertise.assign(users, tasks, 0.0);
+  for (double& u : p.expertise.data()) u = rng.uniform(0.0, 4.0);
+  p.task_time.resize(tasks);
+  for (double& t : p.task_time) t = rng.uniform(0.5, 2.5);
+  p.user_capacity.resize(users);
+  for (double& c : p.user_capacity) c = rng.uniform(2.0, 8.0);
+  return p;
+}
+
+struct RunResult {
+  Allocation allocation{0, 0};
+  GreedyStats stats;
+  std::size_t added = 0;
+};
+
+RunResult run(const AllocationProblem& p, GreedyOptions options,
+              GreedyImpl impl) {
+  options.impl = impl;
+  RunResult result{Allocation(p.user_count(), p.task_count()), {}, 0};
+  result.added = greedy_extend(p, options, result.allocation, &result.stats);
+  return result;
+}
+
+class LazyGreedySweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(LazyGreedySweep, MatchesRescanByteForByte) {
+  const auto [seed, per_time] = GetParam();
+  const AllocationProblem p = random_problem(seed, 9, 14);
+  GreedyOptions options;
+  options.efficiency_per_time = per_time;
+  const RunResult lazy = run(p, options, GreedyImpl::kLazy);
+  const RunResult rescan = run(p, options, GreedyImpl::kRescan);
+  EXPECT_EQ(lazy.added, rescan.added) << "seed " << seed;
+  EXPECT_EQ(lazy.stats.selections, rescan.stats.selections);
+  expect_identical(lazy.allocation, rescan.allocation);
+  EXPECT_LE(lazy.stats.gain_evaluations, rescan.stats.gain_evaluations)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LazyGreedySweep,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 17),
+                       ::testing::Bool()));
+
+TEST(LazyGreedyTest, CostCapBindingMidStreamMatches) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    AllocationProblem p = random_problem(seed, 6, 10);
+    p.task_cost.resize(10);
+    Rng rng(seed);
+    for (double& c : p.task_cost) c = rng.uniform(0.5, 2.0);
+    for (const double cap : {0.0, 1.0, 3.5, 7.0}) {
+      GreedyOptions options;
+      options.cost_cap = cap;
+      const RunResult lazy = run(p, options, GreedyImpl::kLazy);
+      const RunResult rescan = run(p, options, GreedyImpl::kRescan);
+      EXPECT_EQ(lazy.added, rescan.added) << "seed " << seed << " cap " << cap;
+      expect_identical(lazy.allocation, rescan.allocation);
+    }
+  }
+}
+
+TEST(LazyGreedyTest, DegenerateProblemsMatch) {
+  // Zero-capacity users: nothing can be assigned.
+  {
+    AllocationProblem p = random_problem(3, 5, 7);
+    p.user_capacity.assign(5, 0.0);
+    const RunResult lazy = run(p, {}, GreedyImpl::kLazy);
+    const RunResult rescan = run(p, {}, GreedyImpl::kRescan);
+    EXPECT_EQ(lazy.added, 0u);
+    EXPECT_EQ(rescan.added, 0u);
+    expect_identical(lazy.allocation, rescan.allocation);
+  }
+  // Single task: every feasible user is assigned in p-descending order.
+  {
+    const AllocationProblem p = random_problem(4, 6, 1);
+    const RunResult lazy = run(p, {}, GreedyImpl::kLazy);
+    const RunResult rescan = run(p, {}, GreedyImpl::kRescan);
+    EXPECT_GT(lazy.added, 0u);
+    expect_identical(lazy.allocation, rescan.allocation);
+  }
+  // All-zero expertise: p_ij = 0 everywhere, zero gain, nothing selected.
+  {
+    AllocationProblem p = random_problem(5, 5, 6);
+    for (double& u : p.expertise.data()) u = 0.0;
+    const RunResult lazy = run(p, {}, GreedyImpl::kLazy);
+    const RunResult rescan = run(p, {}, GreedyImpl::kRescan);
+    EXPECT_EQ(lazy.added, 0u);
+    EXPECT_EQ(rescan.added, 0u);
+    expect_identical(lazy.allocation, rescan.allocation);
+  }
+  // Uniform expertise: every efficiency ties; the lowest-index tie-breaks
+  // must agree exactly.
+  {
+    AllocationProblem p = random_problem(6, 5, 6);
+    for (double& u : p.expertise.data()) u = 1.5;
+    p.task_time.assign(6, 1.0);
+    p.user_capacity.assign(5, 3.0);
+    const RunResult lazy = run(p, {}, GreedyImpl::kLazy);
+    const RunResult rescan = run(p, {}, GreedyImpl::kRescan);
+    EXPECT_EQ(lazy.added, rescan.added);
+    expect_identical(lazy.allocation, rescan.allocation);
+  }
+}
+
+TEST(LazyGreedyTest, ExtendingPrepopulatedAllocationMatches) {
+  const AllocationProblem p = random_problem(11, 8, 12);
+  GreedyOptions options;
+  options.cost_cap = 5.0;
+  Allocation lazy(8, 12);
+  Allocation rescan(8, 12);
+  // First a capped round, then extend the same allocation unbounded — the
+  // second round must account for the first round's miss probabilities.
+  options.impl = GreedyImpl::kLazy;
+  greedy_extend(p, options, lazy);
+  options.impl = GreedyImpl::kRescan;
+  greedy_extend(p, options, rescan);
+  expect_identical(lazy, rescan);
+
+  options.cost_cap = std::numeric_limits<double>::infinity();
+  options.impl = GreedyImpl::kLazy;
+  greedy_extend(p, options, lazy);
+  options.impl = GreedyImpl::kRescan;
+  greedy_extend(p, options, rescan);
+  expect_identical(lazy, rescan);
+}
+
+TEST(LazyGreedyTest, IdenticalAcrossThreadCounts) {
+  const AllocationProblem p = random_problem(21, 12, 20);
+  const RunResult reference = run(p, {}, GreedyImpl::kRescan);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::set_thread_count(threads);
+    const RunResult lazy = run(p, {}, GreedyImpl::kLazy);
+    expect_identical(lazy.allocation, reference.allocation);
+  }
+  parallel::set_thread_count(0);  // restore the default
+}
+
+TEST(LazyGreedyTest, EvaluatesFarFewerGainsThanRescan) {
+  // The acceptance bar is ≥5× at bench scale (200×600); this guards the
+  // asymptotics at a size small enough for the test suite.
+  const AllocationProblem p = random_problem(31, 60, 150);
+  GreedyOptions options;
+  const RunResult lazy = run(p, options, GreedyImpl::kLazy);
+  const RunResult rescan = run(p, options, GreedyImpl::kRescan);
+  expect_identical(lazy.allocation, rescan.allocation);
+  EXPECT_GT(lazy.stats.heap_pops, 0u);
+  EXPECT_GE(rescan.stats.gain_evaluations,
+            5 * lazy.stats.gain_evaluations);
+}
+
+TEST(LazyGreedyTest, AllocatorUsesLazyByDefaultAndMatchesRescan) {
+  const AllocationProblem p = random_problem(41, 10, 16);
+  MaxQualityAllocator::Options lazy_options;
+  MaxQualityAllocator::Options rescan_options;
+  rescan_options.impl = GreedyImpl::kRescan;
+  const Allocation lazy = MaxQualityAllocator(lazy_options).allocate(p);
+  const Allocation rescan = MaxQualityAllocator(rescan_options).allocate(p);
+  expect_identical(lazy, rescan);
+}
+
+}  // namespace
+}  // namespace eta2::alloc

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
+#include <vector>
 
 namespace eta2::stats {
 namespace {
@@ -88,6 +92,109 @@ TEST(AccuracyProbabilityTest, MonotoneInExpertise) {
 TEST(AccuracyProbabilityTest, RejectsNegativeInputs) {
   EXPECT_THROW(accuracy_probability(-1.0, 0.1), std::invalid_argument);
   EXPECT_THROW(accuracy_probability(1.0, -0.1), std::invalid_argument);
+}
+
+// --- accuracy_probability_batch -------------------------------------------
+
+// ULP distance between two finite doubles of the same sign via the ordered
+// bit-pattern trick (adjacent doubles differ by 1).
+std::uint64_t ulp_distance(double a, double b) {
+  const auto bits = [](double x) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &x, sizeof(u));
+    return u;
+  };
+  const std::uint64_t ua = bits(a);
+  const std::uint64_t ub = bits(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+TEST(AccuracyBatchTest, ExactTierIsBitIdenticalToScalar) {
+  std::vector<double> expertise;
+  for (int i = 0; i < 400; ++i) expertise.push_back(static_cast<double>(i) * 0.07);
+  expertise.push_back(0.0);
+  expertise.push_back(1e-12);
+  expertise.push_back(1e6);
+  for (const double epsilon : {0.0, 0.05, 0.1, 1.0, 3.0}) {
+    std::vector<double> out(expertise.size(), -1.0);
+    accuracy_probability_batch(expertise, epsilon, out);
+    for (std::size_t i = 0; i < expertise.size(); ++i) {
+      const double scalar = accuracy_probability(expertise[i], epsilon);
+      EXPECT_EQ(ulp_distance(out[i], scalar), 0u)
+          << "u=" << expertise[i] << " eps=" << epsilon;
+    }
+  }
+}
+
+TEST(AccuracyBatchTest, HoistedValidationMatchesScalarChecks) {
+  std::vector<double> good{0.5, 1.0};
+  std::vector<double> out(2, 0.0);
+  // Size mismatch is a batch-only precondition.
+  std::vector<double> short_out(1, 0.0);
+  EXPECT_THROW(
+      accuracy_probability_batch(good, 0.1, short_out),
+      std::invalid_argument);
+  // Negative epsilon and negative expertise throw the same type the scalar
+  // entry point throws — validated once per batch, not per cell.
+  EXPECT_THROW(accuracy_probability_batch(good, -0.1, out),
+               std::invalid_argument);
+  std::vector<double> with_negative{0.5, -1.0};
+  EXPECT_THROW(accuracy_probability_batch(with_negative, 0.1, out),
+               std::invalid_argument);
+  // NaN expertise fails the same u >= 0 predicate the scalar require uses.
+  std::vector<double> with_nan{0.5, std::nan("")};
+  EXPECT_THROW(accuracy_probability_batch(with_nan, 0.1, out),
+               std::invalid_argument);
+  // Empty batch is a no-op, not an error.
+  std::vector<double> empty;
+  std::vector<double> empty_out;
+  EXPECT_NO_THROW(accuracy_probability_batch(empty, 0.1, empty_out));
+}
+
+TEST(AccuracyBatchTest, SplineTierStaysWithinPinnedTolerance) {
+  // FastMathTier::kSplineV1's contract: |err| <= 1e-10 absolute. The ULP
+  // bound below pins the measured approximation quality; loosening it means
+  // the tier's error contract changed and needs a NEW enumerator, not an
+  // edit (normal.h: tiers are explicitly versioned).
+  std::vector<double> expertise;
+  for (int i = 0; i <= 20000; ++i) {
+    expertise.push_back(static_cast<double>(i) * 0.0005);  // u·ε spans [0, 3]
+  }
+  std::vector<double> out(expertise.size(), 0.0);
+  const double epsilon = 0.3;
+  accuracy_probability_batch(expertise, epsilon, out, FastMathTier::kSplineV1);
+  double max_abs_err = 0.0;
+  std::uint64_t max_ulp = 0;
+  for (std::size_t i = 0; i < expertise.size(); ++i) {
+    const double exact = accuracy_probability(expertise[i], epsilon);
+    max_abs_err = std::max(max_abs_err, std::fabs(out[i] - exact));
+    if (out[i] > 0.0 && exact > 0.0) {
+      max_ulp = std::max(max_ulp, ulp_distance(out[i], exact));
+    }
+    EXPECT_GE(out[i], 0.0);
+    EXPECT_LE(out[i], 1.0);
+  }
+  EXPECT_LE(max_abs_err, 1e-10);
+  // Measured headroom: interpolation error is ~9e-12 on this grid. ULPs are
+  // large near 0 where the result itself is tiny; the absolute bound is the
+  // contract, the ULP pin guards against silent regression at mid-range.
+  std::uint64_t mid_ulp = 0;
+  for (std::size_t i = 0; i < expertise.size(); ++i) {
+    const double exact = accuracy_probability(expertise[i], epsilon);
+    if (exact > 0.1) {
+      mid_ulp = std::max(mid_ulp, ulp_distance(out[i], exact));
+    }
+  }
+  EXPECT_LE(mid_ulp, 1u << 19);  // measured 318341; ~6e-11 rel at p ≈ 0.1..1
+}
+
+TEST(AccuracyBatchTest, SplineTierClampsSaturatedArguments) {
+  // Beyond the spline grid (ε·u/√2 >= 6) erf saturates; the tier returns
+  // exactly 1.0 and must never exceed it.
+  std::vector<double> expertise{10.0, 100.0, 1e6};
+  std::vector<double> out(expertise.size(), 0.0);
+  accuracy_probability_batch(expertise, 2.0, out, FastMathTier::kSplineV1);
+  for (const double p : out) EXPECT_EQ(p, 1.0);
 }
 
 // Property sweep: Φ(x) + Φ(−x) = 1 for all x.

@@ -225,6 +225,81 @@ TEST(LintRuleTest, SelfIncludeFirstEnforced) {
           .empty());
 }
 
+// --- hot-loop-require -----------------------------------------------------
+
+TEST(LintRuleTest, HotLoopRequireFlagsThrowingValidationInParallelBody) {
+  const auto diagnostics = lint_file(library_file(
+      "void f() {\n"
+      "  parallel::parallel_for(n, 16, [&](std::size_t i) {\n"
+      "    require(i < limit, \"out of range\");\n"
+      "  });\n"
+      "}\n"));
+  ASSERT_EQ(rules_hit(diagnostics),
+            std::vector<std::string>{"hot-loop-require"});
+  EXPECT_EQ(diagnostics[0].line, 3u);
+}
+
+TEST(LintRuleTest, HotLoopRequireCoversAllEntryPointsAndThrowForms) {
+  EXPECT_TRUE(has_rule(
+      lint_file(library_file(
+          "void f() {\n"
+          "  parallel::parallel_for_chunks(n, 64, [&](std::size_t b,\n"
+          "                                           std::size_t e) {\n"
+          "    ensure(b < e, \"empty chunk\");\n"
+          "  });\n"
+          "}\n")),
+      "hot-loop-require"));
+  EXPECT_TRUE(has_rule(
+      lint_file(library_file(
+          "double g() {\n"
+          "  return parallel::parallel_reduce(\n"
+          "      n, 128, 0.0,\n"
+          "      [&](std::size_t b, std::size_t e) {\n"
+          "        if (b == e) throw std::logic_error(\"bad\");\n"
+          "        return f(b, e);\n"
+          "      },\n"
+          "      [](double a, double b) { return a + b; });\n"
+          "}\n")),
+      "hot-loop-require"));
+}
+
+TEST(LintRuleTest, HotLoopRequireIgnoresContractMacrosAndHoistedChecks) {
+  // ETA2_* contract macros are the sanctioned in-loop mechanism, and
+  // validation before/after the region is exactly what the rule demands.
+  EXPECT_TRUE(lint_file(library_file(
+                  "void f() {\n"
+                  "  require(n > 0, \"empty\");\n"
+                  "  parallel::parallel_for(n, 16, [&](std::size_t i) {\n"
+                  "    ETA2_ASSERT(p[i] >= 0.0);\n"
+                  "    ETA2_EXPECTS(i < n);\n"
+                  "  });\n"
+                  "  ensure(done, \"post\");\n"
+                  "}\n"))
+                  .empty());
+}
+
+TEST(LintRuleTest, HotLoopRequireExemptsParallelRuntimeSources) {
+  const std::string contents =
+      "void f() {\n"
+      "  parallel_for(n, 1, [&](std::size_t i) {\n"
+      "    require(ok(i), \"bad\");\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_file({"src/common/parallel.cpp", contents, false}).empty());
+  EXPECT_FALSE(lint_file({"src/truth/foo.cpp", contents, false}).empty());
+}
+
+TEST(LintSuppressionTest, HotLoopRequireSuppressible) {
+  EXPECT_TRUE(lint_file(library_file(
+                  "void f() {\n"
+                  "  parallel::parallel_for(n, 16, [&](std::size_t i) {\n"
+                  "    // eta2-lint: allow(hot-loop-require) — cold setup\n"
+                  "    require(i < limit, \"out of range\");\n"
+                  "  });\n"
+                  "}\n"))
+                  .empty());
+}
+
 // --- suppressions ---------------------------------------------------------
 
 TEST(LintSuppressionTest, SameLineAndPrecedingCommentBlock) {
@@ -307,7 +382,7 @@ TEST_F(LintTreeTest, TestsDirectoryIsNotScanned) {
 
 TEST(LintCatalogueTest, EveryRuleIsDocumented) {
   const auto& rules = rule_catalogue();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 8u);
   for (const auto& rule : rules) {
     EXPECT_FALSE(rule.name.empty());
     EXPECT_FALSE(rule.summary.empty());

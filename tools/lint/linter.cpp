@@ -158,6 +158,10 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"self-include-first",
        "foo.cpp must #include its own header first so the header proves it "
        "is self-contained"},
+      {"hot-loop-require",
+       "require()/ensure()/throw inside a parallel_for/parallel_reduce body "
+       "— hoist validation out of the hot loop; the ETA2_* contract macros "
+       "are the sanctioned in-loop checks"},
   };
   return kRules;
 }
@@ -482,6 +486,75 @@ void check_self_include_first(LineContext& context,
          "source file never includes its own header " + own_header);
 }
 
+// --- hot-loop-require -----------------------------------------------------
+
+// The parallel runtime's own sources define these entry points; everything
+// else only calls them.
+bool hot_loop_require_allowed(std::string_view path) {
+  return starts_with(path, "src/common/parallel.");
+}
+
+// Flags throwing validation (require(, ensure(, throw) textually inside the
+// argument list of a parallel_for / parallel_for_chunks / parallel_reduce
+// call — i.e. inside the loop body lambda. Validation belongs before the
+// parallel region (run once, or folded into a count that one require checks
+// afterwards); the ETA2_* contract macros remain the sanctioned per-index
+// checks. Spans the whole call, so multi-line bodies are covered.
+void check_hot_loop_require(LineContext& context, std::string_view scrubbed) {
+  static constexpr std::string_view kEntryPoints[] = {
+      "parallel_for", "parallel_for_chunks", "parallel_reduce"};
+  static constexpr std::string_view kThrowing[] = {"require", "ensure",
+                                                   "throw"};
+  for (const std::string_view entry : kEntryPoints) {
+    for (std::size_t pos = scrubbed.find(entry);
+         pos != std::string_view::npos;
+         pos = scrubbed.find(entry, pos + 1)) {
+      if (!word_at(scrubbed, pos, entry)) continue;
+      const std::size_t open = scrubbed.find('(', pos + entry.size());
+      if (open == std::string_view::npos) continue;
+      // Only an immediate call: skip declarations like `Body&& body` where
+      // text between the name and '(' is not just whitespace.
+      const std::string_view gap =
+          scrubbed.substr(pos + entry.size(), open - (pos + entry.size()));
+      if (gap.find_first_not_of(" \t\n") != std::string_view::npos) continue;
+      // Walk to the matching close paren of the call.
+      std::size_t depth = 1;
+      std::size_t end = open + 1;
+      while (end < scrubbed.size() && depth > 0) {
+        if (scrubbed[end] == '(') ++depth;
+        if (scrubbed[end] == ')') --depth;
+        ++end;
+      }
+      const std::string_view body = scrubbed.substr(open, end - open);
+      for (const std::string_view bad : kThrowing) {
+        for (std::size_t hit = body.find(bad); hit != std::string_view::npos;
+             hit = body.find(bad, hit + 1)) {
+          if (!word_at(body, hit, bad)) continue;
+          // require/ensure must be calls; `throw` is a keyword hit as-is.
+          if (bad != "throw") {
+            std::size_t after = hit + bad.size();
+            while (after < body.size() &&
+                   (body[after] == ' ' || body[after] == '\t')) {
+              ++after;
+            }
+            if (after >= body.size() || body[after] != '(') continue;
+          }
+          const std::size_t line =
+              1 + static_cast<std::size_t>(std::count(
+                      scrubbed.begin(),
+                      scrubbed.begin() +
+                          static_cast<std::ptrdiff_t>(open + hit),
+                      '\n'));
+          report(context, line, "hot-loop-require",
+                 std::string(bad) + " inside a " + std::string(entry) +
+                     " body; hoist validation out of the parallel region "
+                     "(ETA2_* contract macros are allowed here)");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> lint_file(const SourceFile& file) {
@@ -513,6 +586,9 @@ std::vector<Diagnostic> lint_file(const SourceFile& file) {
     check_include_guard(context, scrubbed_lines);
   } else if (file.has_sibling_header) {
     check_self_include_first(context, original_lines);
+  }
+  if (!hot_loop_require_allowed(file.path)) {
+    check_hot_loop_require(context, scrubbed);
   }
 
   std::stable_sort(diagnostics.begin(), diagnostics.end(),

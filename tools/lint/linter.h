@@ -20,6 +20,10 @@
 //   float-equality         ==/!= against a floating-point literal
 //   missing-include-guard  header without #ifndef/#define or #pragma once
 //   self-include-first     foo.cpp whose first #include is not foo.h
+//   hot-loop-require       require()/ensure()/throw inside a parallel_for /
+//                          parallel_for_chunks / parallel_reduce body —
+//                          validation runs once before the region; ETA2_*
+//                          contract macros are the in-loop mechanism
 #ifndef ETA2_TOOLS_LINT_LINTER_H
 #define ETA2_TOOLS_LINT_LINTER_H
 
