@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "alloc/max_quality.h"
+#include "alloc/sharded_greedy.h"
 #include "clustering/dynamic_clusterer.h"
 #include "clustering/linkage.h"
 #include "common/flags.h"
@@ -47,6 +48,8 @@
 #include "text/pairword.h"
 #include "text/skipgram.h"
 #include "truth/eta2_mle.h"
+#include "truth/expertise_store.h"
+#include "truth/sharding.h"
 
 namespace {
 
@@ -445,7 +448,87 @@ std::vector<Kernel> make_kernels(bool quick) {
         }});
   }
 
-  // 5. One full simulation run (pre-known-domain synthetic dataset; the
+  // 5. Domain-sharded step kernel (DESIGN.md §12): one sharded truth
+  //    estimate + sharded max-quality allocation over 16 domains, timed
+  //    serial vs parallel by the harness (the per-shard fan-out is the
+  //    parallel surface). Extras record the monolithic reference path and
+  //    its bitwise check — kExact must match the unsharded bytes exactly.
+  {
+    const std::size_t users = quick ? 60 : 150;
+    const std::size_t tasks = quick ? 320 : 960;
+    const std::size_t domains = 16;
+    Rng rng(29);
+    auto data = std::make_shared<eta2::truth::ObservationSet>(users, tasks);
+    auto domain =
+        std::make_shared<std::vector<eta2::truth::DomainIndex>>(tasks);
+    auto problem = std::make_shared<eta2::alloc::AllocationProblem>();
+    problem->expertise.assign(users, tasks);
+    for (double& u : problem->expertise.data()) u = rng.uniform(0.1, 3.0);
+    problem->task_time.resize(tasks);
+    for (double& t : problem->task_time) t = rng.uniform(0.5, 1.5);
+    problem->user_capacity.assign(users, 10.0);
+    for (std::size_t j = 0; j < tasks; ++j) {
+      (*domain)[j] = j % domains;
+      const double mu = rng.uniform(0.0, 20.0);
+      for (std::size_t i = 0; i < users; ++i) {
+        if (rng.bernoulli(0.25)) data->add(j, i, rng.normal(mu, 1.0));
+      }
+    }
+    auto plan = std::make_shared<eta2::truth::ShardPlan>(
+        eta2::truth::ShardPlan::build(*domain, domains, 0));
+    const auto signature_of =
+        [](const eta2::truth::MleResult& fit,
+           const eta2::alloc::AllocationProblem& p,
+           const eta2::alloc::Allocation& allocation) {
+          std::vector<double> signature = fit.mu;
+          signature.insert(signature.end(), fit.sigma.begin(),
+                           fit.sigma.end());
+          signature.push_back(
+              eta2::alloc::allocation_objective(p, allocation, 0.1));
+          signature.push_back(static_cast<double>(allocation.pair_count()));
+          return signature;
+        };
+    const auto sharded = [data, domain, domains, problem, plan,
+                          signature_of]() {
+      const eta2::truth::Eta2Mle mle;
+      const auto fit = eta2::truth::sharded_estimate(
+          mle, *data, *domain, domains, *plan,
+          eta2::truth::ShardingTier::kExact);
+      eta2::alloc::MaxQualityAllocator::Options options;
+      const auto allocation = eta2::alloc::sharded_max_quality_allocate(
+          *problem, options, plan->tasks);
+      return signature_of(fit, *problem, allocation);
+    };
+    const auto monolithic = [data, domain, domains, problem, signature_of]() {
+      const eta2::truth::Eta2Mle mle;
+      const auto fit = mle.estimate(*data, *domain, domains);
+      const auto allocation =
+          eta2::alloc::MaxQualityAllocator().allocate(*problem);
+      return signature_of(fit, *problem, allocation);
+    };
+    kernels.push_back(Kernel{
+        "sharded_step", tasks, sharded,
+        [sharded, monolithic, domains](int reps, KernelTiming& timing) {
+          std::vector<double> mono_signature;
+          const double mono_ns =
+              time_median_ns(monolithic, reps, mono_signature);
+          std::vector<double> sharded_signature;
+          const double sharded_ns =
+              time_median_ns(sharded, reps, sharded_signature);
+          timing.extra.emplace_back("domains", std::to_string(domains));
+          timing.extra.emplace_back("unsharded_ns_per_op", format_ns(mono_ns));
+          timing.extra.emplace_back("sharded_ns_per_op",
+                                    format_ns(sharded_ns));
+          timing.extra.emplace_back("sharded_overhead_ratio",
+                                    format_ratio(sharded_ns, mono_ns));
+          timing.extra.emplace_back(
+              "unsharded_bit_identical",
+              bitwise_equal(mono_signature, sharded_signature) ? "true"
+                                                               : "false");
+        }});
+  }
+
+  // 6. One full simulation run (pre-known-domain synthetic dataset; the
   //    multi-day loop exercises MLE + greedy together).
   {
     const std::size_t tasks = quick ? 150 : 400;
@@ -489,19 +572,36 @@ void appendf(std::string& out, const char* fmt, ...) {
                                                 sizeof(buffer) - 1));
 }
 
-void write_json(const std::string& path, std::size_t parallel_threads,
+// Raw vs effective machine numbers: `hardware_concurrency_at_start` is
+// probed before the thread pool ever spins up, `hardware_concurrency` is
+// re-probed after pool init (cgroup/affinity masks can differ between the
+// two on containerized runners), and `parallel_threads_effective` is the
+// lane count the pool actually granted for the requested
+// `parallel_threads`. CI's speedup gate keys off the effective numbers.
+struct MachineInfo {
+  unsigned hardware_at_start = 0;
+  unsigned hardware_effective = 0;
+  std::size_t threads_requested = 0;
+  std::size_t threads_effective = 0;
+};
+
+void write_json(const std::string& path, const MachineInfo& machine,
                 int reps, bool quick,
                 const std::vector<KernelTiming>& timings) {
-  const unsigned hw = std::thread::hardware_concurrency();
   const char* env_threads = std::getenv("ETA2_THREADS");
   std::string out;
   appendf(out, "{\n");
   appendf(out, "  \"bench\": \"perf_smoke\",\n");
   appendf(out, "  \"machine\": {\n");
-  appendf(out, "    \"hardware_concurrency\": %u,\n", hw);
+  appendf(out, "    \"hardware_concurrency_at_start\": %u,\n",
+          machine.hardware_at_start);
+  appendf(out, "    \"hardware_concurrency\": %u,\n",
+          machine.hardware_effective);
   appendf(out, "    \"eta2_threads_env\": \"%s\",\n",
           env_threads ? env_threads : "");
-  appendf(out, "    \"parallel_threads\": %zu,\n", parallel_threads);
+  appendf(out, "    \"parallel_threads\": %zu,\n", machine.threads_requested);
+  appendf(out, "    \"parallel_threads_effective\": %zu,\n",
+          machine.threads_effective);
   appendf(out, "    \"compiler\": \"%s\",\n", __VERSION__);
   appendf(out, "    \"build\": \"%s\"\n",
 #ifdef NDEBUG
@@ -550,6 +650,9 @@ int run_smoke(int argc, char** argv) {
   const int reps = static_cast<int>(flags.get_int("reps", quick ? 2 : 3));
   const std::string out_path =
       flags.get("out", "BENCH_core.json");
+  MachineInfo machine;
+  // Raw probe, before the pool has ever been initialized.
+  machine.hardware_at_start = std::thread::hardware_concurrency();
   // Parallel lane count: --threads, else the runtime default; a 1-core box
   // still records an (oversubscribed) 8-lane column so the trajectory
   // always has both sides.
@@ -559,11 +662,21 @@ int run_smoke(int argc, char** argv) {
     parallel_threads = eta2::parallel::thread_count();
     if (parallel_threads <= 1) parallel_threads = 8;
   }
+  machine.threads_requested = parallel_threads;
+  // Effective probes after pool init: what the pool actually granted, and
+  // what the OS reports once worker threads exist (the two can disagree
+  // with the startup probe under containerized affinity masks).
+  eta2::parallel::set_thread_count(parallel_threads);
+  machine.threads_effective = eta2::parallel::thread_count();
+  machine.hardware_effective = std::thread::hardware_concurrency();
+  eta2::parallel::set_thread_count(0);
 
   std::printf("=== perf_smoke ===\n");
-  std::printf("hardware_concurrency: %u, parallel lanes: %zu, reps: %d%s\n\n",
-              std::thread::hardware_concurrency(), parallel_threads, reps,
-              quick ? ", --quick" : "");
+  std::printf(
+      "hardware_concurrency: %u raw / %u effective, parallel lanes: %zu "
+      "requested / %zu effective, reps: %d%s\n\n",
+      machine.hardware_at_start, machine.hardware_effective, parallel_threads,
+      machine.threads_effective, reps, quick ? ", --quick" : "");
 
   std::vector<KernelTiming> timings;
   for (Kernel& kernel : make_kernels(quick)) {
@@ -618,7 +731,7 @@ int run_smoke(int argc, char** argv) {
     }
   }
 
-  write_json(out_path, parallel_threads, reps, quick, timings);
+  write_json(out_path, machine, reps, quick, timings);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

@@ -350,6 +350,11 @@ std::size_t greedy_extend(const AllocationProblem& problem,
 MaxQualityAllocator::MaxQualityAllocator(Options options) : options_(options) {}
 
 Allocation MaxQualityAllocator::allocate(const AllocationProblem& problem) const {
+  return allocate(problem, nullptr);
+}
+
+Allocation MaxQualityAllocator::allocate(const AllocationProblem& problem,
+                                         GreedyStats* stats) const {
   problem.validate();
   GreedyOptions per_time;
   per_time.epsilon = options_.epsilon;
@@ -357,14 +362,25 @@ Allocation MaxQualityAllocator::allocate(const AllocationProblem& problem) const
   per_time.impl = options_.impl;
   per_time.fast_math = options_.fast_math;
 
+  GreedyStats pass_stats;
   Allocation primary(problem.user_count(), problem.task_count());
-  greedy_extend(problem, per_time, primary);
-  if (!options_.half_approx_pass) return primary;
+  greedy_extend(problem, per_time, primary, stats ? &pass_stats : nullptr);
+  GreedyStats total = pass_stats;
+  if (!options_.half_approx_pass) {
+    if (stats) *stats = total;
+    return primary;
+  }
 
   GreedyOptions value_only = per_time;
   value_only.efficiency_per_time = false;
   Allocation secondary(problem.user_count(), problem.task_count());
-  greedy_extend(problem, value_only, secondary);
+  greedy_extend(problem, value_only, secondary, stats ? &pass_stats : nullptr);
+  if (stats) {
+    total.selections += pass_stats.selections;
+    total.gain_evaluations += pass_stats.gain_evaluations;
+    total.heap_pops += pass_stats.heap_pops;
+    *stats = total;
+  }
 
   const double obj_primary =
       allocation_objective(problem, primary, options_.epsilon);

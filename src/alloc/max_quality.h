@@ -80,6 +80,10 @@ class MaxQualityAllocator {
   explicit MaxQualityAllocator(Options options);
 
   [[nodiscard]] Allocation allocate(const AllocationProblem& problem) const;
+  // As above, additionally summing both greedy passes' work counters into
+  // `*stats` when non-null (the ½-approximation pass included).
+  [[nodiscard]] Allocation allocate(const AllocationProblem& problem,
+                                    GreedyStats* stats) const;
 
  private:
   Options options_{};

@@ -1,0 +1,371 @@
+#include "alloc/sharded_greedy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/error.h"
+#include "stats/normal.h"
+#include "truth/sharding.h"
+
+namespace eta2::alloc {
+namespace {
+
+double now_ns() {
+  // Wall-clock for per-shard build observability only; never enters
+  // transcripts, digests, or saved state.
+  // eta2-lint: allow(nondeterminism)
+  const auto tick = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::nano>(tick).count();
+}
+
+// One shard's CELF engine: the lazy greedy of max_quality.cpp restricted to
+// a task subset, with per-user remaining capacity shared across shards (the
+// coordinator owns it) and a shared selection version driving freshness.
+// Submodularity still holds across shards — a commit anywhere only shrinks
+// capacities and miss factors — so every cached bound stays a valid upper
+// bound and the peek loop's fresh top is the shard's exact argmax.
+class ShardEngine {
+ public:
+  struct Peek {
+    double bound = 0.0;
+    UserId user = 0;
+    TaskId global_task = 0;
+    std::size_t local_task = 0;
+  };
+
+  ShardEngine(const AllocationProblem& problem, const GreedyOptions& options,
+              const Allocation& allocation,
+              std::span<const std::size_t> tasks,
+              std::vector<double>& remaining, GreedyStats& stats)
+      : problem_(problem),
+        options_(options),
+        allocation_(allocation),
+        tasks_(tasks),
+        remaining_(remaining),
+        stats_(stats) {
+    const std::size_t n = problem.user_count();
+    const std::size_t m = problem.task_count();
+    const std::size_t ms = tasks.size();
+    // Local p matrix: gather the shard's expertise columns (row-major
+    // n × ms) and run them through the batched Φ kernel. The kernel is
+    // elementwise, so each cell is bit-identical to the monolithic build
+    // regardless of batch boundaries.
+    const std::span<const double> expertise = problem.expertise.data();
+    std::vector<double> gathered(n * ms);
+    for (UserId i = 0; i < n; ++i) {
+      for (std::size_t jj = 0; jj < ms; ++jj) {
+        gathered[i * ms + jj] = expertise[i * m + tasks[jj]];
+      }
+    }
+    p_.assign(n * ms, 0.0);
+    stats::accuracy_probability_batch(gathered, options.epsilon,
+                                      std::span<double>{p_},
+                                      options.fast_math);
+    for (std::size_t cell = 0; cell < p_.size(); ++cell) {
+      // Algorithm 1's efficiency ordering assumes p_ij ∈ [0, 1].
+      ETA2_ASSERT(p_[cell] >= 0.0 && p_[cell] <= 1.0);
+    }
+    miss_.assign(ms, 1.0);
+    for (std::size_t jj = 0; jj < ms; ++jj) {
+      for (const UserId i : allocation.users_of(tasks[jj])) {
+        miss_[jj] *= 1.0 - p(i, jj);
+      }
+    }
+    // Per-task candidate orders and the bound heap, exactly as the
+    // monolithic lazy engine builds them (serial here: parallelism runs
+    // across shards, not within one).
+    order_.resize(n * ms);
+    cursor_.assign(ms, 0);
+    for (std::size_t jj = 0; jj < ms; ++jj) {
+      UserId* ord = order_.data() + jj * n;
+      std::iota(ord, ord + n, UserId{0});
+      std::sort(ord, ord + n, [&](UserId a, UserId b) {
+        const double pa = p(a, jj);
+        const double pb = p(b, jj);
+        if (pa != pb) return pa > pb;
+        return a < b;  // ties: ascending index, matching the rescan order
+      });
+    }
+    bound_.assign(ms, 0.0);
+    stamp_.assign(ms, 0);
+    candidate_.assign(ms, n);
+    heap_.reserve(2 * ms);
+    for (std::size_t jj = 0; jj < ms; ++jj) {
+      bound_[jj] = refresh_gain(jj);
+      heap_.push_back(Entry{bound_[jj], jj});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), EntryOrder{});
+  }
+
+  // Reports the shard's exact best pair under the current shared state
+  // without consuming it: pops stale entries (refreshing them under
+  // `version`) until the top is fresh, then re-pushes the fresh entry so a
+  // losing shard can peek again next round. Returns false permanently once
+  // the shard's max upper bound is not positive — bounds only decrease, so
+  // an exhausted shard can never recover.
+  [[nodiscard]] bool peek(std::size_t version, Peek& out) {
+    if (dead_) return false;
+    while (!heap_.empty()) {
+      ++stats_.heap_pops;
+      std::pop_heap(heap_.begin(), heap_.end(), EntryOrder{});
+      const Entry top = heap_.back();
+      heap_.pop_back();
+      const std::size_t jj = top.task;
+      if (top.bound != bound_[jj]) continue;  // superseded duplicate
+      if (!(top.bound > 0.0)) {
+        push(top);
+        dead_ = true;
+        return false;
+      }
+      if (stamp_[jj] == version) {
+        out = Peek{top.bound, candidate_[jj], tasks_[jj], jj};
+        push(top);
+        return true;
+      }
+      bound_[jj] = refresh_gain(jj);
+      stamp_[jj] = version;
+      push(Entry{bound_[jj], jj});
+    }
+    dead_ = true;
+    return false;
+  }
+
+  // Applies a winning peek: assign, draw down the shared capacity, scale
+  // the local miss factor. The fresh entry peek() left in the heap keeps
+  // its (unchanged) bound and goes stale at the next version — mirroring
+  // the monolithic engine's deliberate stale-bound reinsertion.
+  void commit(const Peek& pick, Allocation& allocation) {
+    const std::size_t jj = pick.local_task;
+    const TaskId gj = tasks_[jj];
+    allocation.assign(pick.user, gj, problem_.task_time[gj],
+                      problem_.cost_of(gj));
+    remaining_[pick.user] -= problem_.task_time[gj];
+    // Capacity feasibility: an infeasible pair never has positive
+    // efficiency, so a selected pair can never overdraw the time budget.
+    ETA2_ASSERT(remaining_[pick.user] >= 0.0);
+    miss_[jj] *= 1.0 - p(pick.user, jj);
+    ETA2_ASSERT(miss_[jj] >= 0.0 && miss_[jj] <= 1.0);
+    ++stats_.selections;
+  }
+
+ private:
+  struct Entry {
+    double bound = 0.0;
+    std::size_t task = 0;  // local task index
+  };
+  // Max-heap order: higher bound first, lower local task index on ties.
+  // Local task lists are ascending subsequences of the global task order,
+  // so the local tie-break agrees with the monolithic one.
+  struct EntryOrder {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const {
+      if (a.bound != b.bound) return a.bound < b.bound;
+      return a.task > b.task;
+    }
+  };
+
+  void push(Entry entry) {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), EntryOrder{});
+  }
+
+  [[nodiscard]] double p(UserId i, std::size_t jj) const {
+    return p_[i * tasks_.size() + jj];
+  }
+
+  [[nodiscard]] bool feasible(UserId i, std::size_t jj) const {
+    return remaining_[i] >= problem_.task_time[tasks_[jj]] &&
+           !allocation_.is_assigned(i, tasks_[jj]);
+  }
+
+  [[nodiscard]] double efficiency_of(UserId i, std::size_t jj,
+                                     double task_time) {
+    ++stats_.gain_evaluations;
+    const double gain = p(i, jj) * miss_[jj];
+    return options_.efficiency_per_time ? gain / task_time : gain;
+  }
+
+  // Identical to the monolithic refresh: cursor to the first feasible user
+  // in (p desc, index asc) order, then the forward walk resolving the
+  // rescan engine's lowest-index tie-break among efficiency ties.
+  [[nodiscard]] double refresh_gain(std::size_t jj) {
+    const std::size_t n = problem_.user_count();
+    const double task_time = problem_.task_time[tasks_[jj]];
+    const UserId* ord = order_.data() + jj * n;
+    std::size_t& cur = cursor_[jj];
+    while (cur < n && !feasible(ord[cur], jj)) ++cur;
+    if (cur == n) {
+      candidate_[jj] = n;
+      return 0.0;
+    }
+    const double best = efficiency_of(ord[cur], jj, task_time);
+    if (!(best > 0.0)) {
+      candidate_[jj] = n;
+      return 0.0;
+    }
+    UserId pick = ord[cur];
+    for (std::size_t k = cur + 1; k < n; ++k) {
+      const double e = efficiency_of(ord[k], jj, task_time);
+      if (e < best) break;  // p descending ⇒ no later entry can tie
+      if (feasible(ord[k], jj) && ord[k] < pick) pick = ord[k];
+    }
+    candidate_[jj] = pick;
+    return best;
+  }
+
+  const AllocationProblem& problem_;
+  const GreedyOptions& options_;
+  const Allocation& allocation_;
+  std::span<const std::size_t> tasks_;  // global ids, ascending
+  std::vector<double>& remaining_;      // shared across shards
+  GreedyStats& stats_;
+  std::vector<double> p_;            // row-major n × |tasks|
+  std::vector<double> miss_;         // per local task
+  std::vector<UserId> order_;        // per local task, (p desc, index asc)
+  std::vector<std::size_t> cursor_;  // first possibly-feasible order_ entry
+  std::vector<double> bound_;
+  std::vector<std::size_t> stamp_;
+  std::vector<UserId> candidate_;
+  std::vector<Entry> heap_;
+  bool dead_ = false;
+};
+
+}  // namespace
+
+std::size_t sharded_greedy_extend(
+    const AllocationProblem& problem, const GreedyOptions& options,
+    std::span<const std::vector<std::size_t>> shard_tasks,
+    Allocation& allocation, GreedyStats* stats,
+    std::vector<double>* shard_build_ns) {
+  problem.validate();
+  require(options.epsilon > 0.0, "sharded_greedy_extend: epsilon must be > 0");
+  ETA2_EXPECTS(options.cost_cap >= 0.0);
+  require(allocation.user_count() == problem.user_count() &&
+              allocation.task_count() == problem.task_count(),
+          "sharded_greedy_extend: allocation shape mismatch");
+  const std::size_t n = problem.user_count();
+  const std::size_t m = problem.task_count();
+  const std::size_t shards = shard_tasks.size();
+  // The shard task lists must partition [0, m): every task allocated by
+  // exactly one engine.
+  {
+    std::vector<char> seen(m, 0);
+    std::size_t total = 0;
+    for (const auto& tasks : shard_tasks) {
+      total += tasks.size();
+      for (const std::size_t j : tasks) {
+        require(j < m && seen[j] == 0,
+                "sharded_greedy_extend: shard tasks must partition the batch");
+        seen[j] = 1;
+      }
+    }
+    require(total == m,
+            "sharded_greedy_extend: shard tasks must cover every task");
+  }
+
+  GreedyStats local;
+  GreedyStats& counters = stats != nullptr ? *stats : local;
+  counters = GreedyStats{};
+  std::vector<GreedyStats> shard_stats(shards);
+  if (shard_build_ns != nullptr && shard_build_ns->size() != shards) {
+    shard_build_ns->assign(shards, 0.0);
+  }
+
+  // Coordinator-owned shared state: per-user remaining capacity.
+  std::vector<double> remaining(n);
+  for (UserId i = 0; i < n; ++i) {
+    remaining[i] = problem.user_capacity[i] - allocation.used_time(i);
+  }
+
+  // Per-shard candidate/gain phase: engine construction (the Φ batch and
+  // per-task candidate orders dominate) fans out one pool task per shard.
+  std::vector<std::unique_ptr<ShardEngine>> engines(shards);
+  truth::for_each_shard(shards, [&](std::size_t s) {
+    const double t0 = now_ns();
+    engines[s] = std::make_unique<ShardEngine>(problem, options, allocation,
+                                               shard_tasks[s], remaining,
+                                               shard_stats[s]);
+    if (shard_build_ns != nullptr) (*shard_build_ns)[s] += now_ns() - t0;
+  });
+
+  // Serial cross-shard capacity-coordination pass: every round each shard
+  // peeks its exact best pair under the shared remaining capacities, the
+  // global maximum wins (efficiency desc, global task asc — the monolithic
+  // tie-break), and only the winner commits. Bumping the shared version
+  // after each commit forces every shard to re-validate its top against
+  // the drawn-down capacities, so the selection sequence is byte-identical
+  // to the monolithic engines'.
+  std::size_t version = 0;
+  std::size_t added = 0;
+  double spent = 0.0;
+  while (spent < options.cost_cap) {
+    ShardEngine::Peek best;
+    std::size_t best_shard = shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      ShardEngine::Peek cand;
+      if (!engines[s]->peek(version, cand)) continue;
+      if (best_shard == shards || cand.bound > best.bound ||
+          (cand.bound == best.bound && cand.global_task < best.global_task)) {
+        best = cand;
+        best_shard = s;
+      }
+    }
+    if (best_shard == shards) break;  // every shard's max efficiency hit zero
+    engines[best_shard]->commit(best, allocation);
+    ++version;
+    spent += problem.cost_of(best.global_task);
+    ++added;
+  }
+
+  for (const GreedyStats& s : shard_stats) {
+    counters.selections += s.selections;
+    counters.gain_evaluations += s.gain_evaluations;
+    counters.heap_pops += s.heap_pops;
+  }
+  return added;
+}
+
+Allocation sharded_max_quality_allocate(
+    const AllocationProblem& problem,
+    const MaxQualityAllocator::Options& options,
+    std::span<const std::vector<std::size_t>> shard_tasks, GreedyStats* stats,
+    std::vector<double>* shard_build_ns) {
+  problem.validate();
+  GreedyOptions per_time;
+  per_time.epsilon = options.epsilon;
+  per_time.efficiency_per_time = true;
+  per_time.impl = options.impl;
+  per_time.fast_math = options.fast_math;
+
+  GreedyStats primary_stats;
+  Allocation primary(problem.user_count(), problem.task_count());
+  sharded_greedy_extend(problem, per_time, shard_tasks, primary,
+                        &primary_stats, shard_build_ns);
+  if (!options.half_approx_pass) {
+    if (stats != nullptr) *stats = primary_stats;
+    return primary;
+  }
+
+  GreedyOptions value_only = per_time;
+  value_only.efficiency_per_time = false;
+  GreedyStats secondary_stats;
+  Allocation secondary(problem.user_count(), problem.task_count());
+  sharded_greedy_extend(problem, value_only, shard_tasks, secondary,
+                        &secondary_stats, shard_build_ns);
+
+  if (stats != nullptr) {
+    stats->selections = primary_stats.selections + secondary_stats.selections;
+    stats->gain_evaluations =
+        primary_stats.gain_evaluations + secondary_stats.gain_evaluations;
+    stats->heap_pops = primary_stats.heap_pops + secondary_stats.heap_pops;
+  }
+  const double obj_primary =
+      allocation_objective(problem, primary, options.epsilon);
+  const double obj_secondary =
+      allocation_objective(problem, secondary, options.epsilon);
+  return obj_secondary > obj_primary ? secondary : primary;
+}
+
+}  // namespace eta2::alloc

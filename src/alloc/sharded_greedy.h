@@ -1,0 +1,51 @@
+// Domain-sharded max-quality allocation (DESIGN.md §12).
+//
+// Algorithm 1 couples domains only through per-user capacity, so the greedy
+// selection splits into a per-shard candidate/gain phase (one CELF engine
+// per shard, restricted to that shard's tasks) and a small serial
+// cross-shard coordination pass that resolves the shared per-user budgets:
+// each round every shard reports its exact current best pair under the
+// shared remaining-capacity state (peek), the coordinator takes the global
+// maximum with the monolithic tie-break (efficiency descending, global task
+// index ascending, per-task lowest-user resolution inside the engines), and
+// only the winning shard commits. The selection sequence — and therefore
+// the final allocation — is byte-identical to the monolithic greedy_extend
+// at any thread or shard count; the parallel win is the per-shard engine
+// construction (Φ batch, per-task candidate orders) fanned out one pool
+// task per shard.
+#ifndef ETA2_ALLOC_SHARDED_GREEDY_H
+#define ETA2_ALLOC_SHARDED_GREEDY_H
+
+#include <span>
+#include <vector>
+
+#include "alloc/max_quality.h"
+
+namespace eta2::alloc {
+
+// Sharded counterpart of greedy_extend(): `shard_tasks` lists each shard's
+// task ids (ascending within a shard; shards may be empty) and must
+// partition [0, task_count) exactly. Returns the number of pairs added.
+// `stats`, when non-null, receives the work counters summed over shards in
+// shard order; note the coordination pass refreshes every shard's top
+// bound each round, so gain_evaluations/heap_pops can exceed the
+// monolithic engine's counts even though the selections are identical.
+// `shard_build_ns`, when non-null, accumulates per-shard engine
+// construction wall time (observability only — never enters transcripts).
+std::size_t sharded_greedy_extend(
+    const AllocationProblem& problem, const GreedyOptions& options,
+    std::span<const std::vector<std::size_t>> shard_tasks,
+    Allocation& allocation, GreedyStats* stats = nullptr,
+    std::vector<double>* shard_build_ns = nullptr);
+
+// Sharded counterpart of MaxQualityAllocator::allocate(): runs both
+// ½-approximation passes through sharded_greedy_extend and picks the
+// higher-scoring allocation. Byte-identical to the monolithic allocator.
+[[nodiscard]] Allocation sharded_max_quality_allocate(
+    const AllocationProblem& problem, const MaxQualityAllocator::Options& options,
+    std::span<const std::vector<std::size_t>> shard_tasks,
+    GreedyStats* stats = nullptr, std::vector<double>* shard_build_ns = nullptr);
+
+}  // namespace eta2::alloc
+
+#endif  // ETA2_ALLOC_SHARDED_GREEDY_H

@@ -34,6 +34,7 @@ class MaxQualityStrategy final : public AllocationStrategy {
 
  private:
   alloc::MaxQualityAllocator allocator_;
+  alloc::MaxQualityAllocator::Options options_;
 };
 
 // Paper §5.2 (Algorithm 2): iterative c°-budgeted recruiting with the

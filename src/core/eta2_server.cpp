@@ -133,6 +133,13 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
   }
   ctx.domain_count = store_.domain_count();
 
+  // --- Domain-sharded execution view (DESIGN.md §12): built once the
+  // batch's domain labels are final; the truth and allocation stages run
+  // shard-parallel against this plan and merge deterministically. ---
+  ctx.sharded.partition(ctx.task_domains, ctx.domain_count, config_);
+  ctx.health.shard_count =
+      ctx.sharded.active() ? ctx.sharded.plan().shard_count() : 0;
+
   // --- Contiguous allocation plane shared by all strategies. ---
   alloc::AllocationProblem& problem = ctx.problem;
   problem.task_time.reserve(m);

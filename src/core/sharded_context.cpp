@@ -1,0 +1,31 @@
+#include "core/sharded_context.h"
+
+#include "common/error.h"
+
+namespace eta2::core {
+
+void ShardedStepContext::partition(
+    std::span<const truth::DomainIndex> task_domains, std::size_t domain_count,
+    const Eta2Config& config) {
+  if (!config.sharded_step) {
+    reset();
+    return;
+  }
+  plan_ = truth::ShardPlan::build(task_domains, domain_count,
+                                  config.shard_count);
+  tier_ = config.sharding_tier;
+  active_ = true;
+}
+
+const truth::ShardPlan& ShardedStepContext::plan() const {
+  require(active_, "ShardedStepContext: no plan built (call partition first)");
+  return plan_;
+}
+
+void ShardedStepContext::reset() {
+  plan_ = truth::ShardPlan{};
+  tier_ = truth::ShardingTier::kExact;
+  active_ = false;
+}
+
+}  // namespace eta2::core

@@ -1,0 +1,45 @@
+// Per-step domain-sharded execution state (DESIGN.md §12).
+//
+// ShardedStepContext is the sharded view of one StepContext: the stable
+// shard plan built from the batch's final domain labels, plus the sharding
+// tier the stages must honour. It does not copy any data — the plan indexes
+// into the StepContext's task arrays, and the sharded stage implementations
+// slice the observation CSR on demand (truth::ShardedObservations).
+//
+// Lifecycle: Eta2Server::step() calls partition() once per step, after
+// domain identification has finalized task_domains and before allocation;
+// stages consult active() and fall back to the monolithic implementations
+// when no plan was built (baseline drivers, sharding disabled, or direct
+// stage invocations outside the server loop).
+#ifndef ETA2_CORE_SHARDED_CONTEXT_H
+#define ETA2_CORE_SHARDED_CONTEXT_H
+
+#include <span>
+
+#include "core/config.h"
+#include "truth/sharding.h"
+
+namespace eta2::core {
+
+class ShardedStepContext {
+ public:
+  // Builds the shard plan for one batch from the final task → domain labels.
+  // No-op (stays inactive) when config.sharded_step is false.
+  void partition(std::span<const truth::DomainIndex> task_domains,
+                 std::size_t domain_count, const Eta2Config& config);
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] const truth::ShardPlan& plan() const;
+  [[nodiscard]] truth::ShardingTier tier() const { return tier_; }
+
+  void reset();
+
+ private:
+  truth::ShardPlan plan_;
+  truth::ShardingTier tier_ = truth::ShardingTier::kExact;
+  bool active_ = false;
+};
+
+}  // namespace eta2::core
+
+#endif  // ETA2_CORE_SHARDED_CONTEXT_H

@@ -37,6 +37,16 @@ class DomainIdentifier {
 // Algorithm 2 loop) also fill ctx.observations / ctx.data_iterations and
 // return true from collects_observations(), which makes the composer skip
 // the shared collection pass.
+//
+// Shard contract (DESIGN.md §12): when ctx.sharded.active(), a strategy MAY
+// run shard-parallel against ctx.sharded.plan() — one dispatch per shard
+// with fixed boundaries, merging in domain-index order so the result is
+// identical at any thread count (bit-identical under ShardingTier::kExact).
+// Inside a shard-dispatched body, only shard-local state and the stage's
+// explicitly shared, disjointly indexed buffers may be written; mutating
+// other StepContext members from a shard body is a contract violation
+// (flagged by eta2_lint rule 9, shard-shared-mutation). Strategies without
+// a sharded implementation simply ignore the view.
 class AllocationStrategy {
  public:
   virtual ~AllocationStrategy() = default;
@@ -48,6 +58,11 @@ class AllocationStrategy {
 // Module 2: turns ctx.observations into ctx.truth / ctx.sigma /
 // ctx.mle_iterations and commits the step's expertise contributions into
 // ctx.store.
+//
+// Shard contract: same as AllocationStrategy — when ctx.sharded.active(),
+// updaters may fan Eq. 5/6 sweeps out per shard (truth::sharded_estimate /
+// sharded_dynamic_update) and must fold results back serially in
+// domain-index order; ctx.store commits stay on the serial merge path.
 class TruthUpdater {
  public:
   virtual ~TruthUpdater() = default;

@@ -1,5 +1,6 @@
 #include "core/step_context.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -18,6 +19,18 @@ void StepHealth::merge(const StepHealth& other) {
   quality_unmet_tasks += other.quality_unmet_tasks;
   empty_batch = empty_batch || other.empty_batch;
   quarantined_batches += other.quarantined_batches;
+  shard_count = std::max(shard_count, other.shard_count);
+  sharded_truth_iterations += other.sharded_truth_iterations;
+  const auto merge_ns = [](std::vector<double>& into,
+                           const std::vector<double>& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0.0);
+    for (std::size_t s = 0; s < from.size(); ++s) into[s] += from[s];
+  };
+  merge_ns(shard_truth_ns, other.shard_truth_ns);
+  merge_ns(shard_alloc_ns, other.shard_alloc_ns);
+  greedy_selections += other.greedy_selections;
+  greedy_gain_evaluations += other.greedy_gain_evaluations;
+  greedy_heap_pops += other.greedy_heap_pops;
 }
 
 CollectFn sanitizing_collect(const CollectFn& inner, double abs_limit,

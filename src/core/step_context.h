@@ -20,6 +20,7 @@
 #include "alloc/allocation.h"
 #include "common/rng.h"
 #include "core/config.h"
+#include "core/sharded_context.h"
 #include "text/embedder.h"
 #include "truth/eta2_mle.h"
 #include "truth/expertise_store.h"
@@ -80,6 +81,22 @@ struct StepHealth {
   // crash recovery reproduces the decision).
   std::size_t quarantined_batches = 0;
 
+  // --- sharded-execution observability (DESIGN.md §12) ---
+  // Deliberately NOT serialized: the v1/v2 save formats and the durable
+  // runner's health digest cover only the fault counters above, so these
+  // fields never perturb checkpoint bytes or WAL resume — and the
+  // wall-clock timings are nondeterministic by nature, so they must never
+  // enter any compared artifact. None of them feed degraded().
+  std::size_t shard_count = 0;               // shards in this step's plan
+  std::size_t sharded_truth_iterations = 0;  // truth-stage iteration count
+  std::vector<double> shard_truth_ns;        // per-shard truth-stage time
+  std::vector<double> shard_alloc_ns;        // per-shard engine build time
+  // Greedy work counters (GreedyStats) from the max-quality allocator,
+  // both ½-approximation passes summed; zero for other strategies.
+  std::size_t greedy_selections = 0;
+  std::size_t greedy_gain_evaluations = 0;
+  std::size_t greedy_heap_pops = 0;
+
   // True when any degraded mode engaged this step.
   [[nodiscard]] bool degraded() const {
     return rejected_nonfinite > 0 || rejected_out_of_range > 0 ||
@@ -113,6 +130,10 @@ struct StepContext {
   // --- Module 1 outputs ---
   std::vector<truth::DomainIndex> task_domains;  // dense index per task
   std::size_t domain_count = 0;
+
+  // --- sharded execution view (built by the composer once task_domains is
+  // final; stages fall back to their monolithic paths when inactive) ---
+  ShardedStepContext sharded;
 
   // --- contiguous allocation plane (input to Module 3) ---
   alloc::AllocationProblem problem;

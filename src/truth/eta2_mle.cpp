@@ -51,6 +51,48 @@ void Eta2Mle::estimate_truth_only(
   truth_sweep(data, task_domain, expertise, mu, sigma);
 }
 
+void Eta2Mle::sweep_task(const ObservationSet& data,
+                         std::span<const DomainIndex> task_domain,
+                         const std::vector<std::vector<double>>& expertise,
+                         TaskId j, std::vector<double>& mu,
+                         std::vector<double>& sigma) const {
+  const auto obs = data.for_task(j);
+  if (obs.empty()) return;
+  const DomainIndex k = task_domain[j];
+  // Corrupt observations (NaN/±Inf) are skipped rather than summed — a
+  // single poisoned x_ij must not wipe out the task's truth estimate.
+  double num = 0.0;
+  double den = 0.0;
+  double finite_sum = 0.0;
+  std::size_t finite_count = 0;
+  for (const Observation& o : obs) {
+    if (!std::isfinite(o.value)) continue;
+    const double u = expertise[o.user][k];
+    // Eq. 5 weights are u²; a non-positive or non-finite expertise here
+    // means an upstream clamp was bypassed.
+    ETA2_ASSERT(u > 0.0 && std::isfinite(u));
+    num += u * u * o.value;
+    den += u * u;
+    finite_sum += o.value;
+    ++finite_count;
+  }
+  if (finite_count == 0) return;  // no usable data: mu/sigma stay NaN
+  const double mu_j =
+      den > 0.0 ? num / den : finite_sum / static_cast<double>(finite_count);
+  double var_num = 0.0;
+  for (const Observation& o : obs) {
+    if (!std::isfinite(o.value)) continue;
+    const double u = expertise[o.user][k];
+    var_num += u * u * (o.value - mu_j) * (o.value - mu_j);
+  }
+  mu[j] = mu_j;
+  sigma[j] = std::max(options_.sigma_min,
+                      std::sqrt(var_num / static_cast<double>(finite_count)));
+  // The Eq. 5/6 iteration divides by σ_j; the sigma_min floor above must
+  // guarantee it stays strictly positive and finite.
+  ETA2_ENSURES(sigma[j] >= options_.sigma_min && std::isfinite(mu[j]));
+}
+
 void Eta2Mle::truth_sweep(const ObservationSet& data,
                           std::span<const DomainIndex> task_domain,
                           const std::vector<std::vector<double>>& expertise,
@@ -62,42 +104,87 @@ void Eta2Mle::truth_sweep(const ObservationSet& data,
   // Eq. 5 is independent per task (disjoint writes to mu[j]/sigma[j]), so
   // tasks fan out over the parallel runtime bit-identically.
   parallel::parallel_for(m, 128, [&](TaskId j) {
-    const auto obs = data.for_task(j);
-    if (obs.empty()) return;
-    const DomainIndex k = task_domain[j];
-    // Corrupt observations (NaN/±Inf) are skipped rather than summed — a
-    // single poisoned x_ij must not wipe out the task's truth estimate.
-    double num = 0.0;
-    double den = 0.0;
-    double finite_sum = 0.0;
-    std::size_t finite_count = 0;
-    for (const Observation& o : obs) {
-      if (!std::isfinite(o.value)) continue;
-      const double u = expertise[o.user][k];
-      // Eq. 5 weights are u²; a non-positive or non-finite expertise here
-      // means an upstream clamp was bypassed.
-      ETA2_ASSERT(u > 0.0 && std::isfinite(u));
-      num += u * u * o.value;
-      den += u * u;
-      finite_sum += o.value;
-      ++finite_count;
+    sweep_task(data, task_domain, expertise, j, mu, sigma);
+  });
+}
+
+double Eta2Mle::expertise_update(double num, double den) const {
+  const double p = options_.prior_strength;
+  const double u0 = options_.initial_expertise;
+  const double u = std::sqrt((num + p) / (den + p / (u0 * u0) + options_.ridge));
+  return std::clamp(u, options_.expertise_min, options_.expertise_max);
+}
+
+std::vector<std::vector<double>> Eta2Mle::initial_expertise_matrix(
+    std::size_t user_count, std::size_t domain_count,
+    const std::vector<std::vector<double>>& initial) const {
+  if (initial.empty()) {
+    return std::vector<std::vector<double>>(
+        user_count, std::vector<double>(domain_count, options_.initial_expertise));
+  }
+  require(initial.size() == user_count,
+          "Eta2Mle: initial expertise rows != user count");
+  std::vector<std::vector<double>> out = initial;
+  for (auto& row : out) {
+    require(row.size() == domain_count,
+            "Eta2Mle: initial expertise cols != domain count");
+    for (double& u : row) {
+      u = std::clamp(u, options_.expertise_min, options_.expertise_max);
     }
-    if (finite_count == 0) return;  // no usable data: mu/sigma stay NaN
-    const double mu_j =
-        den > 0.0 ? num / den : finite_sum / static_cast<double>(finite_count);
-    double var_num = 0.0;
-    for (const Observation& o : obs) {
-      if (!std::isfinite(o.value)) continue;
-      const double u = expertise[o.user][k];
-      var_num += u * u * (o.value - mu_j) * (o.value - mu_j);
+  }
+  return out;
+}
+
+bool truth_converged(std::span<const double> prev_mu,
+                     std::span<const double> mu, double threshold) {
+  for (std::size_t j = 0; j < mu.size(); ++j) {
+    if (std::isnan(mu[j]) || std::isnan(prev_mu[j])) continue;
+    const double scale = std::max(std::fabs(prev_mu[j]), 1e-8);
+    if (std::fabs(mu[j] - prev_mu[j]) / scale >= threshold) return false;
+  }
+  return true;
+}
+
+void Eta2Mle::apply_gauge_anchor(std::span<const char> has_data,
+                                 std::size_t domain_count,
+                                 std::vector<std::vector<double>>& expertise,
+                                 std::vector<double>& sigma) const {
+  if (!(options_.anchor_mean > 0.0)) return;
+  const std::size_t n = expertise.size();
+  const std::size_t m = sigma.size();
+  ETA2_EXPECTS(has_data.size() == n * domain_count);
+  // Serial fold: the log-sum's addition order is part of the determinism
+  // contract (it fixes the gauge constant bit-for-bit).
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  for (UserId i = 0; i < n; ++i) {
+    for (DomainIndex k = 0; k < domain_count; ++k) {
+      if (has_data[i * domain_count + k]) {
+        log_sum += std::log(expertise[i][k]);
+        ++count;
+      }
     }
-    mu[j] = mu_j;
-    sigma[j] =
-        std::max(options_.sigma_min,
-                 std::sqrt(var_num / static_cast<double>(finite_count)));
-    // The Eq. 5/6 iteration divides by σ_j; the sigma_min floor above must
-    // guarantee it stays strictly positive and finite.
-    ETA2_ENSURES(sigma[j] >= options_.sigma_min && std::isfinite(mu[j]));
+  }
+  if (count == 0) return;
+  const double c =
+      std::exp(log_sum / static_cast<double>(count)) / options_.anchor_mean;
+  // The gauge constant is a geometric mean of clamped-positive values
+  // divided by a positive anchor — if it ever degenerates, rescaling
+  // would silently zero or inf-out every expertise estimate.
+  ETA2_ENSURES(std::isfinite(c) && c > 0.0);
+  parallel::parallel_for(n, 64, [&](UserId i) {
+    for (DomainIndex k = 0; k < domain_count; ++k) {
+      if (has_data[i * domain_count + k]) {
+        expertise[i][k] = std::clamp(expertise[i][k] / c,
+                                     options_.expertise_min,
+                                     options_.expertise_max);
+      }
+    }
+  });
+  parallel::parallel_for(m, 1024, [&](TaskId j) {
+    if (!std::isnan(sigma[j])) {
+      sigma[j] = std::max(options_.sigma_min, sigma[j] / c);
+    }
   });
 }
 
@@ -113,21 +200,7 @@ MleResult Eta2Mle::estimate(
   }
 
   MleResult result;
-  if (initial_expertise.empty()) {
-    result.expertise.assign(
-        n, std::vector<double>(domain_count, options_.initial_expertise));
-  } else {
-    require(initial_expertise.size() == n,
-            "Eta2Mle: initial expertise rows != user count");
-    result.expertise = initial_expertise;
-    for (auto& row : result.expertise) {
-      require(row.size() == domain_count,
-              "Eta2Mle: initial expertise cols != domain count");
-      for (double& u : row) {
-        u = std::clamp(u, options_.expertise_min, options_.expertise_max);
-      }
-    }
-  }
+  result.expertise = initial_expertise_matrix(n, domain_count, initial_expertise);
 
   // User-major index of the observations (CSR layout; tasks stay ascending
   // within each user). This lets the Eq. 6 accumulation fan out over users
@@ -166,8 +239,6 @@ MleResult Eta2Mle::estimate(
   // point's hoisted pre-pass establishes, so the sweeps skip revalidation.
   truth_sweep(data, task_domain, result.expertise, result.mu, result.sigma);
 
-  const double p = options_.prior_strength;
-  const double u0 = options_.initial_expertise;
   // Flat row-major (user × domain) accumulators, reused across iterations.
   std::vector<double> num(n * domain_count, 0.0);
   std::vector<double> den(n * domain_count, 0.0);
@@ -200,10 +271,7 @@ MleResult Eta2Mle::estimate(
       }
       for (DomainIndex k = 0; k < domain_count; ++k) {
         if (num_row[k] <= 0.0) continue;  // no data: keep current value
-        const double u = std::sqrt(
-            (num_row[k] + p) / (den_row[k] + p / (u0 * u0) + options_.ridge));
-        result.expertise[i][k] =
-            std::clamp(u, options_.expertise_min, options_.expertise_max);
+        result.expertise[i][k] = expertise_update(num_row[k], den_row[k]);
       }
     });
 
@@ -213,17 +281,7 @@ MleResult Eta2Mle::estimate(
 
     // Convergence: every task's truth estimate moved < threshold (relative,
     // with an absolute floor for estimates near zero).
-    bool all_small = true;
-    for (TaskId j = 0; j < m; ++j) {
-      if (std::isnan(result.mu[j]) || std::isnan(prev_mu[j])) continue;
-      const double scale = std::max(std::fabs(prev_mu[j]), 1e-8);
-      if (std::fabs(result.mu[j] - prev_mu[j]) / scale >=
-          options_.convergence_threshold) {
-        all_small = false;
-        break;
-      }
-    }
-    if (all_small) {
+    if (truth_converged(prev_mu, result.mu, options_.convergence_threshold)) {
       result.converged = true;
       break;
     }
@@ -239,40 +297,7 @@ MleResult Eta2Mle::estimate(
         has_data[i * domain_count + task_domain[user_obs[t].task]] = 1;
       }
     });
-    // Serial fold: the log-sum's addition order is part of the determinism
-    // contract (it fixes the gauge constant bit-for-bit).
-    double log_sum = 0.0;
-    std::size_t count = 0;
-    for (UserId i = 0; i < n; ++i) {
-      for (DomainIndex k = 0; k < domain_count; ++k) {
-        if (has_data[i * domain_count + k]) {
-          log_sum += std::log(result.expertise[i][k]);
-          ++count;
-        }
-      }
-    }
-    if (count > 0) {
-      const double c = std::exp(log_sum / static_cast<double>(count)) /
-                       options_.anchor_mean;
-      // The gauge constant is a geometric mean of clamped-positive values
-      // divided by a positive anchor — if it ever degenerates, rescaling
-      // would silently zero or inf-out every expertise estimate.
-      ETA2_ENSURES(std::isfinite(c) && c > 0.0);
-      parallel::parallel_for(n, 64, [&](UserId i) {
-        for (DomainIndex k = 0; k < domain_count; ++k) {
-          if (has_data[i * domain_count + k]) {
-            result.expertise[i][k] =
-                std::clamp(result.expertise[i][k] / c, options_.expertise_min,
-                           options_.expertise_max);
-          }
-        }
-      });
-      parallel::parallel_for(m, 1024, [&](TaskId j) {
-        if (!std::isnan(result.sigma[j])) {
-          result.sigma[j] = std::max(options_.sigma_min, result.sigma[j] / c);
-        }
-      });
-    }
+    apply_gauge_anchor(has_data, domain_count, result.expertise, result.sigma);
   }
   return result;
 }

@@ -60,6 +60,16 @@ struct MleResult {
   bool converged = false;
 };
 
+// Convergence predicate shared by every truth-iteration loop (estimate,
+// dynamic_update, and their sharded counterparts): true iff every task's
+// estimate moved less than `threshold` (relative, with an absolute floor for
+// estimates near zero). The serial ascending-j early-exit scan is part of
+// the determinism contract — all loops must agree bit-for-bit on when to
+// stop iterating.
+[[nodiscard]] bool truth_converged(std::span<const double> prev_mu,
+                                   std::span<const double> mu,
+                                   double threshold);
+
 class Eta2Mle {
  public:
   explicit Eta2Mle(MleOptions options = {});
@@ -83,6 +93,40 @@ class Eta2Mle {
                            const std::vector<std::vector<double>>& expertise,
                            std::vector<double>& mu,
                            std::vector<double>& sigma) const;
+
+  // Eq. 5 for a single task, with validation already done: task j's domain
+  // index must be in range for every observer's expertise row, and mu[j] /
+  // sigma[j] must be pre-set to NaN (a task with no usable data leaves them
+  // untouched). This is the exact per-task body of the full sweep, exposed
+  // so the domain-sharded path (truth/sharding.h) produces bit-identical
+  // results by construction.
+  void sweep_task(const ObservationSet& data,
+                  std::span<const DomainIndex> task_domain,
+                  const std::vector<std::vector<double>>& expertise, TaskId j,
+                  std::vector<double>& mu, std::vector<double>& sigma) const;
+
+  // Eq. 6 refresh of one accumulator cell (N = num, D = den), with the
+  // Bayesian shrinkage prior and the [expertise_min, expertise_max] clamp.
+  // Only meaningful for num > 0 (cells without data keep their value).
+  [[nodiscard]] double expertise_update(double num, double den) const;
+
+  // The expertise seed estimate() starts from: a flat initial_expertise
+  // matrix when `initial` is empty, otherwise a clamped copy of it
+  // (validated against user/domain counts).
+  [[nodiscard]] std::vector<std::vector<double>> initial_expertise_matrix(
+      std::size_t user_count, std::size_t domain_count,
+      const std::vector<std::vector<double>>& initial) const;
+
+  // Gauge-anchoring tail of estimate(): given per-(user, domain) data flags
+  // (row-major user_count × domain_count), rescales expertise and σ so the
+  // geometric mean over flagged cells equals anchor_mean. No-op when
+  // anchoring is disabled (anchor_mean <= 0) or no cell is flagged. The
+  // serial log-sum fold order (user-major, domain ascending) is part of the
+  // determinism contract.
+  void apply_gauge_anchor(std::span<const char> has_data,
+                          std::size_t domain_count,
+                          std::vector<std::vector<double>>& expertise,
+                          std::vector<double>& sigma) const;
 
  private:
   // Eq. 5 sweep with validation already done: every observed task's domain

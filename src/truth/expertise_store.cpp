@@ -23,21 +23,24 @@ DomainIndex ExpertiseStore::add_domain() {
   return idx;
 }
 
-double ExpertiseStore::expertise(UserId user, DomainIndex domain) const {
-  require(user < num_.size(), "ExpertiseStore::expertise: user out of range");
-  require(domain < domain_count_, "ExpertiseStore::expertise: domain out of range");
-  const double n = num_[user][domain];
-  if (n <= 0.0) return options_.initial_expertise;
+double ExpertiseStore::expertise_from(double num, double den) const {
+  if (num <= 0.0) return options_.initial_expertise;
   // Shrinkage toward the prior, matching Eq. 6's update in Eta2Mle.
   const double p = options_.prior_strength;
   const double u0 = options_.initial_expertise;
-  const double u = std::sqrt((n + p) / (den_[user][domain] + p / (u0 * u0) +
-                                        options_.ridge));
+  const double u = std::sqrt((num + p) / (den + p / (u0 * u0) +
+                                          options_.ridge));
   // Eq. 6 with positive numerator and denominator: the pre-clamp estimate
   // must already be positive and finite (a negative accumulated D would
   // mean a corrupted store).
   ETA2_ASSERT(std::isfinite(u) && u > 0.0);
   return std::clamp(u, options_.expertise_min, options_.expertise_max);
+}
+
+double ExpertiseStore::expertise(UserId user, DomainIndex domain) const {
+  require(user < num_.size(), "ExpertiseStore::expertise: user out of range");
+  require(domain < domain_count_, "ExpertiseStore::expertise: domain out of range");
+  return expertise_from(num_[user][domain], den_[user][domain]);
 }
 
 std::vector<std::vector<double>> ExpertiseStore::snapshot() const {
@@ -247,21 +250,10 @@ DynamicUpdateResult dynamic_update(ExpertiseStore& store,
     scratch.decay_and_accumulate(alpha, contrib.num, contrib.den);
     expertise = scratch.snapshot();
 
-    if (!prev_mu.empty()) {
-      bool all_small = true;
-      for (std::size_t j = 0; j < result.mu.size(); ++j) {
-        if (std::isnan(result.mu[j]) || std::isnan(prev_mu[j])) continue;
-        const double scale = std::max(std::fabs(prev_mu[j]), 1e-8);
-        if (std::fabs(result.mu[j] - prev_mu[j]) / scale >=
-            opt.convergence_threshold) {
-          all_small = false;
-          break;
-        }
-      }
-      if (all_small) {
-        result.converged = true;
-        break;
-      }
+    if (!prev_mu.empty() &&
+        truth_converged(prev_mu, result.mu, opt.convergence_threshold)) {
+      result.converged = true;
+      break;
     }
   }
   // Commit the final contributions with one real decay step, then re-anchor

@@ -36,6 +36,22 @@ class ExpertiseStore {
   // u_i^k of Eq. 9, clamped; `initial_expertise` when the pair has no data.
   [[nodiscard]] double expertise(UserId user, DomainIndex domain) const;
 
+  // Turns one (N, D) accumulator pair into the clamped expertise of Eq. 9
+  // exactly as expertise() would (initial_expertise when num <= 0).
+  // Factored out so the sharded dynamic update (truth/sharding.h) can
+  // evaluate per-shard candidate accumulators without materializing a
+  // scratch store copy.
+  [[nodiscard]] double expertise_from(double num, double den) const;
+
+  // Raw accumulator reads for the sharded dynamic update's candidate
+  // evaluation: α·raw + contribution is the Eq. 7–8 candidate.
+  [[nodiscard]] double raw_num(UserId user, DomainIndex domain) const {
+    return num_[user][domain];
+  }
+  [[nodiscard]] double raw_den(UserId user, DomainIndex domain) const {
+    return den_[user][domain];
+  }
+
   // Full matrix snapshot [user][domain] — the MLE warm start.
   [[nodiscard]] std::vector<std::vector<double>> snapshot() const;
 

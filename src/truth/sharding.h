@@ -1,0 +1,137 @@
+// Domain-sharded execution of the truth stages (DESIGN.md §12).
+//
+// ETA²'s per-step work factors by domain: Eq. 5 is independent per task,
+// Eq. 6 accumulates per (user, domain) cell, and the only cross-domain
+// couplings are the global convergence check and the gauge anchor. This
+// module partitions one batch's tasks into per-domain shards with a stable
+// ordering, slices the user-major observation CSR by shard, and runs the
+// truth stages one-pool-task-per-shard with a deterministic in-order merge.
+//
+// The default ShardingTier::kExact keeps the monolithic iteration structure
+// (shards fan out per iteration, re-joining at a serial convergence scan in
+// global task order and a serial gauge-anchor fold), which makes results
+// bit-identical to the unsharded reference at any thread or shard count:
+// every per-task and per-cell reduction receives its terms in exactly the
+// order the monolithic loops used.
+#ifndef ETA2_TRUTH_SHARDING_H
+#define ETA2_TRUTH_SHARDING_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "truth/eta2_mle.h"
+#include "truth/expertise_store.h"
+#include "truth/observation.h"
+
+namespace eta2::truth {
+
+// Versioned contract for how far sharded execution may deviate from the
+// monolithic reference path, mirroring stats::FastMathTier: any tier other
+// than kExact has its own pinned transcripts, and any change to a tier's
+// numerics must mint a new enumerator rather than silently shifting results.
+enum class ShardingTier : std::uint8_t {
+  // Bit-identical to the monolithic path at any thread/shard count: shards
+  // fan out per iteration and re-join at a serial convergence/anchor merge.
+  kExact = 0,
+  // Per-shard-local convergence loops: each shard iterates Eqs. 5–6 to its
+  // own convergence with no cross-shard iteration barrier; the reported
+  // iteration count is the maximum over shards. Faster on skewed domains,
+  // still deterministic at any thread count, but NOT bit-identical to
+  // kExact — pinned by its own transcripts.
+  kDomainLocalV1 = 1,
+};
+
+[[nodiscard]] const char* to_string(ShardingTier tier);
+
+// Stable partition of one batch's tasks by domain label. Domain k lives in
+// shard k % shard_count (shard_count = 0 requests one shard per domain);
+// shards are ordered by shard id and both the per-shard domain and task
+// lists are ascending. Task lists ascending matters: each shard visiting
+// its tasks in ascending order visits, per (user, domain) cell, exactly the
+// subsequence of the monolithic task-major order that touches that cell —
+// which is what makes the kExact tier's accumulations bit-identical.
+struct ShardPlan {
+  std::vector<std::vector<std::size_t>> domains;  // per shard, ascending
+  std::vector<std::vector<TaskId>> tasks;         // per shard, ascending
+  std::vector<std::size_t> domain_shard;          // domain k → owning shard
+
+  [[nodiscard]] std::size_t shard_count() const { return tasks.size(); }
+
+  // `shard_count` = 0: one shard per domain (the default); G > 0: exactly G
+  // shards (shards without any domain/task are legal and act as no-ops).
+  // Requires every task_domain[j] < domain_count.
+  [[nodiscard]] static ShardPlan build(std::span<const DomainIndex> task_domain,
+                                       std::size_t domain_count,
+                                       std::size_t shard_count);
+};
+
+// User-major CSR of one batch's observations sliced by shard: slice(s, i)
+// lists user i's observations on shard s's tasks, tasks ascending (and in
+// per-task storage order within one task). Built once per step from the
+// task-major ObservationSet; no dense planes are copied.
+class ShardedObservations {
+ public:
+  struct Entry {
+    TaskId task = 0;
+    double value = 0.0;
+  };
+
+  ShardedObservations(const ObservationSet& data,
+                      std::span<const DomainIndex> task_domain,
+                      const ShardPlan& plan);
+
+  [[nodiscard]] std::span<const Entry> slice(std::size_t shard,
+                                             UserId user) const {
+    const std::size_t cell = shard * user_count_ + user;
+    return {entries_.data() + offset_[cell], offset_[cell + 1] - offset_[cell]};
+  }
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  [[nodiscard]] std::size_t user_count() const { return user_count_; }
+
+ private:
+  std::size_t shard_count_ = 0;
+  std::size_t user_count_ = 0;
+  std::vector<std::size_t> offset_;  // (shard · user_count + user) prefix
+  std::vector<Entry> entries_;
+};
+
+// Per-shard wall-clock observability for one sharded stage. Timings are
+// inherently nondeterministic: they ride in StepHealth for reporting but
+// must never enter serialized state, durable digests, or transcripts.
+struct ShardStageStats {
+  std::vector<double> shard_ns;  // accumulated per-shard body time
+};
+
+// Dispatches fn(shard) for every shard in [0, shard_count) — one pool task
+// per shard, fixed boundaries (grain 1), so shard-to-lane assignment never
+// depends on the thread count. Stage bodies must confine writes to
+// shard-local state (enforced by eta2_lint rule 9, shard-shared-mutation);
+// cross-shard merges run serially after the region joins.
+void for_each_shard(std::size_t shard_count,
+                    const std::function<void(std::size_t)>& fn);
+
+// Sharded counterpart of Eta2Mle::estimate(). Under kExact the result is
+// bit-identical to mle.estimate(...) for any plan and thread count.
+// Requires every task_domain[j] < domain_count (also for unobserved tasks,
+// slightly stricter than the monolithic entry point).
+[[nodiscard]] MleResult sharded_estimate(
+    const Eta2Mle& mle, const ObservationSet& data,
+    std::span<const DomainIndex> task_domain, std::size_t domain_count,
+    const ShardPlan& plan, ShardingTier tier,
+    const std::vector<std::vector<double>>& initial_expertise = {},
+    ShardStageStats* stats = nullptr);
+
+// Sharded counterpart of truth::dynamic_update(). Under kExact both the
+// returned result and the store mutation are bit-identical to the
+// monolithic reference for any plan and thread count.
+[[nodiscard]] DynamicUpdateResult sharded_dynamic_update(
+    ExpertiseStore& store, const ObservationSet& new_data,
+    std::span<const DomainIndex> new_task_domain, double alpha,
+    const Eta2Mle& mle, const ShardPlan& plan, ShardingTier tier,
+    ShardStageStats* stats = nullptr);
+
+}  // namespace eta2::truth
+
+#endif  // ETA2_TRUTH_SHARDING_H

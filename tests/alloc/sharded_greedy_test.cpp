@@ -1,0 +1,182 @@
+// Sharded CELF coordination tests: for every shard layout the per-shard
+// engines + serial capacity-coordination pass must reproduce the monolithic
+// greedy's selection sequence exactly (DESIGN.md §12), because the golden
+// transcripts pin the monolithic allocations bit-for-bit.
+#include "alloc/sharded_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "alloc/max_quality.h"
+#include "common/rng.h"
+
+namespace eta2::alloc {
+namespace {
+
+AllocationProblem random_problem(std::size_t users, std::size_t tasks,
+                                 std::uint64_t seed, double capacity = 6.0) {
+  Rng rng(seed);
+  AllocationProblem p;
+  p.expertise.assign(users, tasks, 0.0);
+  for (double& u : p.expertise.data()) u = rng.uniform(0.1, 3.0);
+  p.task_time.resize(tasks);
+  for (double& t : p.task_time) t = rng.uniform(0.5, 2.0);
+  p.user_capacity.assign(users, capacity);
+  return p;
+}
+
+// A few shard layouts covering the edge shapes: everything in one shard,
+// round-robin over 3, one task per shard, and layouts with empty shards.
+std::vector<std::vector<std::vector<std::size_t>>> shard_layouts(
+    std::size_t tasks) {
+  std::vector<std::vector<std::vector<std::size_t>>> layouts;
+  {
+    std::vector<std::size_t> all(tasks);
+    for (std::size_t j = 0; j < tasks; ++j) all[j] = j;
+    layouts.push_back({all});
+  }
+  {
+    std::vector<std::vector<std::size_t>> rr(3);
+    for (std::size_t j = 0; j < tasks; ++j) rr[j % 3].push_back(j);
+    layouts.push_back(rr);
+  }
+  {
+    std::vector<std::vector<std::size_t>> singles(tasks);
+    for (std::size_t j = 0; j < tasks; ++j) singles[j].push_back(j);
+    layouts.push_back(singles);
+  }
+  {
+    // Empty shards interleaved with a lopsided split.
+    std::vector<std::vector<std::size_t>> holes(4);
+    for (std::size_t j = 0; j < tasks; ++j) {
+      holes[j < tasks / 4 ? 0 : 2].push_back(j);
+    }
+    layouts.push_back(holes);
+  }
+  return layouts;
+}
+
+void expect_same_allocation(const AllocationProblem& p, const Allocation& a,
+                            const Allocation& b, const char* what) {
+  ASSERT_EQ(a.pair_count(), b.pair_count()) << what;
+  for (TaskId j = 0; j < p.task_count(); ++j) {
+    const auto ua = a.users_of(j);
+    const auto ub = b.users_of(j);
+    ASSERT_EQ(ua.size(), ub.size()) << what << " task " << j;
+    for (std::size_t x = 0; x < ua.size(); ++x) {
+      EXPECT_EQ(ua[x], ub[x]) << what << " task " << j;
+    }
+  }
+  EXPECT_EQ(a.total_cost(), b.total_cost()) << what;
+}
+
+TEST(ShardedGreedyTest, MatchesMonolithicAcrossLayoutsAndSeeds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const AllocationProblem p = random_problem(6, 16, seed);
+    for (const bool per_time : {true, false}) {
+      GreedyOptions options;
+      options.efficiency_per_time = per_time;
+      Allocation reference(p.user_count(), p.task_count());
+      greedy_extend(p, options, reference);
+      for (const auto& layout : shard_layouts(p.task_count())) {
+        Allocation sharded(p.user_count(), p.task_count());
+        sharded_greedy_extend(p, options, layout, sharded);
+        expect_same_allocation(p, reference, sharded, "layout");
+      }
+    }
+  }
+}
+
+TEST(ShardedGreedyTest, RespectsCostCapLikeMonolithic) {
+  const AllocationProblem p = random_problem(5, 12, 9);
+  GreedyOptions options;
+  options.cost_cap = 4.0;
+  Allocation reference(p.user_count(), p.task_count());
+  const std::size_t ref_added = greedy_extend(p, options, reference);
+  for (const auto& layout : shard_layouts(p.task_count())) {
+    Allocation sharded(p.user_count(), p.task_count());
+    const std::size_t added = sharded_greedy_extend(p, options, layout, sharded);
+    EXPECT_EQ(added, ref_added);
+    expect_same_allocation(p, reference, sharded, "cost_cap");
+  }
+}
+
+TEST(ShardedGreedyTest, ExtendsPartialAllocationIdentically) {
+  const AllocationProblem p = random_problem(5, 10, 13);
+  GreedyOptions options;
+  Allocation seeded(p.user_count(), p.task_count());
+  seeded.assign(0, 0, p.task_time[0], p.cost_of(0));
+  seeded.assign(2, 3, p.task_time[3], p.cost_of(3));
+  Allocation reference = seeded;
+  greedy_extend(p, options, reference);
+  for (const auto& layout : shard_layouts(p.task_count())) {
+    Allocation sharded = seeded;
+    sharded_greedy_extend(p, options, layout, sharded);
+    expect_same_allocation(p, reference, sharded, "partial");
+  }
+}
+
+TEST(ShardedGreedyTest, CountersCoverEveryMonolithicSelection) {
+  const AllocationProblem p = random_problem(6, 16, 3);
+  GreedyOptions options;
+  GreedyStats mono;
+  Allocation reference(p.user_count(), p.task_count());
+  greedy_extend(p, options, reference, &mono);
+  std::vector<std::vector<std::size_t>> rr(3);
+  for (std::size_t j = 0; j < p.task_count(); ++j) rr[j % 3].push_back(j);
+  GreedyStats stats;
+  std::vector<double> build_ns;
+  Allocation sharded(p.user_count(), p.task_count());
+  sharded_greedy_extend(p, options, rr, sharded, &stats, &build_ns);
+  EXPECT_EQ(stats.selections, mono.selections);
+  // Per-shard engines may evaluate more gains than the single heap (each
+  // shard re-validates against every commit) but never fewer.
+  EXPECT_GE(stats.gain_evaluations, mono.gain_evaluations);
+  ASSERT_EQ(build_ns.size(), 3u);
+  for (const double ns : build_ns) EXPECT_GE(ns, 0.0);
+}
+
+TEST(ShardedGreedyTest, RejectsBadPartitions) {
+  const AllocationProblem p = random_problem(4, 6, 2);
+  GreedyOptions options;
+  Allocation a(p.user_count(), p.task_count());
+  // Missing task 5.
+  std::vector<std::vector<std::size_t>> missing = {{0, 1, 2}, {3, 4}};
+  EXPECT_THROW(sharded_greedy_extend(p, options, missing, a),
+               std::invalid_argument);
+  // Task 1 in two shards.
+  std::vector<std::vector<std::size_t>> dup = {{0, 1, 2}, {1, 3, 4, 5}};
+  EXPECT_THROW(sharded_greedy_extend(p, options, dup, a),
+               std::invalid_argument);
+  // Out-of-range task id.
+  std::vector<std::vector<std::size_t>> oob = {{0, 1, 2, 3, 4, 5, 6}};
+  EXPECT_THROW(sharded_greedy_extend(p, options, oob, a),
+               std::invalid_argument);
+}
+
+TEST(ShardedMaxQualityTest, MatchesMonolithicAllocator) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const AllocationProblem p = random_problem(6, 14, seed);
+    for (const bool half : {true, false}) {
+      MaxQualityAllocator::Options options;
+      options.half_approx_pass = half;
+      GreedyStats mono_stats;
+      const Allocation reference =
+          MaxQualityAllocator(options).allocate(p, &mono_stats);
+      std::vector<std::vector<std::size_t>> rr(4);
+      for (std::size_t j = 0; j < p.task_count(); ++j) rr[j % 4].push_back(j);
+      GreedyStats stats;
+      const Allocation sharded =
+          sharded_max_quality_allocate(p, options, rr, &stats);
+      expect_same_allocation(p, reference, sharded, "max-quality");
+      EXPECT_EQ(stats.selections, mono_stats.selections);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eta2::alloc

@@ -63,6 +63,23 @@ TEST(SimulateTest, Eta2RunsAllDaysAndImproves) {
   EXPECT_GT(r.total_cost, 0.0);
 }
 
+TEST(SimulateTest, ShardObservabilitySurfacesOnResultHealth) {
+  // The sharded step pipeline is on by default: the aggregated health
+  // ledger must carry the shard plan size, per-shard stage timings, and
+  // the max-quality greedy's work counters (DESIGN.md §12).
+  const Dataset d = make_synthetic(small_synthetic(), 5);
+  const SimOptions options;
+  const SimulationResult r = simulate(d, "eta2", options, 5);
+  EXPECT_GT(r.health.shard_count, 0u);
+  EXPECT_GT(r.health.sharded_truth_iterations, 0u);
+  EXPECT_FALSE(r.health.shard_truth_ns.empty());
+  EXPECT_FALSE(r.health.shard_alloc_ns.empty());
+  EXPECT_GT(r.health.greedy_selections, 0u);
+  EXPECT_GT(r.health.greedy_gain_evaluations, 0u);
+  // Timings are observability only — they must never flip a run degraded.
+  EXPECT_FALSE(r.health.degraded());
+}
+
 TEST(SimulateTest, Eta2BeatsMeanBaseline) {
   const Dataset d = make_synthetic(small_synthetic(), 7);
   const SimOptions options;

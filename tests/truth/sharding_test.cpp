@@ -1,0 +1,217 @@
+// Unit tests for domain-sharded truth execution (DESIGN.md §12): shard-plan
+// and CSR-slice structure, plus the central kExact contract — the sharded
+// entry points are bit-identical to the monolithic reference for any shard
+// layout. kDomainLocalV1 is checked for its own (weaker) guarantees.
+#include "truth/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "truth/eta2_mle.h"
+#include "truth/expertise_store.h"
+
+namespace eta2::truth {
+namespace {
+
+struct Model {
+  std::vector<double> mu;
+  std::vector<DomainIndex> domain;
+  ObservationSet data{0, 0};
+};
+
+Model make_model(std::size_t users, std::size_t tasks, std::size_t domains,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  m.mu.resize(tasks);
+  m.domain.resize(tasks);
+  m.data = ObservationSet(users, tasks);
+  for (std::size_t j = 0; j < tasks; ++j) {
+    m.mu[j] = rng.uniform(0.0, 20.0);
+    m.domain[j] = j % domains;
+    for (std::size_t i = 0; i < users; ++i) {
+      if ((i + j) % 5 == 0) continue;  // leave holes in the matrix
+      m.data.add(j, i, rng.normal(m.mu[j], 1.0 / rng.uniform(0.4, 3.0)));
+    }
+  }
+  return m;
+}
+
+void expect_bitwise(const std::vector<double>& a, const std::vector<double>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << what;
+  }
+}
+
+void expect_bitwise(const std::vector<std::vector<double>>& a,
+                    const std::vector<std::vector<double>>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) expect_bitwise(a[i], b[i], what);
+}
+
+TEST(ShardPlanTest, DefaultGivesOneShardPerDomain) {
+  const std::vector<DomainIndex> domain = {2, 0, 1, 0, 2};
+  const ShardPlan plan = ShardPlan::build(domain, 3, 0);
+  ASSERT_EQ(plan.shard_count(), 3u);
+  EXPECT_EQ(plan.domains[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(plan.domains[1], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(plan.domains[2], (std::vector<std::size_t>{2}));
+  EXPECT_EQ(plan.tasks[0], (std::vector<TaskId>{1, 3}));
+  EXPECT_EQ(plan.tasks[1], (std::vector<TaskId>{2}));
+  EXPECT_EQ(plan.tasks[2], (std::vector<TaskId>{0, 4}));
+  EXPECT_EQ(plan.domain_shard, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ShardPlanTest, FoldsDomainsModuloShardCount) {
+  const std::vector<DomainIndex> domain = {0, 1, 2, 3, 4};
+  const ShardPlan plan = ShardPlan::build(domain, 5, 2);
+  ASSERT_EQ(plan.shard_count(), 2u);
+  EXPECT_EQ(plan.domains[0], (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(plan.domains[1], (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(plan.tasks[0], (std::vector<TaskId>{0, 2, 4}));
+  EXPECT_EQ(plan.tasks[1], (std::vector<TaskId>{1, 3}));
+}
+
+TEST(ShardPlanTest, MoreShardsThanDomainsLeavesEmptyShards) {
+  const std::vector<DomainIndex> domain = {0, 0, 1};
+  const ShardPlan plan = ShardPlan::build(domain, 2, 8);
+  ASSERT_EQ(plan.shard_count(), 8u);
+  EXPECT_EQ(plan.tasks[0], (std::vector<TaskId>{0, 1}));
+  EXPECT_EQ(plan.tasks[1], (std::vector<TaskId>{2}));
+  for (std::size_t s = 2; s < 8; ++s) {
+    EXPECT_TRUE(plan.tasks[s].empty()) << s;
+    EXPECT_TRUE(plan.domains[s].empty()) << s;
+  }
+}
+
+TEST(ShardPlanTest, ZeroDomainsStillYieldsOneShard) {
+  const ShardPlan plan = ShardPlan::build({}, 0, 0);
+  EXPECT_EQ(plan.shard_count(), 1u);
+  EXPECT_TRUE(plan.tasks[0].empty());
+}
+
+TEST(ShardPlanTest, RejectsOutOfRangeDomainLabel) {
+  const std::vector<DomainIndex> domain = {0, 3};
+  EXPECT_THROW(ShardPlan::build(domain, 2, 0), std::invalid_argument);
+}
+
+TEST(ShardedObservationsTest, SlicesAreAscendingAndComplete) {
+  const Model m = make_model(6, 12, 3, 99);
+  const ShardPlan plan = ShardPlan::build(m.domain, 3, 2);
+  const ShardedObservations sliced(m.data, m.domain, plan);
+  ASSERT_EQ(sliced.shard_count(), 2u);
+  ASSERT_EQ(sliced.user_count(), 6u);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (UserId i = 0; i < 6; ++i) {
+      TaskId prev = 0;
+      bool first = true;
+      for (const auto& e : sliced.slice(s, i)) {
+        EXPECT_EQ(plan.domain_shard[m.domain[e.task]], s);
+        if (!first) {
+          EXPECT_LE(prev, e.task);  // ascending tasks
+        }
+        prev = e.task;
+        first = false;
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(total, m.data.total_observations());
+}
+
+TEST(ShardedEstimateTest, ExactTierBitIdenticalToMonolithic) {
+  const Model m = make_model(8, 20, 5, 17);
+  const Eta2Mle mle;
+  const MleResult reference = mle.estimate(m.data, m.domain, 5);
+  for (const std::size_t shards : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{2}, std::size_t{8}}) {
+    const ShardPlan plan = ShardPlan::build(m.domain, 5, shards);
+    const MleResult sharded = sharded_estimate(mle, m.data, m.domain, 5, plan,
+                                               ShardingTier::kExact);
+    expect_bitwise(reference.mu, sharded.mu, "mu");
+    expect_bitwise(reference.sigma, sharded.sigma, "sigma");
+    expect_bitwise(reference.expertise, sharded.expertise, "expertise");
+    EXPECT_EQ(reference.iterations, sharded.iterations) << shards;
+    EXPECT_EQ(reference.converged, sharded.converged) << shards;
+  }
+}
+
+TEST(ShardedEstimateTest, FillsShardTimingStats) {
+  const Model m = make_model(4, 9, 3, 5);
+  const Eta2Mle mle;
+  const ShardPlan plan = ShardPlan::build(m.domain, 3, 0);
+  ShardStageStats stats;
+  (void)sharded_estimate(mle, m.data, m.domain, 3, plan, ShardingTier::kExact,
+                         {}, &stats);
+  ASSERT_EQ(stats.shard_ns.size(), 3u);
+  for (const double ns : stats.shard_ns) EXPECT_GE(ns, 0.0);
+}
+
+TEST(ShardedDynamicUpdateTest, ExactTierBitIdenticalToMonolithic) {
+  const Model warm = make_model(8, 20, 5, 21);
+  const Eta2Mle mle;
+  for (const std::size_t shards : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{2}, std::size_t{8}}) {
+    // Two independent stores driven through the same warm-up so the sharded
+    // and monolithic updates start from identical accumulators.
+    ExpertiseStore mono(8);
+    ExpertiseStore shard_store(8);
+    for (int d = 0; d < 5; ++d) {
+      (void)mono.add_domain();
+      (void)shard_store.add_domain();
+    }
+    const MleResult fit = mle.estimate(warm.data, warm.domain, 5);
+    const Contributions seed = expertise_contributions(
+        warm.data, warm.domain, fit.mu, fit.sigma, 8, 5);
+    mono.decay_and_accumulate(1.0, seed.num, seed.den);
+    shard_store.decay_and_accumulate(1.0, seed.num, seed.den);
+
+    const Model next = make_model(8, 14, 5, 22);
+    const DynamicUpdateResult reference =
+        dynamic_update(mono, next.data, next.domain, 0.5, mle);
+    const ShardPlan plan = ShardPlan::build(next.domain, 5, shards);
+    const DynamicUpdateResult sharded = sharded_dynamic_update(
+        shard_store, next.data, next.domain, 0.5, mle, plan,
+        ShardingTier::kExact);
+    expect_bitwise(reference.mu, sharded.mu, "mu");
+    expect_bitwise(reference.sigma, sharded.sigma, "sigma");
+    EXPECT_EQ(reference.iterations, sharded.iterations) << shards;
+    EXPECT_EQ(reference.converged, sharded.converged) << shards;
+    expect_bitwise(mono.snapshot(), shard_store.snapshot(), "store");
+  }
+}
+
+TEST(ShardedEstimateTest, DomainLocalTierConvergesAndIsShardStable) {
+  const Model m = make_model(8, 20, 5, 31);
+  const Eta2Mle mle;
+  // Same layout run twice must agree bitwise (determinism), and the
+  // one-shard plan must reproduce kExact's global loop exactly.
+  const ShardPlan one = ShardPlan::build(m.domain, 5, 1);
+  const MleResult local_one = sharded_estimate(mle, m.data, m.domain, 5, one,
+                                               ShardingTier::kDomainLocalV1);
+  const MleResult exact = sharded_estimate(mle, m.data, m.domain, 5, one,
+                                           ShardingTier::kExact);
+  expect_bitwise(exact.mu, local_one.mu, "one-shard local == exact mu");
+  const ShardPlan plan = ShardPlan::build(m.domain, 5, 0);
+  const MleResult a = sharded_estimate(mle, m.data, m.domain, 5, plan,
+                                       ShardingTier::kDomainLocalV1);
+  const MleResult b = sharded_estimate(mle, m.data, m.domain, 5, plan,
+                                       ShardingTier::kDomainLocalV1);
+  expect_bitwise(a.mu, b.mu, "repeat run mu");
+  expect_bitwise(a.expertise, b.expertise, "repeat run expertise");
+  EXPECT_TRUE(a.converged);
+  for (const double v : a.mu) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace eta2::truth
