@@ -17,6 +17,16 @@ class NumericalError : public std::runtime_error {
   explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Thrown from a cooperative cancellation point (a step watchdog observing a
+// blown deadline, a shutdown request) to abandon the work in progress. The
+// durability layer treats it as terminal for the step — rollback and
+// journaled quarantine, never a retry — so a deadline breach costs one
+// bounded rollback instead of retries that would blow the deadline again.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what) : std::runtime_error(what) {}
+};
+
 // Precondition check: throws std::invalid_argument when `condition` is false.
 inline void require(bool condition, std::string_view message) {
   if (!condition) throw std::invalid_argument(std::string(message));

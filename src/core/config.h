@@ -3,6 +3,7 @@
 #define ETA2_CORE_CONFIG_H
 
 #include <cstddef>
+#include <functional>
 #include <string>
 
 #include "truth/eta2_mle.h"
@@ -69,6 +70,15 @@ struct Eta2Config {
   // monolithic stage implementations (results are bit-identical under
   // kExact either way; this exists for A/B benchmarking and triage).
   bool sharded_step = true;
+
+  // --- cooperative step cancellation (DESIGN.md §13) ---
+  // Invoked at the step pipeline's cancellation points: step entry, after
+  // each module boundary, and every few hundred observation collections.
+  // A watchdog that decides the step must stop (deadline breach, shutdown)
+  // throws eta2::CancelledError; the durability layer rolls the step back
+  // and quarantines its batch without retrying. Runtime wiring, not data —
+  // never serialized, and null (the default) costs nothing on the hot path.
+  std::function<void()> step_watchdog;
 
   // --- min-cost allocation (ETA²-mc) ---
   // Legacy toggle: picks "min-cost" as the default allocator when

@@ -1,7 +1,9 @@
 #include "core/durable_runner.h"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <sstream>
 #include <thread>
@@ -120,6 +122,14 @@ std::uint64_t parse_campaign_next_step(const std::string& payload) {
   return next;
 }
 
+// splitmix64 finalizer: the counter-hash behind deterministic retry jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 std::string single_line(std::string text) {
   for (char& c : text) {
     if (c == '\n' || c == '\r') c = ' ';
@@ -153,6 +163,12 @@ DurableRunner::DurableRunner(std::size_t user_count, Eta2Config config,
           "DurableRunner: max_step_retries >= 0");
   require(options_.retry_backoff_ms >= 0,
           "DurableRunner: retry_backoff_ms >= 0");
+  require(options_.retry_backoff_multiplier >= 1.0,
+          "DurableRunner: retry_backoff_multiplier >= 1");
+  require(options_.retry_backoff_max_ms >= 0,
+          "DurableRunner: retry_backoff_max_ms >= 0");
+  require(options_.retry_jitter >= 0.0 && options_.retry_jitter <= 1.0,
+          "DurableRunner: retry_jitter in [0,1]");
   recover_or_init();
 }
 
@@ -338,9 +354,11 @@ DurableRunner::StepOutcome DurableRunner::execute_step(
   while (!done) {
     if (attempt > 0) {
       restore_campaign(capture);
-      if (options_.retry_backoff_ms > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
+      const std::uint64_t delay =
+          retry_delay_ms(options_, seed_, step, attempt);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<std::chrono::milliseconds::rep>(delay)));
       }
     }
     if (options_.attempt_hook) options_.attempt_hook(step, attempt);
@@ -349,6 +367,12 @@ DurableRunner::StepOutcome DurableRunner::execute_step(
       outcome.result = server_->step(tasks, user_capacity, collect, rng_);
       outcome.attempts = attempt + 1;
       done = true;
+    } catch (const CancelledError& e) {
+      // A watchdog cancellation (deadline breach, shutdown) is terminal:
+      // retrying would just blow the same deadline again, so the step rolls
+      // back and quarantines immediately.
+      outcome.error = e.what();
+      outcome.cancelled = true;
     } catch (const ContractViolation& e) {
       outcome.error = e.what();
     } catch (const io::CorruptSnapshotError& e) {
@@ -358,7 +382,7 @@ DurableRunner::StepOutcome DurableRunner::execute_step(
     }
     if (done) break;
     ++attempt;
-    if (attempt > options_.max_step_retries) {
+    if (outcome.cancelled || attempt > options_.max_step_retries) {
       restore_campaign(capture);
       outcome.attempts = attempt;
       outcome.quarantined = true;
@@ -367,9 +391,13 @@ DurableRunner::StepOutcome DurableRunner::execute_step(
   }
 
   if (outcome.quarantined) {
+    // The `cancelled` line is written only when set, so quarantines from
+    // failing steps keep their historical byte layout and old journals
+    // replay unchanged.
     std::ostringstream q;
-    q << "step " << step << "\nattempts " << outcome.attempts << "\nerror "
-      << single_line(outcome.error) << "\n";
+    q << "step " << step << "\nattempts " << outcome.attempts << "\n";
+    if (outcome.cancelled) q << "cancelled 1\n";
+    q << "error " << single_line(outcome.error) << "\n";
     journal_.append(io::RecordType::kStepQuarantine, step, q.str());
     ++quarantined_steps_;
   } else {
@@ -402,7 +430,14 @@ DurableRunner::StepOutcome DurableRunner::replay_step(
     expect_key(in, "attempts");
     in >> outcome.attempts;
     std::string key;
-    if (in >> key && key == "error") {
+    if (!(in >> key)) key.clear();
+    if (key == "cancelled") {
+      int flag = 0;
+      in >> flag;
+      outcome.cancelled = flag != 0;
+      if (!(in >> key)) key.clear();
+    }
+    if (key == "error") {
       std::getline(in >> std::ws, outcome.error);
     }
     outcome.quarantined = true;
@@ -458,6 +493,34 @@ DurableRunner::StepOutcome DurableRunner::run_step(
     checkpoint();
   }
   return outcome;
+}
+
+std::uint64_t DurableRunner::retry_delay_ms(const DurableOptions& options,
+                                            std::uint64_t seed,
+                                            std::uint64_t step, int attempt) {
+  if (options.retry_backoff_ms <= 0 || attempt <= 0) return 0;
+  double delay = static_cast<double>(options.retry_backoff_ms);
+  if (options.retry_backoff_multiplier > 1.0) {
+    delay *= std::pow(options.retry_backoff_multiplier,
+                      static_cast<double>(attempt - 1));
+  } else {
+    delay *= static_cast<double>(attempt);  // historical linear ramp
+  }
+  if (options.retry_backoff_max_ms > 0) {
+    delay = std::min(delay, static_cast<double>(options.retry_backoff_max_ms));
+  }
+  if (options.retry_jitter > 0.0) {
+    // Counter-hash jitter: uniform in [1 - j, 1 + j], a pure function of
+    // (seed, step, attempt) so a replayed retry schedule is reproducible.
+    const std::uint64_t h =
+        mix64(seed ^ mix64(step ^ mix64(static_cast<std::uint64_t>(attempt))));
+    const double unit =
+        static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
+    const double j = std::min(options.retry_jitter, 1.0);
+    delay *= 1.0 - j + 2.0 * j * unit;
+  }
+  delay = std::min(delay, 9.0e15);  // keep the cast below in-range
+  return static_cast<std::uint64_t>(delay);
 }
 
 void DurableRunner::checkpoint() {

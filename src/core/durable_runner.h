@@ -53,10 +53,20 @@ struct DurableOptions {
   std::uint64_t snapshot_cadence = 8;
   // Extra attempts for a step that throws ContractViolation /
   // NumericalError / CorruptSnapshotError (0 = quarantine on first failure).
+  // eta2::CancelledError is terminal: rollback + quarantine, never a retry.
   int max_step_retries = 2;
-  // Backoff before retry k is k * retry_backoff_ms (bounded by the retry
-  // cap). 0 = no sleep, the right setting for deterministic failures.
+  // Backoff before retry k. With multiplier > 1 the delay grows
+  // exponentially: retry_backoff_ms * multiplier^(k-1); the default
+  // multiplier (1.0) keeps the historical linear ramp k * retry_backoff_ms.
+  // Either shape is clamped to retry_backoff_max_ms when that cap is > 0,
+  // then stretched by a deterministic jitter factor in
+  // [1 - retry_jitter, 1 + retry_jitter] hashed from (campaign seed, step,
+  // attempt) — decorrelated across steps yet reproducible on replay. A 0
+  // base means no sleep, the right setting for deterministic failures.
   int retry_backoff_ms = 0;
+  double retry_backoff_multiplier = 1.0;
+  int retry_backoff_max_ms = 0;
+  double retry_jitter = 0.0;
   std::uint64_t max_segment_bytes = 1 << 20;
   // Verify replayed steps against the journaled result digest / RNG state
   // (throws CorruptSnapshotError on divergence). Off only for experiments
@@ -76,6 +86,9 @@ class DurableRunner {
   struct StepOutcome {
     Eta2Server::StepResult result;  // default-constructed when quarantined
     bool quarantined = false;       // step abandoned after retries
+    // The quarantine came from a watchdog cancellation (CancelledError):
+    // deadline breach or shutdown, not a failing step — never retried.
+    bool cancelled = false;
     bool replayed = false;  // reproduced from the journal after a restart
     int attempts = 1;       // execution attempts this step consumed
     std::string error;      // last failure when attempts > 1 or quarantined
@@ -144,6 +157,29 @@ class DurableRunner {
   [[nodiscard]] Rng& rng() { return rng_; }
 
   [[nodiscard]] const DurableOptions& options() const { return options_; }
+
+  // True when `step` has a journaled outcome (COMMIT / QUARANTINE) awaiting
+  // replay — run_step for it will reproduce the journal rather than execute
+  // live. The serve layer disables request deadlines for such steps: a
+  // replay must not be cancelled mid-flight, or recovery would diverge.
+  [[nodiscard]] bool pending_replay(std::uint64_t step) const {
+    return pending_.find(step) != pending_.end();
+  }
+
+  // Frontier of the oldest retained snapshot generation: every step below
+  // it is durable in a snapshot and can never replay again, so drivers that
+  // keep their own per-step input logs (the serve layer's ingest WAL) may
+  // prune entries below this bound.
+  [[nodiscard]] std::uint64_t fallback_frontier() const {
+    return fallback_next_step_;
+  }
+
+  // The delay (ms) slept before execution attempt `attempt` of `step`
+  // (attempt 0 is the first try and never sleeps). Pure function of its
+  // arguments — exposed so backoff shapes are unit-testable without clocks.
+  [[nodiscard]] static std::uint64_t retry_delay_ms(
+      const DurableOptions& options, std::uint64_t seed, std::uint64_t step,
+      int attempt);
 
   // Campaign file names inside options().dir.
   [[nodiscard]] static std::string snapshot_file_name() {

@@ -98,6 +98,15 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
     return result;
   }
 
+  // Cooperative cancellation (DESIGN.md §13): the watchdog runs at module
+  // boundaries and every 256 observation collections. It either returns or
+  // throws CancelledError; it never mutates state, so a step that is not
+  // cancelled is bit-identical with or without a watchdog installed.
+  const auto cancellation_point = [this] {
+    if (config_.step_watchdog) config_.step_watchdog();
+  };
+  cancellation_point();
+
   StepContext ctx;
   ctx.config = &config_;
   ctx.store = &store_;
@@ -109,8 +118,15 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
   // loop below or incrementally by a collecting strategy (min-cost) — flows
   // through the sanitizer, so NaN/Inf and gross outliers never reach the
   // MLE. Clean values pass through bit-identical.
-  const CollectFn safe = sanitizing_collect(
+  const CollectFn sanitized = sanitizing_collect(
       collect, config_.observation_abs_limit, ctx.health);
+  std::size_t collect_calls = 0;
+  const CollectFn safe =
+      [&sanitized, &collect_calls, &cancellation_point](
+          std::size_t local_task, std::size_t user) -> std::optional<double> {
+    if (++collect_calls % 256 == 0) cancellation_point();
+    return sanitized(local_task, user);
+  };
   ctx.collect = &safe;
 
   // --- Module 1: identify task expertise domains. Labels resolve first in
@@ -132,6 +148,7 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
     }
   }
   ctx.domain_count = store_.domain_count();
+  cancellation_point();
 
   // --- Domain-sharded execution view (DESIGN.md §12): built once the
   // batch's domain labels are final; the truth and allocation stages run
@@ -159,10 +176,12 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
   TruthUpdater& update = warmed_up_ ? *truth_updater_ : *warmup_truth_;
 
   allocate.allocate(ctx);
+  cancellation_point();
   if (!allocate.collects_observations()) {
     ctx.observations = truth::ObservationSet(n, m);
     collect_observations(ctx.allocation, safe, ctx.observations);
   }
+  cancellation_point();
   update_with_fallback(update, ctx);
   warmed_up_ = true;
 

@@ -82,11 +82,12 @@ struct StepHealth {
   std::size_t quarantined_batches = 0;
 
   // --- sharded-execution observability (DESIGN.md §12) ---
-  // Deliberately NOT serialized: the v1/v2 save formats and the durable
-  // runner's health digest cover only the fault counters above, so these
-  // fields never perturb checkpoint bytes or WAL resume — and the
-  // wall-clock timings are nondeterministic by nature, so they must never
-  // enter any compared artifact. None of them feed degraded().
+  // The five scalar counters are deterministic and persist in the campaign
+  // snapshot's extra block (eta2-sim-extra v2, sim/durable_sim.h), so a
+  // resumed campaign reports its full health history. The per-shard
+  // wall-clock timing vectors are nondeterministic by nature and are NEVER
+  // serialized — they must not enter any compared artifact (checkpoint
+  // bytes, WAL digests). None of these fields feed degraded().
   std::size_t shard_count = 0;               // shards in this step's plan
   std::size_t sharded_truth_iterations = 0;  // truth-stage iteration count
   std::vector<double> shard_truth_ns;        // per-shard truth-stage time

@@ -47,6 +47,8 @@ std::string_view record_type_name(RecordType type) {
       return "commit";
     case RecordType::kStepQuarantine:
       return "quarantine";
+    case RecordType::kServeIngest:
+      return "serve-ingest";
   }
   return "unknown";
 }
@@ -100,6 +102,8 @@ SegmentScan scan_segment(std::string_view bytes) {
       type = RecordType::kStepCommit;
     } else if (type_name == "quarantine") {
       type = RecordType::kStepQuarantine;
+    } else if (type_name == "serve-ingest") {
+      type = RecordType::kServeIngest;
     } else {
       scan.corrupt = true;
       scan.diagnostic =
@@ -168,7 +172,17 @@ std::vector<std::uint64_t> list_segments(const std::string& dir) {
 JournalScan scan_journal(const std::string& dir) {
   JournalScan scan;
   for (const std::uint64_t index : list_segments(dir)) {
-    const SegmentScan segment = scan_segment(read_file(dir_path(dir, index)));
+    std::string bytes;
+    try {
+      bytes = read_file(dir_path(dir, index));
+    } catch (const std::exception&) {
+      // The segment vanished between listing and reading: a concurrent
+      // prune deleting covered segments (oldest-first). Skip it — but a
+      // segment that still exists yet cannot be read is a real IO failure.
+      if (fs::exists(dir_path(dir, index))) throw;
+      continue;
+    }
+    const SegmentScan segment = scan_segment(bytes);
     std::uint64_t max_step = 0;
     for (const JournalRecord& record : segment.records) {
       max_step = std::max(max_step, record.step);

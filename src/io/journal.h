@@ -49,6 +49,10 @@ enum class RecordType : std::uint8_t {
   kStepBegin,       // step inputs journaled before the step runs
   kStepCommit,      // step completed; payload carries the result digests
   kStepQuarantine,  // step abandoned after retries; batch skipped
+  // Serve-layer ingest WAL (serve/service.h): one accepted client batch,
+  // journaled in its own directory before the ingest is acknowledged so
+  // recovery can re-feed the runner the exact bytes it journaled as BEGIN.
+  kServeIngest,
 };
 
 [[nodiscard]] std::string_view record_type_name(RecordType type);
@@ -90,6 +94,10 @@ struct JournalScan {
 
 [[nodiscard]] std::string segment_file_name(std::uint64_t index);
 [[nodiscard]] std::vector<std::uint64_t> list_segments(const std::string& dir);
+// Scans every segment of `dir` in index order. Tolerates a segment
+// vanishing between listing and reading (a concurrent prune of covered
+// segments deletes oldest-first): the missing segment is skipped, not an
+// error — its records were covered by a snapshot generation.
 [[nodiscard]] JournalScan scan_journal(const std::string& dir);
 
 // Campaign manifest: the raw CLI argument tokens of a durable `simulate`

@@ -1,0 +1,106 @@
+#include "serve/admission.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace eta2::serve {
+
+AdmissionQueue::AdmissionQueue(Options options, ServeHealth* health)
+    : options_(options), health_(health) {
+  require(options_.max_depth >= 1, "AdmissionQueue: max_depth >= 1");
+  require(options_.max_bytes >= 1, "AdmissionQueue: max_bytes >= 1");
+  require(options_.shed_watermark >= 0.0 && options_.shed_watermark <= 1.0,
+          "AdmissionQueue: shed_watermark in [0,1]");
+  require(health != nullptr, "AdmissionQueue: health ledger required");
+}
+
+Admission AdmissionQueue::decide_locked(int priority,
+                                        std::size_t bytes) const {
+  if (queue_.size() >= options_.max_depth ||
+      queued_bytes_ + bytes > options_.max_bytes) {
+    return Admission::kOverloaded;
+  }
+  const auto watermark_depth = static_cast<std::size_t>(
+      options_.shed_watermark * static_cast<double>(options_.max_depth));
+  if (queue_.size() >= watermark_depth &&
+      priority < options_.shed_priority_threshold) {
+    return Admission::kShed;
+  }
+  return Admission::kAccepted;
+}
+
+Admission AdmissionQueue::admit(int priority, std::size_t bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return decide_locked(priority, bytes);
+}
+
+Admission AdmissionQueue::offer(QueuedBatch batch) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Admission decision =
+        decide_locked(batch.batch.priority, batch.bytes);
+    if (decision != Admission::kAccepted) return decision;
+    queued_bytes_ += batch.bytes;
+    queue_.push_back(std::move(batch));
+    health_->observe_queue_depth(queue_.size());
+    health_->observe_queue_bytes(queued_bytes_);
+  }
+  available_.notify_one();
+  return Admission::kAccepted;
+}
+
+void AdmissionQueue::restore(QueuedBatch batch) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queued_bytes_ += batch.bytes;
+    queue_.push_back(std::move(batch));
+    health_->observe_queue_depth(queue_.size());
+    health_->observe_queue_bytes(queued_bytes_);
+  }
+  available_.notify_one();
+}
+
+std::optional<QueuedBatch> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  QueuedBatch batch = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= batch.bytes;
+  return batch;
+}
+
+std::optional<QueuedBatch> AdmissionQueue::try_pop() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  QueuedBatch batch = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= batch.bytes;
+  return batch;
+}
+
+void AdmissionQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  available_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t AdmissionQueue::bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queued_bytes_;
+}
+
+bool AdmissionQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace eta2::serve

@@ -1,0 +1,104 @@
+// Bounded admission queue between the connection threads and the step
+// loop. Admission is explicit and total: every offered batch gets exactly
+// one typed decision — ACCEPTED (enqueued), OVERLOADED (queue at its depth
+// or byte cap), or SHED (queue above the shed watermark and the batch's
+// priority below the configured threshold). Nothing is ever dropped
+// without a decision, which is what lets ServeHealth reconcile with the
+// load generator's offered count.
+//
+// Shedding is the graceful tier between "all is well" and "reject
+// everything": as the queue fills past the watermark, low-priority ingests
+// are turned away while important ones still get the remaining capacity.
+#ifndef ETA2_SERVE_ADMISSION_H
+#define ETA2_SERVE_ADMISSION_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/batch.h"
+#include "serve/clock.h"
+#include "serve/health.h"
+
+namespace eta2::serve {
+
+enum class Admission : std::uint8_t {
+  kAccepted,
+  kOverloaded,
+  kShed,
+};
+
+// One admitted batch waiting for the step loop, tagged with its durable
+// sequence number (== the DurableRunner step that will consume it) and the
+// request's deadline bookkeeping.
+struct QueuedBatch {
+  std::uint64_t seq = 0;
+  IngestBatch batch;
+  std::size_t bytes = 0;       // serialized size, for the byte cap
+  TimePoint enqueued_at{};     // latency accounting
+  TimePoint deadline{};        // zero when deadlines are off
+  bool has_deadline = false;
+};
+
+class AdmissionQueue {
+ public:
+  struct Options {
+    std::size_t max_depth = 64;
+    std::size_t max_bytes = 4u << 20;
+    // Queue depth fraction above which shedding engages.
+    double shed_watermark = 0.75;
+    // Batches with priority < this are shed once the watermark is reached.
+    int shed_priority_threshold = 1;
+  };
+
+  AdmissionQueue(Options options, ServeHealth* health);
+
+  // The admission decision for a batch of `bytes` serialized size. Pure
+  // policy — does not enqueue (the service journals the batch between the
+  // decision and push). Must be called with the caller holding no queue
+  // assumptions; the final depth check is repeated inside push.
+  [[nodiscard]] Admission admit(int priority, std::size_t bytes);
+
+  // Admission + enqueue as one guarded step: decides, and on kAccepted
+  // enqueues the batch tagged with `seq`. High-water marks are recorded
+  // here.
+  Admission offer(QueuedBatch batch);
+
+  // Unconditional enqueue, bypassing admission policy: recovery re-feeding
+  // batches that were already accepted and WAL'd before a crash. Those
+  // batches passed admission once; dropping them now would be a silent
+  // loss.
+  void restore(QueuedBatch batch);
+
+  // Blocks until a batch is available or the queue is closed; returns
+  // nullopt only when closed and drained. The step loop's pull side.
+  [[nodiscard]] std::optional<QueuedBatch> pop();
+
+  // Non-blocking pull (deterministic drain in tests and torture children).
+  [[nodiscard]] std::optional<QueuedBatch> try_pop();
+
+  // Wakes every waiter; pop() drains what is queued, then reports closed.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t bytes() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  [[nodiscard]] Admission decide_locked(int priority,
+                                        std::size_t bytes) const;
+
+  Options options_;
+  ServeHealth* health_;
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<QueuedBatch> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace eta2::serve
+
+#endif  // ETA2_SERVE_ADMISSION_H

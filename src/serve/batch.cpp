@@ -1,0 +1,121 @@
+#include "serve/batch.h"
+
+#include <bit>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace eta2::serve {
+namespace {
+
+std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double bits_double(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+[[noreturn]] void bad_batch(std::string_view what) {
+  throw std::invalid_argument("ingest batch: malformed " + std::string(what));
+}
+
+void expect_key(std::istream& in, std::string_view key) {
+  std::string token;
+  if (!(in >> token) || token != key) bad_batch(key);
+}
+
+}  // namespace
+
+std::string serialize_batch(const IngestBatch& batch) {
+  std::ostringstream out;
+  out << "eta2-batch v1\n";
+  out << "priority " << batch.priority << "\n";
+  out << "capacities " << batch.user_capacity.size();
+  for (const double v : batch.user_capacity) out << " " << double_bits(v);
+  out << "\ntasks " << batch.tasks.size() << "\n";
+  for (const core::NewTask& t : batch.tasks) {
+    out << "task ";
+    if (t.known_domain.has_value()) {
+      out << *t.known_domain;
+    } else {
+      out << "-";
+    }
+    out << " " << double_bits(t.processing_time) << " " << double_bits(t.cost)
+        << " " << t.description.size() << "\n"
+        << t.description << "\n";
+  }
+  out << "observations " << batch.observations.size() << "\n";
+  for (const IngestBatch::Observation& o : batch.observations) {
+    out << "obs " << o.task << " " << o.user << " " << double_bits(o.value)
+        << "\n";
+  }
+  return out.str();
+}
+
+IngestBatch parse_batch(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != "eta2-batch" || version != "v1") {
+    bad_batch("header");
+  }
+  IngestBatch batch;
+  expect_key(in, "priority");
+  if (!(in >> batch.priority)) bad_batch("priority");
+  expect_key(in, "capacities");
+  std::size_t capacity_count = 0;
+  if (!(in >> capacity_count)) bad_batch("capacity count");
+  batch.user_capacity.resize(capacity_count);
+  for (double& v : batch.user_capacity) {
+    std::uint64_t bits = 0;
+    if (!(in >> bits)) bad_batch("capacity values");
+    v = bits_double(bits);
+  }
+  expect_key(in, "tasks");
+  std::size_t task_count = 0;
+  if (!(in >> task_count)) bad_batch("task count");
+  batch.tasks.reserve(task_count);
+  for (std::size_t j = 0; j < task_count; ++j) {
+    expect_key(in, "task");
+    std::string domain;
+    std::uint64_t time_bits = 0;
+    std::uint64_t cost_bits = 0;
+    std::size_t description_bytes = 0;
+    if (!(in >> domain >> time_bits >> cost_bits >> description_bytes) ||
+        in.get() != '\n') {
+      bad_batch("task line");
+    }
+    core::NewTask t;
+    if (domain != "-") {
+      std::size_t index = 0;
+      try {
+        index = std::stoull(domain);
+      } catch (const std::exception&) {
+        bad_batch("task domain");
+      }
+      t.known_domain = index;
+    }
+    t.processing_time = bits_double(time_bits);
+    t.cost = bits_double(cost_bits);
+    t.description.resize(description_bytes);
+    in.read(t.description.data(),
+            static_cast<std::streamsize>(description_bytes));
+    if (static_cast<std::size_t>(in.gcount()) != description_bytes ||
+        in.get() != '\n') {
+      bad_batch("task description");
+    }
+    batch.tasks.push_back(std::move(t));
+  }
+  expect_key(in, "observations");
+  std::size_t observation_count = 0;
+  if (!(in >> observation_count)) bad_batch("observation count");
+  batch.observations.reserve(observation_count);
+  for (std::size_t k = 0; k < observation_count; ++k) {
+    expect_key(in, "obs");
+    IngestBatch::Observation o;
+    std::uint64_t value_bits = 0;
+    if (!(in >> o.task >> o.user >> value_bits)) bad_batch("obs line");
+    if (o.task >= batch.tasks.size()) bad_batch("obs task index");
+    o.value = bits_double(value_bits);
+    batch.observations.push_back(o);
+  }
+  return batch;
+}
+
+}  // namespace eta2::serve

@@ -1,0 +1,51 @@
+// The serve-layer ingest unit: one observation batch a client submits for
+// a future truth-update step, plus its exact text serialization.
+//
+// The serialization matters more than usual here: an accepted batch's bytes
+// are appended to the service's ingest WAL BEFORE the ingest is
+// acknowledged, and crash recovery re-feeds those bytes to the step loop —
+// so the on-disk form must round-trip bit-exactly (doubles travel as
+// IEEE-754 bit patterns, like every durable format in this tree).
+#ifndef ETA2_SERVE_BATCH_H
+#define ETA2_SERVE_BATCH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/step_context.h"
+
+namespace eta2::serve {
+
+struct IngestBatch {
+  // Shed tier: under queue pressure, batches with priority below the
+  // configured threshold are shed first. Higher = more important.
+  int priority = 1;
+  // The step's tasks (descriptions or known-domain labels, processing
+  // times, costs) — exactly what Eta2Server::step receives.
+  std::vector<core::NewTask> tasks;
+  // Per-user capacities for this step; empty = the service's defaults.
+  std::vector<double> user_capacity;
+  // Sparse client-reported observations: the step's collect callback
+  // answers (task, user) from these and returns no-response for pairs the
+  // batch does not carry.
+  struct Observation {
+    std::size_t task = 0;  // local index into `tasks`
+    std::size_t user = 0;
+    double value = 0.0;
+  };
+  std::vector<Observation> observations;
+};
+
+// Exact text serialization (round-trips bit-identically).
+[[nodiscard]] std::string serialize_batch(const IngestBatch& batch);
+
+// Parses a serialized batch; throws std::invalid_argument with a one-line
+// diagnostic on any malformed input (the socket layer turns that into a
+// typed kError response — a bad client never reaches the step loop).
+[[nodiscard]] IngestBatch parse_batch(std::string_view payload);
+
+}  // namespace eta2::serve
+
+#endif  // ETA2_SERVE_BATCH_H

@@ -1,0 +1,42 @@
+// Wall-clock access for the serve layer.
+//
+// The serve layer is the one part of the tree that legitimately needs real
+// time: request deadlines, socket IO timeouts, latency accounting. All of
+// it funnels through this header so the rest of serve/ stays free of
+// direct clock calls — deterministic paths (the step pipeline, replay,
+// torture children) never read a clock at all, they either disable
+// deadlines or inject a fake TimeSource.
+#ifndef ETA2_SERVE_CLOCK_H
+#define ETA2_SERVE_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace eta2::serve {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+// Monotonic now(). Operational timing only (deadlines, timeouts, latency
+// buckets) — never feeds any journaled, snapshotted, or compared artifact.
+// eta2-lint: allow(nondeterminism)
+inline TimePoint now() { return Clock::now(); }
+
+inline std::int64_t ms_between(TimePoint start, TimePoint end) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(end - start)
+      .count();
+}
+
+inline std::int64_t us_between(TimePoint start, TimePoint end) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+      .count();
+}
+
+// Injectable time source: production code passes serve::now, deterministic
+// tests pass a lambda over a fake counter.
+using TimeSource = std::function<TimePoint()>;
+
+}  // namespace eta2::serve
+
+#endif  // ETA2_SERVE_CLOCK_H

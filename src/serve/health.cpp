@@ -1,0 +1,110 @@
+#include "serve/health.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace eta2::serve {
+namespace {
+
+// Bucket index: floor(log2(us)) clamped to the table (bucket 0 holds 0–1us).
+std::size_t bucket_of(std::uint64_t us) {
+  if (us <= 1) return 0;
+  return std::min<std::size_t>(std::bit_width(us) - 1, 39);
+}
+
+void max_update(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void ServeHealth::observe_queue_depth(std::uint64_t depth) {
+  max_update(depth_high_water_, depth);
+}
+
+void ServeHealth::observe_queue_bytes(std::uint64_t bytes) {
+  max_update(bytes_high_water_, bytes);
+}
+
+void ServeHealth::record_latency_us(std::uint64_t us) {
+  latency_buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+ServeHealthSnapshot ServeHealth::snapshot() const {
+  ServeHealthSnapshot s;
+  s.ingests_offered = offered_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected_overloaded = overloaded_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.malformed = malformed_.load(std::memory_order_relaxed);
+  s.steps_committed = steps_committed_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.retried = retried_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.queries_served = queries_.load(std::memory_order_relaxed);
+  s.snapshots_taken = snapshots_.load(std::memory_order_relaxed);
+  s.connections_opened = connections_opened_.load(std::memory_order_relaxed);
+  s.connections_dropped =
+      connections_dropped_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.queue_depth_high_water = depth_high_water_.load(std::memory_order_relaxed);
+  s.queue_bytes_high_water = bytes_high_water_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < s.latency_us_buckets.size(); ++i) {
+    s.latency_us_buckets[i] =
+        latency_buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::uint64_t ServeHealthSnapshot::latency_count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : latency_us_buckets) total += c;
+  return total;
+}
+
+double ServeHealthSnapshot::latency_quantile_us(double q) const {
+  const std::uint64_t total = latency_count();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < latency_us_buckets.size(); ++i) {
+    seen += static_cast<double>(latency_us_buckets[i]);
+    if (seen >= target) {
+      // Upper edge of the bucket: a conservative (pessimistic) quantile.
+      return static_cast<double>(std::uint64_t{1} << (i + 1));
+    }
+  }
+  return static_cast<double>(std::uint64_t{1} << latency_us_buckets.size());
+}
+
+std::string health_json(const ServeHealthSnapshot& s) {
+  std::ostringstream out;
+  out << "{";
+  out << "\"ingests_offered\":" << s.ingests_offered;
+  out << ",\"accepted\":" << s.accepted;
+  out << ",\"rejected_overloaded\":" << s.rejected_overloaded;
+  out << ",\"shed\":" << s.shed;
+  out << ",\"malformed\":" << s.malformed;
+  out << ",\"steps_committed\":" << s.steps_committed;
+  out << ",\"timed_out\":" << s.timed_out;
+  out << ",\"retried\":" << s.retried;
+  out << ",\"quarantined\":" << s.quarantined;
+  out << ",\"queries_served\":" << s.queries_served;
+  out << ",\"snapshots_taken\":" << s.snapshots_taken;
+  out << ",\"connections_opened\":" << s.connections_opened;
+  out << ",\"connections_dropped\":" << s.connections_dropped;
+  out << ",\"protocol_errors\":" << s.protocol_errors;
+  out << ",\"queue_depth_high_water\":" << s.queue_depth_high_water;
+  out << ",\"queue_bytes_high_water\":" << s.queue_bytes_high_water;
+  out << ",\"latency_count\":" << s.latency_count();
+  out << ",\"latency_p50_us\":" << s.latency_quantile_us(0.5);
+  out << ",\"latency_p99_us\":" << s.latency_quantile_us(0.99);
+  out << "}";
+  return out.str();
+}
+
+}  // namespace eta2::serve

@@ -1,0 +1,128 @@
+// The service's operational ledger: every request outcome is counted, so
+// "accepted + rejected + shed == offered" is checkable from the outside —
+// the no-silent-drops invariant the load generator asserts. Counters are
+// lock-free atomics (touched on every request from every connection
+// thread); snapshot() gives a consistent-enough plain copy for the health
+// endpoint and BENCH_serve.json.
+//
+// Latency lives in a log-spaced histogram (powers of two in microseconds):
+// cheap to record concurrently, good enough for p50/p99 reporting, and no
+// wall-clock value ever leaves the process except through this
+// explicitly-operational surface.
+#ifndef ETA2_SERVE_HEALTH_H
+#define ETA2_SERVE_HEALTH_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace eta2::serve {
+
+// Plain copy of the ledger at one instant.
+struct ServeHealthSnapshot {
+  // --- ingest admission ---
+  std::uint64_t ingests_offered = 0;   // every ingest request that parsed
+  std::uint64_t accepted = 0;          // admitted + WAL-durable + acked
+  std::uint64_t rejected_overloaded = 0;  // typed OVERLOADED rejection
+  std::uint64_t shed = 0;              // low-priority, shed under pressure
+  std::uint64_t malformed = 0;         // unparseable request -> kError
+  // --- step loop ---
+  std::uint64_t steps_committed = 0;
+  std::uint64_t timed_out = 0;     // deadline breach -> cancelled + quarantine
+  std::uint64_t retried = 0;       // extra execution attempts consumed
+  std::uint64_t quarantined = 0;   // batches abandoned (incl. timed out)
+  // --- read path ---
+  std::uint64_t queries_served = 0;   // answered from the committed view
+  std::uint64_t snapshots_taken = 0;
+  // --- connection plane ---
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_dropped = 0;  // poisoned stream / IO timeout
+  std::uint64_t protocol_errors = 0;      // torn/corrupt/oversized frames
+  // --- pressure high-water marks ---
+  std::uint64_t queue_depth_high_water = 0;
+  std::uint64_t queue_bytes_high_water = 0;
+  // --- ingest latency histogram (log2 buckets, microseconds) ---
+  std::array<std::uint64_t, 40> latency_us_buckets{};
+
+  // Approximate quantile (0 < q < 1) from the histogram, in microseconds;
+  // 0 when nothing was recorded.
+  [[nodiscard]] double latency_quantile_us(double q) const;
+  [[nodiscard]] std::uint64_t latency_count() const;
+};
+
+class ServeHealth {
+ public:
+  void count_offered() { offered_.fetch_add(1, std::memory_order_relaxed); }
+  void count_accepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void count_overloaded() {
+    overloaded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void count_malformed() {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_step_committed() {
+    steps_committed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_timed_out() {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_retries(std::uint64_t extra_attempts) {
+    if (extra_attempts > 0) {
+      retried_.fetch_add(extra_attempts, std::memory_order_relaxed);
+    }
+  }
+  void count_quarantined() {
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_query() { queries_.fetch_add(1, std::memory_order_relaxed); }
+  void count_snapshot() {
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_connection_opened() {
+    connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_connection_dropped() {
+    connections_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_protocol_error() {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Monotonic high-water tracking (racy max is fine: both contenders are
+  // real observed depths).
+  void observe_queue_depth(std::uint64_t depth);
+  void observe_queue_bytes(std::uint64_t bytes);
+
+  void record_latency_us(std::uint64_t us);
+
+  [[nodiscard]] ServeHealthSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> steps_committed_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+  std::atomic<std::uint64_t> connections_opened_{0};
+  std::atomic<std::uint64_t> connections_dropped_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> depth_high_water_{0};
+  std::atomic<std::uint64_t> bytes_high_water_{0};
+  std::array<std::atomic<std::uint64_t>, 40> latency_buckets_{};
+};
+
+// The health endpoint / BENCH_serve.json body: flat JSON object with every
+// counter plus p50/p99 latency (microseconds).
+[[nodiscard]] std::string health_json(const ServeHealthSnapshot& snapshot);
+
+}  // namespace eta2::serve
+
+#endif  // ETA2_SERVE_HEALTH_H

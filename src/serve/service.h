@@ -1,0 +1,187 @@
+// Eta2Service: the failure-hardened core of the eta2d daemon (DESIGN.md
+// §13) — everything except the sockets.
+//
+// Write path: connection threads call ingest(). An admitted batch is
+// appended to the service's own ingest WAL (<dir>/ingest/, serve-ingest
+// records) and acknowledged only once durable; the async step loop drains
+// the bounded admission queue and runs each batch as one DurableRunner
+// step, so the campaign WAL underneath makes kill -9 at any instant
+// lossless. The ingest WAL closes the recovery loop: the runner's journal
+// replay needs each step's exact inputs, which a service cannot re-derive
+// the way the simulation driver can — so recovery re-feeds the journaled
+// batches (seq == step, 1:1) and replay verifies them byte-for-byte.
+//
+// Robustness spine:
+//   - admission control: depth + byte caps give typed OVERLOADED
+//     rejections; above the shed watermark, low-priority ingests are SHED.
+//     Every offered batch gets exactly one counted decision.
+//   - per-request deadlines: an accepted batch carries deadline
+//     now + step_deadline_ms; the step watchdog (cooperative cancellation
+//     points inside Eta2Server::step) throws CancelledError past it, and
+//     the runner rolls back + journals a cancelled quarantine — bounded
+//     work, reproduced exactly on recovery.
+//   - bounded retries with exponential backoff + deterministic jitter on
+//     transient step failures, then journaled quarantine (PR 5 protocol).
+//   - load shedding tiers: allocation queries are answered from the last
+//     committed snapshot-consistent view without touching the step loop,
+//     so reads degrade to slightly-stale instead of blocking under load.
+//   - ServeHealth ledger: accepted/rejected/shed/timed-out/retried/
+//     quarantined counters and queue high-water marks, surfaced through
+//     the health endpoint and BENCH_serve.json.
+#ifndef ETA2_SERVE_SERVICE_H
+#define ETA2_SERVE_SERVICE_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/durable_runner.h"
+#include "io/journal.h"
+#include "serve/admission.h"
+#include "serve/batch.h"
+#include "serve/clock.h"
+#include "serve/health.h"
+#include "text/embedder.h"
+
+namespace eta2::serve {
+
+// The committed read-model: results of the newest committed step, swapped
+// in whole behind a shared_ptr so readers never see a torn update and
+// never contend with a step in flight. Rebuilt from live traffic — after a
+// restart it is empty until the first post-restart commit.
+struct QueryView {
+  std::uint64_t steps_completed = 0;
+  bool warmup = true;
+  double cost = 0.0;
+  std::vector<double> truth;
+  std::vector<double> sigma;
+  std::vector<truth::DomainIndex> task_domains;
+};
+
+// Exact text serialization of a view (the kResult payload).
+[[nodiscard]] std::string serialize_query_view(const QueryView& view);
+
+class Eta2Service {
+ public:
+  struct Options {
+    std::string dir;             // campaign + ingest WAL directory
+    std::size_t user_count = 0;  // fixed worker population
+    core::Eta2Config config;
+    std::shared_ptr<const text::Embedder> embedder;  // described tasks only
+    std::uint64_t seed = 1;
+    // Capacity used for a batch that does not carry its own.
+    double default_capacity = 8.0;
+    AdmissionQueue::Options admission;
+    // Per-request deadline for accepted ingests (0 = no deadlines; keep 0
+    // in deterministic harnesses).
+    std::uint64_t step_deadline_ms = 0;
+    // Retries/backoff/cadence knobs; dir and crash_hook are overridden
+    // from this struct's own fields.
+    core::DurableOptions durable;
+    // Server-side chaos: deterministic observation corruption via
+    // common/fault (the load generator's chaos mode drives this).
+    fault::FaultOptions fault;
+    // Crash-torture instrumentation, plumbed into BOTH WALs (ingest-log
+    // points are prefixed "ingest-").
+    std::function<void(std::string_view point)> crash_hook;
+    // Injectable clock for deterministic tests; serve::now by default.
+    TimeSource time_source;
+    // Run the step loop on a background thread. Off = deterministic mode:
+    // the caller pumps steps via drain() (tests, torture children).
+    bool start_step_thread = true;
+  };
+
+  struct IngestResult {
+    Admission decision = Admission::kOverloaded;
+    std::uint64_t seq = 0;  // the batch's step number when accepted
+  };
+
+  // Opens (or recovers) the service campaign at options.dir: loads the
+  // newest snapshot generation, replays the campaign WAL, re-feeds
+  // journaled-but-unfinished ingest batches into the queue, and (by
+  // default) starts the step loop.
+  explicit Eta2Service(Options options);
+  ~Eta2Service();
+  Eta2Service(const Eta2Service&) = delete;
+  Eta2Service& operator=(const Eta2Service&) = delete;
+
+  // Admission decision for one client batch. Thread-safe. On kAccepted the
+  // batch is WAL-durable before this returns. Throws std::invalid_argument
+  // on a structurally invalid batch (wrong capacity arity, out-of-range
+  // observation user) — the socket layer answers kError.
+  IngestResult ingest(IngestBatch batch);
+
+  // The committed read-model (never blocks on the step loop). Thread-safe.
+  [[nodiscard]] std::shared_ptr<const QueryView> query();
+
+  // Forces a campaign checkpoint; returns the committed step count.
+  std::uint64_t snapshot_now();
+
+  [[nodiscard]] ServeHealth& health() { return health_; }
+  [[nodiscard]] std::uint64_t steps_completed();
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+
+  // Deterministic pump (start_step_thread == false): runs up to max_steps
+  // queued batches on the calling thread; returns the number run.
+  std::size_t drain(std::size_t max_steps = SIZE_MAX);
+
+  // Graceful shutdown: stop admitting work to the step loop, let the
+  // in-flight step finish (or roll back through its own failure handling),
+  // checkpoint, and join. Queued-but-unrun batches stay in the ingest WAL
+  // and run on the next open. Idempotent.
+  void stop();
+
+  // True once the step loop hit an unrecoverable campaign error (replay
+  // divergence, failing disk) and halted; failure() carries the message.
+  // The daemon reports it and exits nonzero; stop() skips the final
+  // checkpoint because in-memory state is suspect.
+  [[nodiscard]] bool failed();
+  [[nodiscard]] std::string failure();
+
+ private:
+  void step_loop();
+  void run_one(QueuedBatch item);
+  void maintain_ingest_log_locked();
+  [[nodiscard]] TimePoint clock_now() const { return options_.time_source(); }
+
+  Options options_;
+  ServeHealth health_;
+  AdmissionQueue queue_;
+  std::optional<fault::FaultPlan> plan_;
+
+  // Ingest WAL. ingest_mutex_ serializes appends (and seq assignment) from
+  // connection threads against rotate/prune from the step loop.
+  std::mutex ingest_mutex_;
+  std::unique_ptr<io::JournalWriter> ingest_log_;
+  std::uint64_t next_ingest_seq_ = 0;
+
+  // The runner and everything the in-flight step touches. Guarded by
+  // runner_mutex_ (step loop vs. snapshot_now).
+  std::mutex runner_mutex_;
+  std::unique_ptr<core::DurableRunner> runner_;
+  const IngestBatch* current_batch_ = nullptr;  // step-thread only
+  bool deadline_active_ = false;                // step-thread only
+  TimePoint deadline_{};                        // step-thread only
+
+  std::mutex view_mutex_;
+  std::shared_ptr<const QueryView> view_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> failed_{false};
+  std::string failure_;  // guarded by failure_mutex_
+  std::mutex failure_mutex_;
+  bool stopped_ = false;  // guarded by stop_mutex_
+  std::mutex stop_mutex_;
+  std::thread step_thread_;
+};
+
+}  // namespace eta2::serve
+
+#endif  // ETA2_SERVE_SERVICE_H

@@ -1,0 +1,303 @@
+#include "serve/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.h"
+#include "serve/batch.h"
+
+namespace eta2::serve {
+namespace {
+
+void set_io_timeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// Full write or failure; MSG_NOSIGNAL so a peer that closed mid-response
+// gives EPIPE instead of killing the process with SIGPIPE.
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // timeout (slow-loris reader), reset, or EPIPE
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(Eta2Service* service, Options options)
+    : service_(service), options_(std::move(options)) {
+  require(service_ != nullptr, "SocketServer: service required");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("SocketServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("SocketServer: cannot listen on 127.0.0.1:" +
+                             std::to_string(options_.port) + ": " + detail);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("SocketServer: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Closing the listener unblocks accept(); shutting down every open
+  // connection unblocks their recv()s.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    set_io_timeouts(fd, options_.io_timeout_ms);
+    service_->health().count_connection_opened();
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back(
+        [this, fd] { serve_connection(fd); });
+  }
+}
+
+void SocketServer::serve_connection(int fd) {
+  FrameDecoder decoder(options_.max_payload_bytes);
+  std::vector<Message> messages;
+  char buffer[4096];
+  bool clean = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      // Orderly EOF. A mid-frame disconnect leaves buffered bytes — that is
+      // the peer's fault, not a protocol error on our side.
+      clean = decoder.buffered_bytes() == 0;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // recv timeout (slow-loris writer) or reset -> drop
+    }
+    messages.clear();
+    if (!decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)),
+                      messages)) {
+      // Poisoned stream: answer with a diagnostic (best-effort) and drop.
+      service_->health().count_protocol_error();
+      (void)send_frame(fd, MessageType::kError, 0, decoder.diagnostic());
+      break;
+    }
+    bool keep = true;
+    for (const Message& request : messages) {
+      if (!dispatch(fd, request)) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) break;
+  }
+  if (!clean) service_->health().count_connection_dropped();
+  ::close(fd);
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  std::erase(connection_fds_, fd);
+}
+
+bool SocketServer::dispatch(int fd, const Message& request) {
+  switch (request.type) {
+    case MessageType::kIngest: {
+      IngestBatch batch;
+      try {
+        batch = parse_batch(request.payload);
+      } catch (const std::invalid_argument& e) {
+        // An unparseable batch still gets the full offered -> malformed
+        // accounting (the service never saw it), so the ledger reconciles.
+        service_->health().count_offered();
+        service_->health().count_malformed();
+        return send_frame(fd, MessageType::kError, request.id, e.what());
+      }
+      try {
+        const Eta2Service::IngestResult result =
+            service_->ingest(std::move(batch));
+        switch (result.decision) {
+          case Admission::kAccepted:
+            return send_frame(fd, MessageType::kAccepted, request.id,
+                              "seq " + std::to_string(result.seq) + "\n");
+          case Admission::kOverloaded:
+            return send_frame(fd, MessageType::kOverloaded, request.id,
+                              "queue at capacity\n");
+          case Admission::kShed:
+            return send_frame(fd, MessageType::kShed, request.id,
+                              "shed under pressure (low priority)\n");
+        }
+        return false;
+      } catch (const std::invalid_argument& e) {
+        // ingest() already counted offered + malformed.
+        return send_frame(fd, MessageType::kError, request.id, e.what());
+      }
+    }
+    case MessageType::kQuery: {
+      const std::shared_ptr<const QueryView> view = service_->query();
+      return send_frame(fd, MessageType::kResult, request.id,
+                        serialize_query_view(*view));
+    }
+    case MessageType::kHealth:
+      return send_frame(fd, MessageType::kHealthReport, request.id,
+                        health_json(service_->health().snapshot()));
+    case MessageType::kSnapshot: {
+      const std::uint64_t steps = service_->snapshot_now();
+      return send_frame(fd, MessageType::kSnapshotDone, request.id,
+                        "steps " + std::to_string(steps) + "\n");
+    }
+    case MessageType::kShutdown: {
+      const bool sent =
+          send_frame(fd, MessageType::kGoodbye, request.id, "");
+      if (options_.on_shutdown) options_.on_shutdown();
+      (void)sent;
+      return false;  // connection closes after goodbye
+    }
+    case MessageType::kAccepted:
+    case MessageType::kOverloaded:
+    case MessageType::kShed:
+    case MessageType::kResult:
+    case MessageType::kError:
+    case MessageType::kHealthReport:
+    case MessageType::kSnapshotDone:
+    case MessageType::kGoodbye:
+      // A response type arriving as a request is a protocol violation.
+      service_->health().count_protocol_error();
+      (void)send_frame(fd, MessageType::kError, request.id,
+                       "response message type in request position");
+      return false;
+  }
+  return false;
+}
+
+bool SocketServer::send_frame(int fd, MessageType type, std::uint64_t id,
+                              std::string_view payload) {
+  return send_all(fd, frame_message(type, id, payload));
+}
+
+BlockingClient::BlockingClient(std::uint16_t port, int io_timeout_ms) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("BlockingClient: socket() failed");
+  set_io_timeouts(fd_, io_timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("BlockingClient: cannot connect to 127.0.0.1:" +
+                             std::to_string(port) + ": " + detail);
+  }
+}
+
+BlockingClient::~BlockingClient() { close(); }
+
+std::optional<Message> BlockingClient::call(MessageType type,
+                                            std::uint64_t id,
+                                            std::string_view payload) {
+  if (fd_ < 0) return std::nullopt;
+  if (!send_raw(frame_message(type, id, payload))) return std::nullopt;
+  for (;;) {
+    if (!pending_.empty()) {
+      Message front = std::move(pending_.front());
+      pending_.erase(pending_.begin());
+      return front;
+    }
+    char buffer[4096];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) return std::nullopt;  // server dropped us
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (!decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)),
+                       pending_)) {
+      return std::nullopt;
+    }
+  }
+}
+
+bool BlockingClient::send_raw(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  return send_all(fd_, bytes);
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace eta2::serve

@@ -1,0 +1,118 @@
+// The eta2d connection plane: a 127.0.0.1 TCP listener speaking the
+// eta2-rpc framing (serve/wire.h), one thread per connection, dispatching
+// into an Eta2Service. Built for hostile clients:
+//
+//   - SO_RCVTIMEO / SO_SNDTIMEO bound every read and write, so a slow-loris
+//     peer (drip-feeding a frame, or never draining its socket) costs one
+//     idle thread for io_timeout_ms, after which the connection is dropped
+//     and counted;
+//   - a poisoned frame stream (torn header, unknown type, oversize payload,
+//     CRC mismatch) drops the connection and counts a protocol error —
+//     never a crash, never a silent skip;
+//   - a request the service rejects (unparseable batch, invalid arity)
+//     gets a typed kError response and the connection stays usable;
+//   - mid-frame disconnects are ordinary connection teardown.
+//
+// BlockingClient is the matching client half, used by eta2_cli-grade tools
+// and tests; its send_raw() escape hatch is how the chaos load generator
+// speaks deliberately broken frames.
+#ifndef ETA2_SERVE_SOCKET_H
+#define ETA2_SERVE_SOCKET_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+#include "serve/wire.h"
+
+namespace eta2::serve {
+
+class SocketServer {
+ public:
+  struct Options {
+    // Port to bind on 127.0.0.1; 0 picks an ephemeral port (tests), read
+    // back through port().
+    std::uint16_t port = 0;
+    // Per-operation socket timeout (the slow-loris guard). 0 disables.
+    int io_timeout_ms = 5000;
+    std::size_t max_payload_bytes = FrameDecoder::kDefaultMaxPayloadBytes;
+    // Invoked (once) when a client sends kShutdown, after kGoodbye is
+    // acked. The daemon's main thread reacts by stopping service + server.
+    std::function<void()> on_shutdown;
+  };
+
+  // The service must outlive the server. Binds and starts the accept loop;
+  // throws std::runtime_error when the port cannot be bound.
+  SocketServer(Eta2Service* service, Options options);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // The bound port (the ephemeral pick when Options::port was 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // Stops accepting, unblocks and joins every connection thread. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  // One request -> one response; false when the connection must drop.
+  [[nodiscard]] bool dispatch(int fd, const Message& request);
+  [[nodiscard]] bool send_frame(int fd, MessageType type, std::uint64_t id,
+                                std::string_view payload);
+
+  Eta2Service* service_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<int> connection_fds_;        // open sockets, for stop()
+  std::vector<std::thread> connection_threads_;
+};
+
+// Blocking request/response client for the eta2-rpc protocol. Not
+// thread-safe; one conversation per instance.
+class BlockingClient {
+ public:
+  // Connects to 127.0.0.1:port; throws std::runtime_error on failure.
+  // io_timeout_ms bounds each send/recv (0 disables).
+  BlockingClient(std::uint16_t port, int io_timeout_ms = 5000);
+  ~BlockingClient();
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  // Sends one request and blocks for the matching response. Returns nullopt
+  // when the server dropped the connection (or a malformed response frame
+  // arrived) instead of answering.
+  [[nodiscard]] std::optional<Message> call(MessageType type,
+                                            std::uint64_t id,
+                                            std::string_view payload);
+
+  // Chaos escape hatch: writes raw bytes (torn frames, garbage) with no
+  // framing. Returns false when the write failed.
+  bool send_raw(std::string_view bytes);
+
+  // Half-closes the write side (mid-frame disconnect simulation) and
+  // closes the socket.
+  void close();
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::vector<Message> pending_;
+};
+
+}  // namespace eta2::serve
+
+#endif  // ETA2_SERVE_SOCKET_H

@@ -1,0 +1,148 @@
+#include "serve/wire.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+#include "io/snapshot.h"
+
+namespace eta2::serve {
+namespace {
+
+constexpr std::string_view kFrameMagic = "eta2-rpc";
+
+}  // namespace
+
+std::string_view message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kIngest:
+      return "ingest";
+    case MessageType::kQuery:
+      return "query";
+    case MessageType::kHealth:
+      return "health";
+    case MessageType::kSnapshot:
+      return "snapshot";
+    case MessageType::kShutdown:
+      return "shutdown";
+    case MessageType::kAccepted:
+      return "accepted";
+    case MessageType::kOverloaded:
+      return "overloaded";
+    case MessageType::kShed:
+      return "shed";
+    case MessageType::kResult:
+      return "result";
+    case MessageType::kError:
+      return "error";
+    case MessageType::kHealthReport:
+      return "health-report";
+    case MessageType::kSnapshotDone:
+      return "snapshot-done";
+    case MessageType::kGoodbye:
+      return "goodbye";
+  }
+  return "unknown";
+}
+
+std::optional<MessageType> parse_message_type(std::string_view name) {
+  static constexpr MessageType kAll[] = {
+      MessageType::kIngest,       MessageType::kQuery,
+      MessageType::kHealth,       MessageType::kSnapshot,
+      MessageType::kShutdown,     MessageType::kAccepted,
+      MessageType::kOverloaded,   MessageType::kShed,
+      MessageType::kResult,       MessageType::kError,
+      MessageType::kHealthReport, MessageType::kSnapshotDone,
+      MessageType::kGoodbye,
+  };
+  for (const MessageType type : kAll) {
+    if (message_type_name(type) == name) return type;
+  }
+  return std::nullopt;
+}
+
+std::string frame_message(MessageType type, std::uint64_t id,
+                          std::string_view payload) {
+  char header[96];
+  const int len = std::snprintf(
+      header, sizeof(header), "eta2-rpc v1 %s %llu %zu %08x\n",
+      std::string(message_type_name(type)).c_str(),
+      static_cast<unsigned long long>(id), payload.size(),
+      io::crc32(payload));
+  ensure(len > 0 && static_cast<std::size_t>(len) < sizeof(header),
+         "frame_message: header formatting failure");
+  std::string frame;
+  frame.reserve(static_cast<std::size_t>(len) + payload.size());
+  frame.append(header, static_cast<std::size_t>(len));
+  frame.append(payload);
+  return frame;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload_bytes)
+    : max_payload_bytes_(max_payload_bytes) {}
+
+bool FrameDecoder::feed(std::string_view bytes, std::vector<Message>& out) {
+  if (corrupt_) return false;
+  buffer_.append(bytes);
+  std::size_t pos = 0;
+  const auto poison = [this](std::string text) {
+    corrupt_ = true;
+    diagnostic_ = std::move(text);
+  };
+  while (pos < buffer_.size()) {
+    const std::size_t newline = buffer_.find('\n', pos);
+    if (newline == std::string::npos) {
+      // Partial header. Bound it: a valid header never exceeds the frame
+      // buffer frame_message uses, so anything longer is garbage, not a
+      // frame still in flight.
+      if (buffer_.size() - pos > 96) {
+        poison("oversized frame header (not an eta2-rpc stream?)");
+        return false;
+      }
+      break;
+    }
+    const std::string header = buffer_.substr(pos, newline - pos);
+    std::istringstream in(header);
+    std::string magic;
+    std::string version;
+    std::string type_name;
+    unsigned long long id = 0;
+    std::size_t declared_len = 0;
+    std::uint32_t declared_crc = 0;
+    if (!(in >> magic >> version >> type_name >> id >> declared_len >>
+          std::hex >> declared_crc) ||
+        magic != kFrameMagic || version != "v1") {
+      poison("malformed frame header: \"" + header + "\"");
+      return false;
+    }
+    const std::optional<MessageType> type = parse_message_type(type_name);
+    if (!type) {
+      poison("unknown message type \"" + type_name + "\"");
+      return false;
+    }
+    if (declared_len > max_payload_bytes_) {
+      poison("payload of " + std::to_string(declared_len) +
+             " bytes exceeds the " + std::to_string(max_payload_bytes_) +
+             "-byte cap");
+      return false;
+    }
+    const std::size_t payload_start = newline + 1;
+    if (buffer_.size() - payload_start < declared_len) break;  // wait for rest
+    const std::string_view payload =
+        std::string_view(buffer_).substr(payload_start, declared_len);
+    if (io::crc32(payload) != declared_crc) {
+      poison("payload CRC mismatch on a \"" + type_name + "\" frame");
+      return false;
+    }
+    Message message;
+    message.type = *type;
+    message.id = static_cast<std::uint64_t>(id);
+    message.payload = std::string(payload);
+    out.push_back(std::move(message));
+    pos = payload_start + declared_len;
+  }
+  buffer_.erase(0, pos);
+  return true;
+}
+
+}  // namespace eta2::serve

@@ -1,0 +1,90 @@
+// The eta2d request/response protocol: length-prefixed, CRC-framed messages
+// over a byte stream, reusing the io/journal framing idiom.
+//
+// One message on the wire:
+//
+//   eta2-rpc v1 <type> <id> <payload_bytes> <crc32_hex>\n
+//   <payload, exactly payload_bytes bytes>
+//
+// The header is plain text (diagnosable with `head`, like WAL frames); the
+// CRC covers the payload only. <id> is a client-chosen correlation id the
+// server echoes on every response, so a pipelined client can match replies
+// to requests. A frame that fails the header parse, exceeds the payload
+// cap, or fails its CRC poisons the stream: decoding stops, the connection
+// is dropped, and the failure is counted — never silently skipped.
+#ifndef ETA2_SERVE_WIRE_H
+#define ETA2_SERVE_WIRE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eta2::serve {
+
+enum class MessageType : std::uint8_t {
+  // --- requests ---
+  kIngest,    // payload: serialized IngestBatch (serve/batch.h)
+  kQuery,     // payload: empty; answered from the committed step view
+  kHealth,    // payload: empty; answered with the ServeHealth JSON
+  kSnapshot,  // payload: empty; forces a campaign checkpoint
+  kShutdown,  // payload: empty; requests graceful daemon shutdown
+  // --- responses ---
+  kAccepted,      // ingest admitted; payload: "seq <n>\n"
+  kOverloaded,    // ingest rejected, queue at capacity; payload: reason
+  kShed,          // ingest shed under pressure (low priority); payload: reason
+  kResult,        // query answer; payload: serialized QueryView
+  kError,         // malformed request; payload: one-line diagnostic
+  kHealthReport,  // payload: ServeHealth JSON
+  kSnapshotDone,  // payload: "steps <n>\n"
+  kGoodbye,       // shutdown acknowledged; connection closes after this
+};
+
+[[nodiscard]] std::string_view message_type_name(MessageType type);
+[[nodiscard]] std::optional<MessageType> parse_message_type(
+    std::string_view name);
+
+struct Message {
+  MessageType type = MessageType::kError;
+  std::uint64_t id = 0;
+  std::string payload;
+};
+
+// Encodes one message as its on-wire frame.
+[[nodiscard]] std::string frame_message(MessageType type, std::uint64_t id,
+                                        std::string_view payload);
+
+// Incremental frame decoder for one connection. Feed it received bytes;
+// complete messages come out in order. Any framing violation (bad header,
+// unknown type, payload above the cap, CRC mismatch) is terminal for the
+// stream: corrupt() turns true, diagnostic() says why, and further feed()
+// calls decode nothing. A partial frame is simply buffered until the rest
+// arrives — torn frames are a connection-death artifact, diagnosed by the
+// caller when the peer disconnects mid-frame.
+class FrameDecoder {
+ public:
+  static constexpr std::size_t kDefaultMaxPayloadBytes = 8u << 20;
+
+  explicit FrameDecoder(
+      std::size_t max_payload_bytes = kDefaultMaxPayloadBytes);
+
+  // Appends bytes and decodes every complete frame into `out`. Returns
+  // false once the stream is poisoned (also sets corrupt()).
+  bool feed(std::string_view bytes, std::vector<Message>& out);
+
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  [[nodiscard]] const std::string& diagnostic() const { return diagnostic_; }
+  // Bytes of the (incomplete) frame currently buffered.
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_payload_bytes_;
+  std::string buffer_;
+  bool corrupt_ = false;
+  std::string diagnostic_;
+};
+
+}  // namespace eta2::serve
+
+#endif  // ETA2_SERVE_WIRE_H

@@ -29,32 +29,6 @@ void expect_key(std::istream& in, std::string_view key) {
   if (!(in >> token) || token != key) bad_extra(key);
 }
 
-void write_health(std::ostream& out, const core::StepHealth& h) {
-  out << h.pairs_asked << " " << h.observations_accepted << " "
-      << h.rejected_nonfinite << " " << h.rejected_out_of_range << " "
-      << h.silent_pairs << " " << (h.identifier_failed ? 1 : 0) << " "
-      << h.domain_fallback_tasks << " " << (h.truth_fallback ? 1 : 0) << " "
-      << h.quality_unmet_tasks << " " << (h.empty_batch ? 1 : 0) << " "
-      << h.quarantined_batches;
-}
-
-core::StepHealth read_health(std::istream& in) {
-  core::StepHealth h;
-  int identifier_failed = 0;
-  int truth_fallback = 0;
-  int empty_batch = 0;
-  if (!(in >> h.pairs_asked >> h.observations_accepted >>
-        h.rejected_nonfinite >> h.rejected_out_of_range >> h.silent_pairs >>
-        identifier_failed >> h.domain_fallback_tasks >> truth_fallback >>
-        h.quality_unmet_tasks >> empty_batch >> h.quarantined_batches)) {
-    bad_extra("health counters");
-  }
-  h.identifier_failed = identifier_failed != 0;
-  h.truth_fallback = truth_fallback != 0;
-  h.empty_batch = empty_batch != 0;
-  return h;
-}
-
 // The per-campaign driver state that must survive a crash: the metric
 // accumulators of SimulationResult plus the fault plan's cumulative
 // injection counters. Serialized (doubles as exact bit patterns) into the
@@ -69,7 +43,7 @@ struct Accumulator {
 void save_accumulator(std::ostream& out, const Accumulator& acc,
                       const fault::FaultStats& stats) {
   const SimulationResult& r = acc.result;
-  out << "eta2-sim-extra v1\n";
+  out << "eta2-sim-extra v" << kSimExtraVersion << "\n";
   out << "error " << double_bits(acc.error_sum) << " " << acc.error_count
       << "\n";
   out << "total_cost " << double_bits(r.total_cost) << "\n";
@@ -81,7 +55,7 @@ void save_accumulator(std::ostream& out, const Accumulator& acc,
       << " " << stats.batches_dropped << " " << stats.embedder_failures
       << "\n";
   out << "health ";
-  write_health(out, r.health);
+  write_step_health(out, r.health);
   out << "\ndays " << r.days.size() << "\n";
   for (std::size_t d = 0; d < r.days.size(); ++d) {
     const DayMetrics& m = r.days[d];
@@ -96,7 +70,7 @@ void save_accumulator(std::ostream& out, const Accumulator& acc,
       out << " " << double_bits(v);
     }
     out << "\ndh ";
-    write_health(out, r.day_health[d]);
+    write_step_health(out, r.day_health[d]);
     out << "\n";
   }
 }
@@ -109,9 +83,10 @@ void load_accumulator(std::istream& in, Accumulator& acc,
   std::string magic;
   std::string version;
   if (!(in >> magic >> version) || magic != "eta2-sim-extra" ||
-      version != "v1") {
+      (version != "v1" && version != "v2")) {
     bad_extra("header");
   }
+  const int ver = version == "v2" ? 2 : 1;
   expect_key(in, "error");
   std::uint64_t error_bits = 0;
   if (!(in >> error_bits >> acc.error_count)) bad_extra("error line");
@@ -135,7 +110,7 @@ void load_accumulator(std::istream& in, Accumulator& acc,
     bad_extra("fault counters");
   }
   expect_key(in, "health");
-  r.health = read_health(in);
+  r.health = read_step_health(in, ver);
   expect_key(in, "days");
   std::size_t day_count = 0;
   if (!(in >> day_count)) bad_extra("day count");
@@ -169,12 +144,49 @@ void load_accumulator(std::istream& in, Accumulator& acc,
       v = bits_double(bits);
     }
     expect_key(in, "dh");
-    r.day_health.push_back(read_health(in));
+    r.day_health.push_back(read_step_health(in, ver));
     r.days.push_back(std::move(m));
   }
 }
 
 }  // namespace
+
+void write_step_health(std::ostream& out, const core::StepHealth& h) {
+  out << h.pairs_asked << " " << h.observations_accepted << " "
+      << h.rejected_nonfinite << " " << h.rejected_out_of_range << " "
+      << h.silent_pairs << " " << (h.identifier_failed ? 1 : 0) << " "
+      << h.domain_fallback_tasks << " " << (h.truth_fallback ? 1 : 0) << " "
+      << h.quality_unmet_tasks << " " << (h.empty_batch ? 1 : 0) << " "
+      << h.quarantined_batches << " " << h.shard_count << " "
+      << h.sharded_truth_iterations << " " << h.greedy_selections << " "
+      << h.greedy_gain_evaluations << " " << h.greedy_heap_pops;
+}
+
+core::StepHealth read_step_health(std::istream& in, int version) {
+  core::StepHealth h;
+  int identifier_failed = 0;
+  int truth_fallback = 0;
+  int empty_batch = 0;
+  if (!(in >> h.pairs_asked >> h.observations_accepted >>
+        h.rejected_nonfinite >> h.rejected_out_of_range >> h.silent_pairs >>
+        identifier_failed >> h.domain_fallback_tasks >> truth_fallback >>
+        h.quality_unmet_tasks >> empty_batch >> h.quarantined_batches)) {
+    bad_extra("health counters");
+  }
+  h.identifier_failed = identifier_failed != 0;
+  h.truth_fallback = truth_fallback != 0;
+  h.empty_batch = empty_batch != 0;
+  if (version >= 2) {
+    // v2 appended the deterministic shard/greedy work counters; a v1 block
+    // simply resumes them from zero.
+    if (!(in >> h.shard_count >> h.sharded_truth_iterations >>
+          h.greedy_selections >> h.greedy_gain_evaluations >>
+          h.greedy_heap_pops)) {
+      bad_extra("shard/greedy counters");
+    }
+  }
+  return h;
+}
 
 SimulationResult simulate_durable(const Dataset& dataset,
                                   std::string_view method,
@@ -289,7 +301,15 @@ SimulationResult simulate_durable(const Dataset& dataset,
   }
 
   const auto days = static_cast<std::uint64_t>(dataset.day_count());
+  bool stopped = false;
   for (std::uint64_t day = runner.next_step(); day < days; ++day) {
+    // Graceful shutdown: a stop request takes effect at the step boundary,
+    // so the last completed step is journaled and nothing is quarantined.
+    // The checkpoint below makes the stop durable before we return.
+    if (options.stop_requested && options.stop_requested()) {
+      stopped = true;
+      break;
+    }
     // Step inputs are pure functions of (dataset, options, day) — crash
     // recovery re-derives them identically and the runner verifies them
     // against the journaled BEGIN record.
@@ -313,7 +333,8 @@ SimulationResult simulate_durable(const Dataset& dataset,
     current_ids = std::move(ids);
     (void)runner.run_step(batch, capacities);
   }
-  // Final snapshot: resuming a finished campaign replays nothing.
+  // Final snapshot: resuming a finished (or gracefully stopped) campaign
+  // replays nothing — the journal and snapshot are fsync'd before return.
   runner.checkpoint();
 
   SimulationResult result = std::move(acc.result);
@@ -326,6 +347,7 @@ SimulationResult simulate_durable(const Dataset& dataset,
   result.resumed = runner.resumed();
   result.replayed_steps = runner.replayed_steps();
   result.quarantined_steps = runner.quarantined_steps();
+  result.stopped_early = stopped;
   return result;
 }
 

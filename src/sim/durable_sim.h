@@ -12,12 +12,26 @@
 #define ETA2_SIM_DURABLE_SIM_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <string_view>
 
 #include "core/durable_runner.h"
 #include "sim/simulation.h"
 
 namespace eta2::sim {
+
+// Version of the campaign snapshot's `extra` block simulate_durable writes.
+// v2 added the deterministic shard/greedy StepHealth counters; v1 blocks
+// still load (those counters simply resume from zero).
+inline constexpr int kSimExtraVersion = 2;
+
+// StepHealth serialization inside the extra block: the eleven fault
+// counters (v1), plus — from v2 on — the five deterministic
+// sharded-execution / greedy work counters. The per-shard wall-clock timing
+// vectors are nondeterministic and are never serialized. Exposed so tests
+// can pin the format and round-trip both versions.
+void write_step_health(std::ostream& out, const core::StepHealth& health);
+[[nodiscard]] core::StepHealth read_step_health(std::istream& in, int version);
 
 // Runs (or resumes) the multi-day loop for an ETA² method (baseline methods
 // are not supported — their global re-estimation state is not snapshot-

@@ -5,6 +5,7 @@
 #ifndef ETA2_SIM_SIMULATION_H
 #define ETA2_SIM_SIMULATION_H
 
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string_view>
@@ -45,6 +46,13 @@ struct SimOptions {
   // fault.response_rate, decided by counter hash instead of the shared
   // observation RNG).
   fault::FaultOptions fault;
+  // Cooperative stop request, consulted by simulate_durable between steps
+  // (the in-memory simulate() driver ignores it). When it returns true the
+  // campaign checkpoints and returns early with stopped_early set — the
+  // graceful SIGTERM/SIGINT path: the in-flight step finishes or rolls
+  // back, nothing is quarantined, and `eta2 resume` continues from the
+  // stop point bit-identically.
+  std::function<bool()> stop_requested;
 };
 
 struct DayMetrics {
@@ -85,6 +93,9 @@ struct SimulationResult {
   bool resumed = false;                  // continued from on-disk state
   std::uint64_t replayed_steps = 0;      // re-executed from the journal
   std::uint64_t quarantined_steps = 0;   // abandoned after retries
+  // SimOptions::stop_requested ended the campaign before its final day;
+  // the on-disk state is checkpointed and resumable.
+  bool stopped_early = false;
 };
 
 // Runs the full multi-day loop for a named method (see method_registry.h).

@@ -411,5 +411,125 @@ TEST_F(DurableRunnerTest, ReplayVerificationCatchesChangedInputs) {
                io::CorruptSnapshotError);
 }
 
+TEST_F(DurableRunnerTest, RetryDelayShapes) {
+  core::DurableOptions options;
+  // Backoff disabled (the default): no attempt ever sleeps.
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 1), 0u);
+  options.retry_backoff_ms = 100;
+  // Attempt 0 is the first try, never delayed.
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 0), 0u);
+  // Default multiplier 1.0: the historical linear ramp k * base.
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 1), 100u);
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 2), 200u);
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 3), 300u);
+  // Exponential: base * multiplier^(k-1).
+  options.retry_backoff_multiplier = 2.0;
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 1), 100u);
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 2), 200u);
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 4), 800u);
+  // Clamped to the cap once the curve crosses it.
+  options.retry_backoff_max_ms = 250;
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 2), 200u);
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 4), 250u);
+  EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 1, 0, 10), 250u);
+}
+
+TEST_F(DurableRunnerTest, RetryJitterIsBoundedAndDeterministic) {
+  core::DurableOptions options;
+  options.retry_backoff_ms = 1000;
+  options.retry_jitter = 0.5;
+  bool saw_spread = false;
+  std::uint64_t previous = 0;
+  for (std::uint64_t step = 0; step < 32; ++step) {
+    const std::uint64_t delay =
+        core::DurableRunner::retry_delay_ms(options, 7, step, 1);
+    // Jitter stretches attempt 1's base (1000ms) into [500, 1500].
+    EXPECT_GE(delay, 500u);
+    EXPECT_LE(delay, 1500u);
+    // Pure function of (options, seed, step, attempt).
+    EXPECT_EQ(core::DurableRunner::retry_delay_ms(options, 7, step, 1), delay);
+    if (step > 0 && delay != previous) saw_spread = true;
+    previous = delay;
+  }
+  // The hash actually varies across steps (no thundering herd).
+  EXPECT_TRUE(saw_spread);
+  // A different campaign seed draws a different schedule.
+  EXPECT_NE(core::DurableRunner::retry_delay_ms(options, 7, 0, 1),
+            core::DurableRunner::retry_delay_ms(options, 8, 0, 1));
+}
+
+TEST_F(DurableRunnerTest, CancelledStepQuarantinesWithoutRetry) {
+  const sim::Dataset dataset = small_dataset();
+  const std::vector<double> capacities(dataset.user_count(), 12.0);
+  core::DurableOptions durable = durable_options(/*cadence=*/100);
+  durable.max_step_retries = 5;  // must NOT be consumed by a cancellation
+  int attempts_seen = 0;
+  durable.attempt_hook = [&](std::uint64_t, int) { ++attempts_seen; };
+
+  const auto make_callbacks = [&](core::DurableRunner*& self) {
+    core::DurableRunner::Callbacks callbacks;
+    callbacks.make_collect = [&](std::uint64_t step) -> core::CollectFn {
+      const auto ids = dataset.tasks_of_day(static_cast<int>(step));
+      auto observe_rng = std::make_shared<Rng>(self->rng().fork(step + 1));
+      return [&, ids, observe_rng, step](std::size_t local, std::size_t user) {
+        if (step == 1) throw CancelledError("deadline exceeded");
+        return sim::observe(dataset, user, ids[local], *observe_rng);
+      };
+    };
+    return callbacks;
+  };
+
+  const auto day_batch = [&](std::uint64_t step) {
+    std::vector<core::NewTask> batch;
+    for (const std::size_t j : dataset.tasks_of_day(static_cast<int>(step))) {
+      core::NewTask t;
+      t.known_domain = dataset.tasks[j].true_domain;
+      t.processing_time = dataset.tasks[j].processing_time;
+      batch.push_back(t);
+    }
+    return batch;
+  };
+
+  {
+    core::DurableRunner* self = nullptr;
+    core::DurableRunner runner(dataset.user_count(), core::Eta2Config{},
+                               nullptr, 4, durable, make_callbacks(self));
+    self = &runner;
+    for (std::uint64_t step = 0; step < 3; ++step) {
+      attempts_seen = 0;
+      const auto outcome = runner.run_step(day_batch(step), capacities);
+      if (step == 1) {
+        // Terminal: one attempt, immediate rollback + quarantine, and the
+        // cancellation is recorded as such.
+        EXPECT_TRUE(outcome.quarantined);
+        EXPECT_TRUE(outcome.cancelled);
+        EXPECT_EQ(outcome.attempts, 1);
+        EXPECT_EQ(attempts_seen, 1);
+        EXPECT_NE(outcome.error.find("deadline"), std::string::npos);
+      } else {
+        EXPECT_FALSE(outcome.quarantined);
+        EXPECT_FALSE(outcome.cancelled);
+      }
+    }
+  }
+
+  // The `cancelled 1` quarantine line survives the journal round trip: a
+  // reopened campaign replays the step as a cancelled quarantine.
+  core::DurableRunner* self = nullptr;
+  core::DurableRunner reopened(dataset.user_count(), core::Eta2Config{},
+                               nullptr, 4, durable, make_callbacks(self));
+  self = &reopened;
+  EXPECT_TRUE(reopened.resumed());
+  for (std::uint64_t step = reopened.next_step(); step < 3; ++step) {
+    const auto outcome = reopened.run_step(day_batch(step), capacities);
+    if (step == 1) {
+      EXPECT_TRUE(outcome.quarantined);
+      EXPECT_TRUE(outcome.cancelled);
+      EXPECT_TRUE(outcome.replayed);
+    }
+  }
+  EXPECT_EQ(reopened.quarantined_steps(), 1u);
+}
+
 }  // namespace
 }  // namespace eta2

@@ -24,6 +24,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +39,8 @@
 #include "common/parallel.h"
 #include "core/durable_runner.h"
 #include "io/snapshot.h"
+#include "serve/batch.h"
+#include "serve/service.h"
 #include "sim/dataset.h"
 #include "sim/durable_sim.h"
 #include "sim/simulation.h"
@@ -145,11 +149,98 @@ std::string scratch_root() {
   return (fs::temp_directory_path() / "eta2_torture").string();
 }
 
+// --- serve-mode torture ------------------------------------------------------
+// The same SIGKILL discipline applied to a live Eta2Service: a child opens
+// (or recovers) the service campaign, feeds whichever of the fixed batch
+// sequence is not yet WAL-durable, drains, and checkpoints. Because every
+// accepted batch is in the ingest WAL before its ACCEPTED ack, the child
+// can always tell where it died: batches 0..steps+queue_depth-1 are
+// durable, everything after must be offered again. The signature is the
+// final campaign snapshot itself — serialize_campaign() is a pure function
+// of campaign state, so a bit-identical snapshot means recovery restored
+// the exact server, RNG, and digest state of an uninterrupted service.
+
+constexpr std::uint64_t kServeBatches = 10;
+
+// Kill points for serve mode: the campaign WAL instants, plus the ingest
+// WAL's own append/rotate (the "ingest-" prefix is the service's hook
+// namespace for its second journal).
+constexpr std::string_view kServeKillPoints[] = {
+    "journal-append-mid",
+    "snapshot-post-rename",
+    "ingest-journal-append-mid",
+    "ingest-journal-rotate",
+};
+
+serve::IngestBatch serve_torture_batch(std::uint64_t index) {
+  serve::IngestBatch batch;
+  batch.priority = 1;
+  for (std::size_t t = 0; t < 3; ++t) {
+    core::NewTask task;
+    task.known_domain = (index + t) % 4;
+    task.processing_time = 0.5 + 0.25 * static_cast<double>(t);
+    batch.tasks.push_back(task);
+    for (std::size_t u = 0; u < 5; ++u) {
+      batch.observations.push_back(
+          {t, u, 8.0 + static_cast<double>((3 * index + 5 * t + u) % 11)});
+    }
+  }
+  return batch;
+}
+
+serve::Eta2Service::Options serve_torture_options(const std::string& dir) {
+  serve::Eta2Service::Options options;
+  options.dir = dir;
+  options.user_count = 12;
+  options.seed = 5;
+  options.start_step_thread = false;  // the child pumps steps itself
+  options.admission.max_depth = 64;   // nothing may be rejected mid-torture
+  options.durable.snapshot_cadence = 3;
+  options.durable.max_segment_bytes = 1 << 12;
+  return options;
+}
+
+// Runs (or resumes) the serve campaign to completion and returns the final
+// snapshot bytes. `crash_hook` may SIGKILL the process at any instant.
+std::string run_serve_campaign(
+    const std::string& dir,
+    std::function<void(std::string_view)> crash_hook) {
+  serve::Eta2Service::Options options = serve_torture_options(dir);
+  options.crash_hook = std::move(crash_hook);
+  serve::Eta2Service service(std::move(options));
+  const std::uint64_t durable_batches =
+      service.steps_completed() + service.queue_depth();
+  for (std::uint64_t i = durable_batches; i < kServeBatches; ++i) {
+    const auto result = service.ingest(serve_torture_batch(i));
+    if (result.decision != serve::Admission::kAccepted) {
+      throw std::runtime_error("serve torture: batch rejected");
+    }
+  }
+  service.drain();
+  service.stop();
+  return io::read_file(dir + "/" +
+                       core::DurableRunner::snapshot_file_name());
+}
+
+const std::string& serve_golden_signature() {
+  static const std::string golden = [] {
+    const std::string dir = scratch_root() + "/serve_golden";
+    fs::remove_all(dir);
+    io::set_durable_fsync(false);
+    std::string sig = run_serve_campaign(dir, nullptr);
+    io::set_durable_fsync(true);
+    fs::remove_all(dir);
+    return sig;
+  }();
+  return golden;
+}
+
 #if defined(__linux__)
 
-// Spawns one child campaign run. Returns the raw waitpid status.
+// Spawns one child campaign run (`mode` is "sim" or "serve"). Returns the
+// raw waitpid status.
 int spawn_child(const std::string& dir, std::string_view point, int kill_at,
-                std::size_t threads) {
+                std::size_t threads, std::string_view mode) {
   // argv is fully built before fork: the parent is multithreaded (parallel
   // runtime), so the child may only call async-signal-safe functions
   // between fork and exec.
@@ -160,6 +251,7 @@ int spawn_child(const std::string& dir, std::string_view point, int kill_at,
       "--point=" + std::string(point),
       "--kill-at=" + std::to_string(kill_at),
       "--threads=" + std::to_string(threads),
+      "--mode=" + std::string(mode),
   };
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
@@ -181,14 +273,15 @@ int spawn_child(const std::string& dir, std::string_view point, int kill_at,
 // threshold every round (so even a kill on the very first durable write
 // cannot loop forever), until a child completes and writes its signature.
 std::string run_until_complete(const std::string& dir, std::string_view point,
-                               int base_kill, std::uint64_t thread_salt) {
+                               int base_kill, std::uint64_t thread_salt,
+                               std::string_view mode = "sim") {
   fs::remove_all(dir);
   int kills = 0;
   for (int round = 0; round < 120; ++round) {
     const int kill_at = base_kill + 3 * round;
     const std::size_t threads =
         kThreadCycle[(thread_salt + static_cast<std::uint64_t>(round)) % 3];
-    const int status = spawn_child(dir, point, kill_at, threads);
+    const int status = spawn_child(dir, point, kill_at, threads, mode);
     if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
       EXPECT_GT(kills, 0) << point
                           << ": schedule never killed a child; the point "
@@ -226,10 +319,32 @@ void expect_torture_cycle(std::string_view test_tag, std::string_view point,
   if (sig == golden_signature()) fs::remove_all(dir);
 }
 
+void expect_serve_torture_cycle(std::string_view point, int base_kill,
+                                std::uint64_t thread_salt) {
+  const std::string dir = scratch_root() + "/serve_" + std::string(point) +
+                          "_" + std::to_string(base_kill) + "_" +
+                          std::to_string(thread_salt);
+  const std::string sig =
+      run_until_complete(dir, point, base_kill, thread_salt, "serve");
+  if (sig.empty()) return;  // failure already recorded, dir kept
+  EXPECT_EQ(sig, serve_golden_signature())
+      << point << ": recovered service diverged from the uninterrupted "
+      << "campaign — campaign dir kept at " << dir;
+  if (sig == serve_golden_signature()) fs::remove_all(dir);
+}
+
 TEST(CrashTortureTest, EveryInjectedKillPointResumesBitIdentical) {
   std::uint64_t salt = 0;
   for (const std::string_view point : kKillPoints) {
     expect_torture_cycle("points", point, 1, salt++);
+    if (::testing::Test::HasFailure()) break;  // keep the failing dir legible
+  }
+}
+
+TEST(CrashTortureTest, ServeCampaignKillPointsRecoverBitIdentical) {
+  std::uint64_t salt = 0;
+  for (const std::string_view point : kServeKillPoints) {
+    expect_serve_torture_cycle(point, 1, salt++);
     if (::testing::Test::HasFailure()) break;  // keep the failing dir legible
   }
 }
@@ -269,6 +384,7 @@ int torture_child_main(int argc, char** argv) {
 #if defined(__linux__)
   std::string dir;
   std::string point;
+  std::string mode = "sim";
   int kill_at = 0;
   std::size_t threads = 1;
   for (int i = 2; i < argc; ++i) {
@@ -279,6 +395,7 @@ int torture_child_main(int argc, char** argv) {
     if (arg.starts_with("--dir=")) dir = value();
     if (arg.starts_with("--point=")) point = value();
     if (arg.starts_with("--kill-at=")) kill_at = std::atoi(value().c_str());
+    if (arg.starts_with("--mode=")) mode = value();
     if (arg.starts_with("--threads=")) {
       threads = static_cast<std::size_t>(std::atoi(value().c_str()));
     }
@@ -293,14 +410,21 @@ int torture_child_main(int argc, char** argv) {
   io::set_durable_fsync(false);
   if (threads >= 1) parallel::set_thread_count(threads);
 
-  core::DurableOptions durable = torture_durable_options(dir);
   int fired = 0;
+  std::function<void(std::string_view)> crash_hook;
   if (kill_at > 0) {
-    durable.crash_hook = [&](std::string_view p) {
+    crash_hook = [&](std::string_view p) {
       if (p == point && ++fired == kill_at) ::kill(::getpid(), SIGKILL);
     };
   }
   try {
+    if (mode == "serve") {
+      const std::string sig = run_serve_campaign(dir, crash_hook);
+      io::atomic_write_file(dir + "/result.sig", sig);
+      return 0;
+    }
+    core::DurableOptions durable = torture_durable_options(dir);
+    durable.crash_hook = crash_hook;
     const sim::SimulationResult run = sim::simulate_durable(
         torture_dataset(), "eta2", torture_sim_options(), 4, durable);
     io::atomic_write_file(dir + "/result.sig", signature(run));

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "common/flags.h"
 #include "io/snapshot.h"
@@ -275,6 +277,108 @@ TEST_F(JournalTest, EmptyManifestReadsAsNoTokens) {
 TEST_F(JournalTest, AbsentManifestThrows) {
   EXPECT_THROW((void)read_manifest(dir_ + "/does_not_exist"),
                std::runtime_error);
+}
+
+// --- rotation / reader races -----------------------------------------------
+// The serve layer scans a campaign's journal (recovery, torture golden
+// comparisons) while the writer is live in another process or thread.
+// scan_journal must tolerate segments rotating and vanishing under it:
+// whatever prefix it observes is well-formed, and a segment pruned between
+// directory listing and open is skipped, never an error. These two run
+// under the `sanitize` label, so the TSan job checks the interleavings.
+
+TEST_F(JournalTest, ScanWhileWriterRotatesSeesWellFormedPrefix) {
+  JournalWriter::Options options;
+  options.max_segment_bytes = 256;  // rotate every few records
+  JournalWriter writer(dir_, options);
+  writer.open(scan_journal(dir_));
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      const JournalScan scan = scan_journal(dir_);
+      if (scan.corrupt) {
+        failed.store(true);
+        return;
+      }
+      // Steps in a scanned prefix are contiguous from some floor: the
+      // writer appends in order and rotation never reorders.
+      for (std::size_t i = 1; i < scan.records.size(); ++i) {
+        if (scan.records[i].step != scan.records[i - 1].step + 1) {
+          failed.store(true);
+          return;
+        }
+      }
+    }
+  });
+  for (std::uint64_t step = 0; step < 400; ++step) {
+    writer.append(RecordType::kStepCommit, step,
+                  "digest " + std::to_string(step));
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_FALSE(failed.load());
+  const JournalScan final_scan = scan_journal(dir_);
+  EXPECT_FALSE(final_scan.corrupt);
+  ASSERT_EQ(final_scan.records.size(), 400u);
+}
+
+TEST_F(JournalTest, ScanWhilePruneDeletesSegmentsUnderneath) {
+  JournalWriter::Options options;
+  options.max_segment_bytes = 128;
+  JournalWriter writer(dir_, options);
+  writer.open(scan_journal(dir_));
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      // Segments may vanish between the directory listing and the open;
+      // the scan must skip them silently, never report corruption.
+      const JournalScan scan = scan_journal(dir_);
+      if (scan.corrupt) {
+        failed.store(true);
+        return;
+      }
+    }
+  });
+  for (std::uint64_t step = 0; step < 300; ++step) {
+    writer.append(RecordType::kStepCommit, step,
+                  "digest " + std::to_string(step));
+    if (step % 16 == 15) writer.prune(step - 8);
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_FALSE(failed.load());
+  // The surviving suffix still scans clean and ends at the last step.
+  const JournalScan final_scan = scan_journal(dir_);
+  EXPECT_FALSE(final_scan.corrupt);
+  ASSERT_FALSE(final_scan.records.empty());
+  EXPECT_EQ(final_scan.records.back().step, 299u);
+}
+
+TEST_F(JournalTest, ReopenWhileOldWriterRotatedKeepsSuffixConsistent) {
+  // A writer that rotated right before dying must hand the next writer a
+  // directory whose newest segment is the append target; the reopen path
+  // (open(scan)) continues exactly where the segment chain ends.
+  {
+    JournalWriter::Options options;
+    options.max_segment_bytes = 64;
+    JournalWriter writer(dir_, options);
+    writer.open(scan_journal(dir_));
+    for (std::uint64_t step = 0; step < 10; ++step) {
+      writer.append(RecordType::kStepCommit, step, "x");
+    }
+    writer.rotate();  // dies with a fresh empty segment open
+  }
+  JournalWriter reopened(dir_, {});
+  reopened.open(scan_journal(dir_));
+  reopened.append(RecordType::kStepCommit, 10, "y");
+  const JournalScan scan = scan_journal(dir_);
+  EXPECT_FALSE(scan.corrupt);
+  ASSERT_EQ(scan.records.size(), 11u);
+  EXPECT_EQ(scan.records.back().step, 10u);
 }
 
 }  // namespace

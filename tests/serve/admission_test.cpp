@@ -1,0 +1,155 @@
+// Admission queue: explicit typed decisions (accepted / overloaded / shed),
+// depth and byte caps, the shed watermark, the recovery restore() bypass,
+// and close semantics.
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "serve/health.h"
+
+namespace {
+
+using eta2::serve::Admission;
+using eta2::serve::AdmissionQueue;
+using eta2::serve::QueuedBatch;
+using eta2::serve::ServeHealth;
+
+QueuedBatch make_item(std::uint64_t seq, int priority, std::size_t bytes) {
+  QueuedBatch item;
+  item.seq = seq;
+  item.batch.priority = priority;
+  item.bytes = bytes;
+  return item;
+}
+
+TEST(AdmissionTest, AcceptsUntilDepthCap) {
+  ServeHealth health;
+  AdmissionQueue::Options options;
+  options.max_depth = 3;
+  options.shed_watermark = 1.0;  // shedding off
+  AdmissionQueue queue(options, &health);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(queue.offer(make_item(i, 1, 10)), Admission::kAccepted);
+  }
+  EXPECT_EQ(queue.offer(make_item(3, 1, 10)), Admission::kOverloaded);
+  EXPECT_EQ(queue.depth(), 3u);
+  // Draining one slot readmits.
+  ASSERT_TRUE(queue.try_pop().has_value());
+  EXPECT_EQ(queue.offer(make_item(3, 1, 10)), Admission::kAccepted);
+}
+
+TEST(AdmissionTest, ByteCapRejectsLargeBatch) {
+  ServeHealth health;
+  AdmissionQueue::Options options;
+  options.max_depth = 100;
+  options.max_bytes = 100;
+  options.shed_watermark = 1.0;
+  AdmissionQueue queue(options, &health);
+  EXPECT_EQ(queue.offer(make_item(0, 1, 60)), Admission::kAccepted);
+  EXPECT_EQ(queue.offer(make_item(1, 1, 60)), Admission::kOverloaded);
+  EXPECT_EQ(queue.offer(make_item(1, 1, 40)), Admission::kAccepted);
+  EXPECT_EQ(queue.bytes(), 100u);
+}
+
+TEST(AdmissionTest, ShedsLowPriorityAboveWatermark) {
+  ServeHealth health;
+  AdmissionQueue::Options options;
+  options.max_depth = 4;
+  options.shed_watermark = 0.5;  // watermark at depth 2
+  options.shed_priority_threshold = 1;
+  AdmissionQueue queue(options, &health);
+  EXPECT_EQ(queue.offer(make_item(0, 0, 1)), Admission::kAccepted);
+  EXPECT_EQ(queue.offer(make_item(1, 0, 1)), Admission::kAccepted);
+  // At the watermark: priority 0 is shed, priority 1 still admitted.
+  EXPECT_EQ(queue.offer(make_item(2, 0, 1)), Admission::kShed);
+  EXPECT_EQ(queue.offer(make_item(2, 1, 1)), Admission::kAccepted);
+  EXPECT_EQ(queue.offer(make_item(3, 1, 1)), Admission::kAccepted);
+  // Full: even high priority is overloaded now.
+  EXPECT_EQ(queue.offer(make_item(4, 5, 1)), Admission::kOverloaded);
+}
+
+TEST(AdmissionTest, AdmitIsPolicyOnlyOfferEnqueues) {
+  ServeHealth health;
+  AdmissionQueue queue({}, &health);
+  EXPECT_EQ(queue.admit(1, 10), Admission::kAccepted);
+  EXPECT_EQ(queue.depth(), 0u);  // admit() did not enqueue
+  EXPECT_EQ(queue.offer(make_item(0, 1, 10)), Admission::kAccepted);
+  EXPECT_EQ(queue.depth(), 1u);
+}
+
+TEST(AdmissionTest, RestoreBypassesAdmissionPolicy) {
+  ServeHealth health;
+  AdmissionQueue::Options options;
+  options.max_depth = 1;
+  AdmissionQueue queue(options, &health);
+  EXPECT_EQ(queue.offer(make_item(0, 1, 1)), Admission::kAccepted);
+  EXPECT_EQ(queue.offer(make_item(1, 1, 1)), Admission::kOverloaded);
+  // Recovery re-feed: already-accepted batches may exceed the caps.
+  queue.restore(make_item(1, 1, 1));
+  queue.restore(make_item(2, 0, 1));
+  EXPECT_EQ(queue.depth(), 3u);
+}
+
+TEST(AdmissionTest, HighWaterMarksRecorded) {
+  ServeHealth health;
+  AdmissionQueue queue({}, &health);
+  EXPECT_EQ(queue.offer(make_item(0, 1, 30)), Admission::kAccepted);
+  EXPECT_EQ(queue.offer(make_item(1, 1, 50)), Admission::kAccepted);
+  const auto snapshot = health.snapshot();
+  EXPECT_EQ(snapshot.queue_depth_high_water, 2u);
+  EXPECT_EQ(snapshot.queue_bytes_high_water, 80u);
+}
+
+TEST(AdmissionTest, PopDrainsFifoThenBlocksUntilClose) {
+  ServeHealth health;
+  AdmissionQueue queue({}, &health);
+  EXPECT_EQ(queue.offer(make_item(7, 1, 1)), Admission::kAccepted);
+  EXPECT_EQ(queue.offer(make_item(8, 1, 1)), Admission::kAccepted);
+  auto first = queue.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seq, 7u);
+  auto second = queue.pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->seq, 8u);
+  EXPECT_EQ(queue.bytes(), 0u);
+  // A blocked pop wakes on close and reports drained.
+  std::thread closer([&queue] { queue.close(); });
+  EXPECT_FALSE(queue.pop().has_value());
+  closer.join();
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(AdmissionTest, TryPopNonBlocking) {
+  ServeHealth health;
+  AdmissionQueue queue({}, &health);
+  EXPECT_FALSE(queue.try_pop().has_value());
+  EXPECT_EQ(queue.offer(make_item(1, 1, 1)), Admission::kAccepted);
+  EXPECT_TRUE(queue.try_pop().has_value());
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(AdmissionTest, CloseStillDrainsQueuedItems) {
+  ServeHealth health;
+  AdmissionQueue queue({}, &health);
+  EXPECT_EQ(queue.offer(make_item(1, 1, 1)), Admission::kAccepted);
+  queue.close();
+  auto item = queue.pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->seq, 1u);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(AdmissionTest, ValidatesOptions) {
+  ServeHealth health;
+  AdmissionQueue::Options bad;
+  bad.max_depth = 0;
+  EXPECT_THROW(AdmissionQueue(bad, &health), std::invalid_argument);
+  AdmissionQueue::Options watermark;
+  watermark.shed_watermark = 1.5;
+  EXPECT_THROW(AdmissionQueue(watermark, &health), std::invalid_argument);
+  EXPECT_THROW(AdmissionQueue({}, nullptr), std::invalid_argument);
+}
+
+}  // namespace

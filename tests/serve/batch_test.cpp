@@ -1,0 +1,97 @@
+// Ingest batch serialization: bit-exact round trips (the bytes live in the
+// ingest WAL and must replay identically) and malformed-input rejection.
+#include "serve/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace {
+
+using eta2::serve::IngestBatch;
+using eta2::serve::parse_batch;
+using eta2::serve::serialize_batch;
+
+IngestBatch sample_batch() {
+  IngestBatch batch;
+  batch.priority = 3;
+  batch.user_capacity = {8.0, 0.1 + 0.2, 1e-308};
+  eta2::core::NewTask described;
+  described.description = "count the crowd\nsecond line";
+  described.processing_time = 1.25;
+  described.cost = 2.5;
+  batch.tasks.push_back(described);
+  eta2::core::NewTask labelled;
+  labelled.known_domain = 5;
+  labelled.processing_time = 0.75;
+  labelled.cost = 1.0;
+  batch.tasks.push_back(labelled);
+  batch.observations.push_back({0, 2, 10.25});
+  batch.observations.push_back({1, 0, -3.5});
+  return batch;
+}
+
+TEST(BatchTest, RoundTripIsBitExact) {
+  const IngestBatch batch = sample_batch();
+  const std::string bytes = serialize_batch(batch);
+  const IngestBatch parsed = parse_batch(bytes);
+  EXPECT_EQ(parsed.priority, batch.priority);
+  ASSERT_EQ(parsed.user_capacity.size(), batch.user_capacity.size());
+  for (std::size_t i = 0; i < batch.user_capacity.size(); ++i) {
+    EXPECT_EQ(parsed.user_capacity[i], batch.user_capacity[i]);
+  }
+  ASSERT_EQ(parsed.tasks.size(), batch.tasks.size());
+  EXPECT_EQ(parsed.tasks[0].description, batch.tasks[0].description);
+  EXPECT_FALSE(parsed.tasks[0].known_domain.has_value());
+  EXPECT_EQ(parsed.tasks[1].known_domain, batch.tasks[1].known_domain);
+  ASSERT_EQ(parsed.observations.size(), batch.observations.size());
+  EXPECT_EQ(parsed.observations[1].value, batch.observations[1].value);
+  // The strongest form: serialize(parse(bytes)) == bytes.
+  EXPECT_EQ(serialize_batch(parsed), bytes);
+}
+
+TEST(BatchTest, NonFiniteValuesRoundTripByBitPattern) {
+  IngestBatch batch;
+  eta2::core::NewTask task;
+  task.processing_time = 1.0;
+  batch.tasks.push_back(task);
+  batch.observations.push_back(
+      {0, 0, std::numeric_limits<double>::quiet_NaN()});
+  batch.observations.push_back(
+      {0, 1, std::numeric_limits<double>::infinity()});
+  const IngestBatch parsed = parse_batch(serialize_batch(batch));
+  EXPECT_TRUE(std::isnan(parsed.observations[0].value));
+  EXPECT_TRUE(std::isinf(parsed.observations[1].value));
+  EXPECT_EQ(serialize_batch(parsed), serialize_batch(batch));
+}
+
+TEST(BatchTest, EmptyBatchRoundTrips) {
+  const IngestBatch parsed = parse_batch(serialize_batch(IngestBatch{}));
+  EXPECT_EQ(parsed.priority, 1);
+  EXPECT_TRUE(parsed.tasks.empty());
+  EXPECT_TRUE(parsed.observations.empty());
+}
+
+TEST(BatchTest, MalformedInputsThrow) {
+  EXPECT_THROW(parse_batch(""), std::invalid_argument);
+  EXPECT_THROW(parse_batch("eta2-batch v2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_batch("not-a-batch v1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_batch("eta2-batch v1\npriority x\n"),
+               std::invalid_argument);
+  // Truncated mid-structure.
+  const std::string bytes = serialize_batch(sample_batch());
+  EXPECT_THROW(parse_batch(bytes.substr(0, bytes.size() / 2)),
+               std::invalid_argument);
+}
+
+TEST(BatchTest, ObservationTaskIndexValidated) {
+  IngestBatch batch;
+  eta2::core::NewTask task;
+  task.processing_time = 1.0;
+  batch.tasks.push_back(task);
+  batch.observations.push_back({7, 0, 1.0});  // no task 7
+  EXPECT_THROW(parse_batch(serialize_batch(batch)), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// eta2-rpc framing: round trips, incremental decoding, and the poisoned
+// stream contract — any malformed frame is terminal and diagnosable, never
+// silently skipped.
+#include "serve/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using eta2::serve::FrameDecoder;
+using eta2::serve::Message;
+using eta2::serve::MessageType;
+using eta2::serve::frame_message;
+
+TEST(WireTest, MessageTypeNamesRoundTrip) {
+  for (const MessageType type :
+       {MessageType::kIngest, MessageType::kQuery, MessageType::kHealth,
+        MessageType::kSnapshot, MessageType::kShutdown,
+        MessageType::kAccepted, MessageType::kOverloaded, MessageType::kShed,
+        MessageType::kResult, MessageType::kError, MessageType::kHealthReport,
+        MessageType::kSnapshotDone, MessageType::kGoodbye}) {
+    const auto parsed =
+        eta2::serve::parse_message_type(eta2::serve::message_type_name(type));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(eta2::serve::parse_message_type("bogus").has_value());
+}
+
+TEST(WireTest, FrameRoundTrip) {
+  const std::string frame =
+      frame_message(MessageType::kIngest, 42, "hello payload");
+  FrameDecoder decoder;
+  std::vector<Message> out;
+  ASSERT_TRUE(decoder.feed(frame, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, MessageType::kIngest);
+  EXPECT_EQ(out[0].id, 42u);
+  EXPECT_EQ(out[0].payload, "hello payload");
+  EXPECT_FALSE(decoder.corrupt());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireTest, EmptyPayloadRoundTrip) {
+  FrameDecoder decoder;
+  std::vector<Message> out;
+  ASSERT_TRUE(decoder.feed(frame_message(MessageType::kQuery, 0, ""), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, MessageType::kQuery);
+  EXPECT_TRUE(out[0].payload.empty());
+}
+
+TEST(WireTest, PayloadWithNewlinesAndNulBytes) {
+  const std::string payload("line1\nline2\0binary\xff tail", 24);
+  FrameDecoder decoder;
+  std::vector<Message> out;
+  ASSERT_TRUE(
+      decoder.feed(frame_message(MessageType::kResult, 7, payload), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, payload);
+}
+
+TEST(WireTest, IncrementalSingleByteFeed) {
+  const std::string frame =
+      frame_message(MessageType::kHealth, 9, "incremental");
+  FrameDecoder decoder;
+  std::vector<Message> out;
+  for (const char c : frame) {
+    ASSERT_TRUE(decoder.feed(std::string_view(&c, 1), out));
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "incremental");
+}
+
+TEST(WireTest, PipelinedFramesDecodeInOrder) {
+  std::string bytes = frame_message(MessageType::kIngest, 1, "a");
+  bytes += frame_message(MessageType::kQuery, 2, "");
+  bytes += frame_message(MessageType::kSnapshot, 3, "c");
+  FrameDecoder decoder;
+  std::vector<Message> out;
+  ASSERT_TRUE(decoder.feed(bytes, out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 2u);
+  EXPECT_EQ(out[2].id, 3u);
+}
+
+TEST(WireTest, TornFrameStaysBufferedNotCorrupt) {
+  const std::string frame = frame_message(MessageType::kIngest, 5, "payload");
+  FrameDecoder decoder;
+  std::vector<Message> out;
+  ASSERT_TRUE(decoder.feed(frame.substr(0, frame.size() / 2), out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(decoder.corrupt());
+  EXPECT_GT(decoder.buffered_bytes(), 0u);
+  // The rest arrives: decodes normally.
+  ASSERT_TRUE(decoder.feed(frame.substr(frame.size() / 2), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "payload");
+}
+
+TEST(WireTest, CorruptPayloadPoisonsStream) {
+  std::string frame = frame_message(MessageType::kIngest, 5, "payload");
+  frame[frame.size() - 1] ^= 0x01;  // flip a payload bit -> CRC mismatch
+  FrameDecoder decoder;
+  std::vector<Message> out;
+  EXPECT_FALSE(decoder.feed(frame, out));
+  EXPECT_TRUE(decoder.corrupt());
+  EXPECT_NE(decoder.diagnostic().find("CRC"), std::string::npos);
+  // Poison is terminal: even a valid frame decodes nothing now.
+  EXPECT_FALSE(
+      decoder.feed(frame_message(MessageType::kQuery, 1, ""), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireTest, GarbageHeaderPoisonsStream) {
+  FrameDecoder decoder;
+  std::vector<Message> out;
+  EXPECT_FALSE(decoder.feed("eta2-rpc v9 nonsense 0 0 zzzz\nmore", out));
+  EXPECT_TRUE(decoder.corrupt());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireTest, UnknownTypePoisonsStream) {
+  FrameDecoder decoder;
+  std::vector<Message> out;
+  EXPECT_FALSE(decoder.feed("eta2-rpc v1 teleport 1 0 00000000\n", out));
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+TEST(WireTest, OversizePayloadPoisonsStream) {
+  FrameDecoder decoder(16);  // tiny cap
+  std::vector<Message> out;
+  const std::string frame =
+      frame_message(MessageType::kIngest, 1, std::string(64, 'x'));
+  EXPECT_FALSE(decoder.feed(frame, out));
+  EXPECT_TRUE(decoder.corrupt());
+  EXPECT_NE(decoder.diagnostic().find("payload"), std::string::npos);
+}
+
+TEST(WireTest, RunawayHeaderWithoutNewlinePoisons) {
+  FrameDecoder decoder;
+  std::vector<Message> out;
+  // A "header" that never terminates must not buffer unboundedly.
+  EXPECT_FALSE(decoder.feed(std::string(256, 'a'), out));
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// The campaign snapshot's extra-block StepHealth serialization
+// (sim/durable_sim.h): v2 round-trips every counter — including the PR 7
+// shard/greedy observability fields — and a pinned v1 block still loads,
+// resuming the newer counters from zero.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "io/snapshot.h"
+#include "sim/durable_sim.h"
+
+namespace eta2::sim {
+namespace {
+
+core::StepHealth sample_health() {
+  core::StepHealth h;
+  h.pairs_asked = 120;
+  h.observations_accepted = 111;
+  h.rejected_nonfinite = 3;
+  h.rejected_out_of_range = 2;
+  h.silent_pairs = 4;
+  h.identifier_failed = true;
+  h.domain_fallback_tasks = 5;
+  h.truth_fallback = true;
+  h.quality_unmet_tasks = 6;
+  h.empty_batch = true;
+  h.quarantined_batches = 1;
+  h.shard_count = 4;
+  h.sharded_truth_iterations = 250;
+  h.greedy_selections = 48;
+  h.greedy_gain_evaluations = 910;
+  h.greedy_heap_pops = 333;
+  return h;
+}
+
+void expect_equal(const core::StepHealth& a, const core::StepHealth& b) {
+  EXPECT_EQ(a.pairs_asked, b.pairs_asked);
+  EXPECT_EQ(a.observations_accepted, b.observations_accepted);
+  EXPECT_EQ(a.rejected_nonfinite, b.rejected_nonfinite);
+  EXPECT_EQ(a.rejected_out_of_range, b.rejected_out_of_range);
+  EXPECT_EQ(a.silent_pairs, b.silent_pairs);
+  EXPECT_EQ(a.identifier_failed, b.identifier_failed);
+  EXPECT_EQ(a.domain_fallback_tasks, b.domain_fallback_tasks);
+  EXPECT_EQ(a.truth_fallback, b.truth_fallback);
+  EXPECT_EQ(a.quality_unmet_tasks, b.quality_unmet_tasks);
+  EXPECT_EQ(a.empty_batch, b.empty_batch);
+  EXPECT_EQ(a.quarantined_batches, b.quarantined_batches);
+  EXPECT_EQ(a.shard_count, b.shard_count);
+  EXPECT_EQ(a.sharded_truth_iterations, b.sharded_truth_iterations);
+  EXPECT_EQ(a.greedy_selections, b.greedy_selections);
+  EXPECT_EQ(a.greedy_gain_evaluations, b.greedy_gain_evaluations);
+  EXPECT_EQ(a.greedy_heap_pops, b.greedy_heap_pops);
+}
+
+TEST(SimExtraTest, StepHealthV2RoundTripsEveryCounter) {
+  const core::StepHealth h = sample_health();
+  std::ostringstream out;
+  write_step_health(out, h);
+  std::istringstream in(out.str());
+  expect_equal(read_step_health(in, kSimExtraVersion), h);
+}
+
+TEST(SimExtraTest, StepHealthSerializationIsStableAcrossRoundTrips) {
+  // Byte-stable: serialize(read(serialize(h))) == serialize(h) — the extra
+  // block participates in snapshot digests, so drift here breaks resume.
+  const core::StepHealth h = sample_health();
+  std::ostringstream first;
+  write_step_health(first, h);
+  std::istringstream in(first.str());
+  const core::StepHealth reread = read_step_health(in, kSimExtraVersion);
+  std::ostringstream second;
+  write_step_health(second, reread);
+  EXPECT_EQ(second.str(), first.str());
+}
+
+TEST(SimExtraTest, PinnedV1BlockLoadsWithZeroShardGreedyCounters) {
+  // The exact byte layout a pre-v2 campaign wrote: the eleven fault
+  // counters only. Pinned as a literal so accidental format drift fails
+  // here, not in a user's resumed campaign.
+  std::istringstream in("120 111 3 2 4 1 5 1 6 1 1");
+  const core::StepHealth h = read_step_health(in, 1);
+  core::StepHealth expected = sample_health();
+  expected.shard_count = 0;
+  expected.sharded_truth_iterations = 0;
+  expected.greedy_selections = 0;
+  expected.greedy_gain_evaluations = 0;
+  expected.greedy_heap_pops = 0;
+  expect_equal(h, expected);
+}
+
+TEST(SimExtraTest, V1ParserStopsBeforeTrailingData) {
+  // A v1 reader must not consume v2's extra fields from the stream: the
+  // surrounding accumulator parser relies on the next token staying put.
+  std::istringstream in("120 111 3 2 4 1 5 1 6 1 1 next-key");
+  (void)read_step_health(in, 1);
+  std::string next;
+  ASSERT_TRUE(static_cast<bool>(in >> next));
+  EXPECT_EQ(next, "next-key");
+}
+
+TEST(SimExtraTest, TruncatedHealthBlockThrows) {
+  std::istringstream v2_short("120 111 3 2 4 1 5 1 6 1 1 4 250");
+  EXPECT_THROW((void)read_step_health(v2_short, 2),
+               io::CorruptSnapshotError);
+  std::istringstream v1_short("120 111 3");
+  EXPECT_THROW((void)read_step_health(v1_short, 1),
+               io::CorruptSnapshotError);
+}
+
+}  // namespace
+}  // namespace eta2::sim

@@ -1,0 +1,52 @@
+# `eta2 resume --dir=DIR` operator-mistake diagnostics: a missing directory
+# and a directory with no manifest must each fail with ONE actionable line
+# on stderr and exit 2 — not a raw stream-failure backtrace.
+#
+# Invoked by ctest (see tools/CMakeLists.txt):
+#   cmake -DETA2_BIN=<eta2 binary> -DWORK_DIR=<scratch dir> -P this_file
+if(NOT DEFINED ETA2_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DETA2_BIN=... -DWORK_DIR=... -P cli_resume_errors.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Case 1: the directory does not exist.
+execute_process(
+  COMMAND "${ETA2_BIN}" resume "--dir=${WORK_DIR}/no-such-campaign"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "resume of a missing dir exited ${rc}, want 2:\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "directory does not exist")
+  message(FATAL_ERROR "missing-dir diagnostic not actionable:\n${err}")
+endif()
+if(NOT err MATCHES "eta2 simulate --durable=")
+  message(FATAL_ERROR "missing-dir diagnostic does not say how to start a campaign:\n${err}")
+endif()
+
+# Case 2: the directory exists but holds no campaign (no manifest.txt).
+file(MAKE_DIRECTORY "${WORK_DIR}/empty-campaign")
+execute_process(
+  COMMAND "${ETA2_BIN}" resume "--dir=${WORK_DIR}/empty-campaign"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "resume of an empty dir exited ${rc}, want 2:\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "contains no manifest.txt")
+  message(FATAL_ERROR "empty-dir diagnostic not actionable:\n${err}")
+endif()
+
+# Case 3: a manifest that is present but empty.
+file(WRITE "${WORK_DIR}/empty-campaign/manifest.txt" "\n")
+execute_process(
+  COMMAND "${ETA2_BIN}" resume "--dir=${WORK_DIR}/empty-campaign"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "resume of an empty manifest exited ${rc}, want 2:\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "manifest.txt is empty")
+  message(FATAL_ERROR "empty-manifest diagnostic not actionable:\n${err}")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")

@@ -1,0 +1,94 @@
+# Graceful-shutdown regression for `eta2 simulate --durable` (DESIGN.md
+# §13): SIGTERM mid-campaign must stop cooperatively at a step boundary
+# (exit 3, nothing quarantined, journal + snapshot fsync'd) and `eta2
+# resume` must finish the campaign to the bit-identical final CSV of an
+# uninterrupted reference run.
+#
+# Invoked by ctest (see tools/CMakeLists.txt):
+#   cmake -DETA2_BIN=<eta2 binary> -DWORK_DIR=<scratch dir> -P this_file
+if(NOT DEFINED ETA2_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DETA2_BIN=... -DWORK_DIR=... -P cli_sigterm_resume.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(campaign_dir "${WORK_DIR}/campaign")
+set(flags --dataset=synthetic --tasks=100000 --days=200 --seed=7)
+
+# Reference: the same campaign, uninterrupted.
+execute_process(
+  COMMAND "${ETA2_BIN}" simulate "--durable=${WORK_DIR}/reference" ${flags}
+          "--out=${WORK_DIR}/reference.csv"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference simulate failed (exit ${rc}):\n${out}\n${err}")
+endif()
+
+# Interrupted run: launch in the background, SIGTERM it mid-campaign. The
+# helper shell script keeps the backgrounding/kill/wait dance POSIX-plain.
+execute_process(
+  COMMAND sh -c "\
+'${ETA2_BIN}' simulate --durable='${campaign_dir}' \
+  --dataset=synthetic --tasks=100000 --days=200 --seed=7 \
+  --out='${WORK_DIR}/interrupted.csv' > '${WORK_DIR}/interrupted.log' 2>&1 & \
+pid=$!; \
+sleep 1; \
+kill -TERM $pid 2>/dev/null; \
+wait $pid; \
+echo $?"
+  RESULT_VARIABLE sh_rc OUTPUT_VARIABLE wait_out ERROR_VARIABLE sh_err)
+if(NOT sh_rc EQUAL 0)
+  message(FATAL_ERROR "interrupted-run harness failed:\n${wait_out}\n${sh_err}")
+endif()
+string(STRIP "${wait_out}" sim_rc)
+file(READ "${WORK_DIR}/interrupted.log" sim_log)
+
+if(sim_rc EQUAL 0)
+  # The campaign finished before the signal landed — the machine is far
+  # faster than expected. That run is still a valid campaign; nothing to
+  # resume, but the graceful path was not exercised, so fail loudly: the
+  # test parameters need to grow, not silently pass.
+  message(FATAL_ERROR "campaign finished before SIGTERM; grow --days/--tasks:\n${sim_log}")
+endif()
+if(NOT sim_rc EQUAL 3)
+  message(FATAL_ERROR "SIGTERM exit code was ${sim_rc}, want 3 (graceful stop):\n${sim_log}")
+endif()
+if(NOT sim_log MATCHES "campaign stopped by signal")
+  message(FATAL_ERROR "missing graceful-stop message:\n${sim_log}")
+endif()
+if(sim_log MATCHES "quarantined" AND NOT sim_log MATCHES "0 quarantined")
+  message(FATAL_ERROR "graceful stop quarantined steps:\n${sim_log}")
+endif()
+
+# A graceful stop journals no quarantine records.
+file(GLOB segments "${campaign_dir}/journal.*.wal")
+foreach(segment ${segments})
+  file(READ "${segment}" bytes)
+  string(FIND "${bytes}" " quarantine " hit)
+  if(NOT hit EQUAL -1)
+    message(FATAL_ERROR "journal segment ${segment} holds a quarantine record after graceful stop")
+  endif()
+endforeach()
+
+# Resume must finish the campaign and report zero quarantined steps.
+execute_process(
+  COMMAND "${ETA2_BIN}" resume "--dir=${campaign_dir}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resume after SIGTERM failed (exit ${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "resumed")
+  message(FATAL_ERROR "resume did not report a resumed campaign:\n${out}")
+endif()
+if(NOT out MATCHES ", 0 quarantined")
+  message(FATAL_ERROR "resume reported quarantined steps:\n${out}")
+endif()
+
+# Bit-identical final metrics: interrupted+resumed == uninterrupted.
+file(READ "${WORK_DIR}/reference.csv" reference_csv)
+file(READ "${WORK_DIR}/interrupted.csv" resumed_csv)
+if(NOT reference_csv STREQUAL resumed_csv)
+  message(FATAL_ERROR "resumed campaign CSV differs from the uninterrupted reference")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")

@@ -24,6 +24,7 @@
 //   eta2 methods
 //       List the available truth-analysis/allocation methods.
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -50,6 +51,12 @@ namespace {
 
 using eta2::Flags;
 
+// Graceful-shutdown flag: set by SIGTERM/SIGINT during a durable campaign
+// and consulted at step boundaries via SimOptions::stop_requested.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void handle_stop_signal(int sig) { g_stop_signal = sig; }
+
 int usage() {
   std::fprintf(
       stderr,
@@ -72,6 +79,7 @@ std::optional<eta2::sim::Dataset> build_dataset(const Flags& flags,
   if (kind == "synthetic") {
     eta2::sim::SyntheticOptions options;
     options.tasks = static_cast<std::size_t>(flags.get_int("tasks", 1000));
+    options.days = static_cast<int>(flags.get_int("days", options.days));
     options.mean_capacity = flags.get_double("tau", 12.0);
     options.nonnormal_fraction = flags.get_double("nonnormal", 0.0);
     return eta2::sim::make_synthetic(options, seed);
@@ -135,7 +143,7 @@ int cmd_simulate(const Flags& flags, const std::vector<std::string>& tokens) {
   }
   const auto dataset = build_dataset(flags, seed);
   if (!dataset) return 2;
-  const auto options = build_options(flags, *dataset);
+  auto options = build_options(flags, *dataset);
 
   eta2::sim::SimulationResult result;
   const std::string durable_dir = flags.get("durable", "");
@@ -145,6 +153,13 @@ int cmd_simulate(const Flags& flags, const std::vector<std::string>& tokens) {
     durable.snapshot_cadence =
         static_cast<std::uint64_t>(flags.get_int("cadence", 8));
     durable.max_step_retries = static_cast<int>(flags.get_int("retries", 2));
+    // Graceful shutdown: SIGTERM/SIGINT request a cooperative stop at the
+    // next step boundary — the in-flight step finishes or rolls back, the
+    // campaign checkpoints (journal + snapshot fsync'd), and we exit with
+    // code 3 so wrappers know `eta2 resume` will continue it cleanly.
+    std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGINT, handle_stop_signal);
+    options.stop_requested = [] { return g_stop_signal != 0; };
     // The manifest must be durable BEFORE the first step runs: a campaign
     // killed on day 0 is already resumable.
     std::filesystem::create_directories(durable_dir);
@@ -157,6 +172,13 @@ int cmd_simulate(const Flags& flags, const std::vector<std::string>& tokens) {
         durable_dir.c_str(), result.resumed ? "resumed" : "fresh",
         static_cast<unsigned long long>(result.replayed_steps),
         static_cast<unsigned long long>(result.quarantined_steps));
+    if (result.stopped_early) {
+      std::printf(
+          "campaign stopped by signal after %zu completed day(s); continue "
+          "with: eta2 resume --dir=%s\n",
+          result.days.size(), durable_dir.c_str());
+      return 3;
+    }
   } else {
     result = eta2::sim::simulate(*dataset, *method, options, seed);
   }
@@ -201,10 +223,31 @@ int cmd_resume(const Flags& flags) {
     std::fprintf(stderr, "resume: --dir=DIR is required\n");
     return 2;
   }
+  // Diagnose the common operator mistakes with one actionable line each
+  // (exit 2) instead of surfacing read_manifest's raw stream failure.
+  if (!std::filesystem::exists(dir)) {
+    std::fprintf(stderr,
+                 "resume: no campaign at %s: directory does not exist (start "
+                 "one with `eta2 simulate --durable=%s ...`)\n",
+                 dir.c_str(), dir.c_str());
+    return 2;
+  }
+  if (!std::filesystem::exists(dir + "/manifest.txt")) {
+    std::fprintf(stderr,
+                 "resume: %s contains no manifest.txt, so it is not a durable "
+                 "campaign directory (start one with `eta2 simulate "
+                 "--durable=%s ...`)\n",
+                 dir.c_str(), dir.c_str());
+    return 2;
+  }
   const std::vector<std::string> tokens = eta2::io::read_manifest(dir);
   if (tokens.empty()) {
-    std::fprintf(stderr, "resume: %s/manifest.txt is empty\n", dir.c_str());
-    return 1;
+    std::fprintf(stderr,
+                 "resume: %s/manifest.txt is empty, so the original simulate "
+                 "arguments are unknown; re-run the original `eta2 simulate "
+                 "--durable=%s ...` command instead\n",
+                 dir.c_str(), dir.c_str());
+    return 2;
   }
   // from_tokens, not the argv constructor: manifest tokens have no
   // program-name slot, so every line is significant.
@@ -214,7 +257,7 @@ int cmd_resume(const Flags& flags) {
                  "resume: manifest at %s does not describe a durable "
                  "campaign\n",
                  dir.c_str());
-    return 1;
+    return 2;
   }
   return cmd_simulate(manifest_flags, tokens);
 }

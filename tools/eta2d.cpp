@@ -1,0 +1,142 @@
+// eta2d — the long-running ETA² service daemon (DESIGN.md §13).
+//
+//   eta2d --dir=DIR [--port=0] [--users=20] [--port-file=FILE]
+//         [--gamma=0.5] [--alpha=0.5] [--seed=1] [--capacity=8]
+//         [--deadline-ms=0] [--retries=2] [--backoff-ms=0]
+//         [--backoff-mult=1] [--backoff-max-ms=0] [--jitter=0]
+//         [--cadence=8] [--queue-depth=64] [--queue-bytes=4194304]
+//         [--shed-watermark=0.75] [--shed-priority=1]
+//         [--io-timeout-ms=5000] [--embedder] [--bench-out=FILE]
+//         [--fault-nan-rate=0] [--fault-outlier-rate=0]
+//         [--fault-response-rate=1] [--fault-dropout-rate=0]
+//         [--fault-seed=0]
+//
+// Opens (or recovers) the durable campaign at DIR, binds 127.0.0.1:<port>
+// (0 = ephemeral; the bound port is printed as "listening on <port>" and
+// written to --port-file when given), and serves ingest / query / health /
+// snapshot / shutdown requests until SIGTERM, SIGINT, or a client
+// kShutdown. Shutdown is graceful: the in-flight step finishes, the
+// campaign is checkpointed, and the final ServeHealth ledger is written as
+// JSON to --bench-out (default DIR/BENCH_serve.json). Exits 0 on a clean
+// stop, 1 when the step loop halted on an unrecoverable campaign error,
+// 2 on usage errors.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "common/flags.h"
+#include "serve/clock.h"
+#include "serve/service.h"
+#include "serve/socket.h"
+#include "sim/experiment.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void handle_stop_signal(int sig) { g_stop_signal = sig; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: eta2d --dir=DIR [--port=0] [--users=20] [flags]\n"
+               "see the header comment of tools/eta2d.cpp for details\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eta2::Flags flags(argc, argv);
+  const std::string dir = flags.get("dir", "");
+  if (dir.empty()) return usage();
+
+  eta2::serve::Eta2Service::Options options;
+  options.dir = dir;
+  options.user_count = static_cast<std::size_t>(flags.get_int("users", 20));
+  options.config.gamma = flags.get_double("gamma", 0.5);
+  options.config.alpha = flags.get_double("alpha", 0.5);
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.default_capacity = flags.get_double("capacity", 8.0);
+  options.step_deadline_ms =
+      static_cast<std::uint64_t>(flags.get_int("deadline-ms", 0));
+  options.durable.max_step_retries =
+      static_cast<int>(flags.get_int("retries", 2));
+  options.durable.retry_backoff_ms =
+      static_cast<int>(flags.get_int("backoff-ms", 0));
+  options.durable.retry_backoff_multiplier =
+      flags.get_double("backoff-mult", 1.0);
+  options.durable.retry_backoff_max_ms =
+      static_cast<int>(flags.get_int("backoff-max-ms", 0));
+  options.durable.retry_jitter = flags.get_double("jitter", 0.0);
+  options.durable.snapshot_cadence =
+      static_cast<std::uint64_t>(flags.get_int("cadence", 8));
+  options.admission.max_depth =
+      static_cast<std::size_t>(flags.get_int("queue-depth", 64));
+  options.admission.max_bytes =
+      static_cast<std::size_t>(flags.get_int("queue-bytes", 4u << 20));
+  options.admission.shed_watermark = flags.get_double("shed-watermark", 0.75);
+  options.admission.shed_priority_threshold =
+      static_cast<int>(flags.get_int("shed-priority", 1));
+  if (flags.get_bool("embedder", false)) {
+    options.embedder = eta2::sim::shared_embedder();
+  }
+  options.fault.seed =
+      static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  options.fault.nan_rate = flags.get_double("fault-nan-rate", 0.0);
+  options.fault.outlier_rate = flags.get_double("fault-outlier-rate", 0.0);
+  options.fault.response_rate = flags.get_double("fault-response-rate", 1.0);
+  options.fault.dropout_rate = flags.get_double("fault-dropout-rate", 0.0);
+
+  try {
+    eta2::serve::Eta2Service service(std::move(options));
+
+    // Client-requested shutdown (kShutdown) folds into the same flag the
+    // signal handlers set; the main loop below reacts to either.
+    eta2::serve::SocketServer::Options server_options;
+    server_options.port =
+        static_cast<std::uint16_t>(flags.get_int("port", 0));
+    server_options.io_timeout_ms =
+        static_cast<int>(flags.get_int("io-timeout-ms", 5000));
+    server_options.on_shutdown = [] { g_stop_signal = SIGTERM; };
+    eta2::serve::SocketServer server(&service, server_options);
+
+    std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("listening on %u\n", server.port());
+    std::fflush(stdout);
+    const std::string port_file = flags.get("port-file", "");
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << server.port() << "\n";
+    }
+
+    while (g_stop_signal == 0 && !service.failed()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    server.stop();
+    service.stop();
+
+    const std::string bench_out =
+        flags.get("bench-out", dir + "/BENCH_serve.json");
+    {
+      std::ofstream out(bench_out);
+      out << eta2::serve::health_json(service.health().snapshot()) << "\n";
+    }
+
+    if (service.failed()) {
+      std::fprintf(stderr, "eta2d: campaign failed: %s\n",
+                   service.failure().c_str());
+      return 1;
+    }
+    std::printf("stopped cleanly at step %llu\n",
+                static_cast<unsigned long long>(service.steps_completed()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "eta2d: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,370 @@
+// loadgen — open-loop load generator and chaos client for eta2d.
+//
+//   loadgen --port=P [--requests=200] [--rate=100] [--connections=8]
+//           [--burst-on-ms=0] [--burst-off-ms=0]
+//           [--tasks=4] [--obs-per-task=3] [--users=20]
+//           [--low-priority-fraction=0.25] [--seed=1]
+//           [--chaos-every=0] [--loris-delay-ms=20] [--loris-chunks=6]
+//           [--io-timeout-ms=5000] [--snapshot-at-end]
+//           [--out=BENCH_serve.json]
+//
+// Arrivals are OPEN-LOOP: request send times are drawn up front from a
+// Poisson process of --rate req/s (optionally gated into on/off bursts of
+// --burst-on-ms / --burst-off-ms), and workers honor those timestamps
+// regardless of how fast the daemon answers — the backpressure question is
+// "what does the service do when work arrives faster than it drains",
+// which a closed loop can never ask.
+//
+// Chaos mode (--chaos-every=N): every Nth scheduled request becomes a
+// hostile connection instead of a clean ingest, cycling through torn
+// frames (half a valid frame, then disconnect), garbage bytes (poisoned
+// stream), and slow-loris writes (a valid frame dripped byte by byte).
+// Chaos connections are tallied separately and excluded from the
+// reconciliation below.
+//
+// Exit status is the no-silent-drops verdict: after the run, the daemon's
+// health ledger must reconcile exactly —
+//     offered == accepted + rejected_overloaded + shed + malformed
+// and every clean request must have received a typed response. Any
+// mismatch (a silently dropped ingest) exits 1. Results (throughput,
+// client-side p50/p99 latency, tallies, the server ledger) are written to
+// --out as JSON.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "serve/batch.h"
+#include "serve/clock.h"
+#include "serve/socket.h"
+#include "serve/wire.h"
+
+namespace {
+
+using eta2::serve::BlockingClient;
+using eta2::serve::IngestBatch;
+using eta2::serve::Message;
+using eta2::serve::MessageType;
+
+struct Tally {
+  std::uint64_t accepted = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t error = 0;
+  std::uint64_t no_reply = 0;
+  std::uint64_t chaos = 0;
+  std::vector<std::uint64_t> latency_us;  // accepted requests only
+};
+
+struct Config {
+  std::uint16_t port = 0;
+  std::size_t requests = 200;
+  double rate = 100.0;
+  std::size_t connections = 8;
+  std::int64_t burst_on_ms = 0;
+  std::int64_t burst_off_ms = 0;
+  std::size_t tasks = 4;
+  std::size_t obs_per_task = 3;
+  std::size_t users = 20;
+  double low_priority_fraction = 0.25;
+  std::uint64_t seed = 1;
+  std::size_t chaos_every = 0;
+  std::int64_t loris_delay_ms = 20;
+  std::size_t loris_chunks = 6;
+  int io_timeout_ms = 5000;
+};
+
+// Deterministic per-request batch: same seed -> same byte stream.
+IngestBatch make_batch(const Config& config, std::size_t index) {
+  eta2::Rng rng(config.seed * 0x9e3779b9u + index + 1);
+  IngestBatch batch;
+  batch.priority =
+      rng.bernoulli(config.low_priority_fraction) ? 0 : 1;
+  for (std::size_t t = 0; t < config.tasks; ++t) {
+    eta2::core::NewTask task;
+    task.known_domain = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    task.processing_time = rng.uniform(0.5, 2.0);
+    task.cost = rng.uniform(1.0, 4.0);
+    batch.tasks.push_back(task);
+    for (std::size_t o = 0; o < config.obs_per_task; ++o) {
+      IngestBatch::Observation obs;
+      obs.task = t;
+      obs.user = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(config.users) - 1));
+      obs.value = rng.normal(10.0, 2.0);
+      batch.observations.push_back(obs);
+    }
+  }
+  return batch;
+}
+
+// Arrival offsets (microseconds from start), Poisson at config.rate,
+// optionally gated into on/off bursts.
+std::vector<std::uint64_t> make_schedule(const Config& config) {
+  eta2::Rng rng(config.seed);
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(config.requests);
+  double t_us = 0.0;
+  const double mean_gap_us = 1e6 / config.rate;
+  const double on_us = static_cast<double>(config.burst_on_ms) * 1000.0;
+  const double off_us = static_cast<double>(config.burst_off_ms) * 1000.0;
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    t_us += -std::log(1.0 - rng.uniform01()) * mean_gap_us;
+    double arrival = t_us;
+    if (on_us > 0.0 && off_us > 0.0) {
+      // Gate into bursts: an arrival falling in an off window slides to
+      // the start of the next on window (the whole backlog lands at once).
+      const double cycle = on_us + off_us;
+      const double phase = std::fmod(arrival, cycle);
+      if (phase >= on_us) arrival += cycle - phase;
+    }
+    offsets.push_back(static_cast<std::uint64_t>(arrival));
+  }
+  return offsets;
+}
+
+// One hostile connection; variant cycles torn / garbage / slow-loris.
+void run_chaos(const Config& config, std::size_t variant) {
+  try {
+    BlockingClient client(config.port, config.io_timeout_ms);
+    const std::string frame = eta2::serve::frame_message(
+        MessageType::kQuery, 7, "");
+    switch (variant % 3) {
+      case 0:  // torn frame: half the bytes, then a mid-frame disconnect
+        (void)client.send_raw(
+            std::string_view(frame).substr(0, frame.size() / 2));
+        break;
+      case 1:  // garbage: poisons the decoder, server drops the stream
+        (void)client.send_raw("eta2-rpc v9 nonsense 0 0 zzzz\n");
+        break;
+      default:  // slow-loris: drip a valid frame through tiny writes
+        for (std::size_t i = 0;
+             i < config.loris_chunks && i < frame.size(); ++i) {
+          if (!client.send_raw(std::string_view(frame).substr(i, 1))) break;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(config.loris_delay_ms));
+        }
+        break;
+    }
+    client.close();
+  } catch (const std::exception&) {
+    // Connection refused during shutdown races: the chaos still "happened".
+  }
+}
+
+int reconcile_failure(const char* what, std::uint64_t lhs,
+                      std::uint64_t rhs) {
+  std::fprintf(stderr, "loadgen: RECONCILIATION FAILED: %s (%llu != %llu)\n",
+               what, static_cast<unsigned long long>(lhs),
+               static_cast<unsigned long long>(rhs));
+  return 1;
+}
+
+// Pulls "\"key\":<integer>" out of the daemon's flat health JSON.
+std::uint64_t json_counter(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + at + needle.size(), nullptr, 10);
+}
+
+std::uint64_t quantile_us(std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eta2::Flags flags(argc, argv);
+  if (!flags.has("port")) {
+    std::fprintf(stderr, "usage: loadgen --port=P [flags]\n");
+    return 2;
+  }
+  Config config;
+  config.port = static_cast<std::uint16_t>(flags.get_int("port", 0));
+  config.requests = static_cast<std::size_t>(flags.get_int("requests", 200));
+  config.rate = flags.get_double("rate", 100.0);
+  config.connections =
+      static_cast<std::size_t>(flags.get_int("connections", 8));
+  config.burst_on_ms = flags.get_int("burst-on-ms", 0);
+  config.burst_off_ms = flags.get_int("burst-off-ms", 0);
+  config.tasks = static_cast<std::size_t>(flags.get_int("tasks", 4));
+  config.obs_per_task =
+      static_cast<std::size_t>(flags.get_int("obs-per-task", 3));
+  config.users = static_cast<std::size_t>(flags.get_int("users", 20));
+  config.low_priority_fraction =
+      flags.get_double("low-priority-fraction", 0.25);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.chaos_every =
+      static_cast<std::size_t>(flags.get_int("chaos-every", 0));
+  config.loris_delay_ms = flags.get_int("loris-delay-ms", 20);
+  config.loris_chunks =
+      static_cast<std::size_t>(flags.get_int("loris-chunks", 6));
+  config.io_timeout_ms =
+      static_cast<int>(flags.get_int("io-timeout-ms", 5000));
+
+  const std::vector<std::uint64_t> schedule = make_schedule(config);
+  const eta2::serve::TimePoint start = eta2::serve::now();
+
+  std::atomic<std::size_t> next_index{0};
+  std::mutex tally_mutex;
+  Tally tally;
+
+  auto worker = [&] {
+    std::optional<BlockingClient> client;
+    for (;;) {
+      const std::size_t index =
+          next_index.fetch_add(1, std::memory_order_relaxed);
+      if (index >= schedule.size()) break;
+      // Open loop: honor the precomputed arrival time.
+      const eta2::serve::TimePoint due =
+          start + std::chrono::microseconds(schedule[index]);
+      const eta2::serve::TimePoint at = eta2::serve::now();
+      if (due > at) std::this_thread::sleep_until(due);
+
+      if (config.chaos_every > 0 && index % config.chaos_every == 0) {
+        run_chaos(config, index / config.chaos_every);
+        const std::lock_guard<std::mutex> lock(tally_mutex);
+        ++tally.chaos;
+        continue;
+      }
+
+      const std::string payload =
+          eta2::serve::serialize_batch(make_batch(config, index));
+      const eta2::serve::TimePoint sent = eta2::serve::now();
+      std::optional<Message> reply;
+      // A reused keep-alive connection may have been idle-timed-out by the
+      // server between requests; that is not a dropped ingest, so retry
+      // exactly once on a fresh connection. A fresh connection failing is
+      // the real no-reply signal.
+      for (int attempt = 0; attempt < 2 && !reply; ++attempt) {
+        bool fresh = false;
+        try {
+          if (!client || !client->connected()) {
+            client.emplace(config.port, config.io_timeout_ms);
+            fresh = true;
+          }
+          reply = client->call(MessageType::kIngest, index, payload);
+        } catch (const std::exception&) {
+          reply = std::nullopt;
+        }
+        if (!reply) {
+          client.reset();
+          if (fresh) break;
+        }
+      }
+      const std::uint64_t latency = static_cast<std::uint64_t>(std::max(
+          std::int64_t{0},
+          eta2::serve::us_between(sent, eta2::serve::now())));
+
+      const std::lock_guard<std::mutex> lock(tally_mutex);
+      if (!reply) {
+        ++tally.no_reply;
+      } else if (reply->type == MessageType::kAccepted) {
+        ++tally.accepted;
+        tally.latency_us.push_back(latency);
+      } else if (reply->type == MessageType::kOverloaded) {
+        ++tally.overloaded;
+      } else if (reply->type == MessageType::kShed) {
+        ++tally.shed;
+      } else {
+        ++tally.error;
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < config.connections; ++i) {
+    workers.emplace_back(worker);
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed_s =
+      static_cast<double>(eta2::serve::us_between(start,
+                                                  eta2::serve::now())) /
+      1e6;
+
+  // Post-run control connection: optional checkpoint, then the ledger.
+  std::string server_json = "{}";
+  try {
+    BlockingClient control(config.port, config.io_timeout_ms);
+    if (flags.get_bool("snapshot-at-end", false)) {
+      (void)control.call(MessageType::kSnapshot, 1, "");
+    }
+    const std::optional<Message> health =
+        control.call(MessageType::kHealth, 2, "");
+    if (health && health->type == MessageType::kHealthReport) {
+      server_json = health->payload;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: cannot fetch health: %s\n", e.what());
+    return 1;
+  }
+
+  std::sort(tally.latency_us.begin(), tally.latency_us.end());
+  std::vector<std::uint64_t> sorted = tally.latency_us;
+  const std::uint64_t p50 = quantile_us(sorted, 0.5);
+  const std::uint64_t p99 = quantile_us(sorted, 0.99);
+  const double throughput =
+      elapsed_s > 0.0 ? static_cast<double>(tally.accepted) / elapsed_s : 0.0;
+
+  const std::uint64_t clean =
+      tally.accepted + tally.overloaded + tally.shed + tally.error;
+  std::ostringstream out;
+  out << "{";
+  out << "\"requests\":" << config.requests;
+  out << ",\"clean_sent\":" << clean + tally.no_reply;
+  out << ",\"chaos_connections\":" << tally.chaos;
+  out << ",\"accepted\":" << tally.accepted;
+  out << ",\"overloaded\":" << tally.overloaded;
+  out << ",\"shed\":" << tally.shed;
+  out << ",\"error\":" << tally.error;
+  out << ",\"no_reply\":" << tally.no_reply;
+  out << ",\"elapsed_s\":" << elapsed_s;
+  out << ",\"throughput_rps\":" << throughput;
+  out << ",\"latency_p50_us\":" << p50;
+  out << ",\"latency_p99_us\":" << p99;
+  out << ",\"server\":" << server_json;
+  out << "}";
+  const std::string report = out.str();
+  const std::string out_file = flags.get("out", "");
+  if (!out_file.empty()) {
+    std::ofstream file(out_file);
+    file << report << "\n";
+  }
+  std::printf("%s\n", report.c_str());
+
+  // The no-silent-drops verdict.
+  const std::uint64_t srv_offered = json_counter(server_json,
+                                                 "ingests_offered");
+  const std::uint64_t srv_accounted =
+      json_counter(server_json, "accepted") +
+      json_counter(server_json, "rejected_overloaded") +
+      json_counter(server_json, "shed") +
+      json_counter(server_json, "malformed");
+  if (srv_offered != srv_accounted) {
+    return reconcile_failure("server offered != accepted+rejected+shed+"
+                             "malformed",
+                             srv_offered, srv_accounted);
+  }
+  if (tally.no_reply != 0) {
+    return reconcile_failure("clean requests without a typed response",
+                             tally.no_reply, 0);
+  }
+  std::printf("reconciliation OK: offered=%llu accepted=%llu\n",
+              static_cast<unsigned long long>(srv_offered),
+              static_cast<unsigned long long>(tally.accepted));
+  return 0;
+}

@@ -1,0 +1,107 @@
+# Serve smoke (also the body of the CI serve-smoke job): boot eta2d on an
+# ephemeral port, fire a short chaos-laced open-loop burst from loadgen,
+# and assert the failure-hardening contract:
+#   * the daemon never crashes,
+#   * nothing is silently dropped — loadgen exits nonzero unless
+#     offered == accepted + rejected_overloaded + shed + malformed and every
+#     clean request got a typed response,
+#   * BENCH_serve.json is produced with throughput and p50/p99 latency,
+#   * a client kShutdown stops the daemon cleanly (exit 0).
+#
+# Invoked by ctest (see tools/CMakeLists.txt):
+#   cmake -DETA2D_BIN=... -DLOADGEN_BIN=... -DWORK_DIR=... -P this_file
+if(NOT DEFINED ETA2D_BIN OR NOT DEFINED LOADGEN_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DETA2D_BIN=... -DLOADGEN_BIN=... -DWORK_DIR=... -P serve_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(campaign_dir "${WORK_DIR}/campaign")
+set(port_file "${WORK_DIR}/port")
+
+# Boot the daemon in the background. A small queue + aggressive arrival
+# rate below guarantees the overload path actually fires; short IO timeout
+# makes the slow-loris connections cheap.
+execute_process(
+  COMMAND sh -c "\
+'${ETA2D_BIN}' --dir='${campaign_dir}' --port=0 --users=12 \
+  --port-file='${port_file}' --queue-depth=8 --shed-watermark=0.5 \
+  --io-timeout-ms=300 --cadence=4 \
+  --bench-out='${WORK_DIR}/BENCH_serve_daemon.json' \
+  > '${WORK_DIR}/eta2d.log' 2>&1 & \
+echo $! > '${WORK_DIR}/eta2d.pid'"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to launch eta2d")
+endif()
+
+# Wait for the port file (daemon ready).
+foreach(attempt RANGE 100)
+  if(EXISTS "${port_file}")
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT EXISTS "${port_file}")
+  file(READ "${WORK_DIR}/eta2d.log" daemon_log)
+  message(FATAL_ERROR "eta2d never became ready:\n${daemon_log}")
+endif()
+file(READ "${port_file}" port)
+string(STRIP "${port}" port)
+
+# The burst: open-loop Poisson arrivals well above the tiny queue's drain
+# rate, bursty on/off gating, every 7th request a hostile connection.
+execute_process(
+  COMMAND "${LOADGEN_BIN}" "--port=${port}" --requests=120 --rate=300
+          --connections=8 --burst-on-ms=150 --burst-off-ms=100
+          --users=12 --tasks=3 --obs-per-task=2 --seed=11
+          --chaos-every=7 --loris-delay-ms=80 --loris-chunks=4
+          --snapshot-at-end "--out=${WORK_DIR}/BENCH_serve.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  file(READ "${WORK_DIR}/eta2d.log" daemon_log)
+  message(FATAL_ERROR "loadgen reconciliation failed (exit ${rc}):\n${out}\n${err}\ndaemon log:\n${daemon_log}")
+endif()
+if(NOT out MATCHES "reconciliation OK")
+  message(FATAL_ERROR "loadgen did not report reconciliation OK:\n${out}")
+endif()
+
+# BENCH_serve.json must exist and carry the headline metrics.
+if(NOT EXISTS "${WORK_DIR}/BENCH_serve.json")
+  message(FATAL_ERROR "loadgen did not write BENCH_serve.json")
+endif()
+file(READ "${WORK_DIR}/BENCH_serve.json" bench)
+foreach(key throughput_rps latency_p50_us latency_p99_us ingests_offered)
+  if(NOT bench MATCHES "\"${key}\"")
+    message(FATAL_ERROR "BENCH_serve.json lacks ${key}:\n${bench}")
+  endif()
+endforeach()
+
+# Graceful shutdown via SIGTERM; the daemon must exit 0 (no crash).
+file(READ "${WORK_DIR}/eta2d.pid" daemon_pid)
+string(STRIP "${daemon_pid}" daemon_pid)
+execute_process(
+  COMMAND sh -c "kill -TERM ${daemon_pid} 2>/dev/null; wait_rc=0; \
+for i in $(seq 1 100); do \
+  if ! kill -0 ${daemon_pid} 2>/dev/null; then exit 0; fi; sleep 0.1; \
+done; echo 'daemon did not exit'; exit 1"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  file(READ "${WORK_DIR}/eta2d.log" daemon_log)
+  message(FATAL_ERROR "daemon shutdown failed: ${out}\n${daemon_log}")
+endif()
+file(READ "${WORK_DIR}/eta2d.log" daemon_log)
+if(NOT daemon_log MATCHES "stopped cleanly")
+  message(FATAL_ERROR "daemon did not stop cleanly:\n${daemon_log}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/BENCH_serve_daemon.json")
+  message(FATAL_ERROR "eta2d did not write its BENCH_serve_daemon.json ledger")
+endif()
+
+# Export the benchmark ledgers beside the scratch dir before cleaning it up
+# (the CI serve-smoke job uploads them as artifacts).
+get_filename_component(export_dir "${WORK_DIR}" DIRECTORY)
+file(COPY "${WORK_DIR}/BENCH_serve.json" DESTINATION "${export_dir}")
+file(COPY "${WORK_DIR}/BENCH_serve_daemon.json" DESTINATION "${export_dir}")
+
+file(REMOVE_RECURSE "${WORK_DIR}")
