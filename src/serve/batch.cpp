@@ -20,6 +20,16 @@ void expect_key(std::istream& in, std::string_view key) {
   if (!(in >> token) || token != key) bad_batch(key);
 }
 
+// A declared element count is attacker-controlled; sizing a vector from it
+// before reading any data would turn a hostile count into std::length_error
+// or std::bad_alloc — outside the std::invalid_argument contract callers
+// catch. Each element occupies at least `min_bytes_each` bytes on the wire,
+// so any count exceeding payload_bytes / min_bytes_each is a lie.
+void check_count(std::size_t count, std::size_t min_bytes_each,
+                 std::size_t payload_bytes, std::string_view what) {
+  if (count > payload_bytes / min_bytes_each) bad_batch(what);
+}
+
 }  // namespace
 
 std::string serialize_batch(const IngestBatch& batch) {
@@ -61,6 +71,7 @@ IngestBatch parse_batch(std::string_view payload) {
   expect_key(in, "capacities");
   std::size_t capacity_count = 0;
   if (!(in >> capacity_count)) bad_batch("capacity count");
+  check_count(capacity_count, 2, payload.size(), "capacity count");  // " 0"
   batch.user_capacity.resize(capacity_count);
   for (double& v : batch.user_capacity) {
     std::uint64_t bits = 0;
@@ -70,6 +81,7 @@ IngestBatch parse_batch(std::string_view payload) {
   expect_key(in, "tasks");
   std::size_t task_count = 0;
   if (!(in >> task_count)) bad_batch("task count");
+  check_count(task_count, 14, payload.size(), "task count");  // "task - 0 0 0\n\n"
   batch.tasks.reserve(task_count);
   for (std::size_t j = 0; j < task_count; ++j) {
     expect_key(in, "task");
@@ -93,6 +105,7 @@ IngestBatch parse_batch(std::string_view payload) {
     }
     t.processing_time = bits_double(time_bits);
     t.cost = bits_double(cost_bits);
+    check_count(description_bytes, 1, payload.size(), "task description size");
     t.description.resize(description_bytes);
     in.read(t.description.data(),
             static_cast<std::streamsize>(description_bytes));
@@ -105,6 +118,8 @@ IngestBatch parse_batch(std::string_view payload) {
   expect_key(in, "observations");
   std::size_t observation_count = 0;
   if (!(in >> observation_count)) bad_batch("observation count");
+  check_count(observation_count, 10, payload.size(),
+              "observation count");  // "obs 0 0 0\n"
   batch.observations.reserve(observation_count);
   for (std::size_t k = 0; k < observation_count; ++k) {
     expect_key(in, "obs");

@@ -51,6 +51,7 @@ ServeHealthSnapshot ServeHealth::snapshot() const {
   s.connections_dropped =
       connections_dropped_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
   s.queue_depth_high_water = depth_high_water_.load(std::memory_order_relaxed);
   s.queue_bytes_high_water = bytes_high_water_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < s.latency_us_buckets.size(); ++i) {
@@ -98,6 +99,7 @@ std::string health_json(const ServeHealthSnapshot& s) {
   out << ",\"connections_opened\":" << s.connections_opened;
   out << ",\"connections_dropped\":" << s.connections_dropped;
   out << ",\"protocol_errors\":" << s.protocol_errors;
+  out << ",\"internal_errors\":" << s.internal_errors;
   out << ",\"queue_depth_high_water\":" << s.queue_depth_high_water;
   out << ",\"queue_bytes_high_water\":" << s.queue_bytes_high_water;
   out << ",\"latency_count\":" << s.latency_count();

@@ -39,6 +39,7 @@ struct ServeHealthSnapshot {
   std::uint64_t connections_opened = 0;
   std::uint64_t connections_dropped = 0;  // poisoned stream / IO timeout
   std::uint64_t protocol_errors = 0;      // torn/corrupt/oversized frames
+  std::uint64_t internal_errors = 0;      // handler exception -> kError + drop
   // --- pressure high-water marks ---
   std::uint64_t queue_depth_high_water = 0;
   std::uint64_t queue_bytes_high_water = 0;
@@ -89,6 +90,9 @@ class ServeHealth {
   void count_protocol_error() {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
   }
+  void count_internal_error() {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Monotonic high-water tracking (racy max is fine: both contenders are
   // real observed depths).
@@ -114,6 +118,7 @@ class ServeHealth {
   std::atomic<std::uint64_t> connections_opened_{0};
   std::atomic<std::uint64_t> connections_dropped_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> internal_errors_{0};
   std::atomic<std::uint64_t> depth_high_water_{0};
   std::atomic<std::uint64_t> bytes_high_water_{0};
   std::array<std::atomic<std::uint64_t>, 40> latency_buckets_{};

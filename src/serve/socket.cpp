@@ -80,50 +80,87 @@ SocketServer::SocketServer(Eta2Service* service, Options options)
 SocketServer::~SocketServer() { stop(); }
 
 void SocketServer::stop() {
-  bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
+  // stop_mutex_ makes concurrent stop() (an explicit stop racing the
+  // destructor) safe: exactly one caller performs the joins, losers block
+  // here until teardown has completed, then observe stopping_ and return.
+  const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
   // Closing the listener unblocks accept(); shutting down every open
   // connection unblocks their recv()s.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
   }
   {
     const std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (const Connection& c : connections_) {
+      if (c.fd >= 0) ::shutdown(c.fd, SHUT_RDWR);
+    }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
+  // The accept loop is gone, so nothing adds to connections_ anymore.
+  std::vector<Connection> remaining;
   {
     const std::lock_guard<std::mutex> lock(connections_mutex_);
-    threads.swap(connection_threads_);
+    remaining.swap(connections_);
   }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
+  for (Connection& c : remaining) {
+    if (c.thread.joinable()) c.thread.join();
   }
+}
+
+std::size_t SocketServer::tracked_connections() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  return connections_.size();
 }
 
 void SocketServer::accept_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd =
+        ::accept(listen_fd_.load(std::memory_order_acquire), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener closed by stop()
     }
-    if (stopping_.load(std::memory_order_acquire)) {
+    set_io_timeouts(fd, options_.io_timeout_ms);
+    // Finished threads to join outside the lock (their serve_connection
+    // epilogue takes connections_mutex_, so joining under it would be a
+    // lock-order hazard).
+    std::vector<std::thread> finished;
+    bool admitted = false;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      // The stopping check shares the critical section with the insert:
+      // stop() sets stopping_ before it walks connections_, so either we
+      // see the flag here, or stop() sees (and later joins) our entry.
+      if (!stopping_.load(std::memory_order_acquire)) {
+        // Reap connections whose serving thread already exited, so a
+        // long-running daemon under connection churn holds a bounded set
+        // of joinable threads instead of one per connection ever served.
+        for (auto it = connections_.begin(); it != connections_.end();) {
+          if (it->done->load(std::memory_order_acquire)) {
+            finished.push_back(std::move(it->thread));
+            it = connections_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        service_->health().count_connection_opened();
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        connections_.push_back(Connection{fd, done, {}});
+        connections_.back().thread = std::thread([this, fd, done] {
+          serve_connection(fd);
+          done->store(true, std::memory_order_release);
+        });
+        admitted = true;
+      }
+    }
+    for (std::thread& t : finished) t.join();
+    if (!admitted) {
       ::close(fd);
       break;
     }
-    set_io_timeouts(fd, options_.io_timeout_ms);
-    service_->health().count_connection_opened();
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
-    connection_fds_.push_back(fd);
-    connection_threads_.emplace_back(
-        [this, fd] { serve_connection(fd); });
   }
 }
 
@@ -154,7 +191,26 @@ void SocketServer::serve_connection(int fd) {
     }
     bool keep = true;
     for (const Message& request : messages) {
-      if (!dispatch(fd, request)) {
+      bool ok = false;
+      try {
+        ok = dispatch(fd, request);
+      } catch (const std::exception& e) {
+        // No exception may escape this thread (std::terminate would take
+        // the daemon down): count it, answer best-effort, drop the
+        // connection. Parse failures never reach here — dispatch handles
+        // them with full offered/malformed accounting.
+        service_->health().count_internal_error();
+        (void)send_frame(fd, MessageType::kError, request.id,
+                         std::string("internal error: ") + e.what());
+        // eta2-lint: allow(catch-all) — thread-boundary backstop: anything
+        // non-std::exception escaping here would std::terminate the daemon;
+        // the typed taxonomy is handled by the std::exception arm above.
+      } catch (...) {
+        service_->health().count_internal_error();
+        (void)send_frame(fd, MessageType::kError, request.id,
+                         "internal error");
+      }
+      if (!ok) {
         keep = false;
         break;
       }
@@ -162,9 +218,19 @@ void SocketServer::serve_connection(int fd) {
     if (!keep) break;
   }
   if (!clean) service_->health().count_connection_dropped();
+  {
+    // Detach the descriptor from the tracked entry BEFORE closing it:
+    // stop() walks connections_ and shutdown()s fds under this lock, and
+    // must never touch a number the kernel may already have recycled.
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (Connection& c : connections_) {
+      if (c.fd == fd) {
+        c.fd = -1;
+        break;
+      }
+    }
+  }
   ::close(fd);
-  const std::lock_guard<std::mutex> lock(connections_mutex_);
-  std::erase(connection_fds_, fd);
 }
 
 bool SocketServer::dispatch(int fd, const Message& request) {

@@ -9,8 +9,13 @@
 //   - a poisoned frame stream (torn header, unknown type, oversize payload,
 //     CRC mismatch) drops the connection and counts a protocol error —
 //     never a crash, never a silent skip;
-//   - a request the service rejects (unparseable batch, invalid arity)
-//     gets a typed kError response and the connection stays usable;
+//   - a request the service rejects (unparseable batch, invalid arity,
+//     hostile declared counts) gets a typed kError response and the
+//     connection stays usable;
+//   - a handler blowing up for any other reason (e.g. a disk error inside
+//     snapshot_now) is counted as an internal error, answered with a
+//     best-effort kError, and costs only that connection — an exception
+//     never escapes a connection thread, so the process never terminates;
 //   - mid-frame disconnects are ordinary connection teardown.
 //
 // BlockingClient is the matching client half, used by eta2_cli-grade tools
@@ -22,6 +27,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -57,10 +63,27 @@ class SocketServer {
   // The bound port (the ephemeral pick when Options::port was 0).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
-  // Stops accepting, unblocks and joins every connection thread. Idempotent.
+  // Stops accepting, unblocks and joins every connection thread. Idempotent
+  // and safe to call concurrently (losers block until teardown completes).
   void stop();
 
+  // Connection entries still tracked (live + finished awaiting reap).
+  // Observability hook for tests; finished threads are reaped on the next
+  // accept, so under churn this stays near the live-connection count.
+  [[nodiscard]] std::size_t tracked_connections();
+
  private:
+  // One accepted connection. `fd` flips to -1 (under connections_mutex_)
+  // before the serving thread closes the socket, so stop() never touches a
+  // descriptor number the kernel may have recycled. `done` is heap-shared
+  // because vector reallocation moves entries while the serving thread
+  // still needs to set it.
+  struct Connection {
+    int fd = -1;
+    std::shared_ptr<std::atomic<bool>> done;
+    std::thread thread;
+  };
+
   void accept_loop();
   void serve_connection(int fd);
   // One request -> one response; false when the connection must drop.
@@ -70,13 +93,14 @@ class SocketServer {
 
   Eta2Service* service_;
   Options options_;
-  int listen_fd_ = -1;
+  // Atomic: stop() retires it to -1 while accept_loop reads it.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
+  std::mutex stop_mutex_;  // serializes stop(); only one caller tears down
   std::mutex connections_mutex_;
-  std::vector<int> connection_fds_;        // open sockets, for stop()
-  std::vector<std::thread> connection_threads_;
+  std::vector<Connection> connections_;
 };
 
 // Blocking request/response client for the eta2-rpc protocol. Not

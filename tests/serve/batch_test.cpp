@@ -85,6 +85,24 @@ TEST(BatchTest, MalformedInputsThrow) {
                std::invalid_argument);
 }
 
+TEST(BatchTest, HostileCountsRejectedBeforeAllocation) {
+  // A declared count far beyond what the payload could encode must be an
+  // invalid_argument (the contract the server catches), not a
+  // length_error/bad_alloc out of resize/reserve.
+  EXPECT_THROW(
+      parse_batch("eta2-batch v1\npriority 1\ncapacities 10000000000000000\n"),
+      std::invalid_argument);
+  EXPECT_THROW(parse_batch("eta2-batch v1\npriority 1\ncapacities 0\n"
+                           "tasks 10000000000000000\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_batch("eta2-batch v1\npriority 1\ncapacities 0\n"
+                           "tasks 0\nobservations 10000000000000000\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_batch("eta2-batch v1\npriority 1\ncapacities 0\n"
+                           "tasks 1\ntask - 0 0 10000000000000000\n"),
+               std::invalid_argument);
+}
+
 TEST(BatchTest, ObservationTaskIndexValidated) {
   IngestBatch batch;
   eta2::core::NewTask task;

@@ -138,6 +138,55 @@ TEST_F(SocketTest, BadBatchGetsTypedErrorAndConnectionSurvives) {
   EXPECT_EQ(snapshot.malformed, 1u);
 }
 
+TEST_F(SocketTest, HostileBatchCountsGetTypedErrorNotACrash) {
+  // A framed batch declaring an absurd element count used to throw
+  // length_error/bad_alloc out of parse_batch, escaping the connection
+  // thread and std::terminate-ing the daemon. It must be an ordinary
+  // malformed request.
+  BlockingClient client(server_->port());
+  const auto error = client.call(
+      MessageType::kIngest, 1,
+      "eta2-batch v1\npriority 1\ncapacities 10000000000000000\n");
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->type, MessageType::kError);
+  // Connection still usable, server still alive, accounting reconciles.
+  const auto health = client.call(MessageType::kHealth, 2, "");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->type, MessageType::kHealthReport);
+  const auto snapshot = service_->health().snapshot();
+  EXPECT_EQ(snapshot.ingests_offered, 1u);
+  EXPECT_EQ(snapshot.malformed, 1u);
+}
+
+TEST_F(SocketTest, FinishedConnectionThreadsAreReaped) {
+  for (int i = 0; i < 8; ++i) {
+    BlockingClient client(server_->port());
+    EXPECT_TRUE(client.call(MessageType::kHealth, 1, "").has_value());
+  }
+  // Each accept reaps connections whose serving thread has exited; poll
+  // with fresh probes until the tracked set collapses to the probe itself
+  // plus at most a straggler still inside its epilogue.
+  bool reaped = false;
+  for (int i = 0; i < 200 && !reaped; ++i) {
+    BlockingClient probe(server_->port());
+    (void)probe.call(MessageType::kHealth, 1, "");
+    reaped = server_->tracked_connections() <= 2;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(reaped);
+}
+
+TEST_F(SocketTest, ConcurrentStopIsSafe) {
+  // Two racing stop() calls (e.g. explicit stop vs destructor) must both
+  // return only after teardown, with exactly one of them joining.
+  std::thread a([this] { server_->stop(); });
+  std::thread b([this] { server_->stop(); });
+  a.join();
+  b.join();
+  server_->stop();  // still idempotent afterwards
+  EXPECT_EQ(server_->tracked_connections(), 0u);
+}
+
 TEST_F(SocketTest, WireGarbageDropsConnectionAndCountsProtocolError) {
   BlockingClient garbage(server_->port());
   ASSERT_TRUE(garbage.send_raw("eta2-rpc v9 nonsense 0 0 zzzz\n"));
