@@ -152,7 +152,12 @@ DynamicClusterer DynamicClusterer::load(std::istream& in) {
   DynamicClusterer clusterer(gamma);
   clusterer.dstar_ = dstar;
   clusterer.next_domain_ = next_domain;
+  // eta2-lint: allow(unbounded-input-resize) — resume path: this stream is
+  // a snapshot the process itself wrote; the per-point require() below
+  // fails fast on a truncated count, so a corrupt header costs one
+  // oversized reserve, not silent growth from hostile input.
   clusterer.points_.reserve(point_count);
+  // eta2-lint: allow(unbounded-input-resize) — see above.
   clusterer.point_domain_.reserve(point_count);
   for (std::size_t p = 0; p < point_count; ++p) {
     DomainId domain = 0;

@@ -86,4 +86,33 @@ namespace detail {
 #define ETA2_ASSERT(cond) static_cast<void>(0)
 #endif
 
+// ---------------------------------------------------------------------------
+// Concurrency annotations (DESIGN.md §9). Zero-cost: every macro expands to
+// nothing — they exist so eta2_lint's cross-TU concurrency pass can verify
+// the discipline they declare. The compiler never sees them.
+//
+//   ETA2_GUARDED_BY(m)       trailing on a member declaration: the member may
+//                            only be touched while mutex member `m` is held
+//                            (lint rule `guarded-by`)
+//   ETA2_REQUIRES(m, ...)    trailing on a function declaration/definition:
+//                            callers must already hold the listed mutexes;
+//                            the body may touch members they guard without
+//                            re-locking (the `_locked()` helper idiom)
+//   ETA2_THREAD_ENTRY        trailing on a function that runs as the root of
+//                            a thread: an exception escaping it is
+//                            std::terminate, so every statement that can
+//                            throw must sit under a try with a catch (...)
+//                            arm (lint rule `thread-exception-escape`)
+//   ETA2_NO_THROW_BOUNDARY   same checking as ETA2_THREAD_ENTRY for
+//                            functions that are not thread roots but must
+//                            not leak exceptions (destructor helpers, C
+//                            callbacks)
+//
+// Placement: after the parameter list (and const/noexcept), before `;` or
+// `{`; ETA2_GUARDED_BY goes after the member name, before `;` or `{...}`.
+#define ETA2_GUARDED_BY(m)
+#define ETA2_REQUIRES(...)
+#define ETA2_THREAD_ENTRY
+#define ETA2_NO_THROW_BOUNDARY
+
 #endif  // ETA2_COMMON_CHECK_H

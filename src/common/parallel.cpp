@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace eta2::parallel {
@@ -55,10 +56,14 @@ class Pool {
     ensure_workers(lanes - 1);
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      // eta2-lint: allow(guarded-by) — publication pattern: the job fields
+      // are written under mutex_ and read by lanes only after they observe
+      // the posting under the same mutex (see work_chunks); the analyzer
+      // cannot see that happens-before edge.
       body_ = &body;
       n_ = n;
       grain_ = grain;
-      chunks_ = chunks;
+      chunks_ = chunks;  // eta2-lint: allow(guarded-by) — see body_ above
       done_chunks_ = 0;
       error_ = nullptr;
       next_chunk_.store(0, std::memory_order_relaxed);
@@ -100,7 +105,7 @@ class Pool {
     }
   }
 
-  void worker_main() {
+  void worker_main() ETA2_THREAD_ENTRY {
     tls_in_region = true;
     std::uint64_t seen = 0;
     while (true) {
@@ -154,9 +159,9 @@ class Pool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::vector<std::thread> workers_;
-  bool stop_ = false;
-  std::uint64_t generation_ = 0;
-  std::size_t active_workers_ = 0;
+  bool stop_ ETA2_GUARDED_BY(mutex_) = false;
+  std::uint64_t generation_ ETA2_GUARDED_BY(mutex_) = 0;
+  std::size_t active_workers_ ETA2_GUARDED_BY(mutex_) = 0;
 
   // Current job (guarded by mutex_ for posting/reset; read by lanes that
   // observed the posting).
@@ -164,8 +169,8 @@ class Pool {
   std::size_t n_ = 0;
   std::size_t grain_ = 1;
   std::size_t chunks_ = 0;
-  std::size_t done_chunks_ = 0;
-  std::exception_ptr error_;
+  std::size_t done_chunks_ ETA2_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ ETA2_GUARDED_BY(mutex_);
   std::atomic<std::size_t> next_chunk_{0};
 };
 

@@ -35,6 +35,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/check.h"
+
 namespace eta2::io {
 
 // Unrecoverable journal IO failure (cannot open/append/truncate a segment).
@@ -154,7 +156,9 @@ class JournalWriter {
  private:
   void open_segment(std::uint64_t index, std::uint64_t keep_bytes,
                     bool must_exist);
-  void close_segment();
+  // Runs from the destructor: must never throw (closing an fd cannot fail
+  // in a way an unwinding campaign could act on).
+  void close_segment() ETA2_NO_THROW_BOUNDARY;
   void hook(std::string_view point);
 
   std::string dir_;

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <optional>
 
+#include "common/check.h"
 #include "serve/batch.h"
 #include "serve/clock.h"
 #include "serve/health.h"
@@ -87,16 +88,16 @@ class AdmissionQueue {
   [[nodiscard]] bool closed() const;
 
  private:
-  [[nodiscard]] Admission decide_locked(int priority,
-                                        std::size_t bytes) const;
+  [[nodiscard]] Admission decide_locked(int priority, std::size_t bytes) const
+      ETA2_REQUIRES(mutex_);
 
   Options options_;
   ServeHealth* health_;
   mutable std::mutex mutex_;
   std::condition_variable available_;
-  std::deque<QueuedBatch> queue_;
-  std::size_t queued_bytes_ = 0;
-  bool closed_ = false;
+  std::deque<QueuedBatch> queue_ ETA2_GUARDED_BY(mutex_);
+  std::size_t queued_bytes_ ETA2_GUARDED_BY(mutex_) = 0;
+  bool closed_ ETA2_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace eta2::serve

@@ -321,6 +321,18 @@ void Eta2Service::step_loop() {
       failed_.store(true, std::memory_order_release);
       queue_.close();
       break;
+      // eta2-lint: allow(catch-all) — thread-exception boundary: step_loop
+      // is a thread entry point, so any exception type escaping it would
+      // std::terminate the whole daemon. Non-std exceptions get a generic
+      // failure record and halt the loop exactly like std ones.
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(failure_mutex_);
+        failure_ = "serve: step loop failed with a non-standard exception";
+      }
+      failed_.store(true, std::memory_order_release);
+      queue_.close();
+      break;
     }
   }
 }

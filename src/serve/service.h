@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "common/fault.h"
 #include "core/durable_runner.h"
 #include "io/journal.h"
@@ -146,9 +147,10 @@ class Eta2Service {
   [[nodiscard]] std::string failure();
 
  private:
-  void step_loop();
+  void step_loop() ETA2_THREAD_ENTRY;
   void run_one(QueuedBatch item);
-  void maintain_ingest_log_locked();
+  void maintain_ingest_log_locked()
+      ETA2_REQUIRES(ingest_mutex_, runner_mutex_);
   [[nodiscard]] TimePoint clock_now() const { return options_.time_source(); }
 
   Options options_;
@@ -159,25 +161,27 @@ class Eta2Service {
   // Ingest WAL. ingest_mutex_ serializes appends (and seq assignment) from
   // connection threads against rotate/prune from the step loop.
   std::mutex ingest_mutex_;
-  std::unique_ptr<io::JournalWriter> ingest_log_;
-  std::uint64_t next_ingest_seq_ = 0;
+  std::unique_ptr<io::JournalWriter> ingest_log_ ETA2_GUARDED_BY(ingest_mutex_);
+  std::uint64_t next_ingest_seq_ ETA2_GUARDED_BY(ingest_mutex_) = 0;
 
   // The runner and everything the in-flight step touches. Guarded by
-  // runner_mutex_ (step loop vs. snapshot_now).
+  // runner_mutex_ (step loop vs. snapshot_now). The three watchdog fields
+  // are written only while the step holds runner_mutex_; the watchdog
+  // lambda reads them from inside the step itself.
   std::mutex runner_mutex_;
-  std::unique_ptr<core::DurableRunner> runner_;
-  const IngestBatch* current_batch_ = nullptr;  // step-thread only
-  bool deadline_active_ = false;                // step-thread only
-  TimePoint deadline_{};                        // step-thread only
+  std::unique_ptr<core::DurableRunner> runner_ ETA2_GUARDED_BY(runner_mutex_);
+  const IngestBatch* current_batch_ ETA2_GUARDED_BY(runner_mutex_) = nullptr;
+  bool deadline_active_ ETA2_GUARDED_BY(runner_mutex_) = false;
+  TimePoint deadline_ ETA2_GUARDED_BY(runner_mutex_){};
 
   std::mutex view_mutex_;
-  std::shared_ptr<const QueryView> view_;
+  std::shared_ptr<const QueryView> view_ ETA2_GUARDED_BY(view_mutex_);
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> failed_{false};
-  std::string failure_;  // guarded by failure_mutex_
+  std::string failure_ ETA2_GUARDED_BY(failure_mutex_);
   std::mutex failure_mutex_;
-  bool stopped_ = false;  // guarded by stop_mutex_
+  bool stopped_ ETA2_GUARDED_BY(stop_mutex_) = false;
   std::mutex stop_mutex_;
   std::thread step_thread_;
 };

@@ -129,12 +129,15 @@ void SocketServer::accept_loop() {
     // lock-order hazard).
     std::vector<std::thread> finished;
     bool admitted = false;
-    {
+    bool stop_seen = false;
+    try {
       const std::lock_guard<std::mutex> lock(connections_mutex_);
       // The stopping check shares the critical section with the insert:
       // stop() sets stopping_ before it walks connections_, so either we
       // see the flag here, or stop() sees (and later joins) our entry.
-      if (!stopping_.load(std::memory_order_acquire)) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        stop_seen = true;
+      } else {
         // Reap connections whose serving thread already exited, so a
         // long-running daemon under connection churn holds a bounded set
         // of joinable threads instead of one per connection ever served.
@@ -146,20 +149,33 @@ void SocketServer::accept_loop() {
             ++it;
           }
         }
+        // Grow capacity BEFORE spawning the thread: every throwing step
+        // (reserve, make_shared, thread creation) happens while nothing is
+        // published, and the final push_back cannot reallocate — so an
+        // exception never leaves a tracked-but-threadless entry, and a
+        // spawned thread is never left untracked.
+        connections_.reserve(connections_.size() + 1);
         service_->health().count_connection_opened();
         auto done = std::make_shared<std::atomic<bool>>(false);
-        connections_.push_back(Connection{fd, done, {}});
-        connections_.back().thread = std::thread([this, fd, done] {
+        Connection entry{fd, done, {}};
+        entry.thread = std::thread([this, fd, done] {
           serve_connection(fd);
           done->store(true, std::memory_order_release);
         });
+        connections_.push_back(std::move(entry));
         admitted = true;
       }
+      // eta2-lint: allow(catch-all) — thread-boundary backstop: admission
+      // runs on the accept thread, so OOM in reserve/make_shared or a
+      // thread-spawn failure (std::system_error) escaping here would
+      // std::terminate the daemon; it must cost only this connection.
+    } catch (...) {
+      service_->health().count_connection_dropped();
     }
     for (std::thread& t : finished) t.join();
     if (!admitted) {
       ::close(fd);
-      break;
+      if (stop_seen) break;
     }
   }
 }

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "serve/service.h"
 #include "serve/wire.h"
 
@@ -84,8 +85,8 @@ class SocketServer {
     std::thread thread;
   };
 
-  void accept_loop();
-  void serve_connection(int fd);
+  void accept_loop() ETA2_THREAD_ENTRY;
+  void serve_connection(int fd) ETA2_THREAD_ENTRY;
   // One request -> one response; false when the connection must drop.
   [[nodiscard]] bool dispatch(int fd, const Message& request);
   [[nodiscard]] bool send_frame(int fd, MessageType type, std::uint64_t id,
@@ -100,7 +101,7 @@ class SocketServer {
   std::thread accept_thread_;
   std::mutex stop_mutex_;  // serializes stop(); only one caller tears down
   std::mutex connections_mutex_;
-  std::vector<Connection> connections_;
+  std::vector<Connection> connections_ ETA2_GUARDED_BY(connections_mutex_);
 };
 
 // Blocking request/response client for the eta2-rpc protocol. Not

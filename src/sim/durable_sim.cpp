@@ -98,6 +98,11 @@ void load_accumulator(std::istream& in, Accumulator& acc,
   expect_key(in, "iters");
   std::size_t iter_count = 0;
   if (!(in >> iter_count)) bad_extra("iters count");
+  // eta2-lint: allow(unbounded-input-resize) — resume path: the extra
+  // block is a checkpoint this process wrote itself, and every element
+  // read below fails fast via bad_extra() on truncation; a corrupt count
+  // costs one oversized allocation, not unbounded hostile growth. Applies
+  // to every count-prefixed vector in this loader.
   r.truth_iteration_log.resize(iter_count);
   for (int& v : r.truth_iteration_log) {
     if (!(in >> v)) bad_extra("iters values");
@@ -114,7 +119,9 @@ void load_accumulator(std::istream& in, Accumulator& acc,
   expect_key(in, "days");
   std::size_t day_count = 0;
   if (!(in >> day_count)) bad_extra("day count");
+  // eta2-lint: allow(unbounded-input-resize) — see truth_iteration_log.
   r.days.reserve(day_count);
+  // eta2-lint: allow(unbounded-input-resize) — see truth_iteration_log.
   r.day_health.reserve(day_count);
   for (std::size_t d = 0; d < day_count; ++d) {
     DayMetrics m;
@@ -130,6 +137,7 @@ void load_accumulator(std::istream& in, Accumulator& acc,
     expect_key(in, "upt");
     std::size_t upt_count = 0;
     if (!(in >> upt_count)) bad_extra("upt count");
+    // eta2-lint: allow(unbounded-input-resize) — see truth_iteration_log.
     m.users_per_task.resize(upt_count);
     for (std::size_t& v : m.users_per_task) {
       if (!(in >> v)) bad_extra("upt values");
@@ -137,6 +145,7 @@ void load_accumulator(std::istream& in, Accumulator& acc,
     expect_key(in, "mae");
     std::size_t mae_count = 0;
     if (!(in >> mae_count)) bad_extra("mae count");
+    // eta2-lint: allow(unbounded-input-resize) — see truth_iteration_log.
     m.mean_assigned_expertise.resize(mae_count);
     for (double& v : m.mean_assigned_expertise) {
       std::uint64_t bits = 0;

@@ -453,7 +453,7 @@ TEST(LintSuppressionTest, ShardSharedMutationSuppressible) {
 
 TEST(LintCatalogueTest, EveryRuleIsDocumented) {
   const auto& rules = rule_catalogue();
-  ASSERT_EQ(rules.size(), 9u);
+  ASSERT_EQ(rules.size(), 14u);
   for (const auto& rule : rules) {
     EXPECT_FALSE(rule.name.empty());
     EXPECT_FALSE(rule.summary.empty());

@@ -1,0 +1,143 @@
+// Mutation tests for the ISSUE 9 acceptance gate: re-introducing any of the
+// three concurrency bugs PR 8 actually shipped-and-fixed must make
+// eta2_lint fail. Each test loads the REAL repo sources (the same file set
+// the self-hosting `eta2_lint_clean` gate lints), applies one surgical
+// textual mutation in memory, and asserts the matching rule fires in the
+// mutated file. The baseline test pins the other side: unmutated, the repo
+// is clean, so each failure is attributable to the mutation alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace eta2::lint {
+namespace {
+
+#ifndef ETA2_REPO_DIR
+#error "ETA2_REPO_DIR must point at the repository root"
+#endif
+
+class LintMutationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Loading + linting the whole tree is the expensive part; do it once.
+    repo_files_ = new std::vector<SourceFile>(load_tree(ETA2_REPO_DIR));
+  }
+  static void TearDownTestSuite() {
+    delete repo_files_;
+    repo_files_ = nullptr;
+  }
+
+  static SourceFile& file(std::vector<SourceFile>& files,
+                          const std::string& path) {
+    const auto it =
+        std::find_if(files.begin(), files.end(),
+                     [&](const SourceFile& f) { return f.path == path; });
+    EXPECT_NE(it, files.end()) << "repo file missing: " << path;
+    return *it;
+  }
+
+  // Replaces every occurrence of `from` in `path`; fails the test when the
+  // pattern is absent (the mutation would silently test nothing).
+  static std::vector<SourceFile> mutated(const std::string& path,
+                                         const std::string& from,
+                                         const std::string& to) {
+    std::vector<SourceFile> files = *repo_files_;
+    std::string& text = file(files, path).contents;
+    std::size_t pos = 0;
+    std::size_t hits = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+      text.replace(pos, from.size(), to);
+      pos += to.size();
+      ++hits;
+    }
+    EXPECT_GT(hits, 0u) << "mutation pattern not found in " << path << ": "
+                        << from;
+    return files;
+  }
+
+  // Deletes the whole line containing `needle` (keeps the newline so line
+  // numbers of later diagnostics stay meaningful).
+  static std::vector<SourceFile> without_line(const std::string& path,
+                                              const std::string& needle) {
+    std::vector<SourceFile> files = *repo_files_;
+    std::string& text = file(files, path).contents;
+    const std::size_t at = text.find(needle);
+    EXPECT_NE(at, std::string::npos)
+        << "line to delete not found in " << path << ": " << needle;
+    if (at == std::string::npos) return files;
+    const std::size_t begin = text.rfind('\n', at) + 1;
+    const std::size_t end = text.find('\n', at);
+    text.erase(begin, end - begin);
+    return files;
+  }
+
+  static bool fires(const std::vector<Diagnostic>& diagnostics,
+                    const std::string& path, const std::string& rule) {
+    return std::any_of(diagnostics.begin(), diagnostics.end(),
+                       [&](const Diagnostic& d) {
+                         return d.file == path && d.rule == rule;
+                       });
+  }
+
+  static std::string joined(const std::vector<Diagnostic>& diagnostics) {
+    std::ostringstream out;
+    for (const Diagnostic& d : diagnostics) {
+      out << format_diagnostic(d) << "\n";
+    }
+    return out.str();
+  }
+
+  static std::vector<SourceFile>* repo_files_;
+};
+
+std::vector<SourceFile>* LintMutationTest::repo_files_ = nullptr;
+
+TEST_F(LintMutationTest, UnmutatedRepoIsClean) {
+  const auto diagnostics = lint_files(*repo_files_);
+  EXPECT_TRUE(diagnostics.empty()) << joined(diagnostics);
+}
+
+// PR 8 bug 1: serve_connection's catch-all backstop was missing, so a
+// non-std exception from a hostile frame tore down the whole daemon via
+// std::terminate. Narrowing any thread-boundary catch (...) back to a typed
+// catch must trip thread-exception-escape on the ETA2_THREAD_ENTRY
+// functions in socket.cpp.
+TEST_F(LintMutationTest, RemovingCatchAllBackstopTripsThreadExceptionEscape) {
+  const auto diagnostics =
+      lint_files(mutated("src/serve/socket.cpp", "catch (...)",
+                         "catch (const std::exception&)"));
+  EXPECT_TRUE(
+      fires(diagnostics, "src/serve/socket.cpp", "thread-exception-escape"))
+      << joined(diagnostics);
+}
+
+// PR 8 bug 2: listen_fd_ was a plain int written by stop() while the accept
+// thread read it — a data race. Downgrading the atomic back to a plain int
+// must trip the shared-state arm of guarded-by (annotation merge makes the
+// header's member visible while linting socket.cpp).
+TEST_F(LintMutationTest, NonAtomicListenFdTripsGuardedBy) {
+  const auto diagnostics = lint_files(mutated(
+      "src/serve/socket.h", "std::atomic<int> listen_fd_{-1};",
+      "int listen_fd_ = -1;"));
+  EXPECT_TRUE(fires(diagnostics, "src/serve/socket.cpp", "guarded-by"))
+      << joined(diagnostics);
+}
+
+// PR 8 bug 3: parse_batch resized from a client-supplied count before
+// validating it, so a one-line header could demand a multi-GiB allocation.
+// Deleting the task-count bound check must trip unbounded-input-resize.
+TEST_F(LintMutationTest, DroppingTaskCountBoundTripsUnboundedInputResize) {
+  const auto diagnostics = lint_files(
+      without_line("src/serve/batch.cpp", "check_count(task_count"));
+  EXPECT_TRUE(
+      fires(diagnostics, "src/serve/batch.cpp", "unbounded-input-resize"))
+      << joined(diagnostics);
+}
+
+}  // namespace
+}  // namespace eta2::lint

@@ -1,0 +1,2 @@
+#include "demo/clean.h"
+int add(int a, int b) { return a + b; }

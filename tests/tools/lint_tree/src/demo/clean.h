@@ -1,0 +1,4 @@
+#ifndef DEMO_CLEAN_H
+#define DEMO_CLEAN_H
+int add(int a, int b);
+#endif

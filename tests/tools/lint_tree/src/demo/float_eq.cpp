@@ -1,0 +1,1 @@
+bool b = x == 0.0;

@@ -1,0 +1,5 @@
+void f() {
+  parallel::parallel_for(n, 16, [&](std::size_t i) {
+    require(i < limit, "out of range");
+  });
+}

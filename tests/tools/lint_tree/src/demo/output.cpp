@@ -1,0 +1,1 @@
+void report() { std::cout << 1; }

@@ -1,0 +1,3 @@
+#include <vector>
+#include "demo/selfinc.h"
+int g() { return 0; }

@@ -1,0 +1,4 @@
+#ifndef DEMO_SELFINC_H
+#define DEMO_SELFINC_H
+int g();
+#endif

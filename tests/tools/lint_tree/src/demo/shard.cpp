@@ -1,0 +1,5 @@
+void f(StepContext& ctx) {
+  truth::for_each_shard(shards, [&](std::size_t s) {
+    ctx.mle_iterations = 3;
+  });
+}

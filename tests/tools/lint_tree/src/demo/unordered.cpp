@@ -1,0 +1,5 @@
+#include <unordered_map>
+std::unordered_map<int, int> counts;
+void f() {
+  for (const auto& [k, v] : counts) { use(k, v); }
+}

@@ -1,68 +1,16 @@
 // eta2_lint CLI: walks src/, tools/, bench/, and examples/ under --root and
-// reports project-rule violations with file:line diagnostics. Exit status:
-// 0 clean, 1 violations found, 2 usage/IO error. See tools/lint/linter.h
-// for the rule catalogue and suppression syntax.
-#include <exception>
-#include <filesystem>
+// reports project-rule violations with file:line diagnostics. Rule hits go
+// to stdout, usage and I/O errors to stderr. Exit status: 0 clean, 1
+// violations found, 2 usage/IO error. See tools/lint/linter.h for the rule
+// catalogue and suppression syntax; the driver logic lives in
+// tools/lint/cli.cpp so tests can exercise both streams in-process.
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "lint/linter.h"
-
-namespace {
-
-void print_usage(std::ostream& out) {
-  out << "usage: eta2_lint [--root DIR] [--list-rules]\n"
-         "\n"
-         "Runs the eta2 project lint over DIR's src/, tools/, bench/, and\n"
-         "examples/ trees (default DIR: current directory). Suppress one\n"
-         "diagnostic with '// eta2-lint: allow(<rule>)' on the flagged line\n"
-         "or the line above it.\n";
-}
-
-}  // namespace
+#include "lint/cli.h"
 
 int main(int argc, char** argv) {
-  std::string root = ".";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
-    } else if (arg == "--list-rules") {
-      for (const auto& rule : eta2::lint::rule_catalogue()) {
-        std::cout << rule.name << ": " << rule.summary << "\n";
-      }
-      return 0;
-    } else if (arg == "--help" || arg == "-h") {
-      print_usage(std::cout);
-      return 0;
-    } else {
-      std::cerr << "eta2_lint: unknown argument '" << arg << "'\n";
-      print_usage(std::cerr);
-      return 2;
-    }
-  }
-
-  if (!std::filesystem::is_directory(root)) {
-    std::cerr << "eta2_lint: '" << root << "' is not a directory\n";
-    return 2;
-  }
-
-  try {
-    const std::vector<eta2::lint::Diagnostic> diagnostics =
-        eta2::lint::lint_tree(root);
-    for (const auto& diagnostic : diagnostics) {
-      std::cout << eta2::lint::format_diagnostic(diagnostic) << "\n";
-    }
-    if (diagnostics.empty()) {
-      std::cout << "eta2_lint: clean\n";
-      return 0;
-    }
-    std::cout << "eta2_lint: " << diagnostics.size() << " violation(s)\n";
-    return 1;
-  } catch (const std::exception& error) {
-    std::cerr << "eta2_lint: " << error.what() << "\n";
-    return 2;
-  }
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return eta2::lint::run_cli(args, std::cout, std::cerr);
 }

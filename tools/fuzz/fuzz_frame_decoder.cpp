@@ -1,0 +1,33 @@
+// Fuzz target: serve::FrameDecoder. Properties under arbitrary bytes:
+// never crash, never decode past the payload cap, and stay poisoned once
+// corrupt. The input is fed in two pieces to exercise the incremental
+// reassembly path (torn headers, payloads split across reads).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "serve/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // A small cap keeps the oversize-payload rejection reachable from short
+  // fuzz inputs.
+  eta2::serve::FrameDecoder decoder(1u << 16);
+  std::vector<eta2::serve::Message> messages;
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  const std::size_t half = size / 2;
+  if (decoder.feed(bytes.substr(0, half), messages)) {
+    decoder.feed(bytes.substr(half), messages);
+  } else if (!decoder.corrupt()) {
+    __builtin_trap();  // feed() == false must mean a poisoned stream
+  }
+  if (decoder.corrupt()) {
+    // A poisoned decoder must stay poisoned and decode nothing further.
+    const std::size_t decoded = messages.size();
+    if (decoder.feed("eta2-rpc", messages) || messages.size() != decoded) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fuzz target: io::scan_segment. Scanning is the crash-recovery entry
+// point, so it must tolerate ANY byte soup without throwing or crashing:
+// corruption and truncation are reported in-band. Properties checked:
+// valid_bytes never exceeds the input, and the valid prefix re-scans to the
+// same record count (scanning is deterministic and prefix-stable).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "io/journal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  const eta2::io::SegmentScan scan = eta2::io::scan_segment(bytes);
+  if (scan.valid_bytes > size) __builtin_trap();
+  const eta2::io::SegmentScan again =
+      eta2::io::scan_segment(bytes.substr(0, scan.valid_bytes));
+  if (again.records.size() != scan.records.size() || again.corrupt) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fuzz target: serve::parse_batch. Contract: any malformed payload is
+// rejected with a typed std::invalid_argument (the socket layer's kError
+// path); anything else escaping — std::bad_alloc from a hostile declared
+// count, std::out_of_range, a crash — is a finding. A payload that parses
+// must re-serialize and re-parse to the same structure sizes (round-trip
+// sanity without depending on field-level equality).
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "serve/batch.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  try {
+    const eta2::serve::IngestBatch batch = eta2::serve::parse_batch(payload);
+    const std::string again = eta2::serve::serialize_batch(batch);
+    const eta2::serve::IngestBatch batch2 = eta2::serve::parse_batch(again);
+    if (batch2.tasks.size() != batch.tasks.size() ||
+        batch2.observations.size() != batch.observations.size() ||
+        batch2.user_capacity.size() != batch.user_capacity.size()) {
+      __builtin_trap();
+    }
+  } catch (const std::invalid_argument&) {
+    // The one sanctioned rejection path for malformed client bytes.
+  }
+  return 0;
+}

@@ -1,0 +1,901 @@
+#include "lint/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace eta2::lint {
+namespace {
+
+bool is_annotation_macro(std::string_view text) {
+  return text == "ETA2_GUARDED_BY" || text == "ETA2_REQUIRES" ||
+         text == "ETA2_THREAD_ENTRY" || text == "ETA2_NO_THROW_BOUNDARY";
+}
+
+bool is_control_keyword(std::string_view text) {
+  static const std::set<std::string_view> kKeywords = {
+      "if",     "for",     "while",   "switch",        "catch",
+      "return", "sizeof",  "new",     "delete",        "throw",
+      "do",     "else",    "alignof", "decltype",      "static_assert",
+      "case",   "goto",    "operator", "co_await",     "co_return",
+      "co_yield"};
+  return kKeywords.count(text) > 0;
+}
+
+// std:: types whose members synchronize intrinsically — the shared-state
+// check has nothing to say about them.
+bool is_sync_type_token(std::string_view text) {
+  return text == "atomic" || text == "mutex" || text == "shared_mutex" ||
+         text == "recursive_mutex" || text == "timed_mutex" ||
+         text == "thread" || text == "jthread" ||
+         text == "condition_variable" || text == "condition_variable_any" ||
+         text == "once_flag";
+}
+
+// Index past a balanced `<...>` template argument list starting at `open`
+// (tokens[open].text == "<"); `open` when it does not look like one.
+std::size_t skip_template_args(const std::vector<Token>& tokens,
+                               std::size_t open) {
+  if (open >= tokens.size() || tokens[open].text != "<") return open;
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (tokens[i].text == "<") ++depth;
+    if (tokens[i].text == ">") --depth;
+    if (tokens[i].text == ">>") depth -= 2;
+    if (tokens[i].text == ";" || tokens[i].text == "{") return open;
+    if (depth <= 0) return i + 1;
+  }
+  return open;
+}
+
+// Backward scan from a `)` at `close` to its matching `(`; returns the `(`
+// index, or npos.
+std::size_t match_backward(const std::vector<Token>& tokens,
+                           std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i > 0; --i) {
+    const Token& token = tokens[i - 1];
+    if (token.kind != TokenKind::kPunct) continue;
+    if (token.text == ")") ++depth;
+    if (token.text == "(") {
+      --depth;
+      if (depth == 0) return i - 1;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+// Tracks `class X { ... }` / `struct X { ... }` scopes during a linear token
+// walk so members and inline functions know their owning class.
+class ClassScopeTracker {
+ public:
+  // Feed every token in order; call before inspecting tokens[i].
+  void feed(const std::vector<Token>& tokens, std::size_t i) {
+    const Token& token = tokens[i];
+    if (token.kind == TokenKind::kPunct) {
+      if (token.text == "{") {
+        ++depth_;
+        if (pending_class_ && pending_depth_ == depth_ - 1) {
+          scopes_.push_back({depth_, pending_name_});
+          pending_class_ = false;
+        }
+      } else if (token.text == "}") {
+        if (!scopes_.empty() && scopes_.back().depth == depth_) {
+          scopes_.pop_back();
+        }
+        if (depth_ > 0) --depth_;
+      } else if (token.text == ";") {
+        pending_class_ = false;  // forward declaration
+      }
+      return;
+    }
+    if (token.kind != TokenKind::kIdentifier) return;
+    if (token.text == "class" || token.text == "struct") {
+      const bool is_enum = i > 0 && tokens[i - 1].text == "enum";
+      if (!is_enum && i + 1 < tokens.size() &&
+          tokens[i + 1].kind == TokenKind::kIdentifier) {
+        pending_class_ = true;
+        pending_depth_ = depth_;
+        pending_name_ = std::string(tokens[i + 1].text);
+      }
+    }
+  }
+
+  // Innermost class whose body directly contains the current position; ""
+  // outside any class.
+  [[nodiscard]] std::string current() const {
+    return scopes_.empty() ? std::string() : scopes_.back().name;
+  }
+
+  // True when the current position is DIRECTLY at class-body depth (member
+  // declaration territory, not inside a nested function body).
+  [[nodiscard]] bool at_class_depth() const {
+    return !scopes_.empty() && scopes_.back().depth == depth_;
+  }
+
+ private:
+  struct Scope {
+    std::size_t depth;
+    std::string name;
+  };
+  std::size_t depth_ = 0;
+  std::vector<Scope> scopes_;
+  bool pending_class_ = false;
+  std::size_t pending_depth_ = 0;
+  std::string pending_name_;
+};
+
+// Identifiers inside tokens[open..close_exclusive) — the ETA2_REQUIRES /
+// lock-constructor argument lists.
+std::vector<std::string> identifiers_in(const std::vector<Token>& tokens,
+                                        std::size_t begin, std::size_t end) {
+  std::vector<std::string> out;
+  for (std::size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    const std::string_view text = tokens[i].text;
+    if (text == "std" || text == "adopt_lock" || text == "defer_lock" ||
+        text == "try_to_lock" || text == "mutex") {
+      continue;
+    }
+    out.emplace_back(text);
+  }
+  return out;
+}
+
+}  // namespace
+
+FileAnnotations collect_annotations(const TokenizedSource& source) {
+  FileAnnotations out;
+  const std::vector<Token>& tokens = source.tokens;
+  ClassScopeTracker classes;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    classes.feed(tokens, i);
+    const Token& token = tokens[i];
+
+    // Member declarations at class depth: `Type name_;` (or `{...};`,
+    // `= ...;`, or a trailing ETA2_GUARDED_BY). Members follow the repo's
+    // trailing-underscore convention.
+    if (classes.at_class_depth() && token.kind == TokenKind::kIdentifier &&
+        !token.text.empty() && token.text.back() == '_' &&
+        !is_annotation_macro(token.text) && i + 1 < tokens.size()) {
+      const std::string_view next = tokens[i + 1].text;
+      if (next == ";" || next == "{" || next == "=" ||
+          next == "ETA2_GUARDED_BY") {
+        MemberInfo member;
+        member.class_name = classes.current();
+        member.name = std::string(token.text);
+        member.line = token.line;
+        // Type classification: walk back to the start of the declaration
+        // statement and look for synchronization types.
+        for (std::size_t back = i; back > 0; --back) {
+          const Token& prev = tokens[back - 1];
+          if (prev.kind == TokenKind::kPunct &&
+              (prev.text == ";" || prev.text == "{" || prev.text == "}" ||
+               prev.text == ":")) {
+            break;
+          }
+          if (prev.kind == TokenKind::kIdentifier &&
+              is_sync_type_token(prev.text)) {
+            member.sync_type = true;
+          }
+        }
+        if (next == "ETA2_GUARDED_BY" && i + 2 < tokens.size() &&
+            tokens[i + 2].text == "(") {
+          const std::size_t end = match_forward(tokens, i + 2);
+          const std::vector<std::string> names =
+              identifiers_in(tokens, i + 3, end - 1);
+          if (!names.empty()) member.guarded_by = names.front();
+        }
+        out.members.push_back(std::move(member));
+        continue;
+      }
+    }
+
+    // Function annotations: walk backward from the macro to the function
+    // name (over const/noexcept/other annotations and the parameter list).
+    if (token.kind == TokenKind::kIdentifier &&
+        is_annotation_macro(token.text) && token.text != "ETA2_GUARDED_BY") {
+      std::vector<std::string> requires_list;
+      if (token.text == "ETA2_REQUIRES" && i + 1 < tokens.size() &&
+          tokens[i + 1].text == "(") {
+        const std::size_t end = match_forward(tokens, i + 1);
+        requires_list = identifiers_in(tokens, i + 2, end - 1);
+      }
+      std::string name;
+      std::size_t j = i;
+      while (j > 0) {
+        const Token& prev = tokens[j - 1];
+        if (prev.kind == TokenKind::kIdentifier &&
+            (prev.text == "const" || prev.text == "override" ||
+             prev.text == "final" || prev.text == "noexcept" ||
+             is_annotation_macro(prev.text))) {
+          --j;
+          continue;
+        }
+        if (prev.text == ")") {
+          const std::size_t open = match_backward(tokens, j - 1);
+          if (open == static_cast<std::size_t>(-1) || open == 0) break;
+          const Token& before = tokens[open - 1];
+          if (before.kind == TokenKind::kIdentifier &&
+              before.text != "noexcept" && !is_annotation_macro(before.text)) {
+            name = std::string(before.text);
+            break;
+          }
+          j = open;  // noexcept(...) or a prior annotation's argument list
+          continue;
+        }
+        break;
+      }
+      if (!name.empty()) {
+        FunctionAnnotation& annotation = out.functions[name];
+        if (token.text == "ETA2_THREAD_ENTRY") annotation.thread_entry = true;
+        if (token.text == "ETA2_NO_THROW_BOUNDARY") {
+          annotation.no_throw_boundary = true;
+        }
+        for (std::string& mutex_name : requires_list) {
+          annotation.requires_mutexes.push_back(std::move(mutex_name));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void merge_annotations(FileAnnotations& into, const FileAnnotations& from) {
+  for (const auto& [name, annotation] : from.functions) {
+    FunctionAnnotation& merged = into.functions[name];
+    merged.thread_entry = merged.thread_entry || annotation.thread_entry;
+    merged.no_throw_boundary =
+        merged.no_throw_boundary || annotation.no_throw_boundary;
+    for (const std::string& mutex_name : annotation.requires_mutexes) {
+      if (std::find(merged.requires_mutexes.begin(),
+                    merged.requires_mutexes.end(),
+                    mutex_name) == merged.requires_mutexes.end()) {
+        merged.requires_mutexes.push_back(mutex_name);
+      }
+    }
+  }
+  for (const MemberInfo& member : from.members) {
+    const auto same = [&](const MemberInfo& mine) {
+      return mine.class_name == member.class_name && mine.name == member.name;
+    };
+    if (std::none_of(into.members.begin(), into.members.end(), same)) {
+      into.members.push_back(member);
+    }
+  }
+}
+
+std::vector<FunctionDef> find_functions(const TokenizedSource& source) {
+  const std::vector<Token>& tokens = source.tokens;
+  std::vector<FunctionDef> out;
+  ClassScopeTracker classes;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    classes.feed(tokens, i);
+    const Token& token = tokens[i];
+    if (token.kind != TokenKind::kIdentifier ||
+        is_control_keyword(token.text) || is_annotation_macro(token.text)) {
+      continue;
+    }
+    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;
+    const std::size_t params_end = match_forward(tokens, i + 1);
+    if (params_end >= tokens.size()) continue;
+
+    // Trailer: const/noexcept/override/final/annotations, then an optional
+    // constructor init list, then `{` — anything else means this was a call
+    // or a declaration.
+    FunctionAnnotation annotation;
+    std::size_t j = params_end;
+    bool is_definition = false;
+    while (j < tokens.size()) {
+      const std::string_view text = tokens[j].text;
+      if (text == "const" || text == "override" || text == "final") {
+        ++j;
+        continue;
+      }
+      if (text == "noexcept") {
+        ++j;
+        if (j < tokens.size() && tokens[j].text == "(") {
+          j = match_forward(tokens, j);
+        }
+        continue;
+      }
+      if (text == "ETA2_THREAD_ENTRY") {
+        annotation.thread_entry = true;
+        ++j;
+        continue;
+      }
+      if (text == "ETA2_NO_THROW_BOUNDARY") {
+        annotation.no_throw_boundary = true;
+        ++j;
+        continue;
+      }
+      if (text == "ETA2_REQUIRES") {
+        ++j;
+        if (j < tokens.size() && tokens[j].text == "(") {
+          const std::size_t end = match_forward(tokens, j);
+          annotation.requires_mutexes = identifiers_in(tokens, j + 1, end - 1);
+          j = end;
+        }
+        continue;
+      }
+      if (text == ":") {
+        // Constructor init list: entries `name(...)` / `name{...}` separated
+        // by commas, then the body `{`.
+        ++j;
+        bool bad = false;
+        while (j < tokens.size()) {
+          while (j < tokens.size() &&
+                 (tokens[j].kind == TokenKind::kIdentifier ||
+                  tokens[j].text == "::")) {
+            ++j;
+          }
+          if (j < tokens.size() && tokens[j].text == "<") {
+            j = skip_template_args(tokens, j);
+          }
+          if (j >= tokens.size() ||
+              (tokens[j].text != "(" && tokens[j].text != "{")) {
+            bad = true;
+            break;
+          }
+          j = match_forward(tokens, j);
+          if (j < tokens.size() && tokens[j].text == ",") {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (bad) break;
+        continue;
+      }
+      if (text == "{") {
+        is_definition = true;
+        break;
+      }
+      break;
+    }
+    if (!is_definition) continue;
+
+    FunctionDef def;
+    def.name = std::string(token.text);
+    def.line = token.line;
+    def.annotation = std::move(annotation);
+    if (i >= 2 && tokens[i - 1].text == "::" &&
+        tokens[i - 2].kind == TokenKind::kIdentifier) {
+      def.qualifier = std::string(tokens[i - 2].text);
+    } else if (i >= 1 && tokens[i - 1].text == "~") {
+      def.name = "~" + def.name;
+      if (i >= 3 && tokens[i - 2].text == "::" &&
+          tokens[i - 3].kind == TokenKind::kIdentifier) {
+        def.qualifier = std::string(tokens[i - 3].text);
+      } else {
+        def.qualifier = classes.current();
+      }
+    } else {
+      def.qualifier = classes.current();
+    }
+    const std::size_t body_close = match_forward(tokens, j);  // past '}'
+    def.body_begin = j + 1;
+    def.body_end = body_close == tokens.size() ? tokens.size() : body_close - 1;
+    const std::size_t resume = def.body_end;
+    out.push_back(std::move(def));
+    // Skip the body: nothing inside is another function definition (lambdas
+    // never match the name-then-paren pattern), and the skipped range is
+    // brace-balanced so the class-scope tracker stays consistent.
+    i = resume;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule passes
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ConcurrencyContext {
+  const SourceFile& file;
+  const TokenizedSource& source;
+  const FileAnnotations& annotations;
+  std::vector<Diagnostic>* diagnostics;
+  std::set<std::pair<std::size_t, std::string>> reported;  // (line, rule)
+};
+
+void report(ConcurrencyContext& context, std::size_t line,
+            std::string_view rule, std::string message) {
+  if (!context.reported.insert({line, std::string(rule)}).second) return;
+  if (suppressed(context.source.original_lines, line, rule)) return;
+  context.diagnostics->push_back(Diagnostic{
+      context.file.path, line, std::string(rule), std::move(message)});
+}
+
+FunctionAnnotation effective_annotation(const ConcurrencyContext& context,
+                                        const FunctionDef& def) {
+  FunctionAnnotation merged = def.annotation;
+  const auto it = context.annotations.functions.find(def.name);
+  if (it != context.annotations.functions.end()) {
+    merged.thread_entry |= it->second.thread_entry;
+    merged.no_throw_boundary |= it->second.no_throw_boundary;
+    for (const std::string& mutex_name : it->second.requires_mutexes) {
+      if (std::find(merged.requires_mutexes.begin(),
+                    merged.requires_mutexes.end(),
+                    mutex_name) == merged.requires_mutexes.end()) {
+        merged.requires_mutexes.push_back(mutex_name);
+      }
+    }
+  }
+  return merged;
+}
+
+bool is_ctor_or_dtor(const FunctionDef& def) {
+  return !def.qualifier.empty() &&
+         (def.name == def.qualifier || def.name == "~" + def.qualifier);
+}
+
+// One lock acquisition parsed out of a body token stream.
+struct Acquisition {
+  std::vector<std::string> mutexes;
+  std::size_t next = 0;  // token index to resume scanning from
+  bool scoped = false;   // RAII guard (released at end of brace scope)
+};
+
+// Recognizes `std::lock_guard<..> name(m_)` / `unique_lock` / `scoped_lock`
+// declarations and `m_.lock()` calls at token index i; nullopt otherwise.
+bool parse_acquisition(const std::vector<Token>& tokens, std::size_t i,
+                       Acquisition* out) {
+  const std::string_view text = tokens[i].text;
+  if (text == "lock_guard" || text == "unique_lock" ||
+      text == "scoped_lock") {
+    std::size_t j = i + 1;
+    j = skip_template_args(tokens, j);
+    if (j >= tokens.size() || tokens[j].kind != TokenKind::kIdentifier) {
+      return false;
+    }
+    ++j;  // the guard variable name
+    if (j >= tokens.size() || (tokens[j].text != "(" && tokens[j].text != "{")) {
+      return false;
+    }
+    const std::size_t end = match_forward(tokens, j);
+    out->mutexes = identifiers_in(tokens, j + 1, end - 1);
+    out->next = end;
+    out->scoped = true;
+    return !out->mutexes.empty();
+  }
+  if (tokens[i].kind == TokenKind::kIdentifier && i + 3 < tokens.size() &&
+      tokens[i + 1].text == "." && tokens[i + 2].text == "lock" &&
+      tokens[i + 3].text == "(") {
+    out->mutexes = {std::string(text)};
+    out->next = match_forward(tokens, i + 3);
+    out->scoped = false;
+    return true;
+  }
+  return false;
+}
+
+bool is_manual_unlock(const std::vector<Token>& tokens, std::size_t i) {
+  return tokens[i].kind == TokenKind::kIdentifier && i + 3 < tokens.size() &&
+         tokens[i + 1].text == "." && tokens[i + 2].text == "unlock" &&
+         tokens[i + 3].text == "(";
+}
+
+// --- rule 10: guarded-by ---------------------------------------------------
+
+void check_guarded_by(ConcurrencyContext& context,
+                      const std::vector<FunctionDef>& functions) {
+  const std::vector<Token>& tokens = context.source.tokens;
+  for (const FunctionDef& def : functions) {
+    if (is_ctor_or_dtor(def)) continue;
+    const FunctionAnnotation annotation = effective_annotation(context, def);
+    std::set<std::string> acquired(annotation.requires_mutexes.begin(),
+                                   annotation.requires_mutexes.end());
+    for (std::size_t k = def.body_begin; k < def.body_end; ++k) {
+      Acquisition acq;
+      if (parse_acquisition(tokens, k, &acq)) {
+        acquired.insert(acq.mutexes.begin(), acq.mutexes.end());
+        k = acq.next - 1;
+        continue;
+      }
+      const Token& token = tokens[k];
+      if (token.kind != TokenKind::kIdentifier) continue;
+      // Only bare member accesses: `other.member_` is someone else's state.
+      if (k > def.body_begin && (tokens[k - 1].text == "." ||
+                                 tokens[k - 1].text == "->" ||
+                                 tokens[k - 1].text == "::")) {
+        continue;
+      }
+      for (const MemberInfo& member : context.annotations.members) {
+        if (member.guarded_by.empty() || member.name != token.text) continue;
+        if (!def.qualifier.empty() && member.class_name != def.qualifier) {
+          continue;
+        }
+        if (acquired.count(member.guarded_by) > 0) continue;
+        report(context, token.line, "guarded-by",
+               "'" + member.name + "' is ETA2_GUARDED_BY(" +
+                   member.guarded_by + ") but '" + def.name +
+                   "' touches it without locking it first (lock it, or "
+                   "annotate the function ETA2_REQUIRES(" + member.guarded_by +
+                   "))");
+      }
+    }
+  }
+}
+
+// --- rule 10 (shared-state): plain members shared with a thread entry ------
+
+void check_shared_state(ConcurrencyContext& context,
+                        const std::vector<FunctionDef>& functions) {
+  const std::vector<Token>& tokens = context.source.tokens;
+  // Classes that own a thread entry point in this TU.
+  std::set<std::string> thread_entry_classes;
+  for (const FunctionDef& def : functions) {
+    if (def.qualifier.empty()) continue;
+    if (effective_annotation(context, def).thread_entry) {
+      thread_entry_classes.insert(def.qualifier);
+    }
+  }
+  if (thread_entry_classes.empty()) return;
+
+  static const std::set<std::string_view> kMutatingCalls = {
+      "store",     "exchange",     "fetch_add", "fetch_sub", "push_back",
+      "emplace_back", "clear",     "resize",    "insert",    "erase",
+      "assign",    "pop_back",     "reset",     "swap"};
+
+  for (const MemberInfo& member : context.annotations.members) {
+    if (member.sync_type || !member.guarded_by.empty()) continue;
+    if (thread_entry_classes.count(member.class_name) == 0) continue;
+    bool touched_in_thread_entry = false;
+    std::set<std::string> touching_functions;
+    std::size_t mutation_line = 0;
+    for (const FunctionDef& def : functions) {
+      if (def.qualifier != member.class_name) continue;
+      const bool ctor_dtor = is_ctor_or_dtor(def);
+      const FunctionAnnotation annotation = effective_annotation(context, def);
+      for (std::size_t k = def.body_begin; k < def.body_end; ++k) {
+        const Token& token = tokens[k];
+        if (token.kind != TokenKind::kIdentifier ||
+            token.text != member.name) {
+          continue;
+        }
+        if (k > def.body_begin && (tokens[k - 1].text == "." ||
+                                   tokens[k - 1].text == "->" ||
+                                   tokens[k - 1].text == "::")) {
+          continue;
+        }
+        if (!ctor_dtor) {
+          touching_functions.insert(def.name);
+          if (annotation.thread_entry) touched_in_thread_entry = true;
+          // Mutation?
+          bool mutated = false;
+          if (k + 1 < def.body_end) {
+            const std::string_view next = tokens[k + 1].text;
+            if (next == "=" || next == "+=" || next == "-=" || next == "*=" ||
+                next == "/=" || next == "%=" || next == "&=" || next == "|=" ||
+                next == "^=" || next == "<<=" || next == ">>=" ||
+                next == "++" || next == "--") {
+              mutated = true;
+            }
+            if ((next == "." || next == "->") && k + 3 < def.body_end &&
+                kMutatingCalls.count(tokens[k + 2].text) > 0 &&
+                tokens[k + 3].text == "(") {
+              mutated = true;
+            }
+          }
+          if (k > def.body_begin && (tokens[k - 1].text == "++" ||
+                                     tokens[k - 1].text == "--")) {
+            mutated = true;
+          }
+          if (mutated && mutation_line == 0) mutation_line = token.line;
+        }
+      }
+    }
+    if (touched_in_thread_entry && touching_functions.size() >= 2 &&
+        mutation_line != 0) {
+      report(context, mutation_line, "guarded-by",
+             "'" + member.name + "' of " + member.class_name +
+                 " is plain data mutated here and shared with an "
+                 "ETA2_THREAD_ENTRY function — make it std::atomic, or guard "
+                 "it with a mutex and annotate ETA2_GUARDED_BY");
+    }
+  }
+}
+
+// --- rule 11: lock-order ---------------------------------------------------
+
+void check_lock_order(ConcurrencyContext& context,
+                      const std::vector<FunctionDef>& functions) {
+  const std::vector<Token>& tokens = context.source.tokens;
+  // Per-TU acquisition-order graph: edge a -> b when b is acquired while a
+  // is held anywhere in this file.
+  std::map<std::string, std::set<std::string>> graph;
+  std::set<std::pair<std::string, std::string>> seen_edges;
+  const auto reaches = [&](const std::string& from,
+                           const std::string& to) -> bool {
+    std::vector<std::string> stack = {from};
+    std::set<std::string> visited;
+    while (!stack.empty()) {
+      const std::string node = stack.back();
+      stack.pop_back();
+      if (node == to) return true;
+      if (!visited.insert(node).second) continue;
+      const auto it = graph.find(node);
+      if (it == graph.end()) continue;
+      stack.insert(stack.end(), it->second.begin(), it->second.end());
+    }
+    return false;
+  };
+
+  for (const FunctionDef& def : functions) {
+    const FunctionAnnotation annotation = effective_annotation(context, def);
+    struct Held {
+      std::string mutex;
+      std::size_t depth;
+      bool scoped;
+    };
+    std::vector<Held> held;
+    for (const std::string& mutex_name : annotation.requires_mutexes) {
+      held.push_back(Held{mutex_name, 0, false});
+    }
+    std::size_t depth = 0;
+    for (std::size_t k = def.body_begin; k < def.body_end; ++k) {
+      const Token& token = tokens[k];
+      if (token.text == "{") {
+        ++depth;
+        continue;
+      }
+      if (token.text == "}") {
+        if (depth > 0) --depth;
+        std::erase_if(held, [&](const Held& h) {
+          return h.scoped && h.depth > depth;
+        });
+        continue;
+      }
+      if (is_manual_unlock(tokens, k)) {
+        const std::string name(token.text);
+        std::erase_if(held, [&](const Held& h) {
+          return !h.scoped && h.mutex == name;
+        });
+        continue;
+      }
+      Acquisition acq;
+      if (!parse_acquisition(tokens, k, &acq)) continue;
+      for (const std::string& incoming : acq.mutexes) {
+        for (const Held& h : held) {
+          if (h.mutex == incoming) continue;
+          if (!seen_edges.insert({h.mutex, incoming}).second) continue;
+          if (reaches(incoming, h.mutex)) {
+            report(context, token.line, "lock-order",
+                   "acquiring '" + incoming + "' while holding '" + h.mutex +
+                       "' reverses an acquisition order established "
+                       "elsewhere in this file — potential deadlock");
+          }
+          graph[h.mutex].insert(incoming);
+        }
+      }
+      // std::scoped_lock locks its whole argument list deadlock-free; the
+      // members of one acquisition never order against each other.
+      for (const std::string& incoming : acq.mutexes) {
+        held.push_back(Held{incoming, depth, acq.scoped});
+      }
+      k = acq.next - 1;
+    }
+  }
+}
+
+// --- rule 12: thread-exception-escape --------------------------------------
+
+// Stdlib entry points that allocate or throw on bad input; calling one
+// outside a catch-all-protected try in a thread entry risks std::terminate.
+bool is_throwing_call(std::string_view text) {
+  static const std::set<std::string_view> kThrowing = {
+      "at",       "stoi",       "stol",        "stoul",     "stoll",
+      "stoull",   "stof",       "stod",        "stold",     "resize",
+      "reserve",  "push_back",  "emplace_back", "emplace",  "insert",
+      "make_shared", "make_unique", "to_string", "substr"};
+  return kThrowing.count(text) > 0;
+}
+
+void check_thread_exception_escape(ConcurrencyContext& context,
+                                   const std::vector<FunctionDef>& functions) {
+  const std::vector<Token>& tokens = context.source.tokens;
+  for (const FunctionDef& def : functions) {
+    const FunctionAnnotation annotation = effective_annotation(context, def);
+    if (!annotation.thread_entry && !annotation.no_throw_boundary) continue;
+    const std::string_view kind =
+        annotation.thread_entry ? "ETA2_THREAD_ENTRY" : "ETA2_NO_THROW_BOUNDARY";
+
+    // Pass 1: find try blocks and which are protected by a catch (...) arm.
+    struct TryBlock {
+      std::size_t try_index = 0;
+      std::size_t begin = 0;  // first token inside the try's '{'
+      std::size_t end = 0;    // the try block's closing '}' index
+      bool has_catch_all = false;
+    };
+    std::vector<TryBlock> trys;
+    for (std::size_t k = def.body_begin; k < def.body_end; ++k) {
+      if (tokens[k].text != "try") continue;
+      if (k + 1 >= tokens.size() || tokens[k + 1].text != "{") continue;
+      TryBlock block;
+      block.try_index = k;
+      const std::size_t past_block = match_forward(tokens, k + 1);
+      block.begin = k + 2;
+      block.end = past_block == tokens.size() ? tokens.size() : past_block - 1;
+      std::size_t j = past_block;
+      while (j < tokens.size() && tokens[j].text == "catch") {
+        if (j + 1 >= tokens.size() || tokens[j + 1].text != "(") break;
+        // match_forward returns the index one past the matching ')', so a
+        // catch-all arm is exactly [catch, (, ..., ), ...] — four tokens.
+        const std::size_t params_end = match_forward(tokens, j + 1);
+        if (params_end == j + 4 && tokens[j + 2].text == "...") {
+          block.has_catch_all = true;
+        }
+        if (params_end >= tokens.size() || tokens[params_end].text != "{") {
+          break;
+        }
+        j = match_forward(tokens, params_end);
+      }
+      trys.push_back(block);
+    }
+    const auto protected_at = [&](std::size_t index) {
+      for (const TryBlock& block : trys) {
+        if (block.has_catch_all && index >= block.begin && index < block.end) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    // A try without a catch (...) arm lets unlisted exception types escape.
+    for (const TryBlock& block : trys) {
+      if (block.has_catch_all) continue;
+      if (protected_at(block.try_index)) continue;  // an outer try covers it
+      report(context, tokens[block.try_index].line, "thread-exception-escape",
+             "try in " + std::string(kind) + " function '" + def.name +
+                 "' has no catch (...) arm — an unlisted exception type "
+                 "escapes the thread and terminates the process");
+    }
+
+    // Can-throw statements outside every protected region.
+    for (std::size_t k = def.body_begin; k < def.body_end; ++k) {
+      if (protected_at(k)) continue;
+      const Token& token = tokens[k];
+      if (token.kind != TokenKind::kIdentifier) continue;
+      std::string what;
+      if (token.text == "throw" || token.text == "new") {
+        what = std::string(token.text);
+      } else if ((token.text == "require" || token.text == "ensure" ||
+                  is_throwing_call(token.text)) &&
+                 k + 1 < def.body_end && tokens[k + 1].text == "(") {
+        what = std::string(token.text) + "()";
+      }
+      if (what.empty()) continue;
+      report(context, token.line, "thread-exception-escape",
+             "'" + what + "' in " + std::string(kind) + " function '" +
+                 def.name +
+                 "' can throw outside any try with a catch (...) arm — an "
+                 "escaping exception terminates the process");
+    }
+  }
+}
+
+// --- rule 13: unbounded-input-resize ---------------------------------------
+
+bool is_sto_call(std::string_view text) {
+  return text == "stoi" || text == "stol" || text == "stoul" ||
+         text == "stoll" || text == "stoull" || text == "stof" ||
+         text == "stod" || text == "stold";
+}
+
+void check_unbounded_input_resize(ConcurrencyContext& context,
+                                  const std::vector<FunctionDef>& functions) {
+  const std::vector<Token>& tokens = context.source.tokens;
+  for (const FunctionDef& def : functions) {
+    // Taints: identifier -> token index where it was read from input.
+    std::map<std::string, std::size_t> tainted;
+    for (std::size_t k = def.body_begin; k < def.body_end; ++k) {
+      const Token& token = tokens[k];
+      if (token.text == ">>" && k + 1 < def.body_end &&
+          tokens[k + 1].kind == TokenKind::kIdentifier) {
+        tainted[std::string(tokens[k + 1].text)] = k + 1;
+        continue;
+      }
+      if (token.kind == TokenKind::kIdentifier && is_sto_call(token.text) &&
+          k + 1 < def.body_end && tokens[k + 1].text == "(") {
+        // `x = std::stoull(...)`: walk back to the statement start and grab
+        // the assignment target.
+        for (std::size_t back = k; back > def.body_begin; --back) {
+          const Token& prev = tokens[back - 1];
+          if (prev.text == ";" || prev.text == "{" || prev.text == "}") {
+            if (back + 1 < def.body_end &&
+                tokens[back].kind == TokenKind::kIdentifier &&
+                tokens[back + 1].text == "=") {
+              tainted[std::string(tokens[back].text)] = k;
+            }
+            break;
+          }
+        }
+      }
+    }
+    if (tainted.empty()) continue;
+
+    // A guard is any later statement that mentions the tainted name next to
+    // a bound check: check_count/require/ETA2_EXPECTS/ETA2_ENSURES or a
+    // comparison operator.
+    const auto guarded_between = [&](const std::string& name,
+                                     std::size_t from, std::size_t to) {
+      std::size_t stmt_start = from;
+      bool mentions = false;
+      bool checks = false;
+      for (std::size_t k = from; k <= to && k < def.body_end; ++k) {
+        const Token& token = tokens[k];
+        if (token.text == ";" || k == to) {
+          if (mentions && checks && stmt_start > from) return true;
+          mentions = false;
+          checks = false;
+          stmt_start = k + 1;
+          continue;
+        }
+        if (token.kind == TokenKind::kIdentifier) {
+          if (token.text == name) mentions = true;
+          if (token.text == "check_count" || token.text == "require" ||
+              token.text == "ETA2_EXPECTS" || token.text == "ETA2_ENSURES" ||
+              token.text == "min" || token.text == "max" ||
+              token.text == "clamp") {
+            checks = true;
+          }
+        } else if (token.text == "<" || token.text == ">" ||
+                   token.text == "<=" || token.text == ">=" ||
+                   token.text == "==" || token.text == "!=") {
+          checks = true;
+        }
+      }
+      return false;
+    };
+
+    for (std::size_t k = def.body_begin; k < def.body_end; ++k) {
+      const Token& token = tokens[k];
+      if (token.kind != TokenKind::kIdentifier ||
+          (token.text != "resize" && token.text != "reserve")) {
+        continue;
+      }
+      if (k == def.body_begin || (tokens[k - 1].text != "." &&
+                                  tokens[k - 1].text != "->")) {
+        continue;
+      }
+      if (k + 1 >= def.body_end || tokens[k + 1].text != "(") continue;
+      const std::size_t args_end = match_forward(tokens, k + 1);
+      for (std::size_t a = k + 2; a + 1 < args_end; ++a) {
+        if (tokens[a].kind != TokenKind::kIdentifier) continue;
+        const auto it = tainted.find(std::string(tokens[a].text));
+        if (it == tainted.end() || it->second >= k) continue;
+        if (guarded_between(it->first, it->second, k)) continue;
+        report(context, token.line, "unbounded-input-resize",
+               "'" + it->first + "' comes straight from parsed input; " +
+                   std::string(token.text) +
+                   " would let a hostile count drive the allocation — bound "
+                   "it first (check_count/require) or clamp it");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_concurrency(const SourceFile& file,
+                                          const TokenizedSource& source,
+                                          const FileAnnotations& annotations) {
+  std::vector<Diagnostic> diagnostics;
+  ConcurrencyContext context{file, source, annotations, &diagnostics, {}};
+  const std::vector<FunctionDef> functions = find_functions(source);
+  check_guarded_by(context, functions);
+  check_shared_state(context, functions);
+  check_lock_order(context, functions);
+  check_thread_exception_escape(context, functions);
+  check_unbounded_input_resize(context, functions);
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return diagnostics;
+}
+
+}  // namespace eta2::lint

@@ -1,0 +1,98 @@
+// The cross-TU concurrency pass (DESIGN.md §9): consumes the zero-cost
+// annotations from src/common/check.h and verifies them over the token
+// stream —
+//
+//   rule 10 `guarded-by`               ETA2_GUARDED_BY(m) members touched in
+//                                      a function that neither locks m nor
+//                                      declares ETA2_REQUIRES(m); plus the
+//                                      shared-state check: a plain (non-
+//                                      atomic, non-guarded) member mutated
+//                                      and shared with an ETA2_THREAD_ENTRY
+//                                      function
+//   rule 11 `lock-order`               per-TU mutex acquisition-order graph;
+//                                      a cycle is a potential deadlock
+//   rule 12 `thread-exception-escape`  in ETA2_THREAD_ENTRY /
+//                                      ETA2_NO_THROW_BOUNDARY bodies, any
+//                                      try without a catch (...) arm, and
+//                                      any can-throw statement outside a
+//                                      catch-all-protected try
+//   rule 13 `unbounded-input-resize`   resize/reserve sized by a count read
+//                                      from a stream (>>/sto*) with no bound
+//                                      check between the read and the
+//                                      allocation
+//
+// Annotations are cross-TU: a declaration annotated in foo.h applies to the
+// definition in foo.cpp (matched by function / member name), which is how
+// lint_files() and lint_tree() run this pass; lint_file() sees only
+// file-local annotations.
+#ifndef ETA2_TOOLS_LINT_ANALYSIS_H
+#define ETA2_TOOLS_LINT_ANALYSIS_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lex.h"
+#include "lint/linter.h"
+
+namespace eta2::lint {
+
+struct FunctionAnnotation {
+  bool thread_entry = false;
+  bool no_throw_boundary = false;
+  std::vector<std::string> requires_mutexes;  // ETA2_REQUIRES(...) list
+};
+
+struct MemberInfo {
+  std::string class_name;
+  std::string name;
+  std::string guarded_by;  // mutex member from ETA2_GUARDED_BY, or empty
+  // True for std::atomic/mutex/thread/condition_variable/once_flag members —
+  // synchronization is intrinsic, the shared-state check skips them.
+  bool sync_type = false;
+  std::size_t line = 0;
+};
+
+// Everything the concurrency pass learns from one file's declarations.
+struct FileAnnotations {
+  // function name (unqualified) -> annotation; a name annotated anywhere in
+  // the header applies to the same-named definition in the sibling .cpp.
+  std::map<std::string, FunctionAnnotation> functions;
+  std::vector<MemberInfo> members;
+};
+
+[[nodiscard]] FileAnnotations collect_annotations(
+    const TokenizedSource& source);
+
+// Merges header-declared annotations into the file-local set (the file's own
+// annotations win on conflict, which cannot meaningfully happen).
+void merge_annotations(FileAnnotations& into, const FileAnnotations& from);
+
+// One function definition found in a TU: `qualifier::name(...) ... { body }`
+// with the body as a token range [body_begin, body_end) into the source's
+// token stream (excluding the outer braces).
+struct FunctionDef {
+  std::string qualifier;  // "SocketServer" for SocketServer::stop; may be ""
+  std::string name;
+  std::size_t line = 0;        // line of the name token
+  std::size_t body_begin = 0;  // first token inside the outer '{'
+  std::size_t body_end = 0;    // the outer '}' token index
+  FunctionAnnotation annotation;  // trailing annotations found inline
+};
+
+// Segments a token stream into function definitions (free functions, member
+// definitions, in-class inline bodies). Heuristic but conservative: only
+// `name(...)` followed (after const/noexcept/annotations/init-list) by `{`.
+[[nodiscard]] std::vector<FunctionDef> find_functions(
+    const TokenizedSource& source);
+
+// Runs rules 10-13 on one file. `annotations` is the merged view (file-local
+// plus sibling header); diagnostics honor the usual suppression comments.
+[[nodiscard]] std::vector<Diagnostic> check_concurrency(
+    const SourceFile& file, const TokenizedSource& source,
+    const FileAnnotations& annotations);
+
+}  // namespace eta2::lint
+
+#endif  // ETA2_TOOLS_LINT_ANALYSIS_H

@@ -1,0 +1,95 @@
+#include "lint/cli.h"
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+
+#include "lint/include_graph.h"
+#include "lint/linter.h"
+
+namespace eta2::lint {
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "usage: eta2_lint [--root DIR] [--list-rules] [--layer-dag]"
+         " [--dot=FILE]\n"
+         "\n"
+         "Runs the eta2 project lint over DIR's src/, tools/, bench/, and\n"
+         "examples/ trees (default DIR: current directory). --layer-dag\n"
+         "runs only the include-graph pass; --dot=FILE writes the include\n"
+         "graph as Graphviz DOT. Suppress one diagnostic with\n"
+         "'// eta2-lint: allow(<rule>)' on the flagged line or the line\n"
+         "above it.\n";
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  std::string root = ".";
+  std::string dot_path;
+  bool layer_dag_only = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--root" && i + 1 < args.size()) {
+      root = args[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : rule_catalogue()) {
+        out << rule.name << ": " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--layer-dag") {
+      layer_dag_only = true;
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      dot_path = arg.substr(6);
+      if (dot_path.empty()) {
+        err << "eta2_lint: --dot needs a file path\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(out);
+      return 0;
+    } else {
+      err << "eta2_lint: unknown argument '" << arg << "'\n";
+      print_usage(err);
+      return 2;
+    }
+  }
+
+  if (!std::filesystem::is_directory(root)) {
+    err << "eta2_lint: '" << root << "' is not a directory\n";
+    return 2;
+  }
+
+  try {
+    const std::vector<SourceFile> files = load_tree(root);
+    if (!dot_path.empty()) {
+      std::ofstream dot_out(dot_path, std::ios::binary);
+      if (!dot_out) {
+        err << "eta2_lint: cannot write '" << dot_path << "'\n";
+        return 2;
+      }
+      dot_out << include_graph_dot(build_include_graph(files));
+    }
+    std::vector<Diagnostic> diagnostics;
+    if (layer_dag_only) {
+      diagnostics = check_layer_dag(build_include_graph(files), files);
+    } else {
+      diagnostics = lint_files(files);
+    }
+    for (const auto& diagnostic : diagnostics) {
+      out << format_diagnostic(diagnostic) << "\n";
+    }
+    if (diagnostics.empty()) {
+      out << "eta2_lint: clean\n";
+      return 0;
+    }
+    out << "eta2_lint: " << diagnostics.size() << " violation(s)\n";
+    return 1;
+  } catch (const std::exception& error) {
+    err << "eta2_lint: " << error.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace eta2::lint

@@ -1,0 +1,26 @@
+// The eta2_lint command-line driver as a testable library function: tests
+// drive it with std::ostringstream for both streams instead of spawning a
+// process. Stream contract: rule hits and the summary line go to `out`
+// (stdout); usage and I/O errors go to `err` (stderr). Exit status: 0
+// clean, 1 violations found, 2 usage/IO error.
+#ifndef ETA2_TOOLS_LINT_CLI_H
+#define ETA2_TOOLS_LINT_CLI_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eta2::lint {
+
+// argv-style arguments, program name excluded. Flags:
+//   --root DIR    tree to lint (default ".")
+//   --list-rules  print the rule catalogue and exit 0
+//   --layer-dag   run ONLY the include-graph pass (layer DAG + cycles)
+//   --dot=FILE    write the include graph as Graphviz DOT to FILE
+//   --help, -h    usage
+[[nodiscard]] int run_cli(const std::vector<std::string>& args,
+                          std::ostream& out, std::ostream& err);
+
+}  // namespace eta2::lint
+
+#endif  // ETA2_TOOLS_LINT_CLI_H

@@ -1,0 +1,195 @@
+#include "lint/include_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <regex>
+#include <sstream>
+
+#include "lint/lex.h"
+
+namespace eta2::lint {
+namespace {
+
+struct LayerSpec {
+  std::string_view prefix;
+  int layer;
+};
+
+// The layer DAG (DESIGN.md §9). Lower number = closer to the foundation.
+constexpr LayerSpec kLayers[] = {
+    {"src/common/", 0},     {"src/stats/", 1},    {"src/text/", 1},
+    {"src/io/", 2},         {"src/truth/", 2},    {"src/alloc/", 2},
+    {"src/clustering/", 2}, {"src/core/", 3},     {"src/sim/", 4},
+    {"src/serve/", 4},      {"tools/", 5},        {"bench/", 5},
+    {"examples/", 5},       {"tests/", 5},
+};
+
+constexpr std::string_view kLayerNames[] = {
+    "common", "stats/text", "io/truth/alloc/clustering",
+    "core",   "sim/serve",  "tools/bench/examples/tests",
+};
+
+// Quote-form includes are repo-relative against the src/ and tools/ include
+// roots; resolve a target to one of the presented files, if any.
+std::size_t resolve_target(const std::string& target,
+                           const std::string& from_path,
+                           const std::map<std::string, std::size_t>& by_path) {
+  const std::string from_dir = [&] {
+    const std::size_t slash = from_path.rfind('/');
+    return slash == std::string::npos ? std::string()
+                                      : from_path.substr(0, slash + 1);
+  }();
+  const std::string candidates[] = {
+      "src/" + target,   "tools/" + target, "bench/" + target,
+      "examples/" + target, "tests/" + target, from_dir + target, target,
+  };
+  for (const std::string& candidate : candidates) {
+    const auto it = by_path.find(candidate);
+    if (it != by_path.end()) return it->second;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+int layer_of(std::string_view path) {
+  for (const LayerSpec& spec : kLayers) {
+    if (starts_with(path, spec.prefix)) return spec.layer;
+  }
+  return -1;
+}
+
+std::string_view layer_name(int layer) {
+  if (layer < 0 || static_cast<std::size_t>(layer) >=
+                       sizeof(kLayerNames) / sizeof(kLayerNames[0])) {
+    return "unlayered";
+  }
+  return kLayerNames[static_cast<std::size_t>(layer)];
+}
+
+IncludeGraph build_include_graph(const std::vector<SourceFile>& files) {
+  IncludeGraph graph;
+  graph.files.reserve(files.size());
+  std::map<std::string, std::size_t> by_path;
+  for (const SourceFile& file : files) {
+    by_path.emplace(file.path, graph.files.size());
+    graph.files.push_back(file.path);
+  }
+  // #include targets must come from the ORIGINAL text: scrubbing blanks
+  // string-literal bodies, which is exactly where the quote-form target is.
+  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  for (std::size_t from = 0; from < files.size(); ++from) {
+    const std::vector<std::string> lines = split_lines(files[from].contents);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::smatch match;
+      if (!std::regex_search(lines[i], match, kInclude)) continue;
+      const std::size_t to =
+          resolve_target(match[1].str(), files[from].path, by_path);
+      if (to == static_cast<std::size_t>(-1) || to == from) continue;
+      graph.edges.push_back(IncludeEdge{from, to, i + 1});
+    }
+  }
+  return graph;
+}
+
+std::vector<Diagnostic> check_layer_dag(const IncludeGraph& graph,
+                                        const std::vector<SourceFile>& files) {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<std::vector<std::string>> lines_cache(files.size());
+  const auto original_lines =
+      [&](std::size_t index) -> const std::vector<std::string>& {
+    if (lines_cache[index].empty() && !files[index].contents.empty()) {
+      lines_cache[index] = split_lines(files[index].contents);
+    }
+    return lines_cache[index];
+  };
+  const auto report = [&](std::size_t from, std::size_t line,
+                          std::string message) {
+    if (suppressed(original_lines(from), line, "layer-dag")) return;
+    diagnostics.push_back(Diagnostic{graph.files[from], line, "layer-dag",
+                                     std::move(message)});
+  };
+
+  // Upward layer edges.
+  for (const IncludeEdge& edge : graph.edges) {
+    const int from_layer = layer_of(graph.files[edge.from]);
+    const int to_layer = layer_of(graph.files[edge.to]);
+    if (from_layer < 0 || to_layer < 0 || to_layer <= from_layer) continue;
+    report(edge.from, edge.line,
+           "upward include: layer " + std::to_string(from_layer) + " (" +
+               std::string(layer_name(from_layer)) + ") file includes " +
+               graph.files[edge.to] + " from layer " +
+               std::to_string(to_layer) + " (" +
+               std::string(layer_name(to_layer)) +
+               ") — dependencies must point down the layer DAG");
+  }
+
+  // Include cycles: 3-color DFS; a back edge closes a cycle, reported at
+  // that edge's #include line with the full path.
+  std::vector<std::vector<const IncludeEdge*>> adjacency(graph.files.size());
+  for (const IncludeEdge& edge : graph.edges) {
+    adjacency[edge.from].push_back(&edge);
+  }
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(graph.files.size(), Color::kWhite);
+  std::vector<std::size_t> stack;  // current DFS path (file indices)
+  const std::function<void(std::size_t)> visit = [&](std::size_t node) {
+    color[node] = Color::kGray;
+    stack.push_back(node);
+    for (const IncludeEdge* edge : adjacency[node]) {
+      if (color[edge->to] == Color::kGray) {
+        std::string path;
+        const auto begin = std::find(stack.begin(), stack.end(), edge->to);
+        for (auto it = begin; it != stack.end(); ++it) {
+          path += graph.files[*it] + " -> ";
+        }
+        path += graph.files[edge->to];
+        report(node, edge->line, "include cycle: " + path);
+      } else if (color[edge->to] == Color::kWhite) {
+        visit(edge->to);
+      }
+    }
+    stack.pop_back();
+    color[node] = Color::kBlack;
+  };
+  for (std::size_t node = 0; node < graph.files.size(); ++node) {
+    if (color[node] == Color::kWhite) visit(node);
+  }
+
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return diagnostics;
+}
+
+std::string include_graph_dot(const IncludeGraph& graph) {
+  std::ostringstream out;
+  out << "digraph eta2_includes {\n";
+  out << "  rankdir=BT;\n";
+  out << "  node [shape=box, fontsize=10];\n";
+  std::map<int, std::vector<std::size_t>> by_layer;
+  for (std::size_t i = 0; i < graph.files.size(); ++i) {
+    by_layer[layer_of(graph.files[i])].push_back(i);
+  }
+  for (const auto& [layer, members] : by_layer) {
+    out << "  subgraph cluster_layer_" << (layer < 0 ? "x" : "")
+        << (layer < 0 ? 0 : layer) << " {\n";
+    out << "    label=\"layer " << layer << ": " << layer_name(layer)
+        << "\";\n";
+    for (const std::size_t index : members) {
+      out << "    \"" << graph.files[index] << "\";\n";
+    }
+    out << "  }\n";
+  }
+  for (const IncludeEdge& edge : graph.edges) {
+    out << "  \"" << graph.files[edge.from] << "\" -> \""
+        << graph.files[edge.to] << "\";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace eta2::lint

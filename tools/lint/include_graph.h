@@ -1,0 +1,56 @@
+// Repo-wide include-graph pass: extracts #include edges between repo files
+// and enforces the layer DAG (DESIGN.md §9):
+//
+//   0 common → 1 stats/text → 2 io/truth/alloc/clustering → 3 core
+//     → 4 sim/serve → 5 tools/bench/examples/tests
+//
+// A file may include same-layer or lower-layer files; an upward edge or any
+// include cycle is an error (rule `layer-dag`). The graph also exports as
+// Graphviz DOT for the CI artifact.
+#ifndef ETA2_TOOLS_LINT_INCLUDE_GRAPH_H
+#define ETA2_TOOLS_LINT_INCLUDE_GRAPH_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace eta2::lint {
+
+struct IncludeEdge {
+  std::size_t from = 0;  // indices into IncludeGraph::files
+  std::size_t to = 0;
+  std::size_t line = 0;  // 1-based #include line in the `from` file
+};
+
+struct IncludeGraph {
+  // Repo-relative paths, in the order the files were presented.
+  std::vector<std::string> files;
+  // Only edges whose target resolves to another presented file; system and
+  // external includes are ignored.
+  std::vector<IncludeEdge> edges;
+};
+
+// Layer index for a repo-relative path; -1 when the path is outside the
+// layered tree (nothing is enforced against it).
+[[nodiscard]] int layer_of(std::string_view path);
+
+// Human-readable layer name for diagnostics ("common", "io/truth/...", ...).
+[[nodiscard]] std::string_view layer_name(int layer);
+
+[[nodiscard]] IncludeGraph build_include_graph(
+    const std::vector<SourceFile>& files);
+
+// Upward layer edges and include cycles, as `layer-dag` diagnostics at the
+// offending #include line. Suppressible with the usual
+// `// eta2-lint: allow(layer-dag)` comment on or above that line.
+[[nodiscard]] std::vector<Diagnostic> check_layer_dag(
+    const IncludeGraph& graph, const std::vector<SourceFile>& files);
+
+// Graphviz DOT rendering of the graph, files clustered by layer.
+[[nodiscard]] std::string include_graph_dot(const IncludeGraph& graph);
+
+}  // namespace eta2::lint
+
+#endif  // ETA2_TOOLS_LINT_INCLUDE_GRAPH_H

@@ -1,0 +1,71 @@
+// The linter's lexical layer: one pass that handles comments, string
+// literals (including raw strings), and character literals, shared by every
+// rule. Rules either walk the scrubbed line text (the PR 4 rules) or the
+// token stream (the cross-TU concurrency pass) — nobody re-implements
+// comment/string skipping.
+#ifndef ETA2_TOOLS_LINT_LEX_H
+#define ETA2_TOOLS_LINT_LEX_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eta2::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords, e.g. `mutex_`, `try`, `catch`
+  kNumber,      // numeric literals
+  kPunct,       // operators and punctuation; multi-char ops are one token
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  // View into TokenizedSource::scrubbed — valid as long as it lives.
+  std::string_view text;
+  std::size_t line = 0;  // 1-based
+};
+
+// A source file lexed once. `scrubbed` has comment/string/char-literal
+// bodies replaced by spaces (line structure preserved); `tokens` is the
+// token stream over it with preprocessor lines skipped (the include-graph
+// pass reads #include lines from `scrubbed_lines` directly).
+struct TokenizedSource {
+  std::string scrubbed;
+  std::vector<std::string> scrubbed_lines;
+  std::vector<std::string> original_lines;
+  std::vector<Token> tokens;
+};
+
+[[nodiscard]] TokenizedSource tokenize(std::string_view source);
+
+// --- shared text helpers (used by all rule passes) -------------------------
+
+[[nodiscard]] bool is_ident_char(char c);
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+// True when `text[pos, pos+word)` equals `word` with identifier boundaries
+// on both sides.
+[[nodiscard]] bool word_at(std::string_view text, std::size_t pos,
+                           std::string_view word);
+[[nodiscard]] bool contains_word(std::string_view text, std::string_view word);
+
+[[nodiscard]] std::vector<std::string> split_lines(std::string_view text);
+
+[[nodiscard]] bool is_comment_line(std::string_view line);
+
+// `// eta2-lint: allow(<rule>)` on the diagnostic line, or anywhere in the
+// contiguous `//` comment block immediately above it, suppresses the
+// diagnostic. Whole-file diagnostics (line 0) look at the leading comment
+// block of the file.
+[[nodiscard]] bool suppressed(const std::vector<std::string>& original,
+                              std::size_t line, std::string_view rule);
+
+// Index of the token whose `(`/`[`/`{` at `open` is matched, i.e. the
+// position just past the matching closer; tokens.size() when unbalanced.
+[[nodiscard]] std::size_t match_forward(const std::vector<Token>& tokens,
+                                        std::size_t open);
+
+}  // namespace eta2::lint
+
+#endif  // ETA2_TOOLS_LINT_LEX_H

@@ -8,133 +8,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "lint/analysis.h"
+#include "lint/include_graph.h"
+#include "lint/lex.h"
+
 namespace eta2::lint {
-namespace {
-
-bool starts_with(std::string_view text, std::string_view prefix) {
-  return text.substr(0, prefix.size()) == prefix;
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// True when `text[pos, pos+word)` equals `word` with identifier boundaries
-// on both sides.
-bool word_at(std::string_view text, std::size_t pos, std::string_view word) {
-  if (text.substr(pos, word.size()) != word) return false;
-  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
-  const std::size_t end = pos + word.size();
-  return end >= text.size() || !is_ident_char(text[end]);
-}
-
-bool contains_word(std::string_view text, std::string_view word) {
-  for (std::size_t pos = text.find(word); pos != std::string_view::npos;
-       pos = text.find(word, pos + 1)) {
-    if (word_at(text, pos, word)) return true;
-  }
-  return false;
-}
-
-std::vector<std::string> split_lines(std::string_view text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    std::size_t end = text.find('\n', start);
-    if (end == std::string_view::npos) {
-      lines.emplace_back(text.substr(start));
-      break;
-    }
-    lines.emplace_back(text.substr(start, end - start));
-    start = end + 1;
-  }
-  return lines;
-}
-
-}  // namespace
-
-std::string scrub_source(std::string_view source) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  std::string out;
-  out.reserve(source.size());
-  State state = State::kCode;
-  for (std::size_t i = 0; i < source.size(); ++i) {
-    const char c = source[i];
-    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !is_ident_char(source[i - 1]))) {
-          // Raw string literal R"delim( ... )delim": skip it wholesale.
-          std::size_t paren = source.find('(', i + 2);
-          if (paren == std::string_view::npos) {
-            out += c;
-            break;
-          }
-          const std::string closer =
-              ")" + std::string(source.substr(i + 2, paren - (i + 2))) + "\"";
-          std::size_t close = source.find(closer, paren + 1);
-          if (close == std::string_view::npos) close = source.size();
-          const std::size_t end = std::min(source.size(), close + closer.size());
-          for (std::size_t k = i; k < end; ++k) {
-            out += source[k] == '\n' ? '\n' : ' ';
-          }
-          i = end - 1;
-        } else if (c == '"') {
-          state = State::kString;
-          out += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        if (c == '\\') {
-          out += ' ';
-          if (next != '\0' && next != '\n') {
-            out += ' ';
-            ++i;
-          }
-        } else if ((state == State::kString && c == '"') ||
-                   (state == State::kChar && c == '\'')) {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
 
 const std::vector<RuleInfo>& rule_catalogue() {
   static const std::vector<RuleInfo> kRules = {
@@ -166,6 +44,27 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "write to a StepContext member (ctx.*) inside a for_each_shard "
        "dispatch body — shard bodies may only mutate shard-local state; "
        "merge into the context serially after the region (DESIGN.md §12)"},
+      {"guarded-by",
+       "an ETA2_GUARDED_BY(m) member touched without locking m first (and "
+       "without ETA2_REQUIRES(m)), or plain mutable state shared with an "
+       "ETA2_THREAD_ENTRY function — the stop()/accept listen_fd_ race "
+       "class"},
+      {"lock-order",
+       "mutex acquired while holding another in the reverse of an "
+       "acquisition order established elsewhere in the TU — a lock-order "
+       "cycle is a potential deadlock"},
+      {"thread-exception-escape",
+       "in an ETA2_THREAD_ENTRY / ETA2_NO_THROW_BOUNDARY body: a try "
+       "without a catch (...) arm, or a can-throw statement outside any "
+       "catch-all-protected try — an escaping exception is std::terminate"},
+      {"unbounded-input-resize",
+       "resize/reserve sized by a count read from parsed input (>>/sto*) "
+       "with no bound check between the read and the allocation — a hostile "
+       "count drives the allocator"},
+      {"layer-dag",
+       "#include edge that points up the layer DAG (common -> stats/text -> "
+       "io/truth/alloc/clustering -> core -> sim/serve -> tools), or an "
+       "include cycle"},
   };
   return kRules;
 }
@@ -177,41 +76,6 @@ struct LineContext {
   const std::vector<std::string>& original;
   std::vector<Diagnostic>* diagnostics;
 };
-
-bool is_comment_line(std::string_view line) {
-  std::size_t i = 0;
-  while (i < line.size() &&
-         std::isspace(static_cast<unsigned char>(line[i])) != 0) {
-    ++i;
-  }
-  return line.substr(i, 2) == "//";
-}
-
-// `// eta2-lint: allow(<rule>)` on the diagnostic line, or anywhere in the
-// contiguous `//` comment block immediately above it, suppresses the
-// diagnostic. Whole-file diagnostics (line 0) look at the leading comment
-// block of the file.
-bool suppressed(const std::vector<std::string>& original, std::size_t line,
-                std::string_view rule) {
-  const std::string needle = "eta2-lint: allow(" + std::string(rule) + ")";
-  if (line == 0) {
-    for (const std::string& text : original) {
-      if (!is_comment_line(text)) break;
-      if (text.find(needle) != std::string::npos) return true;
-    }
-    return false;
-  }
-  if (line <= original.size() &&
-      original[line - 1].find(needle) != std::string::npos) {
-    return true;
-  }
-  for (std::size_t i = line - 1; i >= 1; --i) {
-    const std::string& above = original[i - 1];
-    if (!is_comment_line(above)) break;
-    if (above.find(needle) != std::string::npos) return true;
-  }
-  return false;
-}
 
 void report(LineContext& context, std::size_t line, std::string_view rule,
             std::string message) {
@@ -694,11 +558,17 @@ void check_shard_shared_mutation(LineContext& context,
 
 }  // namespace
 
-std::vector<Diagnostic> lint_file(const SourceFile& file) {
+namespace {
+
+// The per-line rules plus the token-stream concurrency pass, given an
+// already-lexed source and the (possibly cross-TU-merged) annotations.
+std::vector<Diagnostic> lint_one(const SourceFile& file,
+                                 const TokenizedSource& tokenized,
+                                 const FileAnnotations& annotations) {
   std::vector<Diagnostic> diagnostics;
-  const std::string scrubbed = scrub_source(file.contents);
-  const std::vector<std::string> original_lines = split_lines(file.contents);
-  const std::vector<std::string> scrubbed_lines = split_lines(scrubbed);
+  const std::string& scrubbed = tokenized.scrubbed;
+  const std::vector<std::string>& original_lines = tokenized.original_lines;
+  const std::vector<std::string>& scrubbed_lines = tokenized.scrubbed_lines;
   LineContext context{file, original_lines, &diagnostics};
 
   const bool is_header = file.path.size() > 2 &&
@@ -729,6 +599,12 @@ std::vector<Diagnostic> lint_file(const SourceFile& file) {
   }
   check_shard_shared_mutation(context, scrubbed);
 
+  std::vector<Diagnostic> concurrency =
+      check_concurrency(file, tokenized, annotations);
+  diagnostics.insert(diagnostics.end(),
+                     std::make_move_iterator(concurrency.begin()),
+                     std::make_move_iterator(concurrency.end()));
+
   std::stable_sort(diagnostics.begin(), diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
                      return a.line < b.line;
@@ -736,22 +612,71 @@ std::vector<Diagnostic> lint_file(const SourceFile& file) {
   return diagnostics;
 }
 
-std::vector<Diagnostic> lint_tree(const std::string& root) {
+}  // namespace
+
+std::vector<Diagnostic> lint_file(const SourceFile& file) {
+  const TokenizedSource tokenized = tokenize(file.contents);
+  return lint_one(file, tokenized, collect_annotations(tokenized));
+}
+
+std::vector<Diagnostic> lint_files(const std::vector<SourceFile>& files) {
+  // Phase 1: lex everything once and collect each file's annotations.
+  std::vector<TokenizedSource> tokenized;
+  std::vector<FileAnnotations> annotations;
+  tokenized.reserve(files.size());
+  annotations.reserve(files.size());
+  for (const SourceFile& file : files) {
+    tokenized.push_back(tokenize(file.contents));
+    annotations.push_back(collect_annotations(tokenized.back()));
+  }
+
+  // Phase 2: per-file rules, with foo.h's annotations merged into foo.cpp's
+  // view (the cross-TU half: header-declared ETA2_* applies to the sibling
+  // definitions).
+  std::vector<Diagnostic> all;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileAnnotations merged = annotations[i];
+    const std::string& path = files[i].path;
+    if (path.size() > 4 && path.ends_with(".cpp")) {
+      const std::string header = path.substr(0, path.size() - 4) + ".h";
+      for (std::size_t j = 0; j < files.size(); ++j) {
+        if (files[j].path == header) {
+          merge_annotations(merged, annotations[j]);
+          break;
+        }
+      }
+    }
+    std::vector<Diagnostic> diagnostics =
+        lint_one(files[i], tokenized[i], merged);
+    all.insert(all.end(), std::make_move_iterator(diagnostics.begin()),
+               std::make_move_iterator(diagnostics.end()));
+  }
+
+  // Phase 3: the repo-wide include-graph pass.
+  const IncludeGraph graph = build_include_graph(files);
+  std::vector<Diagnostic> layering = check_layer_dag(graph, files);
+  all.insert(all.end(), std::make_move_iterator(layering.begin()),
+             std::make_move_iterator(layering.end()));
+  return all;
+}
+
+std::vector<SourceFile> load_tree(const std::string& root) {
   namespace fs = std::filesystem;
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const char* subtree : {"src", "tools", "bench", "examples"}) {
     const fs::path base = fs::path(root) / subtree;
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file()) continue;
       const std::string ext = entry.path().extension().string();
-      if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+      if (ext == ".h" || ext == ".cpp") paths.push_back(entry.path());
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
 
-  std::vector<Diagnostic> all;
-  for (const fs::path& path : files) {
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
     std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("eta2_lint: cannot read " + path.string());
     std::ostringstream buffer;
@@ -764,11 +689,13 @@ std::vector<Diagnostic> lint_tree(const std::string& root) {
     sibling.replace_extension(".h");
     file.has_sibling_header =
         path.extension() == ".cpp" && fs::exists(sibling);
-
-    std::vector<Diagnostic> diagnostics = lint_file(file);
-    all.insert(all.end(), diagnostics.begin(), diagnostics.end());
+    files.push_back(std::move(file));
   }
-  return all;
+  return files;
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root) {
+  return lint_files(load_tree(root));
 }
 
 std::string format_diagnostic(const Diagnostic& diagnostic) {

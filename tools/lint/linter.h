@@ -24,6 +24,12 @@
 //                          parallel_for_chunks / parallel_reduce body —
 //                          validation runs once before the region; ETA2_*
 //                          contract macros are the in-loop mechanism
+//
+// v2 adds a shared tokenizer (lint/lex.h), a cross-TU concurrency pass
+// driven by the src/common/check.h annotations (lint/analysis.h: rules
+// guarded-by, lock-order, thread-exception-escape, unbounded-input-resize)
+// and a repo-wide include-graph pass enforcing the layer DAG
+// (lint/include_graph.h: rule layer-dag).
 #ifndef ETA2_TOOLS_LINT_LINTER_H
 #define ETA2_TOOLS_LINT_LINTER_H
 
@@ -65,12 +71,25 @@ struct SourceFile {
 // for tests.
 [[nodiscard]] std::string scrub_source(std::string_view source);
 
-// Lints one file. Diagnostics come back in line order.
+// Lints one file in isolation: the per-line rules plus the concurrency
+// rules with file-local annotations only. Diagnostics come back in line
+// order.
 [[nodiscard]] std::vector<Diagnostic> lint_file(const SourceFile& file);
 
+// Lints a set of files as one program: lint_file on each, plus the cross-TU
+// passes — annotations declared in foo.h apply to definitions in the
+// sibling foo.cpp, and the include graph is checked against the layer DAG.
+// Diagnostics come back grouped per file in presentation order.
+[[nodiscard]] std::vector<Diagnostic> lint_files(
+    const std::vector<SourceFile>& files);
+
 // Walks `root`'s src/, tools/, bench/, and examples/ trees (deterministic
-// sorted order), lints every .h/.cpp file, and returns all diagnostics.
+// sorted order), loads every .h/.cpp file, and runs lint_files over them.
 [[nodiscard]] std::vector<Diagnostic> lint_tree(const std::string& root);
+
+// Loads the same file set lint_tree lints, without linting (the CLI's
+// --layer-dag mode feeds these to the include-graph pass directly).
+[[nodiscard]] std::vector<SourceFile> load_tree(const std::string& root);
 
 // "path:line: [rule] message" — one line per diagnostic.
 [[nodiscard]] std::string format_diagnostic(const Diagnostic& diagnostic);
