@@ -16,6 +16,19 @@ constexpr std::uint64_t kKindBatch = 0x0b5e'55ed'c0ff'ee04ULL;
 constexpr std::uint64_t kKindEmbedder = 0x0b5e'55ed'c0ff'ee05ULL;
 constexpr std::uint64_t kKindFabricator = 0x0b5e'55ed'c0ff'ee06ULL;
 constexpr std::uint64_t kKindFabOffset = 0x0b5e'55ed'c0ff'ee07ULL;
+// Adversary-kind separators (same hash, disjoint streams).
+constexpr std::uint64_t kKindSybil = 0x0b5e'55ed'c0ff'ee08ULL;
+constexpr std::uint64_t kKindClique = 0x0b5e'55ed'c0ff'ee09ULL;
+constexpr std::uint64_t kKindCliqueSign = 0x0b5e'55ed'c0ff'ee0aULL;
+constexpr std::uint64_t kKindCliqueMag = 0x0b5e'55ed'c0ff'ee0bULL;
+constexpr std::uint64_t kKindCamouflage = 0x0b5e'55ed'c0ff'ee0cULL;
+constexpr std::uint64_t kKindCamoOffset = 0x0b5e'55ed'c0ff'ee0dULL;
+constexpr std::uint64_t kKindDrift = 0x0b5e'55ed'c0ff'ee0eULL;
+constexpr std::uint64_t kKindDriftNoise = 0x0b5e'55ed'c0ff'ee0fULL;
+constexpr std::uint64_t kKindBurst = 0x0b5e'55ed'c0ff'ee10ULL;
+constexpr std::uint64_t kKindBurstUser = 0x0b5e'55ed'c0ff'ee11ULL;
+constexpr std::uint64_t kKindBurstSign = 0x0b5e'55ed'c0ff'ee12ULL;
+constexpr std::uint64_t kKindBurstMag = 0x0b5e'55ed'c0ff'ee13ULL;
 
 // SplitMix64 finalizer: the avalanche stage used to seed the Rng streams,
 // reused here as a counter-based hash so decisions are order-independent.
@@ -39,6 +52,13 @@ std::uint64_t combine(std::uint64_t seed, std::uint64_t kind,
 double unit(std::uint64_t h) {
   // Top 53 bits → [0, 1), the same mapping Rng::uniform01 uses.
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Signed magnitude in ±[lo, hi] from one hash: bit 0 is the sign, the rest
+// place the magnitude.
+double signed_offset(std::uint64_t h, double lo, double hi) {
+  const double magnitude = lo + unit(h) * (hi - lo);
+  return (h & 1U) != 0 ? magnitude : -magnitude;
 }
 
 void check_rate(double rate, std::string_view what) {
@@ -145,20 +165,140 @@ ObserveFn FaultPlan::wrap_collect(ObserveFn inner) {
   };
 }
 
-std::shared_ptr<const text::Embedder> FaultPlan::wrap_embedder(
-    std::shared_ptr<const text::Embedder> inner) {
-  require(inner != nullptr, "FaultPlan::wrap_embedder: embedder required");
-  return std::make_shared<FaultyEmbedder>(std::move(inner), this);
+// ---------------------------------------------------------------------------
+// AdversaryPlan
+// ---------------------------------------------------------------------------
+
+AdversaryPlan::AdversaryPlan(AdversaryOptions options) : options_(options) {
+  check_rate(options_.sybil_fraction, "AdversaryPlan: sybil_fraction in [0,1]");
+  check_rate(options_.camouflage_fraction,
+             "AdversaryPlan: camouflage_fraction in [0,1]");
+  check_rate(options_.drift_fraction,
+             "AdversaryPlan: drift_fraction in [0,1]");
+  check_rate(options_.burst_step_rate,
+             "AdversaryPlan: burst_step_rate in [0,1]");
+  check_rate(options_.burst_participation,
+             "AdversaryPlan: burst_participation in [0,1]");
+  require(options_.clique_count >= 1, "AdversaryPlan: clique_count >= 1");
+  require(options_.clique_offset_lo <= options_.clique_offset_hi,
+          "AdversaryPlan: clique offset range inverted");
+  require(options_.camouflage_offset_lo <= options_.camouflage_offset_hi,
+          "AdversaryPlan: camouflage offset range inverted");
+  require(options_.burst_offset_lo <= options_.burst_offset_hi,
+          "AdversaryPlan: burst offset range inverted");
+  require(options_.drift_per_step >= 0.0,
+          "AdversaryPlan: drift_per_step >= 0");
 }
 
-text::Embedding FaultyEmbedder::embed_word(std::string_view word) const {
-  if (plan_->embedder_down()) {
-    ++plan_->stats_.embedder_failures;
-    throw text::EmbedderError(
-        "FaultyEmbedder: injected embedder outage at step " +
-        std::to_string(plan_->current_step()));
-  }
-  return inner_->embed_word(word);
+double AdversaryPlan::decision(std::uint64_t kind, std::uint64_t step,
+                               std::uint64_t task, std::uint64_t user) const {
+  return unit(combine(options_.seed, kind, step, task, user));
+}
+
+void AdversaryPlan::begin_step(std::uint64_t step) {
+  step_ = step;
+  if (burst_step()) ++stats_.burst_steps;
+}
+
+bool AdversaryPlan::user_sybil(std::size_t user) const {
+  // Persistent trait: sybil identities exist for the whole campaign.
+  return options_.sybil_fraction > 0.0 &&
+         decision(kKindSybil, 0, 0, user) < options_.sybil_fraction;
+}
+
+std::size_t AdversaryPlan::clique_of(std::size_t user) const {
+  return combine(options_.seed, kKindClique, 0, 0, user) %
+         options_.clique_count;
+}
+
+bool AdversaryPlan::user_camouflage(std::size_t user) const {
+  return options_.camouflage_fraction > 0.0 &&
+         decision(kKindCamouflage, 0, 0, user) < options_.camouflage_fraction;
+}
+
+bool AdversaryPlan::user_drifts(std::size_t user) const {
+  return options_.drift_fraction > 0.0 &&
+         decision(kKindDrift, 0, 0, user) < options_.drift_fraction;
+}
+
+bool AdversaryPlan::burst_step() const {
+  return options_.burst_step_rate > 0.0 &&
+         decision(kKindBurst, step_, 0, 0) < options_.burst_step_rate;
+}
+
+bool AdversaryPlan::burst_participant(std::size_t user) const {
+  // The bot farm is a fixed subset: participation hashes per user, not per
+  // (step, user), so the same identities pile on at every bomb step. That
+  // is both the realistic shape (a rented bot set) and the learnable one —
+  // repeat offenders are what a trust ledger can quarantine; per-step
+  // random participation would be undetectable by construction.
+  return decision(kKindBurstUser, 0, 0, user) < options_.burst_participation;
+}
+
+double AdversaryPlan::clique_offset(std::size_t clique,
+                                    std::size_t task) const {
+  // Sign persists per clique (a clique pushes one direction for life);
+  // magnitude re-hashes per (clique, step, task). Every member computes the
+  // identical offset, which is what makes the clique's reports cluster on
+  // one shared wrong value.
+  const std::uint64_t sign_h =
+      combine(options_.seed, kKindCliqueSign, 0, 0, clique);
+  const std::uint64_t mag_h =
+      combine(options_.seed, kKindCliqueMag, step_, task, clique);
+  const double magnitude =
+      options_.clique_offset_lo +
+      unit(mag_h) * (options_.clique_offset_hi - options_.clique_offset_lo);
+  return (sign_h & 1U) != 0 ? magnitude : -magnitude;
+}
+
+ObserveFn AdversaryPlan::wrap_collect(ObserveFn inner) {
+  require(inner != nullptr, "AdversaryPlan::wrap_collect: callback required");
+  return [this, inner = std::move(inner)](
+             std::size_t task, std::size_t user) -> std::optional<double> {
+    ++stats_.observations_seen;
+    const std::optional<double> honest = inner(task, user);
+    if (!honest.has_value()) return std::nullopt;
+    double value = *honest;
+    if (user_sybil(user)) {
+      // Clique membership dominates the user's other traits: a sybil exists
+      // to push the clique's agreed value.
+      value += clique_offset(clique_of(user), task);
+      ++stats_.clique_reports;
+      return value;
+    }
+    if (user_camouflage(user)) {
+      if (step_ >= options_.camouflage_after) {
+        value += signed_offset(
+            combine(options_.seed, kKindCamoOffset, 0, 0, user),
+            options_.camouflage_offset_lo, options_.camouflage_offset_hi);
+        ++stats_.camouflage_poisoned;
+      } else {
+        ++stats_.camouflage_honest;
+      }
+    }
+    if (user_drifts(user) && step_ > 0 && options_.drift_per_step > 0.0) {
+      const double amplitude =
+          options_.drift_per_step * static_cast<double>(step_);
+      const double noise =
+          2.0 * unit(combine(options_.seed, kKindDriftNoise, step_, task,
+                             user)) -
+          1.0;
+      value += amplitude * noise;
+      ++stats_.drift_reports;
+    }
+    if (burst_step() && burst_participant(user)) {
+      const std::uint64_t sign_h =
+          combine(options_.seed, kKindBurstSign, step_, 0, 0);
+      const std::uint64_t mag_h =
+          combine(options_.seed, kKindBurstMag, step_, task, 0);
+      const double magnitude =
+          options_.burst_offset_lo +
+          unit(mag_h) * (options_.burst_offset_hi - options_.burst_offset_lo);
+      value += (sign_h & 1U) != 0 ? magnitude : -magnitude;
+      ++stats_.burst_reports;
+    }
+    return value;
+  };
 }
 
 }  // namespace eta2::fault

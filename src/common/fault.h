@@ -1,4 +1,4 @@
-// Deterministic fault-injection framework.
+// Deterministic fault-injection and adversary framework.
 //
 // A FaultPlan is a seeded, stateless-by-construction description of the
 // faults a run should experience: observation corruption (NaN / Inf / gross
@@ -9,28 +9,27 @@
 // of thread count, call order, or how many times a decision is consulted.
 // That makes faulted runs exactly as reproducible as clean ones.
 //
-// The plan wraps the two ingestion boundaries of the pipeline:
-//   * wrap_collect()  — decorates an observation callback (core::CollectFn
-//     is structurally this ObserveFn) with dropout + corruption;
-//   * wrap_embedder() — decorates a text::Embedder so embedding calls throw
-//     text::EmbedderError on outage steps.
-// Cumulative injection counts are kept in FaultStats so tests can assert
-// that downstream health accounting (core::StepHealth) accounts for every
-// injected fault.
+// An AdversaryPlan is the malicious counterpart (DESIGN.md §14): instead of
+// random failures it models *strategic* workers — colluding sybil cliques
+// that coordinate on a shared wrong value per task, camouflage workers that
+// report honestly through warm-up and then poison, expertise drift, and
+// review-bombing bursts. It uses the same counter-hash discipline, so an
+// attacked run is bit-identical at any thread count, and keeps
+// delivered-attack tallies so tests can reconcile defenses against the
+// attacks that actually landed.
+//
+// The plans wrap the observation ingestion boundary of the pipeline via
+// wrap_collect() (core::CollectFn is structurally this ObserveFn). Embedder
+// outage *decisions* live here; the text::Embedder decorator that delivers
+// them lives one layer up in text/faulty_embedder.h, reporting delivered
+// outages back through record_embedder_failure().
 #ifndef ETA2_COMMON_FAULT_H
 #define ETA2_COMMON_FAULT_H
 
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <memory>
 #include <optional>
-
-// eta2-lint: allow(layer-dag) — known debt: fault injection wraps the
-// embedder interface to corrupt described-task embeddings, pulling layer 1
-// into common. The fix is extracting an embedder interface header into
-// common; tracked in ROADMAP.md.
-#include "text/embedder.h"
 
 namespace eta2::fault {
 
@@ -123,11 +122,12 @@ class FaultPlan {
   // the step cursor and stats); the plan must outlive it.
   [[nodiscard]] ObserveFn wrap_collect(ObserveFn inner);
 
-  // Decorates an embedder so calls throw text::EmbedderError on outage
-  // steps. The wrapper shares ownership of `inner` but references this
-  // plan; the plan must outlive the wrapper.
-  [[nodiscard]] std::shared_ptr<const text::Embedder> wrap_embedder(
-      std::shared_ptr<const text::Embedder> inner);
+  // Tallies one delivered embedder outage. Called by the embedder decorator
+  // (text/faulty_embedder.h) at the moment it throws — the decorator lives
+  // a layer above, so delivery accounting flows back through this hook
+  // instead of a friend access. Const-callable: delivery happens on the
+  // serial identify path of a step.
+  void record_embedder_failure() const { ++stats_.embedder_failures; }
 
   [[nodiscard]] const FaultOptions& options() const { return options_; }
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
@@ -139,8 +139,6 @@ class FaultPlan {
   void restore_stats(const FaultStats& stats) { stats_ = stats; }
 
  private:
-  friend class FaultyEmbedder;
-
   // Uniform [0,1) decision draw for a (kind, step, task, user) coordinate.
   [[nodiscard]] double decision(std::uint64_t kind, std::uint64_t step,
                                 std::uint64_t task, std::uint64_t user) const;
@@ -152,23 +150,122 @@ class FaultPlan {
   mutable FaultStats stats_;
 };
 
-// Embedder decorator: delegates to `inner` except on steps where the plan
-// declares an embedder outage, in which case every call throws
-// text::EmbedderError (and is counted in FaultStats::embedder_failures).
-class FaultyEmbedder final : public text::Embedder {
- public:
-  FaultyEmbedder(std::shared_ptr<const text::Embedder> inner, FaultPlan* plan)
-      : inner_(std::move(inner)), plan_(plan) {}
+// ---------------------------------------------------------------------------
+// Adversary side (DESIGN.md §14): strategic attacks on truth analysis.
+// ---------------------------------------------------------------------------
 
-  [[nodiscard]] std::size_t dimension() const override {
-    return inner_->dimension();
+struct AdversaryOptions {
+  std::uint64_t seed = 0;
+
+  // --- colluding sybil cliques ---
+  // Each user is a sybil with this probability (decided once per user).
+  // Sybils hash into one of `clique_count` cliques; every member of a
+  // clique reports honest_value + the SAME signed offset for a given task
+  // (sign persistent per clique, magnitude hashed per (clique, step, task)
+  // from [clique_offset_lo, clique_offset_hi]) — so a clique's reports
+  // cluster tightly around one shared wrong value, separated only by each
+  // member's own sensing noise. That correlated-residual signature is what
+  // the agreement-graph detector (truth/trust.h) keys on.
+  double sybil_fraction = 0.0;
+  std::size_t clique_count = 1;
+  double clique_offset_lo = 6.0;
+  double clique_offset_hi = 12.0;
+
+  // --- camouflage workers ---
+  // Report honestly (building trust and expertise) for every step before
+  // `camouflage_after`, then poison with a persistent per-user signed
+  // offset from [camouflage_offset_lo, camouflage_offset_hi].
+  double camouflage_fraction = 0.0;
+  std::uint64_t camouflage_after = 2;
+  double camouflage_offset_lo = 6.0;
+  double camouflage_offset_hi = 12.0;
+
+  // --- expertise drift ---
+  // Drifting users degrade over time: zero-mean noise whose amplitude grows
+  // linearly as drift_per_step · step, hashed per (step, task, user). Models
+  // sensors going out of calibration (or a worker losing interest) — the
+  // slow attack a one-shot expertise estimate never sees.
+  double drift_fraction = 0.0;
+  double drift_per_step = 0.5;
+
+  // --- review-bombing bursts ---
+  // With probability `burst_step_rate` a step is a bomb step: a FIXED bot
+  // subset of the population (each user joins for life with probability
+  // `burst_participation` — a rented bot farm, not a fresh crowd per step)
+  // shifts its reports by a step-wide shared sign and a per-(step, task)
+  // hashed magnitude from [burst_offset_lo, burst_offset_hi].
+  double burst_step_rate = 0.0;
+  double burst_participation = 0.5;
+  double burst_offset_lo = 8.0;
+  double burst_offset_hi = 16.0;
+
+  // True when any attack is configured.
+  [[nodiscard]] bool any() const {
+    return sybil_fraction > 0.0 || camouflage_fraction > 0.0 ||
+           drift_fraction > 0.0 || burst_step_rate > 0.0;
   }
-  [[nodiscard]] text::Embedding embed_word(
-      std::string_view word) const override;
+};
+
+// Delivered-attack tallies, incremented when a malicious report is actually
+// handed to the pipeline (not merely planned — a sybil who never responds
+// delivers nothing).
+struct AdversaryStats {
+  std::uint64_t observations_seen = 0;     // wrapped collect invocations
+  std::uint64_t clique_reports = 0;        // clique-coordinated values
+  std::uint64_t camouflage_honest = 0;     // camouflage users still warming up
+  std::uint64_t camouflage_poisoned = 0;   // post-transition poisoned reports
+  std::uint64_t drift_reports = 0;         // drift-noised reports
+  std::uint64_t burst_reports = 0;         // review-bomb shifted reports
+  std::uint64_t burst_steps = 0;           // steps declared bomb steps
+};
+
+// Seeded, counter-hashed adversary: every decision is a pure hash of
+// (seed, attack kind, step, task, user/clique), exactly like FaultPlan —
+// bit-identical at any thread count, wrapper-call order, or retry count.
+class AdversaryPlan {
+ public:
+  explicit AdversaryPlan(AdversaryOptions options);
+
+  // Positions the plan at a time step and records the burst-step tally.
+  // Call once per step execution attempt (the durability layer restores
+  // stats on rollback, so replays re-record exactly their own steps).
+  void begin_step(std::uint64_t step);
+  [[nodiscard]] std::uint64_t current_step() const { return step_; }
+
+  // Pure decision queries (no stats side effects).
+  [[nodiscard]] bool user_sybil(std::size_t user) const;
+  [[nodiscard]] std::size_t clique_of(std::size_t user) const;
+  [[nodiscard]] bool user_camouflage(std::size_t user) const;
+  [[nodiscard]] bool user_drifts(std::size_t user) const;
+  [[nodiscard]] bool burst_step() const;
+  [[nodiscard]] bool burst_participant(std::size_t user) const;
+  // The signed offset every member of `clique` applies to `task` at the
+  // current step — identical for all members by construction.
+  [[nodiscard]] double clique_offset(std::size_t clique,
+                                     std::size_t task) const;
+
+  // Decorates `inner` with this plan's attacks. Applied at the source (the
+  // honest observation), so fault plans can wrap *outside* an adversary
+  // plan: attacks happen first, transport faults second. The returned
+  // callback references this plan; the plan must outlive it.
+  [[nodiscard]] ObserveFn wrap_collect(ObserveFn inner);
+
+  [[nodiscard]] const AdversaryOptions& options() const { return options_; }
+  [[nodiscard]] const AdversaryStats& stats() const { return stats_; }
+
+  // Transactional stats restore for the durability layer (see
+  // FaultPlan::restore_stats).
+  void restore_stats(const AdversaryStats& stats) { stats_ = stats; }
 
  private:
-  std::shared_ptr<const text::Embedder> inner_;
-  FaultPlan* plan_;
+  [[nodiscard]] double decision(std::uint64_t kind, std::uint64_t step,
+                                std::uint64_t task, std::uint64_t user) const;
+
+  AdversaryOptions options_;
+  std::uint64_t step_ = 0;
+  // Mutated by the const-callable wrapper; all mutation happens on the
+  // serial ingestion path (same contract as FaultStats).
+  mutable AdversaryStats stats_;
 };
 
 }  // namespace eta2::fault

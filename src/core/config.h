@@ -8,6 +8,7 @@
 
 #include "truth/eta2_mle.h"
 #include "truth/sharding.h"
+#include "truth/trust.h"
 
 namespace eta2::core {
 
@@ -70,6 +71,15 @@ struct Eta2Config {
   // monolithic stage implementations (results are bit-identical under
   // kExact either way; this exists for A/B benchmarking and triage).
   bool sharded_step = true;
+
+  // --- adversarial defenses (DESIGN.md §14) ---
+  // Trust ledger + defended Eq. 5/6 estimation. The default tier is
+  // DefenseTier::kOff: no ledger exists and every transcript/save blob is
+  // byte-identical to a defense-free build. kTrimmedV1 enables quarantine
+  // filtering, per-task residual trims, influence-capped trust-weighted
+  // sweeps, trust-discounted allocation, and the agreement-graph collusion
+  // detector (see truth/trust.h).
+  truth::TrustOptions trust;
 
   // --- cooperative step cancellation (DESIGN.md §13) ---
   // Invoked at the step pipeline's cancellation points: step entry, after

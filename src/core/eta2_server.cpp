@@ -32,6 +32,7 @@ Eta2Server::Eta2Server(std::size_t user_count, Eta2Config config,
   warmup_truth_ =
       make_truth_updater(config_.resolved_warmup_truth_updater(), config_);
   truth_updater_ = make_truth_updater(config_.resolved_truth_updater(), config_);
+  if (config_.trust.active()) trust_.emplace(user_count, config_.trust);
 }
 
 std::vector<std::size_t> Eta2Server::top_experts(truth::DomainIndex domain,
@@ -50,6 +51,9 @@ void Eta2Server::save(std::ostream& out) const {
   // Optional trailer: the catch-all domain, only present once an identifier
   // failure created it — a clean server's snapshot stays byte-identical v1.
   if (unknown_domain_) out << "unknown-domain " << *unknown_domain_ << '\n';
+  // Optional trailer: the trust ledger, only present when defenses are on —
+  // a kOff server's snapshot stays byte-identical v1.
+  if (trust_) trust_->save(out);
 }
 
 Eta2Server Eta2Server::load(std::istream& in, Eta2Config config,
@@ -70,15 +74,31 @@ Eta2Server Eta2Server::load(std::istream& in, Eta2Config config,
   server.store_ = std::move(store);
   server.described_->load(in);
   server.known_label_.load(in);
+  // Optional trailers, each at most once, in write order. A blob saved by
+  // an older (or defense-free) build simply has fewer of them; loading it
+  // with defenses on starts a fresh ledger.
   std::string trailer;
-  if (in >> trailer) {
-    require(trailer == "unknown-domain",
-            "Eta2Server::load: unexpected trailer");
-    std::size_t idx = 0;
-    require(static_cast<bool>(in >> idx) &&
-                idx < server.store_.domain_count(),
-            "Eta2Server::load: bad unknown-domain index");
-    server.unknown_domain_ = idx;
+  while (in >> trailer) {
+    if (trailer == "unknown-domain") {
+      std::size_t idx = 0;
+      require(static_cast<bool>(in >> idx) &&
+                  idx < server.store_.domain_count(),
+              "Eta2Server::load: bad unknown-domain index");
+      server.unknown_domain_ = idx;
+    } else if (trailer == "trust-ledger") {
+      require(server.trust_.has_value(),
+              "Eta2Server::load: trust-ledger trailer without defenses on");
+      std::string version;
+      require(static_cast<bool>(in >> version) && version == "v1",
+              "Eta2Server::load: bad trust-ledger version");
+      truth::TrustLedger ledger =
+          truth::TrustLedger::load_body(in, server.config_.trust);
+      require(ledger.user_count() == server.store_.user_count(),
+              "Eta2Server::load: trust-ledger user count mismatch");
+      server.trust_ = std::move(ledger);
+    } else {
+      require(false, "Eta2Server::load: unexpected trailer");
+    }
   }
   return server;
 }
@@ -168,6 +188,10 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
   }
   problem.user_capacity.assign(user_capacity.begin(), user_capacity.end());
   store_.fill_task_expertise(ctx.task_domains, problem.expertise);
+  // Trust-discounted allocation (DESIGN.md §14): low-trust and quarantined
+  // identities see their expertise plane scaled down before any strategy
+  // runs, so attackers cannot capture budget while under suspicion.
+  if (trust_) trust_->discount_expertise(problem.expertise);
 
   // --- Modules 3 + 2 through the configured stage pair. ---
   result.warmup = !warmed_up_;
@@ -182,7 +206,11 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
     collect_observations(ctx.allocation, safe, ctx.observations);
   }
   cancellation_point();
-  update_with_fallback(update, ctx);
+  if (trust_) {
+    defended_update(update, ctx);
+  } else {
+    update_with_fallback(update, ctx);
+  }
   warmed_up_ = true;
 
   result.task_domains = std::move(ctx.task_domains);
@@ -194,6 +222,49 @@ Eta2Server::StepResult Eta2Server::step(std::span<const NewTask> tasks,
   result.cost = result.allocation.total_cost();
   result.health = ctx.health;
   return result;
+}
+
+void Eta2Server::defended_update(TruthUpdater& update, StepContext& ctx) {
+  // kTrimmedV1 pre-estimation filter: quarantined users' reports dropped,
+  // largest residuals trimmed per task. The raw set is kept aside — the
+  // post-commit scoring pass runs on it, so filtered users keep being
+  // scored (that is what re-earns admission or confirms the verdict).
+  const truth::ObservationSet raw = ctx.observations;
+  truth::TrustFilterResult filtered = trust_->filter(
+      raw, ctx.task_domains, store_.snapshot(), mle_);
+  ctx.health.dropped_quarantined = filtered.dropped_quarantined;
+  ctx.health.trimmed_observations = filtered.trimmed_observations;
+  ctx.observations = std::move(filtered.data);
+
+  if (!warmed_up_) {
+    // Warm-up bootstraps from the filtered data through the normal joint
+    // MLE (the ledger has no evidence yet — everyone's trust is 1).
+    update_with_fallback(update, ctx);
+  } else {
+    // Steady state: the trusted monolithic sweep (influence caps +
+    // trust weights) replaces the configured updater. Falls back exactly
+    // like update_with_fallback on numerical failure.
+    try {
+      const truth::DynamicUpdateResult result = trust_->trusted_dynamic_update(
+          store_, ctx.observations, ctx.task_domains, config_.alpha, mle_);
+      ctx.truth = result.mu;
+      ctx.sigma = result.sigma;
+      ctx.mle_iterations = result.iterations;
+    } catch (const NumericalError&) {
+      truth_fallback(ctx);
+    }
+  }
+
+  // Post-commit scoring on the raw observations against the committed
+  // truth: residual EWMAs, agreement graph, quarantines, re-admissions.
+  const truth::TrustStepReport report = trust_->end_step(
+      raw, ctx.task_domains, ctx.truth, ctx.sigma, store_);
+  ctx.health.suspected_users = report.suspected_users;
+  ctx.health.quarantined_users = report.quarantined_users;
+  ctx.health.readmitted_users = report.readmitted_users;
+  ctx.health.flagged_cliques = report.flagged_cliques;
+  ctx.health.trust_histogram.assign(report.trust_histogram.begin(),
+                                    report.trust_histogram.end());
 }
 
 }  // namespace eta2::core

@@ -28,6 +28,7 @@
 #include "core/stages.h"
 #include "core/step_context.h"
 #include "truth/expertise_store.h"
+#include "truth/trust.h"
 
 namespace eta2::core {
 
@@ -86,6 +87,13 @@ class Eta2Server {
     return known_label_.dense_of_external(external);
   }
 
+  // The trust ledger (DESIGN.md §14), present iff the config enables a
+  // DefenseTier other than kOff. Null on a defense-free server — which is
+  // what keeps kOff transcripts and save blobs byte-identical.
+  [[nodiscard]] const truth::TrustLedger* trust_ledger() const {
+    return trust_ ? &*trust_ : nullptr;
+  }
+
   // The catch-all domain described tasks fall back to when the configured
   // identifier fails (embedder outage, clustering error). Created lazily on
   // the first failure; empty on a healthy server.
@@ -109,6 +117,10 @@ class Eta2Server {
       std::shared_ptr<const text::Embedder> embedder);
 
  private:
+  // The kTrimmedV1 step tail: filter observations, run the trusted (or
+  // warm-up) truth update, then score the raw observations into the ledger.
+  void defended_update(TruthUpdater& update, StepContext& ctx);
+
   Eta2Config config_;
   std::shared_ptr<const text::Embedder> embedder_;
   truth::Eta2Mle mle_;
@@ -123,6 +135,9 @@ class Eta2Server {
   std::unique_ptr<TruthUpdater> warmup_truth_;
   std::unique_ptr<TruthUpdater> truth_updater_;
   bool warmed_up_ = false;
+  // Adversarial-defense state (only when config_.trust.tier != kOff);
+  // persisted as a "trust-ledger" trailer after the v1 block.
+  std::optional<truth::TrustLedger> trust_;
   // Lazily-created catch-all domain for identifier failures (persisted as
   // an optional trailer after the v1 block, so clean servers keep emitting
   // byte-identical v1 snapshots).

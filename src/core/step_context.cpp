@@ -31,6 +31,20 @@ void StepHealth::merge(const StepHealth& other) {
   greedy_selections += other.greedy_selections;
   greedy_gain_evaluations += other.greedy_gain_evaluations;
   greedy_heap_pops += other.greedy_heap_pops;
+  // Suspected/quarantined are per-step censuses, not event counts — the
+  // aggregate keeps the worst step's view; events accumulate.
+  suspected_users = std::max(suspected_users, other.suspected_users);
+  quarantined_users = std::max(quarantined_users, other.quarantined_users);
+  readmitted_users += other.readmitted_users;
+  flagged_cliques += other.flagged_cliques;
+  dropped_quarantined += other.dropped_quarantined;
+  trimmed_observations += other.trimmed_observations;
+  if (trust_histogram.size() < other.trust_histogram.size()) {
+    trust_histogram.resize(other.trust_histogram.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.trust_histogram.size(); ++b) {
+    trust_histogram[b] += other.trust_histogram[b];
+  }
 }
 
 CollectFn sanitizing_collect(const CollectFn& inner, double abs_limit,

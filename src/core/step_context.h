@@ -98,6 +98,22 @@ struct StepHealth {
   std::size_t greedy_gain_evaluations = 0;
   std::size_t greedy_heap_pops = 0;
 
+  // --- adversarial-defense observability (DESIGN.md §14) ---
+  // Written only when a trust ledger is active (DefenseTier != kOff); a
+  // defense-free run leaves all of these at zero and the histogram empty,
+  // which is what keeps the v2 extra block byte-identical (the durable
+  // layer serializes them as an optional trailer). None feed degraded():
+  // quarantining an attacker is the system working, not degrading.
+  std::size_t suspected_users = 0;      // trust below suspect threshold
+  std::size_t quarantined_users = 0;    // in quarantine after this step
+  std::size_t readmitted_users = 0;     // re-admitted on probation this step
+  std::size_t flagged_cliques = 0;      // agreement components quarantined
+  std::size_t dropped_quarantined = 0;  // reports dropped by the filter
+  std::size_t trimmed_observations = 0; // reports trimmed per-task
+  // Post-step trust census: bucket b counts users with trust in
+  // [b/8, (b+1)/8). Empty when no ledger is active.
+  std::vector<std::size_t> trust_histogram;
+
   // True when any degraded mode engaged this step.
   [[nodiscard]] bool degraded() const {
     return rejected_nonfinite > 0 || rejected_out_of_range > 0 ||

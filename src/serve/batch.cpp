@@ -36,6 +36,7 @@ std::string serialize_batch(const IngestBatch& batch) {
   std::ostringstream out;
   out << "eta2-batch v1\n";
   out << "priority " << batch.priority << "\n";
+  if (batch.source.has_value()) out << "source " << *batch.source << "\n";
   out << "capacities " << batch.user_capacity.size();
   for (const double v : batch.user_capacity) out << " " << double_bits(v);
   out << "\ntasks " << batch.tasks.size() << "\n";
@@ -68,7 +69,16 @@ IngestBatch parse_batch(std::string_view payload) {
   IngestBatch batch;
   expect_key(in, "priority");
   if (!(in >> batch.priority)) bad_batch("priority");
-  expect_key(in, "capacities");
+  // Optional "source" line between priority and capacities.
+  std::string key;
+  if (!(in >> key)) bad_batch("capacities");
+  if (key == "source") {
+    std::size_t source = 0;
+    if (!(in >> source)) bad_batch("source");
+    batch.source = source;
+    if (!(in >> key)) bad_batch("capacities");
+  }
+  if (key != "capacities") bad_batch("capacities");
   std::size_t capacity_count = 0;
   if (!(in >> capacity_count)) bad_batch("capacity count");
   check_count(capacity_count, 2, payload.size(), "capacity count");  // " 0"

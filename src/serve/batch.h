@@ -10,6 +10,7 @@
 #define ETA2_SERVE_BATCH_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,13 @@ struct IngestBatch {
   // Shed tier: under queue pressure, batches with priority below the
   // configured threshold are shed first. Higher = more important.
   int priority = 1;
+  // Optional submitting identity (a user id): when set, the service checks
+  // it against the trust ledger's quarantine list and demotes the batch's
+  // priority below the shed threshold — quarantined sources lose their
+  // fast lane but are not silently dropped. Serialized as an optional
+  // "source N" line, so batches without one keep byte-identical v1 wire
+  // form.
+  std::optional<std::size_t> source;
   // The step's tasks (descriptions or known-domain labels, processing
   // times, costs) — exactly what Eta2Server::step receives.
   std::vector<core::NewTask> tasks;

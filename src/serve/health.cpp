@@ -41,6 +41,7 @@ ServeHealthSnapshot ServeHealth::snapshot() const {
   s.rejected_overloaded = overloaded_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
   s.malformed = malformed_.load(std::memory_order_relaxed);
+  s.trust_demoted = trust_demoted_.load(std::memory_order_relaxed);
   s.steps_committed = steps_committed_.load(std::memory_order_relaxed);
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
   s.retried = retried_.load(std::memory_order_relaxed);
@@ -90,6 +91,7 @@ std::string health_json(const ServeHealthSnapshot& s) {
   out << ",\"rejected_overloaded\":" << s.rejected_overloaded;
   out << ",\"shed\":" << s.shed;
   out << ",\"malformed\":" << s.malformed;
+  out << ",\"trust_demoted\":" << s.trust_demoted;
   out << ",\"steps_committed\":" << s.steps_committed;
   out << ",\"timed_out\":" << s.timed_out;
   out << ",\"retried\":" << s.retried;

@@ -27,6 +27,10 @@ struct ServeHealthSnapshot {
   std::uint64_t rejected_overloaded = 0;  // typed OVERLOADED rejection
   std::uint64_t shed = 0;              // low-priority, shed under pressure
   std::uint64_t malformed = 0;         // unparseable request -> kError
+  // Batches whose source user is quarantined by the trust ledger and whose
+  // priority was therefore demoted below the shed threshold (DESIGN.md
+  // §14): under pressure, attacker traffic is the first to go.
+  std::uint64_t trust_demoted = 0;
   // --- step loop ---
   std::uint64_t steps_committed = 0;
   std::uint64_t timed_out = 0;     // deadline breach -> cancelled + quarantine
@@ -62,6 +66,9 @@ class ServeHealth {
   void count_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
   void count_malformed() {
     malformed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_trust_demoted() {
+    trust_demoted_.fetch_add(1, std::memory_order_relaxed);
   }
   void count_step_committed() {
     steps_committed_.fetch_add(1, std::memory_order_relaxed);
@@ -109,6 +116,7 @@ class ServeHealth {
   std::atomic<std::uint64_t> overloaded_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> trust_demoted_{0};
   std::atomic<std::uint64_t> steps_committed_{0};
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> retried_{0};

@@ -9,6 +9,8 @@
 
 #include "common/error.h"
 #include "io/snapshot.h"
+#include "text/faulty_embedder.h"
+#include "truth/trust.h"
 
 namespace eta2::serve {
 namespace {
@@ -54,7 +56,9 @@ Eta2Service::Eta2Service(Options options)
   };
 
   std::shared_ptr<const text::Embedder> embedder = options_.embedder;
-  if (plan_ && embedder != nullptr) embedder = plan_->wrap_embedder(embedder);
+  if (plan_ && embedder != nullptr) {
+    embedder = text::wrap_embedder(embedder, &*plan_);
+  }
 
   core::DurableOptions durable = options_.durable;
   durable.dir = options_.dir;
@@ -113,6 +117,12 @@ Eta2Service::Eta2Service(Options options)
   runner_ = std::make_unique<core::DurableRunner>(
       options_.user_count, options_.config, std::move(embedder),
       options_.seed, std::move(durable), std::move(callbacks));
+  {
+    // Quarantine state persists in the campaign snapshot, so a recovered
+    // service demotes known-bad sources from its very first ingest.
+    const std::lock_guard<std::mutex> lock(runner_mutex_);
+    refresh_trust_flags();
+  }
 
   // Open the ingest WAL and re-feed every journaled batch the campaign has
   // not consumed yet (crash between ack and step, or graceful stop with a
@@ -172,9 +182,25 @@ Eta2Service::IngestResult Eta2Service::ingest(IngestBatch batch) {
       require(o.user < options_.user_count, "serve: observation user index");
       require(o.task < batch.tasks.size(), "serve: observation task index");
     }
+    require(!batch.source.has_value() || *batch.source < options_.user_count,
+            "serve: batch source user index");
   } catch (const std::invalid_argument&) {
     health_.count_malformed();
     throw;
+  }
+  // Per-source trust priority: a batch from a quarantined source is
+  // demoted below the shed threshold before admission, so under pressure
+  // attacker traffic is the first to be shed while honest sources keep the
+  // remaining capacity. The demoted priority is what gets journaled —
+  // recovery replays the same decision.
+  if (batch.source.has_value()) {
+    const std::lock_guard<std::mutex> tlock(trust_mutex_);
+    if (*batch.source < trust_quarantined_.size() &&
+        trust_quarantined_[*batch.source] != 0 &&
+        batch.priority >= options_.admission.shed_priority_threshold) {
+      batch.priority = options_.admission.shed_priority_threshold - 1;
+      health_.count_trust_demoted();
+    }
   }
   const std::string payload = serialize_batch(batch);
 
@@ -243,6 +269,14 @@ std::size_t Eta2Service::drain(std::size_t max_steps) {
   return ran;
 }
 
+void Eta2Service::refresh_trust_flags() {
+  const truth::TrustLedger* ledger = runner_->server().trust_ledger();
+  if (ledger == nullptr) return;
+  std::vector<char> flags = ledger->quarantine_flags();
+  const std::lock_guard<std::mutex> lock(trust_mutex_);
+  trust_quarantined_ = std::move(flags);
+}
+
 void Eta2Service::maintain_ingest_log_locked() {
   // Mirrors the runner's own journal policy: rotate at the snapshot
   // boundary, then drop segments wholly below the oldest generation the
@@ -280,6 +314,7 @@ void Eta2Service::run_one(QueuedBatch item) {
     if (outcome.cancelled) health_.count_timed_out();
   } else {
     health_.count_step_committed();
+    refresh_trust_flags();
     auto view = std::make_shared<QueryView>();
     view->steps_completed = runner_->next_step();
     view->warmup = outcome.result.warmup;

@@ -149,6 +149,10 @@ class Eta2Service {
  private:
   void step_loop() ETA2_THREAD_ENTRY;
   void run_one(QueuedBatch item);
+  // Re-publishes the trust ledger's quarantine flags into the admission
+  // cache (no-op when DefenseTier is kOff and no ledger exists). Called at
+  // open and after every committed step.
+  void refresh_trust_flags() ETA2_REQUIRES(runner_mutex_);
   void maintain_ingest_log_locked()
       ETA2_REQUIRES(ingest_mutex_, runner_mutex_);
   [[nodiscard]] TimePoint clock_now() const { return options_.time_source(); }
@@ -176,6 +180,13 @@ class Eta2Service {
 
   std::mutex view_mutex_;
   std::shared_ptr<const QueryView> view_ ETA2_GUARDED_BY(view_mutex_);
+
+  // Per-source trust priority (DESIGN.md §14): the trust ledger's
+  // quarantine flags, snapshotted after each committed step so ingest()
+  // can demote quarantined sources without touching runner_mutex_. Empty
+  // when no ledger is active (DefenseTier::kOff).
+  std::mutex trust_mutex_;
+  std::vector<char> trust_quarantined_ ETA2_GUARDED_BY(trust_mutex_);
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> failed_{false};

@@ -12,6 +12,7 @@
 #include "common/error.h"
 #include "core/eta2_server.h"
 #include "io/snapshot.h"
+#include "text/faulty_embedder.h"
 
 namespace eta2::sim {
 namespace {
@@ -41,7 +42,8 @@ struct Accumulator {
 };
 
 void save_accumulator(std::ostream& out, const Accumulator& acc,
-                      const fault::FaultStats& stats) {
+                      const fault::FaultStats& stats,
+                      const fault::AdversaryStats* adversary) {
   const SimulationResult& r = acc.result;
   out << "eta2-sim-extra v" << kSimExtraVersion << "\n";
   out << "error " << double_bits(acc.error_sum) << " " << acc.error_count
@@ -54,6 +56,15 @@ void save_accumulator(std::ostream& out, const Accumulator& acc,
       << stats.fabricated << " " << stats.no_responses << " " << stats.dropouts
       << " " << stats.batches_dropped << " " << stats.embedder_failures
       << "\n";
+  // Optional line: delivered-attack tallies, written only when an adversary
+  // plan exists — clean and fault-only campaigns keep byte-identical blobs.
+  if (adversary != nullptr) {
+    out << "adversary " << adversary->observations_seen << " "
+        << adversary->clique_reports << " " << adversary->camouflage_honest
+        << " " << adversary->camouflage_poisoned << " "
+        << adversary->drift_reports << " " << adversary->burst_reports << " "
+        << adversary->burst_steps << "\n";
+  }
   out << "health ";
   write_step_health(out, r.health);
   out << "\ndays " << r.days.size() << "\n";
@@ -76,9 +87,11 @@ void save_accumulator(std::ostream& out, const Accumulator& acc,
 }
 
 void load_accumulator(std::istream& in, Accumulator& acc,
-                      fault::FaultStats& stats) {
+                      fault::FaultStats& stats,
+                      fault::AdversaryStats& adversary) {
   acc = Accumulator{};
   stats = fault::FaultStats{};
+  adversary = fault::AdversaryStats{};
   SimulationResult& r = acc.result;
   std::string magic;
   std::string version;
@@ -114,7 +127,19 @@ void load_accumulator(std::istream& in, Accumulator& acc,
         stats.embedder_failures)) {
     bad_extra("fault counters");
   }
-  expect_key(in, "health");
+  // The next key is either the optional "adversary" tallies or "health".
+  std::string key;
+  if (!(in >> key)) bad_extra("health");
+  if (key == "adversary") {
+    if (!(in >> adversary.observations_seen >> adversary.clique_reports >>
+          adversary.camouflage_honest >> adversary.camouflage_poisoned >>
+          adversary.drift_reports >> adversary.burst_reports >>
+          adversary.burst_steps)) {
+      bad_extra("adversary counters");
+    }
+    if (!(in >> key)) bad_extra("health");
+  }
+  if (key != "health") bad_extra("health");
   r.health = read_step_health(in, ver);
   expect_key(in, "days");
   std::size_t day_count = 0;
@@ -169,6 +194,21 @@ void write_step_health(std::ostream& out, const core::StepHealth& h) {
       << h.quarantined_batches << " " << h.shard_count << " "
       << h.sharded_truth_iterations << " " << h.greedy_selections << " "
       << h.greedy_gain_evaluations << " " << h.greedy_heap_pops;
+  // Optional trust-defense trailer (DESIGN.md §14): only written when a
+  // ledger produced counters, so a defense-free campaign's v2 extra block
+  // stays byte-identical to pre-trust builds.
+  const bool has_trust = h.suspected_users > 0 || h.quarantined_users > 0 ||
+                         h.readmitted_users > 0 || h.flagged_cliques > 0 ||
+                         h.dropped_quarantined > 0 ||
+                         h.trimmed_observations > 0 ||
+                         !h.trust_histogram.empty();
+  if (has_trust) {
+    out << " T " << h.suspected_users << " " << h.quarantined_users << " "
+        << h.readmitted_users << " " << h.flagged_cliques << " "
+        << h.dropped_quarantined << " " << h.trimmed_observations << " "
+        << h.trust_histogram.size();
+    for (const std::size_t v : h.trust_histogram) out << " " << v;
+  }
 }
 
 core::StepHealth read_step_health(std::istream& in, int version) {
@@ -193,6 +233,24 @@ core::StepHealth read_step_health(std::istream& in, int version) {
           h.greedy_heap_pops)) {
       bad_extra("shard/greedy counters");
     }
+    // Optional trust-defense trailer, marked "T" (defended campaigns only).
+    in >> std::ws;
+    if (in.peek() == 'T') {
+      char marker = 0;
+      std::size_t histogram_size = 0;
+      if (!(in >> marker >> h.suspected_users >> h.quarantined_users >>
+            h.readmitted_users >> h.flagged_cliques >>
+            h.dropped_quarantined >> h.trimmed_observations >>
+            histogram_size)) {
+        bad_extra("trust counters");
+      }
+      // eta2-lint: allow(unbounded-input-resize) — resume path, see
+      // truth_iteration_log in load_accumulator.
+      h.trust_histogram.resize(histogram_size);
+      for (std::size_t& v : h.trust_histogram) {
+        if (!(in >> v)) bad_extra("trust histogram");
+      }
+    }
   }
   return h;
 }
@@ -215,11 +273,13 @@ SimulationResult simulate_durable(const Dataset& dataset,
             "given");
   }
   std::optional<fault::FaultPlan> plan;
+  std::optional<fault::AdversaryPlan> adversary;
   std::shared_ptr<const text::Embedder> embedder = options.embedder;
   if (options.fault.any()) {
     plan.emplace(options.fault);
-    if (embedder != nullptr) embedder = plan->wrap_embedder(embedder);
+    if (embedder != nullptr) embedder = text::wrap_embedder(embedder, &*plan);
   }
+  if (options.adversary.any()) adversary.emplace(options.adversary);
 
   Accumulator acc;
   // The current step's global task ids — set by the driver loop right
@@ -237,12 +297,14 @@ SimulationResult simulate_durable(const Dataset& dataset,
       plan->begin_step(step);
       (void)plan->drop_batch();
     }
+    if (adversary) adversary->begin_step(step);
     auto observe_rng = std::make_shared<Rng>(runner_ptr->rng().fork(step + 1));
     core::CollectFn collect =
         [&dataset, &current_ids, observe_rng](
             std::size_t local, std::size_t user) -> std::optional<double> {
       return observe(dataset, user, current_ids[local], *observe_rng);
     };
+    if (adversary) collect = adversary->wrap_collect(std::move(collect));
     if (plan) collect = plan->wrap_collect(std::move(collect));
     return collect;
   };
@@ -287,17 +349,19 @@ SimulationResult simulate_durable(const Dataset& dataset,
     acc.result.days.push_back(std::move(metrics));
   };
   callbacks.save_extra = [&](std::ostream& out) {
-    save_accumulator(out, acc,
-                     plan ? plan->stats() : fault::FaultStats{});
+    save_accumulator(out, acc, plan ? plan->stats() : fault::FaultStats{},
+                     adversary ? &adversary->stats() : nullptr);
   };
   callbacks.load_extra = [&](std::istream* in) {
     fault::FaultStats stats;
+    fault::AdversaryStats adversary_stats;
     if (in == nullptr) {
       acc = Accumulator{};
     } else {
-      load_accumulator(*in, acc, stats);
+      load_accumulator(*in, acc, stats, adversary_stats);
     }
     if (plan) plan->restore_stats(stats);
+    if (adversary) adversary->restore_stats(adversary_stats);
   };
 
   core::DurableRunner runner(dataset.user_count(), config, embedder, seed,
@@ -323,6 +387,9 @@ SimulationResult simulate_durable(const Dataset& dataset,
     // recovery re-derives them identically and the runner verifies them
     // against the journaled BEGIN record.
     if (plan) plan->begin_step(day);
+    // No adversary->begin_step here: attacks never change the batch, and
+    // begin_step tallies burst steps — it runs once per execution attempt
+    // inside make_collect (transactional via restore_stats on rollback).
     std::vector<std::size_t> ids = dataset.tasks_of_day(static_cast<int>(day));
     if (plan && plan->batch_dropped()) ids.clear();  // batch lost upstream
     std::vector<core::NewTask> batch;
@@ -348,6 +415,7 @@ SimulationResult simulate_durable(const Dataset& dataset,
 
   SimulationResult result = std::move(acc.result);
   if (plan) result.fault_stats = plan->stats();
+  if (adversary) result.adversary_stats = adversary->stats();
   result.overall_error =
       acc.error_count > 0
           ? acc.error_sum / static_cast<double>(acc.error_count)

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "core/eta2_server.h"
 #include "core/strategy_registry.h"
+#include "text/faulty_embedder.h"
 #include "truth/truth_registry.h"
 
 namespace eta2::sim {
@@ -77,11 +78,15 @@ SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
   // Fault plan (clean runs build none — the wrappers never engage, so the
   // fault-free path is bit-identical to the pre-fault driver).
   std::optional<fault::FaultPlan> plan;
+  // Adversary plan: wraps the honest collect innermost (attacks at the
+  // source), so fault-plan transport faults see the attacked stream.
+  std::optional<fault::AdversaryPlan> adversary;
   std::shared_ptr<const text::Embedder> embedder = options.embedder;
   if (options.fault.any()) {
     plan.emplace(options.fault);
-    if (embedder != nullptr) embedder = plan->wrap_embedder(embedder);
+    if (embedder != nullptr) embedder = text::wrap_embedder(embedder, &*plan);
   }
+  if (options.adversary.any()) adversary.emplace(options.adversary);
   core::Eta2Server server(dataset.user_count(), config, embedder);
 
   std::vector<double> capacities(dataset.user_count(), 0.0);
@@ -96,6 +101,7 @@ SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
   const int days = dataset.day_count();
   for (int day = 0; day < days; ++day) {
     if (plan) plan->begin_step(static_cast<std::uint64_t>(day));
+    if (adversary) adversary->begin_step(static_cast<std::uint64_t>(day));
     std::vector<std::size_t> ids = dataset.tasks_of_day(day);
     if (plan && plan->drop_batch()) ids.clear();  // batch lost upstream
     std::vector<core::NewTask> batch;
@@ -118,6 +124,7 @@ SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
         [&](std::size_t local, std::size_t user) -> std::optional<double> {
       return observe(dataset, user, ids[local], observe_rng);
     };
+    if (adversary) collect = adversary->wrap_collect(std::move(collect));
     if (plan) collect = plan->wrap_collect(std::move(collect));
     const auto step = server.step(batch, capacities, collect, rng);
 
@@ -146,6 +153,7 @@ SimulationResult simulate_eta2(const Dataset& dataset, const MethodSpec& spec,
     result.days.push_back(std::move(metrics));
   }
   if (plan) result.fault_stats = plan->stats();
+  if (adversary) result.adversary_stats = adversary->stats();
   result.overall_error =
       error_count > 0 ? error_sum / static_cast<double>(error_count)
                       : std::numeric_limits<double>::quiet_NaN();
@@ -180,6 +188,8 @@ SimulationResult simulate_baseline(const Dataset& dataset,
 
   std::optional<fault::FaultPlan> plan;
   if (options.fault.any()) plan.emplace(options.fault);
+  std::optional<fault::AdversaryPlan> adversary;
+  if (options.adversary.any()) adversary.emplace(options.adversary);
 
   std::vector<double> capacities(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) capacities[i] = dataset.users[i].capacity;
@@ -188,6 +198,7 @@ SimulationResult simulate_baseline(const Dataset& dataset,
   const int days = dataset.day_count();
   for (int day = 0; day < days; ++day) {
     if (plan) plan->begin_step(static_cast<std::uint64_t>(day));
+    if (adversary) adversary->begin_step(static_cast<std::uint64_t>(day));
     std::vector<std::size_t> ids = dataset.tasks_of_day(day);
     if (plan && plan->drop_batch()) ids.clear();  // batch lost upstream
 
@@ -213,6 +224,7 @@ SimulationResult simulate_baseline(const Dataset& dataset,
         [&](std::size_t local, std::size_t user) -> std::optional<double> {
       return observe(dataset, user, ids[local], observe_rng);
     };
+    if (adversary) collect = adversary->wrap_collect(std::move(collect));
     if (plan) collect = plan->wrap_collect(std::move(collect));
     core::StepHealth day_ledger;
     core::collect_observations(allocation, collect, global, day_ledger,
@@ -242,6 +254,7 @@ SimulationResult simulate_baseline(const Dataset& dataset,
   }
 
   if (plan) result.fault_stats = plan->stats();
+  if (adversary) result.adversary_stats = adversary->stats();
   // Overall error: final estimate over every task (baselines re-estimate
   // old tasks every day, so the last fit is their best).
   std::vector<std::size_t> all_ids(m);

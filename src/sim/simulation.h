@@ -46,6 +46,12 @@ struct SimOptions {
   // fault.response_rate, decided by counter hash instead of the shared
   // observation RNG).
   fault::FaultOptions fault;
+  // Adversarial attacks (common/fault.h): colluding sybil cliques,
+  // camouflage workers, expertise drift, review-bombing bursts. Like
+  // `fault`, an AdversaryPlan is built only when any() is true, and it
+  // wraps the honest collect INNERMOST (attacks happen at the source;
+  // transport faults apply to the already-attacked stream).
+  fault::AdversaryOptions adversary;
   // Cooperative stop request, consulted by simulate_durable between steps
   // (the in-memory simulate() driver ignores it). When it returns true the
   // campaign checkpoints and returns early with stopped_early set — the
@@ -88,6 +94,9 @@ struct SimulationResult {
   core::StepHealth health;
   std::vector<core::StepHealth> day_health;
   fault::FaultStats fault_stats;
+  // The attacks the adversary plan actually delivered (all zeros when no
+  // adversary is configured).
+  fault::AdversaryStats adversary_stats;
   // Durable campaigns only (sim/durable_sim.h); always false/0 for the
   // in-memory simulate() driver.
   bool resumed = false;                  // continued from on-disk state

@@ -1,0 +1,25 @@
+#include "text/faulty_embedder.h"
+
+#include <string>
+
+#include "common/error.h"
+
+namespace eta2::text {
+
+Embedding FaultyEmbedder::embed_word(std::string_view word) const {
+  if (plan_->embedder_down()) {
+    plan_->record_embedder_failure();
+    throw EmbedderError("FaultyEmbedder: injected embedder outage at step " +
+                        std::to_string(plan_->current_step()));
+  }
+  return inner_->embed_word(word);
+}
+
+std::shared_ptr<const Embedder> wrap_embedder(
+    std::shared_ptr<const Embedder> inner, const fault::FaultPlan* plan) {
+  require(inner != nullptr, "text::wrap_embedder: embedder required");
+  require(plan != nullptr, "text::wrap_embedder: plan required");
+  return std::make_shared<FaultyEmbedder>(std::move(inner), plan);
+}
+
+}  // namespace eta2::text

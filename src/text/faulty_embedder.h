@@ -1,0 +1,46 @@
+// Embedder decorator delivering the outages a fault::FaultPlan schedules.
+//
+// The *decision* of whether the embedder is down for a step lives in
+// common/fault.h (counter-hashed, deterministic); this decorator lives in
+// text/ — the layer that owns Embedder — and merely consults the plan,
+// reporting each delivered outage back through
+// FaultPlan::record_embedder_failure(). This keeps the layer DAG clean:
+// common/ no longer includes text/.
+#ifndef ETA2_TEXT_FAULTY_EMBEDDER_H
+#define ETA2_TEXT_FAULTY_EMBEDDER_H
+
+#include <memory>
+#include <string_view>
+
+#include "common/fault.h"
+#include "text/embedder.h"
+
+namespace eta2::text {
+
+// Delegates to `inner` except on steps where the plan declares an embedder
+// outage, in which case every call throws text::EmbedderError (and is
+// counted in FaultStats::embedder_failures).
+class FaultyEmbedder final : public Embedder {
+ public:
+  FaultyEmbedder(std::shared_ptr<const Embedder> inner,
+                 const fault::FaultPlan* plan)
+      : inner_(std::move(inner)), plan_(plan) {}
+
+  [[nodiscard]] std::size_t dimension() const override {
+    return inner_->dimension();
+  }
+  [[nodiscard]] Embedding embed_word(std::string_view word) const override;
+
+ private:
+  std::shared_ptr<const Embedder> inner_;
+  const fault::FaultPlan* plan_;
+};
+
+// Decorates `inner` with `plan`'s embedder outages. The plan must outlive
+// the returned embedder.
+[[nodiscard]] std::shared_ptr<const Embedder> wrap_embedder(
+    std::shared_ptr<const Embedder> inner, const fault::FaultPlan* plan);
+
+}  // namespace eta2::text
+
+#endif  // ETA2_TEXT_FAULTY_EMBEDDER_H

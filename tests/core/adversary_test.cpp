@@ -1,0 +1,345 @@
+// AdversaryPlan (common/fault.h): the attack side of DESIGN.md §14.
+// Decisions are counter hashes of (seed, kind, step, task, user), so every
+// property here is exact — two plans with equal options agree on every
+// decision, a clique's members compute one shared offset, and the tallies
+// reconcile with the decisions that produced them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/fault.h"
+
+namespace eta2::fault {
+namespace {
+
+constexpr std::size_t kUsers = 400;
+constexpr std::size_t kTasks = 16;
+
+ObserveFn honest_collect() {
+  return [](std::size_t task, std::size_t user) -> std::optional<double> {
+    return 10.0 + static_cast<double>(task) +
+           0.01 * static_cast<double>(user);
+  };
+}
+
+TEST(AdversaryPlanTest, ValidatesOptions) {
+  AdversaryOptions bad;
+  bad.sybil_fraction = 1.5;
+  EXPECT_THROW(AdversaryPlan{bad}, std::invalid_argument);
+  bad = {};
+  bad.clique_count = 0;
+  bad.sybil_fraction = 0.1;
+  EXPECT_THROW(AdversaryPlan{bad}, std::invalid_argument);
+  bad = {};
+  bad.clique_offset_lo = 5.0;
+  bad.clique_offset_hi = 2.0;
+  EXPECT_THROW(AdversaryPlan{bad}, std::invalid_argument);
+  bad = {};
+  bad.burst_participation = -0.1;
+  EXPECT_THROW(AdversaryPlan{bad}, std::invalid_argument);
+}
+
+TEST(AdversaryPlanTest, AnyIsFalseOnlyForNoAttacks) {
+  AdversaryOptions options;
+  EXPECT_FALSE(options.any());
+  options.sybil_fraction = 0.1;
+  EXPECT_TRUE(options.any());
+  options = {};
+  options.burst_step_rate = 0.2;
+  EXPECT_TRUE(options.any());
+}
+
+TEST(AdversaryPlanTest, DecisionsAreDeterministicAcrossInstances) {
+  AdversaryOptions options;
+  options.seed = 99;
+  options.sybil_fraction = 0.2;
+  options.clique_count = 3;
+  options.camouflage_fraction = 0.15;
+  options.drift_fraction = 0.1;
+  options.burst_step_rate = 0.3;
+  AdversaryPlan a(options);
+  AdversaryPlan b(options);
+  for (std::uint64_t step = 0; step < 6; ++step) {
+    a.begin_step(step);
+    b.begin_step(step);
+    EXPECT_EQ(a.burst_step(), b.burst_step());
+    for (std::size_t user = 0; user < kUsers; ++user) {
+      ASSERT_EQ(a.user_sybil(user), b.user_sybil(user));
+      ASSERT_EQ(a.user_camouflage(user), b.user_camouflage(user));
+      ASSERT_EQ(a.user_drifts(user), b.user_drifts(user));
+      ASSERT_EQ(a.burst_participant(user), b.burst_participant(user));
+      if (a.user_sybil(user)) {
+        ASSERT_EQ(a.clique_of(user), b.clique_of(user));
+      }
+    }
+  }
+}
+
+TEST(AdversaryPlanTest, WrappedValuesAreIndependentOfCallOrder) {
+  AdversaryOptions options;
+  options.seed = 7;
+  options.sybil_fraction = 0.25;
+  options.camouflage_fraction = 0.2;
+  options.drift_fraction = 0.2;
+  options.burst_step_rate = 0.5;
+  AdversaryPlan forward(options);
+  AdversaryPlan backward(options);
+  ObserveFn f = forward.wrap_collect(honest_collect());
+  ObserveFn b = backward.wrap_collect(honest_collect());
+
+  forward.begin_step(3);
+  backward.begin_step(3);
+  std::map<std::pair<std::size_t, std::size_t>, double> forward_values;
+  for (std::size_t task = 0; task < kTasks; ++task) {
+    for (std::size_t user = 0; user < 50; ++user) {
+      forward_values[{task, user}] = *f(task, user);
+    }
+  }
+  for (std::size_t task = kTasks; task-- > 0;) {
+    for (std::size_t user = 50; user-- > 0;) {
+      const double expected = forward_values[{task, user}];
+      EXPECT_EQ(*b(task, user), expected)
+          << "task " << task << " user " << user;
+    }
+  }
+}
+
+TEST(AdversaryPlanTest, SybilFractionIsRespectedApproximately) {
+  AdversaryOptions options;
+  options.seed = 5;
+  options.sybil_fraction = 0.3;
+  AdversaryPlan plan(options);
+  std::size_t sybils = 0;
+  for (std::size_t user = 0; user < kUsers; ++user) {
+    if (plan.user_sybil(user)) ++sybils;
+  }
+  const double fraction =
+      static_cast<double>(sybils) / static_cast<double>(kUsers);
+  EXPECT_NEAR(fraction, 0.3, 0.08);
+}
+
+TEST(AdversaryPlanTest, CliqueMembersShareOneOffsetPerTask) {
+  AdversaryOptions options;
+  options.seed = 21;
+  options.sybil_fraction = 0.4;
+  options.clique_count = 3;
+  AdversaryPlan plan(options);
+  // Honest signal without a per-user term, so the delivered values of one
+  // (clique, task) cell must be bit-identical across members.
+  ObserveFn base = [](std::size_t task, std::size_t) -> std::optional<double> {
+    return 10.0 + static_cast<double>(task);
+  };
+  ObserveFn wrapped = plan.wrap_collect(
+      [&base](std::size_t task, std::size_t user) { return base(task, user); });
+
+  plan.begin_step(2);
+  std::map<std::size_t, std::set<int>> clique_signs;
+  std::size_t sybils_seen = 0;
+  for (std::size_t task = 0; task < kTasks; ++task) {
+    for (std::size_t user = 0; user < kUsers; ++user) {
+      if (!plan.user_sybil(user)) {
+        EXPECT_EQ(*wrapped(task, user), *base(task, user));
+        continue;
+      }
+      ++sybils_seen;
+      const std::size_t clique = plan.clique_of(user);
+      ASSERT_LT(clique, options.clique_count);
+      const double offset = plan.clique_offset(clique, task);
+      EXPECT_EQ(*wrapped(task, user), *base(task, user) + offset)
+          << "clique " << clique << " task " << task << " user " << user
+          << " deviated from the coordinated value";
+      clique_signs[clique].insert(offset > 0.0 ? 1 : -1);
+      EXPECT_GE(std::abs(offset), options.clique_offset_lo);
+      EXPECT_LE(std::abs(offset), options.clique_offset_hi);
+    }
+  }
+  EXPECT_GT(sybils_seen, 0u);
+  for (const auto& [clique, signs] : clique_signs) {
+    EXPECT_EQ(signs.size(), 1u)
+        << "clique " << clique << " flipped direction";
+  }
+  // The sign persists across steps too.
+  const double before = plan.clique_offset(0, 1);
+  plan.begin_step(5);
+  const double after = plan.clique_offset(0, 1);
+  EXPECT_EQ(before > 0.0, after > 0.0);
+}
+
+TEST(AdversaryPlanTest, CamouflageTurnsAtTheConfiguredStep) {
+  AdversaryOptions options;
+  options.seed = 33;
+  options.camouflage_fraction = 0.5;
+  options.camouflage_after = 2;
+  AdversaryPlan plan(options);
+  ObserveFn wrapped = plan.wrap_collect(honest_collect());
+  ObserveFn honest = honest_collect();
+
+  std::size_t camouflaged = 0;
+  std::vector<double> poisoned_offsets(kUsers, 0.0);
+  for (std::uint64_t step = 0; step < 4; ++step) {
+    plan.begin_step(step);
+    for (std::size_t user = 0; user < kUsers; ++user) {
+      const double offset = *wrapped(3, user) - *honest(3, user);
+      if (!plan.user_camouflage(user)) {
+        EXPECT_EQ(offset, 0.0);
+        continue;
+      }
+      if (step < options.camouflage_after) {
+        EXPECT_EQ(offset, 0.0) << "poisoned during the warm-up act";
+      } else {
+        ++camouflaged;
+        EXPECT_GE(std::abs(offset), options.camouflage_offset_lo);
+        EXPECT_LE(std::abs(offset), options.camouflage_offset_hi);
+        // The per-user offset is persistent: same value every later step.
+        if (poisoned_offsets[user] == 0.0) {
+          poisoned_offsets[user] = offset;
+        } else {
+          EXPECT_EQ(offset, poisoned_offsets[user]);
+        }
+      }
+    }
+  }
+  EXPECT_GT(camouflaged, 0u);
+}
+
+TEST(AdversaryPlanTest, DriftAmplitudeGrowsWithTheStep) {
+  AdversaryOptions options;
+  options.seed = 40;
+  options.drift_fraction = 1.0;
+  options.drift_per_step = 0.5;
+  AdversaryPlan plan(options);
+  ObserveFn wrapped = plan.wrap_collect(honest_collect());
+  ObserveFn honest = honest_collect();
+
+  plan.begin_step(0);
+  EXPECT_EQ(*wrapped(0, 1), *honest(0, 1)) << "drift must start at zero";
+  for (const std::uint64_t step : {2, 8}) {
+    plan.begin_step(step);
+    const double bound =
+        options.drift_per_step * static_cast<double>(step);
+    double max_offset = 0.0;
+    for (std::size_t task = 0; task < kTasks; ++task) {
+      for (std::size_t user = 0; user < 50; ++user) {
+        const double offset =
+            std::abs(*wrapped(task, user) - *honest(task, user));
+        EXPECT_LE(offset, bound);
+        max_offset = std::max(max_offset, offset);
+      }
+    }
+    EXPECT_GT(max_offset, 0.5 * bound)
+        << "drift noise never came near its amplitude at step " << step;
+  }
+}
+
+TEST(AdversaryPlanTest, BurstBotSetIsFixedAcrossSteps) {
+  AdversaryOptions options;
+  options.seed = 51;
+  options.burst_step_rate = 0.5;
+  AdversaryPlan plan(options);
+  std::vector<bool> bots(kUsers);
+  plan.begin_step(0);
+  for (std::size_t user = 0; user < kUsers; ++user) {
+    bots[user] = plan.burst_participant(user);
+  }
+  for (const std::uint64_t step : {1, 4, 9}) {
+    plan.begin_step(step);
+    for (std::size_t user = 0; user < kUsers; ++user) {
+      ASSERT_EQ(plan.burst_participant(user), bots[user])
+          << "bot set changed at step " << step;
+    }
+  }
+}
+
+TEST(AdversaryPlanTest, BurstShiftsShareStepSignAndBounds) {
+  AdversaryOptions options;
+  options.seed = 52;
+  options.burst_step_rate = 1.0;  // every step is a bomb step
+  options.burst_participation = 0.5;
+  AdversaryPlan plan(options);
+  ObserveFn wrapped = plan.wrap_collect(honest_collect());
+  ObserveFn honest = honest_collect();
+
+  plan.begin_step(1);
+  ASSERT_TRUE(plan.burst_step());
+  std::set<int> signs;
+  for (std::size_t task = 0; task < kTasks; ++task) {
+    for (std::size_t user = 0; user < kUsers; ++user) {
+      const double offset = *wrapped(task, user) - *honest(task, user);
+      if (!plan.burst_participant(user)) {
+        EXPECT_EQ(offset, 0.0);
+        continue;
+      }
+      EXPECT_GE(std::abs(offset), options.burst_offset_lo);
+      EXPECT_LE(std::abs(offset), options.burst_offset_hi);
+      signs.insert(offset > 0.0 ? 1 : -1);
+    }
+  }
+  EXPECT_EQ(signs.size(), 1u) << "a bomb step must push one direction";
+}
+
+TEST(AdversaryPlanTest, NonResponsesPassThroughUntouched) {
+  AdversaryOptions options;
+  options.seed = 60;
+  options.sybil_fraction = 1.0;
+  AdversaryPlan plan(options);
+  ObserveFn wrapped = plan.wrap_collect(
+      [](std::size_t, std::size_t) -> std::optional<double> {
+        return std::nullopt;
+      });
+  plan.begin_step(0);
+  EXPECT_FALSE(wrapped(0, 0).has_value());
+  EXPECT_EQ(plan.stats().clique_reports, 0u)
+      << "a sybil who never responds delivers nothing";
+}
+
+TEST(AdversaryPlanTest, StatsTallyDeliveredAttacksAndRestore) {
+  AdversaryOptions options;
+  options.seed = 71;
+  options.sybil_fraction = 0.2;
+  options.camouflage_fraction = 0.2;
+  options.camouflage_after = 1;
+  options.burst_step_rate = 1.0;
+  AdversaryPlan plan(options);
+  ObserveFn wrapped = plan.wrap_collect(honest_collect());
+
+  std::uint64_t expected_clique = 0;
+  std::uint64_t expected_honest = 0;
+  std::uint64_t expected_poisoned = 0;
+  std::uint64_t expected_burst = 0;
+  for (std::uint64_t step = 0; step < 2; ++step) {
+    plan.begin_step(step);
+    for (std::size_t user = 0; user < 100; ++user) {
+      (void)*wrapped(0, user);
+      if (plan.user_sybil(user)) {
+        ++expected_clique;
+        continue;  // clique membership preempts the other traits
+      }
+      if (plan.user_camouflage(user)) {
+        ++(step < options.camouflage_after ? expected_honest
+                                           : expected_poisoned);
+      }
+      if (plan.burst_participant(user)) ++expected_burst;
+    }
+  }
+  const AdversaryStats stats = plan.stats();
+  EXPECT_EQ(stats.observations_seen, 200u);
+  EXPECT_EQ(stats.clique_reports, expected_clique);
+  EXPECT_EQ(stats.camouflage_honest, expected_honest);
+  EXPECT_EQ(stats.camouflage_poisoned, expected_poisoned);
+  EXPECT_EQ(stats.burst_reports, expected_burst);
+  EXPECT_EQ(stats.burst_steps, 2u);
+
+  // Transactional restore, same contract as FaultPlan: the durability
+  // layer rolls tallies back before a step retry.
+  plan.restore_stats(AdversaryStats{});
+  EXPECT_EQ(plan.stats().observations_seen, 0u);
+  EXPECT_EQ(plan.stats().burst_steps, 0u);
+}
+
+}  // namespace
+}  // namespace eta2::fault

@@ -22,6 +22,7 @@
 #include "sim/dataset.h"
 #include "sim/simulation.h"
 #include "text/embedder.h"
+#include "text/faulty_embedder.h"
 #include "truth/expertise_store.h"
 
 namespace eta2 {
@@ -145,7 +146,7 @@ TEST(FaultPlanTest, FaultyEmbedderThrowsOnOutageStepsOnly) {
   options.embedder_failure_rate = 0.5;
   fault::FaultPlan plan(options);
   const auto wrapped =
-      plan.wrap_embedder(std::make_shared<text::HashEmbedder>(16));
+      text::wrap_embedder(std::make_shared<text::HashEmbedder>(16), &plan);
   bool saw_up = false;
   bool saw_down = false;
   for (std::uint64_t step = 0; step < 32 && !(saw_up && saw_down); ++step) {
@@ -238,7 +239,7 @@ TEST(ServerDegradationTest, EmbedderOutageRoutesTasksToUnknownDomain) {
   options.embedder_failure_rate = 1.0;  // every step is an outage
   fault::FaultPlan plan(options);
   const auto embedder =
-      plan.wrap_embedder(std::make_shared<text::HashEmbedder>(16));
+      text::wrap_embedder(std::make_shared<text::HashEmbedder>(16), &plan);
 
   const std::size_t users = 6;
   core::Eta2Server server(users, core::Eta2Config{}, embedder);

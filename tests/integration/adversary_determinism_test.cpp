@@ -1,0 +1,187 @@
+// Attacked runs must be exactly as reproducible as clean ones, with the
+// defenses off AND on: AdversaryPlan decisions are counter-based hashes and
+// every TrustLedger update happens on the serial post-commit path, so an
+// adversarial simulation is bit-identical at any thread count, and a
+// defended durable campaign that dies mid-quarantine resumes into the same
+// verdicts — quarantine, probation and re-admission included.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "io/snapshot.h"
+#include "sim/dataset.h"
+#include "sim/durable_sim.h"
+#include "sim/simulation.h"
+#include "truth/trust.h"
+
+namespace eta2 {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << what << ": attacked run differs bitwise";
+  }
+}
+
+template <typename Compute>
+void check_determinism(Compute&& compute, const char* what) {
+  std::vector<double> reference;
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::set_thread_count(threads);
+    std::vector<double> signature = compute();
+    parallel::set_thread_count(0);
+    if (threads == 1) {
+      reference = std::move(signature);
+    } else {
+      expect_bitwise_equal(reference, signature, what);
+    }
+  }
+}
+
+// Flattens everything an attacked run produced: per-day errors, the health
+// ledger (trust-defense counters and census included), and the
+// delivered-attack tallies. Any nondeterminism in the numeric path, the
+// attack decisions, or the ledger's verdicts shows up here.
+std::vector<double> flatten_run(const sim::SimulationResult& run) {
+  std::vector<double> flat{run.overall_error, run.total_cost};
+  for (const auto& day : run.days) {
+    flat.push_back(day.estimation_error);
+    flat.push_back(day.cost);
+    flat.push_back(static_cast<double>(day.pair_count));
+  }
+  const auto push_health = [&flat](const core::StepHealth& h) {
+    flat.push_back(static_cast<double>(h.pairs_asked));
+    flat.push_back(static_cast<double>(h.observations_accepted));
+    flat.push_back(static_cast<double>(h.rejected_nonfinite));
+    flat.push_back(static_cast<double>(h.silent_pairs));
+    flat.push_back(static_cast<double>(h.quality_unmet_tasks));
+    flat.push_back(h.empty_batch ? 1.0 : 0.0);
+    flat.push_back(static_cast<double>(h.suspected_users));
+    flat.push_back(static_cast<double>(h.quarantined_users));
+    flat.push_back(static_cast<double>(h.readmitted_users));
+    flat.push_back(static_cast<double>(h.flagged_cliques));
+    flat.push_back(static_cast<double>(h.dropped_quarantined));
+    flat.push_back(static_cast<double>(h.trimmed_observations));
+    for (const std::size_t bucket : h.trust_histogram) {
+      flat.push_back(static_cast<double>(bucket));
+    }
+  };
+  push_health(run.health);
+  for (const auto& day : run.day_health) push_health(day);
+  const fault::AdversaryStats& a = run.adversary_stats;
+  for (const std::uint64_t count :
+       {a.observations_seen, a.clique_reports, a.camouflage_honest,
+        a.camouflage_poisoned, a.drift_reports, a.burst_reports,
+        a.burst_steps}) {
+    flat.push_back(static_cast<double>(count));
+  }
+  return flat;
+}
+
+sim::Dataset attacked_dataset(int days = 6) {
+  sim::SyntheticOptions synthetic;
+  synthetic.users = 24;
+  synthetic.tasks = 90;
+  synthetic.domains = 4;
+  synthetic.days = days;
+  return sim::make_synthetic(synthetic, 31);
+}
+
+// Every attack family at once — the worst case for decision-order
+// sensitivity.
+sim::SimOptions attacked_options(truth::DefenseTier tier) {
+  sim::SimOptions options;
+  options.config.trust.tier = tier;
+  options.adversary.seed = 47;
+  options.adversary.sybil_fraction = 0.2;
+  options.adversary.clique_count = 1;
+  options.adversary.camouflage_fraction = 0.1;
+  options.adversary.drift_fraction = 0.1;
+  options.adversary.burst_step_rate = 0.3;
+  return options;
+}
+
+TEST(AdversaryDeterminismTest, AttackedRunBitIdenticalWithDefensesOff) {
+  const sim::Dataset dataset = attacked_dataset();
+  const sim::SimOptions options = attacked_options(truth::DefenseTier::kOff);
+  check_determinism(
+      [&] { return flatten_run(sim::simulate(dataset, "eta2", options, 4)); },
+      "attacked eta2 run, defenses off");
+}
+
+TEST(AdversaryDeterminismTest, AttackedRunBitIdenticalWithDefensesOn) {
+  // Ten days: enough EWMA evidence for the ledger to actually convict
+  // (six days leave every clique below the quarantine weight threshold).
+  const sim::Dataset dataset = attacked_dataset(10);
+  const sim::SimOptions options =
+      attacked_options(truth::DefenseTier::kTrimmedV1);
+  std::vector<double> reference;
+  check_determinism(
+      [&] {
+        const sim::SimulationResult run =
+            sim::simulate(dataset, "eta2", options, 4);
+        // The defense must actually engage, or this is vacuous.
+        EXPECT_GT(run.health.quarantined_users, 0u);
+        return flatten_run(run);
+      },
+      "attacked eta2 run, kTrimmedV1 defenses");
+}
+
+// Simulates a process death at a protocol instant (crash_torture_test
+// covers the real SIGKILL); not one of the runner's retryable types.
+struct SimulatedCrash {};
+
+TEST(AdversaryDeterminismTest, DefendedDurableResumeSpansQuarantineLifecycle) {
+  const std::string dir =
+      (fs::temp_directory_path() / "eta2_adversary_resume_test").string();
+  fs::remove_all(dir);
+  io::set_durable_fsync(false);
+
+  // A long clique campaign: colluders are quarantined early, serve their
+  // sentence, are re-admitted on probation, relapse, and are re-convicted —
+  // the crash lands inside that lifecycle and recovery must replay it.
+  const sim::Dataset dataset = attacked_dataset(10);
+  sim::SimOptions options = attacked_options(truth::DefenseTier::kTrimmedV1);
+  const sim::SimulationResult golden =
+      sim::simulate(dataset, "eta2", options, 4);
+  std::size_t readmitted = 0;
+  for (const auto& day : golden.day_health) readmitted += day.readmitted_users;
+  ASSERT_GT(readmitted, 0u)
+      << "campaign too short to cross quarantine -> re-admission";
+
+  core::DurableOptions durable;
+  durable.dir = dir;
+  durable.snapshot_cadence = 2;
+  int fired = 0;
+  durable.crash_hook = [&](std::string_view point) {
+    if (point == "snapshot-post-rename" && ++fired == 2) {
+      throw SimulatedCrash{};
+    }
+  };
+  EXPECT_THROW(sim::simulate_durable(dataset, "eta2", options, 4, durable),
+               SimulatedCrash);
+
+  durable.crash_hook = nullptr;
+  const sim::SimulationResult resumed =
+      sim::simulate_durable(dataset, "eta2", options, 4, durable);
+  EXPECT_TRUE(resumed.resumed);
+  expect_bitwise_equal(flatten_run(golden), flatten_run(resumed),
+                       "defended durable resume");
+
+  io::set_durable_fsync(true);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace eta2

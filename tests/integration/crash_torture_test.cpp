@@ -44,6 +44,7 @@
 #include "sim/dataset.h"
 #include "sim/durable_sim.h"
 #include "sim/simulation.h"
+#include "truth/trust.h"
 
 namespace eta2 {
 namespace {
@@ -75,6 +76,40 @@ sim::SimOptions torture_sim_options() {
   options.fault.outlier_rate = 0.04;
   options.fault.dropout_rate = 0.15;
   options.fault.empty_batch_rate = 0.1;
+  return options;
+}
+
+// "adv" mode: a campaign under coordinated attack with the kTrimmedV1
+// defenses live, so the SIGKILL schedule lands inside the trust ledger's
+// quarantine -> probation -> re-admission lifecycle and recovery must
+// replay the exact verdicts. Its own dataset shape and lighter transport
+// faults: heavy dropout/corruption dilutes per-user residual evidence
+// below the conviction thresholds, and an attack campaign that never
+// convicts anyone tortures nothing.
+sim::Dataset adv_dataset() {
+  sim::SyntheticOptions synthetic;
+  synthetic.users = 24;
+  synthetic.tasks = 108;
+  synthetic.domains = 4;
+  synthetic.days = 12;
+  return sim::make_synthetic(synthetic, 31);
+}
+
+sim::SimOptions adv_sim_options() {
+  sim::SimOptions options;
+  options.config.observation_abs_limit = 1e5;
+  options.fault.seed = 11;
+  options.fault.nan_rate = 0.02;
+  options.fault.outlier_rate = 0.02;
+  options.fault.dropout_rate = 0.05;
+  options.fault.empty_batch_rate = 0.05;
+  options.config.trust.tier = truth::DefenseTier::kTrimmedV1;
+  options.adversary.seed = 47;
+  options.adversary.sybil_fraction = 0.2;
+  options.adversary.clique_count = 1;
+  options.adversary.camouflage_fraction = 0.1;
+  options.adversary.drift_fraction = 0.1;
+  options.adversary.burst_step_rate = 0.3;
   return options;
 }
 
@@ -117,6 +152,13 @@ std::string signature(const sim::SimulationResult& run) {
     bits.push_back(h.silent_pairs);
     bits.push_back(h.quality_unmet_tasks);
     bits.push_back(h.quarantined_batches);
+    bits.push_back(h.suspected_users);
+    bits.push_back(h.quarantined_users);
+    bits.push_back(h.readmitted_users);
+    bits.push_back(h.flagged_cliques);
+    bits.push_back(h.dropped_quarantined);
+    bits.push_back(h.trimmed_observations);
+    for (const std::size_t v : h.trust_histogram) bits.push_back(v);
   };
   push_health(run.health);
   for (const auto& day : run.day_health) push_health(day);
@@ -125,6 +167,13 @@ std::string signature(const sim::SimulationResult& run) {
        {f.observations_seen, f.nan_injected, f.inf_injected,
         f.outliers_injected, f.fabricated, f.no_responses, f.dropouts,
         f.batches_dropped, f.embedder_failures}) {
+    bits.push_back(v);
+  }
+  const fault::AdversaryStats& a = run.adversary_stats;
+  for (const std::uint64_t v :
+       {a.observations_seen, a.clique_reports, a.camouflage_honest,
+        a.camouflage_poisoned, a.drift_reports, a.burst_reports,
+        a.burst_steps}) {
     bits.push_back(v);
   }
   std::string text = "eta2-torture-sig " + std::to_string(bits.size()) + "\n";
@@ -141,6 +190,17 @@ const std::string& golden_signature() {
         sim::simulate(torture_dataset(), "eta2", torture_sim_options(), 4);
     return signature(run);
   }();
+  return golden;
+}
+
+const sim::SimulationResult& adv_golden_run() {
+  static const sim::SimulationResult run =
+      sim::simulate(adv_dataset(), "eta2", adv_sim_options(), 4);
+  return run;
+}
+
+const std::string& adv_golden_signature() {
+  static const std::string golden = signature(adv_golden_run());
   return golden;
 }
 
@@ -303,20 +363,23 @@ std::string run_until_complete(const std::string& dir, std::string_view point,
 }
 
 void expect_torture_cycle(std::string_view test_tag, std::string_view point,
-                          int base_kill, std::uint64_t thread_salt) {
+                          int base_kill, std::uint64_t thread_salt,
+                          std::string_view mode = "sim") {
   // The tag keeps concurrently running torture tests (ctest -j) out of
   // each other's campaign directories.
   const std::string dir =
       scratch_root() + "/" + std::string(test_tag) + "_" +
       std::string(point) + "_" + std::to_string(base_kill) + "_" +
       std::to_string(thread_salt);
-  const std::string sig = run_until_complete(dir, point, base_kill,
-                                             thread_salt);
+  const std::string sig =
+      run_until_complete(dir, point, base_kill, thread_salt, mode);
   if (sig.empty()) return;  // failure already recorded, dir kept
-  EXPECT_EQ(sig, golden_signature())
+  const std::string& golden =
+      mode == "adv" ? adv_golden_signature() : golden_signature();
+  EXPECT_EQ(sig, golden)
       << point << ": resumed campaign diverged from the uninterrupted run — "
       << "campaign dir kept at " << dir;
-  if (sig == golden_signature()) fs::remove_all(dir);
+  if (sig == golden) fs::remove_all(dir);
 }
 
 void expect_serve_torture_cycle(std::string_view point, int base_kill,
@@ -345,6 +408,32 @@ TEST(CrashTortureTest, ServeCampaignKillPointsRecoverBitIdentical) {
   std::uint64_t salt = 0;
   for (const std::string_view point : kServeKillPoints) {
     expect_serve_torture_cycle(point, 1, salt++);
+    if (::testing::Test::HasFailure()) break;  // keep the failing dir legible
+  }
+}
+
+TEST(CrashTortureTest, AdversarialDefendedCampaignResumesBitIdentical) {
+  // First prove the campaign actually crosses the full trust lifecycle —
+  // otherwise the kills cannot land inside it and the test is vacuous.
+  const sim::SimulationResult& golden = adv_golden_run();
+  std::size_t quarantined = 0;
+  std::size_t readmitted = 0;
+  for (const auto& day : golden.day_health) {
+    quarantined += day.quarantined_users;
+    readmitted += day.readmitted_users;
+  }
+  ASSERT_GT(quarantined, 0u) << "attack never convicted anyone";
+  ASSERT_GT(readmitted, 0u) << "campaign never re-admitted a quarantined user";
+  ASSERT_GT(golden.adversary_stats.clique_reports, 0u);
+
+  // A subset of the kill points: the journal instants and both sides of
+  // the snapshot rename cover every distinct recovery path; the full
+  // matrix already runs attack-free above.
+  constexpr std::string_view kAdvPoints[] = {
+      "journal-append-mid", "snapshot-pre-rename", "snapshot-post-rename"};
+  std::uint64_t salt = 0;
+  for (const std::string_view point : kAdvPoints) {
+    expect_torture_cycle("adv", point, 1, salt++, "adv");
     if (::testing::Test::HasFailure()) break;  // keep the failing dir legible
   }
 }
@@ -425,8 +514,10 @@ int torture_child_main(int argc, char** argv) {
     }
     core::DurableOptions durable = torture_durable_options(dir);
     durable.crash_hook = crash_hook;
+    const bool adv = mode == "adv";
     const sim::SimulationResult run = sim::simulate_durable(
-        torture_dataset(), "eta2", torture_sim_options(), 4, durable);
+        adv ? adv_dataset() : torture_dataset(), "eta2",
+        adv ? adv_sim_options() : torture_sim_options(), 4, durable);
     io::atomic_write_file(dir + "/result.sig", signature(run));
     return 0;
   } catch (const std::exception& e) {

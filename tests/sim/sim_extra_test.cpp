@@ -34,6 +34,20 @@ core::StepHealth sample_health() {
   return h;
 }
 
+// sample_health() plus the optional trust-defense trailer a defended
+// campaign (DefenseTier != kOff) writes.
+core::StepHealth defended_health() {
+  core::StepHealth h = sample_health();
+  h.suspected_users = 7;
+  h.quarantined_users = 3;
+  h.readmitted_users = 1;
+  h.flagged_cliques = 2;
+  h.dropped_quarantined = 14;
+  h.trimmed_observations = 9;
+  h.trust_histogram = {1, 0, 2, 0, 0, 0, 3, 18};
+  return h;
+}
+
 void expect_equal(const core::StepHealth& a, const core::StepHealth& b) {
   EXPECT_EQ(a.pairs_asked, b.pairs_asked);
   EXPECT_EQ(a.observations_accepted, b.observations_accepted);
@@ -51,6 +65,13 @@ void expect_equal(const core::StepHealth& a, const core::StepHealth& b) {
   EXPECT_EQ(a.greedy_selections, b.greedy_selections);
   EXPECT_EQ(a.greedy_gain_evaluations, b.greedy_gain_evaluations);
   EXPECT_EQ(a.greedy_heap_pops, b.greedy_heap_pops);
+  EXPECT_EQ(a.suspected_users, b.suspected_users);
+  EXPECT_EQ(a.quarantined_users, b.quarantined_users);
+  EXPECT_EQ(a.readmitted_users, b.readmitted_users);
+  EXPECT_EQ(a.flagged_cliques, b.flagged_cliques);
+  EXPECT_EQ(a.dropped_quarantined, b.dropped_quarantined);
+  EXPECT_EQ(a.trimmed_observations, b.trimmed_observations);
+  EXPECT_EQ(a.trust_histogram, b.trust_histogram);
 }
 
 TEST(SimExtraTest, StepHealthV2RoundTripsEveryCounter) {
@@ -99,12 +120,52 @@ TEST(SimExtraTest, V1ParserStopsBeforeTrailingData) {
   EXPECT_EQ(next, "next-key");
 }
 
+TEST(SimExtraTest, DefenseFreeHealthWritesNoTrustTrailer) {
+  // The kOff byte-identity contract: a health block with all trust
+  // counters at zero must serialize to EXACTLY the pre-trust v2 bytes —
+  // the extra block feeds snapshot digests, so a defense-free campaign's
+  // checkpoints cannot change when the trust code ships.
+  std::ostringstream out;
+  write_step_health(out, sample_health());
+  EXPECT_EQ(out.str(), "120 111 3 2 4 1 5 1 6 1 1 4 250 48 910 333");
+}
+
+TEST(SimExtraTest, DefendedHealthRoundTripsTrustTrailer) {
+  const core::StepHealth h = defended_health();
+  std::ostringstream out;
+  write_step_health(out, h);
+  EXPECT_NE(out.str().find(" T "), std::string::npos);
+  std::istringstream in(out.str());
+  expect_equal(read_step_health(in, kSimExtraVersion), h);
+  // Byte-stable, same as the defense-free block.
+  std::istringstream again(out.str());
+  const core::StepHealth reread = read_step_health(again, kSimExtraVersion);
+  std::ostringstream second;
+  write_step_health(second, reread);
+  EXPECT_EQ(second.str(), out.str());
+}
+
+TEST(SimExtraTest, V2ParserWithoutTrailerStopsBeforeTrailingData) {
+  // The trust trailer is detected by peeking for 'T'; a trailer-free block
+  // followed by another accumulator key must leave that key unread.
+  std::istringstream in(
+      "120 111 3 2 4 1 5 1 6 1 1 4 250 48 910 333 next-key");
+  (void)read_step_health(in, kSimExtraVersion);
+  std::string next;
+  ASSERT_TRUE(static_cast<bool>(in >> next));
+  EXPECT_EQ(next, "next-key");
+}
+
 TEST(SimExtraTest, TruncatedHealthBlockThrows) {
   std::istringstream v2_short("120 111 3 2 4 1 5 1 6 1 1 4 250");
   EXPECT_THROW((void)read_step_health(v2_short, 2),
                io::CorruptSnapshotError);
   std::istringstream v1_short("120 111 3");
   EXPECT_THROW((void)read_step_health(v1_short, 1),
+               io::CorruptSnapshotError);
+  std::istringstream trust_short(
+      "120 111 3 2 4 1 5 1 6 1 1 4 250 48 910 333 T 7 3 1");
+  EXPECT_THROW((void)read_step_health(trust_short, 2),
                io::CorruptSnapshotError);
 }
 

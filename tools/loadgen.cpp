@@ -5,6 +5,8 @@
 //           [--tasks=4] [--obs-per-task=3] [--users=20]
 //           [--low-priority-fraction=0.25] [--seed=1]
 //           [--chaos-every=0] [--loris-delay-ms=20] [--loris-chunks=6]
+//           [--adversary=PLAN] [--adversary-seed=47]
+//           [--adversary-step-every=16]
 //           [--io-timeout-ms=5000] [--snapshot-at-end]
 //           [--out=BENCH_serve.json]
 //
@@ -21,6 +23,18 @@
 // stream), and slow-loris writes (a valid frame dripped byte by byte).
 // Chaos connections are tallied separately and excluded from the
 // reconciliation below.
+//
+// Adversary mode (--adversary=PLAN): clean ingest payloads are routed
+// through a fault::AdversaryPlan before serialization, so served traffic
+// carries the same sybil/camouflage/drift/burst payloads the simulation
+// benches use. PLAN is a comma list of kind[:strength] entries — `clique`
+// (sybil fraction), `camouflage`, `drift`, `burst`, or `all` — e.g.
+// --adversary=clique:0.25,camouflage:0.1. Every --adversary-step-every
+// requests advance the plan one attack step (camouflage workers turn,
+// bomb steps fire). Poisoned batches are well-formed wire traffic: the
+// server must accept them like any other ingest, and the reconciliation
+// verdict additionally checks the wrapper touched every generated
+// observation exactly once.
 //
 // Exit status is the no-silent-drops verdict: after the run, the daemon's
 // health ledger must reconcile exactly —
@@ -42,8 +56,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/flags.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "serve/batch.h"
 #include "serve/clock.h"
 #include "serve/socket.h"
@@ -63,6 +79,8 @@ struct Tally {
   std::uint64_t error = 0;
   std::uint64_t no_reply = 0;
   std::uint64_t chaos = 0;
+  std::uint64_t clean_generated = 0;  // batches built (sent or not)
+  eta2::fault::AdversaryStats adversary;
   std::vector<std::uint64_t> latency_us;  // accepted requests only
 };
 
@@ -82,14 +100,69 @@ struct Config {
   std::int64_t loris_delay_ms = 20;
   std::size_t loris_chunks = 6;
   int io_timeout_ms = 5000;
+  eta2::fault::AdversaryOptions adversary;  // any() iff --adversary given
+  std::size_t adversary_step_every = 16;
 };
 
-// Deterministic per-request batch: same seed -> same byte stream.
-IngestBatch make_batch(const Config& config, std::size_t index) {
+// Parses the --adversary PLAN spec: comma-separated kind[:strength].
+// Returns false (with a message on stderr) on an unknown kind or an
+// unparsable strength.
+bool parse_adversary_plan(const std::string& spec,
+                          eta2::fault::AdversaryOptions& options) {
+  for (const std::string& entry : eta2::split(spec, ',')) {
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    const std::string kind = entry.substr(0, colon);
+    double strength = -1.0;
+    if (colon != std::string::npos) {
+      char* end = nullptr;
+      strength = std::strtod(entry.c_str() + colon + 1, &end);
+      if (end == entry.c_str() + colon + 1) {
+        std::fprintf(stderr, "loadgen: bad adversary strength in '%s'\n",
+                     entry.c_str());
+        return false;
+      }
+    }
+    // Defaults per kind when no :strength is given — the same operating
+    // points the adversarial bench sweeps through.
+    if (kind == "clique") {
+      options.sybil_fraction = strength < 0.0 ? 0.2 : strength;
+    } else if (kind == "camouflage" || kind == "camo") {
+      options.camouflage_fraction = strength < 0.0 ? 0.1 : strength;
+    } else if (kind == "drift") {
+      options.drift_fraction = strength < 0.0 ? 0.1 : strength;
+    } else if (kind == "burst") {
+      options.burst_step_rate = strength < 0.0 ? 0.3 : strength;
+    } else if (kind == "all") {
+      const double s = strength < 0.0 ? 0.15 : strength;
+      options.sybil_fraction = s;
+      options.camouflage_fraction = s;
+      options.drift_fraction = s;
+      options.burst_step_rate = s;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown adversary kind '%s' "
+                   "(want clique|camouflage|drift|burst|all)\n",
+                   kind.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Deterministic per-request batch: same seed -> same byte stream. In
+// adversary mode the honest values are routed through a per-request
+// AdversaryPlan positioned at step index / adversary_step_every — a pure
+// function of (adversary seed, step, task, user), so the poisoned stream
+// is just as reproducible as the clean one, at any worker count. The
+// plan's delivered-attack tallies are merged into `stats` when non-null.
+IngestBatch make_batch(const Config& config, std::size_t index,
+                       eta2::fault::AdversaryStats* stats) {
   eta2::Rng rng(config.seed * 0x9e3779b9u + index + 1);
   IngestBatch batch;
   batch.priority =
       rng.bernoulli(config.low_priority_fraction) ? 0 : 1;
+  eta2::fault::AdversaryPlan plan(config.adversary);
+  plan.begin_step(index / config.adversary_step_every);
   for (std::size_t t = 0; t < config.tasks; ++t) {
     eta2::core::NewTask task;
     task.known_domain = static_cast<std::size_t>(rng.uniform_int(0, 3));
@@ -101,9 +174,28 @@ IngestBatch make_batch(const Config& config, std::size_t index) {
       obs.task = t;
       obs.user = static_cast<std::size_t>(rng.uniform_int(
           0, static_cast<std::int64_t>(config.users) - 1));
-      obs.value = rng.normal(10.0, 2.0);
+      const double honest = rng.normal(10.0, 2.0);
+      if (config.adversary.any()) {
+        const auto wrapped = plan.wrap_collect(
+            [honest](std::size_t, std::size_t) -> std::optional<double> {
+              return honest;
+            });
+        obs.value = wrapped(obs.task, obs.user).value_or(honest);
+      } else {
+        obs.value = honest;
+      }
       batch.observations.push_back(obs);
     }
+  }
+  if (stats != nullptr && config.adversary.any()) {
+    const eta2::fault::AdversaryStats& s = plan.stats();
+    stats->observations_seen += s.observations_seen;
+    stats->clique_reports += s.clique_reports;
+    stats->camouflage_honest += s.camouflage_honest;
+    stats->camouflage_poisoned += s.camouflage_poisoned;
+    stats->drift_reports += s.drift_reports;
+    stats->burst_reports += s.burst_reports;
+    stats->burst_steps += s.burst_steps;
   }
   return batch;
 }
@@ -215,6 +307,15 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("loris-chunks", 6));
   config.io_timeout_ms =
       static_cast<int>(flags.get_int("io-timeout-ms", 5000));
+  const std::string adversary_spec = flags.get("adversary", "");
+  if (!adversary_spec.empty()) {
+    config.adversary.seed =
+        static_cast<std::uint64_t>(flags.get_int("adversary-seed", 47));
+    if (!parse_adversary_plan(adversary_spec, config.adversary)) return 2;
+  }
+  config.adversary_step_every = static_cast<std::size_t>(
+      flags.get_int("adversary-step-every", 16));
+  if (config.adversary_step_every == 0) config.adversary_step_every = 1;
 
   const std::vector<std::uint64_t> schedule = make_schedule(config);
   const eta2::serve::TimePoint start = eta2::serve::now();
@@ -242,8 +343,22 @@ int main(int argc, char** argv) {
         continue;
       }
 
+      eta2::fault::AdversaryStats batch_stats;
       const std::string payload =
-          eta2::serve::serialize_batch(make_batch(config, index));
+          eta2::serve::serialize_batch(make_batch(config, index,
+                                                  &batch_stats));
+      {
+        const std::lock_guard<std::mutex> lock(tally_mutex);
+        ++tally.clean_generated;
+        tally.adversary.observations_seen += batch_stats.observations_seen;
+        tally.adversary.clique_reports += batch_stats.clique_reports;
+        tally.adversary.camouflage_honest += batch_stats.camouflage_honest;
+        tally.adversary.camouflage_poisoned +=
+            batch_stats.camouflage_poisoned;
+        tally.adversary.drift_reports += batch_stats.drift_reports;
+        tally.adversary.burst_reports += batch_stats.burst_reports;
+        tally.adversary.burst_steps += batch_stats.burst_steps;
+      }
       const eta2::serve::TimePoint sent = eta2::serve::now();
       std::optional<Message> reply;
       // A reused keep-alive connection may have been idle-timed-out by the
@@ -336,6 +451,21 @@ int main(int argc, char** argv) {
   out << ",\"throughput_rps\":" << throughput;
   out << ",\"latency_p50_us\":" << p50;
   out << ",\"latency_p99_us\":" << p99;
+  if (config.adversary.any()) {
+    out << ",\"adversary\":{";
+    out << "\"plan\":\"" << adversary_spec << "\"";
+    out << ",\"seed\":" << config.adversary.seed;
+    out << ",\"step_every\":" << config.adversary_step_every;
+    out << ",\"observations_seen\":" << tally.adversary.observations_seen;
+    out << ",\"clique_reports\":" << tally.adversary.clique_reports;
+    out << ",\"camouflage_honest\":" << tally.adversary.camouflage_honest;
+    out << ",\"camouflage_poisoned\":"
+        << tally.adversary.camouflage_poisoned;
+    out << ",\"drift_reports\":" << tally.adversary.drift_reports;
+    out << ",\"burst_reports\":" << tally.adversary.burst_reports;
+    out << ",\"burst_step_batches\":" << tally.adversary.burst_steps;
+    out << "}";
+  }
   out << ",\"server\":" << server_json;
   out << "}";
   const std::string report = out.str();
@@ -362,6 +492,17 @@ int main(int argc, char** argv) {
   if (tally.no_reply != 0) {
     return reconcile_failure("clean requests without a typed response",
                              tally.no_reply, 0);
+  }
+  if (config.adversary.any()) {
+    // The wrapper must have touched every generated observation exactly
+    // once — a skipped (or double-wrapped) report means the poisoned
+    // stream is not the deterministic replay it claims to be.
+    const std::uint64_t expected = tally.clean_generated *
+                                   config.tasks * config.obs_per_task;
+    if (tally.adversary.observations_seen != expected) {
+      return reconcile_failure("adversary wrapper missed observations",
+                               tally.adversary.observations_seen, expected);
+    }
   }
   std::printf("reconciliation OK: offered=%llu accepted=%llu\n",
               static_cast<unsigned long long>(srv_offered),
